@@ -1,0 +1,93 @@
+"""Microbenchmarks of the hot primitives.
+
+These are conventional pytest-benchmark timings (many rounds) of the
+code paths that dominate simulation time and, in the on-sensor case,
+node CPU time: Algorithm 1, rainflow counting, the degradation model,
+airtime math, and per-window contention resolution.
+"""
+
+import random
+
+from repro.battery import DegradationModel, count_cycles
+from repro.core import LinearUtility, WindowSelector
+from repro.energy import CloudProcess, Harvester, SolarModel
+from repro.lora import TxParams, time_on_air, tx_energy
+from repro.sim import SimulationConfig, resolve_window
+from repro.sim.mesoscopic import MesoNode, WindowEntry
+from repro.sim.topology import build_topology
+from repro.lora import LogDistanceLink
+
+
+def test_algorithm1_decision(benchmark):
+    """One on-sensor window-selection decision (|T| = 30)."""
+    selector = WindowSelector(max_tx_energy_j=0.132, utility_fn=LinearUtility())
+    rng = random.Random(1)
+    greens = [rng.uniform(0.0, 0.1) for _ in range(30)]
+    estimates = [0.06] * 30
+    result = benchmark(selector.select, 5.0, 0.7, greens, estimates)
+    assert result.success
+
+
+def test_rainflow_10k_points(benchmark):
+    """Rainflow counting over a 10k-sample SoC history."""
+    rng = random.Random(2)
+    series = [0.5]
+    for _ in range(9999):
+        series.append(min(1.0, max(0.0, series[-1] + rng.uniform(-0.05, 0.05))))
+    cycles = benchmark(count_cycles, series)
+    assert cycles
+
+
+def test_degradation_model_evaluation(benchmark):
+    """Full Eq. 1-4 evaluation over a year of daily cycles."""
+    series = []
+    for _ in range(365):
+        series.extend((0.9, 0.4))
+    model = DegradationModel()
+    degradation = benchmark(
+        lambda: model.breakdown_from_soc_series(series, age_s=3.15e7).nonlinear()
+    )
+    assert 0 < degradation < 1
+
+
+def test_airtime_and_energy(benchmark):
+    """Eq. 6-7 for a typical packet."""
+    params = TxParams()
+
+    def both():
+        return time_on_air(params) + tx_energy(params)
+
+    assert benchmark(both) > 0
+
+
+def test_harvester_window_forecast(benchmark):
+    """A full period's worth of per-window harvest evaluations."""
+    harvester = Harvester(
+        solar=SolarModel(peak_watts=1.2e-3, clouds=CloudProcess(seed=3)),
+        node_seed=4,
+    )
+    energies = benchmark(harvester.window_energies, 12 * 3600.0, 60.0, 30)
+    assert len(energies) == 30
+
+
+def test_resolve_window_contended(benchmark):
+    """Exact contention resolution with a 12-node synchronized cohort."""
+    config = SimulationConfig(node_count=12, period_range_s=(960.0, 960.0))
+    link = LogDistanceLink(path_loss_exponent=config.path_loss_exponent)
+    clouds = CloudProcess(seed=0)
+    placements = build_topology(config, link)
+    entries = [
+        WindowEntry(
+            node=MesoNode(p, config, clouds, link),
+            immediate=True,
+            window_index_in_period=0,
+            period_start_s=0.0,
+        )
+        for p in placements
+    ]
+
+    def resolve():
+        return resolve_window(entries, 60.0, 1, 8, 8, random.Random(7))
+
+    outcomes = benchmark(resolve)
+    assert len(outcomes) == 12

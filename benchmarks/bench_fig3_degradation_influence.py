@@ -1,0 +1,28 @@
+"""Fig. 3 — degradation influence on forecast-window selection.
+
+Paper shape: in the energy-rich period (p28) both the highest- and
+lowest-degraded node pick forecast window 1 (index 0); in the
+energy-poor period (p29) the highest-degraded node moves to window 2
+(index 1) to avoid cycle aging while the lowest-degraded node stays.
+"""
+
+from repro.experiments import fig3_degradation_influence, format_table
+
+
+def test_fig3_degradation_influence(benchmark, report_sink):
+    outcome = benchmark(fig3_degradation_influence)
+    rows = [
+        [period, choice["highest_degraded"] + 1, choice["lowest_degraded"] + 1]
+        for period, choice in outcome.items()
+    ]
+    report_sink(
+        "fig3_degradation_influence",
+        format_table(
+            ["period", "highest-degraded node window", "lowest-degraded node window"],
+            rows,
+            title="Fig. 3: forecast window chosen (1-based) per sampling period",
+        ),
+    )
+    assert outcome["p28"] == {"highest_degraded": 0, "lowest_degraded": 0}
+    assert outcome["p29"]["highest_degraded"] == 1
+    assert outcome["p29"]["lowest_degraded"] == 0

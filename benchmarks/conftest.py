@@ -1,0 +1,46 @@
+"""Shared fixtures for the reproduction benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation and writes the rows/series it produces to
+``benchmarks/results/<name>.txt`` (and stdout), so ``pytest benchmarks/
+--benchmark-only`` leaves a full, inspectable reproduction report.
+
+Scale: the default configuration simulates 100 nodes for 10 days and
+extrapolates degradation rates to the paper's 5-15-year horizons (see
+DESIGN.md, substitution #6).  Set ``REPRO_SCALE=3`` (or more) for longer
+simulated windows, at proportional runtime.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import large_scale_base, testbed_base
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def base_config():
+    """The Section IV-A large-scale scenario (scaled)."""
+    return large_scale_base()
+
+
+@pytest.fixture(scope="session")
+def testbed_config():
+    """The Section IV-B testbed scenario."""
+    return testbed_base()
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Write a named report both to stdout and benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return write

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""The clairvoyant centralized formulation vs the on-sensor heuristic.
+
+Section III-A formulates battery-lifespan maximization for a clairvoyant
+TDMA network manager (Eqs. 8-12); Section III-B replaces it with the
+local, online Algorithm 1 precisely because the centralized problem is
+impractical.  This example makes that argument executable on a small
+instance: it builds one deployment, solves it with the greedy
+centralized scheduler (global knowledge, collision-free TDMA), runs the
+same nodes under the on-sensor MAC, and compares degradation, utility,
+and — the centralized solver's Achilles heel — solve time as the network
+grows.
+
+Run:  python examples/centralized_vs_onsensor.py
+"""
+
+import time
+
+from repro.constants import SECONDS_PER_DAY
+from repro.core import CentralizedScheduler, NodeSpec
+from repro.energy import CloudProcess, Harvester, SolarModel
+from repro.experiments import format_table
+from repro.lora import EnergyModel, TxParams
+from repro.sim import SimulationConfig, run_mesoscopic
+
+WINDOW_S = 60.0
+PERIOD_SLOTS = 30  # 30-minute sampling period
+HORIZON_SLOTS = 24 * 60  # one day of 1-minute TDMA slots
+
+
+def centralized_instance(node_count):
+    params = TxParams()
+    model = EnergyModel()
+    attempt_j = model.tx_attempt_energy(params)
+    solar = SolarModel.scaled_for_transmissions(
+        attempt_j, WINDOW_S, clouds=CloudProcess(seed=4)
+    )
+    specs = []
+    for node_id in range(node_count):
+        harvester = Harvester(solar=solar, node_seed=node_id, shading_sigma=0.2)
+        green = [
+            harvester.window_energy_j(t * WINDOW_S, WINDOW_S)
+            for t in range(HORIZON_SLOTS)
+        ]
+        specs.append(
+            NodeSpec(
+                node_id=node_id,
+                tx_energy_j=attempt_j,
+                sleep_energy_j=model.power_profile.sleep_watts * WINDOW_S,
+                period_slots=PERIOD_SLOTS,
+                capacity_j=12.0,
+                initial_soc=0.5,
+                green_j=green,
+            )
+        )
+    return CentralizedScheduler(specs, HORIZON_SLOTS, omega=8, slot_s=WINDOW_S)
+
+
+def main() -> None:
+    rows = []
+    for node_count in (4, 8, 16, 32):
+        scheduler = centralized_instance(node_count)
+        start = time.perf_counter()
+        schedule = scheduler.solve(candidate_caps=(0.5,))
+        solve_s = time.perf_counter() - start
+        mean_utility = sum(
+            e.mean_utility for e in schedule.evaluations.values()
+        ) / len(schedule.evaluations)
+        rows.append(
+            [
+                node_count,
+                round(solve_s, 3),
+                f"{schedule.max_degradation:.3e}",
+                round(mean_utility, 3),
+            ]
+        )
+    print(
+        format_table(
+            ["nodes", "solve time (s)", "max degradation (1 day)", "mean utility"],
+            rows,
+            title="Clairvoyant centralized TDMA scheduler (Eqs. 8-12, greedy solver)",
+        )
+    )
+    print(
+        "\nSolve time grows with nodes x slots and needs every node's future"
+        "\nharvest at the gateway - the scalability wall Section III-A cites."
+    )
+
+    config = SimulationConfig(
+        node_count=32,
+        duration_s=SECONDS_PER_DAY,
+        period_range_s=(PERIOD_SLOTS * 60.0, PERIOD_SLOTS * 60.0),
+        seed=4,
+    ).as_h(0.5)
+    start = time.perf_counter()
+    result = run_mesoscopic(config)
+    online_s = time.perf_counter() - start
+    print(
+        f"\nOn-sensor MAC, same 32-node day: mean utility "
+        f"{result.metrics.avg_utility:.3f}, max degradation "
+        f"{result.metrics.max_degradation:.3e}, wall time {online_s:.3f}s — "
+        "\nno synchronization, no clairvoyance, each decision O(|T| log |T|) "
+        "on the node."
+    )
+
+
+if __name__ == "__main__":
+    main()

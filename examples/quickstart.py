@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: compare plain LoRaWAN with the battery lifespan-aware MAC.
+
+Builds a 30-node solar-harvesting LoRa deployment, runs one week under
+each MAC with the fast mesoscopic simulator, and prints the metrics the
+paper's evaluation reports — including the extrapolated battery lifespan
+of the network (time until the first battery hits 20 % degradation).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SimulationConfig, run_mesoscopic
+from repro.constants import SECONDS_PER_DAY
+from repro.experiments import format_policy_metrics
+
+
+def main() -> None:
+    base = SimulationConfig(
+        node_count=30,
+        duration_s=7 * SECONDS_PER_DAY,
+        period_range_s=(16 * 60.0, 60 * 60.0),  # paper: [16, 60] minutes
+        window_s=60.0,  # 1-minute forecast windows
+        seed=1,
+    )
+
+    rows = {}
+    for name, config in (
+        ("LoRaWAN", base.as_lorawan()),
+        ("H-50", base.as_h(0.5)),  # θ = 0.5: the paper's sweet spot
+    ):
+        result = run_mesoscopic(config)
+        metrics = result.metrics
+        rows[name] = {
+            "avg_retx": metrics.avg_retransmissions,
+            "PRR": metrics.avg_prr,
+            "avg_utility": metrics.avg_utility,
+            "avg_latency_s": metrics.avg_latency_s,
+            "tx_energy_j": metrics.total_tx_energy_j,
+            "lifespan_years": result.network_lifespan_days() / 365.0,
+        }
+
+    print(format_policy_metrics(rows, title="One week, 30 solar-powered nodes"))
+    gain = rows["H-50"]["lifespan_years"] / rows["LoRaWAN"]["lifespan_years"] - 1
+    print(
+        f"\nBattery lifespan gain of the lifespan-aware MAC: +{gain * 100:.1f}% "
+        "(paper reports up to +69.7%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

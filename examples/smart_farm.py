@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Smart-agriculture deployment planning with the θ (SoC cap) knob.
+
+Scenario: a farm deploys 60 soil-moisture/weather nodes over a 3 km
+radius, each with a small solar panel and a rechargeable battery,
+reporting every 20-45 minutes.  Management wants the batteries to
+outlive a 10-year equipment cycle without replacement trips.
+
+This example sweeps the charging threshold θ and prints, for each
+setting, the network metrics and the extrapolated battery lifespan —
+reproducing the paper's Figs. 5-6 trade-off on a concrete deployment:
+θ too low starves nodes at night (PRR collapses), θ = 1 wastes battery
+life on calendar aging, and a mid θ hits the target lifespan with
+intact data quality.
+
+Run:  python examples/smart_farm.py
+"""
+
+from repro import SimulationConfig, run_mesoscopic
+from repro.constants import SECONDS_PER_DAY
+from repro.experiments import format_table
+
+TARGET_YEARS = 10.0
+
+
+def main() -> None:
+    base = SimulationConfig(
+        node_count=60,
+        radius_m=3000.0,
+        duration_s=7 * SECONDS_PER_DAY,
+        period_range_s=(20 * 60.0, 45 * 60.0),
+        window_s=60.0,
+        seed=2024,
+    )
+
+    rows = []
+    candidates = []
+    for theta in (0.05, 0.25, 0.5, 0.75, 1.0):
+        result = run_mesoscopic(base.as_h(theta))
+        metrics = result.metrics
+        years = result.network_lifespan_days() / 365.0
+        rows.append(
+            [
+                f"H-{round(theta * 100)}",
+                round(metrics.avg_prr, 4),
+                round(metrics.avg_utility, 4),
+                round(metrics.avg_latency_s, 1),
+                round(years, 2),
+                "yes" if years >= TARGET_YEARS and metrics.avg_prr > 0.98 else "no",
+            ]
+        )
+        if years >= TARGET_YEARS and metrics.avg_prr > 0.98:
+            candidates.append((theta, years))
+
+    lorawan = run_mesoscopic(base.as_lorawan())
+    rows.append(
+        [
+            "LoRaWAN",
+            round(lorawan.metrics.avg_prr, 4),
+            round(lorawan.metrics.avg_utility, 4),
+            round(lorawan.metrics.avg_latency_s, 1),
+            round(lorawan.network_lifespan_days() / 365.0, 2),
+            "no",
+        ]
+    )
+
+    print(
+        format_table(
+            ["policy", "PRR", "utility", "latency (s)", "lifespan (y)", "meets target"],
+            rows,
+            title=f"Farm deployment: θ sweep (target: {TARGET_YEARS:.0f} y, PRR > 98%)",
+        )
+    )
+    if candidates:
+        theta, years = max(candidates, key=lambda item: item[0])
+        print(
+            f"\nRecommendation: θ = {theta} — {years:.1f} years of battery "
+            "life with full data quality; pick the highest feasible θ for "
+            "the largest night-time energy reserve."
+        )
+    else:
+        print("\nNo θ meets the target; consider a larger panel or battery.")
+
+
+if __name__ == "__main__":
+    main()

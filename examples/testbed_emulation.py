@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Replication of the paper's physical testbed (Section IV-B), in software.
+
+The paper's testbed: 10 Dragino SX1276 nodes on Raspberry Pis, one
+RAK2245 gateway, one 125 kHz channel at SF10, 10-minute sampling
+periods, 1-minute forecast windows, 24 hours, battery emulated by a
+local variable updated per forecast window (Eq. 5).  This script runs
+the same setup on the exact event-driven engine and prints the per-node
+table behind Fig. 9: degradation, retransmissions, latency for H-100 vs
+LoRaWAN.
+
+Run:  python examples/testbed_emulation.py
+"""
+
+from repro.experiments import format_table, testbed_base
+from repro.sim import Simulator
+
+
+def run(config, label):
+    simulator = Simulator(config)
+    result = simulator.run()
+    rows = []
+    for node_id, node in sorted(result.metrics.nodes.items()):
+        device = simulator.nodes[node_id]
+        breakdown = device.battery.last_breakdown
+        rows.append(
+            [
+                node_id,
+                round(node.prr, 3),
+                round(node.avg_retransmissions, 3),
+                round(node.avg_delivered_latency_s, 2),
+                f"{node.degradation:.3e}",
+                f"{(breakdown.cycle if breakdown else 0):.2e}",
+            ]
+        )
+    print(
+        format_table(
+            ["node", "PRR", "avg RETX", "latency (s)", "degradation", "cycle aging"],
+            rows,
+            title=f"\n{label}: 10 nodes, 1 channel, SF10, 24 h",
+        )
+    )
+    return result
+
+
+def main() -> None:
+    base = testbed_base()
+    lorawan = run(base.as_lorawan(), "LoRaWAN")
+    h100 = run(base.as_h(1.0), "H-100 (proposed MAC, θ = 1)")
+
+    lw, h = lorawan.metrics, h100.metrics
+    cycle_drop = 1.0 - h.total_cycle_aging / max(lw.total_cycle_aging, 1e-30)
+    print("\nSummary (paper's Fig. 9 claims in parentheses):")
+    print(f"  PRR:                LoRaWAN {lw.avg_prr:.3f}, H-100 {h.avg_prr:.3f}  (both 100%)")
+    print(
+        f"  degradation var.:   LoRaWAN {lw.degradation_variance:.3e}, "
+        f"H-100 {h.degradation_variance:.3e}  (LoRaWAN ~99.7% higher)"
+    )
+    print(
+        f"  avg RETX:           LoRaWAN {lw.avg_retransmissions:.3f}, "
+        f"H-100 {h.avg_retransmissions:.3f}  (H-100 lower)"
+    )
+    print(
+        f"  delivered latency:  LoRaWAN {lw.avg_delivered_latency_s:.1f}s, "
+        f"H-100 {h.avg_delivered_latency_s:.1f}s  (LoRaWAN lower)"
+    )
+    print(f"  cycle aging:        H-100 {cycle_drop * 100:.0f}% lower  (paper: 80% lower)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Wildlife monitoring: choosing a utility function per data stream.
+
+Scenario: a reserve runs two kinds of LoRa nodes off the same gateways —
+slow climate loggers (a reading is almost as useful an hour later) and
+motion-triggered wildlife counters (freshness decays fast).  The paper's
+protocol takes the utility function as a pluggable design choice
+("the system designer can choose different utility functions for
+different nodes"); this example shows how that choice moves each node
+class's position on the delay/battery-lifespan curve.
+
+We drive the on-sensor stack directly (Algorithm 1 + estimators +
+software-defined switch) for a single node over three simulated days per
+configuration, so the example doubles as a tour of the public MAC API.
+
+Run:  python examples/wildlife_monitoring.py
+"""
+
+from repro.battery import Battery
+from repro.core import (
+    BatteryLifespanAwareMac,
+    ExponentialUtility,
+    LinearUtility,
+    PeriodContext,
+    StepUtility,
+)
+from repro.energy import CloudProcess, Harvester, OracleForecaster, SolarModel, SoftwareDefinedSwitch
+from repro.experiments import format_table
+from repro.lora import EnergyModel, TxParams
+
+PERIOD_S = 29 * 60.0  # deliberately coprime with the 5-min cloud grid
+WINDOW_S = 60.0
+WINDOWS = int(PERIOD_S // WINDOW_S)
+DAYS = 3
+
+
+def run_node(utility_fn, label):
+    """Drive one node for DAYS days; returns (label, mean delay, mean SoC)."""
+    params = TxParams()
+    energy_model = EnergyModel()
+    attempt_j = energy_model.tx_attempt_energy(params)
+    # Deliberately undersized panel under heavy canopy cover: most
+    # windows cannot fund a transmission on sunlight alone, so the DIF
+    # actually has to arbitrate against the utility function.
+    solar = SolarModel.scaled_for_transmissions(
+        attempt_j,
+        WINDOW_S,
+        transmissions_per_window=0.9,
+        clouds=CloudProcess(seed=9, mean_clearness=0.45, volatility=0.6, step_s=300.0),
+    )
+    # Fast-moving canopy shade: harvest varies between windows of the
+    # same period, giving the DIF real choices to arbitrate.
+    harvester = Harvester(
+        solar=solar, node_seed=5, shading_sigma=0.5, shading_step_s=300.0
+    )
+    forecaster = OracleForecaster(harvester)
+    battery = Battery(capacity_j=12.0, initial_soc=0.5)
+    switch = SoftwareDefinedSwitch(soc_cap=0.5)
+    mac = BatteryLifespanAwareMac(
+        soc_cap=0.5,
+        max_tx_energy_j=energy_model.max_tx_energy(params),
+        nominal_tx_energy_j=attempt_j,
+        utility_fn=utility_fn,
+        battery_capacity_j=battery.capacity_j,
+    )
+    mac.set_normalized_degradation(1.0)  # a well-worn battery
+
+    delays = []
+    battery_funded = 0
+    transmitted = 0
+    now = 0.0
+    sleep_w = energy_model.power_profile.sleep_watts
+    while now < DAYS * 86400.0:
+        forecast = forecaster.forecast(now, WINDOW_S, WINDOWS)
+        decision = mac.choose_window(
+            PeriodContext(battery.stored_j, forecast, attempt_j, now)
+        )
+        for window in range(WINDOWS):
+            window_end = now + (window + 1) * WINDOW_S
+            demand = sleep_w * WINDOW_S
+            if decision.success and window == decision.window_index:
+                demand += attempt_j
+            harvested = harvester.window_energy_j(now + window * WINDOW_S, WINDOW_S)
+            switch.apply_window(battery, harvested, demand, window_end)
+        if decision.success:
+            transmitted += 1
+            delays.append(decision.window_index * WINDOW_S)
+            if decision.difs[decision.window_index] > 0:
+                battery_funded += 1
+            mac.observe_result(decision.window_index, 0, attempt_j)
+        now += PERIOD_S
+
+    mean_delay = sum(delays) / len(delays) if delays else float("nan")
+    battery_share = battery_funded / transmitted if transmitted else float("nan")
+    battery.refresh_degradation()
+    return [
+        label,
+        round(mean_delay, 1),
+        f"{battery_share * 100:.0f}%",
+        f"{battery.degradation:.2e}",
+    ]
+
+
+def main() -> None:
+    rows = [
+        run_node(LinearUtility(), "climate logger (linear, Eq. 16)"),
+        run_node(ExponentialUtility(half_life_windows=2.0), "wildlife counter (exp, t1/2=2 min)"),
+        run_node(StepUtility(grace_windows=5), "archive sensor (5-min grace)"),
+    ]
+    print(
+        format_table(
+            ["stream / utility function", "mean tx delay (s)", "battery-funded tx", "3-day degradation"],
+            rows,
+            title="Wildlife reserve: utility function vs delay and battery wear",
+        )
+    )
+    print(
+        "\nSteeper utility keeps alerts fresh (small delay); flatter utility"
+        "\nlets the MAC chase green-energy windows harder. All three share"
+        "\nthe same θ = 0.5 cap, so calendar aging is curbed either way."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Alternative energy sources: solar vs wind vs machine vibration.
+
+The paper's intro motivates harvesting from solar, wind, and vibration;
+its evaluation uses solar.  Because the MAC only consumes per-window
+energy forecasts, any source works — but the *temporal shape* of the
+source changes how the protocol behaves: solar forces every night onto
+the battery, wind produces around the clock in gusts, and machine
+vibration follows work shifts.  This example drives one node under each
+source for a week and compares night-time battery reliance, cycle depth,
+and degradation.
+
+Run:  python examples/wind_turbine_site.py
+"""
+
+from repro.battery import Battery, cycle_statistics, count_cycles
+from repro.core import BatteryLifespanAwareMac, PeriodContext
+from repro.energy import (
+    CloudProcess,
+    SoftwareDefinedSwitch,
+    SolarModel,
+    VibrationModel,
+    WindModel,
+)
+from repro.experiments import format_table
+from repro.lora import EnergyModel, TxParams
+
+PERIOD_S = 30 * 60.0
+WINDOW_S = 60.0
+WINDOWS = int(PERIOD_S // WINDOW_S)
+DAYS = 7
+
+
+def make_sources(attempt_j):
+    peak = 2.0 * attempt_j / WINDOW_S  # the paper's 2-transmission scaling
+    return {
+        "solar panel": SolarModel(peak_watts=peak, clouds=CloudProcess(seed=8)),
+        "micro wind turbine": WindModel(rated_watts=peak, seed=8),
+        "machine vibration": VibrationModel(peak_watts=peak, seed=8),
+    }
+
+
+def run_source(name, source, attempt_j, energy_model):
+    battery = Battery(capacity_j=12.0, initial_soc=0.5)
+    switch = SoftwareDefinedSwitch(soc_cap=0.5)
+    mac = BatteryLifespanAwareMac(
+        soc_cap=0.5,
+        max_tx_energy_j=energy_model.max_tx_energy(TxParams()),
+        nominal_tx_energy_j=attempt_j,
+        battery_capacity_j=battery.capacity_j,
+    )
+    mac.set_normalized_degradation(1.0)
+    sleep_w = energy_model.power_profile.sleep_watts
+
+    night_battery_tx = 0
+    night_tx = 0
+    now = 0.0
+    while now < DAYS * 86400.0:
+        forecast = source.window_energies(now, WINDOW_S, WINDOWS)
+        decision = mac.choose_window(
+            PeriodContext(battery.stored_j, forecast, attempt_j, now)
+        )
+        for window in range(WINDOWS):
+            end = now + (window + 1) * WINDOW_S
+            demand = sleep_w * WINDOW_S
+            if decision.success and window == decision.window_index:
+                demand += attempt_j
+            harvested = source.window_energy_j(now + window * WINDOW_S, WINDOW_S)
+            switch.apply_window(battery, harvested, demand, end)
+        hour = (now % 86400.0) / 3600.0
+        if decision.success and (hour < 6.0 or hour >= 20.0):
+            night_tx += 1
+            if decision.difs[decision.window_index] > 0:
+                night_battery_tx += 1
+        if decision.success:
+            mac.observe_result(decision.window_index, 0, attempt_j)
+        now += PERIOD_S
+
+    battery.refresh_degradation()
+    _, mean_depth, _ = cycle_statistics(count_cycles(battery.trace.turning_points))
+    night_share = night_battery_tx / night_tx if night_tx else float("nan")
+    return [
+        name,
+        f"{night_share * 100:.0f}%",
+        round(mean_depth, 4),
+        f"{battery.degradation:.2e}",
+    ]
+
+
+def main() -> None:
+    energy_model = EnergyModel()
+    attempt_j = energy_model.tx_attempt_energy(TxParams())
+    rows = [
+        run_source(name, source, attempt_j, energy_model)
+        for name, source in make_sources(attempt_j).items()
+    ]
+    print(
+        format_table(
+            [
+                "energy source",
+                "night tx on battery",
+                "mean cycle depth",
+                "7-day degradation",
+            ],
+            rows,
+            title="One H-50 node, one week, three harvesting technologies",
+        )
+    )
+    print(
+        "\nSolar concentrates battery reliance at night (deep daily cycles);"
+        "\nwind spreads generation around the clock, flattening cycles;"
+        "\nvibration follows work shifts, so weekends behave like long nights."
+    )
+
+
+if __name__ == "__main__":
+    main()

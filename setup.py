@@ -1,0 +1,12 @@
+"""Legacy setup shim (the environment has no `wheel` package, so the
+PEP-517 editable path is unavailable offline)."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+)

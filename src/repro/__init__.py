@@ -1,0 +1,102 @@
+"""repro — reproduction of "A Battery Lifespan-Aware Protocol for LPWAN"
+(Fahmida et al., ICDCS 2024).
+
+A complete Python implementation of the paper's battery lifespan-aware
+LoRa MAC protocol and every substrate it depends on: a LoRa PHY model,
+the Xu et al. battery-degradation model with rainflow counting, an
+energy-harvesting subsystem with a software-defined battery switch, and
+two network simulators (an exact event-driven engine and a mesoscopic
+multi-year runner).
+
+Quick start::
+
+    from repro import SimulationConfig, run_mesoscopic
+
+    base = SimulationConfig(node_count=50, duration_s=7 * 86400)
+    lorawan = run_mesoscopic(base.as_lorawan())
+    h50 = run_mesoscopic(base.as_h(0.5))
+    print(lorawan.metrics.avg_prr, h50.metrics.avg_prr)
+"""
+
+from . import battery, core, energy, lora, sim
+from .battery import (
+    Battery,
+    DegradationConstants,
+    DegradationModel,
+    SocTrace,
+    TransitionReport,
+)
+from .core import (
+    BatteryLifespanAwareMac,
+    CentralizedScheduler,
+    DegradationService,
+    LinearUtility,
+    LorawanAlohaMac,
+    PeriodContext,
+    ThresholdOnlyMac,
+    WindowSelector,
+    degradation_impact_factor,
+)
+from .exceptions import (
+    BatteryDepletedError,
+    BatteryEndOfLifeError,
+    BatteryError,
+    ConfigurationError,
+    InvariantError,
+    ProtocolError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from .lora import EnergyModel, SpreadingFactor, TxParams, time_on_air, tx_energy
+from .sim import (
+    MesoscopicResult,
+    SimulationConfig,
+    SimulationResult,
+    run_mesoscopic,
+    run_simulation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Battery",
+    "BatteryDepletedError",
+    "BatteryEndOfLifeError",
+    "BatteryError",
+    "BatteryLifespanAwareMac",
+    "CentralizedScheduler",
+    "ConfigurationError",
+    "DegradationConstants",
+    "DegradationModel",
+    "DegradationService",
+    "EnergyModel",
+    "InvariantError",
+    "LinearUtility",
+    "LorawanAlohaMac",
+    "MesoscopicResult",
+    "PeriodContext",
+    "ProtocolError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationConfig",
+    "SimulationError",
+    "SimulationResult",
+    "SocTrace",
+    "SpreadingFactor",
+    "ThresholdOnlyMac",
+    "TransitionReport",
+    "TxParams",
+    "WindowSelector",
+    "battery",
+    "core",
+    "degradation_impact_factor",
+    "energy",
+    "lora",
+    "run_mesoscopic",
+    "run_simulation",
+    "sim",
+    "time_on_air",
+    "tx_energy",
+    "__version__",
+]

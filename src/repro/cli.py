@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows:
+
+* ``simulate`` — run one configuration under one MAC policy and print
+  the paper's metrics plus the extrapolated battery lifespan.
+* ``figure`` — regenerate one of the paper's figures/tables by id
+  (``2``-``9`` or ``table1``) and print its rows/series.
+* ``replicates`` — run LoRaWAN and H-θ across several seeds and print
+  the paired lifespan gain with a 95 % confidence interval.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .constants import SECONDS_PER_DAY
+from .sim import SimulationConfig, run_mesoscopic, run_simulation
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Battery lifespan-aware LoRa MAC (ICDCS 2024) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run one simulation")
+    simulate.add_argument("--nodes", type=int, default=50)
+    simulate.add_argument("--days", type=float, default=7.0)
+    simulate.add_argument(
+        "--policy",
+        choices=("lorawan", "h", "hc"),
+        default="h",
+        help="lorawan = pure ALOHA; h = proposed MAC; hc = θ cap only",
+    )
+    simulate.add_argument("--theta", type=float, default=0.5, help="SoC cap θ")
+    simulate.add_argument("--w-b", type=float, default=1.0, dest="w_b")
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--engine",
+        choices=("meso", "exact"),
+        default="meso",
+        help="meso = fast mesoscopic runner; exact = event-driven engine",
+    )
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure/table")
+    figure.add_argument(
+        "id",
+        choices=("2", "3", "4", "5", "6", "7", "8", "9", "table1"),
+        help="paper figure number or 'table1'",
+    )
+
+    replicates = sub.add_parser(
+        "replicates", help="multi-seed comparison with confidence intervals"
+    )
+    replicates.add_argument("--nodes", type=int, default=30)
+    replicates.add_argument("--days", type=float, default=5.0)
+    replicates.add_argument("--theta", type=float, default=0.5)
+    replicates.add_argument("--seeds", type=int, default=5, help="number of seeds")
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    base = SimulationConfig(
+        node_count=args.nodes,
+        duration_s=args.days * SECONDS_PER_DAY,
+        w_b=getattr(args, "w_b", 1.0),
+        seed=args.seed,
+    )
+    if args.policy == "lorawan":
+        return base.as_lorawan()
+    if args.policy == "hc":
+        return base.as_hc(args.theta)
+    return base.as_h(args.theta)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    if args.engine == "exact":
+        result = run_simulation(config)
+        lifespan = None
+    else:
+        result = run_mesoscopic(config)
+        lifespan = result.network_lifespan_days()
+    print(f"policy: {config.policy_name}  nodes: {config.node_count}  "
+          f"days: {config.duration_s / SECONDS_PER_DAY:g}  engine: {args.engine}")
+    for key, value in result.metrics.summary().items():
+        print(f"  {key:28s} {value:.6g}")
+    if lifespan is not None:
+        print(f"  {'lifespan_days':28s} {lifespan:.6g}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from . import experiments as ex
+
+    if args.id == "2":
+        print(ex.format_series(ex.fig2_degradation_components(), x_label="months", every=6))
+    elif args.id == "3":
+        outcome = ex.fig3_degradation_influence()
+        rows = [
+            [p, c["highest_degraded"] + 1, c["lowest_degraded"] + 1]
+            for p, c in outcome.items()
+        ]
+        print(ex.format_table(["period", "highest-degraded", "lowest-degraded"], rows))
+    elif args.id == "4":
+        print(ex.format_histograms(ex.fig4_window_selection()))
+    elif args.id == "5":
+        print(ex.format_policy_metrics(ex.fig5_energy_and_degradation()))
+    elif args.id == "6":
+        print(ex.format_policy_metrics(ex.fig6_network_performance()))
+    elif args.id == "7":
+        print(ex.format_series(ex.fig7_max_degradation_by_month(), x_label="month", every=12))
+    elif args.id == "8":
+        rows = [
+            [name, round(days), round(days / 365.0, 2)]
+            for name, days in ex.fig8_network_lifespan().items()
+        ]
+        print(ex.format_table(["policy", "days", "years"], rows))
+    elif args.id == "9":
+        print(ex.format_policy_metrics(ex.fig9_testbed()))
+    else:  # table1
+        rows = ex.measure_overhead()
+        overhead = ex.relative_cpu_overhead(rows)
+        table = [
+            [r.policy, round(r.cpu_us_per_period, 2), r.peak_alloc_bytes, r.code_size_bytes]
+            for r in rows.values()
+        ]
+        print(ex.format_table(["policy", "CPU µs/period", "alloc (B)", "code (B)"], table))
+        print(f"relative CPU overhead: +{overhead * 100:.1f}%")
+    return 0
+
+
+def _cmd_replicates(args: argparse.Namespace) -> int:
+    from .experiments.statistics import compare_lifespans, run_replicates
+
+    base = SimulationConfig(
+        node_count=args.nodes, duration_s=args.days * SECONDS_PER_DAY
+    )
+    seeds = tuple(range(1, args.seeds + 1))
+    print(f"running {args.seeds} seeds × 2 policies …")
+    lorawan = run_replicates(base.as_lorawan(), seeds)
+    h_theta = run_replicates(base.as_h(args.theta), seeds)
+    for name, summary in (("LoRaWAN", lorawan), (f"H-{round(args.theta * 100)}", h_theta)):
+        lifespan = summary.metric("lifespan_days")
+        prr = summary.metric("avg_prr")
+        print(f"{name:8s} lifespan {lifespan.mean:7.0f} ± {lifespan.half_width_95:5.0f} d"
+              f"   PRR {prr.mean:.4f} ± {prr.half_width_95:.4f}")
+    gain = compare_lifespans(lorawan, h_theta)
+    print(
+        f"paired lifespan gain: +{gain.mean * 100:.1f}% "
+        f"± {gain.half_width_95 * 100:.1f}% (95% CI, paper: +69.7%)"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    return _cmd_replicates(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""The paper's primary contribution: the battery lifespan-aware MAC.
+
+Exposes the DIF (Eq. 15), utility functions (Eq. 16), on-sensor
+estimators (Eq. 13-14), Algorithm 1 window selection, the MAC policies
+compared in the evaluation, the gateway degradation service, and the
+Section III-A centralized formulation.
+"""
+
+from .centralized import CentralizedScheduler, NodeEvaluation, NodeSpec, Schedule
+from .degradation_service import (
+    DegradationService,
+    NodeDegradationState,
+    dequantize_w,
+    quantize_w,
+)
+from .dif import degradation_impact_factor, dif_profile
+from .estimators import EwmaTxEnergyEstimator, RetransmissionEstimator
+from .mac import (
+    MAX_RETRANSMISSIONS,
+    BatteryLifespanAwareMac,
+    LorawanAlohaMac,
+    MacPolicy,
+    PeriodContext,
+    ThresholdOnlyMac,
+    uniform_offset_in_window,
+)
+from .utility import (
+    ExponentialUtility,
+    LinearUtility,
+    StepUtility,
+    UtilityFunction,
+    average_utility,
+)
+from .window_selection import WindowDecision, WindowSelector
+
+__all__ = [
+    "BatteryLifespanAwareMac",
+    "CentralizedScheduler",
+    "DegradationService",
+    "EwmaTxEnergyEstimator",
+    "ExponentialUtility",
+    "LinearUtility",
+    "LorawanAlohaMac",
+    "MAX_RETRANSMISSIONS",
+    "MacPolicy",
+    "NodeDegradationState",
+    "NodeEvaluation",
+    "NodeSpec",
+    "PeriodContext",
+    "RetransmissionEstimator",
+    "Schedule",
+    "StepUtility",
+    "ThresholdOnlyMac",
+    "UtilityFunction",
+    "WindowDecision",
+    "WindowSelector",
+    "average_utility",
+    "degradation_impact_factor",
+    "dequantize_w",
+    "dif_profile",
+    "quantize_w",
+    "uniform_offset_in_window",
+]

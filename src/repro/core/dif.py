@@ -1,0 +1,52 @@
+"""Degradation Impact Factor (Eq. 15).
+
+The DIF approximates the cycle-aging impact of transmitting in a given
+forecast window:
+
+.. math::
+
+    DIF_u[t] = \\frac{\\max(\\mathbf{e}^{tx}_u, E^g_u[t]) - E^g_u[t]}
+                     {E^{tx}_{max}}
+
+If estimated transmission energy exceeds the window's green harvest, the
+battery must discharge and the DIF is positive (more discharge → larger
+DIF, normalized by the worst-case transmission energy).  If green energy
+covers the transmission, the SoC does not drop and the DIF is 0.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..exceptions import ConfigurationError
+
+
+def degradation_impact_factor(
+    estimated_tx_energy_j: float,
+    green_energy_j: float,
+    max_tx_energy_j: float,
+) -> float:
+    """DIF of one forecast window, a real number in [0, 1].
+
+    Values are clipped into [0, 1]: the estimate can transiently exceed
+    ``E^tx_max`` when the EWMA has absorbed retransmission bursts, and
+    the paper defines the DIF's range as [0, 1].
+    """
+    if estimated_tx_energy_j < 0 or green_energy_j < 0:
+        raise ConfigurationError("energies cannot be negative")
+    if max_tx_energy_j <= 0:
+        raise ConfigurationError("max_tx_energy_j must be positive")
+    deficit = max(estimated_tx_energy_j, green_energy_j) - green_energy_j
+    return min(1.0, deficit / max_tx_energy_j)
+
+
+def dif_profile(
+    estimated_tx_energy_j: float,
+    green_energies_j: Sequence[float],
+    max_tx_energy_j: float,
+) -> List[float]:
+    """DIF for every forecast window of a sampling period."""
+    return [
+        degradation_impact_factor(estimated_tx_energy_j, green, max_tx_energy_j)
+        for green in green_energies_j
+    ]

@@ -1,0 +1,147 @@
+"""On-sensor energy-usage estimators (Eq. 13 and Eq. 14).
+
+Two lightweight estimators let a node anticipate the energy cost of
+transmitting in a forecast window without global knowledge:
+
+* :class:`EwmaTxEnergyEstimator` — Eq. (13): an exponentially weighted
+  moving average of observed per-packet transmission energy, smoothing
+  over dynamic parameter changes (ADR, channel conditions).
+* :class:`RetransmissionEstimator` — Eq. (14): per-forecast-window
+  empirical CDF of retransmission counts, learned from the node's own
+  history, used to estimate how crowded a window is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass
+class EwmaTxEnergyEstimator:
+    """Eq. (13): ``e[p] = β · E[p−1] + (1−β) · e[p−1]``.
+
+    ``β`` is the importance weight decided by the network manager: large
+    β tracks recent consumption aggressively, small β smooths harder.
+    The estimate starts at ``initial_j`` (typically the nominal
+    single-attempt energy from Eq. 6) until the first observation.
+    """
+
+    beta: float = 0.3
+    initial_j: float = 0.0
+    _estimate_j: Optional[float] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.beta <= 1.0:
+            raise ConfigurationError("beta must be in [0, 1]")
+        if self.initial_j < 0:
+            raise ConfigurationError("initial estimate cannot be negative")
+
+    @property
+    def estimate_j(self) -> float:
+        """Current estimate ``e^tx_u[p]`` in joules."""
+        return self.initial_j if self._estimate_j is None else self._estimate_j
+
+    def observe(self, actual_energy_j: float) -> float:
+        """Fold the previous period's actual TX energy into the estimate."""
+        if actual_energy_j < 0:
+            raise ConfigurationError("observed energy cannot be negative")
+        self._estimate_j = (
+            self.beta * actual_energy_j + (1.0 - self.beta) * self.estimate_j
+        )
+        return self._estimate_j
+
+    def reset(self, initial_j: Optional[float] = None) -> None:
+        """Forget history; optionally seed a new initial value."""
+        if initial_j is not None:
+            if initial_j < 0:
+                raise ConfigurationError("initial estimate cannot be negative")
+            self.initial_j = initial_j
+        self._estimate_j = None
+
+
+@dataclass
+class RetransmissionEstimator:
+    """Eq. (14): per-window retransmission-count statistics.
+
+    For each forecast window ``t`` the node tracks ``S_t`` (how many
+    times it selected window ``t``) and ``I_{r,t}`` (how many of those
+    resulted in exactly ``r`` retransmissions).  ``P(r|t)`` is then the
+    empirical CDF — the probability of needing *at most* ``r``
+    retransmissions — exactly the recursive form in the paper.  Windows
+    are treated independently, per the paper's assumption.
+
+    :meth:`expected_retransmissions` converts the statistics into the
+    expected retransmission count the MAC uses to scale the energy
+    estimate for a window.
+    """
+
+    max_retransmissions: int = 8
+    #: Expected retransmissions returned for a never-tried window:
+    #: optimistic 0 lets new windows be explored.
+    prior_expectation: float = 0.0
+    _selected: Dict[int, int] = field(default_factory=dict, init=False)
+    _histogram: Dict[int, List[int]] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        if self.max_retransmissions < 0:
+            raise ConfigurationError("max_retransmissions cannot be negative")
+        if self.prior_expectation < 0:
+            raise ConfigurationError("prior_expectation cannot be negative")
+
+    def observe(self, window_index: int, retransmissions: int) -> None:
+        """Record that a period using ``window_index`` needed ``r`` RETXs."""
+        if window_index < 0:
+            raise ConfigurationError("window index cannot be negative")
+        if not 0 <= retransmissions <= self.max_retransmissions:
+            raise ConfigurationError(
+                f"retransmissions must be in [0, {self.max_retransmissions}]"
+            )
+        self._selected[window_index] = self._selected.get(window_index, 0) + 1
+        histogram = self._histogram.setdefault(
+            window_index, [0] * (self.max_retransmissions + 1)
+        )
+        histogram[retransmissions] += 1
+
+    def selections(self, window_index: int) -> int:
+        """``S_t``: times window ``t`` was selected for transmission."""
+        return self._selected.get(window_index, 0)
+
+    def probability_at_most(self, retransmissions: int, window_index: int) -> float:
+        """``P(r|t)`` of Eq. (14): CDF of retransmission counts in window t.
+
+        Returns 1.0 for a window with no history when ``r`` is the
+        maximum (every distribution is below its support's top), and the
+        prior-less convention ``P(r|t) = 1`` for untried windows so the
+        estimator stays optimistic, matching ``prior_expectation = 0``.
+        """
+        if not 0 <= retransmissions <= self.max_retransmissions:
+            raise ConfigurationError("retransmissions out of range")
+        total = self.selections(window_index)
+        if total == 0:
+            return 1.0
+        histogram = self._histogram[window_index]
+        return sum(histogram[: retransmissions + 1]) / total
+
+    def expected_retransmissions(self, window_index: int) -> float:
+        """Mean retransmission count observed in window ``t``.
+
+        ``E[r|t] = Σ_r r · I_{r,t} / S_t``; the prior expectation for
+        windows never tried.
+        """
+        total = self.selections(window_index)
+        if total == 0:
+            return self.prior_expectation
+        histogram = self._histogram[window_index]
+        return sum(r * count for r, count in enumerate(histogram)) / total
+
+    def window_energy_multiplier(self, window_index: int) -> float:
+        """Factor converting one-attempt energy into expected window energy.
+
+        One initial attempt plus the expected retransmissions: the MAC
+        multiplies the Eq. (13) estimate by this to obtain the expected
+        energy of transmitting in window ``t``.
+        """
+        return 1.0 + self.expected_retransmissions(window_index)

@@ -1,0 +1,35 @@
+"""Energy-harvesting substrate: synthetic solar model (NREL substitute),
+per-node harvesters, very-short-term forecasters, the software-defined
+battery switch (Eq. 5), and measured-trace utilities.
+"""
+
+from .forecast import (
+    EnergyForecaster,
+    NoisyForecaster,
+    OracleForecaster,
+    PersistenceForecaster,
+)
+from .harvester import Harvester
+from .solar import CloudProcess, SolarModel, clear_sky_factor
+from .sources import VibrationModel, WindModel
+from .storage import HybridStorage, Supercapacitor
+from .switch import SoftwareDefinedSwitch, WindowEnergyResult
+from .traces import TabulatedTrace
+
+__all__ = [
+    "CloudProcess",
+    "EnergyForecaster",
+    "HybridStorage",
+    "Harvester",
+    "NoisyForecaster",
+    "OracleForecaster",
+    "PersistenceForecaster",
+    "SoftwareDefinedSwitch",
+    "SolarModel",
+    "Supercapacitor",
+    "VibrationModel",
+    "TabulatedTrace",
+    "WindModel",
+    "WindowEnergyResult",
+    "clear_sky_factor",
+]

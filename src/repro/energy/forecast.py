@@ -1,0 +1,148 @@
+"""Very-short-term green-energy forecasters.
+
+The protocol needs, at the start of each sampling period, a forecast of
+the energy each forecast window will harvest (the ``E^g_u[t]`` inputs of
+Algorithm 1).  The paper assumes the on-node models of Kraemer et al.
+[22] — small NNs trained at the gateway on locally available variables —
+"trained offline and deployed on each sensor", and treats forecasting as
+out of scope.  We mirror that: forecasters here are pluggable stand-ins
+whose accuracy is a sweepable parameter.
+
+* :class:`OracleForecaster` — perfect knowledge (upper bound).
+* :class:`NoisyForecaster` — oracle × multiplicative log-normal error,
+  the knob for the forecast-noise ablation bench.
+* :class:`PersistenceForecaster` — predicts from recent observed
+  generation only (what [22]'s simplest baseline does): the next windows
+  repeat the last observed window's power, shaped by the deterministic
+  clear-sky envelope so night hours forecast zero.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Protocol
+
+from ..exceptions import ConfigurationError
+from .harvester import Harvester
+from .solar import clear_sky_factor
+
+
+class EnergyForecaster(Protocol):
+    """Anything that can predict per-window harvest for a node."""
+
+    def forecast(self, start_s: float, window_s: float, count: int) -> List[float]:
+        """Predicted energy per window for ``count`` windows from ``start_s``."""
+        ...
+
+    def observe(self, start_s: float, window_s: float, energy_j: float) -> None:
+        """Feed back the actual harvest of a completed window."""
+        ...
+
+
+@dataclass
+class OracleForecaster:
+    """Perfect forecaster: returns the harvester's true future output."""
+
+    harvester: Harvester
+
+    def forecast(self, start_s: float, window_s: float, count: int) -> List[float]:
+        """Exact future harvest per window (perfect knowledge)."""
+        return self.harvester.window_energies(start_s, window_s, count)
+
+    def observe(self, start_s: float, window_s: float, energy_j: float) -> None:
+        """No-op: the oracle has nothing to learn."""
+        pass
+
+
+@dataclass
+class NoisyForecaster:
+    """Oracle forecast corrupted by multiplicative log-normal noise.
+
+    ``sigma`` is the log-scale error; 0.1–0.3 brackets the 10–30 %
+    relative errors reported for very-short-term PV forecasts.
+    """
+
+    harvester: Harvester
+    sigma: float = 0.15
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ConfigurationError("sigma cannot be negative")
+        self._rng = random.Random(self.seed)
+
+    def forecast(self, start_s: float, window_s: float, count: int) -> List[float]:
+        """True harvest per window, corrupted by log-normal error."""
+        truth = self.harvester.window_energies(start_s, window_s, count)
+        if self.sigma == 0.0:
+            return truth
+        import math
+
+        return [
+            value * math.exp(self._rng.gauss(-self.sigma**2 / 2.0, self.sigma))
+            for value in truth
+        ]
+
+    def observe(self, start_s: float, window_s: float, energy_j: float) -> None:
+        """No-op: noise is resampled every call, nothing to learn."""
+        pass
+
+
+@dataclass
+class PersistenceForecaster:
+    """Envelope-shaped persistence forecast from observed generation only.
+
+    Maintains an EWMA of the node's observed *clearness* (actual harvest
+    divided by the clear-sky expectation) and projects it onto the
+    deterministic clear-sky envelope of the future windows.  Uses no
+    oracle information — exactly the class of locally-computable model
+    the paper's nodes can run.
+    """
+
+    peak_window_energy_j: float
+    sunrise_hour: float = 6.0
+    sunset_hour: float = 18.0
+    seasonal_amplitude: float = 0.25
+    smoothing: float = 0.3
+    _clearness: float = field(default=0.75, init=False)
+
+    def __post_init__(self) -> None:
+        if self.peak_window_energy_j <= 0:
+            raise ConfigurationError("peak_window_energy_j must be positive")
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ConfigurationError("smoothing must be in (0, 1]")
+
+    def _envelope(self, start_s: float, window_s: float) -> float:
+        return clear_sky_factor(
+            start_s + window_s / 2.0,
+            sunrise_hour=self.sunrise_hour,
+            sunset_hour=self.sunset_hour,
+            seasonal_amplitude=self.seasonal_amplitude,
+        )
+
+    def forecast(self, start_s: float, window_s: float, count: int) -> List[float]:
+        """Clear-sky envelope scaled by the learned clearness."""
+        return [
+            self.peak_window_energy_j
+            * self._envelope(start_s + i * window_s, window_s)
+            * self._clearness
+            for i in range(count)
+        ]
+
+    def observe(self, start_s: float, window_s: float, energy_j: float) -> None:
+        """Update the EWMA clearness from a completed window's harvest."""
+        envelope = self._envelope(start_s, window_s)
+        if envelope <= 1e-6:
+            return  # Night windows carry no clearness information.
+        observed = energy_j / (self.peak_window_energy_j * envelope)
+        observed = max(0.0, min(1.5, observed))
+        self._clearness = (
+            self.smoothing * observed + (1.0 - self.smoothing) * self._clearness
+        )
+
+    @property
+    def clearness(self) -> float:
+        """Current EWMA clearness estimate (diagnostic)."""
+        return self._clearness

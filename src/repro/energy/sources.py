@@ -1,0 +1,160 @@
+"""Additional green-energy sources: wind and vibration harvesting.
+
+The paper's introduction motivates harvesting from solar [8], wind [9],
+and vibration [10].  The evaluation uses solar, but the protocol itself
+only consumes a per-window energy forecast, so any source with a
+``power_watts(time_s)`` / ``window_energy_j(start_s, window_s)``
+interface drops into :class:`~repro.energy.harvester.Harvester`'s place
+(or can back a custom forecaster).  These models let users study the
+MAC under very different energy temporalities: wind is day-and-night
+but gusty; machine vibration follows work shifts.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from ..constants import SECONDS_PER_DAY
+from ..exceptions import ConfigurationError
+
+
+@dataclass
+class WindModel:
+    """A small wind turbine with an AR(1)-gust wind field.
+
+    Wind speed follows a mean-reverting process around ``mean_speed_ms``
+    (sampled on ``step_s`` grid, deterministic per seed); power follows
+    the standard cubic curve between cut-in and rated speed, constant to
+    cut-out, zero beyond.
+    """
+
+    rated_watts: float = 5.0e-3
+    mean_speed_ms: float = 5.0
+    gust_sigma_ms: float = 2.0
+    persistence: float = 0.9
+    step_s: float = 600.0
+    cut_in_ms: float = 2.5
+    rated_ms: float = 9.0
+    cut_out_ms: float = 20.0
+    seed: int = 0
+
+    _cache: dict = field(default_factory=dict, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rated_watts <= 0:
+            raise ConfigurationError("rated power must be positive")
+        if not 0.0 <= self.persistence < 1.0:
+            raise ConfigurationError("persistence must be in [0, 1)")
+        if not 0 < self.cut_in_ms < self.rated_ms < self.cut_out_ms:
+            raise ConfigurationError("need cut_in < rated < cut_out")
+
+    def _state(self, index: int) -> float:
+        if index <= 0:
+            return 0.0
+        cached = self._cache.get(index)
+        if cached is not None:
+            return cached
+        start = index
+        while start > 0 and (start - 1) not in self._cache:
+            start -= 1
+        state = self._cache.get(start - 1, 0.0) if start > 0 else 0.0
+        for i in range(start, index + 1):
+            rng = random.Random((self.seed << 21) ^ i)
+            state = self.persistence * state + rng.gauss(0.0, self.gust_sigma_ms)
+            self._cache[i] = state
+        return self._cache[index]
+
+    def wind_speed_ms(self, time_s: float) -> float:
+        """Wind speed at ``time_s`` (never negative)."""
+        state = self._state(int(time_s // self.step_s))
+        return max(0.0, self.mean_speed_ms + state)
+
+    def power_watts(self, time_s: float) -> float:
+        """Turbine output at ``time_s`` via the cubic power curve."""
+        speed = self.wind_speed_ms(time_s)
+        if speed < self.cut_in_ms or speed >= self.cut_out_ms:
+            return 0.0
+        if speed >= self.rated_ms:
+            return self.rated_watts
+        span = self.rated_ms**3 - self.cut_in_ms**3
+        return self.rated_watts * (speed**3 - self.cut_in_ms**3) / span
+
+    def window_energy_j(self, start_s: float, window_s: float) -> float:
+        """Energy harvested in one forecast window (midpoint rule)."""
+        if window_s <= 0:
+            raise ConfigurationError("window must be positive")
+        return self.power_watts(start_s + window_s / 2.0) * window_s
+
+    def window_energies(self, start_s: float, window_s: float, count: int) -> List[float]:
+        """Energies for ``count`` consecutive windows from ``start_s``."""
+        return [
+            self.window_energy_j(start_s + i * window_s, window_s)
+            for i in range(count)
+        ]
+
+
+@dataclass
+class VibrationModel:
+    """A piezoelectric harvester on duty-cycled industrial machinery.
+
+    Produces ``peak_watts`` (with small amplitude jitter) while the host
+    machine runs and nothing otherwise.  The machine runs during work
+    shifts (``shift_start_hour`` to ``shift_end_hour``) on workdays, with
+    a configurable fraction of random downtime.
+    """
+
+    peak_watts: float = 2.0e-3
+    shift_start_hour: float = 7.0
+    shift_end_hour: float = 19.0
+    workdays_per_week: int = 5
+    downtime_fraction: float = 0.1
+    jitter_sigma: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.peak_watts <= 0:
+            raise ConfigurationError("peak power must be positive")
+        if not 0 <= self.shift_start_hour < self.shift_end_hour <= 24:
+            raise ConfigurationError("invalid shift hours")
+        if not 1 <= self.workdays_per_week <= 7:
+            raise ConfigurationError("workdays_per_week must be in [1, 7]")
+        if not 0.0 <= self.downtime_fraction < 1.0:
+            raise ConfigurationError("downtime must be in [0, 1)")
+
+    def machine_running(self, time_s: float) -> bool:
+        """Whether the host machine is producing vibration at ``time_s``."""
+        day = int(time_s // SECONDS_PER_DAY)
+        if day % 7 >= self.workdays_per_week:
+            return False
+        hour = (time_s % SECONDS_PER_DAY) / 3600.0
+        if not self.shift_start_hour <= hour < self.shift_end_hour:
+            return False
+        # Random (but deterministic per 15-min block) downtime.
+        block = int(time_s // 900.0)
+        rng = random.Random((self.seed << 22) ^ block)
+        return rng.random() >= self.downtime_fraction
+
+    def power_watts(self, time_s: float) -> float:
+        """Harvested power at ``time_s`` (0 when the machine is idle)."""
+        if not self.machine_running(time_s):
+            return 0.0
+        block = int(time_s // 900.0)
+        rng = random.Random((self.seed << 23) ^ block)
+        jitter = math.exp(rng.gauss(-self.jitter_sigma**2 / 2, self.jitter_sigma))
+        return self.peak_watts * min(1.5, jitter)
+
+    def window_energy_j(self, start_s: float, window_s: float) -> float:
+        """Energy harvested in one forecast window (midpoint rule)."""
+        if window_s <= 0:
+            raise ConfigurationError("window must be positive")
+        return self.power_watts(start_s + window_s / 2.0) * window_s
+
+    def window_energies(self, start_s: float, window_s: float, count: int) -> List[float]:
+        """Energies for ``count`` consecutive windows from ``start_s``."""
+        return [
+            self.window_energy_j(start_s + i * window_s, window_s)
+            for i in range(count)
+        ]

@@ -1,0 +1,139 @@
+"""Trace utilities: sampling, persistence, and scaling of power traces.
+
+For users who *do* have a measured PV trace (e.g. the NREL dataset the
+paper uses), this module loads it into a :class:`TabulatedTrace` that is
+drop-in compatible with :class:`~repro.energy.solar.SolarModel` for the
+methods the simulator calls (``power_watts`` / ``window_energy_j``), and
+provides export/import plus peak-scaling helpers so such a trace can be
+normalized exactly the way the paper scales its NREL data.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List
+
+from ..exceptions import ConfigurationError
+from .solar import SolarModel
+
+
+@dataclass
+class TabulatedTrace:
+    """A piecewise-constant power trace from ``(time_s, watts)`` samples.
+
+    Lookups between samples return the most recent sample's power
+    (zero-order hold).  Times must be strictly increasing.  An optional
+    ``period_s`` wraps lookups, so a year-long trace can drive multi-year
+    simulations the way the paper replays its year-long NREL trace.
+    """
+
+    times_s: List[float]
+    watts: List[float]
+    period_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.times_s) != len(self.watts):
+            raise ConfigurationError("times and watts must have equal length")
+        if not self.times_s:
+            raise ConfigurationError("trace cannot be empty")
+        if any(b <= a for a, b in zip(self.times_s, self.times_s[1:])):
+            raise ConfigurationError("trace times must be strictly increasing")
+        if any(w < 0 for w in self.watts):
+            raise ConfigurationError("trace power cannot be negative")
+        if self.period_s and self.period_s <= self.times_s[-1] - self.times_s[0]:
+            raise ConfigurationError("period must exceed the trace span")
+
+    def power_watts(self, time_s: float) -> float:
+        """Power at ``time_s`` (zero-order hold, periodic if configured)."""
+        t = time_s
+        if self.period_s:
+            t = self.times_s[0] + (time_s - self.times_s[0]) % self.period_s
+        index = bisect_right(self.times_s, t) - 1
+        if index < 0:
+            return 0.0
+        return self.watts[index]
+
+    def window_energy_j(self, start_s: float, window_s: float) -> float:
+        """Energy in ``[start, start+window)`` (midpoint, like SolarModel)."""
+        if window_s <= 0:
+            raise ConfigurationError("window must be positive")
+        return self.power_watts(start_s + window_s / 2.0) * window_s
+
+    def window_energies(
+        self, start_s: float, window_s: float, count: int
+    ) -> List[float]:
+        """Energies for ``count`` consecutive windows from ``start_s``."""
+        return [
+            self.window_energy_j(start_s + i * window_s, window_s)
+            for i in range(count)
+        ]
+
+    @property
+    def peak_watts(self) -> float:
+        """Maximum power in the trace."""
+        return max(self.watts)
+
+    def scaled_to_peak(self, peak_watts: float) -> "TabulatedTrace":
+        """Rescale the trace so its maximum power equals ``peak_watts``.
+
+        This is the paper's normalization: the NREL trace is scaled so
+        peak generation supports two transmissions per window.
+        """
+        if peak_watts <= 0:
+            raise ConfigurationError("peak_watts must be positive")
+        current = self.peak_watts
+        if current == 0:
+            raise ConfigurationError("cannot scale an all-zero trace")
+        factor = peak_watts / current
+        return TabulatedTrace(
+            times_s=list(self.times_s),
+            watts=[w * factor for w in self.watts],
+            period_s=self.period_s,
+        )
+
+    def to_csv(self) -> str:
+        """Serialize as ``time_s,watts`` CSV text."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["time_s", "watts"])
+        for t, w in zip(self.times_s, self.watts):
+            writer.writerow([repr(t), repr(w)])
+        return buffer.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str, period_s: float = 0.0) -> "TabulatedTrace":
+        """Parse a trace from :meth:`to_csv`-format text."""
+        reader = csv.reader(io.StringIO(text))
+        header = next(reader, None)
+        if header != ["time_s", "watts"]:
+            raise ConfigurationError("expected header 'time_s,watts'")
+        times: List[float] = []
+        watts: List[float] = []
+        for row in reader:
+            if not row:
+                continue
+            if len(row) != 2:
+                raise ConfigurationError(f"malformed trace row: {row}")
+            times.append(float(row[0]))
+            watts.append(float(row[1]))
+        return cls(times_s=times, watts=watts, period_s=period_s)
+
+    @classmethod
+    def sampled_from(
+        cls,
+        model: SolarModel,
+        duration_s: float,
+        resolution_s: float,
+        start_s: float = 0.0,
+        period_s: float = 0.0,
+    ) -> "TabulatedTrace":
+        """Tabulate a :class:`SolarModel` on a fixed grid."""
+        if duration_s <= 0 or resolution_s <= 0:
+            raise ConfigurationError("duration and resolution must be positive")
+        count = int(duration_s / resolution_s)
+        times = [start_s + i * resolution_s for i in range(count)]
+        watts = [model.power_watts(t + resolution_s / 2.0) for t in times]
+        return cls(times_s=times, watts=watts, period_s=period_s)

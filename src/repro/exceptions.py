@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base type.  Errors raised for invalid user-supplied configuration
+derive from :class:`ConfigurationError`; errors signalling violated physical
+or protocol invariants derive from :class:`InvariantError`.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class InvariantError(ReproError, RuntimeError):
+    """An internal physical or protocol invariant was violated."""
+
+
+class BatteryError(ReproError):
+    """Base class for battery-related errors."""
+
+
+class BatteryDepletedError(BatteryError):
+    """An operation required more energy than the battery could supply."""
+
+
+class BatteryEndOfLifeError(BatteryError):
+    """The battery passed its end-of-life degradation threshold."""
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulation errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or with an invalid payload."""
+
+
+class ProtocolError(ReproError):
+    """A MAC/PHY protocol rule was violated (e.g. too many retransmissions)."""

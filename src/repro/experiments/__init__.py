@@ -1,0 +1,82 @@
+"""Experiment harness: canonical scenarios, per-figure series generators,
+the Table-I overhead measurement, and text-report rendering.
+"""
+
+from .figures import (
+    cached_engine,
+    cached_mesoscopic,
+    clear_cache,
+    fig2_degradation_components,
+    fig3_degradation_influence,
+    fig4_window_selection,
+    fig5_energy_and_degradation,
+    fig6_network_performance,
+    fig7_max_degradation_by_month,
+    fig8_network_lifespan,
+    fig9_testbed,
+)
+from .overhead import (
+    OverheadRow,
+    measure_overhead,
+    relative_cpu_overhead,
+    shared_period_work_us,
+)
+from .report import (
+    format_histograms,
+    format_policy_metrics,
+    format_series,
+    format_table,
+)
+from .sweeps import SweepPoint, crossover, sweep_parameter, sweep_policies
+from .statistics import (
+    MetricSummary,
+    ReplicateSummary,
+    compare_lifespans,
+    run_replicates,
+    summarize,
+    t_critical_95,
+)
+from .scenarios import (
+    large_scale_base,
+    lifespan_policies,
+    scale_factor,
+    testbed_base,
+    theta_sweep,
+)
+
+__all__ = [
+    "OverheadRow",
+    "cached_engine",
+    "cached_mesoscopic",
+    "clear_cache",
+    "fig2_degradation_components",
+    "fig3_degradation_influence",
+    "fig4_window_selection",
+    "fig5_energy_and_degradation",
+    "fig6_network_performance",
+    "fig7_max_degradation_by_month",
+    "fig8_network_lifespan",
+    "fig9_testbed",
+    "format_histograms",
+    "format_policy_metrics",
+    "format_series",
+    "format_table",
+    "MetricSummary",
+    "ReplicateSummary",
+    "compare_lifespans",
+    "run_replicates",
+    "summarize",
+    "SweepPoint",
+    "crossover",
+    "sweep_parameter",
+    "sweep_policies",
+    "t_critical_95",
+    "large_scale_base",
+    "lifespan_policies",
+    "measure_overhead",
+    "relative_cpu_overhead",
+    "scale_factor",
+    "shared_period_work_us",
+    "testbed_base",
+    "theta_sweep",
+]

@@ -1,0 +1,271 @@
+"""Series generators for every figure in the paper's evaluation.
+
+Each ``fig*`` function returns plain data structures (dicts/lists) with
+exactly the rows/series the corresponding paper figure plots, so the
+benchmark harness can print them and tests can assert their shape
+(who wins, by roughly what factor, where crossovers fall).
+
+Runs are memoized per configuration within a process: Figs. 4, 5 and 6
+all read the same θ-sweep simulations, and Figs. 7 and 8 share the
+lifespan runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..battery import nonlinear_degradation
+from ..constants import SECONDS_PER_YEAR
+from ..core import LinearUtility, WindowSelector
+from ..sim import (
+    MesoscopicResult,
+    SimulationConfig,
+    SimulationResult,
+    run_mesoscopic,
+    run_simulation,
+)
+from .scenarios import large_scale_base, lifespan_policies, testbed_base, theta_sweep
+
+_MESO_CACHE: Dict[SimulationConfig, MesoscopicResult] = {}
+_ENGINE_CACHE: Dict[SimulationConfig, SimulationResult] = {}
+
+
+def cached_mesoscopic(config: SimulationConfig) -> MesoscopicResult:
+    """Run (or reuse) a mesoscopic simulation for ``config``."""
+    result = _MESO_CACHE.get(config)
+    if result is None:
+        result = run_mesoscopic(config)
+        _MESO_CACHE[config] = result
+    return result
+
+
+def cached_engine(config: SimulationConfig) -> SimulationResult:
+    """Run (or reuse) an exact event-driven simulation for ``config``."""
+    result = _ENGINE_CACHE.get(config)
+    if result is None:
+        result = run_simulation(config)
+        _ENGINE_CACHE[config] = result
+    return result
+
+
+def clear_cache() -> None:
+    """Drop all memoized runs (tests use this for isolation)."""
+    _MESO_CACHE.clear()
+    _ENGINE_CACHE.clear()
+
+
+# --------------------------------------------------------------------- Fig 2
+
+
+def fig2_degradation_components(
+    base: Optional[SimulationConfig] = None, years: int = 5
+) -> Dict[str, List[float]]:
+    """Fig. 2: calendar vs cycle vs total degradation of a LoRaWAN node.
+
+    Returns per-month series over ``years`` years for the network-mean
+    node: ``calendar``, ``cycle`` (both linear components, as the figure
+    plots them), and ``total`` (the nonlinear Eq. 4 curve).  Shape to
+    reproduce: calendar aging significantly higher than cycle aging.
+    """
+    base = base or large_scale_base()
+    result = cached_mesoscopic(base.as_lorawan())
+    nodes = result.metrics.nodes.values()
+    count = len(result.metrics.nodes)
+    cal_rate = sum(n.calendar_aging for n in nodes) / count / result.simulated_s
+    cyc_rate = sum(n.cycle_aging for n in nodes) / count / result.simulated_s
+    months = years * 12
+    month_s = SECONDS_PER_YEAR / 12.0
+    series: Dict[str, List[float]] = {"months": [], "calendar": [], "cycle": [], "total": []}
+    for m in range(1, months + 1):
+        t = m * month_s
+        series["months"].append(float(m))
+        series["calendar"].append(cal_rate * t)
+        series["cycle"].append(cyc_rate * t)
+        series["total"].append(nonlinear_degradation((cal_rate + cyc_rate) * t))
+    return series
+
+
+# --------------------------------------------------------------------- Fig 3
+
+
+def fig3_degradation_influence(
+    window_count: int = 10,
+    tx_energy_j: float = 0.06,
+    max_tx_energy_j: float = 0.132,
+) -> Dict[str, Dict[str, int]]:
+    """Fig. 3: window choice of the highest- vs lowest-degraded node.
+
+    Reconstructs the paper's two sampling periods: in ``p28`` harvest
+    exceeds the transmission energy in every window (both nodes should
+    pick window 0, maximizing utility); in ``p29`` harvest is scarce and
+    only a later window is green-rich — the highest-degraded node
+    (w_u = 1) moves there while the lowest-degraded node (w_u ≈ 0)
+    stays early.  Returns the chosen window per node per period.
+    """
+    selector = WindowSelector(
+        w_b=1.0, utility_fn=LinearUtility(), max_tx_energy_j=max_tx_energy_j
+    )
+    rich = [tx_energy_j * 1.5] * window_count
+    poor = [0.0] * window_count
+    poor[1] = tx_energy_j * 1.2  # Energy arrives in forecast window 2 (1-based).
+    battery = tx_energy_j * 20.0
+    estimates = [tx_energy_j] * window_count
+
+    outcome: Dict[str, Dict[str, int]] = {}
+    for period, green in (("p28", rich), ("p29", poor)):
+        outcome[period] = {}
+        for label, w_u in (("highest_degraded", 1.0), ("lowest_degraded", 0.0)):
+            decision = selector.select(
+                battery_energy_j=battery,
+                normalized_degradation=w_u,
+                green_energies_j=green,
+                estimated_tx_energies_j=estimates,
+            )
+            outcome[period][label] = decision.window_index
+    return outcome
+
+
+# ---------------------------------------------------------------- Figs 4-6
+
+
+def fig4_window_selection(
+    base: Optional[SimulationConfig] = None,
+) -> Dict[str, Dict[int, int]]:
+    """Fig. 4: nodes binned by majority forecast window, per policy.
+
+    Shape: LoRaWAN puts 100 % of nodes in window 1 (index 0); the H
+    variants spread nodes across the first few windows regardless of θ.
+    """
+    base = base or large_scale_base()
+    histograms: Dict[str, Dict[int, int]] = {}
+    for name, config in theta_sweep(base).items():
+        result = cached_mesoscopic(config)
+        histograms[name] = dict(
+            sorted(result.metrics.majority_window_histogram().items())
+        )
+    return histograms
+
+
+def fig5_energy_and_degradation(
+    base: Optional[SimulationConfig] = None, horizon_years: float = 5.0
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 5: (a) avg RETX, (b) TX energy, (c) degradation, per policy.
+
+    Degradation is reported at the 5-year horizon via rate extrapolation
+    (the paper's Fig. 5c is a 5-year simulation).  Shape: every H variant
+    beats LoRaWAN on RETX and TX energy; H-50 cuts mean degradation by
+    ~20 % while H-100's mean matches LoRaWAN.
+    """
+    base = base or large_scale_base()
+    rows: Dict[str, Dict[str, float]] = {}
+    horizon_s = horizon_years * SECONDS_PER_YEAR
+    for name, config in theta_sweep(base).items():
+        result = cached_mesoscopic(config)
+        metrics = result.metrics
+        degradations = [
+            nonlinear_degradation(rate * horizon_s)
+            for rate in result.linear_rates.values()
+        ]
+        mean = sum(degradations) / len(degradations)
+        variance = (
+            sum((d - mean) ** 2 for d in degradations) / (len(degradations) - 1)
+            if len(degradations) > 1
+            else 0.0
+        )
+        rows[name] = {
+            "avg_retx": metrics.avg_retransmissions,
+            "tx_energy_j": metrics.total_tx_energy_j,
+            "mean_degradation": mean,
+            "max_degradation": max(degradations),
+            "degradation_variance": variance,
+        }
+    return rows
+
+
+def fig6_network_performance(
+    base: Optional[SimulationConfig] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 6: (a) avg utility, (b) PRR, (c) avg latency, per policy.
+
+    Shape: LoRaWAN's utility/PRR spread wide (ALOHA collisions); H-50
+    and H-100 dominate both; H-5's PRR collapses (battery depletion);
+    H latency exceeds LoRaWAN's delivered-packet latency.
+    """
+    base = base or large_scale_base()
+    rows: Dict[str, Dict[str, float]] = {}
+    for name, config in theta_sweep(base).items():
+        metrics = cached_mesoscopic(config).metrics
+        rows[name] = {
+            "avg_utility": metrics.avg_utility,
+            "avg_prr": metrics.avg_prr,
+            "min_prr": metrics.min_prr,
+            "avg_latency_s": metrics.avg_latency_s,
+            "avg_delivered_latency_s": metrics.avg_delivered_latency_s,
+        }
+    return rows
+
+
+# ---------------------------------------------------------------- Figs 7-8
+
+
+def fig7_max_degradation_by_month(
+    base: Optional[SimulationConfig] = None, months: int = 168
+) -> Dict[str, List[float]]:
+    """Fig. 7: max network degradation at each month, until EoL.
+
+    Shape: LoRaWAN's curve climbs fastest and crosses 20 % years before
+    H-50C, which crosses before H-50.
+    """
+    base = base or large_scale_base()
+    series: Dict[str, List[float]] = {}
+    for name, config in lifespan_policies(base).items():
+        result = cached_mesoscopic(config)
+        series[name] = result.monthly_max_series(months)
+    return series
+
+
+def fig8_network_lifespan(
+    base: Optional[SimulationConfig] = None,
+) -> Dict[str, float]:
+    """Fig. 8: network battery lifespan in days, per policy.
+
+    Shape targets: LoRaWAN ≈ 8 years, H-50 ≈ 70 % longer, H-50C in
+    between (paper: 2980 days vs 13.86 years vs intermediate).
+    """
+    base = base or large_scale_base()
+    return {
+        name: cached_mesoscopic(config).network_lifespan_days()
+        for name, config in lifespan_policies(base).items()
+    }
+
+
+# ------------------------------------------------------------------- Fig 9
+
+
+def fig9_testbed(
+    base: Optional[SimulationConfig] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 9: the 24-hour, 10-node testbed — H-100 vs LoRaWAN.
+
+    Uses the exact event-driven engine.  Shape: PRR ≈ 100 % for both;
+    LoRaWAN's degradation variance and cycle aging far exceed H-100's;
+    H-100 has fewer RETX but higher latency.
+    """
+    base = base or testbed_base()
+    rows: Dict[str, Dict[str, float]] = {}
+    for name, config in (
+        ("LoRaWAN", base.as_lorawan()),
+        ("H-100", base.as_h(1.0)),
+    ):
+        result = cached_engine(config)
+        metrics = result.metrics
+        rows[name] = {
+            "avg_prr": metrics.avg_prr,
+            "avg_retx": metrics.avg_retransmissions,
+            "avg_latency_s": metrics.avg_latency_s,
+            "avg_delivered_latency_s": metrics.avg_delivered_latency_s,
+            "degradation_variance": metrics.degradation_variance,
+            "mean_degradation": metrics.mean_degradation,
+            "total_cycle_aging": metrics.total_cycle_aging,
+        }
+    return rows

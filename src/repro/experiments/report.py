@@ -1,0 +1,88 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+from ..exceptions import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned monospace table."""
+    materialized: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ConfigurationError("row width does not match headers")
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_policy_metrics(
+    rows: Mapping[str, Mapping[str, float]], title: str = ""
+) -> str:
+    """Render a {policy: {metric: value}} mapping as one table."""
+    if not rows:
+        raise ConfigurationError("no rows to format")
+    metric_names = list(next(iter(rows.values())).keys())
+    table_rows = [
+        [policy] + [metrics.get(name, float("nan")) for name in metric_names]
+        for policy, metrics in rows.items()
+    ]
+    return format_table(["policy"] + metric_names, table_rows, title=title)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "month",
+    every: int = 12,
+    title: str = "",
+) -> str:
+    """Render {name: [values...]} series sampled every ``every`` points."""
+    if not series:
+        raise ConfigurationError("no series to format")
+    names = [n for n in series if n != x_label]
+    length = min(len(series[n]) for n in names)
+    headers = [x_label] + names
+    rows = []
+    for index in range(0, length, max(1, every)):
+        rows.append([index + 1] + [series[n][index] for n in names])
+    return format_table(headers, rows, title=title)
+
+
+def format_histograms(
+    histograms: Mapping[str, Mapping[int, int]], title: str = ""
+) -> str:
+    """Render Fig. 4-style per-policy window histograms (1-based windows)."""
+    windows = sorted({w for h in histograms.values() for w in h})
+    headers = ["policy"] + [f"w{w + 1}" for w in windows]
+    rows = [
+        [policy] + [histogram.get(w, 0) for w in windows]
+        for policy, histogram in histograms.items()
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,117 @@
+"""Parameter-sweep utilities.
+
+The reproduction benches sweep θ, w_b, forecast noise, temperature,
+node count and gateway count; this module provides the generic machinery
+so users can run their own sweeps in three lines:
+
+    from repro.experiments import sweep_parameter, large_scale_base
+
+    rows = sweep_parameter(large_scale_base().as_h(0.5), "w_b",
+                           [0.0, 0.5, 1.0])
+    for row in rows:
+        print(row.value, row.result.metrics.avg_latency_s)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from ..sim import MesoscopicResult, SimulationConfig
+from .figures import cached_mesoscopic
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of a sweep and its simulation result."""
+
+    #: The swept field's value at this point.
+    value: object
+    config: SimulationConfig
+    result: MesoscopicResult
+
+    def metric(self, name: str) -> float:
+        """A summary metric of this point (``lifespan_days`` included)."""
+        if name == "lifespan_days":
+            return self.result.network_lifespan_days()
+        summary = self.result.metrics.summary()
+        try:
+            return summary[name]
+        except KeyError as error:
+            raise ConfigurationError(f"unknown metric {name!r}") from error
+
+
+def sweep_parameter(
+    base: SimulationConfig,
+    field: str,
+    values: Sequence[object],
+    runner: Optional[Callable[[SimulationConfig], MesoscopicResult]] = None,
+) -> List[SweepPoint]:
+    """Run ``base`` once per value of ``field``.
+
+    ``field`` must be a :class:`SimulationConfig` field name.  Results
+    are memoized through the figures cache, so repeated sweeps (or
+    overlap with the benches) cost nothing extra.
+    """
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    valid = {f.name for f in dataclasses.fields(SimulationConfig)}
+    if field not in valid:
+        raise ConfigurationError(f"unknown SimulationConfig field {field!r}")
+    runner = runner or cached_mesoscopic
+    points = []
+    for value in values:
+        config = base.replace(**{field: value})
+        points.append(SweepPoint(value=value, config=config, result=runner(config)))
+    return points
+
+
+def sweep_policies(
+    base: SimulationConfig,
+    policies: Optional[Dict[str, SimulationConfig]] = None,
+    runner: Optional[Callable[[SimulationConfig], MesoscopicResult]] = None,
+) -> Dict[str, SweepPoint]:
+    """Run the same deployment under several MAC policies.
+
+    Defaults to the paper's four-way comparison (LoRaWAN, H-5, H-50,
+    H-100); pass a ``{name: config}`` mapping for custom line-ups.
+    """
+    runner = runner or cached_mesoscopic
+    if policies is None:
+        policies = {
+            "LoRaWAN": base.as_lorawan(),
+            "H-5": base.as_h(0.05),
+            "H-50": base.as_h(0.5),
+            "H-100": base.as_h(1.0),
+        }
+    if not policies:
+        raise ConfigurationError("at least one policy is required")
+    return {
+        name: SweepPoint(value=name, config=config, result=runner(config))
+        for name, config in policies.items()
+    }
+
+
+def crossover(
+    points: Sequence[SweepPoint], metric: str, threshold: float
+) -> Optional[object]:
+    """First swept value whose ``metric`` crosses ``threshold``.
+
+    Scans in sweep order and returns the value of the first point at or
+    beyond the threshold (in the direction established by the first
+    point), or None if the metric never crosses.  Useful for questions
+    like "at what θ does PRR fall below 95 %?".
+    """
+    if not points:
+        raise ConfigurationError("no sweep points given")
+    first = points[0].metric(metric)
+    if first == threshold:
+        return points[0].value
+    rising = first < threshold
+    for point in points:
+        value = point.metric(metric)
+        if (rising and value >= threshold) or (not rising and value <= threshold):
+            return point.value
+    return None

@@ -1,0 +1,107 @@
+"""LoRa physical-layer substrate: parameters, airtime/energy, channels,
+propagation, collisions, duty cycling, and ADR.
+
+This package reimplements the physical-layer facts the paper takes from
+the SX1276 datasheet [23] and the NS-3 LoRaWAN module [25].
+"""
+
+from .adr import AdrController, AdrDecision
+from .channels import (
+    Channel,
+    ChannelHopper,
+    ChannelPlan,
+    eu868_downlink_channels,
+    eu868_uplink_channels,
+    us915_downlink_channels,
+    us915_uplink_channels,
+)
+from .collision import (
+    CollisionDetector,
+    Transmission,
+    aloha_collision_probability,
+    expected_attempts,
+    survives_capture,
+)
+from .dutycycle import DutyCycleLimiter
+from .frames import (
+    FCtrl,
+    Frame,
+    MType,
+    build_ack,
+    build_uplink,
+    parse_ack,
+    parse_uplink,
+)
+from .link import LogDistanceLink, free_space_path_loss_db, noise_floor_dbm
+from .params import (
+    BANDWIDTH_125K,
+    BANDWIDTH_250K,
+    BANDWIDTH_500K,
+    CAPTURE_THRESHOLD_DB,
+    DEFAULT_PREAMBLE_SYMBOLS,
+    DEMODULATION_SNR_DB,
+    SENSITIVITY_DBM,
+    CodingRate,
+    RadioPowerProfile,
+    SpreadingFactor,
+    TxParams,
+    low_data_rate_optimize,
+)
+from .phy import (
+    EnergyModel,
+    bitrate,
+    datasheet_symbol_count,
+    rx_energy,
+    sleep_energy,
+    symbol_count,
+    time_on_air,
+    tx_energy,
+)
+
+__all__ = [
+    "AdrController",
+    "AdrDecision",
+    "BANDWIDTH_125K",
+    "BANDWIDTH_250K",
+    "BANDWIDTH_500K",
+    "CAPTURE_THRESHOLD_DB",
+    "Channel",
+    "ChannelHopper",
+    "ChannelPlan",
+    "CodingRate",
+    "CollisionDetector",
+    "DEFAULT_PREAMBLE_SYMBOLS",
+    "DEMODULATION_SNR_DB",
+    "DutyCycleLimiter",
+    "FCtrl",
+    "Frame",
+    "MType",
+    "EnergyModel",
+    "LogDistanceLink",
+    "RadioPowerProfile",
+    "SENSITIVITY_DBM",
+    "SpreadingFactor",
+    "Transmission",
+    "TxParams",
+    "aloha_collision_probability",
+    "bitrate",
+    "build_ack",
+    "build_uplink",
+    "datasheet_symbol_count",
+    "eu868_downlink_channels",
+    "eu868_uplink_channels",
+    "expected_attempts",
+    "free_space_path_loss_db",
+    "low_data_rate_optimize",
+    "noise_floor_dbm",
+    "parse_ack",
+    "parse_uplink",
+    "rx_energy",
+    "sleep_energy",
+    "survives_capture",
+    "symbol_count",
+    "time_on_air",
+    "tx_energy",
+    "us915_downlink_channels",
+    "us915_uplink_channels",
+]

@@ -1,0 +1,100 @@
+"""A minimal Adaptive Data Rate (ADR) controller.
+
+LoRaWAN's network server can adjust each node's SF and TX power based on
+the link margin of recent uplinks.  The paper keeps SF/channel selection
+"similar to LoRaWAN", so the simulator ships a standard margin-based ADR
+implementation which is *off by default* in the reproduction scenarios
+(the evaluation fixes SF per node), but available as an extension since
+dynamic parameter changes are exactly why the protocol estimates TX
+energy with an EWMA (Eq. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List
+from collections import deque
+
+from ..exceptions import ConfigurationError
+from .params import DEMODULATION_SNR_DB, SpreadingFactor, TxParams
+
+
+@dataclass
+class AdrDecision:
+    """New transmission parameters proposed by the ADR controller."""
+
+    spreading_factor: SpreadingFactor
+    tx_power_dbm: float
+    changed: bool
+
+
+@dataclass
+class AdrController:
+    """Margin-based ADR à la LoRaWAN v1.0.x network servers.
+
+    Keeps the last ``history_len`` uplink SNRs per node; once enough
+    history accumulates, computes ``margin = max(SNR) - required_snr -
+    device_margin_db`` and converts it into SF steps (3 dB each) first and
+    TX power steps (3 dB each, down to ``min_tx_power_dbm``) second.
+    """
+
+    history_len: int = 20
+    device_margin_db: float = 10.0
+    step_db: float = 3.0
+    min_tx_power_dbm: float = 2.0
+    max_tx_power_dbm: float = 20.0
+    _snr_history: Dict[int, Deque[float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.history_len < 1:
+            raise ConfigurationError("history_len must be >= 1")
+        if self.min_tx_power_dbm > self.max_tx_power_dbm:
+            raise ConfigurationError("min_tx_power_dbm exceeds max_tx_power_dbm")
+
+    def record_uplink(self, node_id: int, snr_db: float) -> None:
+        """Store the measured SNR of a decoded uplink."""
+        history = self._snr_history.setdefault(
+            node_id, deque(maxlen=self.history_len)
+        )
+        history.append(snr_db)
+
+    def history(self, node_id: int) -> List[float]:
+        """The stored recent uplink SNRs for a node."""
+        return list(self._snr_history.get(node_id, []))
+
+    def decide(self, node_id: int, current: TxParams) -> AdrDecision:
+        """Propose new parameters for ``node_id`` (no-op until history fills)."""
+        history = self._snr_history.get(node_id)
+        unchanged = AdrDecision(
+            current.spreading_factor, current.tx_power_dbm, changed=False
+        )
+        if history is None or len(history) < self.history_len:
+            return unchanged
+
+        required = DEMODULATION_SNR_DB[current.spreading_factor]
+        margin = max(history) - required - self.device_margin_db
+        steps = int(margin // self.step_db)
+        if steps == 0:
+            return unchanged
+
+        sf = int(current.spreading_factor)
+        power = current.tx_power_dbm
+        while steps > 0 and sf > int(SpreadingFactor.SF7):
+            sf -= 1
+            steps -= 1
+        while steps > 0 and power - self.step_db >= self.min_tx_power_dbm:
+            power -= self.step_db
+            steps -= 1
+        while steps < 0 and power + self.step_db <= self.max_tx_power_dbm:
+            # Negative margin: raise power before slowing down.
+            power += self.step_db
+            steps += 1
+        while steps < 0 and sf < int(SpreadingFactor.SF12):
+            sf += 1
+            steps += 1
+
+        new_sf = SpreadingFactor(sf)
+        changed = new_sf != current.spreading_factor or power != current.tx_power_dbm
+        if changed:
+            self._snr_history[node_id].clear()
+        return AdrDecision(new_sf, power, changed=changed)

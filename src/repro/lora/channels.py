@@ -1,0 +1,206 @@
+"""US-915 channel plan and pseudo-random channel hopping.
+
+Section II-A: in the US, LoRa operates in the 902–928 MHz ISM band with
+64 uplink channels of 125 kHz, 8 uplink channels of 500 kHz, and 8
+downlink channels of 500 kHz.  LoRaWAN nodes transmit using pure ALOHA
+with pseudo-random channel hopping over the enabled uplink channels.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from .params import BANDWIDTH_125K, BANDWIDTH_500K
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A single LoRa channel: index, center frequency, bandwidth, direction."""
+
+    index: int
+    center_hz: float
+    bandwidth_hz: int
+    uplink: bool = True
+
+    def overlaps(self, other: "Channel") -> bool:
+        """Whether two channels' occupied bands overlap in frequency."""
+        half_self = self.bandwidth_hz / 2.0
+        half_other = other.bandwidth_hz / 2.0
+        return abs(self.center_hz - other.center_hz) < (half_self + half_other)
+
+
+US915_UPLINK_125K_BASE_HZ = 902.3e6
+US915_UPLINK_125K_SPACING_HZ = 200e3
+US915_UPLINK_500K_BASE_HZ = 903.0e6
+US915_UPLINK_500K_SPACING_HZ = 1.6e6
+US915_DOWNLINK_500K_BASE_HZ = 923.3e6
+US915_DOWNLINK_500K_SPACING_HZ = 600e3
+
+#: EU-868 default uplink channel centre frequencies (the three join
+#: channels every LoRaWAN device must support), 125 kHz each.
+EU868_UPLINK_HZ = (868.1e6, 868.3e6, 868.5e6)
+#: EU-868 RX2 downlink frequency.
+EU868_RX2_HZ = 869.525e6
+
+
+def eu868_uplink_channels() -> List[Channel]:
+    """The three mandatory EU-868 uplink channels (125 kHz).
+
+    EU deployments combine these with the 1 % duty-cycle budget
+    (``SimulationConfig.duty_cycle = 0.01``); the paper's evaluation is
+    US-915, but the protocol is region-agnostic.
+    """
+    return [
+        Channel(index=i, center_hz=hz, bandwidth_hz=BANDWIDTH_125K)
+        for i, hz in enumerate(EU868_UPLINK_HZ)
+    ]
+
+
+def eu868_downlink_channels() -> List[Channel]:
+    """EU-868 downlink: the uplink channels (RX1) plus RX2 at 869.525 MHz."""
+    channels = [
+        Channel(index=i, center_hz=hz, bandwidth_hz=BANDWIDTH_125K, uplink=False)
+        for i, hz in enumerate(EU868_UPLINK_HZ)
+    ]
+    channels.append(
+        Channel(
+            index=len(channels),
+            center_hz=EU868_RX2_HZ,
+            bandwidth_hz=BANDWIDTH_125K,
+            uplink=False,
+        )
+    )
+    return channels
+
+
+def us915_uplink_channels() -> List[Channel]:
+    """The 64 × 125 kHz + 8 × 500 kHz US-915 uplink channels."""
+    channels = [
+        Channel(
+            index=i,
+            center_hz=US915_UPLINK_125K_BASE_HZ + i * US915_UPLINK_125K_SPACING_HZ,
+            bandwidth_hz=BANDWIDTH_125K,
+        )
+        for i in range(64)
+    ]
+    channels.extend(
+        Channel(
+            index=64 + i,
+            center_hz=US915_UPLINK_500K_BASE_HZ + i * US915_UPLINK_500K_SPACING_HZ,
+            bandwidth_hz=BANDWIDTH_500K,
+        )
+        for i in range(8)
+    )
+    return channels
+
+
+def us915_downlink_channels() -> List[Channel]:
+    """The 8 × 500 kHz US-915 downlink channels."""
+    return [
+        Channel(
+            index=i,
+            center_hz=US915_DOWNLINK_500K_BASE_HZ + i * US915_DOWNLINK_500K_SPACING_HZ,
+            bandwidth_hz=BANDWIDTH_500K,
+            uplink=False,
+        )
+        for i in range(8)
+    ]
+
+
+@dataclass
+class ChannelPlan:
+    """A set of enabled uplink channels plus the downlink channels.
+
+    The evaluation uses sub-band 2 style deployments (8 × 125 kHz uplink
+    channels) for the large-scale runs and a single channel for the
+    testbed, both of which :meth:`subset` can express.
+    """
+
+    uplink: List[Channel] = field(default_factory=us915_uplink_channels)
+    downlink: List[Channel] = field(default_factory=us915_downlink_channels)
+
+    def __post_init__(self) -> None:
+        if not self.uplink:
+            raise ConfigurationError("a channel plan needs at least one uplink channel")
+        seen = set()
+        for channel in self.uplink:
+            if channel.index in seen:
+                raise ConfigurationError(f"duplicate uplink channel index {channel.index}")
+            seen.add(channel.index)
+
+    @classmethod
+    def single_channel(cls) -> "ChannelPlan":
+        """One 125 kHz uplink channel — the paper's testbed configuration."""
+        plan = cls()
+        return cls(uplink=plan.uplink[:1], downlink=plan.downlink[:1])
+
+    @classmethod
+    def eu868(cls) -> "ChannelPlan":
+        """The EU-868 region plan (three mandatory channels + RX2)."""
+        return cls(
+            uplink=eu868_uplink_channels(), downlink=eu868_downlink_channels()
+        )
+
+    @classmethod
+    def sub_band(cls, sub_band_index: int = 1) -> "ChannelPlan":
+        """Eight contiguous 125 kHz channels (a US-915 sub-band).
+
+        Gateways like the RAK2245 used in the paper listen on one 8-channel
+        sub-band; this is the realistic large-scale configuration.
+        """
+        if not 0 <= sub_band_index < 8:
+            raise ConfigurationError("sub_band_index must be in [0, 8)")
+        plan = cls()
+        start = sub_band_index * 8
+        return cls(uplink=plan.uplink[start : start + 8], downlink=plan.downlink)
+
+    def subset(self, count: int) -> "ChannelPlan":
+        """Restrict the plan to the first ``count`` uplink channels."""
+        if not 1 <= count <= len(self.uplink):
+            raise ConfigurationError(
+                f"count must be in [1, {len(self.uplink)}], got {count}"
+            )
+        return ChannelPlan(uplink=self.uplink[:count], downlink=self.downlink)
+
+    @property
+    def uplink_count(self) -> int:
+        """Number of enabled uplink channels."""
+        return len(self.uplink)
+
+
+class ChannelHopper:
+    """Pseudo-random uplink channel selection, as LoRaWAN mandates.
+
+    Each call to :meth:`next_channel` draws a uniformly random enabled
+    uplink channel, optionally avoiding an immediate repeat (real stacks
+    rotate through a shuffled list; uniform choice is statistically
+    equivalent for collision modelling).
+    """
+
+    def __init__(
+        self,
+        plan: ChannelPlan,
+        rng: Optional[random.Random] = None,
+        avoid_repeat: bool = True,
+    ) -> None:
+        self._plan = plan
+        self._rng = rng or random.Random()
+        self._avoid_repeat = avoid_repeat and plan.uplink_count > 1
+        self._last: Optional[Channel] = None
+
+    @property
+    def plan(self) -> ChannelPlan:
+        """The channel plan being hopped over."""
+        return self._plan
+
+    def next_channel(self) -> Channel:
+        """Draw the uplink channel for the next transmission attempt."""
+        choices: Sequence[Channel] = self._plan.uplink
+        if self._avoid_repeat and self._last is not None:
+            choices = [c for c in choices if c.index != self._last.index]
+        channel = self._rng.choice(list(choices))
+        self._last = channel
+        return channel

@@ -1,0 +1,194 @@
+"""LoRa collision and capture model.
+
+Two concurrent transmissions interfere destructively only when they
+overlap in time, frequency (channel), and spreading factor — different
+SFs are quasi-orthogonal, which is the standard assumption of the NS-3
+LoRaWAN module the paper builds on.  When two same-SF/same-channel
+transmissions overlap, the *capture effect* lets the stronger one survive
+if it exceeds the other by :data:`~repro.lora.params.CAPTURE_THRESHOLD_DB`.
+
+This module supplies both the exact pairwise test used by the
+event-driven engine and the analytic ALOHA collision probability used by
+the mesoscopic multi-year runner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from ..exceptions import ConfigurationError
+from .params import CAPTURE_THRESHOLD_DB, SpreadingFactor
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """An on-air transmission as seen by the gateway."""
+
+    node_id: int
+    start_s: float
+    duration_s: float
+    channel_index: int
+    spreading_factor: SpreadingFactor
+    rssi_dbm: float
+    attempt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("transmission duration must be positive")
+
+    @property
+    def end_s(self) -> float:
+        """Absolute time the transmission finishes."""
+        return self.start_s + self.duration_s
+
+    def overlaps_in_time(self, other: "Transmission") -> bool:
+        """Strict time overlap (touching endpoints do not collide)."""
+        return self.start_s < other.end_s and other.start_s < self.end_s
+
+    def interferes_with(self, other: "Transmission") -> bool:
+        """Whether the pair mutually interferes (time+channel+SF overlap)."""
+        return (
+            self.channel_index == other.channel_index
+            and self.spreading_factor == other.spreading_factor
+            and self.overlaps_in_time(other)
+        )
+
+
+def survives_capture(
+    victim: Transmission,
+    interferers: Iterable[Transmission],
+    capture_threshold_db: float = CAPTURE_THRESHOLD_DB,
+) -> bool:
+    """Whether ``victim`` is decodable despite ``interferers``.
+
+    The victim survives if it is at least ``capture_threshold_db`` stronger
+    than the aggregate of every interfering signal (computed in linear
+    power domain, mirroring the NS-3 module's co-channel rejection check).
+    Non-interfering transmissions in the iterable are ignored.
+    """
+    interference_mw = 0.0
+    for other in interferers:
+        if other.node_id == victim.node_id and other.attempt == victim.attempt:
+            continue
+        if victim.interferes_with(other):
+            interference_mw += 10.0 ** (other.rssi_dbm / 10.0)
+    if interference_mw == 0.0:
+        return True
+    victim_mw = 10.0 ** (victim.rssi_dbm / 10.0)
+    sir_db = 10.0 * math.log10(victim_mw / interference_mw)
+    return sir_db >= capture_threshold_db - 1e-9
+
+
+@dataclass
+class CollisionDetector:
+    """Tracks active/on-air transmissions and resolves collisions.
+
+    The event-driven engine registers a transmission when it starts and
+    asks for the verdict when it ends; a transmission that interfered with
+    any concurrent same-channel/same-SF transmission (and did not capture
+    over it) is lost.  The detector retains a short sliding history so a
+    transmission that started *before* the victim is also accounted for.
+    """
+
+    capture_threshold_db: float = CAPTURE_THRESHOLD_DB
+    capture_effect: bool = True
+    _active: List[Transmission] = field(default_factory=list)
+    _doomed: set = field(default_factory=set)
+
+    def begin(self, tx: Transmission) -> None:
+        """Register the start of a transmission and mark new collisions."""
+        for other in self._active:
+            if not tx.interferes_with(other):
+                continue
+            if self.capture_effect:
+                if not survives_capture(tx, [other], self.capture_threshold_db):
+                    self._doomed.add(self._key(tx))
+                if not survives_capture(other, [tx], self.capture_threshold_db):
+                    self._doomed.add(self._key(other))
+            else:
+                self._doomed.add(self._key(tx))
+                self._doomed.add(self._key(other))
+        self._active.append(tx)
+
+    def end(self, tx: Transmission) -> bool:
+        """Finish a transmission; returns True if it survived collisions."""
+        key = self._key(tx)
+        try:
+            self._active.remove(tx)
+        except ValueError:
+            raise ConfigurationError("end() called for unregistered transmission")
+        survived = key not in self._doomed
+        self._doomed.discard(key)
+        return survived
+
+    @property
+    def active_count(self) -> int:
+        """Number of transmissions currently on air."""
+        return len(self._active)
+
+    def active_on(self, channel_index: int, sf: Optional[SpreadingFactor] = None) -> int:
+        """Number of in-flight transmissions on a channel (and SF, if given)."""
+        return sum(
+            1
+            for t in self._active
+            if t.channel_index == channel_index
+            and (sf is None or t.spreading_factor == sf)
+        )
+
+    @staticmethod
+    def _key(tx: Transmission) -> tuple:
+        return (tx.node_id, tx.attempt, tx.start_s)
+
+
+def aloha_collision_probability(
+    contenders: int,
+    airtime_s: float,
+    window_s: float,
+    channels: int = 1,
+) -> float:
+    """Analytic unslotted-ALOHA collision probability inside a window.
+
+    Given ``contenders`` other nodes each placing one transmission of
+    ``airtime_s`` uniformly at random in a window of ``window_s`` seconds
+    spread over ``channels`` equally likely channels, the probability that
+    a tagged transmission overlaps at least one other on its channel is
+
+    .. math::  1 - \\left(1 - \\min(1, 2\\,a/W)/C\\right)^{n}
+
+    the standard vulnerable-period (``2 × airtime``) approximation.  Used
+    by the mesoscopic runner where exact per-attempt overlap would be too
+    slow for multi-year horizons.
+    """
+    if contenders < 0:
+        raise ConfigurationError("contenders cannot be negative")
+    if airtime_s <= 0 or window_s <= 0:
+        raise ConfigurationError("airtime and window must be positive")
+    if channels < 1:
+        raise ConfigurationError("channels must be >= 1")
+    if contenders == 0:
+        return 0.0
+    vulnerable = min(1.0, 2.0 * airtime_s / window_s)
+    per_contender = vulnerable / channels
+    return 1.0 - (1.0 - per_contender) ** contenders
+
+
+def expected_attempts(
+    collision_probability: float, max_attempts: int
+) -> float:
+    """Expected transmission attempts with per-attempt failure probability.
+
+    With i.i.d. per-attempt loss probability ``p`` and a cap of
+    ``max_attempts`` (LoRa allows up to 8), the expected number of
+    attempts is the truncated-geometric mean
+    ``(1 - p**max_attempts) / (1 - p)``.
+    """
+    if not 0.0 <= collision_probability <= 1.0:
+        raise ConfigurationError("collision probability must be in [0, 1]")
+    if max_attempts < 1:
+        raise ConfigurationError("max_attempts must be >= 1")
+    p = collision_probability
+    if p >= 1.0:
+        return float(max_attempts)
+    return (1.0 - p**max_attempts) / (1.0 - p)

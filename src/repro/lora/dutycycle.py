@@ -1,0 +1,62 @@
+"""Duty-cycle / dwell-time enforcement.
+
+US-915 regulations bound per-channel dwell time (400 ms per 20 s window)
+rather than an EU-style 1% duty cycle, but LoRaWAN deployments commonly
+enforce an aggregate duty-cycle budget too.  The simulator uses this to
+keep both MACs honest: a transmission may not start before the regulatory
+back-off from the previous one has elapsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass
+class DutyCycleLimiter:
+    """Tracks per-node airtime and computes the next allowed TX time.
+
+    A duty cycle of ``d`` after an airtime of ``t`` seconds imposes an
+    off-period of ``t * (1/d - 1)`` — the EU-868-style formulation also
+    used by common LoRaWAN stacks as a software guard in other regions.
+    A duty cycle of 1.0 disables the limiter.
+    """
+
+    duty_cycle: float = 0.01
+    _next_allowed: Dict[int, float] = field(default_factory=dict)
+    _airtime_total: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ConfigurationError("duty_cycle must be in (0, 1]")
+
+    def next_allowed_time(self, node_id: int) -> float:
+        """Earliest absolute time the node may transmit again."""
+        return self._next_allowed.get(node_id, 0.0)
+
+    def can_transmit(self, node_id: int, now_s: float) -> bool:
+        """Whether the node's off-period has elapsed at ``now_s``."""
+        return now_s >= self.next_allowed_time(node_id)
+
+    def record(self, node_id: int, start_s: float, airtime_s: float) -> None:
+        """Account a transmission and update the node's off-period."""
+        if airtime_s <= 0:
+            raise ConfigurationError("airtime must be positive")
+        off_period = airtime_s * (1.0 / self.duty_cycle - 1.0)
+        self._next_allowed[node_id] = start_s + airtime_s + off_period
+        self._airtime_total[node_id] = (
+            self._airtime_total.get(node_id, 0.0) + airtime_s
+        )
+
+    def total_airtime(self, node_id: int) -> float:
+        """Cumulative on-air time recorded for a node."""
+        return self._airtime_total.get(node_id, 0.0)
+
+    def utilization(self, node_id: int, elapsed_s: float) -> float:
+        """Fraction of elapsed time the node spent on air."""
+        if elapsed_s <= 0:
+            raise ConfigurationError("elapsed time must be positive")
+        return self.total_airtime(node_id) / elapsed_s

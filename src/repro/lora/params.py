@@ -1,0 +1,223 @@
+"""LoRa physical-layer parameter definitions.
+
+This module defines the configurable transmission parameters described in
+Section II-A of the paper: spreading factor (SF), bandwidth (BW), coding
+rate (CR), transmission power, preamble length, and the low-data-rate
+optimization (DE) flag, plus the SX1276 radio power profile used to turn
+airtime into energy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from ..exceptions import ConfigurationError
+
+
+class SpreadingFactor(enum.IntEnum):
+    """LoRa spreading factors; LoRa supports SF in the range [7, 12].
+
+    A higher SF lowers the data rate but extends range and time-on-air
+    (and therefore transmission energy), see Eq. (6)-(7) of the paper.
+    """
+
+    SF7 = 7
+    SF8 = 8
+    SF9 = 9
+    SF10 = 10
+    SF11 = 11
+    SF12 = 12
+
+    @property
+    def chips_per_symbol(self) -> int:
+        """Number of chips per symbol, ``2**SF``."""
+        return 1 << int(self)
+
+
+class CodingRate(enum.Enum):
+    """LoRa forward-error-correction coding rates, 4/5 through 4/8.
+
+    The paper's Eq. (7) multiplies the payload symbol count by ``1/CR``
+    where CR is the fraction (e.g. 4/5 = 0.8).
+    """
+
+    CR_4_5 = (4, 5)
+    CR_4_6 = (4, 6)
+    CR_4_7 = (4, 7)
+    CR_4_8 = (4, 8)
+
+    @property
+    def fraction(self) -> float:
+        """The coding rate as a fraction in (0, 1], e.g. 0.8 for 4/5."""
+        num, den = self.value
+        return num / den
+
+    @property
+    def denominator(self) -> int:
+        """The denominator of the 4/x coding-rate notation."""
+        return self.value[1]
+
+
+#: Supported bandwidths in Hz. US-915 uplinks use 125 kHz (64 channels)
+#: and 500 kHz (8 channels); downlinks use 500 kHz.
+BANDWIDTH_125K = 125_000
+BANDWIDTH_250K = 250_000
+BANDWIDTH_500K = 500_000
+SUPPORTED_BANDWIDTHS = (BANDWIDTH_125K, BANDWIDTH_250K, BANDWIDTH_500K)
+
+#: Default LoRa preamble length in symbols (LoRaWAN uses 8).
+DEFAULT_PREAMBLE_SYMBOLS = 8
+
+#: SX1276 receiver sensitivity (dBm) per (SF, BW) from the datasheet.
+#: Used by the link model to decide whether a packet is decodable at all.
+SENSITIVITY_DBM: Dict[tuple, float] = {
+    (SpreadingFactor.SF7, BANDWIDTH_125K): -123.0,
+    (SpreadingFactor.SF8, BANDWIDTH_125K): -126.0,
+    (SpreadingFactor.SF9, BANDWIDTH_125K): -129.0,
+    (SpreadingFactor.SF10, BANDWIDTH_125K): -132.0,
+    (SpreadingFactor.SF11, BANDWIDTH_125K): -134.5,
+    (SpreadingFactor.SF12, BANDWIDTH_125K): -137.0,
+    (SpreadingFactor.SF7, BANDWIDTH_250K): -120.0,
+    (SpreadingFactor.SF8, BANDWIDTH_250K): -123.0,
+    (SpreadingFactor.SF9, BANDWIDTH_250K): -125.0,
+    (SpreadingFactor.SF10, BANDWIDTH_250K): -128.0,
+    (SpreadingFactor.SF11, BANDWIDTH_250K): -130.0,
+    (SpreadingFactor.SF12, BANDWIDTH_250K): -133.0,
+    (SpreadingFactor.SF7, BANDWIDTH_500K): -116.0,
+    (SpreadingFactor.SF8, BANDWIDTH_500K): -119.0,
+    (SpreadingFactor.SF9, BANDWIDTH_500K): -122.0,
+    (SpreadingFactor.SF10, BANDWIDTH_500K): -125.0,
+    (SpreadingFactor.SF11, BANDWIDTH_500K): -128.0,
+    (SpreadingFactor.SF12, BANDWIDTH_500K): -130.0,
+}
+
+#: Minimum SNR (dB) required to demodulate each SF (Semtech AN1200.22).
+DEMODULATION_SNR_DB: Dict[SpreadingFactor, float] = {
+    SpreadingFactor.SF7: -7.5,
+    SpreadingFactor.SF8: -10.0,
+    SpreadingFactor.SF9: -12.5,
+    SpreadingFactor.SF10: -15.0,
+    SpreadingFactor.SF11: -17.5,
+    SpreadingFactor.SF12: -20.0,
+}
+
+#: Co-channel rejection (dB): a reception survives an interferer on the same
+#: channel and SF if it is at least this much stronger (capture effect).
+CAPTURE_THRESHOLD_DB = 6.0
+
+
+def low_data_rate_optimize(sf: SpreadingFactor, bandwidth_hz: int) -> bool:
+    """Return whether low-data-rate optimization (``DE``) is mandated.
+
+    LoRa enables DE when the symbol time exceeds 16 ms, which happens for
+    SF11 and SF12 at 125 kHz.  This mirrors the ``DE`` flag in Eq. (7).
+    """
+    symbol_time = (1 << int(sf)) / float(bandwidth_hz)
+    return symbol_time > 16e-3
+
+
+@dataclass(frozen=True)
+class RadioPowerProfile:
+    """Electrical power drawn by the radio/MCU in each state, in watts.
+
+    Defaults model an SX1276 at 3.3 V: ~44 mA in TX at +14 dBm, ~11.5 mA
+    in RX, and a few µA asleep (plus MCU sleep overhead).  The paper bases
+    its energy model (Eq. 6) on the SX1276 datasheet [23].
+    """
+
+    #: Power drawn while transmitting at the profile's reference TX power.
+    tx_watts: float = 0.1452  # 44 mA * 3.3 V
+    #: Power drawn while the receiver is open (RX windows, ACK reception).
+    rx_watts: float = 0.03795  # 11.5 mA * 3.3 V
+    #: Average sleep-state power, including sensing amortized per window.
+    sleep_watts: float = 3.0e-5
+    #: Supply voltage; used to convert current budgets to power.
+    supply_volts: float = 3.3
+
+    def __post_init__(self) -> None:
+        for name in ("tx_watts", "rx_watts", "sleep_watts", "supply_volts"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.sleep_watts >= self.rx_watts:
+            raise ConfigurationError("sleep power must be below RX power")
+
+    def scaled_tx_watts(self, tx_power_dbm: float, reference_dbm: float = 14.0) -> float:
+        """Approximate TX power draw at a different RF output power.
+
+        PA current grows roughly linearly with mW of RF output beyond a
+        fixed overhead; we model draw = overhead + RF_mW / efficiency.
+        """
+        overhead = self.tx_watts * 0.45
+        rf_ref_w = 10 ** (reference_dbm / 10.0) / 1000.0
+        efficiency = rf_ref_w / (self.tx_watts - overhead)
+        rf_w = 10 ** (tx_power_dbm / 10.0) / 1000.0
+        return overhead + rf_w / efficiency
+
+
+@dataclass(frozen=True)
+class TxParams:
+    """A complete set of LoRa transmission parameters for one node.
+
+    These are the configurable parameters listed in Section II-A: SF,
+    carrier frequency/channel, bandwidth, coding rate, TX power, preamble
+    length, and payload size.  ``explicit_header`` and ``crc`` are carried
+    for completeness of the airtime model.
+    """
+
+    spreading_factor: SpreadingFactor = SpreadingFactor.SF10
+    bandwidth_hz: int = BANDWIDTH_125K
+    coding_rate: CodingRate = CodingRate.CR_4_5
+    tx_power_dbm: float = 14.0
+    preamble_symbols: int = DEFAULT_PREAMBLE_SYMBOLS
+    payload_bytes: int = 10
+    explicit_header: bool = True
+    crc: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_hz not in SUPPORTED_BANDWIDTHS:
+            raise ConfigurationError(
+                f"unsupported bandwidth {self.bandwidth_hz}; "
+                f"expected one of {SUPPORTED_BANDWIDTHS}"
+            )
+        if not isinstance(self.spreading_factor, SpreadingFactor):
+            object.__setattr__(
+                self, "spreading_factor", SpreadingFactor(self.spreading_factor)
+            )
+        if self.payload_bytes < 0:
+            raise ConfigurationError("payload_bytes must be non-negative")
+        if self.payload_bytes > 255:
+            raise ConfigurationError("LoRa payload cannot exceed 255 bytes")
+        if self.preamble_symbols < 6:
+            raise ConfigurationError("preamble must be at least 6 symbols")
+        if not -4.0 <= self.tx_power_dbm <= 30.0:
+            raise ConfigurationError("tx_power_dbm out of plausible range [-4, 30]")
+
+    @property
+    def low_data_rate_optimized(self) -> bool:
+        """The ``DE`` flag of Eq. (7), derived from SF and bandwidth."""
+        return low_data_rate_optimize(self.spreading_factor, self.bandwidth_hz)
+
+    @property
+    def symbol_time_s(self) -> float:
+        """Duration of one LoRa symbol, ``2**SF / BW`` seconds."""
+        return self.spreading_factor.chips_per_symbol / float(self.bandwidth_hz)
+
+    @property
+    def sensitivity_dbm(self) -> float:
+        """Receiver sensitivity for this SF/BW combination."""
+        return SENSITIVITY_DBM[(self.spreading_factor, self.bandwidth_hz)]
+
+    @property
+    def demodulation_snr_db(self) -> float:
+        """Minimum SNR needed to demodulate this spreading factor."""
+        return DEMODULATION_SNR_DB[self.spreading_factor]
+
+    def with_payload(self, payload_bytes: int) -> "TxParams":
+        """Return a copy of these parameters with a different payload size."""
+        return replace(self, payload_bytes=payload_bytes)
+
+    def with_spreading_factor(self, sf: SpreadingFactor) -> "TxParams":
+        """Return a copy of these parameters with a different SF."""
+        return replace(self, spreading_factor=SpreadingFactor(sf))

@@ -1,0 +1,157 @@
+"""LoRa time-on-air and transmission-energy model.
+
+Implements Eq. (6) and Eq. (7) of the paper:
+
+.. math::
+
+    L^{symbols} = preamble + 4.25 + 8
+        + \\max\\left(\\left\\lceil \\frac{8\\,payload - 4\\,SF + 24}
+        {SF - 2\\,DE}\\right\\rceil \\frac{1}{CR},\\, 0\\right)
+
+    E^{tx} = P^{tx} \\times L^{symbols} \\times \\frac{2^{SF}}{BW}
+
+The paper's symbol formula is a simplification of the Semtech datasheet
+formula (no header/CRC terms); we implement the paper's version as the
+default (it is what the evaluation uses) and also provide the full
+datasheet formula for users who need exact LoRaWAN airtimes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .params import RadioPowerProfile, SpreadingFactor, TxParams
+
+
+def symbol_count(params: TxParams) -> float:
+    """Number of symbols in a packet per the paper's Eq. (7).
+
+    Returns a float because the ``4.25``-symbol sync word makes the
+    preamble fractional and the CR division can be fractional.
+    """
+    sf = int(params.spreading_factor)
+    de = 1 if params.low_data_rate_optimized else 0
+    denominator = sf - 2 * de
+    if denominator <= 0:
+        raise ConfigurationError(
+            f"SF {sf} with DE={de} yields non-positive symbol denominator"
+        )
+    numerator = 8 * params.payload_bytes - 4 * sf + 24
+    payload_symbols = max(
+        math.ceil(numerator / denominator) / params.coding_rate.fraction, 0.0
+    )
+    return params.preamble_symbols + 4.25 + 8 + payload_symbols
+
+
+def datasheet_symbol_count(params: TxParams) -> float:
+    """Number of symbols per the full SX1276 datasheet formula.
+
+    Differs from Eq. (7) by including explicit-header (20 symbols worth
+    of bits) and CRC (16 bits) terms and by multiplying by ``CR+4``
+    instead of dividing by the CR fraction (equivalent formulations).
+    """
+    sf = int(params.spreading_factor)
+    de = 1 if params.low_data_rate_optimized else 0
+    header = 0 if params.explicit_header else 1
+    crc = 1 if params.crc else 0
+    numerator = (
+        8 * params.payload_bytes - 4 * sf + 28 + 16 * crc - 20 * header
+    )
+    denominator = 4 * (sf - 2 * de)
+    payload_symbols = 8 + max(
+        math.ceil(numerator / denominator) * params.coding_rate.denominator, 0
+    )
+    return params.preamble_symbols + 4.25 + payload_symbols
+
+
+def time_on_air(params: TxParams, use_datasheet_formula: bool = False) -> float:
+    """Time on air of one packet in seconds.
+
+    ``symbols * 2**SF / BW`` — the paper's airtime term in Eq. (6).
+    """
+    symbols = (
+        datasheet_symbol_count(params)
+        if use_datasheet_formula
+        else symbol_count(params)
+    )
+    return symbols * params.symbol_time_s
+
+
+def tx_energy(
+    params: TxParams,
+    power_profile: RadioPowerProfile | None = None,
+    use_datasheet_formula: bool = False,
+) -> float:
+    """Energy consumed by one transmission, in joules (Eq. 6).
+
+    ``P_tx`` is the electrical power drawn from the supply while
+    transmitting (from :class:`RadioPowerProfile`, scaled to the
+    configured RF output power), not the RF output power itself.
+    """
+    profile = power_profile or RadioPowerProfile()
+    watts = profile.scaled_tx_watts(params.tx_power_dbm)
+    return watts * time_on_air(params, use_datasheet_formula=use_datasheet_formula)
+
+
+def rx_energy(duration_s: float, power_profile: RadioPowerProfile | None = None) -> float:
+    """Energy consumed keeping the receiver open for ``duration_s`` seconds."""
+    if duration_s < 0:
+        raise ConfigurationError("receive duration cannot be negative")
+    profile = power_profile or RadioPowerProfile()
+    return profile.rx_watts * duration_s
+
+
+def sleep_energy(duration_s: float, power_profile: RadioPowerProfile | None = None) -> float:
+    """Energy consumed sleeping (incl. amortized sensing) for ``duration_s``."""
+    if duration_s < 0:
+        raise ConfigurationError("sleep duration cannot be negative")
+    profile = power_profile or RadioPowerProfile()
+    return profile.sleep_watts * duration_s
+
+
+def bitrate(params: TxParams) -> float:
+    """Effective PHY bitrate in bits/s: ``SF * BW / 2**SF * CR``."""
+    sf = int(params.spreading_factor)
+    return sf * params.bandwidth_hz / params.spreading_factor.chips_per_symbol * (
+        params.coding_rate.fraction
+    )
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Convenience bundle tying a power profile to per-operation energies.
+
+    The simulator hands one of these to each node so every energy quantity
+    (TX attempt, RX window, sleep interval) comes from a single place.
+    """
+
+    power_profile: RadioPowerProfile = RadioPowerProfile()
+    #: Duration of each class-A receive window when no downlink arrives.
+    rx_window_s: float = 0.3
+    #: Number of class-A receive windows opened after each uplink.
+    rx_windows_per_tx: int = 2
+
+    def tx_attempt_energy(self, params: TxParams) -> float:
+        """Energy of one uplink attempt plus its class-A receive windows."""
+        return tx_energy(params, self.power_profile) + self.rx_window_overhead()
+
+    def rx_window_overhead(self) -> float:
+        """Energy of the mandatory class-A receive windows after one uplink."""
+        return rx_energy(
+            self.rx_window_s * self.rx_windows_per_tx, self.power_profile
+        )
+
+    def sleep_energy(self, duration_s: float) -> float:
+        """Energy drawn while idle for ``duration_s`` seconds."""
+        return sleep_energy(duration_s, self.power_profile)
+
+    def max_tx_energy(self, params: TxParams) -> float:
+        """Energy of a transmission at the highest SF (``E^tx_max`` of Eq. 15).
+
+        The DIF normalizes by the worst-case single-transmission energy,
+        which LoRa incurs at SF12 for the same payload/power settings.
+        """
+        worst = params.with_spreading_factor(SpreadingFactor.SF12)
+        return tx_energy(worst, self.power_profile)

@@ -1,0 +1,352 @@
+"""The exact, event-driven network simulator (NS-3 substitute).
+
+Wires topology, PHY, energy subsystem, MAC policies, gateway, and server
+into a deterministic discrete-event simulation.  Every transmission
+attempt is an explicit event with exact airtime overlap, capture, the ω
+demodulator limit, class-A ACK timing, and per-attempt retransmission
+backoff — the level of fidelity of the paper's NS-3 runs.  Use this for
+testbed-scale scenarios (tens of nodes, hours-to-weeks); multi-year
+500-node sweeps use :mod:`repro.sim.mesoscopic`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from ..battery import Battery
+from ..core import (
+    BatteryLifespanAwareMac,
+    LorawanAlohaMac,
+    MacPolicy,
+    ThresholdOnlyMac,
+)
+from ..energy import (
+    CloudProcess,
+    EnergyForecaster,
+    Harvester,
+    NoisyForecaster,
+    OracleForecaster,
+    PersistenceForecaster,
+    SolarModel,
+)
+from ..lora import (
+    AdrController,
+    ChannelHopper,
+    ChannelPlan,
+    DutyCycleLimiter,
+    LogDistanceLink,
+    Transmission,
+)
+from .config import SimulationConfig
+from .events import EventQueue
+from .gateway import Gateway
+from .metrics import NetworkMetrics
+from .node import EndDevice
+from .packetlog import PacketLog
+from .server import NetworkServer
+from .topology import NodePlacement, build_topology
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produces."""
+
+    config: SimulationConfig
+    metrics: NetworkMetrics
+    gateway_stats: "object"
+    uplinks_received: int
+    disseminations_sent: int
+    events_executed: int
+    #: Per-packet records when ``record_packets`` was enabled, else None.
+    packet_log: "PacketLog | None" = None
+
+
+def build_forecaster(
+    config: SimulationConfig, harvester: Harvester, node_id: int
+) -> EnergyForecaster:
+    """Instantiate the forecaster family a config selects."""
+    if config.forecaster == "persistence":
+        return PersistenceForecaster(
+            peak_window_energy_j=config.solar_peak_watts() * config.window_s
+        )
+    if config.forecaster == "noisy" or config.forecast_sigma > 0:
+        return NoisyForecaster(
+            harvester,
+            sigma=config.forecast_sigma if config.forecast_sigma > 0 else 0.15,
+            seed=config.seed * 31 + node_id,
+        )
+    return OracleForecaster(harvester)
+
+
+def build_mac(config: SimulationConfig, capacity_j: float, nominal_j: float) -> MacPolicy:
+    """Instantiate the MAC policy a config describes."""
+    if config.use_window_selection:
+        return BatteryLifespanAwareMac(
+            soc_cap=config.soc_cap,
+            w_b=config.w_b,
+            max_tx_energy_j=config.max_tx_energy_j(),
+            nominal_tx_energy_j=nominal_j,
+            beta=config.ewma_beta,
+            battery_capacity_j=capacity_j,
+        )
+    if config.soc_cap >= 1.0:
+        return LorawanAlohaMac()
+    return ThresholdOnlyMac(soc_cap=config.soc_cap)
+
+
+class Simulator:
+    """Deterministic event-driven simulation of one configuration."""
+
+    #: Delay between the end of an uplink and the ACK in RX1.
+    ACK_DELAY_S = 1.0
+    #: Fixed part of the retransmission backoff (both RX windows elapse).
+    RETRY_BASE_S = 2.0
+    #: Random part of the retransmission backoff (LMIC-style 1-3 s).
+    RETRY_JITTER_S = (1.0, 3.0)
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.queue = EventQueue()
+        self.rng = random.Random(config.seed ^ 0x5EED)
+        self.link = LogDistanceLink(path_loss_exponent=config.path_loss_exponent)
+        #: One Gateway per site; an uplink is delivered when any of them
+        #: decodes it (the network server de-duplicates).
+        self.gateways = [Gateway(omega=config.omega) for _ in range(config.gateway_count)]
+        self.gateway = self.gateways[0]
+        self.server = NetworkServer()
+        self.packet_log = PacketLog() if config.record_packets else None
+        self.adr = AdrController() if config.adr_enabled else None
+        self.duty_cycle = (
+            DutyCycleLimiter(duty_cycle=config.duty_cycle)
+            if config.duty_cycle < 1.0
+            else None
+        )
+        plan = ChannelPlan().subset(config.channel_count)
+        clouds = CloudProcess(seed=config.seed)
+
+        self.nodes: Dict[int, EndDevice] = {}
+        placements = build_topology(config, self.link)
+        for placement in placements:
+            self.nodes[placement.node_id] = self._build_node(
+                placement, plan, clouds
+            )
+        self._events_executed = 0
+
+    # ------------------------------------------------------------- building
+
+    def _build_node(
+        self, placement: NodePlacement, plan: ChannelPlan, clouds: CloudProcess
+    ) -> EndDevice:
+        config = self.config
+        params = config.tx_params(placement.spreading_factor)
+        capacity = config.battery_capacity_j(placement.spreading_factor)
+        battery = Battery(
+            capacity_j=capacity,
+            initial_soc=config.initial_soc,
+            temperature_c=config.temperature_c,
+        )
+        solar = SolarModel(peak_watts=config.solar_peak_watts(), clouds=clouds)
+        harvester = Harvester(
+            solar=solar,
+            node_seed=config.seed * 10_007 + placement.node_id,
+            shading_sigma=config.shading_sigma,
+        )
+        forecaster = build_forecaster(config, harvester, placement.node_id)
+        energy_model = config.energy_model()
+        nominal = energy_model.tx_attempt_energy(params)
+        mac = build_mac(config, capacity, nominal)
+        node_rng = random.Random(config.seed * 7919 + placement.node_id)
+        hopper = ChannelHopper(plan, rng=node_rng)
+        return EndDevice(
+            placement=placement,
+            tx_params=params,
+            battery=battery,
+            harvester=harvester,
+            forecaster=forecaster,
+            mac=mac,
+            hopper=hopper,
+            window_s=config.window_s,
+            energy_model=energy_model,
+            rng=node_rng,
+            max_retransmissions=config.max_retransmissions,
+            packet_log=self.packet_log,
+        )
+
+    # -------------------------------------------------------------- running
+
+    def run(self) -> SimulationResult:
+        """Execute the configured duration and aggregate the results."""
+        for node in self.nodes.values():
+            start = node.placement.start_offset_s
+            self._schedule_period(node, start)
+        self._schedule_refresh(self.config.dissemination_interval_s)
+        self.queue.run_until(self.config.duration_s)
+        self._finalize()
+        metrics = NetworkMetrics(
+            nodes={nid: n.metrics for nid, n in self.nodes.items()}
+        )
+        return SimulationResult(
+            config=self.config,
+            metrics=metrics,
+            gateway_stats=self.gateway.stats,
+            uplinks_received=self.server.uplinks_received,
+            disseminations_sent=self.server.disseminations_sent,
+            events_executed=self._events_executed,
+            packet_log=self.packet_log,
+        )
+
+    # ---------------------------------------------------------- event logic
+
+    def _schedule_period(self, node: EndDevice, when_s: float) -> None:
+        # A period starting at the horizon would generate a packet whose
+        # transmission can never complete; cut generation strictly before.
+        if when_s >= self.config.duration_s:
+            return
+        self.queue.schedule(when_s, lambda: self._on_period(node))
+
+    def _on_period(self, node: EndDevice) -> None:
+        self._events_executed += 1
+        now = self.queue.now_s
+        if node.packet is not None:
+            # Previous packet still in flight at its deadline: fail it.
+            node.finish_packet(now, delivered=False, latency_s=node.period_s)
+        first_attempt = node.start_period(now)
+        if first_attempt is not None:
+            self.queue.schedule(first_attempt, lambda: self._on_attempt(node))
+        self._schedule_period(node, now + node.period_s)
+
+    def _on_attempt(self, node: EndDevice) -> None:
+        self._events_executed += 1
+        now = self.queue.now_s
+        packet = node.packet
+        if packet is None:
+            return  # Packet was failed at a period boundary.
+        if self.duty_cycle is not None and not self.duty_cycle.can_transmit(
+            node.node_id, now
+        ):
+            # Regulatory off-period still running: defer the attempt.
+            resume = self.duty_cycle.next_allowed_time(node.node_id)
+            self.queue.schedule(resume, lambda: self._on_attempt(node))
+            return
+        if not node.draw_attempt_energy(now):
+            # Brown-out: battery cannot fund the attempt.
+            node.metrics.packets_dropped_energy += 1
+            node.finish_packet(now, delivered=False, latency_s=node.period_s)
+            return
+        packet.battery_energy_j += node.attempt_energy_j
+        packet.tx_energy_metric_j += node.tx_energy_j
+        packet.discharge_soc = node.battery.soc
+        channel = node.hopper.next_channel()
+        tokens = []
+        for distance, gateway in zip(
+            node.placement.gateway_distances_m, self.gateways
+        ):
+            rssi = self.link.rssi_dbm(
+                node.tx_params.tx_power_dbm,
+                distance,
+                antenna_gain_db=self.config.gateway_antenna_gain_db,
+            )
+            tx = Transmission(
+                node_id=node.node_id,
+                start_s=now,
+                duration_s=node.airtime_s,
+                channel_index=channel.index,
+                spreading_factor=node.tx_params.spreading_factor,
+                rssi_dbm=rssi,
+                attempt=packet.attempt,
+            )
+            tokens.append((gateway, gateway.begin_reception(tx, node.tx_params)))
+        if self.duty_cycle is not None:
+            self.duty_cycle.record(node.node_id, now, node.airtime_s)
+        self.queue.schedule(
+            now + node.airtime_s, lambda: self._on_attempt_end(node, tokens)
+        )
+
+    def _on_attempt_end(self, node: EndDevice, tokens) -> None:
+        self._events_executed += 1
+        now = self.queue.now_s
+        packet = node.packet
+        # Every gateway must close out its reception; delivery needs any
+        # one of them to have decoded the uplink.
+        delivered = False
+        for gateway, token in tokens:
+            if gateway.end_reception(token):
+                delivered = True
+        if packet is None:
+            return
+        if delivered:
+            if self.adr is not None:
+                best_rssi = max(token.transmission.rssi_dbm for _, token in tokens)
+                snr = self.link.snr_db(best_rssi, node.tx_params.bandwidth_hz)
+                self.adr.record_uplink(node.node_id, snr)
+                decision = self.adr.decide(node.node_id, node.tx_params)
+                if decision.changed:
+                    node.update_tx_params(
+                        dataclasses.replace(
+                            node.tx_params,
+                            spreading_factor=decision.spreading_factor,
+                            tx_power_dbm=decision.tx_power_dbm,
+                        )
+                    )
+            ack_time = now + self.ACK_DELAY_S
+            latency = ack_time - packet.generated_at_s
+            report = node.take_pending_report()
+            payload = self.server.handle_uplink(
+                node.node_id,
+                ack_time,
+                report=report,
+                period_start_s=packet.period_start_s,
+                window_s=node.window_s,
+            )
+            if payload.w_u is not None:
+                node.mac.set_normalized_degradation(payload.w_u)
+            node.finish_packet(now, delivered=True, latency_s=latency)
+            return
+        packet.attempt += 1
+        if packet.attempt > node.max_retransmissions:
+            node.finish_packet(now, delivered=False, latency_s=node.period_s)
+            return
+        backoff = self.RETRY_BASE_S + node.rng.uniform(*self.RETRY_JITTER_S)
+        self.queue.schedule(now + backoff, lambda: self._on_attempt(node))
+
+    def _schedule_refresh(self, when_s: float) -> None:
+        if when_s > self.config.duration_s:
+            return
+        self.queue.schedule(when_s, lambda: self._on_refresh(when_s), priority=-1)
+
+    def _on_refresh(self, when_s: float) -> None:
+        """Daily gateway pass: recompute and normalize degradations."""
+        self._events_executed += 1
+        for node in self.nodes.values():
+            node.settle_to(self.queue.now_s)
+            degradation = node.battery.refresh_degradation()
+            self.server.publish_degradation(node.node_id, degradation)
+            node.metrics.degradation = degradation
+            breakdown = node.battery.last_breakdown
+            if breakdown is not None:
+                node.metrics.cycle_aging = breakdown.cycle
+                node.metrics.calendar_aging = breakdown.calendar
+        self._schedule_refresh(when_s + self.config.dissemination_interval_s)
+
+    def _finalize(self) -> None:
+        """Settle all nodes to the end time and record final state."""
+        end = self.config.duration_s
+        for node in self.nodes.values():
+            if node.packet is not None:
+                node.finish_packet(end, delivered=False, latency_s=node.period_s)
+            node.settle_to(end)
+            degradation = node.battery.refresh_degradation()
+            node.metrics.degradation = degradation
+            breakdown = node.battery.last_breakdown
+            if breakdown is not None:
+                node.metrics.cycle_aging = breakdown.cycle
+                node.metrics.calendar_aging = breakdown.calendar
+            node.metrics.final_soc = node.battery.soc
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(config).run()

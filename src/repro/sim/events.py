@@ -1,0 +1,134 @@
+"""Minimal discrete-event simulation kernel.
+
+A deliberately small heapq-based engine in the style of NS-3's scheduler:
+events are ``(time, priority, sequence, callback)`` tuples; ties break by
+priority then insertion order, making runs fully deterministic for a
+given seed.  This kernel underpins the exact (testbed-scale) simulator;
+the multi-year mesoscopic runner bypasses it for speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..exceptions import SchedulingError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time_s: float
+    priority: int
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle allowing a scheduled event to be cancelled."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    @property
+    def time_s(self) -> float:
+        """Scheduled absolute time of the event."""
+        return self._event.time_s
+
+
+class EventQueue:
+    """The simulation clock and pending-event heap."""
+
+    def __init__(self) -> None:
+        self._heap: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now_s = 0.0
+        self._running = False
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now_s
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(
+        self, time_s: float, callback: EventCallback, priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``time_s``.
+
+        Lower ``priority`` runs first among same-time events.  Scheduling
+        in the past is an error — it would silently reorder causality.
+        """
+        if time_s < self._now_s:
+            raise SchedulingError(
+                f"cannot schedule at {time_s:.6f}s; clock is at {self._now_s:.6f}s"
+            )
+        event = _ScheduledEvent(
+            time_s=time_s,
+            priority=priority,
+            sequence=next(self._sequence),
+            callback=callback,
+        )
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_in(
+        self, delay_s: float, callback: EventCallback, priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``callback`` after a relative delay."""
+        if delay_s < 0:
+            raise SchedulingError("delay cannot be negative")
+        return self.schedule(self._now_s + delay_s, callback, priority)
+
+    def step(self) -> bool:
+        """Run the next non-cancelled event; returns False when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now_s = event.time_s
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, end_time_s: float) -> None:
+        """Run events up to and including ``end_time_s``; clock ends there."""
+        if end_time_s < self._now_s:
+            raise SchedulingError("cannot run backwards")
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time_s > end_time_s:
+                break
+            self.step()
+        self._now_s = max(self._now_s, end_time_s)
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain the queue (optionally bounded); returns events executed."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        return executed

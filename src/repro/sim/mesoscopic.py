@@ -1,0 +1,630 @@
+"""Mesoscopic simulator for multi-year, hundreds-of-nodes horizons.
+
+The exact engine spends one heap event per transmission attempt, which is
+prohibitive for the paper's 5-15-year, 500-node runs.  This runner keeps
+per-*period* granularity globally and resolves channel contention
+*exactly but locally* inside each forecast window:
+
+* Decisions (Algorithm 1 / ALOHA) happen at period starts, like the
+  paper's protocol.
+* All transmissions that chose the same absolute forecast window are
+  resolved together by a miniature, exact sub-simulation of that window
+  (offsets, airtime overlap, capture, the ω demodulator limit, and
+  LMIC-style retransmission backoff) — cross-window interaction is
+  neglected, which is the paper's own assumption ("transmissions on one
+  forecast window have a negligible effect on transmissions in other
+  forecast windows").
+* Battery SoC is settled through the software-defined switch in coarse
+  chunks, preserving turning points for the rainflow computation.
+
+For horizons beyond the simulated window the runner extrapolates the
+*linear* degradation ``D_L`` (calendar ∝ age, cycles accrue at a steady
+rate under stationary operation) and applies the nonlinear map of
+Eq. (4) — the same observation the paper uses when it notes per-day
+degradation changes of 0.001-0.0001.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..battery import Battery, DegradationModel
+from ..constants import SECONDS_PER_DAY, SECONDS_PER_YEAR
+from ..core import DegradationService, MacPolicy, PeriodContext
+from ..energy import (
+    CloudProcess,
+    Harvester,
+    SoftwareDefinedSwitch,
+    SolarModel,
+)
+from ..lora import LogDistanceLink, time_on_air, tx_energy
+from .config import SimulationConfig
+from .engine import build_forecaster, build_mac
+from .metrics import NetworkMetrics, NodeMetrics
+from .packetlog import PacketLog, PacketRecord
+from .topology import NodePlacement, build_topology
+
+
+@dataclass
+class WindowEntry:
+    """One node's planned transmission inside an absolute window."""
+
+    node: "MesoNode"
+    immediate: bool
+    window_index_in_period: int
+    period_start_s: float
+    decision: object = None
+    #: For immediate (ALOHA) entries: where within the grid window the
+    #: transmission actually starts (0 for perfectly synchronized boots,
+    #: the boot jitter otherwise).  Window-selected entries randomize.
+    offset_in_window_s: float = 0.0
+
+
+@dataclass
+class WindowOutcome:
+    """Result of resolving one node's transmission in a window."""
+
+    attempts: int
+    success: bool
+    finish_offset_s: float
+
+
+class MesoNode:
+    """Per-node state for the mesoscopic runner."""
+
+    def __init__(
+        self,
+        placement: NodePlacement,
+        config: SimulationConfig,
+        clouds: CloudProcess,
+        link: LogDistanceLink,
+    ) -> None:
+        self.placement = placement
+        self.config = config
+        params = config.tx_params(placement.spreading_factor)
+        self.tx_params = params
+        self.airtime_s = time_on_air(params)
+        energy_model = config.energy_model()
+        self.tx_energy_j = tx_energy(params, energy_model.power_profile)
+        self.attempt_energy_j = energy_model.tx_attempt_energy(params)
+        self.sleep_watts = energy_model.power_profile.sleep_watts
+        capacity = config.battery_capacity_j(placement.spreading_factor)
+        self.battery = Battery(
+            capacity_j=capacity,
+            initial_soc=config.initial_soc,
+            temperature_c=config.temperature_c,
+        )
+        solar = SolarModel(peak_watts=config.solar_peak_watts(), clouds=clouds)
+        self.harvester = Harvester(
+            solar=solar,
+            node_seed=config.seed * 10_007 + placement.node_id,
+            shading_sigma=config.shading_sigma,
+        )
+        self.forecaster = build_forecaster(config, self.harvester, placement.node_id)
+        self.mac: MacPolicy = build_mac(config, capacity, self.attempt_energy_j)
+        self.switch = SoftwareDefinedSwitch(soc_cap=self.mac.soc_cap)
+        #: Received power at each gateway; an uplink is delivered if any
+        #: gateway decodes it.
+        self.rssi_by_gateway = [
+            link.rssi_dbm(
+                params.tx_power_dbm,
+                distance,
+                antenna_gain_db=config.gateway_antenna_gain_db,
+            )
+            for distance in placement.gateway_distances_m
+        ]
+        self.rssi_dbm = max(self.rssi_by_gateway)
+        self.sensitivity_dbm = params.sensitivity_dbm
+        self.rng = random.Random(config.seed * 7919 + placement.node_id)
+        self.metrics = NodeMetrics(
+            node_id=placement.node_id, period_s=placement.period_s
+        )
+        self.settled_until_s = 0.0
+
+    @property
+    def node_id(self) -> int:
+        """The node's network identifier."""
+        return self.placement.node_id
+
+    @property
+    def windows_per_period(self) -> int:
+        """|T| — forecast windows available per sampling period."""
+        return max(1, int(self.placement.period_s // self.config.window_s))
+
+    def settle_to(self, now_s: float, extra_demand_j: float = 0.0) -> float:
+        """Advance energy state to ``now_s``; returns unmet demand.
+
+        Harvest and sleep demand are applied in coarse chunks through the
+        switch; ``extra_demand_j`` (transmission energy) lands in the
+        final chunk.  Chunking at ~5 windows keeps the trace small while
+        preserving charge/discharge turning points.
+        """
+        # A window resolution can settle a node slightly past a refresh
+        # or end-of-run boundary; later settles clamp to the frontier.
+        now_s = max(now_s, self.settled_until_s)
+        chunk_s = self.config.window_s * 5.0
+        cursor = self.settled_until_s
+        shortfall = 0.0
+        while cursor < now_s - 1e-9:
+            chunk_end = min(now_s, cursor + chunk_s)
+            duration = chunk_end - cursor
+            harvested = self.harvester.power_watts(cursor + duration / 2.0) * duration
+            demand = self.sleep_watts * duration
+            if chunk_end >= now_s - 1e-9:
+                demand += extra_demand_j
+            result = self.switch.apply_window(
+                self.battery, harvested, demand, chunk_end
+            )
+            shortfall += result.shortfall_j
+            cursor = chunk_end
+        if now_s <= self.settled_until_s + 1e-9 and extra_demand_j > 0:
+            # Settling to the same instant: apply the demand directly.
+            result = self.switch.apply_window(
+                self.battery, 0.0, extra_demand_j, self.settled_until_s
+            )
+            shortfall += result.shortfall_j
+        self.settled_until_s = max(self.settled_until_s, now_s)
+        return shortfall
+
+
+def resolve_window(
+    entries: List[WindowEntry],
+    window_s: float,
+    channel_count: int,
+    omega: int,
+    max_retransmissions: int,
+    rng: random.Random,
+    capture_threshold_db: float = 6.0,
+) -> Dict[int, WindowOutcome]:
+    """Exactly resolve contention among transmissions sharing a window.
+
+    Immediate (ALOHA) entries start at offset 0; window-selected entries
+    start at a uniform random offset.  Failed attempts retry after the
+    class-A receive windows plus a 1-3 s jitter, up to the LoRa limit.
+    Attempt overlap is resolved pairwise on channel (+SF) with capture;
+    more than ω concurrent transmissions saturate the demodulators.
+    """
+    if not entries:
+        return {}
+
+    @dataclass
+    class Attempt:
+        start_s: float
+        entry: WindowEntry
+        attempt_no: int
+        channel: int
+
+    def overlaps(a_start: float, a_end: float, b_start: float, b_end: float) -> bool:
+        return a_start < b_end and b_start < a_end
+
+    outcomes: Dict[int, WindowOutcome] = {}
+    pending: List[Tuple[Attempt, float]] = []  # (attempt, end_s)
+    for entry in entries:
+        if entry.immediate:
+            offset = entry.offset_in_window_s
+        else:
+            offset = rng.uniform(0.0, max(1e-6, window_s - entry.node.airtime_s))
+        attempt = Attempt(
+            start_s=offset,
+            entry=entry,
+            attempt_no=0,
+            channel=rng.randrange(channel_count),
+        )
+        pending.append((attempt, offset + entry.node.airtime_s))
+
+    # Iteratively resolve rounds: collisions among currently scheduled
+    # attempts may spawn retries, which can collide again.
+    resolved: List[Tuple[Attempt, float, bool]] = []
+    while pending:
+        # Pairwise collision resolution for this batch plus everything
+        # already resolved (earlier attempts can overlap later ones).
+        batch = sorted(pending, key=lambda item: item[0].start_s)
+        universe = [(a, e) for a, e, _ in resolved] + batch
+        survived: List[Tuple[Attempt, float, bool]] = []
+        for attempt, end_s in batch:
+            node = attempt.entry.node
+            gateways = len(node.rssi_by_gateway)
+            interferers_mw = [0.0] * gateways
+            concurrent = 0
+            for other, other_end in universe:
+                if other is attempt:
+                    continue
+                if not overlaps(attempt.start_s, end_s, other.start_s, other_end):
+                    continue
+                concurrent += 1
+                other_node = other.entry.node
+                if (
+                    other.channel == attempt.channel
+                    and other_node.tx_params.spreading_factor
+                    == node.tx_params.spreading_factor
+                ):
+                    for g in range(gateways):
+                        interferers_mw[g] += 10.0 ** (
+                            other_node.rssi_by_gateway[g] / 10.0
+                        )
+            # Delivered if any gateway hears it above sensitivity, with
+            # a free demodulator, and clear of co-channel interference.
+            ok = False
+            if concurrent + 1 <= omega:
+                for g in range(gateways):
+                    rssi = node.rssi_by_gateway[g]
+                    if rssi < node.sensitivity_dbm:
+                        continue
+                    if interferers_mw[g] == 0.0:
+                        ok = True
+                        break
+                    sir_db = rssi - 10.0 * math.log10(interferers_mw[g])
+                    if sir_db >= capture_threshold_db:
+                        ok = True
+                        break
+            survived.append((attempt, end_s, ok))
+        resolved.extend(survived)
+        # Spawn retries for failures.
+        pending = []
+        for attempt, end_s, ok in survived:
+            if ok:
+                continue
+            if attempt.attempt_no >= max_retransmissions:
+                continue
+            node = attempt.entry.node
+            backoff = 2.0 + rng.uniform(1.0, 3.0)
+            retry = Attempt(
+                start_s=end_s + backoff,
+                entry=attempt.entry,
+                attempt_no=attempt.attempt_no + 1,
+                channel=rng.randrange(channel_count),
+            )
+            pending.append((retry, retry.start_s + node.airtime_s))
+
+    # Aggregate per node: first successful attempt wins.
+    per_node: Dict[int, List[Tuple[Attempt, float, bool]]] = {}
+    for attempt, end_s, ok in resolved:
+        per_node.setdefault(attempt.entry.node.node_id, []).append(
+            (attempt, end_s, ok)
+        )
+    for node_id, items in per_node.items():
+        items.sort(key=lambda item: item[0].attempt_no)
+        attempts_used = 0
+        success = False
+        finish = items[-1][1]
+        for attempt, end_s, ok in items:
+            attempts_used = attempt.attempt_no + 1
+            if ok:
+                success = True
+                finish = end_s
+                break
+        outcomes[node_id] = WindowOutcome(
+            attempts=attempts_used, success=success, finish_offset_s=finish
+        )
+    return outcomes
+
+
+@dataclass
+class MonthlySample:
+    """Network degradation snapshot at a month boundary."""
+
+    month: int
+    max_degradation: float
+    mean_degradation: float
+
+
+@dataclass
+class MesoscopicResult:
+    """Results of a mesoscopic run plus lifespan extrapolation hooks."""
+
+    config: SimulationConfig
+    metrics: NetworkMetrics
+    monthly: List[MonthlySample]
+    #: Per-node linear-degradation rates (1/s), basis for extrapolation.
+    linear_rates: Dict[int, float]
+    simulated_s: float
+    #: Per-packet records when ``record_packets`` was enabled, else None.
+    packet_log: Optional[PacketLog] = None
+
+    def network_lifespan_days(self, model: Optional[DegradationModel] = None) -> float:
+        """Extrapolated network battery lifespan (first battery to EoL)."""
+        model = model or DegradationModel()
+        worst = max(self.linear_rates.values())
+        return model.lifespan_from_linear_rate(worst) / SECONDS_PER_DAY
+
+    def node_lifespan_days(
+        self, node_id: int, model: Optional[DegradationModel] = None
+    ) -> float:
+        """Extrapolated lifespan of one node's battery, in days."""
+        model = model or DegradationModel()
+        return (
+            model.lifespan_from_linear_rate(self.linear_rates[node_id])
+            / SECONDS_PER_DAY
+        )
+
+    def max_degradation_at(
+        self, elapsed_s: float, model: Optional[DegradationModel] = None
+    ) -> float:
+        """Extrapolated worst-node Eq. (4) degradation at ``elapsed_s``."""
+        from ..battery import nonlinear_degradation
+
+        worst = max(self.linear_rates.values())
+        return nonlinear_degradation(worst * elapsed_s)
+
+    def monthly_max_series(
+        self, months: int, model: Optional[DegradationModel] = None
+    ) -> List[float]:
+        """Fig. 7 series: max network degradation at each month boundary."""
+        month_s = SECONDS_PER_YEAR / 12.0
+        return [self.max_degradation_at((m + 1) * month_s) for m in range(months)]
+
+
+class MesoscopicSimulator:
+    """Day-structured simulator with exact per-window contention."""
+
+    ACK_DELAY_S = 1.0
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.link = LogDistanceLink(path_loss_exponent=config.path_loss_exponent)
+        clouds = CloudProcess(seed=config.seed)
+        self.nodes: Dict[int, MesoNode] = {}
+        for placement in build_topology(config, self.link):
+            self.nodes[placement.node_id] = MesoNode(
+                placement, config, clouds, self.link
+            )
+        self.service = DegradationService()
+        self.packet_log = PacketLog() if config.record_packets else None
+        self.rng = random.Random(config.seed ^ 0xC0FFEE)
+        self.model = DegradationModel()
+
+    def run(self) -> MesoscopicResult:
+        """Execute the configured horizon and aggregate the results."""
+        config = self.config
+        window_s = config.window_s
+        duration = config.duration_s
+
+        # Global chronological sweep: a heap of period starts plus
+        # deferred window resolutions.
+        PERIOD, RESOLVE = 0, 1
+        heap: List[Tuple[float, int, int, int]] = []
+        # (time, kind, tiebreak, payload) payload: node_id or window idx
+        seq = 0
+        for node in self.nodes.values():
+            heapq.heappush(
+                heap, (node.placement.start_offset_s, PERIOD, seq, node.node_id)
+            )
+            seq += 1
+
+        pending_windows: Dict[int, List[WindowEntry]] = {}
+        monthly: List[MonthlySample] = []
+        next_refresh = config.dissemination_interval_s
+        month_s = SECONDS_PER_YEAR / 12.0
+        next_month = month_s
+        month_index = 0
+
+        while heap and heap[0][0] <= duration:
+            time_s, kind, _, payload = heapq.heappop(heap)
+
+            while next_refresh <= time_s:
+                self._refresh_degradation(next_refresh)
+                next_refresh += config.dissemination_interval_s
+            while next_month <= time_s:
+                month_index += 1
+                values = [n.metrics.degradation for n in self.nodes.values()]
+                monthly.append(
+                    MonthlySample(
+                        month=month_index,
+                        max_degradation=max(values),
+                        mean_degradation=sum(values) / len(values),
+                    )
+                )
+                next_month += month_s
+
+            if kind == PERIOD:
+                node = self.nodes[payload]
+                self._start_period(node, time_s, pending_windows, heap, seq)
+                seq += 1
+                next_start = time_s + node.placement.period_s
+                if next_start <= duration:
+                    heapq.heappush(heap, (next_start, PERIOD, seq, node.node_id))
+                    seq += 1
+            else:  # RESOLVE at the end of absolute window `payload`
+                entries = pending_windows.pop(payload, [])
+                if entries:
+                    self._resolve(entries, payload, window_s)
+
+        # Flush any windows scheduled past the horizon.
+        for window_index, entries in sorted(pending_windows.items()):
+            self._resolve(entries, window_index, window_s)
+
+        self._finalize(duration)
+        linear_rates = {}
+        for node in self.nodes.values():
+            breakdown = node.battery.last_breakdown
+            linear = breakdown.linear if breakdown is not None else 0.0
+            linear_rates[node.node_id] = linear / max(duration, 1.0)
+        metrics = NetworkMetrics(
+            nodes={nid: n.metrics for nid, n in self.nodes.items()}
+        )
+        return MesoscopicResult(
+            config=config,
+            metrics=metrics,
+            monthly=monthly,
+            linear_rates=linear_rates,
+            simulated_s=duration,
+            packet_log=self.packet_log,
+        )
+
+    # ------------------------------------------------------------- internals
+
+    def _start_period(
+        self,
+        node: MesoNode,
+        now_s: float,
+        pending_windows: Dict[int, List[WindowEntry]],
+        heap: List,
+        seq: int,
+    ) -> None:
+        node.settle_to(now_s)
+        node.metrics.record_generated()
+        windows = node.windows_per_period
+        forecast = node.forecaster.forecast(now_s, self.config.window_s, windows)
+        context = PeriodContext(
+            battery_energy_j=node.battery.stored_j,
+            green_forecast_j=forecast,
+            nominal_tx_energy_j=node.attempt_energy_j,
+            period_start_s=now_s,
+        )
+        decision = node.mac.choose_window(context)
+        if not decision.success or decision.window_index is None:
+            node.metrics.record_failure(0, 0.0, energy_drop=True)
+            if self.packet_log is not None:
+                self.packet_log.append(
+                    PacketRecord(
+                        node_id=node.node_id,
+                        generated_at_s=now_s,
+                        window_index=-1,
+                        attempts=0,
+                        delivered=False,
+                        latency_s=node.placement.period_s,
+                        utility=0.0,
+                        energy_drop=True,
+                    )
+                )
+            return
+        node.metrics.record_window(decision.window_index)
+        tx_time = now_s + decision.window_index * self.config.window_s
+        absolute_window = int(tx_time // self.config.window_s)
+        entry = WindowEntry(
+            node=node,
+            immediate=not self.config.use_window_selection,
+            window_index_in_period=decision.window_index,
+            period_start_s=now_s,
+            decision=decision,
+            offset_in_window_s=tx_time - absolute_window * self.config.window_s,
+        )
+        bucket = pending_windows.setdefault(absolute_window, [])
+        bucket.append(entry)
+        if len(bucket) == 1:
+            resolve_time = (absolute_window + 1) * self.config.window_s
+            heapq.heappush(heap, (resolve_time, 1, seq, absolute_window))
+
+    def _resolve(
+        self, entries: List[WindowEntry], window_index: int, window_s: float
+    ) -> None:
+        outcomes = resolve_window(
+            entries,
+            window_s=window_s,
+            channel_count=self.config.channel_count,
+            omega=self.config.omega,
+            max_retransmissions=self.config.max_retransmissions,
+            rng=self.rng,
+        )
+        window_start = window_index * window_s
+        for entry in entries:
+            node = entry.node
+            outcome = outcomes[node.node_id]
+            decision = entry.decision  # type: ignore[attr-defined]
+            demand = outcome.attempts * node.attempt_energy_j
+            settle_time = max(
+                window_start + outcome.finish_offset_s, node.settled_until_s
+            )
+            shortfall = node.settle_to(settle_time, extra_demand_j=demand)
+            if shortfall > demand * 0.5:
+                # The battery could not fund the attempts: brown-out.
+                node.metrics.record_failure(
+                    retransmissions=outcome.attempts - 1,
+                    tx_energy_j=0.0,
+                    energy_drop=True,
+                )
+                if self.packet_log is not None:
+                    self.packet_log.append(
+                        PacketRecord(
+                            node_id=node.node_id,
+                            generated_at_s=entry.period_start_s,
+                            window_index=entry.window_index_in_period,
+                            attempts=0,
+                            delivered=False,
+                            latency_s=node.placement.period_s,
+                            utility=0.0,
+                            energy_drop=True,
+                        )
+                    )
+                node.mac.observe_result(
+                    entry.window_index_in_period,
+                    min(outcome.attempts - 1, self.config.max_retransmissions),
+                    demand,
+                )
+                continue
+            tx_metric = outcome.attempts * node.tx_energy_j
+            retx = outcome.attempts - 1
+            if outcome.success:
+                # Jittered period starts are bucketed onto the global
+                # window grid, so the grid window can begin slightly
+                # before the period; clamp to the physical minimum.
+                latency = max(
+                    node.airtime_s + self.ACK_DELAY_S,
+                    (window_start - entry.period_start_s)
+                    + outcome.finish_offset_s
+                    + self.ACK_DELAY_S,
+                )
+                node.metrics.record_delivery(
+                    retransmissions=retx,
+                    tx_energy_j=tx_metric,
+                    utility=decision.utility,
+                    latency_s=latency,
+                )
+            else:
+                node.metrics.record_failure(
+                    retransmissions=retx, tx_energy_j=tx_metric
+                )
+            node.mac.observe_result(entry.window_index_in_period, retx, demand)
+            if self.packet_log is not None:
+                self.packet_log.append(
+                    PacketRecord(
+                        node_id=node.node_id,
+                        generated_at_s=entry.period_start_s,
+                        window_index=entry.window_index_in_period,
+                        attempts=outcome.attempts,
+                        delivered=outcome.success,
+                        latency_s=latency if outcome.success else node.placement.period_s,
+                        utility=decision.utility if outcome.success else 0.0,
+                        energy_drop=False,
+                    )
+                )
+            node.forecaster.observe(
+                window_start,
+                window_s,
+                node.harvester.window_energy_j(window_start, window_s),
+            )
+
+    def _refresh_degradation(self, now_s: float) -> None:
+        for node in self.nodes.values():
+            node.settle_to(now_s)
+            degradation = node.battery.refresh_degradation()
+            node.metrics.degradation = degradation
+            breakdown = node.battery.last_breakdown
+            if breakdown is not None:
+                node.metrics.cycle_aging = breakdown.cycle
+                node.metrics.calendar_aging = breakdown.calendar
+            self.service.set_degradation(node.node_id, degradation)
+        for node in self.nodes.values():
+            node.mac.set_normalized_degradation(
+                self.service.normalized_degradation(node.node_id)
+            )
+
+    def _finalize(self, duration_s: float) -> None:
+        for node in self.nodes.values():
+            node.settle_to(duration_s)
+            degradation = node.battery.refresh_degradation()
+            node.metrics.degradation = degradation
+            breakdown = node.battery.last_breakdown
+            if breakdown is not None:
+                node.metrics.cycle_aging = breakdown.cycle
+                node.metrics.calendar_aging = breakdown.calendar
+            node.metrics.final_soc = node.battery.soc
+
+
+def run_mesoscopic(config: SimulationConfig) -> MesoscopicResult:
+    """Convenience wrapper: build and run a mesoscopic simulation."""
+    return MesoscopicSimulator(config).run()

@@ -1,0 +1,298 @@
+"""Metric collection for simulation runs.
+
+Implements exactly the metrics of Section IV-A2:
+
+* avg retransmission (RETX) attempts per packet,
+* total transmission (TX) energy over the run (Eq. 6 energies),
+* battery degradation (Eq. 4),
+* Packet Reception Rate (PRR: ACKed / generated),
+* avg utility per packet (Eq. 16; failed packets score 0),
+* avg latency per packet (generation → ACK; failed packets are
+  penalized with the sampling period, as the paper specifies).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass
+class NodeMetrics:
+    """Per-node counters accumulated during a run."""
+
+    node_id: int
+    period_s: float
+
+    packets_generated: int = 0
+    packets_delivered: int = 0
+    packets_dropped_energy: int = 0
+    retransmissions: int = 0
+    tx_energy_j: float = 0.0
+    utility_sum: float = 0.0
+    latency_sum_s: float = 0.0
+    delivered_latency_sum_s: float = 0.0
+    window_selections: Counter = field(default_factory=Counter)
+    degradation: float = 0.0
+    cycle_aging: float = 0.0
+    calendar_aging: float = 0.0
+    final_soc: float = 0.0
+
+    # ------------------------------------------------------------- recording
+
+    def record_generated(self) -> None:
+        """Count a newly generated packet."""
+        self.packets_generated += 1
+
+    def record_window(self, window_index: int) -> None:
+        """Count the forecast window chosen for a packet."""
+        self.window_selections[window_index] += 1
+
+    def record_delivery(
+        self, retransmissions: int, tx_energy_j: float, utility: float, latency_s: float
+    ) -> None:
+        """Account a packet that was eventually ACKed."""
+        if retransmissions < 0 or tx_energy_j < 0 or latency_s < 0:
+            raise ConfigurationError("delivery metrics cannot be negative")
+        self.packets_delivered += 1
+        self.retransmissions += retransmissions
+        self.tx_energy_j += tx_energy_j
+        self.utility_sum += utility
+        self.latency_sum_s += latency_s
+        self.delivered_latency_sum_s += latency_s
+
+    def record_failure(
+        self,
+        retransmissions: int,
+        tx_energy_j: float,
+        energy_drop: bool = False,
+    ) -> None:
+        """Account a packet that was never ACKed.
+
+        Failed packets score 0 utility and are penalized with the
+        sampling period as their latency.
+        """
+        self.retransmissions += retransmissions
+        self.tx_energy_j += tx_energy_j
+        self.latency_sum_s += self.period_s
+        if energy_drop:
+            self.packets_dropped_energy += 1
+
+    # ------------------------------------------------------------- summaries
+
+    @property
+    def prr(self) -> float:
+        """ACKed / generated for this node."""
+        if self.packets_generated == 0:
+            return 0.0
+        return self.packets_delivered / self.packets_generated
+
+    @property
+    def avg_retransmissions(self) -> float:
+        """Mean RETX attempts per generated packet."""
+        if self.packets_generated == 0:
+            return 0.0
+        return self.retransmissions / self.packets_generated
+
+    @property
+    def avg_utility(self) -> float:
+        """Mean Eq. (16) utility per packet (failures score 0)."""
+        if self.packets_generated == 0:
+            return 0.0
+        return self.utility_sum / self.packets_generated
+
+    @property
+    def avg_latency_s(self) -> float:
+        """Mean latency per packet, failure-penalized."""
+        if self.packets_generated == 0:
+            return 0.0
+        return self.latency_sum_s / self.packets_generated
+
+    @property
+    def avg_delivered_latency_s(self) -> float:
+        """Mean latency over *delivered* packets only (no failure penalty).
+
+        The paper's Fig. 6c/9c latency distributions reflect delivered
+        packets; the penalized average is :attr:`avg_latency_s`.
+        """
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.delivered_latency_sum_s / self.packets_delivered
+
+    @property
+    def majority_window(self) -> Optional[int]:
+        """The forecast window this node used for most of its packets."""
+        if not self.window_selections:
+            return None
+        return self.window_selections.most_common(1)[0][0]
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Linear-interpolated percentile of a sample, ``q`` in [0, 100].
+
+    The paper's Fig. 6/9 box plots show per-node distributions; this is
+    the helper behind :meth:`NetworkMetrics.distribution`.
+    """
+    if not values:
+        raise ConfigurationError("cannot take a percentile of nothing")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q / 100.0 * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _variance(values: List[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mu = _mean(values)
+    return sum((v - mu) ** 2 for v in values) / (len(values) - 1)
+
+
+@dataclass
+class NetworkMetrics:
+    """Network-wide aggregation across all nodes of a run."""
+
+    nodes: Dict[int, NodeMetrics]
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ConfigurationError("metrics need at least one node")
+
+    # Aggregates used by the figures -------------------------------------
+
+    @property
+    def avg_retransmissions(self) -> float:
+        """Mean RETX attempts per generated packet."""
+        return _mean([n.avg_retransmissions for n in self.nodes.values()])
+
+    @property
+    def total_tx_energy_j(self) -> float:
+        """Total Eq. (6) transmission energy, joules."""
+        return sum(n.tx_energy_j for n in self.nodes.values())
+
+    @property
+    def prr_values(self) -> List[float]:
+        """Per-node packet reception rates."""
+        return [n.prr for n in self.nodes.values()]
+
+    @property
+    def avg_prr(self) -> float:
+        """Mean PRR across nodes."""
+        return _mean(self.prr_values)
+
+    @property
+    def min_prr(self) -> float:
+        """Worst node's PRR."""
+        return min(self.prr_values)
+
+    @property
+    def utility_values(self) -> List[float]:
+        """Per-node average utilities."""
+        return [n.avg_utility for n in self.nodes.values()]
+
+    @property
+    def avg_utility(self) -> float:
+        """Mean Eq. (16) utility per packet (failures score 0)."""
+        return _mean(self.utility_values)
+
+    @property
+    def latency_values_s(self) -> List[float]:
+        """Per-node average latencies (failures penalized)."""
+        return [n.avg_latency_s for n in self.nodes.values()]
+
+    @property
+    def avg_latency_s(self) -> float:
+        """Mean latency per packet, failure-penalized."""
+        return _mean(self.latency_values_s)
+
+    @property
+    def delivered_latency_values_s(self) -> List[float]:
+        """Per-node delivered-only latencies."""
+        return [n.avg_delivered_latency_s for n in self.nodes.values()]
+
+    @property
+    def avg_delivered_latency_s(self) -> float:
+        """Mean latency over delivered packets only."""
+        return _mean(self.delivered_latency_values_s)
+
+    @property
+    def degradation_values(self) -> List[float]:
+        """Per-node Eq. (4) degradations."""
+        return [n.degradation for n in self.nodes.values()]
+
+    @property
+    def mean_degradation(self) -> float:
+        """Mean degradation across nodes."""
+        return _mean(self.degradation_values)
+
+    @property
+    def max_degradation(self) -> float:
+        """Worst node's degradation."""
+        return max(self.degradation_values)
+
+    @property
+    def degradation_variance(self) -> float:
+        """Sample variance of node degradations."""
+        return _variance(self.degradation_values)
+
+    @property
+    def total_cycle_aging(self) -> float:
+        """Summed cycle-aging component across nodes."""
+        return sum(n.cycle_aging for n in self.nodes.values())
+
+    def distribution(self, metric: str) -> Dict[str, float]:
+        """Five-number summary of a per-node metric across the network.
+
+        ``metric`` is any per-node attribute/property name returning a
+        number (e.g. ``"prr"``, ``"avg_utility"``, ``"degradation"``,
+        ``"avg_delivered_latency_s"``) — the box-plot view behind the
+        paper's Fig. 6 and Fig. 9 whisker plots.
+        """
+        try:
+            values = [float(getattr(n, metric)) for n in self.nodes.values()]
+        except AttributeError as error:
+            raise ConfigurationError(f"unknown node metric {metric!r}") from error
+        return {
+            "min": min(values),
+            "p25": percentile(values, 25.0),
+            "median": percentile(values, 50.0),
+            "p75": percentile(values, 75.0),
+            "max": max(values),
+        }
+
+    def majority_window_histogram(self) -> Counter:
+        """Fig. 4: nodes binned by the window they used for most packets."""
+        histogram: Counter = Counter()
+        for node in self.nodes.values():
+            window = node.majority_window
+            if window is not None:
+                histogram[window] += 1
+        return histogram
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline aggregates (for tables/benches)."""
+        return {
+            "avg_retx": self.avg_retransmissions,
+            "total_tx_energy_j": self.total_tx_energy_j,
+            "avg_prr": self.avg_prr,
+            "min_prr": self.min_prr,
+            "avg_utility": self.avg_utility,
+            "avg_latency_s": self.avg_latency_s,
+            "avg_delivered_latency_s": self.avg_delivered_latency_s,
+            "mean_degradation": self.mean_degradation,
+            "max_degradation": self.max_degradation,
+            "degradation_variance": self.degradation_variance,
+        }

@@ -1,0 +1,292 @@
+"""End-device model for the event-driven simulator.
+
+Each :class:`EndDevice` owns its battery, harvester, forecaster, MAC
+policy, and metrics, and implements the per-period behaviour of
+Section III-B: at every sampling period it generates a packet, runs the
+MAC's window decision, transmits (with up to 8 retransmissions and
+class-A receive windows) at the chosen window, and settles its energy
+through the software-defined switch so the SoC trace reflects Eq. (5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..battery import Battery, TransitionReport
+from ..core import MacPolicy, PeriodContext, WindowDecision, uniform_offset_in_window
+from ..energy import EnergyForecaster, Harvester, SoftwareDefinedSwitch
+from ..exceptions import ConfigurationError, InvariantError
+from ..lora import ChannelHopper, EnergyModel, TxParams, time_on_air, tx_energy
+from .metrics import NodeMetrics
+from .packetlog import PacketLog, PacketRecord
+from .topology import NodePlacement
+
+
+@dataclass
+class PacketState:
+    """Lifecycle of the packet generated in the current sampling period."""
+
+    generated_at_s: float
+    period_start_s: float
+    decision: WindowDecision
+    attempt: int = 0
+    tx_energy_metric_j: float = 0.0
+    battery_energy_j: float = 0.0
+    #: Forecast window of the last recharge within the period, for the
+    #: piggybacked transition report.
+    last_recharge_window: Optional[int] = None
+    discharge_soc: Optional[float] = None
+
+
+class EndDevice:
+    """One LoRa node: radio, energy subsystem, MAC, and bookkeeping."""
+
+    def __init__(
+        self,
+        placement: NodePlacement,
+        tx_params: TxParams,
+        battery: Battery,
+        harvester: Harvester,
+        forecaster: EnergyForecaster,
+        mac: MacPolicy,
+        hopper: ChannelHopper,
+        window_s: float,
+        energy_model: Optional[EnergyModel] = None,
+        rng: Optional[random.Random] = None,
+        max_retransmissions: int = 8,
+        packet_log: Optional[PacketLog] = None,
+    ) -> None:
+        if window_s <= 0:
+            raise ConfigurationError("window must be positive")
+        self.placement = placement
+        self.tx_params = tx_params
+        self.battery = battery
+        self.harvester = harvester
+        self.forecaster = forecaster
+        self.mac = mac
+        self.hopper = hopper
+        self.window_s = window_s
+        self.energy_model = energy_model or EnergyModel()
+        self.rng = rng or random.Random(placement.node_id)
+        self.max_retransmissions = max_retransmissions
+        self.packet_log = packet_log
+
+        self.airtime_s = time_on_air(tx_params)
+        #: Eq. (6) energy of one attempt (the TX-energy metric's unit).
+        self.tx_energy_j = tx_energy(tx_params, self.energy_model.power_profile)
+        #: Battery cost of one attempt incl. the class-A receive windows.
+        self.attempt_energy_j = self.energy_model.tx_attempt_energy(tx_params)
+
+        self.switch = SoftwareDefinedSwitch(soc_cap=mac.soc_cap)
+        self.metrics = NodeMetrics(
+            node_id=placement.node_id, period_s=placement.period_s
+        )
+        self.packet: Optional[PacketState] = None
+        self._settled_until_s = 0.0
+        self._pending_report: Optional[TransitionReport] = None
+
+    # ------------------------------------------------------------ properties
+
+    def update_tx_params(self, params: TxParams) -> None:
+        """Apply new transmission parameters (ADR) and refresh energies.
+
+        Dynamic parameter changes are exactly why the protocol estimates
+        TX energy with the Eq. (13) EWMA instead of trusting a constant.
+        """
+        self.tx_params = params
+        self.airtime_s = time_on_air(params)
+        self.tx_energy_j = tx_energy(params, self.energy_model.power_profile)
+        self.attempt_energy_j = self.energy_model.tx_attempt_energy(params)
+
+    @property
+    def node_id(self) -> int:
+        """The node's network identifier."""
+        return self.placement.node_id
+
+    @property
+    def period_s(self) -> float:
+        """τ — the node's sampling period in seconds."""
+        return self.placement.period_s
+
+    @property
+    def windows_per_period(self) -> int:
+        """|T| — forecast windows available per sampling period."""
+        return max(1, int(self.placement.period_s // self.window_s))
+
+    # --------------------------------------------------------------- energy
+
+    def settle_to(self, now_s: float) -> None:
+        """Apply harvested energy and sleep demand up to ``now_s``.
+
+        Settlement proceeds in forecast-window-sized chunks (a partial
+        final chunk ends exactly at ``now_s``) through the
+        software-defined switch, so the SoC trace gains at most one point
+        per window — the paper's discrete-time trace granularity.
+        """
+        if now_s < self._settled_until_s:
+            raise InvariantError("cannot settle backwards in time")
+        sleep_watts = self.energy_model.power_profile.sleep_watts
+        cursor = self._settled_until_s
+        while cursor < now_s - 1e-9:
+            chunk_end = min(now_s, cursor + self.window_s)
+            duration = chunk_end - cursor
+            harvested = self.harvester.power_watts(
+                cursor + duration / 2.0
+            ) * duration
+            result = self.switch.apply_window(
+                self.battery,
+                harvested_j=harvested,
+                demand_j=sleep_watts * duration,
+                window_end_s=chunk_end,
+            )
+            if result.charged_j > 0 and self.packet is not None:
+                window = int((cursor - self.packet.period_start_s) // self.window_s)
+                if window >= 0:
+                    self.packet.last_recharge_window = min(window, 0xFE)
+            cursor = chunk_end
+        self._settled_until_s = now_s
+
+    def draw_attempt_energy(self, now_s: float) -> bool:
+        """Draw one attempt's battery cost at ``now_s``; False on brown-out.
+
+        Harvest during the sub-second attempt itself is negligible; the
+        switch draws the full attempt energy from the battery (after
+        :meth:`settle_to` has credited harvest up to now).
+        """
+        self.settle_to(now_s)
+        result = self.switch.apply_window(
+            self.battery,
+            harvested_j=0.0,
+            demand_j=self.attempt_energy_j,
+            window_end_s=now_s,
+        )
+        return result.balanced
+
+    # ------------------------------------------------------------- protocol
+
+    def start_period(self, now_s: float) -> Optional[float]:
+        """Generate this period's packet and run the MAC decision.
+
+        Returns the absolute time of the first transmission attempt, or
+        None when the MAC returned FAIL (packet dropped for energy).
+        """
+        self.settle_to(now_s)
+        self.metrics.record_generated()
+        windows = self.windows_per_period
+        forecast = self.forecaster.forecast(now_s, self.window_s, windows)
+        context = PeriodContext(
+            battery_energy_j=self.battery.stored_j,
+            green_forecast_j=forecast,
+            nominal_tx_energy_j=self.attempt_energy_j,
+            period_start_s=now_s,
+        )
+        decision = self.mac.choose_window(context)
+        if not decision.success or decision.window_index is None:
+            self.metrics.record_failure(0, 0.0, energy_drop=True)
+            if self.packet_log is not None:
+                self.packet_log.append(
+                    PacketRecord(
+                        node_id=self.node_id,
+                        generated_at_s=now_s,
+                        window_index=-1,
+                        attempts=0,
+                        delivered=False,
+                        latency_s=self.period_s,
+                        utility=0.0,
+                        energy_drop=True,
+                    )
+                )
+            self.packet = None
+            return None
+
+        self.metrics.record_window(decision.window_index)
+        self.packet = PacketState(
+            generated_at_s=now_s,
+            period_start_s=now_s,
+            decision=decision,
+        )
+        window_start = now_s + decision.window_index * self.window_s
+        if decision.window_index == 0 and not self._randomize_offset():
+            offset = 0.0  # Pure ALOHA transmits the instant the packet exists.
+        else:
+            offset = uniform_offset_in_window(
+                self.window_s, self.airtime_s, self.rng
+            )
+        return window_start + offset
+
+    def _randomize_offset(self) -> bool:
+        """Whether this MAC spreads transmissions inside the window.
+
+        The proposed MAC picks a random time within the window to cut
+        same-window collisions; plain ALOHA transmits immediately.
+        """
+        return self.mac.name != "LoRaWAN" and self.mac.name[-1] != "C"
+
+    def observe_window_energy(self, window_start_s: float) -> None:
+        """Feed the realized harvest of a window into the forecaster."""
+        actual = self.harvester.window_energy_j(window_start_s, self.window_s)
+        self.forecaster.observe(window_start_s, self.window_s, actual)
+
+    def finish_packet(
+        self, now_s: float, delivered: bool, latency_s: float
+    ) -> Optional[TransitionReport]:
+        """Close out the current packet; returns the piggyback report.
+
+        Updates metrics and the MAC estimators; the returned report is
+        what the *next* uplink would carry (the paper appends transition
+        data for the previous period to the subsequent packet).
+        """
+        packet = self.packet
+        if packet is None:
+            raise InvariantError("no packet in flight")
+        # ``attempt`` counts failed attempts so far; for an exhausted
+        # packet it reads max+1 (the loop increments before giving up),
+        # while the retransmission count is capped at the LoRa limit.
+        retx = min(packet.attempt, self.max_retransmissions)
+        window = packet.decision.window_index or 0
+        if delivered:
+            self.metrics.record_delivery(
+                retransmissions=retx,
+                tx_energy_j=packet.tx_energy_metric_j,
+                utility=packet.decision.utility,
+                latency_s=latency_s,
+            )
+        else:
+            self.metrics.record_failure(
+                retransmissions=retx, tx_energy_j=packet.tx_energy_metric_j
+            )
+        self.mac.observe_result(window, retx, packet.battery_energy_j)
+        if self.packet_log is not None:
+            attempted = packet.tx_energy_metric_j > 0
+            self.packet_log.append(
+                PacketRecord(
+                    node_id=self.node_id,
+                    generated_at_s=packet.generated_at_s,
+                    window_index=window,
+                    attempts=retx + 1 if attempted else 0,
+                    delivered=delivered,
+                    latency_s=latency_s,
+                    utility=packet.decision.utility if delivered else 0.0,
+                    energy_drop=not delivered and not attempted,
+                )
+            )
+        self.observe_window_energy(
+            packet.period_start_s + window * self.window_s
+        )
+        report = TransitionReport(
+            discharge_window=min(window, 0xFE),
+            discharge_soc=packet.discharge_soc,
+            recharge_window=packet.last_recharge_window,
+            recharge_soc=self.battery.soc if packet.last_recharge_window is not None else None,
+        )
+        self._pending_report = report
+        self.packet = None
+        return report
+
+    def take_pending_report(self) -> Optional[TransitionReport]:
+        """The transition report to piggyback on the next uplink."""
+        report = self._pending_report
+        self._pending_report = None
+        return report

@@ -1,0 +1,95 @@
+"""Per-packet event logging for simulation debugging and analysis.
+
+Aggregate metrics answer "how did the network do"; a packet log answers
+"what happened to packet 1523 of node 7".  Both simulators can record
+one :class:`PacketRecord` per generated packet when
+``SimulationConfig.record_packets`` is set; the log supports filtering
+and CSV export for offline analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, fields
+from typing import Callable, Iterator, List
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """The full lifecycle of one sampled packet."""
+
+    node_id: int
+    #: Absolute time the packet was generated (sampling-period start).
+    generated_at_s: float
+    #: Forecast window Algorithm 1 (or ALOHA) chose; -1 if dropped at
+    #: decision time (FAIL).
+    window_index: int
+    #: Transmission attempts used (0 when never transmitted).
+    attempts: int
+    #: Whether an ACK was eventually received.
+    delivered: bool
+    #: Generation → ACK latency; the sampling period for failures.
+    latency_s: float
+    #: Eq. (16) utility credited to the packet.
+    utility: float
+    #: Whether the failure was an energy drop (brown-out / FAIL branch).
+    energy_drop: bool = False
+
+    @property
+    def retransmissions(self) -> int:
+        """Attempts beyond the first (0 when never transmitted)."""
+        return max(0, self.attempts - 1)
+
+
+class PacketLog:
+    """A bounded, append-only collection of :class:`PacketRecord`.
+
+    ``capacity`` bounds memory for long runs: once full, the earliest
+    records are dropped (the tail of a run is usually what is being
+    debugged), and :attr:`dropped` counts the evictions.
+    """
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        self._capacity = capacity
+        self._records: List[PacketRecord] = []
+        self.dropped = 0
+
+    def append(self, record: PacketRecord) -> None:
+        """Add a record, evicting the oldest past capacity."""
+        if len(self._records) >= self._capacity:
+            self._records.pop(0)
+            self.dropped += 1
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[PacketRecord]:
+        return iter(self._records)
+
+    def for_node(self, node_id: int) -> List[PacketRecord]:
+        """All records of one node, in generation order."""
+        return [r for r in self._records if r.node_id == node_id]
+
+    def failures(self) -> List[PacketRecord]:
+        """Records of packets that were never ACKed."""
+        return [r for r in self._records if not r.delivered]
+
+    def where(self, predicate: Callable[[PacketRecord], bool]) -> List[PacketRecord]:
+        """Records matching an arbitrary predicate."""
+        return [r for r in self._records if predicate(r)]
+
+    def to_csv(self) -> str:
+        """Export the log as CSV text (one row per packet)."""
+        buffer = io.StringIO()
+        names = [f.name for f in fields(PacketRecord)]
+        writer = csv.writer(buffer)
+        writer.writerow(names)
+        for record in self._records:
+            writer.writerow([getattr(record, name) for name in names])
+        return buffer.getvalue()

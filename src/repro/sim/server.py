@@ -1,0 +1,93 @@
+"""Network-server model.
+
+The network server sits behind the gateway(s): it terminates the MAC
+(issues ACKs for confirmed uplinks), hosts the
+:class:`~repro.core.DegradationService` that reconstructs SoC traces from
+piggybacked reports, and pushes the normalized degradation byte back to
+each node on its ACKs (Section III-B, "Disseminating battery
+degradation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..battery import TransitionReport
+from ..core import DegradationService, dequantize_w
+from ..exceptions import ConfigurationError
+
+
+@dataclass
+class AckPayload:
+    """What the server returns to the node inside an ACK."""
+
+    #: Normalized degradation byte, present at most once per
+    #: dissemination interval (None → plain ACK, no overhead).
+    w_byte: Optional[int]
+
+    @property
+    def w_u(self) -> Optional[float]:
+        """Decoded normalized degradation, if the ACK carried one."""
+        return None if self.w_byte is None else dequantize_w(self.w_byte)
+
+    @property
+    def extra_bytes(self) -> int:
+        """ACK size increase caused by the piggybacked byte."""
+        return 0 if self.w_byte is None else 1
+
+
+class NetworkServer:
+    """Terminates confirmed uplinks and manages degradation dissemination."""
+
+    def __init__(self, service: Optional[DegradationService] = None) -> None:
+        self._service = service or DegradationService()
+        self._uplinks = 0
+        self._disseminations = 0
+
+    @property
+    def service(self) -> DegradationService:
+        """The degradation bookkeeper behind this server."""
+        return self._service
+
+    @property
+    def uplinks_received(self) -> int:
+        """Total decoded uplinks handled."""
+        return self._uplinks
+
+    @property
+    def disseminations_sent(self) -> int:
+        """ACKs that carried a w_u byte."""
+        return self._disseminations
+
+    def handle_uplink(
+        self,
+        node_id: int,
+        now_s: float,
+        report: Optional[TransitionReport] = None,
+        period_start_s: float = 0.0,
+        window_s: float = 60.0,
+    ) -> AckPayload:
+        """Process a decoded uplink and build its ACK payload.
+
+        Folds the piggybacked transition report (if any) into the node's
+        reconstructed trace and attaches the ``w_u`` byte when the
+        dissemination interval has elapsed for this node.
+        """
+        if now_s < 0:
+            raise ConfigurationError("time cannot be negative")
+        self._uplinks += 1
+        if report is not None:
+            self._service.ingest_report(node_id, report, period_start_s, window_s)
+        w_byte = self._service.ack_payload_byte(node_id, now_s)
+        if w_byte is not None:
+            self._disseminations += 1
+        return AckPayload(w_byte=w_byte)
+
+    def recompute_degradations(self, age_s: float, temperature_c: float = 25.0) -> None:
+        """Daily batch: rerun Eq. (1)-(4) for every known node."""
+        self._service.recompute_all(age_s=age_s, temperature_c=temperature_c)
+
+    def publish_degradation(self, node_id: int, degradation: float) -> None:
+        """Engine shortcut: inject simulator-computed degradation."""
+        self._service.set_degradation(node_id, degradation)

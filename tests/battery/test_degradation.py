@@ -1,0 +1,257 @@
+"""Tests for the Xu et al. degradation model (Eq. 1-4)."""
+
+import math
+
+import pytest
+
+from repro.battery import (
+    Cycle,
+    DegradationConstants,
+    DegradationModel,
+    SocTrace,
+    calendar_aging,
+    cycle_aging,
+    depth_of_discharge_stress,
+    invert_nonlinear_degradation,
+    linear_degradation,
+    nonlinear_degradation,
+    soc_stress,
+    temperature_stress,
+)
+from repro.constants import SECONDS_PER_YEAR
+from repro.exceptions import ConfigurationError
+
+LINEAR = DegradationConstants(cycle_stress_model="linear")
+
+
+class TestTemperatureStress:
+    def test_unity_at_reference_temperature(self):
+        assert temperature_stress(25.0) == pytest.approx(1.0)
+
+    def test_hotter_ages_faster(self):
+        assert temperature_stress(40.0) > 1.0
+
+    def test_colder_ages_slower(self):
+        assert temperature_stress(10.0) < 1.0
+
+    def test_rejects_below_absolute_zero(self):
+        with pytest.raises(ConfigurationError):
+            temperature_stress(-300.0)
+
+
+class TestSocStress:
+    def test_unity_at_reference_soc(self):
+        assert soc_stress(0.5) == pytest.approx(1.0)
+
+    def test_monotone_in_soc(self):
+        values = [soc_stress(s / 10) for s in range(11)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_full_soc_stress_value(self):
+        # e^{1.04 * 0.5} ≈ 1.68
+        assert soc_stress(1.0) == pytest.approx(math.exp(0.52))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            soc_stress(1.1)
+
+
+class TestCalendarAging:
+    def test_linear_in_age(self):
+        one = calendar_aging(SECONDS_PER_YEAR, 25.0, 0.5)
+        two = calendar_aging(2 * SECONDS_PER_YEAR, 25.0, 0.5)
+        assert two == pytest.approx(2 * one)
+
+    def test_one_year_at_reference_magnitude(self):
+        # k1 * year = 4.14e-10 * 3.15e7 ≈ 0.013
+        assert calendar_aging(SECONDS_PER_YEAR, 25.0, 0.5) == pytest.approx(
+            0.01306, rel=1e-2
+        )
+
+    def test_high_soc_ages_faster_than_low(self):
+        high = calendar_aging(SECONDS_PER_YEAR, 25.0, 0.9)
+        low = calendar_aging(SECONDS_PER_YEAR, 25.0, 0.3)
+        assert high > low * 1.5
+
+    def test_zero_age_zero_aging(self):
+        assert calendar_aging(0.0, 25.0, 0.5) == 0.0
+
+    def test_rejects_negative_age(self):
+        with pytest.raises(ConfigurationError):
+            calendar_aging(-1.0, 25.0, 0.5)
+
+
+class TestDepthOfDischargeStress:
+    def test_zero_depth_zero_stress(self):
+        assert depth_of_discharge_stress(0.0) == 0.0
+
+    def test_superlinear_in_depth(self):
+        # One full cycle hurts more than ten tenth-depth cycles.
+        assert depth_of_discharge_stress(1.0) > 10 * depth_of_discharge_stress(0.1)
+
+    def test_monotone_in_depth(self):
+        values = [depth_of_discharge_stress(d / 10) for d in range(1, 11)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_full_depth_magnitude(self):
+        # 1/(1.4e5 - 1.23e5) ≈ 5.9e-5 per full cycle.
+        assert depth_of_discharge_stress(1.0) == pytest.approx(5.88e-5, rel=1e-2)
+
+    def test_rejects_negative_depth(self):
+        with pytest.raises(ConfigurationError):
+            depth_of_discharge_stress(-0.1)
+
+
+class TestCycleAging:
+    def test_no_cycles_no_aging(self):
+        assert cycle_aging([], 25.0) == 0.0
+
+    def test_linear_model_formula(self):
+        cycles = [Cycle(depth=0.5, mean_soc=0.4, weight=1.0)]
+        expected = 0.5 * 0.4 * LINEAR.k6
+        assert cycle_aging(cycles, 25.0, LINEAR) == pytest.approx(expected)
+
+    def test_xu_model_uses_dod_and_soc_stress(self):
+        cycles = [Cycle(depth=0.5, mean_soc=0.4, weight=1.0)]
+        expected = depth_of_discharge_stress(0.5) * soc_stress(0.4)
+        assert cycle_aging(cycles, 25.0) == pytest.approx(expected)
+
+    def test_half_cycle_counts_half(self):
+        full = cycle_aging([Cycle(0.5, 0.4, 1.0)], 25.0)
+        half = cycle_aging([Cycle(0.5, 0.4, 0.5)], 25.0)
+        assert half == pytest.approx(full / 2)
+
+    def test_temperature_scales_cycle_aging(self):
+        cycles = [Cycle(0.5, 0.4, 1.0)]
+        assert cycle_aging(cycles, 40.0) > cycle_aging(cycles, 25.0)
+
+    def test_deep_cycles_dominate_shallow_for_same_throughput(self):
+        # Same energy throughput: 1×δ=0.8 vs 8×δ=0.1 (Xu model).
+        deep = cycle_aging([Cycle(0.8, 0.5, 1.0)], 25.0)
+        shallow = cycle_aging([Cycle(0.1, 0.5, 1.0)] * 8, 25.0)
+        assert deep > shallow
+
+
+class TestNonlinearDegradation:
+    def test_zero_linear_zero_nonlinear(self):
+        assert nonlinear_degradation(0.0) == pytest.approx(0.0)
+
+    def test_monotone(self):
+        values = [nonlinear_degradation(x / 50) for x in range(50)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_bounded_by_one(self):
+        assert nonlinear_degradation(100.0) <= 1.0
+
+    def test_sei_makes_early_degradation_fast(self):
+        # Early slope exceeds late slope because of SEI film formation.
+        early = nonlinear_degradation(0.01) - nonlinear_degradation(0.0)
+        late = nonlinear_degradation(0.11) - nonlinear_degradation(0.10)
+        assert early > late
+
+    def test_inverse_round_trips(self):
+        for target in (0.05, 0.1, 0.2, 0.5):
+            linear = invert_nonlinear_degradation(target)
+            assert nonlinear_degradation(linear) == pytest.approx(target, abs=1e-9)
+
+    def test_inverse_of_zero(self):
+        assert invert_nonlinear_degradation(0.0) == 0.0
+
+    def test_rejects_negative_linear(self):
+        with pytest.raises(ConfigurationError):
+            nonlinear_degradation(-0.1)
+
+    def test_linear_degradation_sum(self):
+        assert linear_degradation(0.01, 0.02) == pytest.approx(0.03)
+        with pytest.raises(ConfigurationError):
+            linear_degradation(-0.01, 0.02)
+
+
+class TestDegradationModel:
+    def test_breakdown_from_series(self):
+        model = DegradationModel()
+        series = [0.9, 0.4, 0.9, 0.4, 0.9]
+        breakdown = model.breakdown_from_soc_series(series, age_s=SECONDS_PER_YEAR)
+        assert breakdown.calendar > 0
+        assert breakdown.cycle > 0
+        assert breakdown.linear == pytest.approx(
+            breakdown.calendar + breakdown.cycle
+        )
+        assert 0 < breakdown.nonlinear() < 1
+
+    def test_flat_series_uses_fallback_mean(self):
+        model = DegradationModel()
+        breakdown = model.breakdown_from_soc_series(
+            [0.8], age_s=SECONDS_PER_YEAR, fallback_mean_soc=0.8
+        )
+        assert breakdown.cycle == 0.0
+        assert breakdown.mean_soc == pytest.approx(0.8)
+
+    def test_empty_series_rejected(self):
+        model = DegradationModel()
+        with pytest.raises(ConfigurationError):
+            model.breakdown_from_soc_series([], age_s=1.0)
+
+    def test_trace_round_trip(self):
+        model = DegradationModel()
+        trace = SocTrace()
+        for day in range(10):
+            trace.append(day * 86400.0, 0.9)
+            trace.append(day * 86400.0 + 43200.0, 0.4)
+        degradation = model.degradation_from_trace(trace)
+        assert 0 < degradation < 0.05
+
+    def test_eol_threshold(self):
+        model = DegradationModel()
+        assert model.is_end_of_life(0.2)
+        assert not model.is_end_of_life(0.19)
+
+    def test_eol_linear_budget_magnitude(self):
+        # Solving Eq. 4 for D=0.2 gives D_L ≈ 0.164 with defaults.
+        assert DegradationModel().eol_linear_budget() == pytest.approx(0.164, abs=0.01)
+
+    def test_lifespan_from_rate(self):
+        model = DegradationModel()
+        budget = model.eol_linear_budget()
+        assert model.lifespan_from_linear_rate(budget) == pytest.approx(1.0)
+        assert model.lifespan_from_linear_rate(0.0) == math.inf
+
+    def test_lifespan_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            DegradationModel().lifespan_from_linear_rate(-1.0)
+
+
+class TestPaperScaleLifespans:
+    """The calibration claims of DESIGN.md: high-SoC ≈ 8 y, capped ≈ 13-14 y."""
+
+    def test_full_soc_battery_lasts_about_eight_years(self):
+        model = DegradationModel()
+        rate = calendar_aging(1.0, 25.0, 0.92)
+        years = model.lifespan_from_linear_rate(rate) / SECONDS_PER_YEAR
+        assert 6.0 < years < 10.0
+
+    def test_capped_battery_lasts_about_thirteen_years(self):
+        model = DegradationModel()
+        rate = calendar_aging(1.0, 25.0, 0.45)
+        years = model.lifespan_from_linear_rate(rate) / SECONDS_PER_YEAR
+        assert 11.0 < years < 16.0
+
+    def test_cap_extends_lifespan_by_more_than_half(self):
+        model = DegradationModel()
+        high = model.lifespan_from_linear_rate(calendar_aging(1.0, 25.0, 0.92))
+        low = model.lifespan_from_linear_rate(calendar_aging(1.0, 25.0, 0.45))
+        assert low / high > 1.5
+
+
+class TestConstants:
+    def test_defaults_valid(self):
+        constants = DegradationConstants()
+        assert constants.eol_threshold == 0.2
+
+    def test_invalid_cycle_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DegradationConstants(cycle_stress_model="quadratic")
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DegradationConstants(alpha_sei=1.5)

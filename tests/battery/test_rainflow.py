@@ -1,0 +1,115 @@
+"""Tests for rainflow cycle counting (ASTM three-point method)."""
+
+import pytest
+
+from repro.battery import Cycle, count_cycles, cycle_statistics, extract_reversals
+from repro.exceptions import ConfigurationError
+
+
+class TestExtractReversals:
+    def test_empty_series(self):
+        assert extract_reversals([]) == []
+
+    def test_constant_series_collapses(self):
+        assert extract_reversals([0.5, 0.5, 0.5]) == [0.5]
+
+    def test_monotone_series_keeps_endpoints(self):
+        assert extract_reversals([0.1, 0.2, 0.3, 0.4]) == [0.1, 0.4]
+
+    def test_zigzag_keeps_all_extrema(self):
+        assert extract_reversals([0.0, 1.0, 0.2, 0.8, 0.1]) == [
+            0.0,
+            1.0,
+            0.2,
+            0.8,
+            0.1,
+        ]
+
+    def test_plateau_inside_run_is_merged(self):
+        assert extract_reversals([0.0, 0.5, 0.5, 1.0, 0.2]) == [0.0, 1.0, 0.2]
+
+
+class TestCountCycles:
+    def test_empty_series_no_cycles(self):
+        assert count_cycles([]) == []
+
+    def test_single_discharge_is_half_cycle(self):
+        cycles = count_cycles([1.0, 0.2])
+        assert len(cycles) == 1
+        assert cycles[0].weight == 0.5
+        assert cycles[0].depth == pytest.approx(0.8)
+        assert cycles[0].mean_soc == pytest.approx(0.6)
+
+    def test_full_discharge_recharge_counts_one_equivalent_cycle(self):
+        cycles = count_cycles([1.0, 0.0, 1.0])
+        total, depth, _ = cycle_statistics(cycles)
+        assert total == pytest.approx(1.0)
+        assert depth == pytest.approx(1.0)
+
+    def test_inner_cycle_extracted_as_full(self):
+        # Classic rainflow: small inner loop inside a big excursion.
+        series = [1.0, 0.2, 0.6, 0.4, 0.9]
+        cycles = count_cycles(series)
+        full = [c for c in cycles if c.weight == 1.0]
+        assert len(full) == 1
+        assert full[0].depth == pytest.approx(0.2)
+        assert full[0].mean_soc == pytest.approx(0.5)
+
+    def test_total_equivalent_cycles_of_repeated_daily_pattern(self):
+        # 10 identical daily discharge/charge swings ≈ 10 equivalent cycles.
+        day = [0.9, 0.4]
+        series = day * 10 + [0.9]
+        total, depth, _ = cycle_statistics(count_cycles(series))
+        assert total == pytest.approx(10.0, abs=0.5)
+        assert depth == pytest.approx(0.5, abs=1e-6)
+
+    def test_weights_only_half_or_full(self):
+        series = [0.5, 0.9, 0.1, 0.7, 0.3, 1.0, 0.0]
+        for cycle in count_cycles(series):
+            assert cycle.weight in (0.5, 1.0)
+
+    def test_depths_bounded_by_series_range(self):
+        series = [0.5, 0.9, 0.1, 0.7, 0.3, 1.0, 0.0, 0.6]
+        max_range = max(series) - min(series)
+        for cycle in count_cycles(series):
+            assert 0.0 <= cycle.depth <= max_range + 1e-12
+
+    def test_means_within_series_bounds(self):
+        series = [0.5, 0.9, 0.1, 0.7, 0.3]
+        for cycle in count_cycles(series):
+            assert min(series) <= cycle.mean_soc <= max(series)
+
+    def test_shifted_series_shifts_means_not_depths(self):
+        series = [0.1, 0.6, 0.2, 0.5, 0.15]
+        shifted = [s + 0.3 for s in series]
+        base = count_cycles(series)
+        moved = count_cycles(shifted)
+        assert [c.depth for c in base] == pytest.approx([c.depth for c in moved])
+        assert [c.mean_soc + 0.3 for c in base] == pytest.approx(
+            [c.mean_soc for c in moved]
+        )
+
+
+class TestCycleStatistics:
+    def test_empty_is_zeroes(self):
+        assert cycle_statistics([]) == (0.0, 0.0, 0.0)
+
+    def test_weighted_average(self):
+        cycles = [
+            Cycle(depth=0.4, mean_soc=0.5, weight=1.0),
+            Cycle(depth=0.2, mean_soc=0.7, weight=0.5),
+        ]
+        total, depth, soc = cycle_statistics(cycles)
+        assert total == pytest.approx(1.5)
+        assert depth == pytest.approx((0.4 + 0.1) / 1.5)
+        assert soc == pytest.approx((0.5 + 0.35) / 1.5)
+
+
+class TestCycleValidation:
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cycle(depth=-0.1, mean_soc=0.5, weight=1.0)
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cycle(depth=0.1, mean_soc=0.5, weight=0.7)

@@ -1,0 +1,146 @@
+"""Tests for compressed SoC traces and transition reports."""
+
+import pytest
+
+from repro.battery import SocTrace, TransitionReport, reconstruct_trace
+from repro.exceptions import ConfigurationError
+
+
+class TestSocTrace:
+    def test_starts_empty(self):
+        trace = SocTrace()
+        assert len(trace) == 0
+        assert trace.last_soc is None
+
+    def test_append_records(self):
+        trace = SocTrace()
+        trace.append(0.0, 0.5)
+        assert trace.last_soc == 0.5
+        assert trace.last_time == 0.0
+
+    def test_monotone_run_is_compressed(self):
+        trace = SocTrace()
+        for i, soc in enumerate([0.1, 0.2, 0.3, 0.4, 0.5]):
+            trace.append(float(i), soc)
+        assert trace.turning_points == [0.1, 0.5]
+        # Endpoint carries the final time.
+        assert trace.last_time == 4.0
+
+    def test_turning_points_preserved(self):
+        trace = SocTrace()
+        values = [0.5, 0.8, 0.9, 0.4, 0.2, 0.7]
+        for i, soc in enumerate(values):
+            trace.append(float(i), soc)
+        assert trace.turning_points == [0.5, 0.9, 0.2, 0.7]
+
+    def test_time_weighted_mean_exact_for_triangle(self):
+        trace = SocTrace()
+        trace.append(0.0, 0.0)
+        trace.append(1.0, 1.0)
+        trace.append(2.0, 0.0)
+        assert trace.time_weighted_mean_soc() == pytest.approx(0.5)
+
+    def test_mean_unaffected_by_compression(self):
+        # A long ramp compresses to 2 points, but the mean is exact.
+        trace = SocTrace()
+        for i in range(101):
+            trace.append(float(i), i / 100.0)
+        assert len(trace) == 2
+        assert trace.time_weighted_mean_soc() == pytest.approx(0.5)
+
+    def test_rejects_time_regression(self):
+        trace = SocTrace()
+        trace.append(10.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            trace.append(5.0, 0.6)
+
+    def test_rejects_out_of_range_soc(self):
+        trace = SocTrace()
+        with pytest.raises(ConfigurationError):
+            trace.append(0.0, 1.5)
+
+    def test_mean_of_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SocTrace().time_weighted_mean_soc()
+
+    def test_duration(self):
+        trace = SocTrace()
+        trace.append(5.0, 0.5)
+        trace.append(15.0, 0.7)
+        assert trace.duration_s == pytest.approx(10.0)
+
+    def test_extend(self):
+        trace = SocTrace()
+        trace.extend([(0.0, 0.5), (1.0, 0.6), (2.0, 0.4)])
+        assert len(trace) == 3
+
+    def test_compact_tail_preserves_statistics(self):
+        trace = SocTrace()
+        for i, soc in enumerate([0.5, 0.9, 0.2, 0.8, 0.3, 0.7]):
+            trace.append(float(i), soc)
+        mean_before = trace.time_weighted_mean_soc()
+        trace.compact_tail(keep_last=2)
+        assert len(trace) == 2
+        assert trace.time_weighted_mean_soc() == pytest.approx(mean_before)
+
+
+class TestTransitionReport:
+    def test_wire_size_is_four_bytes(self):
+        report = TransitionReport(1, 0.5, 3, 0.7)
+        assert len(report.encode()) == TransitionReport.WIRE_SIZE_BYTES == 4
+
+    def test_round_trip(self):
+        report = TransitionReport(2, 0.25, 9, 0.75)
+        decoded = TransitionReport.decode(report.encode())
+        assert decoded.discharge_window == 2
+        assert decoded.recharge_window == 9
+        assert decoded.discharge_soc == pytest.approx(0.25, abs=0.01)
+        assert decoded.recharge_soc == pytest.approx(0.75, abs=0.01)
+
+    def test_none_fields_round_trip(self):
+        report = TransitionReport(None, None, None, None)
+        decoded = TransitionReport.decode(report.encode())
+        assert decoded.discharge_window is None
+        assert decoded.recharge_soc is None
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            TransitionReport.decode(b"\x00\x01")
+
+    def test_encode_rejects_out_of_range_window(self):
+        with pytest.raises(ConfigurationError):
+            TransitionReport(300, 0.5, None, None).encode()
+
+    def test_encode_rejects_out_of_range_soc(self):
+        with pytest.raises(ConfigurationError):
+            TransitionReport(1, 1.5, None, None).encode()
+
+
+class TestReconstructTrace:
+    def test_reconstruction_places_events_in_time(self):
+        reports = [
+            TransitionReport(0, 0.45, 5, 0.5),
+            TransitionReport(1, 0.4, 8, 0.5),
+        ]
+        trace = reconstruct_trace(reports, period_s=600.0, window_s=60.0, initial_soc=0.5)
+        assert trace.times[0] == 0.0
+        assert len(trace) >= 3
+        assert trace.last_time <= 2 * 600.0
+
+    def test_empty_reports_only_initial_point(self):
+        trace = reconstruct_trace([], period_s=600.0, window_s=60.0)
+        assert len(trace) == 1
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            reconstruct_trace([], period_s=0.0, window_s=60.0)
+
+    def test_reconstructed_trace_usable_for_degradation(self):
+        from repro.battery import DegradationModel
+
+        reports = [TransitionReport(0, 0.45, 5, 0.5) for _ in range(48)]
+        trace = reconstruct_trace(reports, period_s=1800.0, window_s=60.0, initial_soc=0.5)
+        degradation = DegradationModel().degradation_from_trace(
+            trace, age_s=86400.0
+        )
+        assert 0 <= degradation < 0.01

@@ -1,0 +1,92 @@
+"""Tests for the ambient/battery thermal models."""
+
+import pytest
+
+from repro.battery import AmbientTemperature, BatteryThermalModel
+from repro.constants import SECONDS_PER_DAY
+from repro.exceptions import ConfigurationError
+
+
+class TestAmbientTemperature:
+    def test_mean_recovered_over_year(self):
+        ambient = AmbientTemperature(mean_c=15.0)
+        total = sum(
+            ambient.at(day * SECONDS_PER_DAY + 12 * 3600.0) for day in range(365)
+        )
+        # Midday samples are offset by part of the diurnal swing, not the
+        # seasonal one; mean should sit near 15 + diurnal contribution.
+        assert 10.0 < total / 365 < 25.0
+
+    def test_summer_warmer_than_winter(self):
+        ambient = AmbientTemperature()
+        winter = ambient.at(10 * SECONDS_PER_DAY + 12 * 3600.0)
+        summer = ambient.at(196 * SECONDS_PER_DAY + 12 * 3600.0)
+        assert summer > winter + 10.0
+
+    def test_afternoon_warmer_than_night(self):
+        ambient = AmbientTemperature()
+        night = ambient.at(100 * SECONDS_PER_DAY + 3 * 3600.0)
+        afternoon = ambient.at(100 * SECONDS_PER_DAY + 15 * 3600.0)
+        assert afternoon > night
+
+    def test_bounded_by_amplitudes(self):
+        ambient = AmbientTemperature(mean_c=15.0, seasonal_amplitude_c=10.0, diurnal_amplitude_c=6.0)
+        for hour in range(0, 24 * 365, 17):
+            t = ambient.at(hour * 3600.0)
+            assert 15.0 - 16.0 - 1e-9 <= t <= 15.0 + 16.0 + 1e-9
+
+    def test_mean_over_interval(self):
+        ambient = AmbientTemperature(seasonal_amplitude_c=0.0, diurnal_amplitude_c=0.0)
+        assert ambient.mean_over(0.0, SECONDS_PER_DAY) == pytest.approx(15.0)
+
+    def test_rejects_negative_amplitudes(self):
+        with pytest.raises(ConfigurationError):
+            AmbientTemperature(seasonal_amplitude_c=-1.0)
+
+    def test_mean_over_validates(self):
+        with pytest.raises(ConfigurationError):
+            AmbientTemperature().mean_over(0.0, 0.0)
+
+
+class TestBatteryThermalModel:
+    def test_insulated_battery_pinned_at_reference(self):
+        model = BatteryThermalModel(
+            ambient=AmbientTemperature(), insulation=1.0, reference_c=25.0
+        )
+        model.advance_to(100 * SECONDS_PER_DAY)
+        assert model.temperature_c == pytest.approx(25.0, abs=0.01)
+
+    def test_uninsulated_tracks_ambient_slowly(self):
+        ambient = AmbientTemperature(diurnal_amplitude_c=10.0, seasonal_amplitude_c=0.0)
+        model = BatteryThermalModel(ambient=ambient, insulation=0.0, time_constant_s=4 * 3600.0)
+        temps = []
+        ambients = []
+        for hour in range(48):
+            t = hour * 3600.0
+            temps.append(model.advance_to(t))
+            ambients.append(ambient.at(t))
+        # Battery swing is damped relative to ambient swing.
+        battery_swing = max(temps[24:]) - min(temps[24:])
+        ambient_swing = max(ambients[24:]) - min(ambients[24:])
+        assert 0.0 < battery_swing < ambient_swing
+
+    def test_time_monotone(self):
+        model = BatteryThermalModel(ambient=AmbientTemperature())
+        model.advance_to(1000.0)
+        with pytest.raises(ConfigurationError):
+            model.advance_to(500.0)
+
+    def test_partial_insulation_between_extremes(self):
+        ambient = AmbientTemperature(mean_c=0.0, seasonal_amplitude_c=0.0, diurnal_amplitude_c=0.0)
+        free = BatteryThermalModel(ambient=ambient, insulation=0.0, reference_c=25.0)
+        half = BatteryThermalModel(ambient=ambient, insulation=0.5, reference_c=25.0)
+        free.advance_to(10 * SECONDS_PER_DAY)
+        half.advance_to(10 * SECONDS_PER_DAY)
+        assert free.temperature_c == pytest.approx(0.0, abs=0.1)
+        assert half.temperature_c == pytest.approx(12.5, abs=0.2)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            BatteryThermalModel(ambient=AmbientTemperature(), time_constant_s=0.0)
+        with pytest.raises(ConfigurationError):
+            BatteryThermalModel(ambient=AmbientTemperature(), insulation=2.0)

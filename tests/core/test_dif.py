@@ -1,0 +1,67 @@
+"""Tests for the Degradation Impact Factor (Eq. 15)."""
+
+import pytest
+
+from repro.core import degradation_impact_factor, dif_profile
+from repro.exceptions import ConfigurationError
+
+
+class TestDegradationImpactFactor:
+    def test_zero_when_green_covers_tx(self):
+        # e_tx <= E_g → SoC cannot drop → DIF = 0.
+        assert degradation_impact_factor(0.05, 0.06, 0.13) == 0.0
+
+    def test_zero_when_green_exactly_equal(self):
+        assert degradation_impact_factor(0.05, 0.05, 0.13) == 0.0
+
+    def test_positive_when_battery_needed(self):
+        assert degradation_impact_factor(0.06, 0.02, 0.13) > 0.0
+
+    def test_eq15_value(self):
+        # (max(0.06, 0.02) - 0.02) / 0.13
+        assert degradation_impact_factor(0.06, 0.02, 0.13) == pytest.approx(
+            0.04 / 0.13
+        )
+
+    def test_no_green_full_deficit(self):
+        assert degradation_impact_factor(0.13, 0.0, 0.13) == pytest.approx(1.0)
+
+    def test_clipped_to_one(self):
+        # Estimate above E_max (retransmission bursts) still yields ≤ 1.
+        assert degradation_impact_factor(0.5, 0.0, 0.13) == 1.0
+
+    def test_monotone_decreasing_in_green(self):
+        values = [
+            degradation_impact_factor(0.06, g / 100.0, 0.13) for g in range(10)
+        ]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_monotone_increasing_in_estimate(self):
+        values = [
+            degradation_impact_factor(e / 100.0, 0.02, 0.13) for e in range(3, 13)
+        ]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_range_is_unit_interval(self):
+        for e in range(0, 20):
+            for g in range(0, 20):
+                dif = degradation_impact_factor(e / 100, g / 100, 0.13)
+                assert 0.0 <= dif <= 1.0
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ConfigurationError):
+            degradation_impact_factor(-0.1, 0.0, 0.13)
+
+    def test_rejects_non_positive_max(self):
+        with pytest.raises(ConfigurationError):
+            degradation_impact_factor(0.1, 0.0, 0.0)
+
+
+class TestDifProfile:
+    def test_profile_per_window(self):
+        profile = dif_profile(0.06, [0.0, 0.03, 0.08], 0.13)
+        assert len(profile) == 3
+        assert profile[0] > profile[1] > profile[2] == 0.0
+
+    def test_empty_profile(self):
+        assert dif_profile(0.06, [], 0.13) == []

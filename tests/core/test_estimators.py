@@ -1,0 +1,123 @@
+"""Tests for the on-sensor estimators (Eq. 13 and Eq. 14)."""
+
+import pytest
+
+from repro.core import EwmaTxEnergyEstimator, RetransmissionEstimator
+from repro.exceptions import ConfigurationError
+
+
+class TestEwmaTxEnergyEstimator:
+    def test_starts_at_initial(self):
+        est = EwmaTxEnergyEstimator(beta=0.3, initial_j=0.05)
+        assert est.estimate_j == 0.05
+
+    def test_eq13_update(self):
+        est = EwmaTxEnergyEstimator(beta=0.3, initial_j=0.05)
+        est.observe(0.10)
+        # 0.3*0.10 + 0.7*0.05 = 0.065
+        assert est.estimate_j == pytest.approx(0.065)
+
+    def test_beta_one_tracks_instantly(self):
+        est = EwmaTxEnergyEstimator(beta=1.0, initial_j=0.05)
+        est.observe(0.2)
+        assert est.estimate_j == pytest.approx(0.2)
+
+    def test_beta_zero_never_moves(self):
+        est = EwmaTxEnergyEstimator(beta=0.0, initial_j=0.05)
+        est.observe(0.2)
+        assert est.estimate_j == pytest.approx(0.05)
+
+    def test_converges_to_constant_signal(self):
+        est = EwmaTxEnergyEstimator(beta=0.3, initial_j=0.0)
+        for _ in range(100):
+            est.observe(0.07)
+        assert est.estimate_j == pytest.approx(0.07, rel=1e-6)
+
+    def test_estimate_bounded_by_observation_range(self):
+        est = EwmaTxEnergyEstimator(beta=0.4, initial_j=0.05)
+        observations = [0.03, 0.09, 0.06, 0.04, 0.08]
+        for obs in observations:
+            est.observe(obs)
+        assert min(observations) <= est.estimate_j <= max(
+            observations + [0.05]
+        )
+
+    def test_reset(self):
+        est = EwmaTxEnergyEstimator(beta=0.5, initial_j=0.05)
+        est.observe(0.2)
+        est.reset(0.01)
+        assert est.estimate_j == 0.01
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ConfigurationError):
+            EwmaTxEnergyEstimator(beta=1.5)
+
+    def test_rejects_negative_observation(self):
+        with pytest.raises(ConfigurationError):
+            EwmaTxEnergyEstimator().observe(-1.0)
+
+
+class TestRetransmissionEstimator:
+    def test_untried_window_is_optimistic(self):
+        est = RetransmissionEstimator()
+        assert est.expected_retransmissions(0) == 0.0
+        assert est.window_energy_multiplier(0) == 1.0
+
+    def test_expected_value_from_history(self):
+        est = RetransmissionEstimator()
+        for r in (0, 2, 4):
+            est.observe(1, r)
+        assert est.expected_retransmissions(1) == pytest.approx(2.0)
+
+    def test_multiplier_is_one_plus_expectation(self):
+        est = RetransmissionEstimator()
+        est.observe(3, 4)
+        assert est.window_energy_multiplier(3) == pytest.approx(5.0)
+
+    def test_eq14_cdf(self):
+        est = RetransmissionEstimator()
+        for r in (0, 0, 1, 3):
+            est.observe(2, r)
+        assert est.probability_at_most(0, 2) == pytest.approx(0.5)
+        assert est.probability_at_most(1, 2) == pytest.approx(0.75)
+        assert est.probability_at_most(3, 2) == pytest.approx(1.0)
+
+    def test_cdf_monotone_in_r(self):
+        est = RetransmissionEstimator()
+        for r in (0, 1, 1, 2, 5, 8):
+            est.observe(0, r)
+        values = [est.probability_at_most(r, 0) for r in range(9)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_windows_independent(self):
+        est = RetransmissionEstimator()
+        est.observe(0, 8)
+        assert est.expected_retransmissions(1) == 0.0
+
+    def test_selections_counted(self):
+        est = RetransmissionEstimator()
+        est.observe(0, 1)
+        est.observe(0, 2)
+        assert est.selections(0) == 2
+        assert est.selections(5) == 0
+
+    def test_crowded_window_costlier_than_quiet(self):
+        """The mechanism the MAC uses to escape crowded windows."""
+        est = RetransmissionEstimator()
+        for _ in range(10):
+            est.observe(0, 6)  # window 0 always collides
+            est.observe(1, 0)  # window 1 is quiet
+        assert est.window_energy_multiplier(0) > est.window_energy_multiplier(1)
+
+    def test_rejects_out_of_range_retx(self):
+        est = RetransmissionEstimator(max_retransmissions=8)
+        with pytest.raises(ConfigurationError):
+            est.observe(0, 9)
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ConfigurationError):
+            RetransmissionEstimator().observe(-1, 0)
+
+    def test_probability_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            RetransmissionEstimator().probability_at_most(9, 0)

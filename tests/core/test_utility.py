@@ -1,0 +1,101 @@
+"""Tests for packet-utility functions (Eq. 16 and variants)."""
+
+import pytest
+
+from repro.core import (
+    ExponentialUtility,
+    LinearUtility,
+    StepUtility,
+    average_utility,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestLinearUtility:
+    def test_window_zero_has_full_utility(self):
+        assert LinearUtility()(0, 10) == 1.0
+
+    def test_eq16_values(self):
+        fn = LinearUtility()
+        assert fn(3, 10) == pytest.approx(0.7)
+        assert fn(9, 10) == pytest.approx(0.1)
+
+    def test_zero_after_period(self):
+        assert LinearUtility()(10, 10) == 0.0
+        assert LinearUtility()(15, 10) == 0.0
+
+    def test_monotonically_decreasing(self):
+        fn = LinearUtility()
+        values = [fn(t, 20) for t in range(25)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ConfigurationError):
+            LinearUtility()(-1, 10)
+
+    def test_rejects_empty_period(self):
+        with pytest.raises(ConfigurationError):
+            LinearUtility()(0, 0)
+
+
+class TestExponentialUtility:
+    def test_starts_at_one(self):
+        assert ExponentialUtility()(0, 10) == 1.0
+
+    def test_halves_at_half_life(self):
+        fn = ExponentialUtility(half_life_windows=4.0)
+        assert fn(4, 100) == pytest.approx(0.5)
+
+    def test_zero_after_period(self):
+        assert ExponentialUtility()(10, 10) == 0.0
+
+    def test_monotone(self):
+        fn = ExponentialUtility(half_life_windows=2.0)
+        values = [fn(t, 50) for t in range(50)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_rejects_bad_half_life(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialUtility(half_life_windows=0.0)
+
+
+class TestStepUtility:
+    def test_full_inside_grace(self):
+        fn = StepUtility(grace_windows=3)
+        assert fn(0, 10) == 1.0
+        assert fn(3, 10) == 1.0
+
+    def test_decays_after_grace(self):
+        fn = StepUtility(grace_windows=3)
+        assert fn(4, 10) < 1.0
+        assert fn(9, 10) > 0.0
+
+    def test_zero_after_period(self):
+        assert StepUtility(grace_windows=3)(10, 10) == 0.0
+
+    def test_monotone_non_increasing(self):
+        fn = StepUtility(grace_windows=2)
+        values = [fn(t, 12) for t in range(14)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_rejects_negative_grace(self):
+        with pytest.raises(ConfigurationError):
+            StepUtility(grace_windows=-1)
+
+
+class TestAverageUtility:
+    def test_empty_is_zero(self):
+        assert average_utility([]) == 0.0
+
+    def test_mean(self):
+        assert average_utility([1.0, 0.5, 0.0]) == pytest.approx(0.5)
+
+    def test_failed_packets_drag_average(self):
+        # The paper's avg-utility metric scores failed packets as 0.
+        delivered = [0.9] * 7
+        with_failures = delivered + [0.0] * 3
+        assert average_utility(with_failures) < average_utility(delivered)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            average_utility([1.1])

@@ -1,0 +1,142 @@
+"""Tests for Algorithm 1 (on-sensor forecast-window selection)."""
+
+import pytest
+
+from repro.core import LinearUtility, WindowSelector
+from repro.exceptions import ConfigurationError
+
+E_MAX = 0.132
+E_TX = 0.06
+
+
+def selector(w_b=1.0, cap=float("inf")):
+    return WindowSelector(
+        w_b=w_b, utility_fn=LinearUtility(), max_tx_energy_j=E_MAX, soc_cap_j=cap
+    )
+
+
+class TestAlgorithmOne:
+    def test_plentiful_energy_picks_first_window(self):
+        """DIF = 0 everywhere → utility dominates → window 0."""
+        decision = selector().select(
+            battery_energy_j=1.0,
+            normalized_degradation=1.0,
+            green_energies_j=[E_TX * 2] * 10,
+            estimated_tx_energies_j=[E_TX] * 10,
+        )
+        assert decision.success
+        assert decision.window_index == 0
+        assert decision.utility == 1.0
+
+    def test_degraded_node_moves_to_green_window(self):
+        """Fig. 3's p29: energy arrives only in window 1."""
+        green = [0.0] * 10
+        green[1] = E_TX * 1.2
+        decision = selector().select(1.0, 1.0, green, [E_TX] * 10)
+        assert decision.window_index == 1
+
+    def test_fresh_node_ignores_dif(self):
+        """w_u = 0 (new battery) → pure utility → window 0."""
+        green = [0.0] * 10
+        green[1] = E_TX * 1.2
+        decision = selector().select(1.0, 0.0, green, [E_TX] * 10)
+        assert decision.window_index == 0
+
+    def test_w_b_zero_disables_degradation_awareness(self):
+        green = [0.0] * 10
+        green[1] = E_TX * 1.2
+        decision = selector(w_b=0.0).select(1.0, 1.0, green, [E_TX] * 10)
+        assert decision.window_index == 0
+
+    def test_dif_gain_must_beat_utility_loss(self):
+        """One window of utility costs 1/|T|; a tiny DIF gain loses."""
+        green = [E_TX * 0.95] + [E_TX * 1.05] * 9  # window 0 nearly free
+        decision = selector().select(1.0, 1.0, green, [E_TX] * 10)
+        # DIF(0) = 0.05*0.06/0.132 ≈ 0.023 < 0.1 utility step → stay at 0.
+        assert decision.window_index == 0
+
+    def test_infeasible_windows_skipped(self):
+        """Best-scoring window unaffordable → next best feasible chosen."""
+        green = [0.0, 0.0, E_TX * 2]
+        decision = selector().select(
+            battery_energy_j=0.0,
+            normalized_degradation=0.0,  # utility prefers window 0
+            green_energies_j=green,
+            estimated_tx_energies_j=[E_TX] * 3,
+        )
+        assert decision.success
+        assert decision.window_index == 2
+
+    def test_cumulative_energy_enables_later_windows(self):
+        """Harvest accumulates across windows (lines 8-11)."""
+        green = [E_TX * 0.4] * 5  # no single window covers a TX...
+        decision = selector().select(0.0, 1.0, green, [E_TX] * 5)
+        # ...but by window 2 the battery banked 3 × 0.4 = 1.2 × E_TX.
+        assert decision.success
+        assert decision.window_index == 2
+
+    def test_fail_when_nothing_feasible(self):
+        decision = selector().select(0.0, 1.0, [0.0] * 10, [E_TX] * 10)
+        assert not decision.success
+        assert decision.window_index is None
+        assert decision.utility == 0.0
+
+    def test_soc_cap_limits_banking(self):
+        """With θ·C below E_TX the node cannot bank enough overnight."""
+        green = [E_TX * 0.4] * 5
+        capped = selector(cap=E_TX * 0.5).select(0.0, 1.0, green, [E_TX] * 5)
+        # Stored energy is clipped to 0.5·E_TX between windows; with the
+        # current window's harvest that is 0.9·E_TX < E_TX: FAIL.
+        assert not capped.success
+
+    def test_scores_match_eq17(self):
+        green = [0.0, E_TX]
+        decision = selector().select(1.0, 0.5, green, [E_TX] * 2)
+        utility = LinearUtility()
+        dif0 = E_TX / E_MAX
+        assert decision.scores[0] == pytest.approx(
+            (1 - utility(0, 2)) + 0.5 * dif0 * 1.0
+        )
+        assert decision.scores[1] == pytest.approx((1 - utility(1, 2)) + 0.0)
+
+    def test_tie_breaks_to_earlier_window(self):
+        """Equal scores (night: all DIF equal) → earliest window wins."""
+        decision = selector().select(1.0, 1.0, [0.0] * 10, [E_TX] * 10)
+        assert decision.window_index == 0
+
+    def test_decision_exposes_profiles(self):
+        decision = selector().select(1.0, 1.0, [0.0, E_TX * 2], [E_TX] * 2)
+        assert len(decision.scores) == 2
+        assert len(decision.utilities) == 2
+        assert len(decision.difs) == 2
+        assert decision.difs[1] == 0.0
+
+    def test_single_window_period(self):
+        decision = selector().select(1.0, 1.0, [E_TX], [E_TX])
+        assert decision.window_index == 0
+
+
+class TestValidation:
+    def test_rejects_empty_windows(self):
+        with pytest.raises(ConfigurationError):
+            selector().select(1.0, 0.5, [], [])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            selector().select(1.0, 0.5, [1.0], [1.0, 2.0])
+
+    def test_rejects_negative_battery(self):
+        with pytest.raises(ConfigurationError):
+            selector().select(-1.0, 0.5, [1.0], [1.0])
+
+    def test_rejects_bad_normalized_degradation(self):
+        with pytest.raises(ConfigurationError):
+            selector().select(1.0, 1.5, [1.0], [1.0])
+
+    def test_rejects_bad_w_b(self):
+        with pytest.raises(ConfigurationError):
+            WindowSelector(w_b=2.0, max_tx_energy_j=1.0)
+
+    def test_rejects_bad_max_energy(self):
+        with pytest.raises(ConfigurationError):
+            WindowSelector(max_tx_energy_j=0.0)

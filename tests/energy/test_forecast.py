@@ -1,0 +1,100 @@
+"""Tests for the green-energy forecasters."""
+
+import pytest
+
+from repro.energy import (
+    CloudProcess,
+    Harvester,
+    NoisyForecaster,
+    OracleForecaster,
+    PersistenceForecaster,
+    SolarModel,
+)
+from repro.exceptions import ConfigurationError
+
+NOON = 12 * 3600.0
+
+
+def make_harvester(seed=1):
+    model = SolarModel(peak_watts=1.0e-3, clouds=CloudProcess(seed=0))
+    return Harvester(solar=model, node_seed=seed, shading_sigma=0.0)
+
+
+class TestOracleForecaster:
+    def test_matches_truth_exactly(self):
+        harvester = make_harvester()
+        oracle = OracleForecaster(harvester)
+        assert oracle.forecast(NOON, 60.0, 5) == harvester.window_energies(
+            NOON, 60.0, 5
+        )
+
+    def test_observe_is_noop(self):
+        oracle = OracleForecaster(make_harvester())
+        oracle.observe(NOON, 60.0, 1.0)  # must not raise
+
+
+class TestNoisyForecaster:
+    def test_zero_sigma_equals_oracle(self):
+        harvester = make_harvester()
+        noisy = NoisyForecaster(harvester, sigma=0.0)
+        assert noisy.forecast(NOON, 60.0, 5) == harvester.window_energies(
+            NOON, 60.0, 5
+        )
+
+    def test_noise_perturbs_but_preserves_scale(self):
+        harvester = make_harvester()
+        noisy = NoisyForecaster(harvester, sigma=0.2, seed=1)
+        truth = harvester.window_energies(NOON, 60.0, 10)
+        forecast = noisy.forecast(NOON, 60.0, 10)
+        assert forecast != truth
+        for f, t in zip(forecast, truth):
+            assert 0.3 * t <= f <= 3.0 * t
+
+    def test_night_forecast_stays_zero(self):
+        noisy = NoisyForecaster(make_harvester(), sigma=0.3, seed=2)
+        assert all(v == 0.0 for v in noisy.forecast(0.0, 60.0, 5))
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            NoisyForecaster(make_harvester(), sigma=-0.1)
+
+
+class TestPersistenceForecaster:
+    def make(self, **kwargs):
+        return PersistenceForecaster(peak_window_energy_j=0.06, **kwargs)
+
+    def test_night_windows_forecast_zero(self):
+        forecaster = self.make()
+        assert all(v == 0.0 for v in forecaster.forecast(0.0, 60.0, 5))
+
+    def test_daytime_forecast_positive(self):
+        forecaster = self.make()
+        assert all(v > 0.0 for v in forecaster.forecast(NOON, 60.0, 5))
+
+    def test_learns_clearness_from_observations(self):
+        forecaster = self.make(smoothing=1.0)
+        before = forecaster.forecast(NOON, 60.0, 1)[0]
+        # Observe heavy overcast: actual = 20% of clear-sky expectation.
+        expectation = 0.06  # peak at noon ≈ envelope 1 (midsummer-ish)
+        forecaster.observe(NOON, 60.0, before * 0.2)
+        after = forecaster.forecast(NOON, 60.0, 1)[0]
+        assert after < before
+
+    def test_night_observations_ignored(self):
+        forecaster = self.make(smoothing=1.0)
+        clearness = forecaster.clearness
+        forecaster.observe(0.0, 60.0, 0.0)
+        assert forecaster.clearness == clearness
+
+    def test_clearness_clamped(self):
+        forecaster = self.make(smoothing=1.0)
+        forecaster.observe(NOON, 60.0, 100.0)  # absurdly high reading
+        assert forecaster.clearness <= 1.5
+
+    def test_rejects_bad_peak(self):
+        with pytest.raises(ConfigurationError):
+            PersistenceForecaster(peak_window_energy_j=0.0)
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ConfigurationError):
+            PersistenceForecaster(peak_window_energy_j=1.0, smoothing=0.0)

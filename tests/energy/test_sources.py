@@ -1,0 +1,109 @@
+"""Tests for the wind and vibration harvesting sources."""
+
+import pytest
+
+from repro.constants import SECONDS_PER_DAY
+from repro.energy import VibrationModel, WindModel
+from repro.exceptions import ConfigurationError
+
+
+class TestWindModel:
+    def test_speed_never_negative(self):
+        wind = WindModel(seed=1)
+        for i in range(500):
+            assert wind.wind_speed_ms(i * 600.0) >= 0.0
+
+    def test_power_bounded_by_rated(self):
+        wind = WindModel(seed=2)
+        for i in range(500):
+            assert 0.0 <= wind.power_watts(i * 600.0) <= wind.rated_watts
+
+    def test_cubic_region(self):
+        wind = WindModel(gust_sigma_ms=0.0, mean_speed_ms=6.0)
+        # Deterministic 6 m/s: P = rated * (6^3 - 2.5^3)/(9^3 - 2.5^3).
+        expected = wind.rated_watts * (6**3 - 2.5**3) / (9**3 - 2.5**3)
+        assert wind.power_watts(0.0) == pytest.approx(expected)
+
+    def test_rated_region(self):
+        wind = WindModel(gust_sigma_ms=0.0, mean_speed_ms=12.0)
+        assert wind.power_watts(0.0) == wind.rated_watts
+
+    def test_cut_out(self):
+        wind = WindModel(gust_sigma_ms=0.0, mean_speed_ms=25.0)
+        assert wind.power_watts(0.0) == 0.0
+
+    def test_below_cut_in(self):
+        wind = WindModel(gust_sigma_ms=0.0, mean_speed_ms=1.0)
+        assert wind.power_watts(0.0) == 0.0
+
+    def test_deterministic_per_seed(self):
+        a, b = WindModel(seed=3), WindModel(seed=3)
+        assert [a.power_watts(i * 600.0) for i in range(50)] == [
+            b.power_watts(i * 600.0) for i in range(50)
+        ]
+
+    def test_gusts_persist(self):
+        wind = WindModel(seed=4)
+        speeds = [wind.wind_speed_ms(i * 600.0) for i in range(500)]
+        mean = sum(speeds) / len(speeds)
+        num = sum((a - mean) * (b - mean) for a, b in zip(speeds, speeds[1:]))
+        den = sum((s - mean) ** 2 for s in speeds)
+        assert num / den > 0.3
+
+    def test_produces_at_night_unlike_solar(self):
+        wind = WindModel(seed=5)
+        night_output = sum(wind.power_watts(i * 600.0) for i in range(144))
+        assert night_output > 0.0
+
+    def test_window_energies(self):
+        wind = WindModel(seed=6)
+        energies = wind.window_energies(0.0, 60.0, 10)
+        assert len(energies) == 10
+        assert all(e >= 0 for e in energies)
+
+    def test_rejects_bad_curve(self):
+        with pytest.raises(ConfigurationError):
+            WindModel(cut_in_ms=10.0, rated_ms=5.0)
+
+
+class TestVibrationModel:
+    def test_silent_outside_shift(self):
+        vib = VibrationModel()
+        assert vib.power_watts(3 * 3600.0) == 0.0  # 03:00
+        assert vib.power_watts(22 * 3600.0) == 0.0  # 22:00
+
+    def test_produces_during_shift(self):
+        vib = VibrationModel(downtime_fraction=0.0, jitter_sigma=0.0)
+        assert vib.power_watts(12 * 3600.0) == pytest.approx(vib.peak_watts)
+
+    def test_weekend_silent(self):
+        vib = VibrationModel(workdays_per_week=5, downtime_fraction=0.0)
+        saturday_noon = 5 * SECONDS_PER_DAY + 12 * 3600.0
+        assert vib.power_watts(saturday_noon) == 0.0
+
+    def test_downtime_reduces_output(self):
+        busy = VibrationModel(downtime_fraction=0.0, jitter_sigma=0.0, seed=1)
+        flaky = VibrationModel(downtime_fraction=0.5, jitter_sigma=0.0, seed=1)
+        span = [12 * 3600.0 + i * 900.0 for i in range(24)]
+        assert sum(flaky.power_watts(t) for t in span) < sum(
+            busy.power_watts(t) for t in span
+        )
+
+    def test_deterministic(self):
+        a, b = VibrationModel(seed=7), VibrationModel(seed=7)
+        times = [8 * 3600.0 + i * 900.0 for i in range(40)]
+        assert [a.power_watts(t) for t in times] == [b.power_watts(t) for t in times]
+
+    def test_window_energy(self):
+        vib = VibrationModel(downtime_fraction=0.0, jitter_sigma=0.0)
+        assert vib.window_energy_j(12 * 3600.0, 60.0) == pytest.approx(
+            vib.peak_watts * 60.0
+        )
+
+    def test_rejects_bad_shift(self):
+        with pytest.raises(ConfigurationError):
+            VibrationModel(shift_start_hour=20.0, shift_end_hour=8.0)
+
+    def test_rejects_bad_workdays(self):
+        with pytest.raises(ConfigurationError):
+            VibrationModel(workdays_per_week=0)

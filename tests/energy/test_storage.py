@@ -1,0 +1,124 @@
+"""Tests for the supercapacitor hybrid storage (paper's future work)."""
+
+import pytest
+
+from repro.battery import Battery, count_cycles
+from repro.energy import HybridStorage, SoftwareDefinedSwitch, Supercapacitor
+from repro.exceptions import ConfigurationError
+
+
+def make_cap(capacity=0.5, soc=0.0, leakage=0.02):
+    return Supercapacitor(
+        capacity_j=capacity, initial_soc=soc, leakage_per_hour=leakage
+    )
+
+
+class TestSupercapacitor:
+    def test_charge_and_discharge(self):
+        cap = make_cap()
+        assert cap.charge(0.3) == pytest.approx(0.3)
+        assert cap.discharge(0.1) == pytest.approx(0.1)
+        assert cap.stored_j == pytest.approx(0.2)
+
+    def test_charge_clipped_at_capacity(self):
+        cap = make_cap(capacity=0.5)
+        assert cap.charge(1.0) == pytest.approx(0.5)
+        assert cap.soc == pytest.approx(1.0)
+
+    def test_discharge_clipped_at_stored(self):
+        cap = make_cap(soc=0.2, capacity=0.5)
+        assert cap.discharge(1.0) == pytest.approx(0.1)
+        assert cap.stored_j == 0.0
+
+    def test_leakage_exponential(self):
+        cap = make_cap(soc=1.0, capacity=1.0, leakage=0.5)
+        cap.leak_to(3600.0)
+        assert cap.stored_j == pytest.approx(0.5)
+        cap.leak_to(7200.0)
+        assert cap.stored_j == pytest.approx(0.25)
+
+    def test_leak_returns_lost_energy(self):
+        cap = make_cap(soc=1.0, capacity=1.0, leakage=0.5)
+        assert cap.leak_to(3600.0) == pytest.approx(0.5)
+
+    def test_no_time_travel(self):
+        cap = make_cap()
+        cap.leak_to(100.0)
+        with pytest.raises(ConfigurationError):
+            cap.leak_to(50.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Supercapacitor(capacity_j=0.0)
+        with pytest.raises(ConfigurationError):
+            Supercapacitor(capacity_j=1.0, leakage_per_hour=1.0)
+
+
+class TestHybridStorage:
+    def test_surplus_fills_supercap_before_battery(self):
+        battery = Battery(capacity_j=10.0, initial_soc=0.5)
+        hybrid = HybridStorage(make_cap(capacity=0.5), soc_cap=1.0)
+        result = hybrid.apply_window(battery, harvested_j=0.3, demand_j=0.0, window_end_s=60.0)
+        assert hybrid.supercap.stored_j == pytest.approx(0.3)
+        assert result.charged_j == 0.0
+        assert battery.soc == pytest.approx(0.5)
+
+    def test_overflow_reaches_battery(self):
+        battery = Battery(capacity_j=10.0, initial_soc=0.5)
+        hybrid = HybridStorage(make_cap(capacity=0.5), soc_cap=1.0)
+        result = hybrid.apply_window(battery, harvested_j=2.0, demand_j=0.0, window_end_s=60.0)
+        assert hybrid.supercap.soc == pytest.approx(1.0)
+        assert result.charged_j == pytest.approx(1.5)
+
+    def test_theta_still_enforced_on_battery(self):
+        battery = Battery(capacity_j=10.0, initial_soc=0.5)
+        hybrid = HybridStorage(make_cap(capacity=0.5), soc_cap=0.5)
+        result = hybrid.apply_window(battery, harvested_j=5.0, demand_j=0.0, window_end_s=60.0)
+        assert battery.soc == pytest.approx(0.5)
+        assert result.spilled_j > 0
+
+    def test_deficit_drains_supercap_first(self):
+        battery = Battery(capacity_j=10.0, initial_soc=0.5)
+        hybrid = HybridStorage(make_cap(capacity=0.5, soc=1.0, leakage=0.0), soc_cap=1.0)
+        result = hybrid.apply_window(battery, harvested_j=0.0, demand_j=0.3, window_end_s=60.0)
+        assert result.battery_used_j == 0.0
+        assert hybrid.supercap.stored_j == pytest.approx(0.2)
+        assert battery.soc == pytest.approx(0.5)
+
+    def test_battery_covers_residual_deficit(self):
+        battery = Battery(capacity_j=10.0, initial_soc=0.5)
+        hybrid = HybridStorage(make_cap(capacity=0.5, soc=0.2, leakage=0.0), soc_cap=1.0)
+        result = hybrid.apply_window(battery, harvested_j=0.0, demand_j=0.5, window_end_s=60.0)
+        assert result.battery_used_j == pytest.approx(0.4)
+
+    def test_shortfall_when_everything_empty(self):
+        battery = Battery(capacity_j=10.0, initial_soc=0.0)
+        hybrid = HybridStorage(make_cap(), soc_cap=1.0)
+        result = hybrid.apply_window(battery, harvested_j=0.0, demand_j=1.0, window_end_s=60.0)
+        assert result.shortfall_j == pytest.approx(1.0)
+
+    def test_can_sustain_includes_supercap(self):
+        battery = Battery(capacity_j=10.0, initial_soc=0.0)
+        hybrid = HybridStorage(make_cap(capacity=0.5, soc=1.0))
+        assert hybrid.can_sustain(battery, harvested_j=0.0, demand_j=0.4)
+        assert not hybrid.can_sustain(battery, harvested_j=0.0, demand_j=0.6)
+
+    def test_shields_battery_from_micro_cycles(self):
+        """The extension's whole point: tx micro-cycles never reach the
+        battery's SoC trace, so rainflow sees far fewer cycles."""
+        def run(storage_factory):
+            battery = Battery(capacity_j=10.0, initial_soc=0.5)
+            storage = storage_factory()
+            for i in range(200):
+                end = (i + 1) * 60.0
+                if i % 2 == 0:  # harvest window
+                    storage.apply_window(battery, 0.12, 0.0, end)
+                else:  # transmission window
+                    storage.apply_window(battery, 0.0, 0.1, end)
+            return battery
+
+        plain = run(lambda: SoftwareDefinedSwitch(soc_cap=1.0))
+        hybrid = run(lambda: HybridStorage(make_cap(capacity=0.5), soc_cap=1.0))
+        plain_cycles = len(count_cycles(plain.trace.turning_points))
+        hybrid_cycles = len(count_cycles(hybrid.trace.turning_points))
+        assert hybrid_cycles < plain_cycles / 4

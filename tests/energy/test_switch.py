@@ -1,0 +1,99 @@
+"""Tests for the software-defined battery switch (Eq. 5 / Eq. 21)."""
+
+import pytest
+
+from repro.battery import Battery
+from repro.energy import SoftwareDefinedSwitch
+from repro.exceptions import ConfigurationError
+
+
+def make_battery(capacity=10.0, soc=0.5):
+    return Battery(capacity_j=capacity, initial_soc=soc)
+
+
+class TestSwitch:
+    def test_green_covers_demand_first(self):
+        battery = make_battery()
+        switch = SoftwareDefinedSwitch()
+        result = switch.apply_window(battery, harvested_j=2.0, demand_j=1.5, window_end_s=60.0)
+        assert result.green_used_j == pytest.approx(1.5)
+        assert result.battery_used_j == 0.0
+        assert result.charged_j == pytest.approx(0.5)
+        assert result.balanced
+
+    def test_deficit_drawn_from_battery(self):
+        battery = make_battery()
+        switch = SoftwareDefinedSwitch()
+        result = switch.apply_window(battery, harvested_j=0.5, demand_j=2.0, window_end_s=60.0)
+        assert result.green_used_j == pytest.approx(0.5)
+        assert result.battery_used_j == pytest.approx(1.5)
+        assert battery.stored_j == pytest.approx(3.5)
+
+    def test_soc_cap_limits_charging(self):
+        battery = make_battery(soc=0.45)
+        switch = SoftwareDefinedSwitch(soc_cap=0.5)
+        result = switch.apply_window(battery, harvested_j=5.0, demand_j=0.0, window_end_s=60.0)
+        assert battery.soc == pytest.approx(0.5)
+        assert result.charged_j == pytest.approx(0.5)
+        assert result.spilled_j == pytest.approx(4.5)
+
+    def test_shortfall_when_battery_empty(self):
+        battery = make_battery(soc=0.0)
+        switch = SoftwareDefinedSwitch()
+        result = switch.apply_window(battery, harvested_j=0.0, demand_j=1.0, window_end_s=60.0)
+        assert result.shortfall_j == pytest.approx(1.0)
+        assert not result.balanced
+
+    def test_partial_shortfall(self):
+        battery = make_battery(soc=0.05)  # 0.5 J stored
+        switch = SoftwareDefinedSwitch()
+        result = switch.apply_window(battery, harvested_j=0.0, demand_j=2.0, window_end_s=60.0)
+        assert result.battery_used_j == pytest.approx(0.5)
+        assert result.shortfall_j == pytest.approx(1.5)
+        assert battery.stored_j == pytest.approx(0.0)
+
+    def test_exact_balance_settles_time_only(self):
+        battery = make_battery()
+        switch = SoftwareDefinedSwitch()
+        result = switch.apply_window(battery, harvested_j=1.0, demand_j=1.0, window_end_s=60.0)
+        assert result.charged_j == 0.0
+        assert result.battery_used_j == 0.0
+        assert battery.trace.last_time == 60.0
+
+    def test_energy_conservation(self):
+        battery = make_battery()
+        before = battery.stored_j
+        switch = SoftwareDefinedSwitch(soc_cap=0.8)
+        harvested, demand = 3.0, 1.2
+        result = switch.apply_window(battery, harvested, demand, 60.0)
+        delta = battery.stored_j - before
+        assert harvested - demand == pytest.approx(
+            delta + result.spilled_j - result.shortfall_j
+        )
+
+    def test_can_sustain_is_eq20(self):
+        battery = make_battery()  # 5 J stored
+        switch = SoftwareDefinedSwitch()
+        assert switch.can_sustain(battery, harvested_j=1.0, demand_j=6.0)
+        assert not switch.can_sustain(battery, harvested_j=0.5, demand_j=6.0)
+
+    def test_rejects_negative_energies(self):
+        switch = SoftwareDefinedSwitch()
+        with pytest.raises(ConfigurationError):
+            switch.apply_window(make_battery(), -1.0, 0.0, 60.0)
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ConfigurationError):
+            SoftwareDefinedSwitch(soc_cap=0.0)
+
+    def test_repeated_windows_build_daily_cycle(self):
+        """A day of surplus then deficit produces a charge/discharge swing."""
+        battery = make_battery(soc=0.5, capacity=10.0)
+        switch = SoftwareDefinedSwitch(soc_cap=1.0)
+        for i in range(10):  # morning: surplus
+            switch.apply_window(battery, 1.0, 0.2, (i + 1) * 60.0)
+        top = battery.soc
+        for i in range(10, 20):  # night: deficit
+            switch.apply_window(battery, 0.0, 0.3, (i + 1) * 60.0)
+        assert top > 0.5
+        assert battery.soc < top

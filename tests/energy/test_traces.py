@@ -1,0 +1,101 @@
+"""Tests for tabulated power traces."""
+
+import pytest
+
+from repro.energy import SolarModel, TabulatedTrace
+from repro.exceptions import ConfigurationError
+
+
+def simple_trace(period=0.0):
+    return TabulatedTrace(
+        times_s=[0.0, 10.0, 20.0], watts=[1.0, 2.0, 0.5], period_s=period
+    )
+
+
+class TestTabulatedTrace:
+    def test_zero_order_hold(self):
+        trace = simple_trace()
+        assert trace.power_watts(0.0) == 1.0
+        assert trace.power_watts(9.9) == 1.0
+        assert trace.power_watts(10.0) == 2.0
+        assert trace.power_watts(25.0) == 0.5
+
+    def test_before_first_sample_is_zero(self):
+        assert simple_trace().power_watts(-5.0) == 0.0
+
+    def test_periodic_wrapping(self):
+        trace = simple_trace(period=30.0)
+        assert trace.power_watts(30.0) == trace.power_watts(0.0)
+        assert trace.power_watts(41.0) == trace.power_watts(11.0)
+
+    def test_window_energy(self):
+        trace = simple_trace()
+        assert trace.window_energy_j(0.0, 10.0) == pytest.approx(10.0)
+
+    def test_window_energies(self):
+        assert simple_trace().window_energies(0.0, 10.0, 2) == [
+            pytest.approx(10.0),
+            pytest.approx(20.0),
+        ]
+
+    def test_peak(self):
+        assert simple_trace().peak_watts == 2.0
+
+    def test_scaled_to_peak(self):
+        scaled = simple_trace().scaled_to_peak(4.0)
+        assert scaled.peak_watts == pytest.approx(4.0)
+        assert scaled.watts[0] == pytest.approx(2.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            TabulatedTrace(times_s=[0.0], watts=[1.0, 2.0])
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(ConfigurationError):
+            TabulatedTrace(times_s=[0.0, 0.0], watts=[1.0, 1.0])
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            TabulatedTrace(times_s=[0.0], watts=[-1.0])
+
+    def test_rejects_short_period(self):
+        with pytest.raises(ConfigurationError):
+            simple_trace(period=10.0)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self):
+        trace = simple_trace()
+        restored = TabulatedTrace.from_csv(trace.to_csv())
+        assert restored.times_s == trace.times_s
+        assert restored.watts == trace.watts
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(ConfigurationError):
+            TabulatedTrace.from_csv("a,b\n1,2\n")
+
+    def test_rejects_malformed_row(self):
+        with pytest.raises(ConfigurationError):
+            TabulatedTrace.from_csv("time_s,watts\n1,2,3\n")
+
+
+class TestSampling:
+    def test_sampled_from_solar_model(self):
+        model = SolarModel(peak_watts=1.0)
+        trace = TabulatedTrace.sampled_from(model, duration_s=86400.0, resolution_s=3600.0)
+        assert len(trace.times_s) == 24
+        # Noon sample should dominate midnight sample.
+        assert trace.power_watts(12 * 3600.0) > trace.power_watts(0.0)
+
+    def test_sampled_trace_approximates_model_energy(self):
+        model = SolarModel(peak_watts=1.0)
+        trace = TabulatedTrace.sampled_from(model, 86400.0, 900.0)
+        model_daily = model.daily_energy_j(0.0)
+        trace_daily = sum(
+            trace.window_energy_j(i * 900.0, 900.0) for i in range(96)
+        )
+        assert trace_daily == pytest.approx(model_daily, rel=0.05)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ConfigurationError):
+            TabulatedTrace.sampled_from(SolarModel(peak_watts=1.0), 100.0, 0.0)

@@ -1,0 +1,193 @@
+"""Tests for the per-figure series generators (tiny configurations).
+
+These tests run each figure generator on a deliberately small scenario
+and assert the paper's qualitative shapes — who wins, monotonicity,
+series lengths — not absolute values.
+"""
+
+import pytest
+
+from repro.constants import SECONDS_PER_DAY
+from repro.experiments import (
+    cached_mesoscopic,
+    clear_cache,
+    fig2_degradation_components,
+    fig3_degradation_influence,
+    fig4_window_selection,
+    fig5_energy_and_degradation,
+    fig6_network_performance,
+    fig7_max_degradation_by_month,
+    fig8_network_lifespan,
+    fig9_testbed,
+    measure_overhead,
+    relative_cpu_overhead,
+    testbed_base as make_testbed_base,
+)
+from repro.sim import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_base():
+    return SimulationConfig(
+        node_count=8,
+        duration_s=2 * SECONDS_PER_DAY,
+        period_range_s=(960.0, 1200.0),
+        radius_m=500.0,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_testbed():
+    return make_testbed_base().replace(duration_s=6 * 3600.0)
+
+
+class TestFig2:
+    def test_calendar_dominates_cycle(self, tiny_base):
+        series = fig2_degradation_components(tiny_base, years=5)
+        assert series["calendar"][-1] > series["cycle"][-1]
+
+    def test_series_lengths(self, tiny_base):
+        series = fig2_degradation_components(tiny_base, years=5)
+        assert len(series["months"]) == 60
+        assert len(series["total"]) == 60
+
+    def test_all_series_monotone(self, tiny_base):
+        series = fig2_degradation_components(tiny_base, years=5)
+        for name in ("calendar", "cycle", "total"):
+            values = series[name]
+            assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_total_is_nonlinear_map(self, tiny_base):
+        series = fig2_degradation_components(tiny_base, years=5)
+        assert 0 < series["total"][-1] < 1
+
+
+class TestFig3:
+    def test_energy_rich_period_both_pick_first_window(self):
+        outcome = fig3_degradation_influence()
+        assert outcome["p28"]["highest_degraded"] == 0
+        assert outcome["p28"]["lowest_degraded"] == 0
+
+    def test_energy_poor_period_splits_nodes(self):
+        outcome = fig3_degradation_influence()
+        assert outcome["p29"]["highest_degraded"] == 1
+        assert outcome["p29"]["lowest_degraded"] == 0
+
+
+class TestFig4(object):
+    def test_lorawan_all_nodes_in_first_window(self, tiny_base):
+        histograms = fig4_window_selection(tiny_base)
+        lorawan = histograms["LoRaWAN"]
+        assert set(lorawan) == {0}
+
+    def test_h_variants_spread_or_stay_early(self, tiny_base):
+        histograms = fig4_window_selection(tiny_base)
+        for name in ("H-5", "H-50", "H-100"):
+            total = sum(histograms[name].values())
+            early = sum(v for w, v in histograms[name].items() if w < 4)
+            assert early >= 0.6 * total
+
+
+class TestFig5:
+    def test_h_reduces_retx_and_energy(self, tiny_base):
+        rows = fig5_energy_and_degradation(tiny_base)
+        for name in ("H-50", "H-100"):
+            assert rows[name]["avg_retx"] <= rows["LoRaWAN"]["avg_retx"]
+            assert rows[name]["tx_energy_j"] <= rows["LoRaWAN"]["tx_energy_j"]
+
+    def test_h50_cuts_mean_degradation(self, tiny_base):
+        rows = fig5_energy_and_degradation(tiny_base)
+        assert rows["H-50"]["mean_degradation"] < rows["LoRaWAN"]["mean_degradation"]
+
+    def test_h100_mean_close_to_lorawan(self, tiny_base):
+        rows = fig5_energy_and_degradation(tiny_base)
+        ratio = rows["H-100"]["mean_degradation"] / rows["LoRaWAN"]["mean_degradation"]
+        assert 0.7 < ratio < 1.3
+
+    def test_h5_lowest_degradation(self, tiny_base):
+        rows = fig5_energy_and_degradation(tiny_base)
+        assert rows["H-5"]["mean_degradation"] == min(
+            row["mean_degradation"] for row in rows.values()
+        )
+
+
+class TestFig6:
+    def test_h50_prr_at_least_lorawan(self, tiny_base):
+        rows = fig6_network_performance(tiny_base)
+        assert rows["H-50"]["avg_prr"] >= rows["LoRaWAN"]["avg_prr"] - 0.02
+
+    def test_h5_prr_collapses(self, tiny_base):
+        rows = fig6_network_performance(tiny_base)
+        assert rows["H-5"]["avg_prr"] < rows["H-50"]["avg_prr"] - 0.1
+
+    def test_delivered_latency_lorawan_lowest(self, tiny_base):
+        rows = fig6_network_performance(tiny_base)
+        assert (
+            rows["LoRaWAN"]["avg_delivered_latency_s"]
+            <= rows["H-50"]["avg_delivered_latency_s"] + 1.0
+        )
+
+    def test_metrics_in_bounds(self, tiny_base):
+        rows = fig6_network_performance(tiny_base)
+        for row in rows.values():
+            assert 0.0 <= row["avg_prr"] <= 1.0
+            assert 0.0 <= row["avg_utility"] <= 1.0
+
+
+class TestFig7And8:
+    def test_monthly_series_ordering(self, tiny_base):
+        series = fig7_max_degradation_by_month(tiny_base, months=120)
+        # LoRaWAN degrades fastest at every month (after warm-up).
+        for m in range(24, 120, 24):
+            assert series["LoRaWAN"][m] >= series["H-50"][m]
+
+    def test_lifespan_ordering_matches_paper(self, tiny_base):
+        lifespans = fig8_network_lifespan(tiny_base)
+        assert lifespans["H-50"] > lifespans["LoRaWAN"]
+        assert lifespans["H-50C"] > lifespans["LoRaWAN"]
+
+    def test_h50_gain_in_paper_ballpark(self, tiny_base):
+        lifespans = fig8_network_lifespan(tiny_base)
+        gain = lifespans["H-50"] / lifespans["LoRaWAN"] - 1.0
+        # Paper: +69.7 %.  Accept a generous band at smoke-test scale.
+        assert 0.3 < gain < 1.5
+
+
+class TestFig9:
+    def test_prr_near_perfect_for_both(self, tiny_testbed):
+        rows = fig9_testbed(tiny_testbed)
+        assert rows["LoRaWAN"]["avg_prr"] > 0.9
+        assert rows["H-100"]["avg_prr"] > 0.9
+
+    def test_h100_fewer_retx(self, tiny_testbed):
+        rows = fig9_testbed(tiny_testbed)
+        assert rows["H-100"]["avg_retx"] <= rows["LoRaWAN"]["avg_retx"]
+
+    def test_lorawan_lower_delivered_latency(self, tiny_testbed):
+        rows = fig9_testbed(tiny_testbed)
+        assert (
+            rows["LoRaWAN"]["avg_delivered_latency_s"]
+            <= rows["H-100"]["avg_delivered_latency_s"]
+        )
+
+
+class TestTableI:
+    def test_overhead_small_and_positive(self):
+        rows = measure_overhead(periods=300, repeats=1)
+        assert rows["H-100"].cpu_us_per_period > rows["LoRaWAN"].cpu_us_per_period
+        overhead = relative_cpu_overhead(rows)
+        assert 0.0 < overhead < 2.0
+
+    def test_code_size_larger_for_blam(self):
+        rows = measure_overhead(periods=100, repeats=1)
+        assert rows["H-100"].code_size_bytes > rows["LoRaWAN"].code_size_bytes
+
+
+class TestCaching:
+    def test_cached_run_reused(self, tiny_base):
+        clear_cache()
+        config = tiny_base.as_lorawan()
+        first = cached_mesoscopic(config)
+        second = cached_mesoscopic(config)
+        assert first is second

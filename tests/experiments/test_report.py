@@ -1,0 +1,70 @@
+"""Tests for text-report rendering."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    format_histograms,
+    format_policy_metrics,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1] or "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_rejects_row_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a"], [[1, 2]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000012345], [12345.678], [1.5]])
+        assert "e-05" in text
+        assert "e+04" in text or "1.235e" in text
+
+
+class TestFormatPolicyMetrics:
+    def test_renders_all_policies(self):
+        rows = {
+            "LoRaWAN": {"prr": 0.8, "retx": 2.0},
+            "H-50": {"prr": 0.99, "retx": 0.1},
+        }
+        text = format_policy_metrics(rows)
+        assert "LoRaWAN" in text and "H-50" in text
+        assert "prr" in text and "retx" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            format_policy_metrics({})
+
+
+class TestFormatSeries:
+    def test_sampling_every_n(self):
+        series = {"a": list(range(24))}
+        text = format_series(series, every=12)
+        lines = text.splitlines()
+        assert len(lines) == 2 + 2  # header + rule + 2 samples
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            format_series({})
+
+
+class TestFormatHistograms:
+    def test_one_based_window_labels(self):
+        text = format_histograms({"H-50": {0: 10, 1: 5}})
+        assert "w1" in text and "w2" in text
+
+    def test_missing_windows_rendered_as_zero(self):
+        text = format_histograms({"A": {0: 1}, "B": {1: 2}})
+        assert "0" in text

@@ -1,0 +1,109 @@
+"""Tests for the parameter-sweep utilities."""
+
+import pytest
+
+from repro.constants import SECONDS_PER_DAY
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    SweepPoint,
+    clear_cache,
+    crossover,
+    sweep_parameter,
+    sweep_policies,
+)
+from repro.sim import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_base():
+    return SimulationConfig(
+        node_count=5,
+        duration_s=SECONDS_PER_DAY,
+        period_range_s=(960.0, 1200.0),
+        radius_m=300.0,
+        seed=13,
+    )
+
+
+class TestSweepParameter:
+    def test_one_point_per_value(self, tiny_base):
+        points = sweep_parameter(tiny_base.as_h(0.5), "w_b", [0.0, 1.0])
+        assert [p.value for p in points] == [0.0, 1.0]
+        for point in points:
+            assert point.config.w_b == point.value
+            assert point.result.metrics.avg_prr >= 0.0
+
+    def test_metric_accessor(self, tiny_base):
+        points = sweep_parameter(tiny_base.as_h(0.5), "w_b", [1.0])
+        assert points[0].metric("avg_prr") >= 0.0
+        assert points[0].metric("lifespan_days") > 0.0
+
+    def test_unknown_metric_rejected(self, tiny_base):
+        points = sweep_parameter(tiny_base.as_h(0.5), "w_b", [1.0])
+        with pytest.raises(ConfigurationError):
+            points[0].metric("nope")
+
+    def test_unknown_field_rejected(self, tiny_base):
+        with pytest.raises(ConfigurationError):
+            sweep_parameter(tiny_base, "warp_factor", [1])
+
+    def test_empty_values_rejected(self, tiny_base):
+        with pytest.raises(ConfigurationError):
+            sweep_parameter(tiny_base, "w_b", [])
+
+    def test_results_memoized(self, tiny_base):
+        first = sweep_parameter(tiny_base.as_h(0.5), "w_b", [1.0])
+        second = sweep_parameter(tiny_base.as_h(0.5), "w_b", [1.0])
+        assert first[0].result is second[0].result
+
+
+class TestSweepPolicies:
+    def test_default_lineup(self, tiny_base):
+        points = sweep_policies(tiny_base)
+        assert set(points) == {"LoRaWAN", "H-5", "H-50", "H-100"}
+        assert points["LoRaWAN"].config.policy_name == "LoRaWAN"
+
+    def test_custom_lineup(self, tiny_base):
+        points = sweep_policies(
+            tiny_base, {"only": tiny_base.as_h(0.25)}
+        )
+        assert set(points) == {"only"}
+
+    def test_empty_lineup_rejected(self, tiny_base):
+        with pytest.raises(ConfigurationError):
+            sweep_policies(tiny_base, {})
+
+
+class TestCrossover:
+    def _points(self, values):
+        class _FakeResult:
+            def __init__(self, value):
+                self._value = value
+
+            def network_lifespan_days(self):
+                return self._value
+
+        return [
+            SweepPoint(value=i, config=None, result=_FakeResult(v))
+            for i, v in enumerate(values)
+        ]
+
+    def test_rising_crossover(self):
+        points = self._points([1.0, 2.0, 3.0, 4.0])
+        assert crossover(points, "lifespan_days", 2.5) == 2
+
+    def test_falling_crossover(self):
+        points = self._points([4.0, 3.0, 2.0, 1.0])
+        assert crossover(points, "lifespan_days", 2.5) == 2
+
+    def test_never_crosses(self):
+        points = self._points([1.0, 1.1, 1.2])
+        assert crossover(points, "lifespan_days", 10.0) is None
+
+    def test_exact_hit_at_start(self):
+        points = self._points([2.5, 3.0])
+        assert crossover(points, "lifespan_days", 2.5) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            crossover([], "lifespan_days", 1.0)

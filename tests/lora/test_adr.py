@@ -1,0 +1,73 @@
+"""Tests for the margin-based ADR controller."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lora import AdrController, SpreadingFactor, TxParams
+
+
+def fill_history(controller, node_id, snr_db, count=None):
+    for _ in range(count or controller.history_len):
+        controller.record_uplink(node_id, snr_db)
+
+
+class TestAdrController:
+    def test_no_decision_before_history_fills(self):
+        adr = AdrController(history_len=20)
+        fill_history(adr, 1, 5.0, count=10)
+        decision = adr.decide(1, TxParams())
+        assert not decision.changed
+
+    def test_large_margin_lowers_sf(self):
+        adr = AdrController(history_len=5)
+        fill_history(adr, 1, 20.0)
+        decision = adr.decide(1, TxParams(spreading_factor=SpreadingFactor.SF12))
+        assert decision.changed
+        assert int(decision.spreading_factor) < 12
+
+    def test_margin_consumed_by_sf_then_power(self):
+        adr = AdrController(history_len=5, device_margin_db=10.0)
+        # Huge margin: should land at SF7 and reduced power.
+        fill_history(adr, 1, 30.0)
+        decision = adr.decide(1, TxParams(spreading_factor=SpreadingFactor.SF10))
+        assert decision.spreading_factor is SpreadingFactor.SF7
+        assert decision.tx_power_dbm < 14.0
+
+    def test_negative_margin_raises_power(self):
+        adr = AdrController(history_len=5)
+        fill_history(adr, 1, -25.0)
+        decision = adr.decide(1, TxParams(spreading_factor=SpreadingFactor.SF12))
+        assert decision.changed
+        assert decision.tx_power_dbm > 14.0
+
+    def test_power_never_exceeds_bounds(self):
+        adr = AdrController(history_len=5)
+        fill_history(adr, 1, -60.0)
+        decision = adr.decide(1, TxParams(spreading_factor=SpreadingFactor.SF12))
+        assert decision.tx_power_dbm <= adr.max_tx_power_dbm
+
+    def test_history_cleared_after_change(self):
+        adr = AdrController(history_len=5)
+        fill_history(adr, 1, 20.0)
+        first = adr.decide(1, TxParams(spreading_factor=SpreadingFactor.SF12))
+        assert first.changed
+        assert adr.history(1) == []
+
+    def test_adequate_link_unchanged(self):
+        adr = AdrController(history_len=5, device_margin_db=10.0)
+        params = TxParams(spreading_factor=SpreadingFactor.SF10)
+        # Required SNR for SF10 is -15 dB; margin ≈ 0 with SNR = -5 dB.
+        fill_history(adr, 1, -5.0 + 2.0)
+        decision = adr.decide(1, params)
+        assert not decision.changed
+
+    def test_nodes_independent(self):
+        adr = AdrController(history_len=5)
+        fill_history(adr, 1, 20.0)
+        assert not adr.decide(2, TxParams()).changed
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            AdrController(history_len=0)
+        with pytest.raises(ConfigurationError):
+            AdrController(min_tx_power_dbm=20.0, max_tx_power_dbm=10.0)

@@ -1,0 +1,55 @@
+"""Tests for duty-cycle enforcement."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lora import DutyCycleLimiter
+
+
+class TestDutyCycleLimiter:
+    def test_fresh_node_can_transmit(self):
+        limiter = DutyCycleLimiter()
+        assert limiter.can_transmit(1, 0.0)
+
+    def test_off_period_formula(self):
+        limiter = DutyCycleLimiter(duty_cycle=0.01)
+        limiter.record(1, start_s=0.0, airtime_s=1.0)
+        # off period = 1 * (100 - 1) = 99 s after the 1 s airtime
+        assert limiter.next_allowed_time(1) == pytest.approx(100.0)
+        assert not limiter.can_transmit(1, 99.0)
+        assert limiter.can_transmit(1, 100.0)
+
+    def test_full_duty_cycle_never_blocks(self):
+        limiter = DutyCycleLimiter(duty_cycle=1.0)
+        limiter.record(1, 0.0, 2.0)
+        assert limiter.can_transmit(1, 2.0)
+
+    def test_nodes_tracked_independently(self):
+        limiter = DutyCycleLimiter(duty_cycle=0.01)
+        limiter.record(1, 0.0, 1.0)
+        assert limiter.can_transmit(2, 1.0)
+
+    def test_total_airtime_accumulates(self):
+        limiter = DutyCycleLimiter()
+        limiter.record(1, 0.0, 0.5)
+        limiter.record(1, 200.0, 0.25)
+        assert limiter.total_airtime(1) == pytest.approx(0.75)
+
+    def test_utilization(self):
+        limiter = DutyCycleLimiter()
+        limiter.record(1, 0.0, 1.0)
+        assert limiter.utilization(1, 100.0) == pytest.approx(0.01)
+
+    def test_rejects_bad_duty_cycle(self):
+        with pytest.raises(ConfigurationError):
+            DutyCycleLimiter(duty_cycle=0.0)
+
+    def test_rejects_non_positive_airtime(self):
+        limiter = DutyCycleLimiter()
+        with pytest.raises(ConfigurationError):
+            limiter.record(1, 0.0, 0.0)
+
+    def test_utilization_rejects_zero_elapsed(self):
+        limiter = DutyCycleLimiter()
+        with pytest.raises(ConfigurationError):
+            limiter.utilization(1, 0.0)

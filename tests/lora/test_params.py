@@ -1,0 +1,133 @@
+"""Tests for LoRa transmission parameters and radio profiles."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lora import (
+    BANDWIDTH_125K,
+    BANDWIDTH_500K,
+    CodingRate,
+    RadioPowerProfile,
+    SpreadingFactor,
+    TxParams,
+    low_data_rate_optimize,
+)
+
+
+class TestSpreadingFactor:
+    def test_supported_range_is_7_to_12(self):
+        assert [int(sf) for sf in SpreadingFactor] == [7, 8, 9, 10, 11, 12]
+
+    def test_chips_per_symbol_is_power_of_two(self):
+        assert SpreadingFactor.SF7.chips_per_symbol == 128
+        assert SpreadingFactor.SF12.chips_per_symbol == 4096
+
+    def test_constructible_from_int(self):
+        assert SpreadingFactor(9) is SpreadingFactor.SF9
+
+
+class TestCodingRate:
+    def test_fraction_values(self):
+        assert CodingRate.CR_4_5.fraction == pytest.approx(0.8)
+        assert CodingRate.CR_4_8.fraction == pytest.approx(0.5)
+
+    def test_denominators(self):
+        assert CodingRate.CR_4_6.denominator == 6
+
+    def test_all_fractions_at_most_one(self):
+        for cr in CodingRate:
+            assert 0 < cr.fraction <= 1.0
+
+
+class TestLowDataRateOptimize:
+    def test_enabled_for_sf11_sf12_at_125k(self):
+        assert low_data_rate_optimize(SpreadingFactor.SF11, BANDWIDTH_125K)
+        assert low_data_rate_optimize(SpreadingFactor.SF12, BANDWIDTH_125K)
+
+    def test_disabled_for_sf10_at_125k(self):
+        assert not low_data_rate_optimize(SpreadingFactor.SF10, BANDWIDTH_125K)
+
+    def test_disabled_for_sf12_at_500k(self):
+        assert not low_data_rate_optimize(SpreadingFactor.SF12, BANDWIDTH_500K)
+
+
+class TestTxParams:
+    def test_defaults_match_paper_setup(self):
+        params = TxParams()
+        assert params.spreading_factor is SpreadingFactor.SF10
+        assert params.bandwidth_hz == BANDWIDTH_125K
+        assert params.payload_bytes == 10
+
+    def test_symbol_time_formula(self):
+        params = TxParams(spreading_factor=SpreadingFactor.SF10)
+        assert params.symbol_time_s == pytest.approx(1024 / 125_000)
+
+    def test_rejects_unsupported_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            TxParams(bandwidth_hz=200_000)
+
+    def test_rejects_oversized_payload(self):
+        with pytest.raises(ConfigurationError):
+            TxParams(payload_bytes=256)
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ConfigurationError):
+            TxParams(payload_bytes=-1)
+
+    def test_rejects_implausible_tx_power(self):
+        with pytest.raises(ConfigurationError):
+            TxParams(tx_power_dbm=40.0)
+
+    def test_sensitivity_monotone_in_sf(self):
+        sens = [
+            TxParams(spreading_factor=sf).sensitivity_dbm for sf in SpreadingFactor
+        ]
+        assert sens == sorted(sens, reverse=True)
+
+    def test_demodulation_snr_monotone_in_sf(self):
+        snrs = [
+            TxParams(spreading_factor=sf).demodulation_snr_db
+            for sf in SpreadingFactor
+        ]
+        assert snrs == sorted(snrs, reverse=True)
+
+    def test_with_payload_returns_modified_copy(self):
+        base = TxParams()
+        other = base.with_payload(20)
+        assert other.payload_bytes == 20
+        assert base.payload_bytes == 10
+
+    def test_with_spreading_factor_accepts_int(self):
+        assert (
+            TxParams().with_spreading_factor(12).spreading_factor
+            is SpreadingFactor.SF12
+        )
+
+    def test_low_data_rate_flag_derived(self):
+        assert TxParams(spreading_factor=SpreadingFactor.SF12).low_data_rate_optimized
+        assert not TxParams(spreading_factor=SpreadingFactor.SF8).low_data_rate_optimized
+
+
+class TestRadioPowerProfile:
+    def test_defaults_model_sx1276(self):
+        profile = RadioPowerProfile()
+        assert profile.tx_watts == pytest.approx(0.1452)
+        assert profile.rx_watts < profile.tx_watts
+        assert profile.sleep_watts < profile.rx_watts
+
+    def test_rejects_non_positive_power(self):
+        with pytest.raises(ConfigurationError):
+            RadioPowerProfile(tx_watts=0.0)
+
+    def test_rejects_sleep_above_rx(self):
+        with pytest.raises(ConfigurationError):
+            RadioPowerProfile(sleep_watts=1.0)
+
+    def test_scaled_tx_watts_at_reference_is_identity(self):
+        profile = RadioPowerProfile()
+        assert profile.scaled_tx_watts(14.0) == pytest.approx(profile.tx_watts)
+
+    def test_scaled_tx_watts_monotone(self):
+        profile = RadioPowerProfile()
+        assert profile.scaled_tx_watts(20.0) > profile.scaled_tx_watts(14.0)
+        assert profile.scaled_tx_watts(8.0) < profile.scaled_tx_watts(14.0)

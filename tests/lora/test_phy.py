@@ -1,0 +1,151 @@
+"""Tests for the airtime / transmission-energy model (Eq. 6-7)."""
+
+import math
+
+import pytest
+
+from repro.lora import (
+    EnergyModel,
+    CodingRate,
+    RadioPowerProfile,
+    SpreadingFactor,
+    TxParams,
+    bitrate,
+    datasheet_symbol_count,
+    rx_energy,
+    sleep_energy,
+    symbol_count,
+    time_on_air,
+    tx_energy,
+)
+from repro.exceptions import ConfigurationError
+
+
+def params(sf=SpreadingFactor.SF10, payload=10, cr=CodingRate.CR_4_5):
+    return TxParams(spreading_factor=sf, payload_bytes=payload, coding_rate=cr)
+
+
+class TestSymbolCount:
+    def test_matches_hand_computed_eq7_sf10(self):
+        # SF10, 10-byte payload, CR 4/5, DE=0:
+        # ceil((80 - 40 + 24)/10) = 7 -> 7 / 0.8 = 8.75 payload symbols
+        # total = 8 + 4.25 + 8 + 8.75 = 29.0
+        assert symbol_count(params()) == pytest.approx(29.0)
+
+    def test_matches_hand_computed_eq7_sf12_with_de(self):
+        # SF12 at 125 kHz enables DE: denominator = 12 - 2 = 10
+        # ceil((80 - 48 + 24)/10) = 6 -> 6 / 0.8 = 7.5
+        # total = 8 + 4.25 + 8 + 7.5 = 27.75
+        assert symbol_count(params(sf=SpreadingFactor.SF12)) == pytest.approx(27.75)
+
+    def test_payload_symbols_clamped_at_zero(self):
+        # Tiny payload at high SF: the max(..., 0) branch of Eq. (7).
+        p = params(sf=SpreadingFactor.SF12, payload=0)
+        assert symbol_count(p) == pytest.approx(8 + 4.25 + 8)
+
+    def test_monotone_in_payload(self):
+        values = [symbol_count(params(payload=n)) for n in range(0, 200, 10)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_higher_coding_rate_means_more_symbols(self):
+        assert symbol_count(params(cr=CodingRate.CR_4_8)) > symbol_count(
+            params(cr=CodingRate.CR_4_5)
+        )
+
+
+class TestTimeOnAir:
+    def test_sf10_10byte_around_a_quarter_second(self):
+        # 29 symbols * (1024/125k) s = 237.6 ms
+        assert time_on_air(params()) == pytest.approx(0.2376, rel=1e-3)
+
+    def test_sf12_under_1_2_seconds_for_10_bytes(self):
+        # Paper: "the maximum transmission time for a 10-byte packet in
+        # LoRa is around 1.2 seconds".
+        toa = time_on_air(params(sf=SpreadingFactor.SF12))
+        assert 0.7 < toa < 1.3
+
+    def test_strictly_increasing_in_sf(self):
+        times = [time_on_air(params(sf=sf)) for sf in SpreadingFactor]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_datasheet_formula_close_to_paper_formula(self):
+        for sf in SpreadingFactor:
+            paper = symbol_count(params(sf=sf))
+            datasheet = datasheet_symbol_count(params(sf=sf))
+            assert abs(paper - datasheet) < 10  # same order, small offset
+
+
+class TestTxEnergy:
+    def test_energy_is_power_times_airtime(self):
+        p = params()
+        profile = RadioPowerProfile()
+        expected = profile.tx_watts * time_on_air(p)
+        assert tx_energy(p, profile) == pytest.approx(expected)
+
+    def test_sf12_costs_several_times_sf7(self):
+        e7 = tx_energy(params(sf=SpreadingFactor.SF7))
+        e12 = tx_energy(params(sf=SpreadingFactor.SF12))
+        assert e12 / e7 > 8
+
+    def test_magnitude_tens_of_millijoules_at_sf10(self):
+        assert 0.02 < tx_energy(params()) < 0.06
+
+    def test_lower_tx_power_means_lower_energy(self):
+        low = tx_energy(TxParams(tx_power_dbm=8.0))
+        high = tx_energy(TxParams(tx_power_dbm=20.0))
+        assert low < high
+
+
+class TestAuxiliaryEnergies:
+    def test_rx_energy_proportional_to_duration(self):
+        assert rx_energy(2.0) == pytest.approx(2 * rx_energy(1.0))
+
+    def test_rx_energy_rejects_negative_duration(self):
+        with pytest.raises(ConfigurationError):
+            rx_energy(-1.0)
+
+    def test_sleep_energy_much_smaller_than_rx(self):
+        assert sleep_energy(1.0) < rx_energy(1.0) / 100
+
+    def test_sleep_energy_rejects_negative_duration(self):
+        with pytest.raises(ConfigurationError):
+            sleep_energy(-0.1)
+
+
+class TestBitrate:
+    def test_sf7_is_fastest(self):
+        rates = [bitrate(params(sf=sf)) for sf in SpreadingFactor]
+        assert rates[0] == max(rates)
+        assert all(b < a for a, b in zip(rates, rates[1:]))
+
+    def test_sf10_bitrate_magnitude(self):
+        # 10 * 125000 / 1024 * 0.8 ≈ 976 bps
+        assert bitrate(params()) == pytest.approx(976.5625)
+
+
+class TestEnergyModel:
+    def test_attempt_energy_includes_rx_windows(self):
+        model = EnergyModel()
+        p = params()
+        assert model.tx_attempt_energy(p) == pytest.approx(
+            tx_energy(p, model.power_profile) + model.rx_window_overhead()
+        )
+
+    def test_max_tx_energy_is_sf12_energy(self):
+        model = EnergyModel()
+        p = params()
+        assert model.max_tx_energy(p) == pytest.approx(
+            tx_energy(p.with_spreading_factor(SpreadingFactor.SF12))
+        )
+
+    def test_max_tx_energy_dominates_all_sf(self):
+        model = EnergyModel()
+        p = params()
+        for sf in SpreadingFactor:
+            assert model.max_tx_energy(p) >= tx_energy(p.with_spreading_factor(sf))
+
+    def test_sleep_energy_delegates(self):
+        model = EnergyModel()
+        assert model.sleep_energy(10.0) == pytest.approx(
+            model.power_profile.sleep_watts * 10.0
+        )

@@ -1,0 +1,104 @@
+"""Tests for SimulationConfig and its derived quantities."""
+
+import pytest
+
+from repro.constants import SECONDS_PER_DAY
+from repro.exceptions import ConfigurationError
+from repro.lora import SpreadingFactor, tx_energy
+from repro.sim import SimulationConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SimulationConfig()
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(node_count=0)
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(soc_cap=0.0)
+
+    def test_rejects_window_longer_than_period(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(period_range_s=(100.0, 200.0), window_s=150.0)
+
+    def test_rejects_initial_soc_above_cap(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(soc_cap=0.5, initial_soc=0.8)
+
+    def test_rejects_inverted_period_range(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(period_range_s=(3600.0, 1800.0))
+
+
+class TestDerivedQuantities:
+    def test_nominal_tx_energy_matches_eq6(self):
+        config = SimulationConfig()
+        assert config.nominal_tx_energy_j() == pytest.approx(
+            tx_energy(config.tx_params())
+        )
+
+    def test_attempt_energy_exceeds_tx_energy(self):
+        config = SimulationConfig()
+        assert config.attempt_energy_j() > config.nominal_tx_energy_j()
+
+    def test_battery_sized_for_24h_times_factor(self):
+        config = SimulationConfig(battery_sizing_factor=2.0)
+        expected = 2.0 * SECONDS_PER_DAY * config.average_demand_w()
+        assert config.battery_capacity_j() == pytest.approx(expected)
+
+    def test_solar_peak_funds_two_transmissions(self):
+        config = SimulationConfig(solar_peak_transmissions=2.0)
+        energy_per_window = config.solar_peak_watts() * config.window_s
+        assert energy_per_window == pytest.approx(2 * config.nominal_tx_energy_j())
+
+    def test_windows_per_period(self):
+        config = SimulationConfig()
+        assert config.windows_per_period(600.0) == 10
+        assert config.windows_per_period(59.0) == 1  # at least one window
+
+    def test_max_tx_energy_is_sf12(self):
+        config = SimulationConfig()
+        sf12 = tx_energy(config.tx_params(SpreadingFactor.SF12))
+        assert config.max_tx_energy_j() == pytest.approx(sf12)
+
+    def test_mean_period(self):
+        config = SimulationConfig(period_range_s=(960.0, 3600.0))
+        assert config.mean_period_s() == pytest.approx(2280.0)
+
+
+class TestNamedVariants:
+    def test_as_lorawan(self):
+        config = SimulationConfig().as_lorawan()
+        assert config.soc_cap == 1.0
+        assert not config.use_window_selection
+        assert config.policy_name == "LoRaWAN"
+
+    def test_as_h(self):
+        config = SimulationConfig().as_h(0.5)
+        assert config.soc_cap == 0.5
+        assert config.use_window_selection
+        assert config.policy_name == "H-50"
+
+    def test_as_h_clamps_initial_soc(self):
+        config = SimulationConfig(initial_soc=0.5).as_h(0.05)
+        assert config.initial_soc == pytest.approx(0.05)
+
+    def test_as_hc(self):
+        config = SimulationConfig().as_hc(0.5)
+        assert not config.use_window_selection
+        assert config.policy_name == "H-50C"
+
+    def test_replace_returns_modified_copy(self):
+        base = SimulationConfig()
+        other = base.replace(node_count=7)
+        assert other.node_count == 7
+        assert base.node_count != 7
+
+    def test_configs_hashable_for_caching(self):
+        a = SimulationConfig()
+        b = SimulationConfig()
+        assert hash(a) == hash(b)
+        assert a == b

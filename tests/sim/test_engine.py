@@ -1,0 +1,121 @@
+"""Integration tests for the exact event-driven simulator."""
+
+import pytest
+
+from repro.core import BatteryLifespanAwareMac, LorawanAlohaMac, ThresholdOnlyMac
+from repro.sim import SimulationConfig, Simulator, build_mac, run_simulation
+
+
+def small_config(**overrides):
+    defaults = dict(
+        node_count=5,
+        duration_s=4 * 3600.0,
+        period_range_s=(600.0, 600.0),
+        radius_m=100.0,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestBuildMac:
+    def test_window_selection_builds_blam(self):
+        config = small_config().as_h(0.5)
+        mac = build_mac(config, capacity_j=10.0, nominal_j=0.05)
+        assert isinstance(mac, BatteryLifespanAwareMac)
+        assert mac.soc_cap == 0.5
+
+    def test_full_cap_without_selection_is_lorawan(self):
+        config = small_config().as_lorawan()
+        assert isinstance(build_mac(config, 10.0, 0.05), LorawanAlohaMac)
+
+    def test_partial_cap_without_selection_is_threshold_only(self):
+        config = small_config().as_hc(0.5)
+        mac = build_mac(config, 10.0, 0.05)
+        assert isinstance(mac, ThresholdOnlyMac)
+
+
+class TestSimulatorRuns:
+    def test_packets_generated_match_schedule(self):
+        config = small_config().as_lorawan()
+        result = run_simulation(config)
+        # 4 h / 10 min = 24 periods per node (first at t=0).
+        for node in result.metrics.nodes.values():
+            assert node.packets_generated in (24, 25)
+
+    def test_deterministic_given_seed(self):
+        config = small_config().as_h(0.5)
+        a = run_simulation(config)
+        b = run_simulation(config)
+        assert a.metrics.summary() == b.metrics.summary()
+
+    def test_different_seeds_change_outcomes(self):
+        a = run_simulation(small_config(seed=1).as_lorawan())
+        b = run_simulation(small_config(seed=2).as_lorawan())
+        assert a.metrics.summary() != b.metrics.summary()
+
+    def test_single_node_never_collides(self):
+        config = small_config(node_count=1).as_lorawan()
+        result = run_simulation(config)
+        metrics = next(iter(result.metrics.nodes.values()))
+        assert metrics.avg_retransmissions == 0.0
+        assert metrics.prr == 1.0
+
+    def test_synchronized_cohort_collides_under_aloha(self):
+        """Same-period nodes booting together collide persistently."""
+        config = small_config(node_count=5).as_lorawan()
+        result = run_simulation(config)
+        assert result.metrics.avg_retransmissions > 0.2
+
+    def test_window_selection_reduces_retransmissions(self):
+        lorawan = run_simulation(small_config().as_lorawan())
+        h100 = run_simulation(small_config().as_h(1.0))
+        assert (
+            h100.metrics.avg_retransmissions
+            < lorawan.metrics.avg_retransmissions
+        )
+
+    def test_soc_cap_respected_throughout(self):
+        config = small_config(duration_s=86400.0).as_h(0.5)
+        simulator = Simulator(config)
+        result = simulator.run()
+        for node in simulator.nodes.values():
+            assert max(node.battery.trace.socs) <= 0.5 + 1e-6
+
+    def test_degradation_computed_at_end(self):
+        config = small_config(duration_s=86400.0).as_lorawan()
+        result = run_simulation(config)
+        for node in result.metrics.nodes.values():
+            assert node.degradation > 0.0
+            assert node.final_soc >= 0.0
+
+    def test_dissemination_reaches_nodes(self):
+        config = small_config(duration_s=2 * 86400.0).as_h(0.5)
+        simulator = Simulator(config)
+        simulator.run()
+        assert simulator.server.disseminations_sent >= config.node_count
+
+    def test_gateway_stats_consistent(self):
+        result = run_simulation(small_config().as_lorawan())
+        stats = result.gateway_stats
+        assert stats.receptions_started >= stats.delivered
+        assert stats.delivered > 0
+
+    def test_all_metrics_within_physical_bounds(self):
+        result = run_simulation(small_config().as_h(0.5))
+        for node in result.metrics.nodes.values():
+            assert 0.0 <= node.prr <= 1.0
+            assert 0.0 <= node.avg_utility <= 1.0
+            assert node.tx_energy_j >= 0.0
+            assert 0.0 <= node.degradation < 1.0
+
+
+class TestEnergyCausality:
+    def test_tx_energy_roughly_matches_deliveries(self):
+        """Total TX energy ≈ attempts × per-attempt Eq. 6 energy."""
+        config = small_config(node_count=1).as_lorawan()
+        result = run_simulation(config)
+        node = next(iter(result.metrics.nodes.values()))
+        attempts = node.packets_delivered + node.retransmissions
+        expected = attempts * config.nominal_tx_energy_j()
+        assert node.tx_energy_j == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,115 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.exceptions import SchedulingError
+from repro.sim import EventQueue
+
+
+class TestEventQueue:
+    def test_starts_at_time_zero(self):
+        assert EventQueue().now_s == 0.0
+
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(2.0, lambda: order.append("b"))
+        queue.schedule(1.0, lambda: order.append("a"))
+        queue.schedule(3.0, lambda: order.append("c"))
+        queue.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(5.0, lambda: seen.append(queue.now_s))
+        queue.run()
+        assert seen == [5.0]
+        assert queue.now_s == 5.0
+
+    def test_same_time_priority_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1.0, lambda: order.append("low"), priority=1)
+        queue.schedule(1.0, lambda: order.append("high"), priority=-1)
+        queue.run()
+        assert order == ["high", "low"]
+
+    def test_same_time_same_priority_fifo(self):
+        queue = EventQueue()
+        order = []
+        for i in range(5):
+            queue.schedule(1.0, lambda i=i: order.append(i))
+        queue.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_schedule_in_relative(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: queue.schedule_in(2.0, lambda: None))
+        queue.step()
+        assert queue.pending == 1
+
+    def test_scheduling_in_past_raises(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda: None)
+        queue.run()
+        with pytest.raises(SchedulingError):
+            queue.schedule(1.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().schedule_in(-1.0, lambda: None)
+
+    def test_cancelled_event_does_not_run(self):
+        queue = EventQueue()
+        ran = []
+        handle = queue.schedule(1.0, lambda: ran.append(True))
+        handle.cancel()
+        queue.run()
+        assert ran == []
+        assert handle.cancelled
+
+    def test_run_until_stops_at_boundary(self):
+        queue = EventQueue()
+        ran = []
+        queue.schedule(1.0, lambda: ran.append(1))
+        queue.schedule(10.0, lambda: ran.append(10))
+        queue.run_until(5.0)
+        assert ran == [1]
+        assert queue.now_s == 5.0
+        assert queue.pending == 1
+
+    def test_run_until_inclusive(self):
+        queue = EventQueue()
+        ran = []
+        queue.schedule(5.0, lambda: ran.append(5))
+        queue.run_until(5.0)
+        assert ran == [5]
+
+    def test_run_until_backwards_raises(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda: None)
+        queue.run()
+        with pytest.raises(SchedulingError):
+            queue.run_until(1.0)
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        order = []
+
+        def cascade(depth):
+            order.append(depth)
+            if depth < 3:
+                queue.schedule_in(1.0, lambda: cascade(depth + 1))
+
+        queue.schedule(0.0, lambda: cascade(0))
+        queue.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_run_respects_max_events(self):
+        queue = EventQueue()
+        for i in range(10):
+            queue.schedule(float(i), lambda: None)
+        executed = queue.run(max_events=4)
+        assert executed == 4
+        assert queue.pending == 6

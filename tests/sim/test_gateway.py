@@ -1,0 +1,93 @@
+"""Tests for the gateway model (ω demodulators, collisions, capture)."""
+
+import pytest
+
+from repro.lora import SpreadingFactor, Transmission, TxParams
+from repro.sim import Gateway
+
+
+def tx(node=0, start=0.0, dur=0.25, ch=0, sf=SpreadingFactor.SF10, rssi=-100.0, attempt=0):
+    return Transmission(
+        node_id=node,
+        start_s=start,
+        duration_s=dur,
+        channel_index=ch,
+        spreading_factor=sf,
+        rssi_dbm=rssi,
+        attempt=attempt,
+    )
+
+
+PARAMS = TxParams(spreading_factor=SpreadingFactor.SF10)
+
+
+class TestGateway:
+    def test_lone_packet_delivered(self):
+        gateway = Gateway(omega=8)
+        token = gateway.begin_reception(tx(), PARAMS)
+        assert token.locked
+        assert gateway.end_reception(token) is True
+        assert gateway.stats.delivered == 1
+
+    def test_below_sensitivity_not_locked(self):
+        gateway = Gateway(omega=8)
+        token = gateway.begin_reception(tx(rssi=-140.0), PARAMS)
+        assert not token.locked
+        assert gateway.end_reception(token) is False
+        assert gateway.stats.lost_below_sensitivity == 1
+
+    def test_demodulator_limit_enforced(self):
+        gateway = Gateway(omega=2)
+        tokens = [
+            gateway.begin_reception(tx(node=i, ch=i, sf=SpreadingFactor.SF10), PARAMS)
+            for i in range(3)
+        ]
+        assert tokens[0].locked and tokens[1].locked
+        assert not tokens[2].locked
+        assert gateway.stats.lost_demodulator_busy == 1
+
+    def test_demodulator_freed_after_end(self):
+        gateway = Gateway(omega=1)
+        first = gateway.begin_reception(tx(node=0), PARAMS)
+        gateway.end_reception(first)
+        second = gateway.begin_reception(tx(node=1, start=1.0), PARAMS)
+        assert second.locked
+
+    def test_equal_power_collision_loses_both(self):
+        gateway = Gateway(omega=8)
+        a = gateway.begin_reception(tx(node=0), PARAMS)
+        b = gateway.begin_reception(tx(node=1, start=0.1), PARAMS)
+        assert gateway.end_reception(a) is False
+        assert gateway.end_reception(b) is False
+        assert gateway.stats.lost_collision == 2
+
+    def test_capture_preserves_strong_packet(self):
+        gateway = Gateway(omega=8)
+        strong = gateway.begin_reception(tx(node=0, rssi=-70.0), PARAMS)
+        weak = gateway.begin_reception(tx(node=1, start=0.1, rssi=-95.0), PARAMS)
+        assert gateway.end_reception(strong) is True
+        assert gateway.end_reception(weak) is False
+
+    def test_different_channels_no_collision(self):
+        gateway = Gateway(omega=8)
+        a = gateway.begin_reception(tx(node=0, ch=0), PARAMS)
+        b = gateway.begin_reception(tx(node=1, ch=1, start=0.1), PARAMS)
+        assert gateway.end_reception(a) is True
+        assert gateway.end_reception(b) is True
+
+    def test_different_sf_orthogonal(self):
+        gateway = Gateway(omega=8)
+        a = gateway.begin_reception(tx(node=0, sf=SpreadingFactor.SF9), PARAMS)
+        b = gateway.begin_reception(
+            tx(node=1, start=0.1, sf=SpreadingFactor.SF10), PARAMS
+        )
+        assert gateway.end_reception(a) is True
+        assert gateway.end_reception(b) is True
+
+    def test_stats_accumulate(self):
+        gateway = Gateway(omega=8)
+        for i in range(5):
+            token = gateway.begin_reception(tx(node=i, start=i * 1.0), PARAMS)
+            gateway.end_reception(token)
+        assert gateway.stats.receptions_started == 5
+        assert gateway.stats.delivered == 5

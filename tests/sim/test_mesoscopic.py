@@ -1,0 +1,194 @@
+"""Tests for the mesoscopic multi-year simulator."""
+
+import random
+
+import pytest
+
+from repro.constants import SECONDS_PER_DAY
+from repro.sim import (
+    MesoscopicSimulator,
+    SimulationConfig,
+    resolve_window,
+    run_mesoscopic,
+)
+from repro.sim.mesoscopic import MesoNode, WindowEntry
+from repro.energy import CloudProcess
+from repro.lora import LogDistanceLink
+
+
+def meso_config(**overrides):
+    defaults = dict(
+        node_count=6,
+        duration_s=2 * SECONDS_PER_DAY,
+        period_range_s=(960.0, 1200.0),
+        radius_m=500.0,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def make_entries(config, count, immediate=True):
+    link = LogDistanceLink(path_loss_exponent=config.path_loss_exponent)
+    clouds = CloudProcess(seed=0)
+    from repro.sim.topology import build_topology
+
+    placements = build_topology(config.replace(node_count=count), link)
+    entries = []
+    for placement in placements:
+        node = MesoNode(placement, config, clouds, link)
+        entries.append(
+            WindowEntry(
+                node=node,
+                immediate=immediate,
+                window_index_in_period=0,
+                period_start_s=0.0,
+            )
+        )
+    return entries
+
+
+class TestResolveWindow:
+    def test_empty_entries(self):
+        assert resolve_window([], 60.0, 1, 8, 8, random.Random(1)) == {}
+
+    def test_single_entry_succeeds_first_attempt(self):
+        config = meso_config()
+        entries = make_entries(config, 1)
+        outcomes = resolve_window(entries, 60.0, 1, 8, 8, random.Random(1))
+        outcome = outcomes[entries[0].node.node_id]
+        assert outcome.success
+        assert outcome.attempts == 1
+
+    def test_immediate_pair_on_one_channel_collides(self):
+        config = meso_config()
+        entries = make_entries(config, 2, immediate=True)
+        # Equalize RSSI so capture cannot save either first attempt.
+        for entry in entries:
+            entry.node.rssi_dbm = -90.0
+        outcomes = resolve_window(entries, 60.0, 1, 8, 8, random.Random(2))
+        assert all(o.attempts > 1 for o in outcomes.values())
+
+    def test_randomized_offsets_mostly_avoid_collision(self):
+        config = meso_config()
+        collision_free = 0
+        for seed in range(20):
+            entries = make_entries(config, 2, immediate=False)
+            outcomes = resolve_window(entries, 60.0, 1, 8, 8, random.Random(seed))
+            if all(o.attempts == 1 for o in outcomes.values()):
+                collision_free += 1
+        assert collision_free >= 17  # airtime 0.24 s in a 60 s window
+
+    def test_retransmissions_capped(self):
+        config = meso_config()
+        entries = make_entries(config, 4, immediate=True)
+        for entry in entries:
+            entry.node.rssi_dbm = -90.0
+        outcomes = resolve_window(entries, 60.0, 1, 8, 2, random.Random(3))
+        assert all(o.attempts <= 3 for o in outcomes.values())
+
+    def test_more_channels_fewer_collisions(self):
+        config = meso_config()
+
+        def total_attempts(channels, seed):
+            entries = make_entries(config, 6, immediate=True)
+            for entry in entries:
+                entry.node.rssi_dbm = -90.0
+            outcomes = resolve_window(
+                entries, 60.0, channels, 8, 8, random.Random(seed)
+            )
+            return sum(o.attempts for o in outcomes.values())
+
+        one = sum(total_attempts(1, s) for s in range(5))
+        eight = sum(total_attempts(8, s) for s in range(5))
+        assert eight < one
+
+    def test_omega_limit_fails_excess_concurrency(self):
+        config = meso_config()
+        entries = make_entries(config, 5, immediate=True)
+        for entry in entries:
+            entry.node.rssi_dbm = -90.0
+        outcomes = resolve_window(entries, 60.0, 8, 1, 0, random.Random(4))
+        # ω = 1 and 5 simultaneous arrivals: at most a small minority win.
+        assert sum(1 for o in outcomes.values() if o.success) <= 1
+
+
+class TestMesoscopicRuns:
+    def test_deterministic(self):
+        config = meso_config().as_h(0.5)
+        a = run_mesoscopic(config)
+        b = run_mesoscopic(config)
+        assert a.metrics.summary() == b.metrics.summary()
+
+    def test_all_nodes_report(self):
+        result = run_mesoscopic(meso_config().as_lorawan())
+        assert len(result.metrics.nodes) == 6
+        for node in result.metrics.nodes.values():
+            assert node.packets_generated > 0
+
+    def test_soc_cap_respected(self):
+        config = meso_config().as_h(0.5)
+        simulator = MesoscopicSimulator(config)
+        simulator.run()
+        for node in simulator.nodes.values():
+            assert max(node.battery.trace.socs) <= 0.5 + 1e-6
+
+    def test_linear_rates_positive(self):
+        result = run_mesoscopic(meso_config().as_lorawan())
+        assert all(rate > 0 for rate in result.linear_rates.values())
+
+    def test_lifespan_extrapolation_positive_and_finite(self):
+        result = run_mesoscopic(meso_config().as_lorawan())
+        lifespan = result.network_lifespan_days()
+        assert 100 < lifespan < 20000
+
+    def test_network_lifespan_is_worst_node(self):
+        result = run_mesoscopic(meso_config().as_lorawan())
+        per_node = [
+            result.node_lifespan_days(node_id) for node_id in result.linear_rates
+        ]
+        assert result.network_lifespan_days() == pytest.approx(min(per_node))
+
+    def test_monthly_max_series_monotone(self):
+        result = run_mesoscopic(meso_config().as_lorawan())
+        series = result.monthly_max_series(60)
+        assert len(series) == 60
+        assert all(b >= a for a, b in zip(series, series[1:]))
+
+    def test_max_degradation_at_grows_with_time(self):
+        result = run_mesoscopic(meso_config().as_lorawan())
+        year = 365.0 * SECONDS_PER_DAY
+        assert result.max_degradation_at(2 * year) > result.max_degradation_at(year)
+
+
+class TestPolicyComparisons:
+    """The headline relative results, at smoke-test scale."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        config = meso_config(node_count=10, duration_s=3 * SECONDS_PER_DAY)
+        return {
+            "LoRaWAN": run_mesoscopic(config.as_lorawan()),
+            "H-50": run_mesoscopic(config.as_h(0.5)),
+        }
+
+    def test_h50_extends_lifespan(self, results):
+        assert (
+            results["H-50"].network_lifespan_days()
+            > results["LoRaWAN"].network_lifespan_days() * 1.2
+        )
+
+    def test_h50_reduces_retransmissions(self, results):
+        assert (
+            results["H-50"].metrics.avg_retransmissions
+            < results["LoRaWAN"].metrics.avg_retransmissions
+        )
+
+    def test_h50_reduces_tx_energy(self, results):
+        assert (
+            results["H-50"].metrics.total_tx_energy_j
+            < results["LoRaWAN"].metrics.total_tx_energy_j
+        )
+
+    def test_prr_not_sacrificed(self, results):
+        assert results["H-50"].metrics.avg_prr >= results["LoRaWAN"].metrics.avg_prr

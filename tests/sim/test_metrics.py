@@ -1,0 +1,186 @@
+"""Tests for the metric collectors."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim import NetworkMetrics, NodeMetrics
+
+
+def delivered_node(node_id=0, period=600.0, packets=10, retx=1, utility=0.9):
+    node = NodeMetrics(node_id=node_id, period_s=period)
+    for _ in range(packets):
+        node.record_generated()
+        node.record_window(0)
+        node.record_delivery(
+            retransmissions=retx, tx_energy_j=0.03, utility=utility, latency_s=5.0
+        )
+    return node
+
+
+class TestNodeMetrics:
+    def test_prr(self):
+        node = NodeMetrics(node_id=0, period_s=600.0)
+        node.record_generated()
+        node.record_generated()
+        node.record_delivery(0, 0.03, 1.0, 2.0)
+        node.record_failure(8, 0.2)
+        assert node.prr == pytest.approx(0.5)
+
+    def test_failure_penalized_with_period(self):
+        node = NodeMetrics(node_id=0, period_s=600.0)
+        node.record_generated()
+        node.record_failure(8, 0.2)
+        assert node.avg_latency_s == pytest.approx(600.0)
+        assert node.avg_utility == 0.0
+
+    def test_delivered_latency_excludes_failures(self):
+        node = NodeMetrics(node_id=0, period_s=600.0)
+        node.record_generated()
+        node.record_delivery(0, 0.03, 1.0, 4.0)
+        node.record_generated()
+        node.record_failure(8, 0.2)
+        assert node.avg_delivered_latency_s == pytest.approx(4.0)
+        assert node.avg_latency_s == pytest.approx((4.0 + 600.0) / 2)
+
+    def test_avg_retransmissions_over_generated(self):
+        node = NodeMetrics(node_id=0, period_s=600.0)
+        node.record_generated()
+        node.record_generated()
+        node.record_delivery(3, 0.1, 1.0, 2.0)
+        node.record_delivery(1, 0.05, 1.0, 2.0)
+        assert node.avg_retransmissions == pytest.approx(2.0)
+
+    def test_majority_window(self):
+        node = NodeMetrics(node_id=0, period_s=600.0)
+        for window in (0, 1, 1, 1, 2):
+            node.record_window(window)
+        assert node.majority_window == 1
+
+    def test_majority_window_none_without_selections(self):
+        assert NodeMetrics(node_id=0, period_s=600.0).majority_window is None
+
+    def test_energy_drop_counted(self):
+        node = NodeMetrics(node_id=0, period_s=600.0)
+        node.record_generated()
+        node.record_failure(0, 0.0, energy_drop=True)
+        assert node.packets_dropped_energy == 1
+
+    def test_empty_node_zeroes(self):
+        node = NodeMetrics(node_id=0, period_s=600.0)
+        assert node.prr == 0.0
+        assert node.avg_utility == 0.0
+        assert node.avg_delivered_latency_s == 0.0
+
+    def test_rejects_negative_delivery_values(self):
+        node = NodeMetrics(node_id=0, period_s=600.0)
+        with pytest.raises(ConfigurationError):
+            node.record_delivery(-1, 0.0, 1.0, 1.0)
+
+
+class TestNetworkMetrics:
+    def test_requires_nodes(self):
+        with pytest.raises(ConfigurationError):
+            NetworkMetrics(nodes={})
+
+    def test_aggregates(self):
+        nodes = {i: delivered_node(i, utility=0.8 + 0.1 * i) for i in range(2)}
+        network = NetworkMetrics(nodes=nodes)
+        assert network.avg_prr == pytest.approx(1.0)
+        assert network.avg_utility == pytest.approx(0.85)
+        assert network.total_tx_energy_j == pytest.approx(0.6)
+
+    def test_min_prr_tracks_worst_node(self):
+        good = delivered_node(0)
+        bad = NodeMetrics(node_id=1, period_s=600.0)
+        bad.record_generated()
+        bad.record_failure(8, 0.1)
+        network = NetworkMetrics(nodes={0: good, 1: bad})
+        assert network.min_prr == 0.0
+        assert network.avg_prr == pytest.approx(0.5)
+
+    def test_degradation_statistics(self):
+        a, b = delivered_node(0), delivered_node(1)
+        a.degradation, b.degradation = 0.10, 0.20
+        network = NetworkMetrics(nodes={0: a, 1: b})
+        assert network.mean_degradation == pytest.approx(0.15)
+        assert network.max_degradation == pytest.approx(0.20)
+        assert network.degradation_variance == pytest.approx(0.005)
+
+    def test_majority_window_histogram(self):
+        a, b, c = (delivered_node(i) for i in range(3))
+        for node, window in ((a, 0), (b, 0), (c, 2)):
+            node.window_selections.clear()
+            node.record_window(window)
+        network = NetworkMetrics(nodes={0: a, 1: b, 2: c})
+        assert network.majority_window_histogram() == {0: 2, 2: 1}
+
+    def test_summary_keys_cover_paper_metrics(self):
+        network = NetworkMetrics(nodes={0: delivered_node(0)})
+        summary = network.summary()
+        for key in (
+            "avg_retx",
+            "total_tx_energy_j",
+            "avg_prr",
+            "avg_utility",
+            "avg_latency_s",
+            "mean_degradation",
+            "degradation_variance",
+        ):
+            assert key in summary
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        from repro.sim import percentile
+
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_interpolation(self):
+        from repro.sim import percentile
+
+        assert percentile([0.0, 10.0], 25.0) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        from repro.sim import percentile
+
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 9.0
+
+    def test_single_value(self):
+        from repro.sim import percentile
+
+        assert percentile([7.0], 40.0) == 7.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        from repro.sim import percentile
+
+        with pytest.raises(ConfigurationError):
+            percentile([], 50.0)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 150.0)
+
+
+class TestDistribution:
+    def make_network(self):
+        nodes = {}
+        for i, utility in enumerate((0.2, 0.5, 0.8, 1.0)):
+            node = delivered_node(i, utility=utility)
+            node.degradation = 0.01 * (i + 1)
+            nodes[i] = node
+        return NetworkMetrics(nodes=nodes)
+
+    def test_five_number_summary_keys(self):
+        summary = self.make_network().distribution("prr")
+        assert set(summary) == {"min", "p25", "median", "p75", "max"}
+
+    def test_degradation_distribution_ordered(self):
+        summary = self.make_network().distribution("degradation")
+        assert summary["min"] <= summary["p25"] <= summary["median"]
+        assert summary["median"] <= summary["p75"] <= summary["max"]
+        assert summary["min"] == pytest.approx(0.01)
+        assert summary["max"] == pytest.approx(0.04)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_network().distribution("nonsense")

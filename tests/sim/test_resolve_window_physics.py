@@ -1,0 +1,131 @@
+"""Deeper physics tests for the mesoscopic per-window contention resolver."""
+
+import random
+
+import pytest
+
+from repro.energy import CloudProcess
+from repro.lora import LogDistanceLink, SpreadingFactor
+from repro.sim import SimulationConfig, resolve_window
+from repro.sim.mesoscopic import MesoNode, WindowEntry
+from repro.sim.topology import build_topology
+
+
+def make_nodes(count, config=None, sf=None):
+    config = config or SimulationConfig(
+        node_count=count, period_range_s=(960.0, 960.0), radius_m=500.0, fixed_sf=sf
+    )
+    link = LogDistanceLink(path_loss_exponent=config.path_loss_exponent)
+    clouds = CloudProcess(seed=0)
+    return [
+        MesoNode(p, config, clouds, link)
+        for p in build_topology(config.replace(node_count=count), link)
+    ]
+
+
+def entries_for(nodes, immediate=True):
+    return [
+        WindowEntry(
+            node=node,
+            immediate=immediate,
+            window_index_in_period=0,
+            period_start_s=0.0,
+        )
+        for node in nodes
+    ]
+
+
+class TestSpreadingFactorOrthogonality:
+    def test_different_sf_do_not_collide(self):
+        config = SimulationConfig(
+            node_count=2, period_range_s=(960.0, 960.0), radius_m=500.0, fixed_sf=None
+        )
+        nodes = make_nodes(2, config)
+        # Force distinct SFs but equal RSSI: only SF orthogonality saves them.
+        nodes[0].tx_params = nodes[0].tx_params.with_spreading_factor(SpreadingFactor.SF9)
+        nodes[1].tx_params = nodes[1].tx_params.with_spreading_factor(SpreadingFactor.SF10)
+        for node in nodes:
+            node.rssi_by_gateway = [-90.0]
+            node.rssi_dbm = -90.0
+        outcomes = resolve_window(entries_for(nodes), 60.0, 1, 8, 8, random.Random(1))
+        assert all(o.success and o.attempts == 1 for o in outcomes.values())
+
+    def test_same_sf_equal_rssi_collides(self):
+        nodes = make_nodes(2, sf=SpreadingFactor.SF10)
+        for node in nodes:
+            node.rssi_by_gateway = [-90.0]
+            node.rssi_dbm = -90.0
+        outcomes = resolve_window(entries_for(nodes), 60.0, 1, 8, 8, random.Random(1))
+        assert all(o.attempts > 1 for o in outcomes.values())
+
+
+class TestCaptureEffect:
+    def test_strong_node_captures_weak_cohort(self):
+        nodes = make_nodes(2, sf=SpreadingFactor.SF10)
+        nodes[0].rssi_by_gateway = [-70.0]
+        nodes[0].rssi_dbm = -70.0
+        nodes[1].rssi_by_gateway = [-95.0]
+        nodes[1].rssi_dbm = -95.0
+        outcomes = resolve_window(entries_for(nodes), 60.0, 1, 8, 8, random.Random(2))
+        strong = outcomes[nodes[0].node_id]
+        weak = outcomes[nodes[1].node_id]
+        assert strong.attempts == 1 and strong.success
+        assert weak.attempts > 1  # first attempt lost to the capture
+
+
+class TestSensitivityFloor:
+    def test_node_below_sensitivity_never_delivers(self):
+        nodes = make_nodes(1)
+        nodes[0].rssi_by_gateway = [-140.0]  # below SF10 sensitivity (-132)
+        nodes[0].rssi_dbm = -140.0
+        outcomes = resolve_window(entries_for(nodes), 60.0, 1, 8, 8, random.Random(3))
+        outcome = outcomes[nodes[0].node_id]
+        assert not outcome.success
+        assert outcome.attempts == 9  # exhausted every retry
+
+
+class TestMultiGatewayDiversity:
+    def test_second_gateway_rescues_far_node(self):
+        nodes = make_nodes(1)
+        # Unreachable at gateway 0, fine at gateway 1.
+        nodes[0].rssi_by_gateway = [-140.0, -100.0]
+        nodes[0].rssi_dbm = -100.0
+        outcomes = resolve_window(entries_for(nodes), 60.0, 1, 8, 8, random.Random(4))
+        assert outcomes[nodes[0].node_id].success
+
+    def test_spatial_capture_diversity(self):
+        """Two colliding nodes each near a different gateway both survive."""
+        nodes = make_nodes(2, sf=SpreadingFactor.SF10)
+        nodes[0].rssi_by_gateway = [-70.0, -100.0]
+        nodes[0].rssi_dbm = -70.0
+        nodes[1].rssi_by_gateway = [-100.0, -70.0]
+        nodes[1].rssi_dbm = -70.0
+        outcomes = resolve_window(entries_for(nodes), 60.0, 1, 8, 8, random.Random(5))
+        assert all(o.success and o.attempts == 1 for o in outcomes.values())
+
+
+class TestRetryDynamics:
+    def test_jittered_retries_eventually_resolve_cohort(self):
+        """A synchronized cohort's retries de-synchronize and succeed."""
+        nodes = make_nodes(4, sf=SpreadingFactor.SF10)
+        for node in nodes:
+            node.rssi_by_gateway = [-90.0]
+            node.rssi_dbm = -90.0
+        success = 0
+        for seed in range(10):
+            outcomes = resolve_window(
+                entries_for(nodes), 60.0, 1, 8, 8, random.Random(seed)
+            )
+            success += sum(1 for o in outcomes.values() if o.success)
+        assert success >= 35  # nearly all packets delivered across seeds
+
+    def test_finish_offset_increases_with_attempts(self):
+        nodes = make_nodes(2, sf=SpreadingFactor.SF10)
+        for node in nodes:
+            node.rssi_by_gateway = [-90.0]
+            node.rssi_dbm = -90.0
+        outcomes = resolve_window(entries_for(nodes), 60.0, 1, 8, 8, random.Random(6))
+        for outcome in outcomes.values():
+            if outcome.attempts > 1:
+                # Each retry adds airtime + ≥3 s of backoff.
+                assert outcome.finish_offset_s > 3.0

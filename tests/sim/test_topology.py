@@ -1,0 +1,131 @@
+"""Tests for topology generation and SF assignment."""
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lora import LogDistanceLink, SpreadingFactor, TxParams
+from repro.sim import (
+    SimulationConfig,
+    assign_spreading_factor,
+    build_topology,
+    sample_period_s,
+    uniform_disk_point,
+)
+
+
+class TestUniformDiskPoint:
+    def test_points_inside_radius(self):
+        rng = random.Random(1)
+        for _ in range(500):
+            x, y = uniform_disk_point(rng, 1000.0)
+            assert math.hypot(x, y) <= 1000.0
+
+    def test_area_uniformity(self):
+        # Half the points should fall beyond r/sqrt(2) (equal areas).
+        rng = random.Random(2)
+        outer = sum(
+            1
+            for _ in range(4000)
+            if math.hypot(*uniform_disk_point(rng, 1.0)) > 1 / math.sqrt(2)
+        )
+        assert 1800 < outer < 2200
+
+
+class TestSamplePeriod:
+    def test_within_range_and_whole_minutes(self):
+        rng = random.Random(3)
+        for _ in range(200):
+            period = sample_period_s(rng, 16 * 60.0, 60 * 60.0)
+            assert 16 * 60.0 <= period <= 60 * 60.0
+            assert period % 60.0 == 0.0
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ConfigurationError):
+            sample_period_s(random.Random(), 100.0, 50.0)
+
+
+class TestAssignSpreadingFactor:
+    def test_close_nodes_get_low_sf(self):
+        link = LogDistanceLink(path_loss_exponent=3.0)
+        sf = assign_spreading_factor(100.0, link, TxParams())
+        assert sf is SpreadingFactor.SF7
+
+    def test_far_nodes_get_high_sf(self):
+        link = LogDistanceLink(path_loss_exponent=3.0)
+        near = assign_spreading_factor(1000.0, link, TxParams())
+        far = assign_spreading_factor(6000.0, link, TxParams())
+        assert int(far) > int(near)
+
+    def test_unreachable_falls_back_to_sf12(self):
+        link = LogDistanceLink(path_loss_exponent=4.5)
+        assert (
+            assign_spreading_factor(50_000.0, link, TxParams())
+            is SpreadingFactor.SF12
+        )
+
+    def test_monotone_in_distance(self):
+        link = LogDistanceLink(path_loss_exponent=3.0)
+        sfs = [
+            int(assign_spreading_factor(d, link, TxParams()))
+            for d in (100, 500, 1000, 2000, 4000, 8000)
+        ]
+        assert sfs == sorted(sfs)
+
+
+class TestBuildTopology:
+    def test_node_count_and_ids(self):
+        config = SimulationConfig(node_count=25)
+        placements = build_topology(config)
+        assert len(placements) == 25
+        assert [p.node_id for p in placements] == list(range(25))
+
+    def test_distances_within_radius(self):
+        config = SimulationConfig(node_count=50, radius_m=5000.0)
+        for p in build_topology(config):
+            assert 1.0 <= p.distance_m <= 5000.0
+
+    def test_fixed_sf_applied(self):
+        config = SimulationConfig(node_count=10, fixed_sf=SpreadingFactor.SF10)
+        assert all(
+            p.spreading_factor is SpreadingFactor.SF10
+            for p in build_topology(config)
+        )
+
+    def test_distance_based_sf(self):
+        config = SimulationConfig(node_count=80, fixed_sf=None, radius_m=5000.0)
+        placements = build_topology(config)
+        assert len({p.spreading_factor for p in placements}) > 1
+
+    def test_synchronized_start_offsets_zero(self):
+        config = SimulationConfig(node_count=10, synchronized_start=True)
+        assert all(p.start_offset_s == 0.0 for p in build_topology(config))
+
+    def test_staggered_start_offsets_within_period(self):
+        config = SimulationConfig(node_count=10, synchronized_start=False)
+        for p in build_topology(config):
+            assert 0.0 <= p.start_offset_s <= p.period_s
+
+    def test_deterministic_given_seed(self):
+        config = SimulationConfig(node_count=10, seed=42)
+        a = build_topology(config)
+        b = build_topology(config)
+        assert [(p.x_m, p.y_m, p.period_s) for p in a] == [
+            (p.x_m, p.y_m, p.period_s) for p in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = build_topology(SimulationConfig(node_count=10, seed=1))
+        b = build_topology(SimulationConfig(node_count=10, seed=2))
+        assert [(p.x_m, p.y_m) for p in a] != [(p.x_m, p.y_m) for p in b]
+
+    def test_periods_form_cohorts(self):
+        """Multiple nodes share exact periods — the ALOHA collision regime."""
+        config = SimulationConfig(node_count=200)
+        placements = build_topology(config)
+        periods = {}
+        for p in placements:
+            periods[p.period_s] = periods.get(p.period_s, 0) + 1
+        assert max(periods.values()) >= 2

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulateCommand:
+    def test_mesoscopic_run_prints_metrics(self, capsys):
+        code = main(["simulate", "--nodes", "5", "--days", "1", "--policy", "h"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "H-50" in out
+        assert "lifespan_days" in out
+        assert "avg_prr" in out
+
+    def test_lorawan_policy(self, capsys):
+        main(["simulate", "--nodes", "5", "--days", "1", "--policy", "lorawan"])
+        assert "LoRaWAN" in capsys.readouterr().out
+
+    def test_hc_policy_with_theta(self, capsys):
+        main(
+            [
+                "simulate",
+                "--nodes",
+                "5",
+                "--days",
+                "1",
+                "--policy",
+                "hc",
+                "--theta",
+                "0.25",
+            ]
+        )
+        assert "H-25C" in capsys.readouterr().out
+
+    def test_exact_engine(self, capsys):
+        code = main(
+            ["simulate", "--nodes", "4", "--days", "0.5", "--engine", "exact"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine: exact" in out
+        assert "lifespan_days" not in out  # no extrapolation on exact runs
+
+    def test_seed_changes_output(self, capsys):
+        main(["simulate", "--nodes", "5", "--days", "1", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["simulate", "--nodes", "5", "--days", "1", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+
+class TestFigureCommand:
+    def test_fig3_fast_and_exact(self, capsys):
+        code = main(["figure", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p28" in out and "p29" in out
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "42"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["explode"])

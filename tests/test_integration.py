@@ -1,0 +1,202 @@
+"""End-to-end integration tests across all subsystems.
+
+These exercise the full pipeline — topology → PHY → MAC → energy →
+battery → gateway degradation service — and assert the paper's headline
+relative results at smoke-test scale, plus consistency between the two
+simulation engines.
+"""
+
+import pytest
+
+from repro import (
+    SimulationConfig,
+    run_mesoscopic,
+    run_simulation,
+)
+from repro.battery import DegradationModel
+from repro.constants import SECONDS_PER_DAY
+from repro.core import CentralizedScheduler, NodeSpec
+from repro.energy import CloudProcess, Harvester, SolarModel
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return SimulationConfig(
+        node_count=10,
+        duration_s=3 * SECONDS_PER_DAY,
+        period_range_s=(960.0, 1500.0),
+        radius_m=1000.0,
+        seed=17,
+    )
+
+
+@pytest.fixture(scope="module")
+def policy_results(base_config):
+    return {
+        "LoRaWAN": run_mesoscopic(base_config.as_lorawan()),
+        "H-50": run_mesoscopic(base_config.as_h(0.5)),
+        "H-50C": run_mesoscopic(base_config.as_hc(0.5)),
+        "H-100": run_mesoscopic(base_config.as_h(1.0)),
+    }
+
+
+class TestHeadlineClaims:
+    """The abstract's claims, as relative shapes."""
+
+    def test_battery_lifespan_improved_substantially(self, policy_results):
+        lorawan = policy_results["LoRaWAN"].network_lifespan_days()
+        h50 = policy_results["H-50"].network_lifespan_days()
+        # Paper: up to 69.7 % improvement.
+        assert h50 > lorawan * 1.3
+
+    def test_lifespan_ordering(self, policy_results):
+        h50 = policy_results["H-50"].network_lifespan_days()
+        h50c = policy_results["H-50C"].network_lifespan_days()
+        lorawan = policy_results["LoRaWAN"].network_lifespan_days()
+        assert h50 > h50c > lorawan
+
+    def test_h100_does_not_fix_calendar_aging(self, policy_results):
+        """θ = 1 keeps SoC high: lifespan stays near LoRaWAN's."""
+        h100 = policy_results["H-100"].network_lifespan_days()
+        lorawan = policy_results["LoRaWAN"].network_lifespan_days()
+        assert h100 < lorawan * 1.35
+
+    def test_utility_not_sacrificed(self, policy_results):
+        """Paper: only ~4 % impact on avg utility (often improved)."""
+        h50 = policy_results["H-50"].metrics.avg_utility
+        lorawan = policy_results["LoRaWAN"].metrics.avg_utility
+        assert h50 > lorawan - 0.04
+
+    def test_retransmissions_cut(self, policy_results):
+        assert (
+            policy_results["H-50"].metrics.avg_retransmissions
+            < policy_results["LoRaWAN"].metrics.avg_retransmissions * 0.6
+        )
+
+    def test_tx_energy_cut(self, policy_results):
+        assert (
+            policy_results["H-50"].metrics.total_tx_energy_j
+            < policy_results["LoRaWAN"].metrics.total_tx_energy_j
+        )
+
+    def test_degradation_fairly_distributed(self, policy_results):
+        """w_u-weighting narrows the degradation spread vs LoRaWAN."""
+        h50 = policy_results["H-50"].metrics
+        lorawan = policy_results["LoRaWAN"].metrics
+        assert h50.degradation_variance <= lorawan.degradation_variance * 1.5
+
+
+class TestEngineCrossValidation:
+    """The exact and mesoscopic engines agree on small scenarios."""
+
+    @pytest.fixture(scope="class")
+    def both_engines(self):
+        config = SimulationConfig(
+            node_count=8,
+            duration_s=SECONDS_PER_DAY,
+            period_range_s=(600.0, 600.0),
+            radius_m=200.0,
+            start_jitter_s=15.0,
+            seed=23,
+        ).as_lorawan()
+        return run_simulation(config), run_mesoscopic(config)
+
+    def test_packet_counts_match(self, both_engines):
+        exact, meso = both_engines
+        exact_generated = sum(
+            n.packets_generated for n in exact.metrics.nodes.values()
+        )
+        meso_generated = sum(
+            n.packets_generated for n in meso.metrics.nodes.values()
+        )
+        assert abs(exact_generated - meso_generated) <= 8
+
+    def test_prr_within_tolerance(self, both_engines):
+        exact, meso = both_engines
+        assert abs(exact.metrics.avg_prr - meso.metrics.avg_prr) < 0.1
+
+    def test_retx_same_regime(self, both_engines):
+        exact, meso = both_engines
+        a = exact.metrics.avg_retransmissions
+        b = meso.metrics.avg_retransmissions
+        assert abs(a - b) < max(1.0, 0.75 * max(a, b))
+
+    def test_tx_energy_within_factor_two(self, both_engines):
+        exact, meso = both_engines
+        ratio = (
+            exact.metrics.total_tx_energy_j / meso.metrics.total_tx_energy_j
+        )
+        assert 0.5 < ratio < 2.0
+
+    def test_degradation_same_order(self, both_engines):
+        exact, meso = both_engines
+        ratio = exact.metrics.mean_degradation / meso.metrics.mean_degradation
+        assert 0.5 < ratio < 2.0
+
+
+class TestCentralizedVsOnSensor:
+    """Section III-A's clairvoyant solution vs the local heuristic.
+
+    The centralized solver has global knowledge and no collisions, so it
+    bounds what the on-sensor protocol can achieve on the same instance.
+    """
+
+    def test_centralized_schedules_feasibly_at_small_scale(self):
+        window_s = 60.0
+        solar = SolarModel(peak_watts=2.0e-3, clouds=CloudProcess(seed=2))
+        horizon = 240  # four hours of 1-minute slots starting at 10:00
+        offset = 10 * 3600.0
+        specs = []
+        for node_id in range(4):
+            harvester = Harvester(solar=solar, node_seed=node_id, shading_sigma=0.1)
+            green = [
+                harvester.window_energy_j(offset + t * window_s, window_s)
+                for t in range(horizon)
+            ]
+            specs.append(
+                NodeSpec(
+                    node_id=node_id,
+                    tx_energy_j=0.057,
+                    sleep_energy_j=30e-6 * window_s,
+                    period_slots=30,
+                    capacity_j=12.0,
+                    initial_soc=0.5,
+                    green_j=green,
+                )
+            )
+        scheduler = CentralizedScheduler(
+            specs, horizon_slots=horizon, omega=2, slot_s=window_s
+        )
+        schedule = scheduler.solve(candidate_caps=(0.5,))
+        assert schedule.max_degradation < 0.01
+        for node_id, evaluation in schedule.evaluations.items():
+            assert evaluation.dropped_packets == 0
+            assert evaluation.mean_utility > 0.5
+
+
+class TestDegradationServicePipeline:
+    """Piggybacked reports reconstruct degradation close to ground truth."""
+
+    def test_gateway_view_tracks_battery_truth(self):
+        config = SimulationConfig(
+            node_count=4,
+            duration_s=2 * SECONDS_PER_DAY,
+            period_range_s=(600.0, 600.0),
+            radius_m=100.0,
+            seed=31,
+        ).as_h(0.5)
+        from repro.sim import Simulator
+
+        simulator = Simulator(config)
+        simulator.run()
+        server = simulator.server
+        model = DegradationModel()
+        for node_id, node in simulator.nodes.items():
+            truth = node.battery.degradation
+            reconstructed = server.service.recompute(
+                node_id, age_s=config.duration_s
+            )
+            # Same order of magnitude despite 1-byte quantization and
+            # 4-byte-per-period trace compression.
+            if truth > 0:
+                assert reconstructed == pytest.approx(truth, rel=0.9)

@@ -1,0 +1,336 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.battery import (
+    SocTrace,
+    TransitionReport,
+    count_cycles,
+    cycle_statistics,
+    extract_reversals,
+    nonlinear_degradation,
+    invert_nonlinear_degradation,
+)
+from repro.battery.degradation import depth_of_discharge_stress
+from repro.core import (
+    EwmaTxEnergyEstimator,
+    LinearUtility,
+    RetransmissionEstimator,
+    WindowSelector,
+    degradation_impact_factor,
+)
+from repro.energy import SoftwareDefinedSwitch
+from repro.battery import Battery
+from repro.lora import (
+    CodingRate,
+    SpreadingFactor,
+    TxParams,
+    symbol_count,
+    time_on_air,
+    tx_energy,
+)
+
+socs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+soc_series = st.lists(socs, min_size=0, max_size=60)
+sf_strategy = st.sampled_from(list(SpreadingFactor))
+payloads = st.integers(min_value=0, max_value=255)
+
+
+# ----------------------------------------------------------------- rainflow
+
+
+@given(soc_series)
+def test_rainflow_weights_valid(series):
+    for cycle in count_cycles(series):
+        assert cycle.weight in (0.5, 1.0)
+
+
+@given(soc_series)
+def test_rainflow_depths_bounded_by_series_range(series):
+    assume(len(series) >= 2)
+    span = max(series) - min(series)
+    for cycle in count_cycles(series):
+        assert 0.0 <= cycle.depth <= span + 1e-12
+
+
+@given(soc_series)
+def test_rainflow_means_within_series_bounds(series):
+    assume(series)
+    low, high = min(series), max(series)
+    for cycle in count_cycles(series):
+        assert low - 1e-12 <= cycle.mean_soc <= high + 1e-12
+
+
+@given(soc_series)
+def test_rainflow_equivalent_cycles_bounded_by_reversals(series):
+    reversals = extract_reversals(series)
+    total, _, _ = cycle_statistics(count_cycles(series))
+    # Each reversal pair contributes at most one equivalent cycle.
+    assert total <= max(0, len(reversals) - 1)
+
+
+@given(soc_series)
+def test_reversals_preserve_endpoints_and_extremes(series):
+    assume(len(series) >= 1)
+    reversals = extract_reversals(series)
+    assert reversals[0] == series[0]
+    if len(set(series)) > 1:
+        assert max(reversals) == max(series)
+        assert min(reversals) == min(series)
+
+
+@given(soc_series, st.floats(min_value=-0.5, max_value=0.5))
+def test_rainflow_depth_invariant_under_shift(series, shift):
+    # Quantize so the float shift cannot collapse distinct values
+    # (0.5 + 1e-107 == 0.5 would change the reversal structure).
+    series = [round(s, 6) for s in series]
+    shift = round(shift, 6)
+    assume(all(0.0 <= s + shift <= 1.0 for s in series))
+    base = sorted(c.depth for c in count_cycles(series))
+    moved = sorted(c.depth for c in count_cycles([s + shift for s in series]))
+    assert len(base) == len(moved)
+    for a, b in zip(base, moved):
+        assert math.isclose(a, b, abs_tol=1e-9)
+
+
+# --------------------------------------------------------------- SoC traces
+
+
+@given(st.lists(st.tuples(st.floats(0, 1e6), socs), min_size=1, max_size=80))
+def test_soc_trace_mean_within_bounds(samples):
+    samples = sorted(samples, key=lambda pair: pair[0])
+    trace = SocTrace()
+    for time_s, soc in samples:
+        trace.append(time_s, soc)
+    mean = trace.time_weighted_mean_soc()
+    values = [s for _, s in samples]
+    assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+@given(st.lists(socs, min_size=2, max_size=80))
+def test_soc_trace_turning_points_subset_of_inputs(values):
+    trace = SocTrace()
+    for i, soc in enumerate(values):
+        trace.append(float(i), soc)
+    for point in trace.turning_points:
+        assert point in values
+
+
+# ------------------------------------------------------------- degradation
+
+
+@given(st.floats(min_value=0.0, max_value=50.0))
+def test_nonlinear_degradation_in_unit_interval(linear):
+    assert 0.0 <= nonlinear_degradation(linear) <= 1.0
+
+
+@given(st.floats(min_value=0.0, max_value=0.9))
+def test_nonlinear_inverse_round_trip(target):
+    linear = invert_nonlinear_degradation(target)
+    assert math.isclose(nonlinear_degradation(linear), target, abs_tol=1e-8)
+
+
+@given(st.floats(min_value=0.001, max_value=1.0))
+def test_dod_stress_positive_and_bounded(depth):
+    stress = depth_of_discharge_stress(depth)
+    assert 0.0 < stress < 1e-3
+
+
+# --------------------------------------------------------------------- DIF
+
+
+@given(
+    st.floats(min_value=0.0, max_value=10.0),
+    st.floats(min_value=0.0, max_value=10.0),
+    st.floats(min_value=1e-6, max_value=10.0),
+)
+def test_dif_always_in_unit_interval(estimate, green, e_max):
+    assert 0.0 <= degradation_impact_factor(estimate, green, e_max) <= 1.0
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=2),
+)
+def test_dif_monotone_in_green(estimate, greens):
+    low, high = sorted(greens)
+    assert degradation_impact_factor(estimate, high, 1.0) <= (
+        degradation_impact_factor(estimate, low, 1.0)
+    )
+
+
+# --------------------------------------------------------------- estimators
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50))
+def test_ewma_stays_within_observed_hull(observations):
+    estimator = EwmaTxEnergyEstimator(beta=0.3, initial_j=observations[0])
+    for value in observations:
+        estimator.observe(value)
+    assert min(observations) - 1e-12 <= estimator.estimate_j <= max(observations) + 1e-12
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 8)), min_size=0, max_size=100
+    )
+)
+def test_retx_estimator_cdf_properties(history):
+    estimator = RetransmissionEstimator()
+    for window, retx in history:
+        estimator.observe(window, retx)
+    for window in range(10):
+        previous = 0.0
+        for r in range(9):
+            p = estimator.probability_at_most(r, window)
+            assert 0.0 <= p <= 1.0
+            assert p >= previous - 1e-12
+            previous = p
+        assert estimator.probability_at_most(8, window) == 1.0
+        expectation = estimator.expected_retransmissions(window)
+        assert 0.0 <= expectation <= 8.0
+
+
+# --------------------------------------------------------------- Algorithm 1
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=0.2), min_size=1, max_size=30),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=2.0),
+)
+@settings(max_examples=60)
+def test_window_selector_feasibility_invariant(greens, w_u, battery_j):
+    """Any chosen window satisfies Eq. (20); FAIL only if none does."""
+    selector = WindowSelector(max_tx_energy_j=0.132)
+    estimates = [0.06] * len(greens)
+    decision = selector.select(battery_j, w_u, greens, estimates)
+    available = []
+    stored = battery_j
+    for green in greens:
+        available.append(stored + green)
+        stored += green
+    if decision.success:
+        t = decision.window_index
+        assert available[t] - estimates[t] > 0.0
+    else:
+        assert all(a - e <= 0.0 for a, e in zip(available, estimates))
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=0.2), min_size=1, max_size=30),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=60)
+def test_window_selector_picks_minimal_feasible_score(greens, w_u):
+    selector = WindowSelector(max_tx_energy_j=0.132)
+    estimates = [0.06] * len(greens)
+    decision = selector.select(10.0, w_u, greens, estimates)
+    assert decision.success  # battery is plentiful
+    chosen = decision.scores[decision.window_index]
+    assert chosen <= min(decision.scores) + 1e-12
+
+
+# ------------------------------------------------------------------- switch
+
+
+@given(
+    st.floats(min_value=0.0, max_value=5.0),
+    st.floats(min_value=0.0, max_value=5.0),
+    st.floats(min_value=0.1, max_value=1.0),
+    socs,
+)
+@settings(max_examples=80)
+def test_switch_energy_conservation(harvested, demand, cap, initial_soc):
+    assume(initial_soc <= 1.0)
+    battery = Battery(capacity_j=10.0, initial_soc=initial_soc)
+    before = battery.stored_j
+    switch = SoftwareDefinedSwitch(soc_cap=cap)
+    result = switch.apply_window(battery, harvested, demand, 60.0)
+    delta = battery.stored_j - before
+    assert math.isclose(
+        harvested - demand,
+        delta + result.spilled_j - result.shortfall_j,
+        abs_tol=1e-9,
+    )
+    assert battery.soc <= max(initial_soc, cap) + 1e-9
+    assert result.shortfall_j >= 0.0
+
+
+# ----------------------------------------------------------------- LoRa PHY
+
+
+@given(sf_strategy, payloads, st.sampled_from(list(CodingRate)))
+def test_airtime_positive_and_bounded(sf, payload, cr):
+    params = TxParams(spreading_factor=sf, payload_bytes=payload, coding_rate=cr)
+    toa = time_on_air(params)
+    # SF12 + 255 B + CR 4/8 tops out just under 14 s on air.
+    assert 0.0 < toa < 15.0
+
+
+@given(sf_strategy, st.integers(min_value=0, max_value=254))
+def test_airtime_monotone_in_payload(sf, payload):
+    base = TxParams(spreading_factor=sf, payload_bytes=payload)
+    bigger = base.with_payload(payload + 1)
+    assert time_on_air(bigger) >= time_on_air(base)
+
+
+@given(payloads)
+def test_airtime_monotone_in_sf(payload):
+    times = [
+        time_on_air(TxParams(spreading_factor=sf, payload_bytes=payload))
+        for sf in SpreadingFactor
+    ]
+    assert all(b > a for a, b in zip(times, times[1:]))
+
+
+@given(sf_strategy, payloads)
+def test_tx_energy_consistent_with_airtime(sf, payload):
+    params = TxParams(spreading_factor=sf, payload_bytes=payload)
+    assert tx_energy(params) > 0.0
+    # Energy / airtime = constant power for fixed TX power setting.
+    ratio = tx_energy(params) / time_on_air(params)
+    reference = tx_energy(TxParams()) / time_on_air(TxParams())
+    assert math.isclose(ratio, reference, rel_tol=1e-9)
+
+
+# ------------------------------------------------------------------ utility
+
+
+@given(st.integers(min_value=0, max_value=100), st.integers(min_value=1, max_value=100))
+def test_linear_utility_in_unit_interval(window, period):
+    assert 0.0 <= LinearUtility()(window, period) <= 1.0
+
+
+@given(st.integers(min_value=1, max_value=100))
+def test_linear_utility_monotone(period):
+    utility = LinearUtility()
+    values = [utility(t, period) for t in range(period + 2)]
+    assert all(b <= a for a, b in zip(values, values[1:]))
+
+
+# -------------------------------------------------------- transition report
+
+
+@given(
+    st.one_of(st.none(), st.integers(0, 254)),
+    st.one_of(st.none(), socs),
+    st.one_of(st.none(), st.integers(0, 254)),
+    st.one_of(st.none(), socs),
+)
+def test_transition_report_round_trip(dw, ds, rw, rs):
+    report = TransitionReport(dw, ds, rw, rs)
+    decoded = TransitionReport.decode(report.encode())
+    assert decoded.discharge_window == dw
+    assert decoded.recharge_window == rw
+    if ds is None:
+        assert decoded.discharge_soc is None
+    else:
+        assert math.isclose(decoded.discharge_soc, ds, abs_tol=1 / 254 + 1e-9)
+    if rs is None:
+        assert decoded.recharge_soc is None
+    else:
+        assert math.isclose(decoded.recharge_soc, rs, abs_tol=1 / 254 + 1e-9)

@@ -1,0 +1,107 @@
+"""Property-based tests on the simulators' contention and scheduling."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy import CloudProcess
+from repro.lora import LogDistanceLink, SpreadingFactor
+from repro.sim import SimulationConfig, resolve_window
+from repro.sim.mesoscopic import MesoNode, WindowEntry
+from repro.sim.topology import build_topology
+
+_CONFIG = SimulationConfig(
+    node_count=8, period_range_s=(960.0, 960.0), radius_m=500.0,
+    fixed_sf=SpreadingFactor.SF10,
+)
+_LINK = LogDistanceLink(path_loss_exponent=_CONFIG.path_loss_exponent)
+_CLOUDS = CloudProcess(seed=0)
+_NODES = [
+    MesoNode(p, _CONFIG, _CLOUDS, _LINK)
+    for p in build_topology(_CONFIG, _LINK)
+]
+
+
+def _entries(count, immediate):
+    return [
+        WindowEntry(
+            node=_NODES[i],
+            immediate=immediate,
+            window_index_in_period=0,
+            period_start_s=0.0,
+        )
+        for i in range(count)
+    ]
+
+
+@given(
+    count=st.integers(min_value=1, max_value=8),
+    immediate=st.booleans(),
+    channels=st.integers(min_value=1, max_value=8),
+    omega=st.integers(min_value=1, max_value=8),
+    max_retx=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_resolve_window_outcome_invariants(
+    count, immediate, channels, omega, max_retx, seed
+):
+    """Every entry gets an outcome respecting attempt and timing bounds."""
+    entries = _entries(count, immediate)
+    outcomes = resolve_window(
+        entries, 60.0, channels, omega, max_retx, random.Random(seed)
+    )
+    assert set(outcomes) == {e.node.node_id for e in entries}
+    for entry in entries:
+        outcome = outcomes[entry.node.node_id]
+        # Attempts: at least the first, at most 1 + max retransmissions.
+        assert 1 <= outcome.attempts <= max_retx + 1
+        # Failure must exhaust the retry budget; success may use fewer.
+        if not outcome.success:
+            assert outcome.attempts == max_retx + 1
+        # Finish offset covers at least one airtime; retries add backoff.
+        assert outcome.finish_offset_s >= entry.node.airtime_s - 1e-9
+        if outcome.attempts > 1:
+            assert outcome.finish_offset_s > entry.node.airtime_s
+
+
+@given(
+    count=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_resolve_window_single_contender_per_channel_succeeds(count, seed):
+    """With ≥ as many channels as nodes and random offsets, collisions
+    are rare enough that every node succeeds within the retry budget."""
+    entries = _entries(count, immediate=False)
+    outcomes = resolve_window(entries, 60.0, 8, 8, 8, random.Random(seed))
+    assert all(o.success for o in outcomes.values())
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_resolve_window_deterministic_per_rng_seed(seed):
+    entries = _entries(5, immediate=True)
+    a = resolve_window(entries, 60.0, 1, 8, 8, random.Random(seed))
+    b = resolve_window(entries, 60.0, 1, 8, 8, random.Random(seed))
+    assert {k: (v.attempts, v.success) for k, v in a.items()} == {
+        k: (v.attempts, v.success) for k, v in b.items()
+    }
+
+
+@given(
+    low_minutes=st.integers(min_value=16, max_value=30),
+    span=st.integers(min_value=0, max_value=30),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_topology_periods_within_requested_range(low_minutes, span, seed):
+    config = SimulationConfig(
+        node_count=10,
+        period_range_s=(low_minutes * 60.0, (low_minutes + span) * 60.0),
+        seed=seed,
+    )
+    for placement in build_topology(config):
+        assert low_minutes * 60.0 <= placement.period_s <= (low_minutes + span) * 60.0
+        assert placement.period_s % 60.0 == 0.0
