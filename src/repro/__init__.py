@@ -18,7 +18,7 @@ Quick start::
     print(lorawan.metrics.avg_prr, h50.metrics.avg_prr)
 """
 
-from . import battery, core, energy, lora, sim
+from . import battery, core, energy, faults, lora, sim
 from .battery import (
     Battery,
     DegradationConstants,
@@ -36,6 +36,14 @@ from .core import (
     ThresholdOnlyMac,
     WindowSelector,
     degradation_impact_factor,
+)
+from .faults import (
+    BurstLoss,
+    FaultCounters,
+    FaultInjector,
+    FaultPlan,
+    GatewayOutage,
+    NodeReboot,
 )
 from .exceptions import (
     BatteryDepletedError,
@@ -65,16 +73,22 @@ __all__ = [
     "BatteryEndOfLifeError",
     "BatteryError",
     "BatteryLifespanAwareMac",
+    "BurstLoss",
     "CentralizedScheduler",
     "ConfigurationError",
     "DegradationConstants",
     "DegradationModel",
     "DegradationService",
     "EnergyModel",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultPlan",
+    "GatewayOutage",
     "InvariantError",
     "LinearUtility",
     "LorawanAlohaMac",
     "MesoscopicResult",
+    "NodeReboot",
     "PeriodContext",
     "ProtocolError",
     "ReproError",
@@ -92,6 +106,7 @@ __all__ = [
     "core",
     "degradation_impact_factor",
     "energy",
+    "faults",
     "lora",
     "run_mesoscopic",
     "run_simulation",

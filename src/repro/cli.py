@@ -17,6 +17,7 @@ import sys
 from typing import List, Optional
 
 from .constants import SECONDS_PER_DAY
+from .faults import FaultPlan
 from .sim import SimulationConfig, run_mesoscopic, run_simulation
 
 
@@ -45,6 +46,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default="meso",
         help="meso = fast mesoscopic runner; exact = event-driven engine",
     )
+    simulate.add_argument(
+        "--faults",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "fault-injection spec (exact engine), e.g. "
+            "'ack_loss=0.2,burst=0.05/0.3,outage=43200+3600,"
+            "reboot=3@86400,clock_skew=0.5,forecast_sigma=0.3,seed=7'"
+        ),
+    )
+    simulate.add_argument(
+        "--w-u-ttl-days",
+        type=float,
+        default=None,
+        dest="w_u_ttl_days",
+        help="TTL (days) before nodes decay a stale disseminated w_u",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
     figure.add_argument(
@@ -64,11 +83,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    faults = None
+    spec = getattr(args, "faults", None)
+    if spec:
+        faults = FaultPlan.from_spec(spec)
+    ttl_days = getattr(args, "w_u_ttl_days", None)
     base = SimulationConfig(
         node_count=args.nodes,
         duration_s=args.days * SECONDS_PER_DAY,
         w_b=getattr(args, "w_b", 1.0),
         seed=args.seed,
+        faults=faults,
+        w_u_ttl_s=None if ttl_days is None else ttl_days * SECONDS_PER_DAY,
     )
     if args.policy == "lorawan":
         return base.as_lorawan()
@@ -79,14 +105,21 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    if args.engine == "exact":
+    engine = args.engine
+    if config.faults is not None and engine != "exact":
+        # The mesoscopic runner has no event boundaries to inject at.
+        print("fault plan supplied: switching to the exact engine")
+        engine = "exact"
+    if engine == "exact":
         result = run_simulation(config)
         lifespan = None
     else:
         result = run_mesoscopic(config)
         lifespan = result.network_lifespan_days()
     print(f"policy: {config.policy_name}  nodes: {config.node_count}  "
-          f"days: {config.duration_s / SECONDS_PER_DAY:g}  engine: {args.engine}")
+          f"days: {config.duration_s / SECONDS_PER_DAY:g}  engine: {engine}")
+    if config.faults is not None:
+        print(f"faults: {config.faults.describe()}")
     for key, value in result.metrics.summary().items():
         print(f"  {key:28s} {value:.6g}")
     if lifespan is not None:

@@ -18,6 +18,7 @@ from .estimators import EwmaTxEnergyEstimator, RetransmissionEstimator
 from .mac import (
     MAX_RETRANSMISSIONS,
     BatteryLifespanAwareMac,
+    ConfirmedUplinkRetrier,
     LorawanAlohaMac,
     MacPolicy,
     PeriodContext,
@@ -36,6 +37,7 @@ from .window_selection import WindowDecision, WindowSelector
 __all__ = [
     "BatteryLifespanAwareMac",
     "CentralizedScheduler",
+    "ConfirmedUplinkRetrier",
     "DegradationService",
     "EwmaTxEnergyEstimator",
     "ExponentialUtility",

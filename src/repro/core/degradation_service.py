@@ -42,6 +42,9 @@ class NodeDegradationState:
     degradation: float = 0.0
     last_disseminated_s: float = float("-inf")
     reports_received: int = 0
+    #: The ``w_u`` byte last pushed to the node (what the node holds if
+    #: no ACK was lost since); None before the first dissemination.
+    last_w_byte: Optional[int] = None
 
 
 class DegradationService:
@@ -159,7 +162,27 @@ class DegradationService:
         if now_s - state.last_disseminated_s < self._interval_s:
             return None
         state.last_disseminated_s = now_s
-        return quantize_w(self.normalized_degradation(node_id))
+        state.last_w_byte = quantize_w(self.normalized_degradation(node_id))
+        return state.last_w_byte
+
+    def force_dissemination(self, node_id: int) -> None:
+        """Make the next ACK to ``node_id`` carry a ``w_u`` byte.
+
+        A rebooted node loses its volatile copy of ``w_u`` and requests
+        a fresh one; the interval-based pacing would otherwise keep the
+        node weightless for up to a whole dissemination interval.
+        """
+        self._state(node_id).last_disseminated_s = float("-inf")
+
+    def weight_age_s(self, node_id: int, now_s: float) -> float:
+        """Seconds since ``node_id`` was last sent a weight (inf = never).
+
+        The TTL the node applies to its held ``w_u`` (see
+        :class:`~repro.core.mac.BatteryLifespanAwareMac`) mirrors this
+        age: both sides of the protocol can tell when a weight has gone
+        stale without any extra signalling.
+        """
+        return now_s - self._state(node_id).last_disseminated_s
 
     @property
     def node_count(self) -> int:

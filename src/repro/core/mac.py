@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, ProtocolError
 from .estimators import EwmaTxEnergyEstimator, RetransmissionEstimator
 from .utility import LinearUtility, UtilityFunction
 from .window_selection import WindowDecision, WindowSelector
@@ -33,6 +33,63 @@ from .window_selection import WindowDecision, WindowSelector
 #: LoRaWAN caps confirmed-uplink retries; "8 retransmissions (maximum
 #: allowed by LoRa)" per Section III-B.
 MAX_RETRANSMISSIONS = 8
+
+
+@dataclass(frozen=True)
+class ConfirmedUplinkRetrier:
+    """Capped exponential backoff for confirmed-uplink retransmissions.
+
+    After a missed ACK the node waits both class-A receive windows
+    (``base_s``), then backs off exponentially — doubling per failed
+    attempt up to ``cap_s`` — plus LMIC-style random jitter, so a cohort
+    that collided (or lost a burst of ACKs together) de-synchronizes
+    instead of colliding again in lock-step.  Asking for a backoff past
+    the retransmission cap is a protocol violation and raises
+    :class:`~repro.exceptions.ProtocolError`; callers treat that as the
+    packet's terminal failure.
+    """
+
+    #: Fixed delay: both RX windows must elapse before a retry.
+    base_s: float = 2.0
+    #: Exponential growth factor per failed attempt.
+    factor: float = 2.0
+    #: Ceiling on the exponential component.
+    cap_s: float = 64.0
+    #: Uniform jitter bounds added to every backoff (LMIC uses 1-3 s).
+    jitter_s: Tuple[float, float] = (1.0, 3.0)
+    #: Retransmission budget (LoRa allows at most 8).
+    max_retransmissions: int = MAX_RETRANSMISSIONS
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0:
+            raise ConfigurationError("backoff base must be positive")
+        if self.factor < 1.0:
+            raise ConfigurationError("backoff factor must be >= 1")
+        if self.cap_s < self.base_s:
+            raise ConfigurationError("backoff cap must be >= base")
+        low, high = self.jitter_s
+        if low < 0 or high < low:
+            raise ConfigurationError("invalid jitter bounds")
+        if self.max_retransmissions < 0:
+            raise ConfigurationError("max_retransmissions cannot be negative")
+
+    def backoff_s(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Delay before retry number ``attempt`` (1 = first retry).
+
+        Raises :class:`ProtocolError` when ``attempt`` exceeds the
+        retransmission budget — the packet must be abandoned, not
+        retried.
+        """
+        if attempt < 1:
+            raise ConfigurationError("attempt numbering starts at 1")
+        if attempt > self.max_retransmissions:
+            raise ProtocolError(
+                f"retry {attempt} exceeds the {self.max_retransmissions}"
+                "-retransmission budget"
+            )
+        exponential = min(self.cap_s, self.base_s * self.factor ** (attempt - 1))
+        generator = rng or random
+        return exponential + generator.uniform(*self.jitter_s)
 
 
 @dataclass(frozen=True)
@@ -64,8 +121,13 @@ class MacPolicy:
     ) -> None:
         """Feed back the realized outcome of the period's transmission."""
 
-    def set_normalized_degradation(self, w_u: float) -> None:
+    def set_normalized_degradation(
+        self, w_u: float, received_at_s: Optional[float] = None
+    ) -> None:
         """Receive the gateway-disseminated ``w_u`` (piggybacked on ACKs)."""
+
+    def reboot(self) -> None:
+        """Wipe volatile state after a node brown-out/reboot (no-op here)."""
 
     @property
     def name(self) -> str:
@@ -149,6 +211,12 @@ class BatteryLifespanAwareMac(MacPolicy):
     battery_capacity_j:
         If given, Algorithm 1's cumulative-energy scan respects the
         θ·capacity storage bound between windows.
+    w_u_ttl_s:
+        Time-to-live of a disseminated ``w_u``.  When set, a weight
+        older than the TTL decays exponentially toward the new-battery
+        default of 0 (half-life = one TTL) instead of steering the DIF
+        with stale data; None (default) trusts the last value forever,
+        the paper's implicit assumption of a fault-free downlink.
     """
 
     def __init__(
@@ -160,10 +228,15 @@ class BatteryLifespanAwareMac(MacPolicy):
         beta: float = 0.3,
         utility_fn: Optional[UtilityFunction] = None,
         battery_capacity_j: Optional[float] = None,
+        w_u_ttl_s: Optional[float] = None,
     ) -> None:
         if not 0.0 < soc_cap <= 1.0:
             raise ConfigurationError("soc_cap (θ) must be in (0, 1]")
+        if w_u_ttl_s is not None and w_u_ttl_s <= 0:
+            raise ConfigurationError("w_u TTL must be positive")
         self.soc_cap = soc_cap
+        self._w_u_ttl_s = w_u_ttl_s
+        self._w_received_at_s: Optional[float] = None
         soc_cap_j = (
             soc_cap * battery_capacity_j if battery_capacity_j else float("inf")
         )
@@ -197,7 +270,9 @@ class BatteryLifespanAwareMac(MacPolicy):
         ]
         return self._selector.select(
             battery_energy_j=context.battery_energy_j,
-            normalized_degradation=self._normalized_degradation,
+            normalized_degradation=self.effective_degradation(
+                context.period_start_s
+            ),
             green_energies_j=context.green_forecast_j,
             estimated_tx_energies_j=estimated,
         )
@@ -209,11 +284,57 @@ class BatteryLifespanAwareMac(MacPolicy):
         self._energy_estimator.observe(actual_tx_energy_j)
         self._retx_estimator.observe(window_index, retransmissions)
 
-    def set_normalized_degradation(self, w_u: float) -> None:
-        """Receive the gateway-disseminated ``w_u`` byte's value."""
+    def set_normalized_degradation(
+        self, w_u: float, received_at_s: Optional[float] = None
+    ) -> None:
+        """Receive the gateway-disseminated ``w_u`` byte's value.
+
+        ``received_at_s`` stamps the weight for TTL-based staleness
+        tracking; omitting it marks the weight permanently fresh (the
+        pre-fault-model behaviour, still used by the mesoscopic runner).
+        """
         if not 0.0 <= w_u <= 1.0:
             raise ConfigurationError("normalized degradation must be in [0, 1]")
         self._normalized_degradation = w_u
+        self._w_received_at_s = received_at_s
+
+    def reboot(self) -> None:
+        """Brown-out/reboot: volatile MAC state is lost.
+
+        The Eq. 13/14 estimators and the disseminated ``w_u`` live in
+        RAM on a real node; after a reboot the MAC restarts from the
+        new-battery defaults and must re-learn (and re-request a fresh
+        weight from the gateway).
+        """
+        self._energy_estimator.reset(0.0)
+        self._retx_estimator = RetransmissionEstimator(
+            max_retransmissions=MAX_RETRANSMISSIONS
+        )
+        self._normalized_degradation = 0.0
+        self._w_received_at_s = None
+
+    # ----------------------------------------------------- graceful staleness
+
+    def weight_is_stale(self, now_s: float) -> bool:
+        """Whether the held ``w_u`` is past its TTL at ``now_s``."""
+        if self._w_u_ttl_s is None or self._w_received_at_s is None:
+            return False
+        return now_s - self._w_received_at_s > self._w_u_ttl_s
+
+    def effective_degradation(self, now_s: float) -> float:
+        """The ``w_u`` actually steering the DIF at ``now_s``.
+
+        Within the TTL the disseminated value is used as-is.  Past it,
+        the value decays exponentially toward 0 (the safe new-battery
+        default) with a half-life of one TTL — the node gracefully stops
+        acting on data the gateway may long have revised, rather than
+        either trusting it forever or discarding it at a cliff edge.
+        """
+        if not self.weight_is_stale(now_s):
+            return self._normalized_degradation
+        age = now_s - self._w_received_at_s
+        excess = age - self._w_u_ttl_s
+        return self._normalized_degradation * 0.5 ** (excess / self._w_u_ttl_s)
 
     # ----------------------------------------------------------- diagnostics
 
@@ -221,6 +342,16 @@ class BatteryLifespanAwareMac(MacPolicy):
     def normalized_degradation(self) -> float:
         """The node's current ``w_u`` (0 for a new battery)."""
         return self._normalized_degradation
+
+    @property
+    def weight_received_at_s(self) -> Optional[float]:
+        """When the current ``w_u`` arrived (None = never/unstamped)."""
+        return self._w_received_at_s
+
+    @property
+    def w_u_ttl_s(self) -> Optional[float]:
+        """The staleness TTL, or None when staleness is not tracked."""
+        return self._w_u_ttl_s
 
     @property
     def tx_energy_estimate_j(self) -> float:

@@ -18,6 +18,7 @@ up to θ, spill the rest".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from ..battery import Battery
 from ..exceptions import ConfigurationError
@@ -54,10 +55,18 @@ class SoftwareDefinedSwitch:
     generated after each time slot".
     """
 
-    def __init__(self, soc_cap: float = 1.0) -> None:
+    def __init__(
+        self,
+        soc_cap: float = 1.0,
+        on_brownout: Optional[Callable[[float], None]] = None,
+    ) -> None:
         if not 0.0 < soc_cap <= 1.0:
             raise ConfigurationError("soc_cap (θ) must be in (0, 1]")
         self._soc_cap = soc_cap
+        #: Hook fired with the shortfall (joules) whenever a window's
+        #: demand cannot be met — the fault layer counts brown-outs (and
+        #: may escalate them to full node reboots) through it.
+        self._on_brownout = on_brownout
 
     @property
     def soc_cap(self) -> float:
@@ -100,6 +109,9 @@ class SoftwareDefinedSwitch:
             battery.discharge(battery_used, window_end_s)
         else:
             battery.settle(window_end_s)
+
+        if shortfall > 1e-12 and self._on_brownout is not None:
+            self._on_brownout(shortfall)
 
         return WindowEnergyResult(
             green_used_j=green_used,

@@ -37,6 +37,8 @@ from .statistics import (
     t_critical_95,
 )
 from .scenarios import (
+    canonical_fault_plan,
+    fault_sweep,
     large_scale_base,
     lifespan_policies,
     scale_factor,
@@ -71,6 +73,8 @@ __all__ = [
     "sweep_parameter",
     "sweep_policies",
     "t_critical_95",
+    "canonical_fault_plan",
+    "fault_sweep",
     "large_scale_base",
     "lifespan_policies",
     "measure_overhead",

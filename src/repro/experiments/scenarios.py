@@ -20,6 +20,7 @@ import os
 from typing import Dict
 
 from ..constants import SECONDS_PER_DAY
+from ..faults import FaultPlan, GatewayOutage, NodeReboot
 from ..lora import SpreadingFactor
 from ..sim import SimulationConfig
 
@@ -101,3 +102,40 @@ def lifespan_policies(base: SimulationConfig) -> Dict[str, SimulationConfig]:
         "H-50": base.as_h(0.5),
         "H-50C": base.as_hc(0.5),
     }
+
+
+def canonical_fault_plan(base: SimulationConfig) -> FaultPlan:
+    """The reference stress plan: 20 % ACK loss, a mid-run gateway
+    outage, and one node reboot two-thirds through the run.
+
+    This is the plan the robustness acceptance test runs: it exercises
+    the retry/backoff path, the dissemination-loss path, and the
+    reboot/weight-re-request path in one deterministic scenario.
+    """
+    duration = base.duration_s
+    return FaultPlan(
+        ack_loss_probability=0.2,
+        gateway_outages=(
+            GatewayOutage(start_s=duration * 0.5, duration_s=duration * 0.05),
+        ),
+        node_reboots=(NodeReboot(node_id=0, time_s=duration * 2.0 / 3.0),),
+    )
+
+
+def fault_sweep(base: SimulationConfig) -> Dict[str, SimulationConfig]:
+    """ACK-loss robustness sweep for the exact engine.
+
+    Holds the H-50 policy fixed and sweeps the downlink from perfect to
+    badly lossy, with the canonical stress plan as the final point —
+    the scenario behind the "delivery under faults" robustness figure.
+    Nodes apply a 3-day ``w_u`` TTL so the stale-weight decay path is
+    active whenever dissemination actually breaks.
+    """
+    h50 = base.as_h(0.5).replace(w_u_ttl_s=3 * SECONDS_PER_DAY)
+    configs: Dict[str, SimulationConfig] = {"fault-free": h50}
+    for loss in (0.05, 0.2, 0.5):
+        configs[f"ack-loss-{round(loss * 100)}"] = h50.replace(
+            faults=FaultPlan(ack_loss_probability=loss)
+        )
+    configs["canonical"] = h50.replace(faults=canonical_fault_plan(h50))
+    return configs

@@ -1,0 +1,174 @@
+"""The runtime fault injector the simulation engine consults.
+
+One :class:`FaultInjector` is built per run from the configuration's
+:class:`~repro.faults.plan.FaultPlan`.  The engine asks it a question at
+each event boundary (is this gateway up? did this ACK survive? when does
+this node reboot?) and reports recovery-path outcomes back into the
+shared :class:`FaultCounters`, which the run's metrics surface.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple
+
+from ..energy import EnergyForecaster
+from .models import AckLossChannel, CorruptedForecaster, OutageSchedule
+from .plan import FaultPlan, NodeReboot
+
+
+@dataclass
+class FaultCounters:
+    """Per-fault event counters accumulated over one run."""
+
+    #: ACKs lost on the downlink (independent + burst losses).
+    acks_lost: int = 0
+    #: Uplinks that arrived at a gateway while it was down.
+    uplinks_lost_outage: int = 0
+    #: ACKs suppressed because every gateway was down at ACK time.
+    acks_lost_outage: int = 0
+    #: Node brown-out reboots executed (scheduled + brown-out triggered).
+    node_reboots: int = 0
+    #: Packets abandoned because the retry budget was exhausted.
+    retries_exhausted: int = 0
+    #: Transmission attempts the battery could not fund.
+    brownouts: int = 0
+    #: Forecast values corrupted before reaching the MAC.
+    forecasts_corrupted: int = 0
+    #: Transmission attempts displaced by per-node clock skew.
+    skewed_attempts: int = 0
+    #: Periods scheduled while the node's ``w_u`` was past its TTL.
+    stale_weight_periods: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat counter dict (merged into the metrics summary)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def total(self) -> int:
+        """Sum of every counter (quick did-anything-fire check)."""
+        return sum(self.as_dict().values())
+
+
+class FaultInjector:
+    """Deterministic oracle answering the engine's fault questions."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        gateway_count: int = 1,
+        default_seed: int = 0,
+    ) -> None:
+        self.plan = plan
+        seed = plan.seed if plan.seed is not None else default_seed ^ 0xFA17
+        self._seed = seed
+        self.counters = FaultCounters()
+        self._ack_channel = AckLossChannel(
+            probability=plan.ack_loss_probability,
+            burst=plan.ack_burst,
+            seed=seed,
+        )
+        self._outages = OutageSchedule(plan.gateway_outages, gateway_count)
+        self._skews: Dict[int, float] = {}
+
+    # ----------------------------------------------------------- downlink/ACK
+
+    def ack_lost(self, node_id: int, time_s: float) -> bool:
+        """Whether the ACK sent to ``node_id`` at ``time_s`` is lost."""
+        if self._outages.all_down(time_s):
+            self.counters.acks_lost_outage += 1
+            return True
+        if self.plan.ack_loss_probability <= 0.0 and self.plan.ack_burst is None:
+            return False
+        if self._ack_channel.lost(node_id):
+            self.counters.acks_lost += 1
+            return True
+        return False
+
+    # --------------------------------------------------------------- gateways
+
+    def gateway_down(self, gateway_index: int, time_s: float) -> bool:
+        """Whether one gateway is in an outage window at ``time_s``."""
+        return self._outages.gateway_down(gateway_index, time_s)
+
+    def record_uplink_lost_outage(self) -> None:
+        """Count an uplink that hit a down gateway."""
+        self.counters.uplinks_lost_outage += 1
+
+    # ---------------------------------------------------------------- reboots
+
+    def reboots_for(self, node_id: int) -> Tuple[NodeReboot, ...]:
+        """Scheduled brown-out reboots of one node, in time order."""
+        return self.plan.reboots_for(node_id)
+
+    def record_reboot(self) -> None:
+        """Count an executed node reboot."""
+        self.counters.node_reboots += 1
+
+    @property
+    def reboot_on_brownout(self) -> bool:
+        """Whether energy brown-outs escalate to full reboots."""
+        return self.plan.reboot_on_brownout
+
+    # ------------------------------------------------------------ clock skew
+
+    def clock_skew_s(self, node_id: int) -> float:
+        """The node's constant clock skew, drawn once per node."""
+        if self.plan.clock_skew_s == 0.0:
+            return 0.0
+        skew = self._skews.get(node_id)
+        if skew is None:
+            rng = random.Random(self._seed * 1_000_003 + node_id)
+            skew = rng.uniform(-self.plan.clock_skew_s, self.plan.clock_skew_s)
+            self._skews[node_id] = skew
+        return skew
+
+    def skew_attempt(self, node_id: int, attempt_s: float, now_s: float) -> float:
+        """Displace a planned attempt time by the node's clock skew.
+
+        The skewed time never precedes ``now_s`` (causality) — a node
+        whose clock runs early still cannot transmit before its packet
+        exists.
+        """
+        skew = self.clock_skew_s(node_id)
+        if skew == 0.0:
+            return attempt_s
+        skewed = max(now_s, attempt_s + skew)
+        if skewed != attempt_s:
+            self.counters.skewed_attempts += 1
+        return skewed
+
+    # ------------------------------------------------------------- forecasts
+
+    def wrap_forecaster(
+        self, forecaster: EnergyForecaster, node_id: int
+    ) -> EnergyForecaster:
+        """Wrap a node's forecaster with corruption, when the plan asks."""
+        sigma = self.plan.forecast_corruption_sigma
+        if sigma <= 0.0:
+            return forecaster
+
+        def count(n: int) -> None:
+            self.counters.forecasts_corrupted += n
+
+        return CorruptedForecaster(
+            forecaster,
+            sigma=sigma,
+            seed=self._seed * 69_991 + node_id,
+            on_corruption=count,
+        )
+
+    # --------------------------------------------------------------- recovery
+
+    def record_retry_exhausted(self) -> None:
+        """Count a packet abandoned past the retransmission cap."""
+        self.counters.retries_exhausted += 1
+
+    def record_brownout(self) -> None:
+        """Count an attempt the battery could not fund."""
+        self.counters.brownouts += 1
+
+    def record_stale_weight_period(self) -> None:
+        """Count a period scheduled with a stale (past-TTL) ``w_u``."""
+        self.counters.stale_weight_periods += 1

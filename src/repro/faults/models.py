@@ -1,0 +1,152 @@
+"""Runtime fault models backing a :class:`~repro.faults.plan.FaultPlan`.
+
+Each model owns its own deterministic RNG stream derived from the fault
+seed so that (a) two runs of the same plan draw identically and (b) the
+draws never perturb the simulator's topology/channel/backoff RNGs — a
+run with an *empty* plan is bit-identical to a run with no plan at all.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..energy import EnergyForecaster
+from ..exceptions import ConfigurationError
+from .plan import BurstLoss, GatewayOutage
+
+
+class AckLossChannel:
+    """Per-node downlink loss: independent drops plus optional bursts.
+
+    The burst component is a Gilbert-Elliott chain evaluated once per
+    ACK; while in the bad state every ACK is lost.  Each node gets its
+    own chain and RNG stream so loss on one link never reorders draws on
+    another.
+    """
+
+    def __init__(
+        self,
+        probability: float,
+        burst: Optional[BurstLoss],
+        seed: int,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError("loss probability must be in [0, 1]")
+        self._probability = probability
+        self._burst = burst
+        self._seed = seed
+        self._rngs: Dict[int, random.Random] = {}
+        self._in_burst: Dict[int, bool] = {}
+
+    def _rng(self, node_id: int) -> random.Random:
+        rng = self._rngs.get(node_id)
+        if rng is None:
+            rng = random.Random(self._seed * 2_147_483_629 + node_id)
+            self._rngs[node_id] = rng
+        return rng
+
+    def lost(self, node_id: int) -> bool:
+        """Evaluate one ACK on this node's downlink; True when lost."""
+        rng = self._rng(node_id)
+        if self._burst is not None:
+            in_burst = self._in_burst.get(node_id, False)
+            if in_burst:
+                if rng.random() < self._burst.exit_probability:
+                    self._in_burst[node_id] = False
+                else:
+                    return True
+            elif rng.random() < self._burst.enter_probability:
+                self._in_burst[node_id] = True
+                return True
+        if self._probability <= 0.0:
+            return False
+        return rng.random() < self._probability
+
+    def in_burst(self, node_id: int) -> bool:
+        """Whether the node's downlink is currently in a burst (diagnostic)."""
+        return self._in_burst.get(node_id, False)
+
+
+class OutageSchedule:
+    """Indexes a plan's gateway outage windows for O(#windows) queries."""
+
+    def __init__(self, outages: Sequence[GatewayOutage], gateway_count: int) -> None:
+        if gateway_count < 1:
+            raise ConfigurationError("gateway_count must be >= 1")
+        for outage in outages:
+            if (
+                outage.gateway_index is not None
+                and outage.gateway_index >= gateway_count
+            ):
+                raise ConfigurationError(
+                    f"outage names gateway {outage.gateway_index} but only "
+                    f"{gateway_count} exist"
+                )
+        self._outages = tuple(outages)
+        self._gateway_count = gateway_count
+
+    def gateway_down(self, gateway_index: int, time_s: float) -> bool:
+        """Whether one gateway is down at ``time_s``."""
+        return any(
+            outage.covers(time_s)
+            and outage.gateway_index in (None, gateway_index)
+            for outage in self._outages
+        )
+
+    def all_down(self, time_s: float) -> bool:
+        """Whether every gateway is down at ``time_s`` (no ACK path)."""
+        return all(
+            self.gateway_down(index, time_s)
+            for index in range(self._gateway_count)
+        )
+
+    @property
+    def outages(self) -> tuple:
+        """The schedule's outage windows."""
+        return self._outages
+
+
+class CorruptedForecaster:
+    """Wraps an :class:`EnergyForecaster`, corrupting its predictions.
+
+    Models a stale or failing harvest-prediction model: every forecast
+    value is scaled by an independent log-normal factor with the plan's
+    ``forecast_corruption_sigma``.  Observations pass through untouched
+    so the inner forecaster keeps learning from the truth.
+    """
+
+    def __init__(
+        self,
+        inner: EnergyForecaster,
+        sigma: float,
+        seed: int,
+        on_corruption=None,
+    ) -> None:
+        if sigma < 0:
+            raise ConfigurationError("corruption sigma cannot be negative")
+        self._inner = inner
+        self._sigma = sigma
+        self._rng = random.Random(seed)
+        self._on_corruption = on_corruption
+
+    def forecast(self, start_s: float, window_s: float, count: int) -> List[float]:
+        """The inner forecast with multiplicative log-normal corruption."""
+        values = self._inner.forecast(start_s, window_s, count)
+        if self._sigma == 0.0:
+            return values
+        corrupted = [
+            value * self._rng.lognormvariate(0.0, self._sigma) for value in values
+        ]
+        if self._on_corruption is not None:
+            self._on_corruption(len(corrupted))
+        return corrupted
+
+    def observe(self, start_s: float, window_s: float, energy_j: float) -> None:
+        """Pass the realized harvest through to the inner forecaster."""
+        self._inner.observe(start_s, window_s, energy_j)
+
+    @property
+    def inner(self) -> EnergyForecaster:
+        """The wrapped forecaster (diagnostic)."""
+        return self._inner

@@ -1,0 +1,247 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is plain, frozen data describing *what* can go
+wrong in a run: ACK/downlink loss (independent and/or bursty), gateway
+outage windows, node brown-out reboots that wipe volatile MAC state,
+per-node clock skew on window boundaries, and harvest-forecast
+corruption.  The plan carries no randomness of its own — the runtime
+:class:`~repro.faults.injector.FaultInjector` derives every draw from a
+seed so two runs of the same plan are bit-identical.
+
+Plans compose with :class:`~repro.sim.config.SimulationConfig` (the
+``faults`` field) and can be parsed from the compact CLI spec accepted
+by ``python -m repro simulate --faults``, e.g.::
+
+    ack_loss=0.2,outage=43200+3600,reboot=3@86400,clock_skew=0.5
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BurstLoss:
+    """Gilbert-Elliott two-state burst-loss channel for downlinks.
+
+    In the *good* state ACKs are subject only to the plan's independent
+    loss probability; entering the *bad* state loses every ACK until the
+    channel recovers.  Transition probabilities are evaluated once per
+    ACK event.
+    """
+
+    #: P(good → bad) evaluated at each ACK.
+    enter_probability: float
+    #: P(bad → good) evaluated at each ACK.
+    exit_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.enter_probability <= 1.0:
+            raise ConfigurationError("burst enter probability must be in [0, 1]")
+        if not 0.0 < self.exit_probability <= 1.0:
+            raise ConfigurationError("burst exit probability must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class GatewayOutage:
+    """One contiguous window during which a gateway is down.
+
+    A down gateway neither receives uplinks nor transmits ACKs.
+    ``gateway_index`` of None takes the whole gateway fleet down (a
+    backhaul or network-server outage).
+    """
+
+    start_s: float
+    duration_s: float
+    gateway_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigurationError("outage start cannot be negative")
+        if self.duration_s <= 0:
+            raise ConfigurationError("outage duration must be positive")
+        if self.gateway_index is not None and self.gateway_index < 0:
+            raise ConfigurationError("gateway index cannot be negative")
+
+    @property
+    def end_s(self) -> float:
+        """Absolute end time of the outage."""
+        return self.start_s + self.duration_s
+
+    def covers(self, time_s: float) -> bool:
+        """Whether ``time_s`` falls inside the outage window."""
+        return self.start_s <= time_s < self.end_s
+
+
+@dataclass(frozen=True)
+class NodeReboot:
+    """A scheduled brown-out reboot of one node.
+
+    Rebooting wipes volatile MAC state (the Eq. 13/14 estimators and the
+    disseminated ``w_u``), loses any in-flight packet and pending
+    transition report, and makes the node re-request a fresh weight on
+    its next delivered uplink.
+    """
+
+    node_id: int
+    time_s: float
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ConfigurationError("node id cannot be negative")
+        if self.time_s < 0:
+            raise ConfigurationError("reboot time cannot be negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Composable, seed-reproducible description of everything that fails."""
+
+    #: Independent per-ACK downlink loss probability.
+    ack_loss_probability: float = 0.0
+    #: Optional Gilbert-Elliott burst model layered on top.
+    ack_burst: Optional[BurstLoss] = None
+    #: Gateway outage windows (uplinks unreceived, ACKs untransmitted).
+    gateway_outages: Tuple[GatewayOutage, ...] = field(default_factory=tuple)
+    #: Scheduled node brown-out reboots.
+    node_reboots: Tuple[NodeReboot, ...] = field(default_factory=tuple)
+    #: Maximum absolute per-node clock skew (seconds) applied to window
+    #: boundaries; each node draws a constant skew in [-s, +s].
+    clock_skew_s: float = 0.0
+    #: Log-sigma of multiplicative log-normal harvest-forecast corruption.
+    forecast_corruption_sigma: float = 0.0
+    #: Whether an energy brown-out during a transmission attempt also
+    #: reboots the node (wiping MAC state) instead of just dropping the
+    #: packet.
+    reboot_on_brownout: bool = False
+    #: Seed for every fault draw; None derives one from the simulation
+    #: seed so the plan stays reproducible without explicit wiring.
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ack_loss_probability <= 1.0:
+            raise ConfigurationError("ack_loss_probability must be in [0, 1]")
+        if self.clock_skew_s < 0:
+            raise ConfigurationError("clock_skew_s cannot be negative")
+        if self.forecast_corruption_sigma < 0:
+            raise ConfigurationError("forecast_corruption_sigma cannot be negative")
+        # Tolerate lists in hand-written plans; store hashable tuples.
+        object.__setattr__(self, "gateway_outages", tuple(self.gateway_outages))
+        object.__setattr__(self, "node_reboots", tuple(self.node_reboots))
+
+    # ---------------------------------------------------------------- queries
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing (fault-free world)."""
+        return (
+            self.ack_loss_probability == 0.0
+            and self.ack_burst is None
+            and not self.gateway_outages
+            and not self.node_reboots
+            and self.clock_skew_s == 0.0
+            and self.forecast_corruption_sigma == 0.0
+            and not self.reboot_on_brownout
+        )
+
+    def reboots_for(self, node_id: int) -> Tuple[NodeReboot, ...]:
+        """The scheduled reboots of one node, in time order."""
+        return tuple(
+            sorted(
+                (r for r in self.node_reboots if r.node_id == node_id),
+                key=lambda r: r.time_s,
+            )
+        )
+
+    # ---------------------------------------------------------------- parsing
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse the compact CLI fault spec.
+
+        Comma-separated ``key=value`` items:
+
+        * ``ack_loss=P`` — independent ACK loss probability,
+        * ``burst=ENTER/EXIT`` — Gilbert-Elliott transition probabilities,
+        * ``outage=START+DURATION`` or ``outage=START+DURATION@GW`` —
+          repeatable gateway outage windows (seconds),
+        * ``reboot=NODE@TIME`` — repeatable node reboots,
+        * ``clock_skew=S`` — max per-node clock skew in seconds,
+        * ``forecast_sigma=S`` — forecast corruption log-sigma,
+        * ``brownout_reboot=0|1`` — reboot on energy brown-out,
+        * ``seed=N`` — fault RNG seed.
+        """
+        kwargs: dict = {"gateway_outages": [], "node_reboots": []}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ConfigurationError(f"malformed fault spec item {item!r}")
+            key, value = item.split("=", 1)
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key == "ack_loss":
+                    kwargs["ack_loss_probability"] = float(value)
+                elif key == "burst":
+                    enter, exit_ = value.split("/")
+                    kwargs["ack_burst"] = BurstLoss(float(enter), float(exit_))
+                elif key == "outage":
+                    window, _, gw = value.partition("@")
+                    start, duration = window.split("+")
+                    kwargs["gateway_outages"].append(
+                        GatewayOutage(
+                            start_s=float(start),
+                            duration_s=float(duration),
+                            gateway_index=int(gw) if gw else None,
+                        )
+                    )
+                elif key == "reboot":
+                    node, time_s = value.split("@")
+                    kwargs["node_reboots"].append(
+                        NodeReboot(node_id=int(node), time_s=float(time_s))
+                    )
+                elif key == "clock_skew":
+                    kwargs["clock_skew_s"] = float(value)
+                elif key == "forecast_sigma":
+                    kwargs["forecast_corruption_sigma"] = float(value)
+                elif key == "brownout_reboot":
+                    kwargs["reboot_on_brownout"] = value not in ("0", "false", "no")
+                elif key == "seed":
+                    kwargs["seed"] = int(value)
+                else:
+                    raise ConfigurationError(f"unknown fault spec key {key!r}")
+            except (ValueError, TypeError) as error:
+                if isinstance(error, ConfigurationError):
+                    raise
+                raise ConfigurationError(
+                    f"malformed fault spec item {item!r}"
+                ) from error
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        """One-line human-readable summary (CLI banner)."""
+        parts = []
+        if self.ack_loss_probability > 0:
+            parts.append(f"ack_loss={self.ack_loss_probability:g}")
+        if self.ack_burst is not None:
+            parts.append(
+                f"burst={self.ack_burst.enter_probability:g}"
+                f"/{self.ack_burst.exit_probability:g}"
+            )
+        for outage in self.gateway_outages:
+            gw = "all" if outage.gateway_index is None else outage.gateway_index
+            parts.append(f"outage[{gw}]={outage.start_s:g}+{outage.duration_s:g}s")
+        for reboot in self.node_reboots:
+            parts.append(f"reboot[{reboot.node_id}]@{reboot.time_s:g}s")
+        if self.clock_skew_s > 0:
+            parts.append(f"clock_skew={self.clock_skew_s:g}s")
+        if self.forecast_corruption_sigma > 0:
+            parts.append(f"forecast_sigma={self.forecast_corruption_sigma:g}")
+        if self.reboot_on_brownout:
+            parts.append("brownout_reboot")
+        return " ".join(parts) if parts else "no faults"

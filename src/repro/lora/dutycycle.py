@@ -41,6 +41,15 @@ class DutyCycleLimiter:
         """Whether the node's off-period has elapsed at ``now_s``."""
         return now_s >= self.next_allowed_time(node_id)
 
+    def remaining_off_s(self, node_id: int, now_s: float) -> float:
+        """Seconds of regulatory off-period still to elapse at ``now_s``.
+
+        Retry backoff must respect this floor: a retransmission
+        scheduled inside the off-period would only be deferred again, so
+        the backoff scheduler stretches to ``max(backoff, remaining)``.
+        """
+        return max(0.0, self.next_allowed_time(node_id) - now_s)
+
     def record(self, node_id: int, start_s: float, airtime_s: float) -> None:
         """Account a transmission and update the node's off-period."""
         if airtime_s <= 0:

@@ -17,6 +17,7 @@ from typing import Optional, Tuple
 
 from ..constants import SECONDS_PER_DAY
 from ..exceptions import ConfigurationError
+from ..faults import FaultPlan
 from ..lora import EnergyModel, SpreadingFactor, TxParams, time_on_air, tx_energy
 
 
@@ -109,6 +110,18 @@ class SimulationConfig:
     #: Node-local shading variation of the shared solar trace.
     shading_sigma: float = 0.2
 
+    # ---------------------------------------------------------------- faults
+    #: Fault-injection plan (ACK loss, gateway outages, node reboots,
+    #: clock skew, forecast corruption).  None simulates the fault-free
+    #: world of the paper's evaluation.  Exact engine only; the
+    #: mesoscopic runner ignores the plan.
+    faults: Optional[FaultPlan] = None
+    #: TTL applied by BLAM nodes to the disseminated ``w_u`` — past it
+    #: the weight decays toward the new-battery default instead of
+    #: steering the DIF with stale data.  None disables staleness
+    #: tracking (the paper's implicit fault-free assumption).
+    w_u_ttl_s: Optional[float] = None
+
     # ------------------------------------------------------------ accounting
     #: How often the gateway recomputes and disseminates degradation.
     dissemination_interval_s: float = SECONDS_PER_DAY
@@ -156,6 +169,24 @@ class SimulationConfig:
             raise ConfigurationError(
                 "forecaster must be 'oracle', 'noisy' or 'persistence'"
             )
+        if self.w_u_ttl_s is not None and self.w_u_ttl_s <= 0:
+            raise ConfigurationError("w_u_ttl_s must be positive")
+        if self.faults is not None:
+            for reboot in self.faults.node_reboots:
+                if reboot.node_id >= self.node_count:
+                    raise ConfigurationError(
+                        f"fault plan reboots node {reboot.node_id} but only "
+                        f"{self.node_count} nodes exist"
+                    )
+            for outage in self.faults.gateway_outages:
+                if (
+                    outage.gateway_index is not None
+                    and outage.gateway_index >= self.gateway_count
+                ):
+                    raise ConfigurationError(
+                        f"fault plan names gateway {outage.gateway_index} but "
+                        f"only {self.gateway_count} gateways exist"
+                    )
 
     # --------------------------------------------------------------- derived
 

@@ -19,10 +19,13 @@ from typing import Dict
 from ..battery import Battery
 from ..core import (
     BatteryLifespanAwareMac,
+    ConfirmedUplinkRetrier,
     LorawanAlohaMac,
     MacPolicy,
     ThresholdOnlyMac,
 )
+from ..exceptions import ProtocolError
+from ..faults import FaultCounters, FaultInjector
 from ..energy import (
     CloudProcess,
     EnergyForecaster,
@@ -62,6 +65,8 @@ class SimulationResult:
     events_executed: int
     #: Per-packet records when ``record_packets`` was enabled, else None.
     packet_log: "PacketLog | None" = None
+    #: Per-fault counters when the config carried a fault plan, else None.
+    fault_counters: "FaultCounters | None" = None
 
 
 def build_forecaster(
@@ -91,6 +96,7 @@ def build_mac(config: SimulationConfig, capacity_j: float, nominal_j: float) -> 
             nominal_tx_energy_j=nominal_j,
             beta=config.ewma_beta,
             battery_capacity_j=capacity_j,
+            w_u_ttl_s=config.w_u_ttl_s,
         )
     if config.soc_cap >= 1.0:
         return LorawanAlohaMac()
@@ -102,15 +108,23 @@ class Simulator:
 
     #: Delay between the end of an uplink and the ACK in RX1.
     ACK_DELAY_S = 1.0
-    #: Fixed part of the retransmission backoff (both RX windows elapse).
-    RETRY_BASE_S = 2.0
-    #: Random part of the retransmission backoff (LMIC-style 1-3 s).
-    RETRY_JITTER_S = (1.0, 3.0)
 
     def __init__(self, config: SimulationConfig) -> None:
         self.config = config
         self.queue = EventQueue()
         self.rng = random.Random(config.seed ^ 0x5EED)
+        #: Fault oracle; None reproduces the fault-free world exactly.
+        #: The injector draws from its own seeded RNG streams, so runs
+        #: with and without a plan stay individually bit-reproducible.
+        self.injector = (
+            FaultInjector(
+                config.faults,
+                gateway_count=config.gateway_count,
+                default_seed=config.seed,
+            )
+            if config.faults is not None
+            else None
+        )
         self.link = LogDistanceLink(path_loss_exponent=config.path_loss_exponent)
         #: One Gateway per site; an uplink is delivered when any of them
         #: decodes it (the network server de-duplicates).
@@ -155,11 +169,22 @@ class Simulator:
             shading_sigma=config.shading_sigma,
         )
         forecaster = build_forecaster(config, harvester, placement.node_id)
+        if self.injector is not None:
+            forecaster = self.injector.wrap_forecaster(
+                forecaster, placement.node_id
+            )
         energy_model = config.energy_model()
         nominal = energy_model.tx_attempt_energy(params)
         mac = build_mac(config, capacity, nominal)
         node_rng = random.Random(config.seed * 7919 + placement.node_id)
         hopper = ChannelHopper(plan, rng=node_rng)
+        on_brownout = None
+        if self.injector is not None:
+            injector = self.injector
+
+            def on_brownout(shortfall_j: float) -> None:
+                injector.record_brownout()
+
         return EndDevice(
             placement=placement,
             tx_params=params,
@@ -173,6 +198,10 @@ class Simulator:
             rng=node_rng,
             max_retransmissions=config.max_retransmissions,
             packet_log=self.packet_log,
+            retrier=ConfirmedUplinkRetrier(
+                max_retransmissions=config.max_retransmissions
+            ),
+            on_brownout=on_brownout,
         )
 
     # -------------------------------------------------------------- running
@@ -183,10 +212,21 @@ class Simulator:
             start = node.placement.start_offset_s
             self._schedule_period(node, start)
         self._schedule_refresh(self.config.dissemination_interval_s)
+        if self.injector is not None:
+            for node in self.nodes.values():
+                for reboot in self.injector.reboots_for(node.node_id):
+                    if reboot.time_s < self.config.duration_s:
+                        self.queue.schedule(
+                            reboot.time_s,
+                            lambda n=node: self._on_reboot(n),
+                            priority=-2,
+                        )
         self.queue.run_until(self.config.duration_s)
         self._finalize()
+        counters = self.injector.counters if self.injector is not None else None
         metrics = NetworkMetrics(
-            nodes={nid: n.metrics for nid, n in self.nodes.items()}
+            nodes={nid: n.metrics for nid, n in self.nodes.items()},
+            faults=counters,
         )
         return SimulationResult(
             config=self.config,
@@ -196,6 +236,7 @@ class Simulator:
             disseminations_sent=self.server.disseminations_sent,
             events_executed=self._events_executed,
             packet_log=self.packet_log,
+            fault_counters=counters,
         )
 
     # ---------------------------------------------------------- event logic
@@ -213,37 +254,60 @@ class Simulator:
         if node.packet is not None:
             # Previous packet still in flight at its deadline: fail it.
             node.finish_packet(now, delivered=False, latency_s=node.period_s)
+        if (
+            self.injector is not None
+            and isinstance(node.mac, BatteryLifespanAwareMac)
+            and node.mac.weight_is_stale(now)
+        ):
+            self.injector.record_stale_weight_period()
         first_attempt = node.start_period(now)
         if first_attempt is not None:
-            self.queue.schedule(first_attempt, lambda: self._on_attempt(node))
+            if self.injector is not None:
+                # Clock skew displaces the node's view of the window
+                # boundary (never before the packet exists).
+                first_attempt = self.injector.skew_attempt(
+                    node.node_id, first_attempt, now
+                )
+            packet = node.packet
+            self.queue.schedule(
+                first_attempt, lambda: self._on_attempt(node, packet)
+            )
         self._schedule_period(node, now + node.period_s)
 
-    def _on_attempt(self, node: EndDevice) -> None:
+    def _on_attempt(self, node: EndDevice, packet) -> None:
         self._events_executed += 1
         now = self.queue.now_s
-        packet = node.packet
-        if packet is None:
-            return  # Packet was failed at a period boundary.
+        if node.packet is not packet:
+            return  # Packet failed at a period boundary or lost to a reboot.
         if self.duty_cycle is not None and not self.duty_cycle.can_transmit(
             node.node_id, now
         ):
             # Regulatory off-period still running: defer the attempt.
             resume = self.duty_cycle.next_allowed_time(node.node_id)
-            self.queue.schedule(resume, lambda: self._on_attempt(node))
+            self.queue.schedule(resume, lambda: self._on_attempt(node, packet))
             return
         if not node.draw_attempt_energy(now):
             # Brown-out: battery cannot fund the attempt.
             node.metrics.packets_dropped_energy += 1
             node.finish_packet(now, delivered=False, latency_s=node.period_s)
+            if self.injector is not None and self.injector.reboot_on_brownout:
+                self._reboot_node(node)
             return
         packet.battery_energy_j += node.attempt_energy_j
         packet.tx_energy_metric_j += node.tx_energy_j
         packet.discharge_soc = node.battery.soc
         channel = node.hopper.next_channel()
         tokens = []
-        for distance, gateway in zip(
-            node.placement.gateway_distances_m, self.gateways
+        for index, (distance, gateway) in enumerate(
+            zip(node.placement.gateway_distances_m, self.gateways)
         ):
+            if self.injector is not None and self.injector.gateway_down(
+                index, now
+            ):
+                # The gateway is down: the uplink is simply not heard
+                # there (and contributes no interference at that site).
+                self.injector.record_uplink_lost_outage()
+                continue
             rssi = self.link.rssi_dbm(
                 node.tx_params.tx_power_dbm,
                 distance,
@@ -262,37 +326,29 @@ class Simulator:
         if self.duty_cycle is not None:
             self.duty_cycle.record(node.node_id, now, node.airtime_s)
         self.queue.schedule(
-            now + node.airtime_s, lambda: self._on_attempt_end(node, tokens)
+            now + node.airtime_s,
+            lambda: self._on_attempt_end(node, packet, tokens),
         )
 
-    def _on_attempt_end(self, node: EndDevice, tokens) -> None:
+    def _on_attempt_end(self, node: EndDevice, packet, tokens) -> None:
         self._events_executed += 1
         now = self.queue.now_s
-        packet = node.packet
         # Every gateway must close out its reception; delivery needs any
         # one of them to have decoded the uplink.
         delivered = False
         for gateway, token in tokens:
             if gateway.end_reception(token):
                 delivered = True
-        if packet is None:
+        if node.packet is not packet:
             return
         if delivered:
+            ack_time = now + self.ACK_DELAY_S
             if self.adr is not None:
                 best_rssi = max(token.transmission.rssi_dbm for _, token in tokens)
                 snr = self.link.snr_db(best_rssi, node.tx_params.bandwidth_hz)
                 self.adr.record_uplink(node.node_id, snr)
-                decision = self.adr.decide(node.node_id, node.tx_params)
-                if decision.changed:
-                    node.update_tx_params(
-                        dataclasses.replace(
-                            node.tx_params,
-                            spreading_factor=decision.spreading_factor,
-                            tx_power_dbm=decision.tx_power_dbm,
-                        )
-                    )
-            ack_time = now + self.ACK_DELAY_S
-            latency = ack_time - packet.generated_at_s
+            # The uplink reached the network server: the piggybacked
+            # report is consumed whether or not the ACK makes it back.
             report = node.take_pending_report()
             payload = self.server.handle_uplink(
                 node.node_id,
@@ -301,16 +357,72 @@ class Simulator:
                 period_start_s=packet.period_start_s,
                 window_s=node.window_s,
             )
-            if payload.w_u is not None:
-                node.mac.set_normalized_degradation(payload.w_u)
-            node.finish_packet(now, delivered=True, latency_s=latency)
-            return
+            ack_lost = self.injector is not None and self.injector.ack_lost(
+                node.node_id, ack_time
+            )
+            if not ack_lost:
+                if self.adr is not None:
+                    # ADR decisions travel in the downlink, so they only
+                    # reach the node when the ACK does.
+                    decision = self.adr.decide(node.node_id, node.tx_params)
+                    if decision.changed:
+                        node.update_tx_params(
+                            dataclasses.replace(
+                                node.tx_params,
+                                spreading_factor=decision.spreading_factor,
+                                tx_power_dbm=decision.tx_power_dbm,
+                            )
+                        )
+                if payload.w_u is not None:
+                    node.mac.set_normalized_degradation(
+                        payload.w_u, received_at_s=ack_time
+                    )
+                    node.needs_weight_refresh = False
+                latency = ack_time - packet.generated_at_s
+                node.finish_packet(now, delivered=True, latency_s=latency)
+                return
+            # ACK lost: the node cannot tell a lost uplink from a lost
+            # ACK and falls into the same retry path.  A dissemination
+            # burned on the lost ACK stays unreceived — the stale-w_u
+            # decay (and reboot re-requests) cover exactly this case.
+            node.metrics.acks_lost += 1
+            if node.needs_weight_refresh:
+                self.server.force_dissemination(node.node_id)
         packet.attempt += 1
-        if packet.attempt > node.max_retransmissions:
+        try:
+            backoff = node.backoff_s(packet.attempt)
+        except ProtocolError:
+            # Retry budget exhausted: the packet is abandoned.
+            node.metrics.retries_exhausted += 1
+            if self.injector is not None:
+                self.injector.record_retry_exhausted()
             node.finish_packet(now, delivered=False, latency_s=node.period_s)
             return
-        backoff = self.RETRY_BASE_S + node.rng.uniform(*self.RETRY_JITTER_S)
-        self.queue.schedule(now + backoff, lambda: self._on_attempt(node))
+        if self.duty_cycle is not None:
+            # The regulatory off-period floors the backoff; scheduling
+            # inside it would only bounce off the duty-cycle guard.
+            backoff = max(
+                backoff, self.duty_cycle.remaining_off_s(node.node_id, now)
+            )
+        self.queue.schedule(now + backoff, lambda: self._on_attempt(node, packet))
+
+    def _on_reboot(self, node: EndDevice) -> None:
+        """Scheduled brown-out reboot event for one node."""
+        self._events_executed += 1
+        self._reboot_node(node)
+
+    def _reboot_node(self, node: EndDevice) -> None:
+        """Execute reboot semantics: fail, wipe, and re-request a weight."""
+        now = self.queue.now_s
+        if node.packet is not None:
+            # The in-flight packet dies with the volatile state.
+            node.finish_packet(now, delivered=False, latency_s=node.period_s)
+        node.reboot(now)
+        if self.injector is not None:
+            self.injector.record_reboot()
+        # The rebooted node signals for a fresh w_u; the server answers
+        # on the next ACK regardless of the dissemination interval.
+        self.server.force_dissemination(node.node_id)
 
     def _schedule_refresh(self, when_s: float) -> None:
         if when_s > self.config.duration_s:

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..exceptions import ConfigurationError
+from ..faults import FaultCounters
 
 
 @dataclass
@@ -40,6 +41,12 @@ class NodeMetrics:
     cycle_aging: float = 0.0
     calendar_aging: float = 0.0
     final_soc: float = 0.0
+    #: ACKs this node never received (downlink loss or gateway outage).
+    acks_lost: int = 0
+    #: Brown-out reboots this node suffered during the run.
+    reboots: int = 0
+    #: Packets abandoned after exhausting the retransmission budget.
+    retries_exhausted: int = 0
 
     # ------------------------------------------------------------- recording
 
@@ -166,6 +173,9 @@ class NetworkMetrics:
     """Network-wide aggregation across all nodes of a run."""
 
     nodes: Dict[int, NodeMetrics]
+    #: Per-fault counters from the run's injector; None for a run
+    #: without a fault plan.
+    faults: Optional[FaultCounters] = None
 
     def __post_init__(self) -> None:
         if not self.nodes:
@@ -283,8 +293,12 @@ class NetworkMetrics:
         return histogram
 
     def summary(self) -> Dict[str, float]:
-        """Flat dict of the headline aggregates (for tables/benches)."""
-        return {
+        """Flat dict of the headline aggregates (for tables/benches).
+
+        Runs with a fault plan additionally report every per-fault
+        counter under a ``fault_`` prefix.
+        """
+        summary = {
             "avg_retx": self.avg_retransmissions,
             "total_tx_energy_j": self.total_tx_energy_j,
             "avg_prr": self.avg_prr,
@@ -296,3 +310,7 @@ class NetworkMetrics:
             "max_degradation": self.max_degradation,
             "degradation_variance": self.degradation_variance,
         }
+        if self.faults is not None:
+            for name, count in self.faults.as_dict().items():
+                summary[f"fault_{name}"] = float(count)
+        return summary

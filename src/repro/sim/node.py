@@ -12,10 +12,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..battery import Battery, TransitionReport
-from ..core import MacPolicy, PeriodContext, WindowDecision, uniform_offset_in_window
+from ..core import (
+    ConfirmedUplinkRetrier,
+    MacPolicy,
+    PeriodContext,
+    WindowDecision,
+    uniform_offset_in_window,
+)
 from ..energy import EnergyForecaster, Harvester, SoftwareDefinedSwitch
 from ..exceptions import ConfigurationError, InvariantError
 from ..lora import ChannelHopper, EnergyModel, TxParams, time_on_air, tx_energy
@@ -57,6 +63,8 @@ class EndDevice:
         rng: Optional[random.Random] = None,
         max_retransmissions: int = 8,
         packet_log: Optional[PacketLog] = None,
+        retrier: Optional[ConfirmedUplinkRetrier] = None,
+        on_brownout: Optional[Callable[[float], None]] = None,
     ) -> None:
         if window_s <= 0:
             raise ConfigurationError("window must be positive")
@@ -72,6 +80,12 @@ class EndDevice:
         self.rng = rng or random.Random(placement.node_id)
         self.max_retransmissions = max_retransmissions
         self.packet_log = packet_log
+        self.retrier = retrier or ConfirmedUplinkRetrier(
+            max_retransmissions=max_retransmissions
+        )
+        #: Set after a reboot: the node keeps requesting a fresh ``w_u``
+        #: until one actually arrives on a received ACK.
+        self.needs_weight_refresh = False
 
         self.airtime_s = time_on_air(tx_params)
         #: Eq. (6) energy of one attempt (the TX-energy metric's unit).
@@ -79,7 +93,9 @@ class EndDevice:
         #: Battery cost of one attempt incl. the class-A receive windows.
         self.attempt_energy_j = self.energy_model.tx_attempt_energy(tx_params)
 
-        self.switch = SoftwareDefinedSwitch(soc_cap=mac.soc_cap)
+        self.switch = SoftwareDefinedSwitch(
+            soc_cap=mac.soc_cap, on_brownout=on_brownout
+        )
         self.metrics = NodeMetrics(
             node_id=placement.node_id, period_s=placement.period_s
         )
@@ -290,3 +306,32 @@ class EndDevice:
         report = self._pending_report
         self._pending_report = None
         return report
+
+    # ----------------------------------------------------------------- faults
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry ``attempt``, drawn from the node's RNG.
+
+        Raises :class:`~repro.exceptions.ProtocolError` once the
+        retransmission budget is exhausted — the caller must abandon the
+        packet.
+        """
+        return self.retrier.backoff_s(attempt, self.rng)
+
+    def reboot(self, now_s: float) -> None:
+        """Brown-out reboot: volatile MAC state is wiped.
+
+        The battery, harvester, and radio survive (hardware); the MAC's
+        estimators and its copy of ``w_u`` live in RAM and are lost.
+        Any in-flight packet must be failed by the caller *before* the
+        reboot so its outcome still reaches the metrics.  After
+        rebooting the node asks the gateway for a fresh weight on its
+        next delivered uplink.
+        """
+        self.settle_to(now_s)
+        if self.packet is not None:
+            raise InvariantError("fail the in-flight packet before rebooting")
+        self.mac.reboot()
+        self._pending_report = None
+        self.needs_weight_refresh = True
+        self.metrics.reboots += 1

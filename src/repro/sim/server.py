@@ -84,6 +84,15 @@ class NetworkServer:
             self._disseminations += 1
         return AckPayload(w_byte=w_byte)
 
+    def force_dissemination(self, node_id: int) -> None:
+        """Mark ``node_id`` for an immediate ``w_u`` refresh.
+
+        Called when a node signals it rebooted (and therefore lost its
+        volatile copy of the weight): the next ACK carries a fresh byte
+        regardless of the dissemination interval.
+        """
+        self._service.force_dissemination(node_id)
+
     def recompute_degradations(self, age_s: float, temperature_c: float = 25.0) -> None:
         """Daily batch: rerun Eq. (1)-(4) for every known node."""
         self._service.recompute_all(age_s=age_s, temperature_c=temperature_c)

@@ -90,6 +90,65 @@ class TestCountCycles:
         )
 
 
+class TestEdgeTraces:
+    """Degenerate SoC traces the counter must survive unchanged."""
+
+    def test_empty_trace(self):
+        assert count_cycles([]) == []
+        assert cycle_statistics(count_cycles([])) == (0.0, 0.0, 0.0)
+
+    def test_single_sample_has_no_cycles(self):
+        assert count_cycles([0.7]) == []
+
+    def test_constant_trace_has_no_cycles(self):
+        assert count_cycles([0.7] * 50) == []
+
+    def test_monotonic_trace_is_one_half_cycle(self):
+        # A battery only ever discharging sweeps one half cycle whose
+        # depth is the full excursion, however many samples record it.
+        cycles = count_cycles([1.0, 0.8, 0.6, 0.4, 0.2])
+        assert len(cycles) == 1
+        assert cycles[0].weight == 0.5
+        assert cycles[0].depth == pytest.approx(0.8)
+        assert cycles[0].mean_soc == pytest.approx(0.6)
+
+    def test_single_turning_point_yields_two_half_cycles(self):
+        # Discharge then recharge with no closed loop: both ranges are
+        # residue, counted as half cycles.
+        cycles = count_cycles([1.0, 0.2, 0.9])
+        assert [c.weight for c in cycles] == [0.5, 0.5]
+        assert cycles[0].depth == pytest.approx(0.8)
+        assert cycles[1].depth == pytest.approx(0.7)
+
+    def test_trace_ending_mid_half_cycle_keeps_partial_residue(self):
+        # A closed inner cycle plus an excursion cut off mid-discharge:
+        # the unfinished tail must still be counted as residue, with the
+        # depth observed so far.
+        series = [1.0, 0.2, 0.6, 0.4, 0.9, 0.55]
+        cycles = count_cycles(series)
+        full = [c for c in cycles if c.weight == 1.0]
+        halves = [c for c in cycles if c.weight == 0.5]
+        assert len(full) == 1
+        assert full[0].depth == pytest.approx(0.2)
+        assert halves[-1].depth == pytest.approx(0.35)
+        # Conservation: each full cycle covers its range twice, each
+        # half once, together sweeping exactly the reversal ranges.
+        swept = sum(2 * c.weight * c.depth for c in cycles)
+        trace_swept = sum(
+            abs(a - b) for a, b in zip(series, series[1:])
+        )
+        assert swept == pytest.approx(trace_swept)
+
+    def test_mid_cycle_truncation_only_changes_residue(self):
+        # Truncating the trace mid-excursion must not disturb already
+        # closed full cycles.
+        closed = count_cycles([1.0, 0.2, 0.6, 0.4, 0.9])
+        truncated = count_cycles([1.0, 0.2, 0.6, 0.4, 0.9, 0.55])
+        full_closed = [c for c in closed if c.weight == 1.0]
+        full_truncated = [c for c in truncated if c.weight == 1.0]
+        assert full_closed == full_truncated
+
+
 class TestCycleStatistics:
     def test_empty_is_zeroes(self):
         assert cycle_statistics([]) == (0.0, 0.0, 0.0)

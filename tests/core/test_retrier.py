@@ -1,0 +1,117 @@
+"""Tests for confirmed-uplink retry/backoff and stale-``w_u`` decay."""
+
+import random
+
+import pytest
+
+from repro.core import BatteryLifespanAwareMac, ConfirmedUplinkRetrier
+from repro.exceptions import ConfigurationError, ProtocolError
+
+
+class TestConfirmedUplinkRetrier:
+    def test_exponential_growth_up_to_cap(self):
+        retrier = ConfirmedUplinkRetrier(
+            base_s=2.0, factor=2.0, cap_s=16.0, jitter_s=(0.0, 0.0)
+        )
+        assert [retrier.backoff_s(a) for a in range(1, 6)] == [
+            2.0,
+            4.0,
+            8.0,
+            16.0,
+            16.0,  # capped
+        ]
+
+    def test_jitter_within_bounds(self):
+        retrier = ConfirmedUplinkRetrier(jitter_s=(1.0, 3.0))
+        rng = random.Random(1)
+        for attempt in range(1, 9):
+            exponential = min(
+                retrier.cap_s, retrier.base_s * retrier.factor ** (attempt - 1)
+            )
+            backoff = retrier.backoff_s(attempt, rng)
+            assert exponential + 1.0 <= backoff <= exponential + 3.0
+
+    def test_deterministic_given_rng(self):
+        retrier = ConfirmedUplinkRetrier()
+        a = [retrier.backoff_s(n, random.Random(7)) for n in range(1, 9)]
+        b = [retrier.backoff_s(n, random.Random(7)) for n in range(1, 9)]
+        assert a == b
+
+    def test_exhausted_budget_raises_protocol_error(self):
+        retrier = ConfirmedUplinkRetrier(max_retransmissions=3)
+        retrier.backoff_s(3, random.Random(0))
+        with pytest.raises(ProtocolError):
+            retrier.backoff_s(4, random.Random(0))
+
+    def test_attempt_numbering_starts_at_one(self):
+        with pytest.raises(ConfigurationError):
+            ConfirmedUplinkRetrier().backoff_s(0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConfirmedUplinkRetrier(base_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ConfirmedUplinkRetrier(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            ConfirmedUplinkRetrier(cap_s=1.0, base_s=2.0)
+        with pytest.raises(ConfigurationError):
+            ConfirmedUplinkRetrier(jitter_s=(3.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            ConfirmedUplinkRetrier(max_retransmissions=-1)
+
+
+class TestStaleWeightDecay:
+    def make_mac(self, ttl=100.0):
+        return BatteryLifespanAwareMac(soc_cap=0.5, w_u_ttl_s=ttl)
+
+    def test_fresh_weight_used_as_is(self):
+        mac = self.make_mac()
+        mac.set_normalized_degradation(0.8, received_at_s=0.0)
+        assert not mac.weight_is_stale(100.0)
+        assert mac.effective_degradation(50.0) == pytest.approx(0.8)
+        assert mac.effective_degradation(100.0) == pytest.approx(0.8)
+
+    def test_stale_weight_halves_every_ttl(self):
+        mac = self.make_mac(ttl=100.0)
+        mac.set_normalized_degradation(0.8, received_at_s=0.0)
+        assert mac.weight_is_stale(150.0)
+        assert mac.effective_degradation(200.0) == pytest.approx(0.4)
+        assert mac.effective_degradation(300.0) == pytest.approx(0.2)
+
+    def test_no_ttl_trusts_weight_forever(self):
+        mac = BatteryLifespanAwareMac(soc_cap=0.5)
+        mac.set_normalized_degradation(0.8, received_at_s=0.0)
+        assert not mac.weight_is_stale(1e9)
+        assert mac.effective_degradation(1e9) == pytest.approx(0.8)
+
+    def test_unstamped_weight_never_goes_stale(self):
+        # Legacy single-argument dissemination (the mesoscopic runner).
+        mac = self.make_mac()
+        mac.set_normalized_degradation(0.8)
+        assert not mac.weight_is_stale(1e9)
+        assert mac.effective_degradation(1e9) == pytest.approx(0.8)
+
+    def test_zero_ttl_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatteryLifespanAwareMac(soc_cap=0.5, w_u_ttl_s=0.0)
+
+
+class TestReboot:
+    def test_reboot_wipes_weight_and_stamp(self):
+        mac = BatteryLifespanAwareMac(soc_cap=0.5, w_u_ttl_s=100.0)
+        mac.set_normalized_degradation(0.8, received_at_s=0.0)
+        mac.reboot()
+        assert mac.normalized_degradation == 0.0
+        assert mac.weight_received_at_s is None
+        assert mac.effective_degradation(500.0) == 0.0
+
+    def test_reboot_resets_estimators(self):
+        mac = BatteryLifespanAwareMac(soc_cap=0.5, nominal_tx_energy_j=0.05)
+        mac.observe_result(
+            window_index=0, retransmissions=5, actual_tx_energy_j=0.5
+        )
+        assert mac.tx_energy_estimate_j > 0.0
+        assert mac.retransmission_estimator.expected_retransmissions(0) > 0.0
+        mac.reboot()
+        assert mac.tx_energy_estimate_j == 0.0
+        assert mac.retransmission_estimator.expected_retransmissions(0) == 0.0

@@ -1,0 +1,178 @@
+"""Tests for the runtime fault models and the injector's determinism."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults import (
+    BurstLoss,
+    FaultInjector,
+    FaultPlan,
+    GatewayOutage,
+    NodeReboot,
+)
+from repro.faults.models import AckLossChannel, CorruptedForecaster, OutageSchedule
+
+
+class RecordingForecaster:
+    """Constant-forecast stub recording what it was told to observe."""
+
+    def __init__(self, value=1.0):
+        self.value = value
+        self.observed = []
+
+    def forecast(self, start_s, window_s, count):
+        return [self.value] * count
+
+    def observe(self, start_s, window_s, energy_j):
+        self.observed.append((start_s, window_s, energy_j))
+
+
+class TestAckLossChannel:
+    def test_iid_loss_rate_near_probability(self):
+        channel = AckLossChannel(probability=0.3, burst=None, seed=11)
+        losses = sum(channel.lost(0) for _ in range(4000))
+        assert losses / 4000 == pytest.approx(0.3, abs=0.03)
+
+    def test_zero_probability_never_loses(self):
+        channel = AckLossChannel(probability=0.0, burst=None, seed=11)
+        assert not any(channel.lost(0) for _ in range(100))
+
+    def test_same_seed_same_draws(self):
+        a = AckLossChannel(probability=0.5, burst=None, seed=5)
+        b = AckLossChannel(probability=0.5, burst=None, seed=5)
+        assert [a.lost(0) for _ in range(200)] == [b.lost(0) for _ in range(200)]
+
+    def test_nodes_have_independent_streams(self):
+        channel = AckLossChannel(probability=0.5, burst=None, seed=5)
+        solo = AckLossChannel(probability=0.5, burst=None, seed=5)
+        interleaved = []
+        for _ in range(100):
+            interleaved.append(channel.lost(0))
+            channel.lost(1)  # must not perturb node 0's stream
+        assert interleaved == [solo.lost(0) for _ in range(100)]
+
+    def test_burst_loses_everything_until_exit(self):
+        # Certain entry, certain exit after one ACK: strict alternation
+        # between a lost (burst) ACK and the iid evaluation.
+        channel = AckLossChannel(
+            probability=0.0, burst=BurstLoss(1.0, 1.0), seed=3
+        )
+        assert channel.lost(0)  # enters the burst, ACK lost
+        assert channel.in_burst(0)
+        assert not channel.lost(0)  # exits, iid loss is 0
+        assert channel.lost(0)  # re-enters
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AckLossChannel(probability=2.0, burst=None, seed=0)
+
+
+class TestOutageSchedule:
+    def test_indexed_outage_hits_only_its_gateway(self):
+        schedule = OutageSchedule(
+            (GatewayOutage(100.0, 50.0, gateway_index=1),), gateway_count=2
+        )
+        assert schedule.gateway_down(1, 120.0)
+        assert not schedule.gateway_down(0, 120.0)
+        assert not schedule.all_down(120.0)
+
+    def test_fleet_outage_takes_all_gateways_down(self):
+        schedule = OutageSchedule((GatewayOutage(100.0, 50.0),), gateway_count=3)
+        assert schedule.all_down(120.0)
+        assert not schedule.all_down(200.0)
+
+    def test_outage_naming_missing_gateway_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OutageSchedule(
+                (GatewayOutage(0.0, 1.0, gateway_index=2),), gateway_count=2
+            )
+
+
+class TestCorruptedForecaster:
+    def test_corruption_scales_values_and_counts(self):
+        counted = []
+        wrapped = CorruptedForecaster(
+            RecordingForecaster(2.0), sigma=0.5, seed=9, on_corruption=counted.append
+        )
+        values = wrapped.forecast(0.0, 60.0, 10)
+        assert len(values) == 10
+        assert all(v > 0 for v in values)
+        assert values != [2.0] * 10
+        assert counted == [10]
+
+    def test_observations_pass_through_untouched(self):
+        inner = RecordingForecaster()
+        wrapped = CorruptedForecaster(inner, sigma=0.5, seed=9)
+        wrapped.observe(60.0, 60.0, 1.25)
+        assert inner.observed == [(60.0, 60.0, 1.25)]
+
+    def test_same_seed_same_corruption(self):
+        a = CorruptedForecaster(RecordingForecaster(), sigma=0.3, seed=4)
+        b = CorruptedForecaster(RecordingForecaster(), sigma=0.3, seed=4)
+        assert a.forecast(0.0, 60.0, 5) == b.forecast(0.0, 60.0, 5)
+
+
+class TestFaultInjector:
+    def test_empty_plan_answers_all_clear_without_drawing(self):
+        injector = FaultInjector(FaultPlan(), gateway_count=2, default_seed=1)
+        assert not injector.ack_lost(0, 100.0)
+        assert not injector.gateway_down(0, 100.0)
+        assert injector.clock_skew_s(0) == 0.0
+        assert injector.skew_attempt(0, 50.0, 40.0) == 50.0
+        forecaster = RecordingForecaster()
+        assert injector.wrap_forecaster(forecaster, 0) is forecaster
+        assert injector.counters.total == 0
+
+    def test_outage_ack_loss_counted_separately(self):
+        plan = FaultPlan(gateway_outages=(GatewayOutage(100.0, 50.0),))
+        injector = FaultInjector(plan, gateway_count=1)
+        assert injector.ack_lost(0, 120.0)
+        assert not injector.ack_lost(0, 200.0)
+        assert injector.counters.acks_lost_outage == 1
+        assert injector.counters.acks_lost == 0
+
+    def test_certain_ack_loss_counted(self):
+        injector = FaultInjector(FaultPlan(ack_loss_probability=1.0))
+        assert injector.ack_lost(0, 10.0)
+        assert injector.counters.acks_lost == 1
+
+    def test_plan_seed_overrides_simulation_seed(self):
+        plan = FaultPlan(ack_loss_probability=0.5, seed=42)
+        a = FaultInjector(plan, default_seed=1)
+        b = FaultInjector(plan, default_seed=2)
+        assert [a.ack_lost(0, 0.0) for _ in range(100)] == [
+            b.ack_lost(0, 0.0) for _ in range(100)
+        ]
+
+    def test_clock_skew_constant_per_node_and_bounded(self):
+        injector = FaultInjector(FaultPlan(clock_skew_s=0.5), default_seed=3)
+        skews = {n: injector.clock_skew_s(n) for n in range(20)}
+        assert all(-0.5 <= s <= 0.5 for s in skews.values())
+        assert injector.clock_skew_s(4) == skews[4]
+        assert len(set(skews.values())) > 1
+
+    def test_skew_never_schedules_before_now(self):
+        injector = FaultInjector(FaultPlan(clock_skew_s=100.0), default_seed=3)
+        for node in range(10):
+            assert injector.skew_attempt(node, 50.0, 50.0) >= 50.0
+
+    def test_reboots_delegate_to_plan(self):
+        plan = FaultPlan(node_reboots=(NodeReboot(2, 500.0),))
+        injector = FaultInjector(plan)
+        assert injector.reboots_for(2) == (NodeReboot(2, 500.0),)
+        assert injector.reboots_for(0) == ()
+
+    def test_recovery_counters_accumulate(self):
+        injector = FaultInjector(FaultPlan())
+        injector.record_reboot()
+        injector.record_retry_exhausted()
+        injector.record_brownout()
+        injector.record_stale_weight_period()
+        injector.record_uplink_lost_outage()
+        counters = injector.counters.as_dict()
+        assert counters["node_reboots"] == 1
+        assert counters["retries_exhausted"] == 1
+        assert counters["brownouts"] == 1
+        assert counters["stale_weight_periods"] == 1
+        assert counters["uplinks_lost_outage"] == 1
+        assert injector.counters.total == 5

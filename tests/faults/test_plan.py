@@ -1,0 +1,139 @@
+"""Tests for the declarative fault-plan data model and its CLI spec."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults import BurstLoss, FaultPlan, GatewayOutage, NodeReboot
+
+
+class TestBurstLoss:
+    def test_valid_probabilities(self):
+        burst = BurstLoss(enter_probability=0.05, exit_probability=0.3)
+        assert burst.enter_probability == 0.05
+
+    def test_enter_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BurstLoss(enter_probability=1.5, exit_probability=0.3)
+
+    def test_zero_exit_rejected(self):
+        # A burst the channel can never leave would be an outage, not a burst.
+        with pytest.raises(ConfigurationError):
+            BurstLoss(enter_probability=0.1, exit_probability=0.0)
+
+
+class TestGatewayOutage:
+    def test_covers_is_half_open(self):
+        outage = GatewayOutage(start_s=100.0, duration_s=50.0)
+        assert not outage.covers(99.9)
+        assert outage.covers(100.0)
+        assert outage.covers(149.9)
+        assert not outage.covers(150.0)
+        assert outage.end_s == 150.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GatewayOutage(start_s=-1.0, duration_s=10.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GatewayOutage(start_s=0.0, duration_s=0.0)
+
+    def test_negative_gateway_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GatewayOutage(start_s=0.0, duration_s=1.0, gateway_index=-1)
+
+
+class TestNodeReboot:
+    def test_negative_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeReboot(node_id=-1, time_s=10.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeReboot(node_id=0, time_s=-10.0)
+
+
+class TestFaultPlan:
+    def test_default_plan_is_empty(self):
+        assert FaultPlan().is_empty
+
+    def test_any_dimension_makes_it_non_empty(self):
+        assert not FaultPlan(ack_loss_probability=0.1).is_empty
+        assert not FaultPlan(ack_burst=BurstLoss(0.1, 0.5)).is_empty
+        assert not FaultPlan(
+            gateway_outages=(GatewayOutage(0.0, 1.0),)
+        ).is_empty
+        assert not FaultPlan(node_reboots=(NodeReboot(0, 1.0),)).is_empty
+        assert not FaultPlan(clock_skew_s=0.5).is_empty
+        assert not FaultPlan(forecast_corruption_sigma=0.1).is_empty
+        assert not FaultPlan(reboot_on_brownout=True).is_empty
+
+    def test_loss_probability_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(ack_loss_probability=1.2)
+
+    def test_lists_coerced_to_tuples_so_plan_stays_hashable(self):
+        plan = FaultPlan(
+            gateway_outages=[GatewayOutage(0.0, 1.0)],
+            node_reboots=[NodeReboot(0, 1.0)],
+        )
+        assert isinstance(plan.gateway_outages, tuple)
+        assert isinstance(plan.node_reboots, tuple)
+        hash(plan)  # frozen SimulationConfig embeds the plan
+
+    def test_reboots_for_filters_and_sorts(self):
+        plan = FaultPlan(
+            node_reboots=(
+                NodeReboot(1, 300.0),
+                NodeReboot(0, 200.0),
+                NodeReboot(1, 100.0),
+            )
+        )
+        assert plan.reboots_for(1) == (NodeReboot(1, 100.0), NodeReboot(1, 300.0))
+        assert plan.reboots_for(0) == (NodeReboot(0, 200.0),)
+        assert plan.reboots_for(7) == ()
+
+
+class TestFromSpec:
+    def test_full_spec_round_trips(self):
+        plan = FaultPlan.from_spec(
+            "ack_loss=0.2, burst=0.05/0.3, outage=100+50@1, outage=400+20,"
+            "reboot=3@86400, clock_skew=0.5, forecast_sigma=0.3,"
+            "brownout_reboot=1, seed=7"
+        )
+        assert plan.ack_loss_probability == 0.2
+        assert plan.ack_burst == BurstLoss(0.05, 0.3)
+        assert plan.gateway_outages == (
+            GatewayOutage(100.0, 50.0, gateway_index=1),
+            GatewayOutage(400.0, 20.0),
+        )
+        assert plan.node_reboots == (NodeReboot(3, 86400.0),)
+        assert plan.clock_skew_s == 0.5
+        assert plan.forecast_corruption_sigma == 0.3
+        assert plan.reboot_on_brownout
+        assert plan.seed == 7
+
+    def test_empty_spec_is_empty_plan(self):
+        assert FaultPlan.from_spec("").is_empty
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_spec("cosmic_rays=1")
+
+    def test_malformed_item_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_spec("ack_loss")
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_spec("ack_loss=lots")
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_spec("outage=100")
+
+    def test_describe_mentions_every_dimension(self):
+        plan = FaultPlan.from_spec("ack_loss=0.2,outage=100+50,reboot=3@400")
+        text = plan.describe()
+        assert "ack_loss=0.2" in text
+        assert "outage[all]=100+50s" in text
+        assert "reboot[3]@400s" in text
+
+    def test_describe_empty_plan(self):
+        assert FaultPlan().describe() == "no faults"
