@@ -1,0 +1,137 @@
+"""Engine micro-benchmark: throughput, memory, and tracing overhead.
+
+Times one seeded configuration on both engines and writes
+``benchmarks/results/BENCH_obs.json`` with, per engine:
+
+* wall-clock seconds (from the run manifest's profiler phases),
+* simulated-seconds-per-wall-second throughput,
+* events executed and peak event-queue depth,
+* peak RSS of the process (``resource.getrusage``, KiB on Linux),
+
+plus the relative wall-time overhead of running the exact engine with
+full tracing enabled versus disabled — the number backing the "<5 %
+when disabled, bounded when enabled" claim in docs/OBSERVABILITY.md.
+
+Run standalone (``python benchmarks/bench_engines.py [--smoke] [--out
+PATH]``) or through the pytest harness like every other bench.  CI runs
+the smoke profile on every push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import resource
+import sys
+import time
+from typing import Dict, Optional
+
+from repro import SimulationConfig, run_mesoscopic, run_simulation
+from repro.constants import SECONDS_PER_DAY
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_obs.json"
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size of this process so far (KiB on Linux)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _config(smoke: bool, engine: str) -> SimulationConfig:
+    if engine == "exact":
+        nodes, days = (5, 0.5) if smoke else (20, 2.0)
+    else:
+        nodes, days = (10, 1.0) if smoke else (50, 7.0)
+    return SimulationConfig(
+        node_count=nodes, duration_s=days * SECONDS_PER_DAY, seed=42
+    ).as_h(0.5)
+
+
+def _run_one(engine: str, config: SimulationConfig) -> Dict[str, object]:
+    start = time.perf_counter()
+    if engine == "exact":
+        result = run_simulation(config)
+    else:
+        result = run_mesoscopic(config)
+    wall = time.perf_counter() - start
+    manifest = result.manifest
+    return {
+        "engine": engine,
+        "nodes": config.node_count,
+        "simulated_days": config.duration_s / SECONDS_PER_DAY,
+        "wall_s": round(wall, 6),
+        "sim_s_per_wall_s": round(manifest.sim_s_per_wall_s or 0.0, 1),
+        "events_executed": manifest.events_executed,
+        "peak_queue_depth": manifest.peak_queue_depth,
+        "phase_timings_s": {
+            name: round(value, 6)
+            for name, value in manifest.phase_timings_s.items()
+        },
+        "avg_prr": result.metrics.avg_prr,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def _trace_overhead_pct(smoke: bool) -> float:
+    """Exact-engine wall overhead of full tracing vs. disabled, percent."""
+    config = _config(smoke, "exact")
+    start = time.perf_counter()
+    run_simulation(config)
+    plain = time.perf_counter() - start
+    start = time.perf_counter()
+    run_simulation(config.replace(trace=True))
+    traced = time.perf_counter() - start
+    if plain <= 0.0:
+        return 0.0
+    return round((traced - plain) / plain * 100.0, 2)
+
+
+def run_bench(smoke: bool = False) -> Dict[str, object]:
+    """Benchmark both engines; returns the BENCH_obs.json payload."""
+    report: Dict[str, object] = {
+        "profile": "smoke" if smoke else "full",
+        "seed": 42,
+        "engines": {
+            engine: _run_one(engine, _config(smoke, engine))
+            for engine in ("mesoscopic", "exact")
+        },
+        "exact_trace_overhead_pct": _trace_overhead_pct(smoke),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    return report
+
+
+def _write(report: Dict[str, object], out: pathlib.Path) -> None:
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def test_bench_engines(benchmark, report_sink) -> None:
+    """Pytest-harness entry: smoke profile, reported like other benches."""
+    report = benchmark.pedantic(run_bench, args=(True,), rounds=1, iterations=1)
+    _write(report, DEFAULT_OUT)
+    report_sink("bench_engines", json.dumps(report, indent=2, sort_keys=True))
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="small configs (CI profile)"
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(smoke=args.smoke)
+    _write(report, args.out)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"[written to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

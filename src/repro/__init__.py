@@ -18,7 +18,7 @@ Quick start::
     print(lorawan.metrics.avg_prr, h50.metrics.avg_prr)
 """
 
-from . import battery, core, energy, faults, lora, sim
+from . import battery, core, energy, faults, lora, obs, sim
 from .battery import (
     Battery,
     DegradationConstants,
@@ -57,6 +57,13 @@ from .exceptions import (
     SimulationError,
 )
 from .lora import EnergyModel, SpreadingFactor, TxParams, time_on_air, tx_energy
+from .obs import (
+    MetricsRegistry,
+    Observability,
+    RunManifest,
+    TraceBus,
+    TraceEvent,
+)
 from .sim import (
     MesoscopicResult,
     SimulationConfig,
@@ -88,10 +95,13 @@ __all__ = [
     "LinearUtility",
     "LorawanAlohaMac",
     "MesoscopicResult",
+    "MetricsRegistry",
     "NodeReboot",
+    "Observability",
     "PeriodContext",
     "ProtocolError",
     "ReproError",
+    "RunManifest",
     "SchedulingError",
     "SimulationConfig",
     "SimulationError",
@@ -99,6 +109,8 @@ __all__ = [
     "SocTrace",
     "SpreadingFactor",
     "ThresholdOnlyMac",
+    "TraceBus",
+    "TraceEvent",
     "TransitionReport",
     "TxParams",
     "WindowSelector",
@@ -108,6 +120,7 @@ __all__ = [
     "energy",
     "faults",
     "lora",
+    "obs",
     "run_mesoscopic",
     "run_simulation",
     "sim",

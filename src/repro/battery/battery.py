@@ -69,6 +69,15 @@ class Battery:
         self.trace = SocTrace()
         self.trace.append(0.0, self.initial_soc)
         self._model = DegradationModel(self.constants)
+        # Observability hook (not a dataclass field: never compared or
+        # serialized); None keeps degradation refreshes trace-free.
+        self._trace_bus = None
+        self._trace_node: Optional[int] = None
+
+    def bind_trace(self, bus, node_id: Optional[int] = None) -> None:
+        """Attach a trace bus so degradation refreshes publish events."""
+        self._trace_bus = bus
+        self._trace_node = node_id
 
     # ------------------------------------------------------------------ state
 
@@ -177,6 +186,18 @@ class Battery:
         self._degradation = breakdown.nonlinear(self.constants)
         # A degraded battery may now hold more energy than it can store.
         self.stored_j = min(self.stored_j, self.current_max_capacity_j)
+        if self._trace_bus is not None:
+            self._trace_bus.emit(
+                self._now_s,
+                "battery",
+                "battery.degradation",
+                severity="debug",
+                node_id=self._trace_node,
+                degradation=self._degradation,
+                cycle=breakdown.cycle,
+                calendar=breakdown.calendar,
+                soc=self.soc,
+            )
         if raise_on_eol and self.is_end_of_life:
             raise BatteryEndOfLifeError(
                 f"battery reached {self._degradation:.1%} degradation"

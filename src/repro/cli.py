@@ -1,23 +1,29 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows:
+Four commands cover the common workflows:
 
 * ``simulate`` — run one configuration under one MAC policy and print
-  the paper's metrics plus the extrapolated battery lifespan.
+  the paper's metrics plus the extrapolated battery lifespan.  The
+  observability flags (``--trace``, ``--trace-out``, ``--metrics-out``,
+  ``--manifest-out``, ``--json``) expose the ``repro.obs`` layer.
 * ``figure`` — regenerate one of the paper's figures/tables by id
   (``2``-``9`` or ``table1``) and print its rows/series.
 * ``replicates`` — run LoRaWAN and H-θ across several seeds and print
   the paired lifespan gain with a 95 % confidence interval.
+* ``trace`` — pretty-print / filter a JSONL trace written by
+  ``simulate --trace-out``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .constants import SECONDS_PER_DAY
 from .faults import FaultPlan
+from .obs import CATEGORIES, SEVERITIES, filter_events, format_event, iter_jsonl
 from .sim import SimulationConfig, run_mesoscopic, run_simulation
 
 
@@ -64,6 +70,81 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="w_u_ttl_days",
         help="TTL (days) before nodes decay a stale disseminated w_u",
     )
+    simulate.add_argument(
+        "--trace",
+        action="store_true",
+        help="record structured trace events (in-memory ring buffer)",
+    )
+    simulate.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="stream trace events to a JSONL file (implies --trace)",
+    )
+    simulate.add_argument(
+        "--trace-categories",
+        type=str,
+        default=None,
+        metavar="CATS",
+        help=(
+            "comma-separated event categories to record "
+            f"(subset of {','.join(CATEGORIES)})"
+        ),
+    )
+    simulate.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics registry (.json → JSON, else Prometheus text)",
+    )
+    simulate.add_argument(
+        "--manifest-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the run manifest JSON (defaults next to --trace-out)",
+    )
+    simulate.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit one machine-readable JSON object instead of text",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="pretty-print / filter a JSONL trace file"
+    )
+    trace.add_argument("path", help="JSONL trace written by simulate --trace-out")
+    trace.add_argument(
+        "--category",
+        action="append",
+        choices=CATEGORIES,
+        default=None,
+        help="keep only these categories (repeatable)",
+    )
+    trace.add_argument("--node", type=int, default=None, help="keep one node's events")
+    trace.add_argument(
+        "--name", type=str, default=None, help="keep events whose name contains this"
+    )
+    trace.add_argument(
+        "--min-severity",
+        choices=tuple(SEVERITIES),
+        default="debug",
+        help="drop events below this severity",
+    )
+    trace.add_argument("--since", type=float, default=None, metavar="SECONDS")
+    trace.add_argument("--until", type=float, default=None, metavar="SECONDS")
+    trace.add_argument(
+        "--limit", type=int, default=None, help="stop after this many events"
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="re-emit the matching events as JSONL instead of text",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
     figure.add_argument(
@@ -88,6 +169,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
     if spec:
         faults = FaultPlan.from_spec(spec)
     ttl_days = getattr(args, "w_u_ttl_days", None)
+    categories = getattr(args, "trace_categories", None)
     base = SimulationConfig(
         node_count=args.nodes,
         duration_s=args.days * SECONDS_PER_DAY,
@@ -95,6 +177,13 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         seed=args.seed,
         faults=faults,
         w_u_ttl_s=None if ttl_days is None else ttl_days * SECONDS_PER_DAY,
+        trace=getattr(args, "trace", False),
+        trace_path=getattr(args, "trace_out", None),
+        trace_categories=(
+            None
+            if categories is None
+            else tuple(c.strip() for c in categories.split(",") if c.strip())
+        ),
     )
     if args.policy == "lorawan":
         return base.as_lorawan()
@@ -103,12 +192,19 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
     return base.as_h(args.theta)
 
 
+def _default_manifest_path(trace_out: str) -> str:
+    if trace_out.endswith(".jsonl"):
+        return trace_out[: -len(".jsonl")] + ".manifest.json"
+    return trace_out + ".manifest.json"
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     engine = args.engine
+    notices: List[str] = []
     if config.faults is not None and engine != "exact":
         # The mesoscopic runner has no event boundaries to inject at.
-        print("fault plan supplied: switching to the exact engine")
+        notices.append("fault plan supplied: switching to the exact engine")
         engine = "exact"
     if engine == "exact":
         result = run_simulation(config)
@@ -116,14 +212,88 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     else:
         result = run_mesoscopic(config)
         lifespan = result.network_lifespan_days()
+
+    manifest = result.manifest
+    manifest_out = args.manifest_out
+    if manifest_out is None and args.trace_out is not None:
+        manifest_out = _default_manifest_path(args.trace_out)
+    if manifest_out is not None and manifest is not None:
+        manifest.write(manifest_out)
+    if args.metrics_out is not None and result.obs is not None:
+        registry = result.obs.metrics
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            if args.metrics_out.endswith(".json"):
+                handle.write(registry.to_json_text())
+            else:
+                handle.write(registry.to_prometheus())
+
+    summary = result.metrics.summary()
+    if args.as_json:
+        payload = {
+            "policy": config.policy_name,
+            "engine": engine,
+            "nodes": config.node_count,
+            "days": config.duration_s / SECONDS_PER_DAY,
+            "seed": config.seed,
+            "metrics": summary,
+        }
+        if lifespan is not None:
+            payload["lifespan_days"] = lifespan
+        if config.faults is not None:
+            payload["faults"] = config.faults.describe()
+        if manifest is not None:
+            payload["manifest"] = manifest.to_dict()
+        if manifest_out is not None:
+            payload["manifest_path"] = manifest_out
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+
+    for notice in notices:
+        print(notice)
     print(f"policy: {config.policy_name}  nodes: {config.node_count}  "
           f"days: {config.duration_s / SECONDS_PER_DAY:g}  engine: {engine}")
     if config.faults is not None:
         print(f"faults: {config.faults.describe()}")
-    for key, value in result.metrics.summary().items():
+    for key, value in summary.items():
         print(f"  {key:28s} {value:.6g}")
     if lifespan is not None:
         print(f"  {'lifespan_days':28s} {lifespan:.6g}")
+    # Timing lines only appear when observability output was requested:
+    # the plain summary must stay bit-identical across repeated seeded runs.
+    observing = (args.trace or args.trace_out is not None
+                 or args.metrics_out is not None
+                 or args.manifest_out is not None)
+    if manifest is not None and observing:
+        print(f"  {'wall_s':28s} {manifest.wall_s:.6g}")
+        if manifest.sim_s_per_wall_s:
+            print(f"  {'sim_s_per_wall_s':28s} {manifest.sim_s_per_wall_s:.6g}")
+    if args.trace_out is not None:
+        print(f"trace written to {args.trace_out}")
+    if manifest_out is not None:
+        print(f"manifest written to {manifest_out}")
+    if args.metrics_out is not None:
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    events = filter_events(
+        iter_jsonl(args.path),
+        categories=args.category,
+        node_id=args.node,
+        name_substring=args.name,
+        min_severity=args.min_severity,
+        since_s=args.since,
+        until_s=args.until,
+    )
+    shown = 0
+    for event in events:
+        if args.limit is not None and shown >= args.limit:
+            break
+        print(event.to_json() if args.as_json else format_event(event))
+        shown += 1
+    if not args.as_json:
+        print(f"{shown} event(s)")
     return 0
 
 
@@ -195,6 +365,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "figure":
         return _cmd_figure(args)
     return _cmd_replicates(args)

@@ -66,6 +66,12 @@ class DegradationService:
         self._model = model or DegradationModel()
         self._interval_s = dissemination_interval_s
         self._nodes: Dict[int, NodeDegradationState] = {}
+        #: Optional :class:`~repro.obs.TraceBus`; None keeps tracing free.
+        self._trace = None
+
+    def bind_trace(self, bus) -> None:
+        """Attach a trace bus so disseminations publish ``wu`` events."""
+        self._trace = bus
 
     # ------------------------------------------------------------- ingestion
 
@@ -163,6 +169,16 @@ class DegradationService:
             return None
         state.last_disseminated_s = now_s
         state.last_w_byte = quantize_w(self.normalized_degradation(node_id))
+        if self._trace is not None:
+            self._trace.emit(
+                now_s,
+                "wu",
+                "wu.disseminated",
+                node_id=node_id,
+                w_byte=state.last_w_byte,
+                degradation=state.degradation,
+                d_max=self.max_degradation(),
+            )
         return state.last_w_byte
 
     def force_dissemination(self, node_id: int) -> None:

@@ -111,6 +111,15 @@ class MacPolicy:
 
     #: θ — the SoC cap enforced by the software-defined switch.
     soc_cap: float = 1.0
+    #: Optional :class:`~repro.obs.TraceBus`; None keeps tracing free.
+    _trace = None
+    #: Node id stamped onto emitted events (set by :meth:`bind_trace`).
+    _trace_node: Optional[int] = None
+
+    def bind_trace(self, bus, node_id: int) -> None:
+        """Attach a trace bus so decisions publish structured events."""
+        self._trace = bus
+        self._trace_node = node_id
 
     def choose_window(self, context: PeriodContext) -> WindowDecision:
         """Pick the forecast window for the packet generated this period."""
@@ -268,14 +277,29 @@ class BatteryLifespanAwareMac(MacPolicy):
             base * self._retx_estimator.window_energy_multiplier(t)
             for t in range(windows)
         ]
-        return self._selector.select(
+        effective_w = self.effective_degradation(context.period_start_s)
+        decision = self._selector.select(
             battery_energy_j=context.battery_energy_j,
-            normalized_degradation=self.effective_degradation(
-                context.period_start_s
-            ),
+            normalized_degradation=effective_w,
             green_energies_j=context.green_forecast_j,
             estimated_tx_energies_j=estimated,
         )
+        if self._trace is not None and self._trace.wants("window", "debug"):
+            self._trace.emit(
+                context.period_start_s,
+                "window",
+                "window.selected",
+                severity="debug",
+                node_id=self._trace_node,
+                success=decision.success,
+                window_index=decision.window_index,
+                w_u=effective_w,
+                battery_energy_j=context.battery_energy_j,
+                scores=[round(s, 6) for s in decision.scores],
+                difs=[round(d, 6) for d in decision.difs],
+                utilities=[round(u, 6) for u in decision.utilities],
+            )
+        return decision
 
     def observe_result(
         self, window_index: int, retransmissions: int, actual_tx_energy_j: float
@@ -297,6 +321,15 @@ class BatteryLifespanAwareMac(MacPolicy):
             raise ConfigurationError("normalized degradation must be in [0, 1]")
         self._normalized_degradation = w_u
         self._w_received_at_s = received_at_s
+        if self._trace is not None:
+            self._trace.emit(
+                received_at_s if received_at_s is not None else 0.0,
+                "wu",
+                "wu.received",
+                node_id=self._trace_node,
+                w_u=w_u,
+                stamped=received_at_s is not None,
+            )
 
     def reboot(self) -> None:
         """Brown-out/reboot: volatile MAC state is lost.
@@ -334,7 +367,20 @@ class BatteryLifespanAwareMac(MacPolicy):
             return self._normalized_degradation
         age = now_s - self._w_received_at_s
         excess = age - self._w_u_ttl_s
-        return self._normalized_degradation * 0.5 ** (excess / self._w_u_ttl_s)
+        decayed = self._normalized_degradation * 0.5 ** (excess / self._w_u_ttl_s)
+        if self._trace is not None:
+            self._trace.emit(
+                now_s,
+                "wu",
+                "wu.stale_decay",
+                severity="debug",
+                node_id=self._trace_node,
+                held_w_u=self._normalized_degradation,
+                effective_w_u=decayed,
+                age_s=age,
+                ttl_s=self._w_u_ttl_s,
+            )
+        return decayed
 
     # ----------------------------------------------------------- diagnostics
 

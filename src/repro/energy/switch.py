@@ -67,6 +67,14 @@ class SoftwareDefinedSwitch:
         #: demand cannot be met — the fault layer counts brown-outs (and
         #: may escalate them to full node reboots) through it.
         self._on_brownout = on_brownout
+        #: Optional :class:`~repro.obs.TraceBus`; None keeps tracing free.
+        self._trace = None
+        self._trace_node: Optional[int] = None
+
+    def bind_trace(self, bus, node_id: Optional[int] = None) -> None:
+        """Attach a trace bus so brown-outs publish ``energy`` events."""
+        self._trace = bus
+        self._trace_node = node_id
 
     @property
     def soc_cap(self) -> float:
@@ -110,8 +118,21 @@ class SoftwareDefinedSwitch:
         else:
             battery.settle(window_end_s)
 
-        if shortfall > 1e-12 and self._on_brownout is not None:
-            self._on_brownout(shortfall)
+        if shortfall > 1e-12:
+            if self._trace is not None:
+                self._trace.emit(
+                    window_end_s,
+                    "energy",
+                    "energy.brownout",
+                    severity="warning",
+                    node_id=self._trace_node,
+                    shortfall_j=shortfall,
+                    demand_j=demand_j,
+                    harvested_j=harvested_j,
+                    soc=battery.soc,
+                )
+            if self._on_brownout is not None:
+                self._on_brownout(shortfall)
 
         return WindowEnergyResult(
             green_used_j=green_used,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, fields
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..energy import EnergyForecaster
 from .models import AckLossChannel, CorruptedForecaster, OutageSchedule
@@ -71,6 +71,33 @@ class FaultInjector:
         )
         self._outages = OutageSchedule(plan.gateway_outages, gateway_count)
         self._skews: Dict[int, float] = {}
+        #: Optional :class:`~repro.obs.TraceBus`; None keeps tracing free.
+        self._trace = None
+        #: Clock callable supplying event timestamps for counter-style
+        #: firings that carry no time of their own.
+        self._now: Callable[[], float] = lambda: 0.0
+
+    def bind_trace(self, bus, now: Optional[Callable[[], float]] = None) -> None:
+        """Attach a trace bus (and the engine clock) for fault events."""
+        self._trace = bus
+        if now is not None:
+            self._now = now
+
+    def _emit(
+        self,
+        name: str,
+        time_s: Optional[float] = None,
+        severity: str = "warning",
+        **fields: object,
+    ) -> None:
+        if self._trace is not None:
+            self._trace.emit(
+                self._now() if time_s is None else time_s,
+                "fault",
+                name,
+                severity=severity,
+                **fields,
+            )
 
     # ----------------------------------------------------------- downlink/ACK
 
@@ -78,11 +105,13 @@ class FaultInjector:
         """Whether the ACK sent to ``node_id`` at ``time_s`` is lost."""
         if self._outages.all_down(time_s):
             self.counters.acks_lost_outage += 1
+            self._emit("fault.ack_lost_outage", time_s, node_id=node_id)
             return True
         if self.plan.ack_loss_probability <= 0.0 and self.plan.ack_burst is None:
             return False
         if self._ack_channel.lost(node_id):
             self.counters.acks_lost += 1
+            self._emit("fault.ack_lost", time_s, node_id=node_id)
             return True
         return False
 
@@ -95,6 +124,7 @@ class FaultInjector:
     def record_uplink_lost_outage(self) -> None:
         """Count an uplink that hit a down gateway."""
         self.counters.uplinks_lost_outage += 1
+        self._emit("fault.uplink_lost_outage")
 
     # ---------------------------------------------------------------- reboots
 
@@ -105,6 +135,7 @@ class FaultInjector:
     def record_reboot(self) -> None:
         """Count an executed node reboot."""
         self.counters.node_reboots += 1
+        self._emit("fault.node_reboot")
 
     @property
     def reboot_on_brownout(self) -> bool:
@@ -137,6 +168,14 @@ class FaultInjector:
         skewed = max(now_s, attempt_s + skew)
         if skewed != attempt_s:
             self.counters.skewed_attempts += 1
+            self._emit(
+                "fault.attempt_skewed",
+                now_s,
+                severity="debug",
+                node_id=node_id,
+                planned_s=attempt_s,
+                skewed_s=skewed,
+            )
         return skewed
 
     # ------------------------------------------------------------- forecasts
@@ -151,6 +190,12 @@ class FaultInjector:
 
         def count(n: int) -> None:
             self.counters.forecasts_corrupted += n
+            self._emit(
+                "fault.forecast_corrupted",
+                severity="debug",
+                node_id=node_id,
+                values=n,
+            )
 
         return CorruptedForecaster(
             forecaster,
@@ -164,11 +209,14 @@ class FaultInjector:
     def record_retry_exhausted(self) -> None:
         """Count a packet abandoned past the retransmission cap."""
         self.counters.retries_exhausted += 1
+        self._emit("fault.retry_exhausted")
 
     def record_brownout(self) -> None:
         """Count an attempt the battery could not fund."""
         self.counters.brownouts += 1
+        self._emit("fault.brownout")
 
     def record_stale_weight_period(self) -> None:
         """Count a period scheduled with a stale (past-TTL) ``w_u``."""
         self.counters.stale_weight_periods += 1
+        self._emit("fault.stale_weight_period", severity="debug")

@@ -1,0 +1,96 @@
+"""Observability: structured tracing, metrics, and profiling (``repro.obs``).
+
+Three cooperating pieces, shared by both simulation engines:
+
+* :mod:`repro.obs.trace` — a zero-overhead-when-disabled event bus
+  (:class:`TraceBus`) onto which the engines, the battery lifespan-aware
+  MAC, the degradation service, the battery model, the software-defined
+  switch, and the fault injector publish typed :class:`TraceEvent`
+  records; bounded ring buffer plus an optional JSONL sink.
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and weighted histograms with Prometheus-text and JSON exports.
+* :mod:`repro.obs.profiling` — per-phase wall-clock timers and the
+  :class:`RunManifest` (config hash, seed, git revision, throughput)
+  written next to a run's results.
+
+Enable from a config (``SimulationConfig(trace=True, trace_path=...)``),
+from the CLI (``repro simulate --trace --trace-out run.jsonl``), or
+programmatically by passing an :class:`Observability` to an engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiling import Profiler, RunManifest, config_hash, git_revision
+from .trace import (
+    CATEGORIES,
+    SEVERITIES,
+    JsonlSink,
+    TraceBus,
+    TraceEvent,
+    filter_events,
+    format_event,
+    iter_jsonl,
+    severity_level,
+)
+
+
+@dataclass
+class Observability:
+    """One run's instrumentation bundle: trace bus, metrics, profiler.
+
+    ``trace`` may be None — metrics and profiling stay active while
+    event tracing stays completely off the hot path.
+    """
+
+    trace: Optional[TraceBus] = None
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    profiler: Profiler = field(default_factory=Profiler)
+
+    @classmethod
+    def create(
+        cls,
+        trace_path: Optional[str] = None,
+        categories: Optional[Iterable[str]] = None,
+        capacity: int = 65_536,
+        min_severity: str = "debug",
+    ) -> "Observability":
+        """Build a bundle with tracing enabled (and a JSONL sink if asked)."""
+        sink = JsonlSink(trace_path) if trace_path is not None else None
+        bus = TraceBus(
+            capacity=capacity,
+            categories=categories,
+            min_severity=min_severity,
+            sink=sink,
+        )
+        return cls(trace=bus)
+
+    def close(self) -> None:
+        """Flush and close the trace sink, when one is attached."""
+        if self.trace is not None:
+            self.trace.close()
+
+
+__all__ = [
+    "CATEGORIES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "Observability",
+    "Profiler",
+    "RunManifest",
+    "SEVERITIES",
+    "TraceBus",
+    "TraceEvent",
+    "config_hash",
+    "filter_events",
+    "format_event",
+    "git_revision",
+    "iter_jsonl",
+    "severity_level",
+]

@@ -1,0 +1,149 @@
+"""Profiling hooks and the per-run manifest.
+
+Every future performance PR is measured against the numbers collected
+here: per-phase wall-clock timings (build / run / finalize), throughput
+as simulated-seconds-per-wall-second, executed-event counts, and the
+exact engine's peak event-queue depth.  The :class:`RunManifest` pins
+the run's identity next to its results — config hash, seed, git
+revision, engine, Python version — so a benchmark number can always be
+traced back to the exact code and configuration that produced it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+import subprocess
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from ..exceptions import ConfigurationError
+
+
+class Profiler:
+    """Named wall-clock phase timers for one run.
+
+    Phases may be entered repeatedly (their durations accumulate) but
+    not nested — the engines' build/run/finalize phases are strictly
+    sequential, and overlapping attribution would double-count.
+    """
+
+    def __init__(self) -> None:
+        self._timings: Dict[str, float] = {}
+        self._active: Optional[str] = None
+        self._started_at: float = 0.0
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named phase: ``with profiler.phase("run"): ...``."""
+        if self._active is not None:
+            raise ConfigurationError(
+                f"phase {name!r} started while {self._active!r} is running"
+            )
+        self._active = name
+        self._started_at = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - self._started_at
+            self._timings[name] = self._timings.get(name, 0.0) + elapsed
+            self._active = None
+
+    @property
+    def timings_s(self) -> Dict[str, float]:
+        """Accumulated seconds per completed phase."""
+        return dict(self._timings)
+
+    @property
+    def total_s(self) -> float:
+        """Sum of all phase durations."""
+        return sum(self._timings.values())
+
+
+def config_hash(config: object) -> str:
+    """Stable short hash identifying a :class:`SimulationConfig`.
+
+    Hashes the sorted-key JSON of the dataclass tree (enums and other
+    non-JSON leaves serialize via ``str``), so two configs hash equal
+    iff their field values are equal — the manifest's "same run?" key.
+    """
+    if dataclasses.is_dataclass(config):
+        payload = dataclasses.asdict(config)
+    else:
+        payload = config  # pragma: no cover - convenience for plain dicts
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """The repository's HEAD commit, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    revision = out.stdout.strip()
+    return revision if out.returncode == 0 and revision else None
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to attribute one run's results.
+
+    Written as JSON next to the run's trace/metrics outputs; also
+    embedded in the ``repro simulate --json`` machine-readable summary.
+    """
+
+    engine: str
+    seed: int
+    config_hash: str
+    node_count: int
+    duration_s: float
+    policy: str = ""
+    git_rev: Optional[str] = None
+    python: str = field(default_factory=platform.python_version)
+    #: Wall-clock seconds per phase (build / run / finalize).
+    phase_timings_s: Dict[str, float] = field(default_factory=dict)
+    #: Total wall-clock time across phases.
+    wall_s: float = 0.0
+    #: Simulated seconds advanced per wall-clock second (throughput).
+    sim_s_per_wall_s: float = 0.0
+    #: Events executed (heap events for both engines).
+    events_executed: int = 0
+    #: Peak simultaneous entries in the event queue / sweep heap.
+    peak_queue_depth: int = 0
+    #: Trace-bus accounting, when tracing was enabled.
+    trace_events: int = 0
+    trace_dropped: int = 0
+    trace_path: Optional[str] = None
+
+    def finalize(self, profiler: Profiler, simulated_s: float) -> None:
+        """Fold a profiler's timings and derive throughput."""
+        self.phase_timings_s = profiler.timings_s
+        self.wall_s = profiler.total_s
+        run_s = self.phase_timings_s.get("run", self.wall_s)
+        self.sim_s_per_wall_s = simulated_s / run_s if run_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (the JSON schema)."""
+        return dataclasses.asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialized manifest."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        """Write the manifest JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")

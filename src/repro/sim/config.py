@@ -131,6 +131,18 @@ class SimulationConfig:
     #: RNG seed controlling topology, periods, channels and collisions.
     seed: int = 1
 
+    # --------------------------------------------------------- observability
+    #: Publish structured :class:`~repro.obs.TraceEvent` records onto a
+    #: per-run :class:`~repro.obs.TraceBus` (see docs/OBSERVABILITY.md).
+    #: False keeps every emission guard dead — runs are bit-identical to
+    #: an uninstrumented build.
+    trace: bool = False
+    #: Stream accepted trace events to this JSONL file (implies trace).
+    trace_path: Optional[str] = None
+    #: Restrict tracing to these categories (None = all); a subset of
+    #: :data:`repro.obs.CATEGORIES`.
+    trace_categories: Optional[Tuple[str, ...]] = None
+
     def __post_init__(self) -> None:
         if self.node_count < 1:
             raise ConfigurationError("node_count must be >= 1")
@@ -171,6 +183,15 @@ class SimulationConfig:
             )
         if self.w_u_ttl_s is not None and self.w_u_ttl_s <= 0:
             raise ConfigurationError("w_u_ttl_s must be positive")
+        if self.trace_categories is not None:
+            from ..obs import CATEGORIES
+
+            unknown = set(self.trace_categories) - set(CATEGORIES)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown trace categories {sorted(unknown)}; "
+                    f"expected a subset of {list(CATEGORIES)}"
+                )
         if self.faults is not None:
             for reboot in self.faults.node_reboots:
                 if reboot.node_id >= self.node_count:
@@ -254,6 +275,29 @@ class SimulationConfig:
     def replace(self, **changes) -> "SimulationConfig":
         """Return a modified copy (sweep helper)."""
         return dataclasses.replace(self, **changes)
+
+    # --------------------------------------------------------- observability
+
+    @property
+    def tracing_enabled(self) -> bool:
+        """Whether this config asks for event tracing (path implies it)."""
+        return self.trace or self.trace_path is not None
+
+    def build_observability(self) -> "object":
+        """An :class:`~repro.obs.Observability` bundle for one run.
+
+        Metrics and profiling are always on (they cost a handful of
+        timer calls per run); the trace bus is built only when the
+        config asks for tracing, keeping the hot-path guards dead
+        otherwise.
+        """
+        from ..obs import Observability
+
+        if not self.tracing_enabled:
+            return Observability()
+        return Observability.create(
+            trace_path=self.trace_path, categories=self.trace_categories
+        )
 
     # -------------------------------------------------------- named variants
 

@@ -43,6 +43,7 @@ from ..lora import (
     LogDistanceLink,
     Transmission,
 )
+from ..obs import Observability, RunManifest, config_hash, git_revision
 from .config import SimulationConfig
 from .events import EventQueue
 from .gateway import Gateway
@@ -67,6 +68,10 @@ class SimulationResult:
     packet_log: "PacketLog | None" = None
     #: Per-fault counters when the config carried a fault plan, else None.
     fault_counters: "FaultCounters | None" = None
+    #: Run manifest: config hash, seed, phase timings, throughput.
+    manifest: "RunManifest | None" = None
+    #: The run's instrumentation bundle (trace bus, metrics registry).
+    obs: "Observability | None" = None
 
 
 def build_forecaster(
@@ -109,8 +114,13 @@ class Simulator:
     #: Delay between the end of an uplink and the ACK in RX1.
     ACK_DELAY_S = 1.0
 
-    def __init__(self, config: SimulationConfig) -> None:
+    def __init__(
+        self, config: SimulationConfig, obs: "Observability | None" = None
+    ) -> None:
         self.config = config
+        self.obs = obs if obs is not None else config.build_observability()
+        #: Hot-path trace handle; None makes every emission guard dead.
+        self._trace = self.obs.trace
         self.queue = EventQueue()
         self.rng = random.Random(config.seed ^ 0x5EED)
         #: Fault oracle; None reproduces the fault-free world exactly.
@@ -141,12 +151,20 @@ class Simulator:
         plan = ChannelPlan().subset(config.channel_count)
         clouds = CloudProcess(seed=config.seed)
 
+        if self._trace is not None:
+            self.server.service.bind_trace(self._trace)
+            if self.injector is not None:
+                self.injector.bind_trace(
+                    self._trace, now=lambda: self.queue.now_s
+                )
+
         self.nodes: Dict[int, EndDevice] = {}
-        placements = build_topology(config, self.link)
-        for placement in placements:
-            self.nodes[placement.node_id] = self._build_node(
-                placement, plan, clouds
-            )
+        with self.obs.profiler.phase("build"):
+            placements = build_topology(config, self.link)
+            for placement in placements:
+                self.nodes[placement.node_id] = self._build_node(
+                    placement, plan, clouds
+                )
         self._events_executed = 0
 
     # ------------------------------------------------------------- building
@@ -202,32 +220,64 @@ class Simulator:
                 max_retransmissions=config.max_retransmissions
             ),
             on_brownout=on_brownout,
+            trace=self._trace,
         )
 
     # -------------------------------------------------------------- running
 
     def run(self) -> SimulationResult:
         """Execute the configured duration and aggregate the results."""
-        for node in self.nodes.values():
-            start = node.placement.start_offset_s
-            self._schedule_period(node, start)
-        self._schedule_refresh(self.config.dissemination_interval_s)
-        if self.injector is not None:
+        if self._trace is not None:
+            self._trace.emit(
+                0.0,
+                "engine",
+                "engine.run_started",
+                engine="exact",
+                seed=self.config.seed,
+                nodes=self.config.node_count,
+                duration_s=self.config.duration_s,
+            )
+        with self.obs.profiler.phase("run"):
             for node in self.nodes.values():
-                for reboot in self.injector.reboots_for(node.node_id):
-                    if reboot.time_s < self.config.duration_s:
-                        self.queue.schedule(
-                            reboot.time_s,
-                            lambda n=node: self._on_reboot(n),
-                            priority=-2,
-                        )
-        self.queue.run_until(self.config.duration_s)
-        self._finalize()
-        counters = self.injector.counters if self.injector is not None else None
-        metrics = NetworkMetrics(
-            nodes={nid: n.metrics for nid, n in self.nodes.items()},
-            faults=counters,
-        )
+                start = node.placement.start_offset_s
+                self._schedule_period(node, start)
+            self._schedule_refresh(self.config.dissemination_interval_s)
+            if self.injector is not None:
+                for node in self.nodes.values():
+                    for reboot in self.injector.reboots_for(node.node_id):
+                        if reboot.time_s < self.config.duration_s:
+                            self.queue.schedule(
+                                reboot.time_s,
+                                lambda n=node: self._on_reboot(n),
+                                priority=-2,
+                            )
+            self.queue.run_until(self.config.duration_s)
+        with self.obs.profiler.phase("finalize"):
+            self._finalize()
+            counters = (
+                self.injector.counters if self.injector is not None else None
+            )
+            metrics = NetworkMetrics(
+                nodes={nid: n.metrics for nid, n in self.nodes.items()},
+                faults=counters,
+            )
+        manifest = self._build_manifest()
+        metrics.publish(self.obs.metrics)
+        self._publish_engine_metrics()
+        if self._trace is not None:
+            self._trace.emit(
+                self.config.duration_s,
+                "engine",
+                "engine.run_finished",
+                engine="exact",
+                events_executed=self._events_executed,
+                wall_s=manifest.wall_s,
+                sim_s_per_wall_s=manifest.sim_s_per_wall_s,
+            )
+            # Include the closing marker in the manifest's accounting.
+            manifest.trace_events = self._trace.emitted
+            manifest.trace_dropped = self._trace.dropped
+        self.obs.close()
         return SimulationResult(
             config=self.config,
             metrics=metrics,
@@ -237,7 +287,49 @@ class Simulator:
             events_executed=self._events_executed,
             packet_log=self.packet_log,
             fault_counters=counters,
+            manifest=manifest,
+            obs=self.obs,
         )
+
+    # -------------------------------------------------------- observability
+
+    def _build_manifest(self) -> RunManifest:
+        """Assemble the run manifest from config identity and timings."""
+        trace = self._trace
+        manifest = RunManifest(
+            engine="exact",
+            seed=self.config.seed,
+            config_hash=config_hash(self.config),
+            node_count=self.config.node_count,
+            duration_s=self.config.duration_s,
+            policy=self.config.policy_name,
+            # A subprocess per run is too slow for sweeps; resolve the
+            # revision only when the run is actually being traced.
+            git_rev=git_revision() if trace is not None else None,
+            events_executed=self._events_executed,
+            peak_queue_depth=self.queue.peak_pending,
+            trace_events=trace.emitted if trace is not None else 0,
+            trace_dropped=trace.dropped if trace is not None else 0,
+            trace_path=self.config.trace_path,
+        )
+        manifest.finalize(self.obs.profiler, simulated_s=self.config.duration_s)
+        return manifest
+
+    def _publish_engine_metrics(self) -> None:
+        """Fold engine-level counters into the metrics registry."""
+        registry = self.obs.metrics
+        registry.counter(
+            "events_executed_total", "Discrete events the engine executed"
+        ).inc(self._events_executed)
+        registry.counter(
+            "uplinks_received_total", "Uplinks decoded by the network server"
+        ).inc(self.server.uplinks_received)
+        registry.counter(
+            "disseminations_sent_total", "ACKs that carried a w_u byte"
+        ).inc(self.server.disseminations_sent)
+        registry.gauge(
+            "event_queue_peak_depth", "High-water mark of the event heap"
+        ).set(self.queue.peak_pending)
 
     # ---------------------------------------------------------- event logic
 
@@ -297,6 +389,17 @@ class Simulator:
         packet.tx_energy_metric_j += node.tx_energy_j
         packet.discharge_soc = node.battery.soc
         channel = node.hopper.next_channel()
+        if self._trace is not None:
+            self._trace.emit(
+                now,
+                "packet",
+                "packet.attempt",
+                severity="debug",
+                node_id=node.node_id,
+                attempt=packet.attempt,
+                channel=channel.index,
+                soc=node.battery.soc,
+            )
         tokens = []
         for index, (distance, gateway) in enumerate(
             zip(node.placement.gateway_distances_m, self.gateways)
@@ -432,6 +535,14 @@ class Simulator:
     def _on_refresh(self, when_s: float) -> None:
         """Daily gateway pass: recompute and normalize degradations."""
         self._events_executed += 1
+        if self._trace is not None:
+            self._trace.emit(
+                self.queue.now_s,
+                "engine",
+                "engine.degradation_refresh",
+                severity="debug",
+                nodes=len(self.nodes),
+            )
         for node in self.nodes.values():
             node.settle_to(self.queue.now_s)
             degradation = node.battery.refresh_degradation()
@@ -459,6 +570,8 @@ class Simulator:
             node.metrics.final_soc = node.battery.soc
 
 
-def run_simulation(config: SimulationConfig) -> SimulationResult:
+def run_simulation(
+    config: SimulationConfig, obs: "Observability | None" = None
+) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it."""
-    return Simulator(config).run()
+    return Simulator(config, obs=obs).run()

@@ -59,6 +59,7 @@ class EventQueue:
         self._sequence = itertools.count()
         self._now_s = 0.0
         self._running = False
+        self._peak_pending = 0
 
     @property
     def now_s(self) -> float:
@@ -69,6 +70,11 @@ class EventQueue:
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def peak_pending(self) -> int:
+        """High-water mark of queued events (memory-pressure profiling)."""
+        return self._peak_pending
 
     def schedule(
         self, time_s: float, callback: EventCallback, priority: int = 0
@@ -89,6 +95,8 @@ class EventQueue:
             callback=callback,
         )
         heapq.heappush(self._heap, event)
+        if len(self._heap) > self._peak_pending:
+            self._peak_pending = len(self._heap)
         return EventHandle(event)
 
     def schedule_in(

@@ -42,6 +42,7 @@ from ..energy import (
     SolarModel,
 )
 from ..lora import LogDistanceLink, time_on_air, tx_energy
+from ..obs import Observability, RunManifest, config_hash, git_revision
 from .config import SimulationConfig
 from .engine import build_forecaster, build_mac
 from .metrics import NetworkMetrics, NodeMetrics
@@ -82,6 +83,7 @@ class MesoNode:
         config: SimulationConfig,
         clouds: CloudProcess,
         link: LogDistanceLink,
+        trace=None,
     ) -> None:
         self.placement = placement
         self.config = config
@@ -107,6 +109,11 @@ class MesoNode:
         self.forecaster = build_forecaster(config, self.harvester, placement.node_id)
         self.mac: MacPolicy = build_mac(config, capacity, self.attempt_energy_j)
         self.switch = SoftwareDefinedSwitch(soc_cap=self.mac.soc_cap)
+        self.trace = trace
+        if trace is not None:
+            self.mac.bind_trace(trace, placement.node_id)
+            self.battery.bind_trace(trace, placement.node_id)
+            self.switch.bind_trace(trace, placement.node_id)
         #: Received power at each gateway; an uplink is delivered if any
         #: gateway decodes it.
         self.rssi_by_gateway = [
@@ -324,6 +331,10 @@ class MesoscopicResult:
     simulated_s: float
     #: Per-packet records when ``record_packets`` was enabled, else None.
     packet_log: Optional[PacketLog] = None
+    #: Run manifest (timings, config hash, throughput); see repro.obs.
+    manifest: Optional[RunManifest] = None
+    #: The run's observability bundle (metrics registry, trace bus).
+    obs: Optional[Observability] = None
 
     def network_lifespan_days(self, model: Optional[DegradationModel] = None) -> float:
         """Extrapolated network battery lifespan (first battery to EoL)."""
@@ -363,19 +374,30 @@ class MesoscopicSimulator:
 
     ACK_DELAY_S = 1.0
 
-    def __init__(self, config: SimulationConfig) -> None:
+    def __init__(
+        self, config: SimulationConfig, obs: Optional[Observability] = None
+    ) -> None:
         self.config = config
-        self.link = LogDistanceLink(path_loss_exponent=config.path_loss_exponent)
-        clouds = CloudProcess(seed=config.seed)
-        self.nodes: Dict[int, MesoNode] = {}
-        for placement in build_topology(config, self.link):
-            self.nodes[placement.node_id] = MesoNode(
-                placement, config, clouds, self.link
+        self.obs = obs if obs is not None else config.build_observability()
+        self._trace = self.obs.trace
+        with self.obs.profiler.phase("build"):
+            self.link = LogDistanceLink(
+                path_loss_exponent=config.path_loss_exponent
             )
+            clouds = CloudProcess(seed=config.seed)
+            self.nodes: Dict[int, MesoNode] = {}
+            for placement in build_topology(config, self.link):
+                self.nodes[placement.node_id] = MesoNode(
+                    placement, config, clouds, self.link, trace=self._trace
+                )
         self.service = DegradationService()
+        if self._trace is not None:
+            self.service.bind_trace(self._trace)
         self.packet_log = PacketLog() if config.record_packets else None
         self.rng = random.Random(config.seed ^ 0xC0FFEE)
         self.model = DegradationModel()
+        self._events_executed = 0
+        self._peak_heap = 0
 
     def run(self) -> MesoscopicResult:
         """Execute the configured horizon and aggregate the results."""
@@ -383,69 +405,107 @@ class MesoscopicSimulator:
         window_s = config.window_s
         duration = config.duration_s
 
-        # Global chronological sweep: a heap of period starts plus
-        # deferred window resolutions.
-        PERIOD, RESOLVE = 0, 1
-        heap: List[Tuple[float, int, int, int]] = []
-        # (time, kind, tiebreak, payload) payload: node_id or window idx
-        seq = 0
-        for node in self.nodes.values():
-            heapq.heappush(
-                heap, (node.placement.start_offset_s, PERIOD, seq, node.node_id)
+        if self._trace is not None:
+            self._trace.emit(
+                0.0,
+                "engine",
+                "engine.run_started",
+                engine="mesoscopic",
+                seed=config.seed,
+                nodes=len(self.nodes),
+                duration_s=duration,
             )
-            seq += 1
 
-        pending_windows: Dict[int, List[WindowEntry]] = {}
-        monthly: List[MonthlySample] = []
-        next_refresh = config.dissemination_interval_s
-        month_s = SECONDS_PER_YEAR / 12.0
-        next_month = month_s
-        month_index = 0
-
-        while heap and heap[0][0] <= duration:
-            time_s, kind, _, payload = heapq.heappop(heap)
-
-            while next_refresh <= time_s:
-                self._refresh_degradation(next_refresh)
-                next_refresh += config.dissemination_interval_s
-            while next_month <= time_s:
-                month_index += 1
-                values = [n.metrics.degradation for n in self.nodes.values()]
-                monthly.append(
-                    MonthlySample(
-                        month=month_index,
-                        max_degradation=max(values),
-                        mean_degradation=sum(values) / len(values),
-                    )
+        with self.obs.profiler.phase("run"):
+            # Global chronological sweep: a heap of period starts plus
+            # deferred window resolutions.
+            PERIOD, RESOLVE = 0, 1
+            heap: List[Tuple[float, int, int, int]] = []
+            # (time, kind, tiebreak, payload) payload: node_id or window idx
+            seq = 0
+            for node in self.nodes.values():
+                heapq.heappush(
+                    heap,
+                    (node.placement.start_offset_s, PERIOD, seq, node.node_id),
                 )
-                next_month += month_s
-
-            if kind == PERIOD:
-                node = self.nodes[payload]
-                self._start_period(node, time_s, pending_windows, heap, seq)
                 seq += 1
-                next_start = time_s + node.placement.period_s
-                if next_start <= duration:
-                    heapq.heappush(heap, (next_start, PERIOD, seq, node.node_id))
+            self._peak_heap = len(heap)
+
+            pending_windows: Dict[int, List[WindowEntry]] = {}
+            monthly: List[MonthlySample] = []
+            next_refresh = config.dissemination_interval_s
+            month_s = SECONDS_PER_YEAR / 12.0
+            next_month = month_s
+            month_index = 0
+
+            while heap and heap[0][0] <= duration:
+                time_s, kind, _, payload = heapq.heappop(heap)
+                self._events_executed += 1
+
+                while next_refresh <= time_s:
+                    self._refresh_degradation(next_refresh)
+                    next_refresh += config.dissemination_interval_s
+                while next_month <= time_s:
+                    month_index += 1
+                    values = [
+                        n.metrics.degradation for n in self.nodes.values()
+                    ]
+                    monthly.append(
+                        MonthlySample(
+                            month=month_index,
+                            max_degradation=max(values),
+                            mean_degradation=sum(values) / len(values),
+                        )
+                    )
+                    next_month += month_s
+
+                if kind == PERIOD:
+                    node = self.nodes[payload]
+                    self._start_period(node, time_s, pending_windows, heap, seq)
                     seq += 1
-            else:  # RESOLVE at the end of absolute window `payload`
-                entries = pending_windows.pop(payload, [])
-                if entries:
-                    self._resolve(entries, payload, window_s)
+                    next_start = time_s + node.placement.period_s
+                    if next_start <= duration:
+                        heapq.heappush(
+                            heap, (next_start, PERIOD, seq, node.node_id)
+                        )
+                        seq += 1
+                else:  # RESOLVE at the end of absolute window `payload`
+                    entries = pending_windows.pop(payload, [])
+                    if entries:
+                        self._resolve(entries, payload, window_s)
+                if len(heap) > self._peak_heap:
+                    self._peak_heap = len(heap)
 
-        # Flush any windows scheduled past the horizon.
-        for window_index, entries in sorted(pending_windows.items()):
-            self._resolve(entries, window_index, window_s)
+            # Flush any windows scheduled past the horizon.
+            for window_index, entries in sorted(pending_windows.items()):
+                self._resolve(entries, window_index, window_s)
 
-        self._finalize(duration)
-        linear_rates = {}
-        for node in self.nodes.values():
-            breakdown = node.battery.last_breakdown
-            linear = breakdown.linear if breakdown is not None else 0.0
-            linear_rates[node.node_id] = linear / max(duration, 1.0)
-        metrics = NetworkMetrics(
-            nodes={nid: n.metrics for nid, n in self.nodes.items()}
-        )
+        with self.obs.profiler.phase("finalize"):
+            self._finalize(duration)
+            linear_rates = {}
+            for node in self.nodes.values():
+                breakdown = node.battery.last_breakdown
+                linear = breakdown.linear if breakdown is not None else 0.0
+                linear_rates[node.node_id] = linear / max(duration, 1.0)
+            metrics = NetworkMetrics(
+                nodes={nid: n.metrics for nid, n in self.nodes.items()}
+            )
+            metrics.publish(self.obs.metrics)
+            self._publish_engine_metrics()
+        manifest = self._build_manifest()
+        if self._trace is not None:
+            self._trace.emit(
+                duration,
+                "engine",
+                "engine.run_finished",
+                engine="mesoscopic",
+                events=self._events_executed,
+                wall_s=manifest.wall_s,
+            )
+            # Include the closing marker in the manifest's accounting.
+            manifest.trace_events = self._trace.emitted
+            manifest.trace_dropped = self._trace.dropped
+        self.obs.close()
         return MesoscopicResult(
             config=config,
             metrics=metrics,
@@ -453,7 +513,43 @@ class MesoscopicSimulator:
             linear_rates=linear_rates,
             simulated_s=duration,
             packet_log=self.packet_log,
+            manifest=manifest,
+            obs=self.obs,
         )
+
+    def _build_manifest(self) -> RunManifest:
+        config = self.config
+        manifest = RunManifest(
+            engine="mesoscopic",
+            seed=config.seed,
+            config_hash=config_hash(config),
+            node_count=len(self.nodes),
+            duration_s=config.duration_s,
+            policy=config.policy_name,
+            git_rev=git_revision() if self._trace is not None else None,
+            events_executed=self._events_executed,
+            peak_queue_depth=self._peak_heap,
+            trace_events=(
+                self._trace.emitted if self._trace is not None else 0
+            ),
+            trace_dropped=(
+                self._trace.dropped if self._trace is not None else 0
+            ),
+            trace_path=config.trace_path,
+        )
+        manifest.finalize(self.obs.profiler, simulated_s=config.duration_s)
+        return manifest
+
+    def _publish_engine_metrics(self) -> None:
+        registry = self.obs.metrics
+        registry.counter(
+            "events_executed_total",
+            "Heap events executed by the mesoscopic sweep",
+        ).inc(self._events_executed)
+        registry.gauge(
+            "event_queue_peak_depth",
+            "Peak depth of the period/resolve heap",
+        ).set(self._peak_heap)
 
     # ------------------------------------------------------------- internals
 
@@ -478,6 +574,16 @@ class MesoscopicSimulator:
         decision = node.mac.choose_window(context)
         if not decision.success or decision.window_index is None:
             node.metrics.record_failure(0, 0.0, energy_drop=True)
+            if self._trace is not None:
+                self._trace.emit(
+                    now_s,
+                    "packet",
+                    "packet.dropped",
+                    severity="warning",
+                    node_id=node.node_id,
+                    reason="no_feasible_window",
+                    soc=node.battery.soc,
+                )
             if self.packet_log is not None:
                 self.packet_log.append(
                     PacketRecord(
@@ -493,6 +599,16 @@ class MesoscopicSimulator:
                 )
             return
         node.metrics.record_window(decision.window_index)
+        if self._trace is not None and self._trace.wants("packet", "debug"):
+            self._trace.emit(
+                now_s,
+                "packet",
+                "packet.generated",
+                severity="debug",
+                node_id=node.node_id,
+                window_index=decision.window_index,
+                soc=node.battery.soc,
+            )
         tx_time = now_s + decision.window_index * self.config.window_s
         absolute_window = int(tx_time // self.config.window_s)
         entry = WindowEntry(
@@ -537,6 +653,16 @@ class MesoscopicSimulator:
                     tx_energy_j=0.0,
                     energy_drop=True,
                 )
+                if self._trace is not None:
+                    self._trace.emit(
+                        settle_time,
+                        "packet",
+                        "packet.dropped",
+                        severity="warning",
+                        node_id=node.node_id,
+                        reason="brownout",
+                        soc=node.battery.soc,
+                    )
                 if self.packet_log is not None:
                     self.packet_log.append(
                         PacketRecord(
@@ -579,6 +705,18 @@ class MesoscopicSimulator:
                     retransmissions=retx, tx_energy_j=tx_metric
                 )
             node.mac.observe_result(entry.window_index_in_period, retx, demand)
+            if self._trace is not None:
+                self._trace.emit(
+                    window_start + outcome.finish_offset_s,
+                    "packet",
+                    "packet.finished",
+                    severity="info" if outcome.success else "warning",
+                    node_id=node.node_id,
+                    delivered=outcome.success,
+                    window_index=entry.window_index_in_period,
+                    retransmissions=retx,
+                    battery_energy_j=node.battery.stored_j,
+                )
             if self.packet_log is not None:
                 self.packet_log.append(
                     PacketRecord(
@@ -612,6 +750,14 @@ class MesoscopicSimulator:
             node.mac.set_normalized_degradation(
                 self.service.normalized_degradation(node.node_id)
             )
+        if self._trace is not None:
+            self._trace.emit(
+                now_s,
+                "wu",
+                "wu.recomputed",
+                severity="debug",
+                nodes=len(self.nodes),
+            )
 
     def _finalize(self, duration_s: float) -> None:
         for node in self.nodes.values():
@@ -625,6 +771,8 @@ class MesoscopicSimulator:
             node.metrics.final_soc = node.battery.soc
 
 
-def run_mesoscopic(config: SimulationConfig) -> MesoscopicResult:
+def run_mesoscopic(
+    config: SimulationConfig, obs: Optional[Observability] = None
+) -> MesoscopicResult:
     """Convenience wrapper: build and run a mesoscopic simulation."""
-    return MesoscopicSimulator(config).run()
+    return MesoscopicSimulator(config, obs=obs).run()

@@ -314,3 +314,74 @@ class NetworkMetrics:
             for name, count in self.faults.as_dict().items():
                 summary[f"fault_{name}"] = float(count)
         return summary
+
+    def publish(self, registry) -> None:
+        """Publish this run's aggregates into a metrics registry.
+
+        The structured counterpart of :meth:`summary`: headline
+        aggregates become gauges, fault counters become one labelled
+        ``fault_events_total`` counter family, and the per-node PRR and
+        degradation spreads become histograms — ready for the
+        Prometheus-text or JSON exports of
+        :class:`~repro.obs.MetricsRegistry`.
+        """
+        packets_generated = sum(
+            n.packets_generated for n in self.nodes.values()
+        )
+        packets_delivered = sum(
+            n.packets_delivered for n in self.nodes.values()
+        )
+        registry.counter(
+            "packets_generated_total", "Packets generated across all nodes"
+        ).inc(packets_generated)
+        registry.counter(
+            "packets_delivered_total", "Packets eventually ACKed"
+        ).inc(packets_delivered)
+        gauges = {
+            "avg_retransmissions": (
+                self.avg_retransmissions,
+                "Mean RETX attempts per generated packet",
+            ),
+            "tx_energy_joules": (
+                self.total_tx_energy_j,
+                "Total Eq. (6) transmission energy",
+            ),
+            "avg_prr": (self.avg_prr, "Mean per-node packet reception rate"),
+            "min_prr": (self.min_prr, "Worst node's packet reception rate"),
+            "avg_utility": (self.avg_utility, "Mean Eq. (16) packet utility"),
+            "avg_latency_seconds": (
+                self.avg_latency_s,
+                "Mean failure-penalized packet latency",
+            ),
+            "mean_degradation": (
+                self.mean_degradation,
+                "Mean Eq. (4) battery degradation",
+            ),
+            "max_degradation": (
+                self.max_degradation,
+                "Worst node's Eq. (4) battery degradation",
+            ),
+        }
+        for name, (value, help_text) in gauges.items():
+            registry.gauge(name, help_text).set(value)
+        unit_buckets = tuple(round(0.1 * i, 1) for i in range(1, 11))
+        prr_histogram = registry.histogram(
+            "node_prr",
+            "Per-node PRR distribution",
+            buckets=unit_buckets,
+        )
+        degradation_histogram = registry.histogram(
+            "node_degradation",
+            "Per-node Eq. (4) degradation distribution",
+            buckets=unit_buckets,
+        )
+        for node in self.nodes.values():
+            prr_histogram.observe(node.prr)
+            degradation_histogram.observe(node.degradation)
+        if self.faults is not None:
+            for name, count in self.faults.as_dict().items():
+                registry.counter(
+                    "fault_events_total",
+                    "Fault-injector firings by kind",
+                    labels={"kind": name},
+                ).inc(count)

@@ -65,6 +65,7 @@ class EndDevice:
         packet_log: Optional[PacketLog] = None,
         retrier: Optional[ConfirmedUplinkRetrier] = None,
         on_brownout: Optional[Callable[[float], None]] = None,
+        trace=None,
     ) -> None:
         if window_s <= 0:
             raise ConfigurationError("window must be positive")
@@ -96,6 +97,13 @@ class EndDevice:
         self.switch = SoftwareDefinedSwitch(
             soc_cap=mac.soc_cap, on_brownout=on_brownout
         )
+        #: Optional :class:`~repro.obs.TraceBus`; binding it here wires
+        #: the node's MAC, battery, and switch in one place.
+        self.trace = trace
+        if trace is not None:
+            self.mac.bind_trace(trace, placement.node_id)
+            self.battery.bind_trace(trace, placement.node_id)
+            self.switch.bind_trace(trace, placement.node_id)
         self.metrics = NodeMetrics(
             node_id=placement.node_id, period_s=placement.period_s
         )
@@ -201,6 +209,16 @@ class EndDevice:
         decision = self.mac.choose_window(context)
         if not decision.success or decision.window_index is None:
             self.metrics.record_failure(0, 0.0, energy_drop=True)
+            if self.trace is not None:
+                self.trace.emit(
+                    now_s,
+                    "packet",
+                    "packet.dropped",
+                    severity="warning",
+                    node_id=self.node_id,
+                    reason="no_feasible_window",
+                    soc=self.battery.soc,
+                )
             if self.packet_log is not None:
                 self.packet_log.append(
                     PacketRecord(
@@ -229,6 +247,17 @@ class EndDevice:
         else:
             offset = uniform_offset_in_window(
                 self.window_s, self.airtime_s, self.rng
+            )
+        if self.trace is not None:
+            self.trace.emit(
+                now_s,
+                "packet",
+                "packet.generated",
+                severity="debug",
+                node_id=self.node_id,
+                window_index=decision.window_index,
+                first_attempt_s=window_start + offset,
+                soc=self.battery.soc,
             )
         return window_start + offset
 
@@ -274,6 +303,19 @@ class EndDevice:
                 retransmissions=retx, tx_energy_j=packet.tx_energy_metric_j
             )
         self.mac.observe_result(window, retx, packet.battery_energy_j)
+        if self.trace is not None:
+            self.trace.emit(
+                now_s,
+                "packet",
+                "packet.finished",
+                severity="info" if delivered else "warning",
+                node_id=self.node_id,
+                delivered=delivered,
+                window_index=window,
+                retransmissions=retx,
+                latency_s=latency_s,
+                battery_energy_j=packet.battery_energy_j,
+            )
         if self.packet_log is not None:
             attempted = packet.tx_energy_metric_j > 0
             self.packet_log.append(

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import csv
 import io
+from collections import deque
 from dataclasses import dataclass, fields
-from typing import Callable, Iterator, List
+from typing import Callable, Deque, Iterator, List
 
 from ..exceptions import ConfigurationError
 
@@ -56,13 +57,14 @@ class PacketLog:
         if capacity < 1:
             raise ConfigurationError("capacity must be >= 1")
         self._capacity = capacity
-        self._records: List[PacketRecord] = []
+        # deque(maxlen=...) evicts in O(1); list.pop(0) was O(n) per
+        # eviction, quadratic over a long capped run.
+        self._records: Deque[PacketRecord] = deque(maxlen=capacity)
         self.dropped = 0
 
     def append(self, record: PacketRecord) -> None:
         """Add a record, evicting the oldest past capacity."""
-        if len(self._records) >= self._capacity:
-            self._records.pop(0)
+        if len(self._records) == self._capacity:
             self.dropped += 1
         self._records.append(record)
 

@@ -1,5 +1,8 @@
 """Tests for per-packet logging."""
 
+import csv
+import io
+
 import pytest
 
 from repro.exceptions import ConfigurationError
@@ -78,6 +81,60 @@ class TestPacketLog:
     def test_rejects_zero_capacity(self):
         with pytest.raises(ConfigurationError):
             PacketLog(capacity=0)
+
+    def test_no_drop_until_exactly_capacity(self):
+        log = PacketLog(capacity=3)
+        for i in range(3):
+            log.append(record(i))
+        assert log.dropped == 0
+        assert len(log) == 3
+        log.append(record(3))
+        assert log.dropped == 1
+        assert len(log) == 3
+
+    def test_heavy_eviction_keeps_newest_in_order(self):
+        log = PacketLog(capacity=5)
+        for i in range(100):
+            log.append(record(i))
+        assert log.dropped == 95
+        assert [r.node_id for r in log] == [95, 96, 97, 98, 99]
+
+    def test_filters_see_only_retained_records(self):
+        log = PacketLog(capacity=2)
+        log.append(record(0, delivered=False))
+        log.append(record(1, delivered=False))
+        log.append(record(2, delivered=True))
+        assert log.for_node(0) == []
+        assert [r.node_id for r in log.failures()] == [1]
+        assert [r.node_id for r in log.where(lambda r: True)] == [1, 2]
+
+    def test_csv_round_trip(self):
+        log = PacketLog()
+        original = record(
+            7,
+            delivered=False,
+            attempts=3,
+            window=2,
+            generated_at_s=120.5,
+            latency_s=600.0,
+            utility=0.0,
+            energy_drop=True,
+        )
+        log.append(original)
+        rows = list(csv.DictReader(io.StringIO(log.to_csv())))
+        assert len(rows) == 1
+        row = rows[0]
+        rebuilt = PacketRecord(
+            node_id=int(row["node_id"]),
+            generated_at_s=float(row["generated_at_s"]),
+            window_index=int(row["window_index"]),
+            attempts=int(row["attempts"]),
+            delivered=row["delivered"] == "True",
+            latency_s=float(row["latency_s"]),
+            utility=float(row["utility"]),
+            energy_drop=row["energy_drop"] == "True",
+        )
+        assert rebuilt == original
 
 
 @pytest.fixture(scope="module")

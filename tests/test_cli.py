@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -49,6 +51,84 @@ class TestSimulateCommand:
         main(["simulate", "--nodes", "5", "--days", "1", "--seed", "2"])
         second = capsys.readouterr().out
         assert first != second
+
+
+class TestObservabilityFlags:
+    def test_json_output_parses(self, capsys):
+        code = main(["simulate", "--nodes", "4", "--days", "0.5", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "H-50"
+        assert payload["engine"] == "meso"
+        assert "avg_prr" in payload["metrics"]
+        assert payload["manifest"]["engine"] == "mesoscopic"
+        assert "config_hash" in payload["manifest"]
+
+    def test_trace_out_writes_jsonl_and_manifest(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "simulate", "--nodes", "4", "--days", "0.5",
+                "--engine", "exact", "--trace-out", str(trace_path),
+            ]
+        )
+        assert code == 0
+        lines = trace_path.read_text().splitlines()
+        assert lines and all(json.loads(line)["name"] for line in lines)
+        manifest_path = tmp_path / "run.manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["engine"] == "exact"
+        assert manifest["trace_events"] == len(lines)
+
+    def test_metrics_out_prometheus_and_json(self, tmp_path):
+        prom = tmp_path / "m.prom"
+        main(["simulate", "--nodes", "4", "--days", "0.5",
+              "--metrics-out", str(prom)])
+        assert "# TYPE repro_avg_prr gauge" in prom.read_text()
+        as_json = tmp_path / "m.json"
+        main(["simulate", "--nodes", "4", "--days", "0.5",
+              "--metrics-out", str(as_json)])
+        assert json.loads(as_json.read_text())["namespace"] == "repro"
+
+    def test_trace_categories_filter(self, tmp_path):
+        trace_path = tmp_path / "run.jsonl"
+        main(
+            [
+                "simulate", "--nodes", "4", "--days", "0.5",
+                "--engine", "exact", "--trace-out", str(trace_path),
+                "--trace-categories", "packet,engine",
+            ]
+        )
+        categories = {
+            json.loads(line)["category"]
+            for line in trace_path.read_text().splitlines()
+        }
+        assert categories <= {"packet", "engine"}
+
+
+class TestTraceCommand:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        main(["simulate", "--nodes", "4", "--days", "0.5",
+              "--engine", "exact", "--trace-out", str(path)])
+        return path
+
+    def test_pretty_print_with_filters(self, trace_file, capsys):
+        capsys.readouterr()  # drop the simulate output
+        code = main(["trace", str(trace_file), "--category", "packet",
+                     "--limit", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "packet." in out
+        assert "event(s)" in out
+
+    def test_jsonl_reemission(self, trace_file, capsys):
+        capsys.readouterr()
+        main(["trace", str(trace_file), "--min-severity", "info", "--json"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        assert all(json.loads(line)["severity"] != "debug" for line in lines)
 
 
 class TestFigureCommand:
