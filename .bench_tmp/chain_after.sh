@@ -1,0 +1,13 @@
+#!/bin/bash
+cd /root/repo
+while [ ! -s .bench_tmp/pre_pr_longhorizon.json ]; do sleep 30; done
+sleep 10
+PYTHONPATH=src python - << 'PYEOF'
+import json, pathlib, sys
+sys.path.insert(0, "benchmarks")
+from bench_engines import PERF_OUT, _write, run_longhorizon
+before = json.loads(pathlib.Path(".bench_tmp/pre_pr_longhorizon.json").read_text())
+report = run_longhorizon(before=before)
+_write(report, PERF_OUT)
+print(json.dumps(report, indent=2, sort_keys=True))
+PYEOF

@@ -1,0 +1,22 @@
+import json, resource, time, pathlib
+from repro import SimulationConfig, run_mesoscopic
+from repro.constants import SECONDS_PER_DAY
+
+OUT = pathlib.Path("/root/repo/.bench_tmp/pre_pr_longhorizon.json")
+cfg = SimulationConfig(node_count=200, duration_s=730 * SECONDS_PER_DAY, seed=42).as_h(0.5)
+start = time.perf_counter()
+result = run_mesoscopic(cfg)
+wall = time.perf_counter() - start
+m = result.manifest
+payload = {
+    "tree": "pre-PR (HEAD 5da75ee)",
+    "nodes": 200, "days": 730.0, "engine": "mesoscopic", "policy": "H-50", "seed": 42,
+    "wall_s": round(wall, 3),
+    "sim_s_per_wall_s": round(m.sim_s_per_wall_s, 1),
+    "phase_timings_s": {k: round(v, 3) for k, v in m.phase_timings_s.items()},
+    "events_executed": m.events_executed,
+    "peak_rss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+    "avg_prr": result.metrics.avg_prr,
+}
+OUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+print("done", wall)

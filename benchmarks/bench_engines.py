@@ -12,6 +12,14 @@ plus the relative wall-time overhead of running the exact engine with
 full tracing enabled versus disabled — the number backing the "<5 %
 when disabled, bounded when enabled" claim in docs/OBSERVABILITY.md.
 
+The ``--long-horizon`` mode instead profiles the incremental
+degradation pipeline on a multi-year mesoscopic run (200 nodes, 2
+simulated years, H-50) and writes
+``benchmarks/results/BENCH_perf.json`` — before/after wall time,
+throughput, and peak RSS versus a baseline capture of the pre-PR tree
+(``--before PATH``, or the baseline already embedded in a previous
+BENCH_perf.json).  See docs/PERFORMANCE.md.
+
 Run standalone (``python benchmarks/bench_engines.py [--smoke] [--out
 PATH]``) or through the pytest harness like every other bench.  CI runs
 the smoke profile on every push.
@@ -31,6 +39,7 @@ from repro import SimulationConfig, run_mesoscopic, run_simulation
 from repro.constants import SECONDS_PER_DAY
 
 DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_obs.json"
+PERF_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_perf.json"
 
 
 def _peak_rss_kb() -> int:
@@ -102,6 +111,55 @@ def run_bench(smoke: bool = False) -> Dict[str, object]:
     return report
 
 
+def run_longhorizon(
+    nodes: int = 200,
+    days: float = 730.0,
+    before: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Profile the incremental pipeline on a multi-year mesoscopic run.
+
+    Returns the BENCH_perf.json payload: the "after" capture of this
+    tree plus, when a baseline is supplied, the "before" capture and the
+    wall-clock speedup.  The baseline must have been measured at the
+    same (nodes, days, seed) profile to be comparable.
+    """
+    config = SimulationConfig(
+        node_count=nodes, duration_s=days * SECONDS_PER_DAY, seed=42
+    ).as_h(0.5)
+    start = time.perf_counter()
+    result = run_mesoscopic(config)
+    wall = time.perf_counter() - start
+    manifest = result.manifest
+    after = {
+        "nodes": nodes,
+        "days": days,
+        "engine": "mesoscopic",
+        "policy": "H-50",
+        "seed": 42,
+        "wall_s": round(wall, 3),
+        "sim_s_per_wall_s": round(manifest.sim_s_per_wall_s or 0.0, 1),
+        "events_executed": manifest.events_executed,
+        "peak_rss_kb": _peak_rss_kb(),
+        "avg_prr": result.metrics.avg_prr,
+    }
+    report: Dict[str, object] = {
+        "profile": "long-horizon",
+        "after": after,
+        "before": before,
+    }
+    if before and before.get("wall_s"):
+        for key in ("nodes", "days", "seed"):
+            if key in before and before[key] != after[key]:
+                raise SystemExit(
+                    f"baseline {key}={before[key]} does not match the "
+                    f"long-horizon profile ({after[key]}); re-capture it"
+                )
+        report["speedup_wall"] = round(
+            float(before["wall_s"]) / after["wall_s"], 2
+        )
+    return report
+
+
 def _write(report: Dict[str, object], out: pathlib.Path) -> None:
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -120,16 +178,44 @@ def main(argv: Optional[list] = None) -> int:
         "--smoke", action="store_true", help="small configs (CI profile)"
     )
     parser.add_argument(
+        "--long-horizon",
+        action="store_true",
+        help="multi-year incremental-degradation profile → BENCH_perf.json",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=200, help="long-horizon node count"
+    )
+    parser.add_argument(
+        "--days", type=float, default=730.0, help="long-horizon simulated days"
+    )
+    parser.add_argument(
+        "--before",
+        type=pathlib.Path,
+        default=None,
+        help="baseline capture of the pre-optimization tree (JSON); "
+        "defaults to the 'before' block of an existing BENCH_perf.json",
+    )
+    parser.add_argument(
         "--out",
         type=pathlib.Path,
-        default=DEFAULT_OUT,
-        help=f"output JSON path (default {DEFAULT_OUT})",
+        default=None,
+        help=f"output JSON path (default {DEFAULT_OUT} / {PERF_OUT})",
     )
     args = parser.parse_args(argv)
-    report = run_bench(smoke=args.smoke)
-    _write(report, args.out)
+    if args.long_horizon:
+        out = args.out or PERF_OUT
+        before: Optional[Dict[str, object]] = None
+        if args.before is not None:
+            before = json.loads(args.before.read_text())
+        elif out.exists():
+            before = json.loads(out.read_text()).get("before")
+        report = run_longhorizon(nodes=args.nodes, days=args.days, before=before)
+    else:
+        out = args.out or DEFAULT_OUT
+        report = run_bench(smoke=args.smoke)
+    _write(report, out)
     print(json.dumps(report, indent=2, sort_keys=True))
-    print(f"[written to {args.out}]")
+    print(f"[written to {out}]")
     return 0
 
 

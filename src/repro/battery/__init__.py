@@ -16,7 +16,14 @@ from .degradation import (
     soc_stress,
     temperature_stress,
 )
-from .rainflow import Cycle, count_cycles, cycle_statistics, extract_reversals
+from .incremental import IncrementalDegradation, cached_temperature_stress
+from .rainflow import (
+    Cycle,
+    StreamingRainflow,
+    count_cycles,
+    cycle_statistics,
+    extract_reversals,
+)
 from .soc_trace import SocTrace, TransitionReport, reconstruct_trace
 from .thermal import AmbientTemperature, BatteryThermalModel
 
@@ -29,8 +36,11 @@ __all__ = [
     "DegradationBreakdown",
     "DegradationConstants",
     "DegradationModel",
+    "IncrementalDegradation",
     "SocTrace",
+    "StreamingRainflow",
     "TransitionReport",
+    "cached_temperature_stress",
     "calendar_aging",
     "count_cycles",
     "cycle_aging",

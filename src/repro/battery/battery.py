@@ -24,6 +24,7 @@ from ..exceptions import (
 )
 from .constants import DEFAULT_CONSTANTS, DegradationConstants
 from .degradation import DegradationBreakdown, DegradationModel
+from .incremental import IncrementalDegradation
 from .soc_trace import SocTrace
 
 
@@ -43,6 +44,10 @@ class Battery:
         fixed 25 °C.
     initial_age_s:
         ζ offset for batteries that were not new at deployment.
+    incremental:
+        When True (default) degradation refreshes use the streaming
+        rainflow accumulator — O(new samples) per refresh instead of
+        re-counting the whole trace, bit-identical to the batch path.
     """
 
     capacity_j: float
@@ -50,6 +55,7 @@ class Battery:
     temperature_c: float = 25.0
     initial_age_s: float = 0.0
     constants: DegradationConstants = DEFAULT_CONSTANTS
+    incremental: bool = True
 
     stored_j: float = field(init=False)
     trace: SocTrace = field(init=False)
@@ -69,6 +75,17 @@ class Battery:
         self.trace = SocTrace()
         self.trace.append(0.0, self.initial_soc)
         self._model = DegradationModel(self.constants)
+        # Streaming degradation accumulator (plain attribute like the
+        # trace hooks below: never compared or serialized).  Fed the same
+        # clamped SoC values SocTrace stores, so its rainflow state always
+        # mirrors the trace's turning points.
+        self._incremental: Optional[IncrementalDegradation] = (
+            IncrementalDegradation(self.temperature_c, self.constants)
+            if self.incremental
+            else None
+        )
+        if self._incremental is not None:
+            self._incremental.push(self.initial_soc)
         # Observability hook (not a dataclass field: never compared or
         # serialized); None keeps degradation refreshes trace-free.
         self._trace_bus = None
@@ -167,7 +184,11 @@ class Battery:
         if now_s < self._now_s:
             raise ConfigurationError("battery time cannot move backwards")
         self._now_s = now_s
-        self.trace.append(now_s, self.soc)
+        soc = self.soc
+        self.trace.append(now_s, soc)
+        if self._incremental is not None:
+            # Same clamp SocTrace.append applies before storing.
+            self._incremental.push(min(soc, 1.0))
 
     # ---------------------------------------------------------- degradation
 
@@ -179,9 +200,15 @@ class Battery:
         monthly).  Returns the new degradation and optionally raises
         :class:`BatteryEndOfLifeError` past the threshold.
         """
-        breakdown = self._model.breakdown_from_trace(
-            self.trace, age_s=self.age_s, temperature_c=self.temperature_c
-        )
+        if self._incremental is not None:
+            breakdown = self._incremental.breakdown(
+                age_s=self.age_s,
+                fallback_mean_soc=self.trace.time_weighted_mean_soc(),
+            )
+        else:
+            breakdown = self._model.breakdown_from_trace(
+                self.trace, age_s=self.age_s, temperature_c=self.temperature_c
+            )
         self._last_breakdown = breakdown
         self._degradation = breakdown.nonlinear(self.constants)
         # A degraded battery may now hold more energy than it can store.

@@ -16,7 +16,7 @@ residue at the end likewise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
 
@@ -103,6 +103,133 @@ def count_cycles(series: Sequence[float]) -> List[Cycle]:
 
 def _make_cycle(a: float, b: float, weight: float) -> Cycle:
     return Cycle(depth=abs(a - b), mean_soc=(a + b) / 2.0, weight=weight)
+
+
+class StreamingRainflow:
+    """Incremental three-point rainflow over a growing series.
+
+    Feeds on raw samples one at a time (:meth:`push`) and maintains the
+    same state the batch :func:`count_cycles` would reach on the series
+    so far: the confirmed turning points collapsed into the three-point
+    stack, with cycles *emitted as they close*.  The last sample is
+    provisional — a later sample continuing the same monotone run
+    replaces it, exactly like :func:`extract_reversals` — so cycles the
+    final point would close, plus the ASTM half-cycle residue, are
+    produced on demand by :meth:`pending_cycles` without consuming them.
+
+    The concatenation ``closed cycles (in emission order) + pending_cycles()``
+    is element-for-element identical to ``count_cycles(series)``, which is
+    what lets the degradation pipeline aggregate closed cycles once and
+    refresh in O(new points) instead of O(trace).
+
+    ``on_cycle`` is invoked with each cycle the moment it closes; when it
+    is None, closed cycles accumulate on :attr:`closed` instead (handy
+    for tests; long-lived consumers should pass a callback and fold the
+    cycle into an aggregate so memory stays bounded).
+    """
+
+    __slots__ = ("_stack", "_prev", "_tail", "_have_prev", "_on_cycle", "closed")
+
+    def __init__(self, on_cycle: Optional[Callable[[Cycle], None]] = None) -> None:
+        self._stack: List[float] = []
+        self._prev: float = 0.0
+        self._tail: Optional[float] = None
+        self._have_prev = False
+        self._on_cycle = on_cycle
+        #: Closed cycles, recorded only when no ``on_cycle`` callback is set.
+        self.closed: List[Cycle] = []
+
+    def push(self, value: float) -> None:
+        """Consume the next raw sample of the series."""
+        value = float(value)
+        tail = self._tail
+        if tail is None:
+            self._tail = value
+            return
+        if value == tail:
+            return
+        if not self._have_prev:
+            # The first point is fixed once a second distinct value
+            # arrives (extract_reversals only ever rewrites the tail).
+            self._confirm(tail)
+            self._prev = tail
+            self._tail = value
+            self._have_prev = True
+            return
+        if (tail > self._prev) == (value > tail):
+            # Monotone continuation: the provisional tail moves.
+            self._tail = value
+            return
+        self._confirm(tail)
+        self._prev = tail
+        self._tail = value
+
+    def extend(self, series: Iterable[float]) -> None:
+        """Consume many samples."""
+        for value in series:
+            self.push(value)
+
+    def _confirm(self, point: float) -> None:
+        """A turning point became final: run the three-point closure."""
+        stack = self._stack
+        stack.append(point)
+        while len(stack) >= 3:
+            x = abs(stack[-1] - stack[-2])
+            y = abs(stack[-2] - stack[-3])
+            if x < y:
+                break
+            if len(stack) == 3:
+                # Range Y contains the starting point: count as half cycle.
+                self._emit(_make_cycle(stack[0], stack[1], weight=0.5))
+                stack.pop(0)
+            else:
+                self._emit(_make_cycle(stack[-3], stack[-2], weight=1.0))
+                del stack[-3:-1]
+
+    def _emit(self, cycle: Cycle) -> None:
+        if self._on_cycle is not None:
+            self._on_cycle(cycle)
+        else:
+            self.closed.append(cycle)
+
+    def pending_cycles(self) -> List[Cycle]:
+        """Cycles the batch algorithm would count beyond the closed ones.
+
+        Simulates pushing the provisional tail through the three-point
+        closure (cycles the endpoint closes) and then pairing the
+        remaining stack into ASTM half-cycle residue, in exactly the
+        order :func:`count_cycles` produces them.  Does not mutate the
+        streaming state; O(stack depth).
+        """
+        cycles: List[Cycle] = []
+        if self._tail is None or not self._have_prev:
+            # Zero or one reversal so far: no cycles, empty residue.
+            return cycles
+        stack = list(self._stack)
+        stack.append(self._tail)
+        while len(stack) >= 3:
+            x = abs(stack[-1] - stack[-2])
+            y = abs(stack[-2] - stack[-3])
+            if x < y:
+                break
+            if len(stack) == 3:
+                cycles.append(_make_cycle(stack[0], stack[1], weight=0.5))
+                stack.pop(0)
+            else:
+                cycles.append(_make_cycle(stack[-3], stack[-2], weight=1.0))
+                del stack[-3:-1]
+        for a, b in zip(stack, stack[1:]):
+            cycles.append(_make_cycle(a, b, weight=0.5))
+        return cycles
+
+    def cycles(self) -> List[Cycle]:
+        """Closed-so-far plus pending cycles (requires no ``on_cycle``)."""
+        if self._on_cycle is not None:
+            raise ConfigurationError(
+                "cycles() needs stored closed cycles; an on_cycle callback "
+                "consumes them instead"
+            )
+        return self.closed + self.pending_cycles()
 
 
 def cycle_statistics(cycles: Iterable[Cycle]) -> Tuple[float, float, float]:

@@ -10,6 +10,9 @@ Four commands cover the common workflows:
   (``2``-``9`` or ``table1``) and print its rows/series.
 * ``replicates`` — run LoRaWAN and H-θ across several seeds and print
   the paired lifespan gain with a 95 % confidence interval.
+* ``sweep`` — fan a (policy × config-axis × seed) grid across
+  multiprocessing workers and aggregate per-run records into one
+  ``SWEEP.json`` (deterministic merge; see docs/PERFORMANCE.md).
 * ``trace`` — pretty-print / filter a JSONL trace written by
   ``simulate --trace-out``.
 """
@@ -22,6 +25,7 @@ import sys
 from typing import List, Optional
 
 from .constants import SECONDS_PER_DAY
+from .exceptions import ConfigurationError
 from .faults import FaultPlan
 from .obs import CATEGORIES, SEVERITIES, filter_events, format_event, iter_jsonl
 from .sim import SimulationConfig, run_mesoscopic, run_simulation
@@ -160,6 +164,45 @@ def _build_parser() -> argparse.ArgumentParser:
     replicates.add_argument("--days", type=float, default=5.0)
     replicates.add_argument("--theta", type=float, default=0.5)
     replicates.add_argument("--seeds", type=int, default=5, help="number of seeds")
+
+    sweep = sub.add_parser(
+        "sweep", help="parallel (policy × axis × seed) grid of runs"
+    )
+    sweep.add_argument("--nodes", type=int, default=30)
+    sweep.add_argument("--days", type=float, default=5.0)
+    sweep.add_argument(
+        "--engine", choices=("meso", "exact"), default="meso",
+        help="engine used for every run in the grid",
+    )
+    sweep.add_argument(
+        "--policies", type=str, default="h",
+        help="comma-separated policy variants: lorawan, h, hc",
+    )
+    sweep.add_argument("--theta", type=float, default=0.5, help="SoC cap θ")
+    sweep.add_argument(
+        "--seeds", type=int, default=3,
+        help="number of seeds (1..N); overridden by --seed-list",
+    )
+    sweep.add_argument(
+        "--seed-list", type=str, default=None, metavar="S1,S2,…",
+        dest="seed_list", help="explicit comma-separated seed values",
+    )
+    sweep.add_argument(
+        "--axis", action="append", default=None, metavar="FIELD=V1,V2,…",
+        help="config-field override axis (repeatable; cartesian product)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial; results identical either way)",
+    )
+    sweep.add_argument(
+        "--out", type=str, default=None, metavar="PATH",
+        help="write the aggregated SWEEP.json here",
+    )
+    sweep.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the SWEEP.json document instead of the text summary",
+    )
     return parser
 
 
@@ -337,6 +380,78 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis_value(token: str) -> object:
+    """Coerce one axis value token: bool, int, float, else string."""
+    text = token.strip()
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import build_grid, expand_axes, run_sweep, summarize
+
+    base = SimulationConfig(
+        node_count=args.nodes, duration_s=args.days * SECONDS_PER_DAY
+    )
+    policy_variants = []
+    for name in (p.strip() for p in args.policies.split(",")):
+        if name == "lorawan":
+            policy_variants.append(("policy=lorawan", base.as_lorawan()))
+        elif name == "h":
+            policy_variants.append((f"policy=h{args.theta:g}", base.as_h(args.theta)))
+        elif name == "hc":
+            policy_variants.append((f"policy=hc{args.theta:g}", base.as_hc(args.theta)))
+        elif name:
+            print(f"unknown policy {name!r} (expected lorawan, h, hc)", file=sys.stderr)
+            return 2
+    axes = []
+    for spec in args.axis or ():
+        field_name, _, values = spec.partition("=")
+        if not _ or not values:
+            print(f"bad --axis {spec!r} (expected FIELD=V1,V2,…)", file=sys.stderr)
+            return 2
+        axes.append(
+            (
+                field_name.strip(),
+                [_parse_axis_value(v) for v in values.split(",") if v.strip()],
+            )
+        )
+    if args.seed_list is not None:
+        seeds = [int(s) for s in args.seed_list.split(",") if s.strip()]
+    else:
+        seeds = list(range(1, args.seeds + 1))
+
+    try:
+        variants = []
+        for policy_label, policy_config in policy_variants:
+            for axis_label, config in expand_axes(policy_config, axes):
+                label = f"{policy_label},{axis_label}" if axis_label else policy_label
+                variants.append((label, config))
+        points = build_grid(variants, seeds)
+    except ConfigurationError as exc:
+        print(f"bad sweep grid: {exc}", file=sys.stderr)
+        return 2
+    result = run_sweep(points, engine=args.engine, workers=args.workers)
+    if args.out is not None:
+        result.write(args.out)
+    if args.as_json:
+        print(json.dumps(result.to_dict(), sort_keys=True))
+    else:
+        print(summarize(result))
+        if args.out is not None:
+            print(f"sweep manifest written to {args.out}")
+    return 1 if result.error_count else 0
+
+
 def _cmd_replicates(args: argparse.Namespace) -> int:
     from .experiments.statistics import compare_lifespans, run_replicates
 
@@ -369,6 +484,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     return _cmd_replicates(args)
 
 

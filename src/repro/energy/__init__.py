@@ -3,6 +3,7 @@ per-node harvesters, very-short-term forecasters, the software-defined
 battery switch (Eq. 5), and measured-trace utilities.
 """
 
+from .ar1 import CheckpointedAR1
 from .forecast import (
     EnergyForecaster,
     NoisyForecaster,
@@ -17,6 +18,7 @@ from .switch import SoftwareDefinedSwitch, WindowEnergyResult
 from .traces import TabulatedTrace
 
 __all__ = [
+    "CheckpointedAR1",
     "CloudProcess",
     "EnergyForecaster",
     "HybridStorage",

@@ -86,8 +86,28 @@ class Harvester:
     def window_energies(
         self, start_s: float, window_s: float, count: int
     ) -> List[float]:
-        """Actual energies for ``count`` consecutive forecast windows."""
-        return [
-            self.window_energy_j(start_s + i * window_s, window_s)
-            for i in range(count)
-        ]
+        """Actual energies for ``count`` consecutive forecast windows.
+
+        Inlined hot path of the per-period forecasts: one bound-method
+        lookup per batch and a night short-circuit (zero panel output
+        makes the whole product exactly ``0.0``, so the shading draw and
+        multiplications are skipped; the shading factor is a pure
+        function of its grid index, so skipping it cannot perturb later
+        values).
+        """
+        if window_s <= 0:
+            raise ConfigurationError("window must be positive")
+        solar_power = self.solar.power_watts
+        shading = self._shading_factor
+        efficiency = self.efficiency
+        half = window_s / 2.0
+        energies: List[float] = []
+        append = energies.append
+        for i in range(count):
+            mid = start_s + i * window_s + half
+            power = solar_power(mid)
+            if power == 0.0:
+                append(0.0)
+            else:
+                append(power * shading(mid) * efficiency * window_s)
+        return energies

@@ -15,12 +15,12 @@ short-term fluctuations within a sampling period.
 from __future__ import annotations
 
 import math
-import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..constants import SECONDS_PER_DAY, SECONDS_PER_YEAR
 from ..exceptions import ConfigurationError
+from .ar1 import CheckpointedAR1
 
 
 def clear_sky_factor(
@@ -65,7 +65,9 @@ class CloudProcess:
     volatility: float = 0.35
     mean_clearness: float = 0.75
 
-    _cache: dict = field(default_factory=dict, init=False, repr=False)
+    #: Per-index factor memo is cleared past this size; accesses are near
+    #: monotone, so recomputation after a clear stays O(1) amortized.
+    FACTOR_CACHE_LIMIT = 16384
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.persistence < 1.0:
@@ -74,34 +76,33 @@ class CloudProcess:
             raise ConfigurationError("step must be positive")
         if not 0.0 < self.mean_clearness <= 1.0:
             raise ConfigurationError("mean_clearness must be in (0, 1]")
+        # Checkpointed chain replaces the old every-index cache: memory is
+        # O(indices/1024) and a time jump resumes from the last state or
+        # nearest checkpoint instead of replaying from index 0.
+        self._ar1 = CheckpointedAR1(
+            self.seed << 20, self.persistence, self.volatility
+        )
+        # Logistic squash centred so the mean factor ≈ mean_clearness
+        # (hoisted out of factor(): it only depends on mean_clearness).
+        self._centre = math.log(
+            self.mean_clearness / (1.0 - self.mean_clearness + 1e-9)
+        )
+        self._factor_cache: dict = {}
 
     def _state(self, index: int) -> float:
         """Latent AR(1) state at grid index (lazily computed, cached)."""
-        if index <= 0:
-            return 0.0
-        cached = self._cache.get(index)
-        if cached is not None:
-            return cached
-        # Generate forward from the nearest cached ancestor to keep the
-        # process consistent regardless of query order.
-        start = index
-        while start > 0 and (start - 1) not in self._cache:
-            start -= 1
-        state = self._cache.get(start - 1, 0.0) if start > 0 else 0.0
-        for i in range(start, index + 1):
-            rng = random.Random((self.seed << 20) ^ i)
-            shock = rng.gauss(0.0, self.volatility)
-            state = self.persistence * state + shock
-            self._cache[i] = state
-        return self._cache[index]
+        return self._ar1.state(index)
 
     def factor(self, time_s: float) -> float:
         """Cloud attenuation factor at ``time_s``, in (0, 1]."""
         index = int(time_s // self.step_s)
-        state = self._state(index)
-        # Logistic squash centred so the mean factor ≈ mean_clearness.
-        centre = math.log(self.mean_clearness / (1.0 - self.mean_clearness + 1e-9))
-        return 1.0 / (1.0 + math.exp(-(state + centre)))
+        cached = self._factor_cache.get(index)
+        if cached is None:
+            cached = 1.0 / (1.0 + math.exp(-(self._ar1.state(index) + self._centre)))
+            if len(self._factor_cache) >= self.FACTOR_CACHE_LIMIT:
+                self._factor_cache.clear()
+            self._factor_cache[index] = cached
+        return cached
 
 
 @dataclass
@@ -120,9 +121,20 @@ class SolarModel:
     seasonal_amplitude: float = 0.25
     clouds: Optional[CloudProcess] = None
 
+    #: Bounded memo sizes; cleared-and-rebuilt on overflow.  Instantaneous
+    #: power is keyed per evaluation time (all nodes sharing this regional
+    #: model hit the same window midpoints, so each unique time is
+    #: computed once per deployment instead of once per node).
+    POWER_CACHE_LIMIT = 131072
+    WINDOW_CACHE_LIMIT = 4096
+    DAILY_CACHE_LIMIT = 16384
+
     def __post_init__(self) -> None:
         if self.peak_watts <= 0:
             raise ConfigurationError("peak_watts must be positive")
+        self._power_cache: dict = {}
+        self._window_cache: dict = {}
+        self._daily_cache: dict = {}
 
     @classmethod
     def scaled_for_transmissions(
@@ -146,6 +158,9 @@ class SolarModel:
 
     def power_watts(self, time_s: float) -> float:
         """Instantaneous panel output power at ``time_s``."""
+        cached = self._power_cache.get(time_s)
+        if cached is not None:
+            return cached
         envelope = clear_sky_factor(
             time_s,
             sunrise_hour=self.sunrise_hour,
@@ -153,9 +168,14 @@ class SolarModel:
             seasonal_amplitude=self.seasonal_amplitude,
         )
         if envelope == 0.0:
-            return 0.0
-        cloud = self.clouds.factor(time_s) if self.clouds is not None else 1.0
-        return self.peak_watts * envelope * cloud
+            power = 0.0
+        else:
+            cloud = self.clouds.factor(time_s) if self.clouds is not None else 1.0
+            power = self.peak_watts * envelope * cloud
+        if len(self._power_cache) >= self.POWER_CACHE_LIMIT:
+            self._power_cache.clear()
+        self._power_cache[time_s] = power
+        return power
 
     def window_energy_j(self, start_s: float, window_s: float) -> float:
         """Energy harvested in ``[start, start+window)``, midpoint rule.
@@ -174,15 +194,29 @@ class SolarModel:
         """Energies for ``count`` consecutive windows from ``start_s``."""
         if count < 0:
             raise ConfigurationError("count cannot be negative")
-        return [
-            self.window_energy_j(start_s + i * window_s, window_s)
-            for i in range(count)
-        ]
+        key = (start_s, window_s, count)
+        cached = self._window_cache.get(key)
+        if cached is None:
+            cached = [
+                self.window_energy_j(start_s + i * window_s, window_s)
+                for i in range(count)
+            ]
+            if len(self._window_cache) >= self.WINDOW_CACHE_LIMIT:
+                self._window_cache.clear()
+            self._window_cache[key] = cached
+        return list(cached)
 
     def daily_energy_j(self, day_start_s: float, resolution_s: float = 900.0) -> float:
         """Total energy harvested over one day (numeric integral)."""
-        steps = int(SECONDS_PER_DAY / resolution_s)
-        return sum(
-            self.power_watts(day_start_s + (i + 0.5) * resolution_s) * resolution_s
-            for i in range(steps)
-        )
+        key = (day_start_s, resolution_s)
+        cached = self._daily_cache.get(key)
+        if cached is None:
+            steps = int(SECONDS_PER_DAY / resolution_s)
+            cached = sum(
+                self.power_watts(day_start_s + (i + 0.5) * resolution_s) * resolution_s
+                for i in range(steps)
+            )
+            if len(self._daily_cache) >= self.DAILY_CACHE_LIMIT:
+                self._daily_cache.clear()
+            self._daily_cache[key] = cached
+        return cached

@@ -14,11 +14,12 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from ..constants import SECONDS_PER_DAY
 from ..exceptions import ConfigurationError
+from .ar1 import CheckpointedAR1
 
 
 @dataclass
@@ -41,8 +42,6 @@ class WindModel:
     cut_out_ms: float = 20.0
     seed: int = 0
 
-    _cache: dict = field(default_factory=dict, init=False, repr=False)
-
     def __post_init__(self) -> None:
         if self.rated_watts <= 0:
             raise ConfigurationError("rated power must be positive")
@@ -50,22 +49,14 @@ class WindModel:
             raise ConfigurationError("persistence must be in [0, 1)")
         if not 0 < self.cut_in_ms < self.rated_ms < self.cut_out_ms:
             raise ConfigurationError("need cut_in < rated < cut_out")
+        # Checkpointed chain (see repro.energy.ar1): bounded memory and
+        # O(gap) resume instead of the old every-index cache.
+        self._ar1 = CheckpointedAR1(
+            self.seed << 21, self.persistence, self.gust_sigma_ms
+        )
 
     def _state(self, index: int) -> float:
-        if index <= 0:
-            return 0.0
-        cached = self._cache.get(index)
-        if cached is not None:
-            return cached
-        start = index
-        while start > 0 and (start - 1) not in self._cache:
-            start -= 1
-        state = self._cache.get(start - 1, 0.0) if start > 0 else 0.0
-        for i in range(start, index + 1):
-            rng = random.Random((self.seed << 21) ^ i)
-            state = self.persistence * state + rng.gauss(0.0, self.gust_sigma_ms)
-            self._cache[i] = state
-        return self._cache[index]
+        return self._ar1.state(index)
 
     def wind_speed_ms(self, time_s: float) -> float:
         """Wind speed at ``time_s`` (never negative)."""

@@ -51,6 +51,7 @@ CATEGORIES: Tuple[str, ...] = (
     "wu",  # w_u dissemination, reception, staleness decay
     "fault",  # fault-injector firings and recovery-path outcomes
     "engine",  # run phases, refreshes, and other engine-level markers
+    "perf",  # hot-path timings (degradation refresh wall time per pass)
 )
 
 

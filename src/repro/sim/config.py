@@ -122,6 +122,19 @@ class SimulationConfig:
     #: tracking (the paper's implicit fault-free assumption).
     w_u_ttl_s: Optional[float] = None
 
+    # ----------------------------------------------------------- performance
+    #: Refresh Eq. (1)-(4) from the streaming rainflow accumulator —
+    #: O(new SoC samples) per refresh instead of re-counting the whole
+    #: trace — bit-identical to the batch recomputation (see
+    #: docs/PERFORMANCE.md).  False forces the original batch path.
+    incremental_degradation: bool = True
+    #: Drop already-counted SoC turning points after each degradation
+    #: refresh so memory stays bounded over decade-long runs.  Requires
+    #: ``incremental_degradation`` (the batch path still needs the full
+    #: trace); off by default because it discards per-node SoC history
+    #: some analyses read back.
+    compact_trace: bool = False
+
     # ------------------------------------------------------------ accounting
     #: How often the gateway recomputes and disseminates degradation.
     dissemination_interval_s: float = SECONDS_PER_DAY
@@ -183,6 +196,11 @@ class SimulationConfig:
             )
         if self.w_u_ttl_s is not None and self.w_u_ttl_s <= 0:
             raise ConfigurationError("w_u_ttl_s must be positive")
+        if self.compact_trace and not self.incremental_degradation:
+            raise ConfigurationError(
+                "compact_trace requires incremental_degradation: the batch "
+                "refresh path re-reads the full SoC trace"
+            )
         if self.trace_categories is not None:
             from ..obs import CATEGORIES
 

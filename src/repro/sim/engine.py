@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
+import time
 from dataclasses import dataclass
 from typing import Dict
 
@@ -179,6 +180,7 @@ class Simulator:
             capacity_j=capacity,
             initial_soc=config.initial_soc,
             temperature_c=config.temperature_c,
+            incremental=config.incremental_degradation,
         )
         solar = SolarModel(peak_watts=config.solar_peak_watts(), clouds=clouds)
         harvester = Harvester(
@@ -543,20 +545,43 @@ class Simulator:
                 severity="debug",
                 nodes=len(self.nodes),
             )
+        started = time.perf_counter()
+        compact = self.config.compact_trace
         for node in self.nodes.values():
             node.settle_to(self.queue.now_s)
             degradation = node.battery.refresh_degradation()
+            if compact:
+                node.battery.trace.compact_tail()
             self.server.publish_degradation(node.node_id, degradation)
             node.metrics.degradation = degradation
             breakdown = node.battery.last_breakdown
             if breakdown is not None:
                 node.metrics.cycle_aging = breakdown.cycle
                 node.metrics.calendar_aging = breakdown.calendar
+        self._record_refresh_wall(time.perf_counter() - started)
         self._schedule_refresh(when_s + self.config.dissemination_interval_s)
+
+    def _record_refresh_wall(self, elapsed_s: float) -> None:
+        """Publish one refresh pass's wall time to metrics and trace."""
+        self.obs.metrics.counter(
+            "degradation_refresh_seconds",
+            "Wall seconds spent in Eq. (1)-(4) refresh passes",
+        ).inc(elapsed_s)
+        if self._trace is not None:
+            self._trace.emit(
+                self.queue.now_s,
+                "perf",
+                "perf.refresh",
+                severity="debug",
+                nodes=len(self.nodes),
+                wall_s=elapsed_s,
+                incremental=self.config.incremental_degradation,
+            )
 
     def _finalize(self) -> None:
         """Settle all nodes to the end time and record final state."""
         end = self.config.duration_s
+        started = time.perf_counter()
         for node in self.nodes.values():
             if node.packet is not None:
                 node.finish_packet(end, delivered=False, latency_s=node.period_s)
@@ -568,6 +593,7 @@ class Simulator:
                 node.metrics.cycle_aging = breakdown.cycle
                 node.metrics.calendar_aging = breakdown.calendar
             node.metrics.final_soc = node.battery.soc
+        self._record_refresh_wall(time.perf_counter() - started)
 
 
 def run_simulation(

@@ -29,6 +29,7 @@ from __future__ import annotations
 import heapq
 import math
 import random
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -74,6 +75,26 @@ class WindowOutcome:
     finish_offset_s: float
 
 
+class Attempt:
+    """One scheduled transmission attempt inside a window resolution.
+
+    Module-level ``__slots__`` class rather than a dataclass defined
+    inside :func:`resolve_window`: the function runs once per contended
+    window for the whole horizon, and rebuilding the dataclass machinery
+    per call dominated its profile.
+    """
+
+    __slots__ = ("start_s", "entry", "attempt_no", "channel")
+
+    def __init__(
+        self, start_s: float, entry: WindowEntry, attempt_no: int, channel: int
+    ) -> None:
+        self.start_s = start_s
+        self.entry = entry
+        self.attempt_no = attempt_no
+        self.channel = channel
+
+
 class MesoNode:
     """Per-node state for the mesoscopic runner."""
 
@@ -99,6 +120,7 @@ class MesoNode:
             capacity_j=capacity,
             initial_soc=config.initial_soc,
             temperature_c=config.temperature_c,
+            incremental=config.incremental_degradation,
         )
         solar = SolarModel(peak_watts=config.solar_peak_watts(), clouds=clouds)
         self.harvester = Harvester(
@@ -197,13 +219,6 @@ def resolve_window(
     """
     if not entries:
         return {}
-
-    @dataclass
-    class Attempt:
-        start_s: float
-        entry: WindowEntry
-        attempt_no: int
-        channel: int
 
     def overlaps(a_start: float, a_end: float, b_start: float, b_end: float) -> bool:
         return a_start < b_end and b_start < a_end
@@ -737,9 +752,13 @@ class MesoscopicSimulator:
             )
 
     def _refresh_degradation(self, now_s: float) -> None:
+        started = time.perf_counter()
+        compact = self.config.compact_trace
         for node in self.nodes.values():
             node.settle_to(now_s)
             degradation = node.battery.refresh_degradation()
+            if compact:
+                node.battery.trace.compact_tail()
             node.metrics.degradation = degradation
             breakdown = node.battery.last_breakdown
             if breakdown is not None:
@@ -750,6 +769,7 @@ class MesoscopicSimulator:
             node.mac.set_normalized_degradation(
                 self.service.normalized_degradation(node.node_id)
             )
+        self._record_refresh_wall(now_s, time.perf_counter() - started)
         if self._trace is not None:
             self._trace.emit(
                 now_s,
@@ -759,7 +779,25 @@ class MesoscopicSimulator:
                 nodes=len(self.nodes),
             )
 
+    def _record_refresh_wall(self, now_s: float, elapsed_s: float) -> None:
+        """Publish one refresh pass's wall time to metrics and trace."""
+        self.obs.metrics.counter(
+            "degradation_refresh_seconds",
+            "Wall seconds spent in Eq. (1)-(4) refresh passes",
+        ).inc(elapsed_s)
+        if self._trace is not None:
+            self._trace.emit(
+                now_s,
+                "perf",
+                "perf.refresh",
+                severity="debug",
+                nodes=len(self.nodes),
+                wall_s=elapsed_s,
+                incremental=self.config.incremental_degradation,
+            )
+
     def _finalize(self, duration_s: float) -> None:
+        started = time.perf_counter()
         for node in self.nodes.values():
             node.settle_to(duration_s)
             degradation = node.battery.refresh_degradation()
@@ -769,6 +807,7 @@ class MesoscopicSimulator:
                 node.metrics.cycle_aging = breakdown.cycle
                 node.metrics.calendar_aging = breakdown.calendar
             node.metrics.final_soc = node.battery.soc
+        self._record_refresh_wall(duration_s, time.perf_counter() - started)
 
 
 def run_mesoscopic(

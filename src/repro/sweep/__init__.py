@@ -1,0 +1,33 @@
+"""Parallel multi-seed / multi-variant sweep executor.
+
+Expands a (config-variant × seed) grid (:mod:`repro.sweep.grid`), fans
+it across multiprocessing workers, and merges per-run records into one
+``SWEEP.json`` deterministically — ordered by grid index, bit-identical
+for any worker count (:mod:`repro.sweep.executor`).  Driven by the
+``repro sweep`` CLI subcommand; determinism contract in
+docs/PERFORMANCE.md.
+"""
+
+from .executor import (
+    SCHEMA,
+    RunRecord,
+    SweepResult,
+    SweepWorkerError,
+    execute_point,
+    run_sweep,
+    summarize,
+)
+from .grid import SweepPoint, build_grid, expand_axes
+
+__all__ = [
+    "SCHEMA",
+    "RunRecord",
+    "SweepPoint",
+    "SweepResult",
+    "SweepWorkerError",
+    "build_grid",
+    "execute_point",
+    "expand_axes",
+    "run_sweep",
+    "summarize",
+]

@@ -1,0 +1,238 @@
+"""Parallel sweep execution with a deterministic merge.
+
+``run_sweep`` fans the grid across ``multiprocessing`` workers (via
+:class:`concurrent.futures.ProcessPoolExecutor`) or runs it serially
+for ``workers <= 1``.  Determinism contract (see docs/PERFORMANCE.md):
+
+* every :class:`~repro.sweep.grid.SweepPoint` carries a complete,
+  self-seeded config — workers share no RNG or mutable state;
+* results are merged **by grid index**, never by completion order;
+* an exception raised *by a run* is captured in that run's record
+  (``status="error"`` plus the traceback) without aborting the sweep,
+  while a worker *process* dying (segfault, OOM kill) surfaces as
+  :class:`SweepWorkerError` naming the affected grid points.
+
+Consequently ``run_sweep(spec, workers=N)`` produces records
+bit-identical to ``workers=1`` for every N — only the timing fields
+(``wall_s``, manifest phase timings) differ.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import ConfigurationError, SimulationError
+from ..obs import MetricsRegistry, config_hash
+from .grid import SweepPoint
+
+#: SWEEP.json schema identifier; bump on breaking layout changes.
+SCHEMA = "repro.sweep/1"
+
+
+class SweepWorkerError(SimulationError):
+    """A worker process died without returning its runs' results."""
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one grid point, in SWEEP.json layout."""
+
+    index: int
+    label: str
+    seed: int
+    policy: str
+    engine: str
+    status: str  # "ok" | "error"
+    config_hash: str
+    summary: Dict[str, float] = field(default_factory=dict)
+    lifespan_days: Optional[float] = None
+    manifest: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    wall_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "seed": self.seed,
+            "policy": self.policy,
+            "engine": self.engine,
+            "status": self.status,
+            "config_hash": self.config_hash,
+            "summary": self.summary,
+            "lifespan_days": self.lifespan_days,
+            "manifest": self.manifest,
+            "error": self.error,
+            "wall_s": self.wall_s,
+        }
+
+
+@dataclass
+class SweepResult:
+    """All records of one sweep, ordered by grid index."""
+
+    engine: str
+    workers: int
+    records: List[RunRecord]
+    wall_s: float = 0.0
+    #: Sweep-level counters (``sweep_runs_total{status=…}``).
+    metrics: Optional[MetricsRegistry] = None
+
+    @property
+    def ok_count(self) -> int:
+        """Number of runs that completed."""
+        return sum(1 for r in self.records if r.status == "ok")
+
+    @property
+    def error_count(self) -> int:
+        """Number of runs that raised."""
+        return sum(1 for r in self.records if r.status == "error")
+
+    def to_dict(self) -> Dict[str, object]:
+        """SWEEP.json layout (one aggregated manifest for the grid)."""
+        return {
+            "schema": SCHEMA,
+            "engine": self.engine,
+            "workers": self.workers,
+            "run_count": len(self.records),
+            "ok_count": self.ok_count,
+            "error_count": self.error_count,
+            "wall_s": self.wall_s,
+            "runs": [record.to_dict() for record in self.records],
+        }
+
+    def write(self, path: str) -> None:
+        """Write the aggregated SWEEP.json."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def execute_point(point: SweepPoint, engine: str) -> RunRecord:
+    """Run one grid point to a :class:`RunRecord` (the worker function).
+
+    Top-level (picklable) and self-contained: builds its own
+    observability bundle, catches run exceptions into the record, and
+    returns plain data only.
+    """
+    # Imported here so a forked worker touches the engines lazily.
+    from ..sim import run_mesoscopic, run_simulation
+
+    config = point.config
+    record = RunRecord(
+        index=point.index,
+        label=point.label,
+        seed=point.seed,
+        policy=config.policy_name,
+        engine=engine,
+        status="ok",
+        config_hash=config_hash(config),
+    )
+    started = time.perf_counter()
+    try:
+        if engine == "exact":
+            result = run_simulation(config)
+        elif engine == "meso":
+            result = run_mesoscopic(config)
+            record.lifespan_days = result.network_lifespan_days()
+        else:
+            raise ConfigurationError(f"unknown sweep engine {engine!r}")
+        record.summary = result.metrics.summary()
+        if result.manifest is not None:
+            record.manifest = result.manifest.to_dict()
+    except Exception:
+        record.status = "error"
+        record.error = traceback.format_exc()
+    record.wall_s = time.perf_counter() - started
+    return record
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    engine: str = "meso",
+    workers: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
+) -> SweepResult:
+    """Execute every grid point and merge records in grid-index order."""
+    if engine not in ("meso", "exact"):
+        raise ConfigurationError(f"unknown sweep engine {engine!r}")
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    indices = [point.index for point in points]
+    if len(set(indices)) != len(indices):
+        raise ConfigurationError("sweep grid indices must be unique")
+    registry = metrics if metrics is not None else MetricsRegistry()
+    started = time.perf_counter()
+    by_index: Dict[int, RunRecord] = {}
+    if workers == 1 or len(points) <= 1:
+        for point in points:
+            by_index[point.index] = execute_point(point, engine)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_point, point, engine): point
+                for point in points
+            }
+            pending = set(futures)
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        by_index[futures[future].index] = future.result()
+            except BrokenProcessPool as exc:
+                missing = sorted(
+                    futures[f].index for f in futures if futures[f].index not in by_index
+                )
+                raise SweepWorkerError(
+                    "a sweep worker process died before returning results; "
+                    f"unfinished grid indices: {missing}"
+                ) from exc
+    records = [by_index[point.index] for point in sorted(points, key=lambda p: p.index)]
+    for record in records:
+        registry.counter(
+            "sweep_runs_total",
+            "Sweep runs by final status",
+            labels={"status": record.status},
+        ).inc()
+    return SweepResult(
+        engine=engine,
+        workers=workers,
+        records=records,
+        wall_s=time.perf_counter() - started,
+        metrics=registry,
+    )
+
+
+def summarize(result: SweepResult) -> str:
+    """Short human-readable sweep report (CLI text output)."""
+    lines = [
+        f"sweep: {len(result.records)} runs  engine: {result.engine}  "
+        f"workers: {result.workers}  ok: {result.ok_count}  "
+        f"errors: {result.error_count}  wall: {result.wall_s:.1f}s"
+    ]
+    for record in result.records:
+        if record.status != "ok":
+            first = (record.error or "").strip().splitlines()
+            lines.append(
+                f"  [{record.index:3d}] {record.label}: ERROR "
+                f"({first[-1] if first else 'unknown'})"
+            )
+            continue
+        prr = record.summary.get("avg_prr")
+        degradation = record.summary.get("max_degradation")
+        extra = (
+            f"  lifespan {record.lifespan_days:.0f} d"
+            if record.lifespan_days is not None
+            else ""
+        )
+        lines.append(
+            f"  [{record.index:3d}] {record.label}: prr {prr:.4f}  "
+            f"max_deg {degradation:.3e}{extra}"
+        )
+    return "\n".join(lines)

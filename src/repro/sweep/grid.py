@@ -1,0 +1,95 @@
+"""Sweep grids: (variant × seed) cartesian expansion with stable indexing.
+
+A sweep is a list of :class:`SweepPoint`s, each a fully-specified
+:class:`~repro.sim.config.SimulationConfig` plus a human label and its
+*grid index*.  The grid index is the determinism anchor of the whole
+subsystem: it is assigned here, once, variant-major (every seed of
+variant 0, then every seed of variant 1, …), and results are merged in
+grid-index order regardless of which worker finishes first — so a
+parallel sweep is record-for-record identical to a serial one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from ..sim.config import SimulationConfig
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid cell: a config to run and where its result slots in."""
+
+    index: int
+    label: str
+    seed: int
+    config: SimulationConfig
+
+
+def expand_axes(
+    base: SimulationConfig,
+    axes: Sequence[Tuple[str, Sequence[object]]],
+) -> List[Tuple[str, SimulationConfig]]:
+    """Cartesian product of config-field override axes.
+
+    ``axes`` is a sequence of ``(field_name, values)`` pairs; the result
+    is one ``(label, config)`` variant per combination, labels like
+    ``"soc_cap=0.5,w_b=1.0"`` in axis declaration order.  No axes yields
+    the base config with an empty label.
+    """
+    field_names = {f.name for f in dataclasses.fields(SimulationConfig)}
+    variants: List[Tuple[str, SimulationConfig]] = [("", base)]
+    for name, values in axes:
+        if name not in field_names:
+            raise ConfigurationError(f"unknown config field {name!r} in sweep axis")
+        if not values:
+            raise ConfigurationError(f"sweep axis {name!r} has no values")
+        expanded: List[Tuple[str, SimulationConfig]] = []
+        for label, config in variants:
+            for value in values:
+                part = f"{name}={value}"
+                expanded.append(
+                    (
+                        f"{label},{part}" if label else part,
+                        config.replace(**{name: value}),
+                    )
+                )
+        variants = expanded
+    return variants
+
+
+def build_grid(
+    variants: Sequence[Tuple[str, SimulationConfig]],
+    seeds: Sequence[int],
+) -> List[SweepPoint]:
+    """Assign grid indices to the (variant × seed) cartesian product.
+
+    Variant-major ordering: ``index = variant_pos * len(seeds) +
+    seed_pos``.  Each point's config carries its own seed — every run is
+    fully self-contained, which is what makes worker scheduling unable
+    to affect results.
+    """
+    if not variants:
+        raise ConfigurationError("sweep needs at least one config variant")
+    if not seeds:
+        raise ConfigurationError("sweep needs at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise ConfigurationError("sweep seeds must be unique")
+    points: List[SweepPoint] = []
+    index = 0
+    for label, config in variants:
+        for seed in seeds:
+            seed_label = f"seed={seed}"
+            points.append(
+                SweepPoint(
+                    index=index,
+                    label=f"{label},{seed_label}" if label else seed_label,
+                    seed=seed,
+                    config=config.replace(seed=seed),
+                )
+            )
+            index += 1
+    return points

@@ -172,3 +172,104 @@ class TestCycleValidation:
     def test_bad_weight_rejected(self):
         with pytest.raises(ConfigurationError):
             Cycle(depth=0.1, mean_soc=0.5, weight=0.7)
+
+
+class TestStreamingRainflow:
+    """Streaming counter vs. the batch reference, including endpoints."""
+
+    def _assert_matches_batch(self, series):
+        from repro.battery import StreamingRainflow
+
+        stream = StreamingRainflow()
+        stream.extend(series)
+        assert stream.cycles() == count_cycles(series)
+
+    def test_every_prefix_matches_batch(self):
+        # The strongest endpoint pin: after each pushed sample, closed +
+        # pending must equal a batch run over the series so far.
+        from repro.battery import StreamingRainflow
+
+        series = [0.5, 0.9, 0.1, 0.7, 0.3, 1.0, 0.0, 0.6, 0.6, 0.2, 0.8]
+        stream = StreamingRainflow()
+        for i, value in enumerate(series):
+            stream.push(value)
+            assert stream.cycles() == count_cycles(series[: i + 1]), (
+                f"prefix of length {i + 1} diverged"
+            )
+
+    def test_empty_and_single_point(self):
+        from repro.battery import StreamingRainflow
+
+        stream = StreamingRainflow()
+        assert stream.cycles() == []
+        assert stream.pending_cycles() == []
+        stream.push(0.7)
+        assert stream.cycles() == []  # one sample: no reversal yet
+
+    def test_constant_trace_has_no_cycles(self):
+        self._assert_matches_batch([0.7] * 50)
+
+    def test_monotone_trace_is_one_pending_half_cycle(self):
+        from repro.battery import StreamingRainflow
+
+        stream = StreamingRainflow()
+        stream.extend([1.0, 0.8, 0.6, 0.4, 0.2])
+        assert stream.closed == []
+        pending = stream.pending_cycles()
+        assert [c.weight for c in pending] == [0.5]
+        assert pending[0].depth == pytest.approx(0.8)
+
+    def test_flat_tail_merges_into_run(self):
+        # A plateau at the end (final sample equal to the running
+        # extremum) must not create a phantom reversal.
+        self._assert_matches_batch([0.0, 0.5, 1.0, 1.0, 1.0])
+        self._assert_matches_batch([1.0, 0.2, 0.6, 0.6])
+
+    def test_astm_residue_order_is_batch_order(self):
+        # Residue half cycles come out in stack order after the cycles
+        # the endpoint closes — element-for-element the batch order.
+        self._assert_matches_batch([1.0, 0.2, 0.6, 0.4, 0.9, 0.55])
+
+    def test_pending_does_not_consume_state(self):
+        from repro.battery import StreamingRainflow
+
+        stream = StreamingRainflow()
+        stream.extend([1.0, 0.2, 0.6, 0.4])
+        first = stream.pending_cycles()
+        assert stream.pending_cycles() == first
+        stream.push(0.9)  # still consumable afterwards
+        assert stream.cycles() == count_cycles([1.0, 0.2, 0.6, 0.4, 0.9])
+
+    def test_on_cycle_callback_receives_closures(self):
+        from repro.battery import StreamingRainflow
+
+        seen = []
+        stream = StreamingRainflow(on_cycle=seen.append)
+        stream.extend([1.0, 0.2, 0.6, 0.4, 0.9, 0.3])
+        assert len(seen) == 1
+        assert seen[0].weight == 1.0
+        assert seen[0].depth == pytest.approx(0.2)
+        with pytest.raises(ConfigurationError):
+            stream.cycles()  # closed cycles were consumed by the callback
+
+    def test_random_walks_match_batch(self):
+        import random
+
+        rng = random.Random(99)
+        for _ in range(200):
+            length = rng.randrange(0, 60)
+            series = [round(rng.uniform(0.0, 1.0), 3) for _ in range(length)]
+            self._assert_matches_batch(series)
+
+    def test_quantized_walks_with_plateaus_match_batch(self):
+        # Coarse quantization produces the duplicate samples and flat
+        # tails a real SoC trace is full of.
+        import random
+
+        rng = random.Random(3)
+        for _ in range(100):
+            soc, series = 0.5, []
+            for _ in range(rng.randrange(1, 40)):
+                soc = min(max(soc + rng.choice([-0.1, 0.0, 0.1]), 0.0), 1.0)
+                series.append(round(soc, 1))
+            self._assert_matches_batch(series)

@@ -149,4 +149,5 @@ def test_categories_are_stable():
     # docs/OBSERVABILITY.md documents this taxonomy; extend, don't rename.
     assert set(CATEGORIES) == {
         "packet", "window", "energy", "battery", "wu", "fault", "engine",
+        "perf",
     }

@@ -1,0 +1,107 @@
+"""Incremental-vs-batch degradation equality on both engines.
+
+The tentpole acceptance test: with ``incremental_degradation=True``
+(the default) every per-node degradation figure must be *bit-identical*
+(``==`` on floats, no tolerance) to a run with the batch recomputation
+path, on the exact engine, the mesoscopic engine, and the fault-sweep
+scenario.  See docs/PERFORMANCE.md for why bit-identity is achievable.
+"""
+
+import pytest
+
+from repro.constants import SECONDS_PER_DAY
+from repro.exceptions import ConfigurationError
+from repro.experiments import scenarios
+from repro.sim import SimulationConfig, run_mesoscopic, run_simulation
+
+
+def _node_state(result):
+    """Per-node degradation figures that must match exactly."""
+    return {
+        node_id: (
+            metrics.degradation,
+            metrics.cycle_aging,
+            metrics.calendar_aging,
+        )
+        for node_id, metrics in result.metrics.nodes.items()
+    }
+
+
+def _assert_equal_runs(fast, slow, include_lifespan=False):
+    assert _node_state(fast) == _node_state(slow)
+    assert fast.metrics.summary() == slow.metrics.summary()
+    if include_lifespan:
+        assert fast.linear_rates == slow.linear_rates
+        assert fast.network_lifespan_days() == slow.network_lifespan_days()
+
+
+def _pair(config, runner):
+    fast = runner(config.replace(incremental_degradation=True))
+    slow = runner(config.replace(incremental_degradation=False))
+    return fast, slow
+
+
+class TestExactEngineEquality:
+    @pytest.mark.parametrize("policy", ["lorawan", "h", "hc"])
+    def test_testbed_scenario(self, policy):
+        base = scenarios.testbed_base().replace(node_count=6, duration_s=6 * 3600.0)
+        config = {
+            "lorawan": base.as_lorawan(),
+            "h": base.as_h(0.5),
+            "hc": base.as_hc(0.5),
+        }[policy]
+        _assert_equal_runs(*_pair(config, run_simulation))
+
+    def test_fault_sweep_scenario(self):
+        # Every point of the robustness sweep, canonical stress plan
+        # included: faults reshape the SoC traces (retries, outages,
+        # reboots), so equality here covers the gnarliest histories.
+        base = scenarios.testbed_base().replace(node_count=5, duration_s=6 * 3600.0)
+        for name, config in scenarios.fault_sweep(base).items():
+            fast, slow = _pair(config, run_simulation)
+            assert _node_state(fast) == _node_state(slow), f"{name} diverged"
+            assert fast.metrics.summary() == slow.metrics.summary(), name
+
+
+class TestMesoscopicEngineEquality:
+    @pytest.mark.parametrize("policy", ["lorawan", "h", "hc"])
+    def test_policies(self, policy):
+        base = SimulationConfig(
+            node_count=10, duration_s=3.0 * SECONDS_PER_DAY, seed=11
+        )
+        config = {
+            "lorawan": base.as_lorawan(),
+            "h": base.as_h(0.5),
+            "hc": base.as_hc(0.5),
+        }[policy]
+        _assert_equal_runs(*_pair(config, run_mesoscopic), include_lifespan=True)
+
+    def test_compact_trace_does_not_change_results(self):
+        # Trace compaction discards samples the incremental accumulator
+        # has already consumed; results must be unaffected.
+        config = SimulationConfig(
+            node_count=8, duration_s=2.0 * SECONDS_PER_DAY, seed=5
+        ).as_h(0.5)
+        compacted = run_mesoscopic(
+            config.replace(incremental_degradation=True, compact_trace=True)
+        )
+        full = run_mesoscopic(config.replace(incremental_degradation=True))
+        batch = run_mesoscopic(config.replace(incremental_degradation=False))
+        _assert_equal_runs(compacted, full, include_lifespan=True)
+        _assert_equal_runs(compacted, batch, include_lifespan=True)
+
+
+class TestPerformanceConfigValidation:
+    def test_defaults(self):
+        config = SimulationConfig(node_count=5, duration_s=3600.0)
+        assert config.incremental_degradation is True
+        assert config.compact_trace is False
+
+    def test_compact_trace_requires_incremental(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(
+                node_count=5,
+                duration_s=3600.0,
+                incremental_degradation=False,
+                compact_trace=True,
+            )

@@ -1,0 +1,163 @@
+"""Tests for the parallel sweep executor and its determinism contract."""
+
+import json
+
+import pytest
+
+from repro.constants import SECONDS_PER_DAY
+from repro.exceptions import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.sim import SimulationConfig
+from repro.sweep import (
+    SCHEMA,
+    SweepPoint,
+    build_grid,
+    execute_point,
+    run_sweep,
+)
+
+#: Manifest keys that legitimately differ between two runs of the same
+#: config (wall-clock and host facts); everything else must be equal.
+TIMING_KEYS = (
+    "wall_s",
+    "sim_s_per_wall_s",
+    "phase_timings_s",
+    "started_at",
+    "finished_at",
+    "hostname",
+    "python",
+)
+
+
+def _base(days=1.0, nodes=6):
+    return SimulationConfig(
+        node_count=nodes, duration_s=days * SECONDS_PER_DAY, seed=1
+    ).as_h(0.5)
+
+
+def _normalized(record):
+    """Record dict with run-to-run timing noise removed."""
+    data = record.to_dict()
+    data["wall_s"] = 0.0
+    if data["manifest"]:
+        manifest = dict(data["manifest"])
+        for key in TIMING_KEYS:
+            manifest.pop(key, None)
+        data["manifest"] = manifest
+    return data
+
+
+class TestExecutePoint:
+    def test_meso_run_produces_ok_record(self):
+        point = SweepPoint(index=0, label="seed=1", seed=1, config=_base())
+        record = execute_point(point, "meso")
+        assert record.status == "ok"
+        assert record.error is None
+        assert record.policy == "H-50"
+        assert record.lifespan_days is not None
+        assert record.summary["avg_prr"] > 0.0
+        assert record.manifest is not None
+        assert record.wall_s > 0.0
+
+    def test_exact_run_has_no_lifespan(self):
+        config = SimulationConfig(
+            node_count=4, duration_s=0.25 * SECONDS_PER_DAY, seed=2
+        ).as_h(0.5)
+        record = execute_point(
+            SweepPoint(index=0, label="seed=2", seed=2, config=config), "exact"
+        )
+        assert record.status == "ok"
+        assert record.lifespan_days is None
+        assert "avg_prr" in record.summary
+
+    def test_run_exception_is_captured_not_raised(self, monkeypatch):
+        import repro.sim
+
+        def boom(config):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(repro.sim, "run_mesoscopic", boom)
+        point = SweepPoint(index=3, label="seed=1", seed=1, config=_base())
+        record = execute_point(point, "meso")
+        assert record.status == "error"
+        assert "engine exploded" in record.error
+        assert record.summary == {}
+
+
+class TestRunSweep:
+    def test_records_merge_in_grid_index_order(self):
+        points = build_grid([("", _base(days=0.5))], [1, 2, 3])
+        result = run_sweep(points, engine="meso", workers=1)
+        assert [r.index for r in result.records] == [0, 1, 2]
+        assert result.ok_count == 3
+        assert result.error_count == 0
+
+    def test_parallel_records_bit_identical_to_serial(self):
+        base = _base(days=0.5)
+        points = build_grid([("h50", base), ("lorawan", base.as_lorawan())], [1, 2])
+        serial = run_sweep(points, engine="meso", workers=1)
+        parallel = run_sweep(points, engine="meso", workers=2)
+        assert [_normalized(r) for r in serial.records] == [
+            _normalized(r) for r in parallel.records
+        ]
+
+    def test_error_runs_counted_and_sweep_continues(self, monkeypatch):
+        import repro.sim
+
+        real = repro.sim.run_mesoscopic
+
+        def flaky(config):
+            if config.seed == 2:
+                raise RuntimeError("seed 2 always dies")
+            return real(config)
+
+        monkeypatch.setattr(repro.sim, "run_mesoscopic", flaky)
+        points = build_grid([("", _base(days=0.5))], [1, 2, 3])
+        registry = MetricsRegistry()
+        result = run_sweep(points, engine="meso", workers=1, metrics=registry)
+        assert [r.status for r in result.records] == ["ok", "error", "ok"]
+        assert result.error_count == 1
+        assert registry.counter(
+            "sweep_runs_total", "", labels={"status": "ok"}
+        ).value == 2.0
+        assert registry.counter(
+            "sweep_runs_total", "", labels={"status": "error"}
+        ).value == 1.0
+
+    def test_unknown_engine_rejected(self):
+        points = build_grid([("", _base())], [1])
+        with pytest.raises(ConfigurationError):
+            run_sweep(points, engine="quantum")
+
+    def test_zero_workers_rejected(self):
+        points = build_grid([("", _base())], [1])
+        with pytest.raises(ConfigurationError):
+            run_sweep(points, workers=0)
+
+    def test_duplicate_indices_rejected(self):
+        point = SweepPoint(index=0, label="a", seed=1, config=_base())
+        with pytest.raises(ConfigurationError):
+            run_sweep([point, point])
+
+
+class TestSweepResultSerialization:
+    def test_sweep_json_layout(self, tmp_path):
+        points = build_grid([("", _base(days=0.5))], [1, 2])
+        result = run_sweep(points, engine="meso", workers=1)
+        path = tmp_path / "SWEEP.json"
+        result.write(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SCHEMA
+        assert doc["engine"] == "meso"
+        assert doc["workers"] == 1
+        assert doc["run_count"] == 2
+        assert doc["ok_count"] == 2
+        assert doc["error_count"] == 0
+        assert doc["wall_s"] > 0.0
+        assert [run["index"] for run in doc["runs"]] == [0, 1]
+        for run in doc["runs"]:
+            assert run["status"] == "ok"
+            assert run["config_hash"]
+            assert run["summary"]["avg_prr"] >= 0.0
+            assert run["manifest"]["engine"] == "mesoscopic"
+            assert run["manifest"]["config_hash"] == run["config_hash"]

@@ -1,0 +1,72 @@
+"""Tests for sweep grid expansion and deterministic indexing."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim import SimulationConfig
+from repro.sweep import build_grid, expand_axes
+
+
+def _base():
+    return SimulationConfig(node_count=5, duration_s=3600.0, seed=1)
+
+
+class TestExpandAxes:
+    def test_no_axes_returns_base_unlabelled(self):
+        base = _base()
+        assert expand_axes(base, []) == [("", base)]
+
+    def test_single_axis(self):
+        variants = expand_axes(_base(), [("w_b", [0.5, 1.0])])
+        assert [label for label, _ in variants] == ["w_b=0.5", "w_b=1.0"]
+        assert [config.w_b for _, config in variants] == [0.5, 1.0]
+
+    def test_two_axes_cartesian_in_declaration_order(self):
+        variants = expand_axes(
+            _base(), [("w_b", [0.5, 1.0]), ("node_count", [5, 10])]
+        )
+        assert [label for label, _ in variants] == [
+            "w_b=0.5,node_count=5",
+            "w_b=0.5,node_count=10",
+            "w_b=1.0,node_count=5",
+            "w_b=1.0,node_count=10",
+        ]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_axes(_base(), [("no_such_field", [1])])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_axes(_base(), [("w_b", [])])
+
+
+class TestBuildGrid:
+    def test_variant_major_indexing(self):
+        variants = [("a", _base()), ("b", _base())]
+        points = build_grid(variants, [10, 20])
+        assert [p.index for p in points] == [0, 1, 2, 3]
+        assert [p.label for p in points] == [
+            "a,seed=10",
+            "a,seed=20",
+            "b,seed=10",
+            "b,seed=20",
+        ]
+        assert [p.seed for p in points] == [10, 20, 10, 20]
+        assert [p.config.seed for p in points] == [10, 20, 10, 20]
+
+    def test_unlabelled_variant_gets_seed_only_label(self):
+        points = build_grid([("", _base())], [7])
+        assert points[0].label == "seed=7"
+
+    def test_empty_variants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_grid([], [1])
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_grid([("a", _base())], [])
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_grid([("a", _base())], [3, 3])

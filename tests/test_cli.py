@@ -151,3 +151,82 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["explode"])
+
+
+class TestSweepCommand:
+    def test_sweep_writes_schema_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "SWEEP.json"
+        code = main(
+            [
+                "sweep",
+                "--nodes", "5",
+                "--days", "0.5",
+                "--policies", "lorawan,h",
+                "--seeds", "2",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "4 runs" in text
+        assert "ok: 4" in text
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.sweep/1"
+        assert doc["run_count"] == 4
+        assert doc["ok_count"] == 4
+        assert doc["error_count"] == 0
+        assert [run["index"] for run in doc["runs"]] == [0, 1, 2, 3]
+        assert [run["label"] for run in doc["runs"]] == [
+            "policy=lorawan,seed=1",
+            "policy=lorawan,seed=2",
+            "policy=h0.5,seed=1",
+            "policy=h0.5,seed=2",
+        ]
+
+    def test_sweep_json_output(self, capsys):
+        code = main(
+            ["sweep", "--nodes", "4", "--days", "0.5", "--seeds", "1", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.sweep/1"
+        assert doc["runs"][0]["status"] == "ok"
+        assert doc["runs"][0]["summary"]["avg_prr"] >= 0.0
+
+    def test_sweep_axis_override(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--nodes", "4",
+                "--days", "0.5",
+                "--seeds", "1",
+                "--axis", "w_b=0.5,1.0",
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["run_count"] == 2
+        labels = [run["label"] for run in doc["runs"]]
+        assert labels == ["policy=h0.5,w_b=0.5,seed=1", "policy=h0.5,w_b=1.0,seed=1"]
+
+    def test_sweep_seed_list(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--nodes", "4",
+                "--days", "0.5",
+                "--seed-list", "7,11",
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [run["seed"] for run in doc["runs"]] == [7, 11]
+
+    def test_sweep_rejects_unknown_policy(self, capsys):
+        assert main(["sweep", "--policies", "carrier-pigeon"]) == 2
+
+    def test_sweep_rejects_bad_axis(self, capsys):
+        assert main(["sweep", "--axis", "nonsense"]) == 2
+        assert main(["sweep", "--axis", "no_such_field=1"]) == 2
