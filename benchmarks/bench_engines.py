@@ -40,6 +40,7 @@ from repro.constants import SECONDS_PER_DAY
 
 DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_obs.json"
 PERF_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_perf.json"
+VEC_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_vec.json"
 
 
 def _peak_rss_kb() -> int:
@@ -160,6 +161,67 @@ def run_longhorizon(
     return report
 
 
+def run_veccompare(
+    nodes: int = 500, days: float = 365.0, smoke: bool = False
+) -> Dict[str, object]:
+    """Scalar-vs-vectorized mesoscopic comparison → BENCH_vec.json.
+
+    Runs the same seeded H-50 configuration through the scalar reference
+    sweep and the vectorized fast path, records both wall times plus the
+    speedup, and cross-checks every per-node metric field for exact
+    equality (the vectorized path claims bit-identity, not tolerance).
+    """
+    if smoke:
+        nodes, days = 30, 5.0
+    config = SimulationConfig(
+        node_count=nodes, duration_s=days * SECONDS_PER_DAY, seed=42
+    ).as_h(0.5)
+    captures: Dict[str, Dict[str, object]] = {}
+    results = {}
+    for variant, vectorized in (("scalar", False), ("vectorized", True)):
+        start = time.perf_counter()
+        result = run_mesoscopic(config.replace(vectorized=vectorized))
+        wall = time.perf_counter() - start
+        manifest = result.manifest
+        captures[variant] = {
+            "wall_s": round(wall, 3),
+            "sim_s_per_wall_s": round(manifest.sim_s_per_wall_s or 0.0, 1),
+            "events_executed": manifest.events_executed,
+            "peak_queue_depth": manifest.peak_queue_depth,
+            "peak_rss_kb": _peak_rss_kb(),
+            "avg_prr": result.metrics.avg_prr,
+        }
+        results[variant] = result
+    mismatches = []
+    scalar_nodes = results["scalar"].metrics.nodes
+    vec_nodes = results["vectorized"].metrics.nodes
+    for node_id, scalar_metrics in scalar_nodes.items():
+        vec_vars = vars(vec_nodes[node_id])
+        for key, value in vars(scalar_metrics).items():
+            if value != vec_vars[key]:
+                mismatches.append(f"node {node_id} metrics.{key}")
+    for key in ("events_executed", "peak_queue_depth"):
+        if captures["scalar"][key] != captures["vectorized"][key]:
+            mismatches.append(f"manifest.{key}")
+    return {
+        "profile": "vec-compare-smoke" if smoke else "vec-compare",
+        "engine": "mesoscopic",
+        "policy": "H-50",
+        "seed": 42,
+        "nodes": nodes,
+        "days": days,
+        "scalar": captures["scalar"],
+        "vectorized": captures["vectorized"],
+        "speedup_wall": round(
+            float(captures["scalar"]["wall_s"])
+            / float(captures["vectorized"]["wall_s"]),
+            2,
+        ),
+        "bit_identical": not mismatches,
+        "mismatches": mismatches[:20],
+    }
+
+
 def _write(report: Dict[str, object], out: pathlib.Path) -> None:
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -183,10 +245,21 @@ def main(argv: Optional[list] = None) -> int:
         help="multi-year incremental-degradation profile → BENCH_perf.json",
     )
     parser.add_argument(
-        "--nodes", type=int, default=200, help="long-horizon node count"
+        "--vec-compare",
+        action="store_true",
+        help="scalar-vs-vectorized mesoscopic comparison → BENCH_vec.json",
     )
     parser.add_argument(
-        "--days", type=float, default=730.0, help="long-horizon simulated days"
+        "--nodes",
+        type=int,
+        default=None,
+        help="node count (default: 200 long-horizon, 500 vec-compare)",
+    )
+    parser.add_argument(
+        "--days",
+        type=float,
+        default=None,
+        help="simulated days (default: 730 long-horizon, 365 vec-compare)",
     )
     parser.add_argument(
         "--before",
@@ -202,14 +275,23 @@ def main(argv: Optional[list] = None) -> int:
         help=f"output JSON path (default {DEFAULT_OUT} / {PERF_OUT})",
     )
     args = parser.parse_args(argv)
-    if args.long_horizon:
+    if args.vec_compare:
+        out = args.out or VEC_OUT
+        report = run_veccompare(
+            nodes=args.nodes or 500,
+            days=args.days or 365.0,
+            smoke=args.smoke,
+        )
+    elif args.long_horizon:
         out = args.out or PERF_OUT
         before: Optional[Dict[str, object]] = None
         if args.before is not None:
             before = json.loads(args.before.read_text())
         elif out.exists():
             before = json.loads(out.read_text()).get("before")
-        report = run_longhorizon(nodes=args.nodes, days=args.days, before=before)
+        report = run_longhorizon(
+            nodes=args.nodes or 200, days=args.days or 730.0, before=before
+        )
     else:
         out = args.out or DEFAULT_OUT
         report = run_bench(smoke=args.smoke)

@@ -126,6 +126,10 @@ class IncrementalDegradation:
         """Consume the next SoC sample of the battery's history."""
         self._stream.push(soc)
 
+    def push_batch(self, socs) -> None:
+        """Consume an array of SoC samples (see ``StreamingRainflow.extend_batch``)."""
+        self._stream.extend_batch(socs)
+
     # ------------------------------------------------------------- internals
 
     def _depth_stress(self, depth: float) -> float:

@@ -169,6 +169,41 @@ class StreamingRainflow:
         for value in series:
             self.push(value)
 
+    def extend_batch(self, values) -> None:
+        """Consume an array of samples; state-identical to :meth:`extend`.
+
+        Only direction changes can confirm a turning point (and close
+        cycles), and those go through the scalar :meth:`push`; run
+        interiors merely move the provisional tail, so each monotone run
+        collapses to a single tail assignment.
+        """
+        n = len(values)
+        i = 0
+        while i < n and (self._tail is None or not self._have_prev):
+            self.push(float(values[i]))
+            i += 1
+        while i < n:
+            v = float(values[i])
+            tail = self._tail
+            if v == tail:
+                i += 1
+                continue
+            if (v > tail) == (tail > self._prev):
+                # Monotone continuation: jump the tail to the run's end.
+                if v > tail:
+                    j = i
+                    while j + 1 < n and values[j + 1] >= values[j]:
+                        j += 1
+                else:
+                    j = i
+                    while j + 1 < n and values[j + 1] <= values[j]:
+                        j += 1
+                self._tail = float(values[j])
+                i = j + 1
+            else:
+                self.push(v)
+                i += 1
+
     def _confirm(self, point: float) -> None:
         """A turning point became final: run the three-point closure."""
         stack = self._stack

@@ -137,6 +137,84 @@ class SocTrace:
         for time_s, soc in samples:
             self.append(time_s, soc)
 
+    def extend_batch(self, times_s, socs) -> None:
+        """Batched :meth:`extend`: state-identical, O(runs) list writes.
+
+        The integral accumulates with the exact per-sample update in the
+        scalar order, and monotone runs collapse onto the provisional
+        last point in one write instead of one per sample — the same
+        merge :meth:`append` performs step by step, without the
+        per-sample method-call and bookkeeping overhead.  Validation
+        happens up front, so unlike sequential appends an invalid sample
+        rejects the whole batch.
+        """
+        n = len(socs)
+        if n == 0:
+            return
+        times = [float(t) for t in times_s]
+        clamped = []
+        for s in socs:
+            s = float(s)
+            if not 0.0 <= s <= 1.0 + 1e-9:
+                raise ConfigurationError(f"SoC {s} outside [0, 1]")
+            clamped.append(min(s, 1.0))
+        socs = clamped
+        last_t = self._last_time
+        if last_t is not None and times[0] < last_t:
+            raise ConfigurationError("trace times must be non-decreasing")
+        if any(times[i + 1] < times[i] for i in range(n - 1)):
+            raise ConfigurationError("trace times must be non-decreasing")
+
+        if self._start_time is None:
+            self._start_time = times[0]
+        integral = self._weighted_integral
+        prev_t, prev_s = last_t, self._last_soc
+        for i in range(n):
+            if prev_t is not None:
+                # The first-ever sample contributes no trapezoid.
+                integral += (times[i] - prev_t) * (socs[i] + prev_s) / 2.0
+            prev_t, prev_s = times[i], socs[i]
+        self._weighted_integral = integral
+
+        ts, ss = self.times, self.socs
+        i = 0
+        while i < n:
+            s = socs[i]
+            if len(ss) >= 2:
+                prev, last = ss[-2], ss[-1]
+                if last > prev:
+                    if s >= last:
+                        j = i
+                        while j + 1 < n and socs[j + 1] >= socs[j]:
+                            j += 1
+                        ts[-1] = times[j]
+                        ss[-1] = socs[j]
+                        i = j + 1
+                        continue
+                elif last < prev:
+                    if s <= last:
+                        j = i
+                        while j + 1 < n and socs[j + 1] <= socs[j]:
+                            j += 1
+                        ts[-1] = times[j]
+                        ss[-1] = socs[j]
+                        i = j + 1
+                        continue
+                elif s == last:
+                    # A flat pair only continues with equal samples.
+                    j = i
+                    while j + 1 < n and socs[j + 1] == socs[j]:
+                        j += 1
+                    ts[-1] = times[j]
+                    ss[-1] = socs[j]
+                    i = j + 1
+                    continue
+            ts.append(times[i])
+            ss.append(s)
+            i += 1
+        self._last_time = times[-1]
+        self._last_soc = socs[-1]
+
     @property
     def turning_points(self) -> List[float]:
         """The compressed SoC sequence (input for rainflow counting)."""

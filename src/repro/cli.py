@@ -75,6 +75,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="TTL (days) before nodes decay a stale disseminated w_u",
     )
     simulate.add_argument(
+        "--no-vectorized",
+        action="store_false",
+        dest="vectorized",
+        help=(
+            "run the mesoscopic engine's scalar reference sweep instead "
+            "of the (bit-identical) vectorized fast path"
+        ),
+    )
+    simulate.add_argument(
         "--trace",
         action="store_true",
         help="record structured trace events (in-memory ring buffer)",
@@ -222,6 +231,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         w_u_ttl_s=None if ttl_days is None else ttl_days * SECONDS_PER_DAY,
         trace=getattr(args, "trace", False),
         trace_path=getattr(args, "trace_out", None),
+        vectorized=getattr(args, "vectorized", True),
         trace_categories=(
             None
             if categories is None

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from ..exceptions import ConfigurationError
 
 
@@ -50,3 +52,24 @@ def dif_profile(
         degradation_impact_factor(estimated_tx_energy_j, green, max_tx_energy_j)
         for green in green_energies_j
     ]
+
+
+def dif_batch(
+    estimated_tx_energies_j: np.ndarray,
+    green_energies_j: np.ndarray,
+    max_tx_energy_j: float,
+) -> np.ndarray:
+    """Eq. (15) over whole arrays (any matching/broadcastable shapes).
+
+    Element values are bit-identical to
+    :func:`degradation_impact_factor`: the same ``max``/subtract/divide/
+    ``min`` sequence, applied elementwise.
+    """
+    if max_tx_energy_j <= 0:
+        raise ConfigurationError("max_tx_energy_j must be positive")
+    est = np.asarray(estimated_tx_energies_j, dtype=np.float64)
+    green = np.asarray(green_energies_j, dtype=np.float64)
+    if (est < 0).any() or (green < 0).any():
+        raise ConfigurationError("energies cannot be negative")
+    deficit = np.maximum(est, green) - green
+    return np.minimum(1.0, deficit / max_tx_energy_j)

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..exceptions import ConfigurationError
 
 
@@ -84,6 +86,11 @@ class RetransmissionEstimator:
     prior_expectation: float = 0.0
     _selected: Dict[int, int] = field(default_factory=dict, init=False)
     _histogram: Dict[int, List[int]] = field(default_factory=dict, init=False)
+    #: Lazily built multiplier-per-window cache for the vectorized MAC
+    #: adapter; invalidated/maintained by :meth:`observe`.
+    _mult_arr: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.max_retransmissions < 0:
@@ -104,6 +111,13 @@ class RetransmissionEstimator:
             window_index, [0] * (self.max_retransmissions + 1)
         )
         histogram[retransmissions] += 1
+        if self._mult_arr is not None:
+            if window_index < self._mult_arr.size:
+                self._mult_arr[window_index] = self.window_energy_multiplier(
+                    window_index
+                )
+            else:
+                self._mult_arr = None
 
     def selections(self, window_index: int) -> int:
         """``S_t``: times window ``t`` was selected for transmission."""
@@ -145,3 +159,23 @@ class RetransmissionEstimator:
         energy of transmitting in window ``t``.
         """
         return 1.0 + self.expected_retransmissions(window_index)
+
+    def window_energy_multipliers(self, count: int) -> np.ndarray:
+        """Multipliers for windows ``0..count-1`` as one array.
+
+        Element ``t`` equals :meth:`window_energy_multiplier` bit for
+        bit (it is produced by the same call).  Backed by a cached array
+        that :meth:`observe` updates in place, so the common steady
+        state is a slice, not a rebuild.  The returned view must not be
+        mutated by callers.
+        """
+        if count < 0:
+            raise ConfigurationError("count cannot be negative")
+        if self._mult_arr is None or self._mult_arr.size < count:
+            size = max(count, 64)
+            arr = np.full(size, 1.0 + self.prior_expectation)
+            for t in self._selected:
+                if t < size:
+                    arr[t] = self.window_energy_multiplier(t)
+            self._mult_arr = arr
+        return self._mult_arr[:count]

@@ -25,10 +25,17 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..exceptions import ConfigurationError, ProtocolError
 from .estimators import EwmaTxEnergyEstimator, RetransmissionEstimator
 from .utility import LinearUtility, UtilityFunction
-from .window_selection import WindowDecision, WindowSelector
+from .window_selection import (
+    BatchWindowDecision,
+    WindowDecision,
+    WindowSelector,
+    score_windows_batch,
+)
 
 #: LoRaWAN caps confirmed-uplink retries; "8 retransmissions (maximum
 #: allowed by LoRa)" per Section III-B.
@@ -413,6 +420,55 @@ class BatteryLifespanAwareMac(MacPolicy):
     def name(self) -> str:
         """Display name used in reports, e.g. "H-50"."""
         return f"H-{round(self.soc_cap * 100)}"
+
+
+def batch_choose_windows(
+    macs: Sequence[BatteryLifespanAwareMac],
+    battery_energies_j: np.ndarray,
+    green_matrix: np.ndarray,
+    nominal_tx_energies_j: Sequence[float],
+    now_s: float,
+) -> BatchWindowDecision:
+    """Run :meth:`BatteryLifespanAwareMac.choose_window` for many nodes.
+
+    The vectorized engine's adapter: row ``i`` of ``green_matrix``
+    (shape ``(N, |T|)``) is node ``i``'s forecast, and the estimator
+    side effects (EWMA re-seeding when the estimate is 0) happen exactly
+    as in the scalar call.  All MACs must share ``w_b``, the utility
+    function and ``E^tx_max`` (one simulation config guarantees this);
+    θ·capacity caps are gathered per node.  Decisions are bit-identical
+    to per-node :meth:`choose_window` calls.  Tracing is not emitted —
+    the vectorized engine only runs with tracing disabled.
+    """
+    if not macs:
+        raise ConfigurationError("at least one MAC is required")
+    green = np.asarray(green_matrix, dtype=np.float64)
+    if green.ndim != 2 or green.shape[0] != len(macs):
+        raise ConfigurationError("green_matrix must be (len(macs), windows)")
+    n, windows = green.shape
+    est = np.empty((n, windows))
+    weights = np.empty(n)
+    caps = np.empty(n)
+    for i, mac in enumerate(macs):
+        estimator = mac._energy_estimator
+        if estimator.estimate_j == 0.0:
+            estimator.reset(nominal_tx_energies_j[i])
+        est[i] = estimator.estimate_j * mac._retx_estimator.window_energy_multipliers(
+            windows
+        )
+        weights[i] = mac.effective_degradation(now_s)
+        caps[i] = mac._selector.soc_cap_j
+    selector = macs[0]._selector
+    return score_windows_batch(
+        battery_energies_j,
+        weights,
+        green,
+        est,
+        max_tx_energy_j=selector.max_tx_energy_j,
+        soc_cap_j=caps,
+        w_b=selector.w_b,
+        utility_fn=selector.utility_fn,
+    )
 
 
 def uniform_offset_in_window(

@@ -19,6 +19,8 @@ import math
 from dataclasses import dataclass
 from typing import Protocol
 
+import numpy as np
+
 from ..exceptions import ConfigurationError
 
 
@@ -98,6 +100,25 @@ class StepUtility:
             return 1.0
         remaining = windows_per_period - self.grace_windows
         return (windows_per_period - window_index) / remaining
+
+
+def utilities_vector(
+    utility_fn: UtilityFunction, windows_per_period: int
+) -> np.ndarray:
+    """Utility of every window index ``0..τ-1`` as one array.
+
+    The linear Eq. (16) case is computed as an array expression whose
+    integer-exact division matches the scalar call bit for bit; other
+    utility functions are evaluated per index (still the scalar floats).
+    """
+    if windows_per_period < 1:
+        raise ConfigurationError("windows_per_period must be >= 1")
+    if isinstance(utility_fn, LinearUtility):
+        t = np.arange(windows_per_period)
+        return (windows_per_period - t) / windows_per_period
+    return np.array(
+        [utility_fn(t, windows_per_period) for t in range(windows_per_period)]
+    )
 
 
 def average_utility(utilities: list) -> float:

@@ -11,7 +11,12 @@ from .forecast import (
     PersistenceForecaster,
 )
 from .harvester import Harvester
-from .solar import CloudProcess, SolarModel, clear_sky_factor
+from .solar import (
+    CloudProcess,
+    SolarModel,
+    clear_sky_factor,
+    clear_sky_factor_batch,
+)
 from .sources import VibrationModel, WindModel
 from .storage import HybridStorage, Supercapacitor
 from .switch import SoftwareDefinedSwitch, WindowEnergyResult
@@ -34,4 +39,5 @@ __all__ = [
     "WindModel",
     "WindowEnergyResult",
     "clear_sky_factor",
+    "clear_sky_factor_batch",
 ]

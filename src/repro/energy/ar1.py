@@ -24,7 +24,7 @@ whichever anchor it restarts from.
 from __future__ import annotations
 
 import random
-from typing import Dict
+from typing import Dict, List
 
 from ..exceptions import ConfigurationError
 
@@ -96,3 +96,37 @@ class CheckpointedAR1:
         self._last_index = index
         self._last_state = state
         return state
+
+    def states(self, lo: int, hi: int) -> List[float]:
+        """States for every grid index in ``[lo, hi]`` (one ordered walk).
+
+        The batch counterpart of :meth:`state` for the vectorized
+        engines: a single forward replay of the recurrence, yielding the
+        same floats as per-index calls, without per-call anchor checks.
+        """
+        if hi < lo:
+            return []
+        out: List[float] = []
+        index = lo
+        while index <= 0 and index <= hi:
+            out.append(0.0)
+            index += 1
+        if index > hi:
+            return out
+        state = self.state(index)  # anchors (and rewinds) the chain
+        out.append(state)
+        persistence = self._persistence
+        sigma = self._sigma
+        seed_base = self._seed_base
+        every = self._checkpoint_every
+        for i in range(index + 1, hi + 1):
+            state = persistence * state + random.Random(seed_base ^ i).gauss(
+                0.0, sigma
+            )
+            if i % every == 0:
+                self._checkpoints[i] = state
+            out.append(state)
+        if hi > self._last_index:
+            self._last_index = hi
+            self._last_state = state
+        return out

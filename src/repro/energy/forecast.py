@@ -19,13 +19,16 @@ whose accuracy is a sweepable parameter.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
-from typing import List, Protocol
+from typing import List, Optional, Protocol
+
+import numpy as np
 
 from ..exceptions import ConfigurationError
 from .harvester import Harvester
-from .solar import clear_sky_factor
+from .solar import clear_sky_factor, clear_sky_factor_batch
 
 
 class EnergyForecaster(Protocol):
@@ -33,6 +36,18 @@ class EnergyForecaster(Protocol):
 
     def forecast(self, start_s: float, window_s: float, count: int) -> List[float]:
         """Predicted energy per window for ``count`` windows from ``start_s``."""
+        ...
+
+    def forecast_batch(
+        self,
+        start_s: float,
+        window_s: float,
+        count: int,
+        solar_powers: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`forecast`; same values (and any RNG draws)
+        as the scalar path.  ``solar_powers`` optionally carries the
+        shared solar power already evaluated at the window midpoints."""
         ...
 
     def observe(self, start_s: float, window_s: float, energy_j: float) -> None:
@@ -49,6 +64,18 @@ class OracleForecaster:
     def forecast(self, start_s: float, window_s: float, count: int) -> List[float]:
         """Exact future harvest per window (perfect knowledge)."""
         return self.harvester.window_energies(start_s, window_s, count)
+
+    def forecast_batch(
+        self,
+        start_s: float,
+        window_s: float,
+        count: int,
+        solar_powers: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized oracle forecast (the harvester's batch kernel)."""
+        return self.harvester.window_energies_batch(
+            start_s, window_s, count, solar_powers=solar_powers
+        )
 
     def observe(self, start_s: float, window_s: float, energy_j: float) -> None:
         """No-op: the oracle has nothing to learn."""
@@ -78,12 +105,37 @@ class NoisyForecaster:
         truth = self.harvester.window_energies(start_s, window_s, count)
         if self.sigma == 0.0:
             return truth
-        import math
-
         return [
             value * math.exp(self._rng.gauss(-self.sigma**2 / 2.0, self.sigma))
             for value in truth
         ]
+
+    def forecast_batch(
+        self,
+        start_s: float,
+        window_s: float,
+        count: int,
+        solar_powers: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batch-kernel truth corrupted by the identical noise stream.
+
+        The per-window noise draws come from the same ``Random`` in the
+        same order as the scalar path, so a vectorized run consumes the
+        node's noise stream exactly like a scalar run.
+        """
+        truth = self.harvester.window_energies_batch(
+            start_s, window_s, count, solar_powers=solar_powers
+        )
+        if self.sigma == 0.0:
+            return truth
+        gauss = self._rng.gauss
+        half_var = -self.sigma**2 / 2.0
+        return np.array(
+            [
+                value * math.exp(gauss(half_var, self.sigma))
+                for value in truth.tolist()
+            ]
+        )
 
     def observe(self, start_s: float, window_s: float, energy_j: float) -> None:
         """No-op: noise is resampled every call, nothing to learn."""
@@ -130,6 +182,24 @@ class PersistenceForecaster:
             * self._clearness
             for i in range(count)
         ]
+
+    def forecast_batch(
+        self,
+        start_s: float,
+        window_s: float,
+        count: int,
+        solar_powers: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`forecast` (``solar_powers`` is unused: this
+        forecaster is oracle-free by construction)."""
+        mids = (start_s + np.arange(count) * window_s) + window_s / 2.0
+        envelopes = clear_sky_factor_batch(
+            mids,
+            sunrise_hour=self.sunrise_hour,
+            sunset_hour=self.sunset_hour,
+            seasonal_amplitude=self.seasonal_amplitude,
+        )
+        return (self.peak_window_energy_j * envelopes) * self._clearness
 
     def observe(self, start_s: float, window_s: float, energy_j: float) -> None:
         """Update the EWMA clearness from a completed window's harvest."""

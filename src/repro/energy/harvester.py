@@ -13,7 +13,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
+
+import numpy as np
 
 from ..exceptions import ConfigurationError
 from .solar import SolarModel
@@ -46,6 +48,16 @@ class Harvester:
     efficiency: float = 0.85
 
     _cache: dict = field(default_factory=dict, init=False, repr=False)
+    #: Sliding contiguous shading-factor window for the vectorized
+    #: engine, covering grid indices [_shade_base, _shade_base + len).
+    _shade_arr: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False
+    )
+    _shade_base: int = field(default=0, init=False, repr=False)
+
+    #: Maximum length of the contiguous shading window (≈170 days at the
+    #: default 30-min step); the left tail is dropped beyond it.
+    SHADE_WINDOW_LIMIT = 8192
 
     def __post_init__(self) -> None:
         if self.shading_sigma < 0:
@@ -62,12 +74,70 @@ class Harvester:
         index = int(time_s // self.shading_step_s)
         cached = self._cache.get(index)
         if cached is None:
-            rng = random.Random((self.node_seed << 24) ^ index)
-            cached = min(1.5, math.exp(rng.gauss(-self.shading_sigma**2 / 2.0, self.shading_sigma)))
+            cached = self._shading_at(index)
             if len(self._cache) > 4096:
                 self._cache.clear()
             self._cache[index] = cached
         return cached
+
+    def _shading_at(self, index: int) -> float:
+        """The scalar shading expression (shared by both cache paths)."""
+        rng = random.Random((self.node_seed << 24) ^ index)
+        return min(
+            1.5,
+            math.exp(rng.gauss(-self.shading_sigma**2 / 2.0, self.shading_sigma)),
+        )
+
+    def shading_factors_batch(self, times_s: np.ndarray) -> np.ndarray:
+        """Shading factors for an array of times in one gather.
+
+        The factor is a pure function of its grid index, so the sliding
+        contiguous window can be (re)built for any range without
+        perturbing other values; entries are computed with the exact
+        scalar expression of :meth:`_shading_factor`.
+        """
+        times = np.asarray(times_s, dtype=np.float64)
+        if self.shading_sigma == 0.0:
+            return np.ones(times.shape)
+        if times.size == 0:
+            return np.empty(0, dtype=np.float64)
+        indices = np.floor_divide(times, self.shading_step_s).astype(np.int64)
+        lo = int(indices.min())
+        hi = int(indices.max())
+        self._ensure_shading(lo, hi)
+        return self._shade_arr[indices - self._shade_base]
+
+    def _ensure_shading(self, lo: int, hi: int) -> None:
+        """Grow the contiguous shading window to cover [lo, hi]."""
+        arr = self._shade_arr
+        # Pad to the right: accesses march forward (settles/forecasts),
+        # so over-computing ahead amortizes rebuilds.
+        pad = 128
+        if arr is None:
+            self._shade_base = lo
+            self._shade_arr = np.array(
+                [self._shading_at(i) for i in range(lo, hi + pad)]
+            )
+            return
+        base = self._shade_base
+        top = base + len(arr)  # exclusive
+        if lo >= base and hi < top:
+            return
+        parts = []
+        if lo < base:
+            parts.append(np.array([self._shading_at(i) for i in range(lo, base)]))
+            self._shade_base = lo
+        parts.append(arr)
+        if hi >= top:
+            parts.append(
+                np.array([self._shading_at(i) for i in range(top, hi + pad)])
+            )
+        arr = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        if len(arr) > self.SHADE_WINDOW_LIMIT:
+            keep = self.SHADE_WINDOW_LIMIT // 2
+            self._shade_base += len(arr) - keep
+            arr = arr[-keep:]
+        self._shade_arr = arr
 
     def power_watts(self, time_s: float) -> float:
         """Instantaneous harvested (post-regulator) power for this node."""
@@ -76,6 +146,25 @@ class Harvester:
             * self._shading_factor(time_s)
             * self.efficiency
         )
+
+    def power_watts_batch(
+        self,
+        times_s: np.ndarray,
+        solar_powers: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`power_watts` with the same product order.
+
+        ``solar_powers`` lets a caller that already evaluated the shared
+        :meth:`SolarModel.power_watts_batch` for these times (e.g. once
+        per node batch) skip the duplicate envelope/cloud work.
+        """
+        times = np.asarray(times_s, dtype=np.float64)
+        power = (
+            self.solar.power_watts_batch(times)
+            if solar_powers is None
+            else solar_powers
+        )
+        return (power * self.shading_factors_batch(times)) * self.efficiency
 
     def window_energy_j(self, start_s: float, window_s: float) -> float:
         """Actual energy ``E^g_u[t]`` harvested in one forecast window."""
@@ -111,3 +200,24 @@ class Harvester:
             else:
                 append(power * shading(mid) * efficiency * window_s)
         return energies
+
+    def window_energies_batch(
+        self,
+        start_s: float,
+        window_s: float,
+        count: int,
+        solar_powers: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`window_energies`.
+
+        Element values match the scalar loop: the product order is
+        ``((power × shading) × efficiency) × window``, and zero panel
+        output propagates to an exact ``0.0``.  ``solar_powers`` is the
+        optional precomputed shared-solar vector for these midpoints.
+        """
+        if window_s <= 0:
+            raise ConfigurationError("window must be positive")
+        if count < 0:
+            raise ConfigurationError("count cannot be negative")
+        mids = (start_s + np.arange(count) * window_s) + window_s / 2.0
+        return self.power_watts_batch(mids, solar_powers=solar_powers) * window_s

@@ -18,6 +18,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 from ..constants import SECONDS_PER_DAY, SECONDS_PER_YEAR
 from ..exceptions import ConfigurationError
 from .ar1 import CheckpointedAR1
@@ -46,6 +48,33 @@ def clear_sky_factor(
     seasonal = 1.0 - seasonal_amplitude * math.cos(2.0 * math.pi * year_fraction)
     seasonal /= 1.0 + seasonal_amplitude  # normalize so the max is 1.0
     return diurnal * seasonal
+
+
+def clear_sky_factor_batch(
+    times_s: np.ndarray,
+    sunrise_hour: float = 6.0,
+    sunset_hour: float = 18.0,
+    seasonal_amplitude: float = 0.25,
+) -> np.ndarray:
+    """Vectorized :func:`clear_sky_factor` over an array of times.
+
+    Identical arithmetic, element for element (NumPy float64 elementwise
+    ops round exactly like the scalar expressions; the ``sin``/``cos``
+    evaluations may differ by at most 1 ulp from ``math.sin``/``cos``).
+    The daylight mask keeps the scalar's *inclusive* sunrise/sunset
+    bounds — ``hour == sunset`` yields the tiny nonzero ``sin(pi)``.
+    """
+    if sunset_hour <= sunrise_hour:
+        raise ConfigurationError("sunset must come after sunrise")
+    times = np.asarray(times_s, dtype=np.float64)
+    hour = np.mod(times, SECONDS_PER_DAY) / 3600.0
+    day_fraction = (hour - sunrise_hour) / (sunset_hour - sunrise_hour)
+    diurnal = np.sin(math.pi * day_fraction)
+    year_fraction = np.mod(times, SECONDS_PER_YEAR) / SECONDS_PER_YEAR
+    seasonal = 1.0 - seasonal_amplitude * np.cos(2.0 * math.pi * year_fraction)
+    seasonal /= 1.0 + seasonal_amplitude
+    daylight = (hour >= sunrise_hour) & (hour <= sunset_hour)
+    return np.where(daylight, diurnal * seasonal, 0.0)
 
 
 @dataclass
@@ -88,6 +117,16 @@ class CloudProcess:
             self.mean_clearness / (1.0 - self.mean_clearness + 1e-9)
         )
         self._factor_cache: dict = {}
+        # Contiguous factor array for the vectorized engines, covering
+        # grid indices [_chain_base, _chain_base + len).  Values come
+        # from the same scalar expression as factor(), so both caches
+        # hold bit-identical floats for the same index.
+        self._chain_arr: Optional[np.ndarray] = None
+        self._chain_base = 0
+
+    #: The contiguous chain is trimmed from the left past this length
+    #: (≈3.7 simulated years at the default 15-min step).
+    CHAIN_LIMIT = 131072
 
     def _state(self, index: int) -> float:
         """Latent AR(1) state at grid index (lazily computed, cached)."""
@@ -103,6 +142,61 @@ class CloudProcess:
                 self._factor_cache.clear()
             self._factor_cache[index] = cached
         return cached
+
+    def factors_batch(self, times_s: np.ndarray) -> np.ndarray:
+        """Cloud factors for an array of times in one gather.
+
+        Precomputes the AR(1)-driven factor chain in whole-day blocks
+        into a contiguous array (the state chain is sequential, so a
+        block extension is one ordered walk), then answers any batch of
+        times with a single fancy-indexing gather.  Factors are computed
+        with the exact scalar expression of :meth:`factor`.
+        """
+        times = np.asarray(times_s, dtype=np.float64)
+        if times.size == 0:
+            return np.empty(0, dtype=np.float64)
+        indices = np.floor_divide(times, self.step_s).astype(np.int64)
+        lo = int(indices.min())
+        hi = int(indices.max())
+        self._ensure_chain(lo, hi)
+        return self._chain_arr[indices - self._chain_base]
+
+    def _factor_at(self, index: int) -> float:
+        """The scalar factor expression (shared by both cache paths)."""
+        return 1.0 / (1.0 + math.exp(-(self._ar1.state(index) + self._centre)))
+
+    def _ensure_chain(self, lo: int, hi: int) -> None:
+        """Grow the contiguous chain to cover grid indices [lo, hi]."""
+        per_day = max(1, int(SECONDS_PER_DAY // self.step_s))
+        lo = (lo // per_day) * per_day
+        hi = ((hi // per_day) + 1) * per_day - 1
+        arr = self._chain_arr
+        if arr is None:
+            self._chain_base = lo
+            self._chain_arr = np.array(
+                [self._factor_at(i) for i in range(lo, hi + 1)]
+            )
+            return
+        base = self._chain_base
+        top = base + len(arr)  # exclusive
+        parts = []
+        if lo < base:
+            # Rare backward jump (refresh after a long settle): the
+            # checkpointed AR(1) rewinds, values are unchanged.
+            parts.append(np.array([self._factor_at(i) for i in range(lo, base)]))
+            self._chain_base = lo
+        else:
+            lo = base
+        parts.append(arr)
+        if hi >= top:
+            parts.append(np.array([self._factor_at(i) for i in range(top, hi + 1)]))
+        arr = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        if len(arr) > self.CHAIN_LIMIT:
+            # Accesses are near monotone; drop the stale left tail.
+            keep = self.CHAIN_LIMIT // 2
+            self._chain_base += len(arr) - keep
+            arr = arr[-keep:]
+        self._chain_arr = arr
 
 
 @dataclass
@@ -176,6 +270,36 @@ class SolarModel:
             self._power_cache.clear()
         self._power_cache[time_s] = power
         return power
+
+    def power_watts_batch(self, times_s: np.ndarray) -> np.ndarray:
+        """Panel output for an array of times in one array expression.
+
+        Matches :meth:`power_watts` element for element: the product
+        order is ``(peak × envelope) × cloud``, and a zero envelope
+        yields exactly ``0.0`` through the product (no mask needed).
+        """
+        times = np.asarray(times_s, dtype=np.float64)
+        envelope = clear_sky_factor_batch(
+            times,
+            sunrise_hour=self.sunrise_hour,
+            sunset_hour=self.sunset_hour,
+            seasonal_amplitude=self.seasonal_amplitude,
+        )
+        power = self.peak_watts * envelope
+        if self.clouds is not None:
+            power = power * self.clouds.factors_batch(times)
+        return power
+
+    def window_energies_batch(
+        self, start_s: float, window_s: float, count: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`window_energies` (midpoint rule per window)."""
+        if window_s <= 0:
+            raise ConfigurationError("window must be positive")
+        if count < 0:
+            raise ConfigurationError("count cannot be negative")
+        mids = (start_s + np.arange(count) * window_s) + window_s / 2.0
+        return self.power_watts_batch(mids) * window_s
 
     def window_energy_j(self, start_s: float, window_s: float) -> float:
         """Energy harvested in ``[start, start+window)``, midpoint rule.

@@ -17,6 +17,8 @@ import random
 from dataclasses import dataclass
 from typing import List
 
+import numpy as np
+
 from ..constants import SECONDS_PER_DAY
 from ..exceptions import ConfigurationError
 from .ar1 import CheckpointedAR1
@@ -86,6 +88,40 @@ class WindModel:
             for i in range(count)
         ]
 
+    def power_watts_batch(self, times_s: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`power_watts` over an array of times.
+
+        The AR(1) gust chain is walked once over the covered index range
+        (identical states to per-index access), then the cubic power
+        curve is applied as array expressions with the scalar's branch
+        structure reproduced by masks.
+        """
+        times = np.asarray(times_s, dtype=np.float64)
+        if times.size == 0:
+            return np.empty(0, dtype=np.float64)
+        indices = np.floor_divide(times, self.step_s).astype(np.int64)
+        lo = int(indices.min())
+        hi = int(indices.max())
+        states = np.array(self._ar1.states(lo, hi))
+        speed = np.maximum(0.0, self.mean_speed_ms + states[indices - lo])
+        span = self.rated_ms**3 - self.cut_in_ms**3
+        power = self.rated_watts * (speed**3 - self.cut_in_ms**3) / span
+        power = np.where(speed >= self.rated_ms, self.rated_watts, power)
+        return np.where(
+            (speed < self.cut_in_ms) | (speed >= self.cut_out_ms), 0.0, power
+        )
+
+    def window_energies_batch(
+        self, start_s: float, window_s: float, count: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`window_energies` (midpoint rule per window)."""
+        if window_s <= 0:
+            raise ConfigurationError("window must be positive")
+        if count < 0:
+            raise ConfigurationError("count cannot be negative")
+        mids = (start_s + np.arange(count) * window_s) + window_s / 2.0
+        return self.power_watts_batch(mids) * window_s
+
 
 @dataclass
 class VibrationModel:
@@ -128,6 +164,15 @@ class VibrationModel:
         rng = random.Random((self.seed << 22) ^ block)
         return rng.random() >= self.downtime_fraction
 
+    def _block_power(self, block: int) -> float:
+        """Power for one 15-min block, downtime and jitter included."""
+        rng = random.Random((self.seed << 22) ^ block)
+        if rng.random() < self.downtime_fraction:
+            return 0.0
+        rng = random.Random((self.seed << 23) ^ block)
+        jitter = math.exp(rng.gauss(-self.jitter_sigma**2 / 2, self.jitter_sigma))
+        return self.peak_watts * min(1.5, jitter)
+
     def power_watts(self, time_s: float) -> float:
         """Harvested power at ``time_s`` (0 when the machine is idle)."""
         if not self.machine_running(time_s):
@@ -136,6 +181,25 @@ class VibrationModel:
         rng = random.Random((self.seed << 23) ^ block)
         jitter = math.exp(rng.gauss(-self.jitter_sigma**2 / 2, self.jitter_sigma))
         return self.peak_watts * min(1.5, jitter)
+
+    def power_watts_batch(self, times_s: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`power_watts`.
+
+        The shift/workday schedule is evaluated as array expressions;
+        the per-block downtime and jitter draws (pure functions of the
+        block index) are evaluated once per unique block and gathered.
+        """
+        times = np.asarray(times_s, dtype=np.float64)
+        if times.size == 0:
+            return np.empty(0, dtype=np.float64)
+        day = np.floor_divide(times, SECONDS_PER_DAY).astype(np.int64)
+        hour = np.mod(times, SECONDS_PER_DAY) / 3600.0
+        running = np.mod(day, 7) < self.workdays_per_week
+        running &= (hour >= self.shift_start_hour) & (hour < self.shift_end_hour)
+        blocks = np.floor_divide(times, 900.0).astype(np.int64)
+        unique, inverse = np.unique(blocks, return_inverse=True)
+        per_block = np.array([self._block_power(int(b)) for b in unique])
+        return np.where(running, per_block[inverse], 0.0)
 
     def window_energy_j(self, start_s: float, window_s: float) -> float:
         """Energy harvested in one forecast window (midpoint rule)."""
@@ -149,3 +213,14 @@ class VibrationModel:
             self.window_energy_j(start_s + i * window_s, window_s)
             for i in range(count)
         ]
+
+    def window_energies_batch(
+        self, start_s: float, window_s: float, count: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`window_energies` (midpoint rule per window)."""
+        if window_s <= 0:
+            raise ConfigurationError("window must be positive")
+        if count < 0:
+            raise ConfigurationError("count cannot be negative")
+        mids = (start_s + np.arange(count) * window_s) + window_s / 2.0
+        return self.power_watts_batch(mids) * window_s

@@ -31,6 +31,7 @@ from .frames import (
     build_uplink,
     parse_ack,
     parse_uplink,
+    uplink_payload_bytes,
 )
 from .link import LogDistanceLink, free_space_path_loss_db, noise_floor_dbm
 from .params import (
@@ -57,10 +58,14 @@ from .phy import (
     time_on_air,
     tx_energy,
 )
+from .tables import AirtimeEntry, AirtimeTable, airtime_table
 
 __all__ = [
     "AdrController",
     "AdrDecision",
+    "AirtimeEntry",
+    "AirtimeTable",
+    "airtime_table",
     "BANDWIDTH_125K",
     "BANDWIDTH_250K",
     "BANDWIDTH_500K",
@@ -102,6 +107,7 @@ __all__ = [
     "symbol_count",
     "time_on_air",
     "tx_energy",
+    "uplink_payload_bytes",
     "us915_downlink_channels",
     "us915_uplink_channels",
 ]

@@ -228,6 +228,24 @@ def build_uplink(
     )
 
 
+def uplink_payload_bytes(
+    sensor_payload_bytes: int, with_report: bool = False
+) -> int:
+    """FRMPayload size of an uplink, optionally with the 4-byte report.
+
+    The airtime/energy tables are keyed per payload size; a report-
+    bearing uplink is exactly ``TransitionReport.WIRE_SIZE_BYTES`` (4)
+    bytes longer than a plain one (Section III-B's overhead accounting),
+    so the two variants get distinct :class:`~repro.lora.tables
+    .AirtimeTable` entries.
+    """
+    if sensor_payload_bytes < 0:
+        raise ConfigurationError("payload size cannot be negative")
+    if with_report:
+        return sensor_payload_bytes + TransitionReport.WIRE_SIZE_BYTES
+    return sensor_payload_bytes
+
+
 def parse_uplink(frame: Frame) -> tuple:
     """Split an uplink into (sensor_payload, report-or-None)."""
     if frame.fport != REPORT_FPORT:

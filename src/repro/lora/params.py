@@ -214,6 +214,26 @@ class TxParams:
         """Minimum SNR needed to demodulate this spreading factor."""
         return DEMODULATION_SNR_DB[self.spreading_factor]
 
+    @property
+    def airtime_key(self) -> tuple:
+        """The parameter tuple that fully determines airtime and TX energy.
+
+        ``(SF, BW, CR, payload, power, preamble, header, CRC)`` — the
+        lookup key behind :class:`repro.lora.tables.AirtimeTable`.  Two
+        :class:`TxParams` with equal keys have bit-identical airtimes
+        and transmission energies.
+        """
+        return (
+            self.spreading_factor,
+            self.bandwidth_hz,
+            self.coding_rate,
+            self.payload_bytes,
+            self.tx_power_dbm,
+            self.preamble_symbols,
+            self.explicit_header,
+            self.crc,
+        )
+
     def with_payload(self, payload_bytes: int) -> "TxParams":
         """Return a copy of these parameters with a different payload size."""
         return replace(self, payload_bytes=payload_bytes)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..exceptions import ConfigurationError
 from .params import RadioPowerProfile, SpreadingFactor, TxParams
@@ -66,10 +67,15 @@ def datasheet_symbol_count(params: TxParams) -> float:
     return params.preamble_symbols + 4.25 + payload_symbols
 
 
+@lru_cache(maxsize=4096)
 def time_on_air(params: TxParams, use_datasheet_formula: bool = False) -> float:
     """Time on air of one packet in seconds.
 
     ``symbols * 2**SF / BW`` — the paper's airtime term in Eq. (6).
+
+    Memoized: :class:`TxParams` is frozen (hashable), and both engines
+    ask for the same handful of parameter sets millions of times per
+    run.  Cached values are the exact floats the formula produces.
     """
     symbols = (
         datasheet_symbol_count(params)
@@ -79,6 +85,7 @@ def time_on_air(params: TxParams, use_datasheet_formula: bool = False) -> float:
     return symbols * params.symbol_time_s
 
 
+@lru_cache(maxsize=4096)
 def tx_energy(
     params: TxParams,
     power_profile: RadioPowerProfile | None = None,
@@ -89,6 +96,9 @@ def tx_energy(
     ``P_tx`` is the electrical power drawn from the supply while
     transmitting (from :class:`RadioPowerProfile`, scaled to the
     configured RF output power), not the RF output power itself.
+
+    Memoized like :func:`time_on_air`; the key includes the (frozen)
+    power profile and formula flag.
     """
     profile = power_profile or RadioPowerProfile()
     watts = profile.scaled_tx_watts(params.tx_power_dbm)

@@ -1,0 +1,115 @@
+"""Precomputed airtime / TX-energy lookup tables.
+
+Both simulation engines ask the PHY layer for the same handful of
+``(SF, payload size, CR, BW)`` combinations millions of times per run:
+every generated packet needs its airtime for collision overlap, its
+Eq. (6) TX energy for the energy metric, and its attempt energy
+(TX + class-A receive windows) for the battery drain.  The formulas are
+cheap but not free, and they sit on the hottest paths of both engines.
+
+:class:`AirtimeTable` computes each combination exactly once — through
+the canonical :func:`repro.lora.phy.time_on_air` / ``tx_energy``
+functions, so table entries are bit-identical to direct computation —
+and hands out a frozen :class:`AirtimeEntry` per parameter set.  Tables
+are keyed by :class:`~repro.lora.phy.EnergyModel` (frozen, hashable) so
+all nodes sharing a radio model share one table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from .params import SpreadingFactor, TxParams
+from .phy import EnergyModel, time_on_air, tx_energy
+
+
+@dataclass(frozen=True)
+class AirtimeEntry:
+    """Every per-transmission constant derived from one :class:`TxParams`."""
+
+    params: TxParams
+    #: Time on air of one packet, seconds (paper Eq. 7).
+    airtime_s: float
+    #: Eq. (6) energy of the transmission itself, joules.
+    tx_energy_j: float
+    #: Battery cost of one attempt incl. the class-A receive windows.
+    attempt_energy_j: float
+    #: Worst-case single-transmission energy at SF12 (Eq. 15 normalizer).
+    max_tx_energy_j: float
+    #: Receiver sensitivity for the entry's SF/BW pair, dBm.
+    sensitivity_dbm: float
+
+
+@dataclass
+class AirtimeTable:
+    """Lazy per-``TxParams`` cache of airtime and energy constants.
+
+    Entries are computed on first lookup via the memoized PHY functions
+    and then returned by reference; :meth:`prebuild` can warm the table
+    for a payload across all spreading factors up front.
+    """
+
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+    use_datasheet_formula: bool = False
+    _entries: Dict[tuple, AirtimeEntry] = field(
+        default_factory=dict, repr=False
+    )
+
+    def entry(self, params: TxParams) -> AirtimeEntry:
+        """The precomputed constants for ``params`` (built on first use)."""
+        key = params.airtime_key
+        found = self._entries.get(key)
+        if found is None:
+            found = self._build(params)
+            self._entries[key] = found
+        return found
+
+    def prebuild(
+        self,
+        payload_bytes: int,
+        base: Optional[TxParams] = None,
+        spreading_factors: Iterable[SpreadingFactor] = tuple(SpreadingFactor),
+    ) -> None:
+        """Warm the table for one payload size across spreading factors."""
+        template = (base or TxParams()).with_payload(payload_bytes)
+        for sf in spreading_factors:
+            self.entry(template.with_spreading_factor(sf))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _build(self, params: TxParams) -> AirtimeEntry:
+        datasheet = self.use_datasheet_formula
+        profile = self.energy_model.power_profile
+        return AirtimeEntry(
+            params=params,
+            airtime_s=time_on_air(params, use_datasheet_formula=datasheet),
+            tx_energy_j=tx_energy(
+                params, profile, use_datasheet_formula=datasheet
+            ),
+            attempt_energy_j=tx_energy(
+                params, profile, use_datasheet_formula=datasheet
+            )
+            + self.energy_model.rx_window_overhead(),
+            max_tx_energy_j=self.energy_model.max_tx_energy(params),
+            sensitivity_dbm=params.sensitivity_dbm,
+        )
+
+
+#: Process-wide tables, one per energy model, shared by both engines.
+_SHARED_TABLES: Dict[EnergyModel, AirtimeTable] = {}
+
+
+def airtime_table(energy_model: Optional[EnergyModel] = None) -> AirtimeTable:
+    """The shared :class:`AirtimeTable` for ``energy_model``.
+
+    Engines call this instead of constructing private tables so repeated
+    runs (sweeps, benchmarks) reuse the same precomputed entries.
+    """
+    model = energy_model if energy_model is not None else EnergyModel()
+    table = _SHARED_TABLES.get(model)
+    if table is None:
+        table = AirtimeTable(energy_model=model)
+        _SHARED_TABLES[model] = table
+    return table

@@ -134,6 +134,13 @@ class SimulationConfig:
     #: trace); off by default because it discards per-node SoC history
     #: some analyses read back.
     compact_trace: bool = False
+    #: Run the mesoscopic engine through its NumPy fast path: per-batch
+    #: node-state arrays, batched harvest/forecast kernels and the
+    #: batched Algorithm-1 scorer.  Decisions, RNG streams and results
+    #: are equivalent to the scalar sweep (see docs/PERFORMANCE.md);
+    #: False forces the scalar reference path.  Event tracing always
+    #: uses the scalar path regardless of this flag.
+    vectorized: bool = True
 
     # ------------------------------------------------------------ accounting
     #: How often the gateway recomputes and disseminates degradation.

@@ -42,7 +42,7 @@ from ..energy import (
     SoftwareDefinedSwitch,
     SolarModel,
 )
-from ..lora import LogDistanceLink, time_on_air, tx_energy
+from ..lora import LogDistanceLink, airtime_table
 from ..obs import Observability, RunManifest, config_hash, git_revision
 from .config import SimulationConfig
 from .engine import build_forecaster, build_mac
@@ -51,7 +51,7 @@ from .packetlog import PacketLog, PacketRecord
 from .topology import NodePlacement, build_topology
 
 
-@dataclass
+@dataclass(slots=True)
 class WindowEntry:
     """One node's planned transmission inside an absolute window."""
 
@@ -110,10 +110,11 @@ class MesoNode:
         self.config = config
         params = config.tx_params(placement.spreading_factor)
         self.tx_params = params
-        self.airtime_s = time_on_air(params)
         energy_model = config.energy_model()
-        self.tx_energy_j = tx_energy(params, energy_model.power_profile)
-        self.attempt_energy_j = energy_model.tx_attempt_energy(params)
+        phy = airtime_table(energy_model).entry(params)
+        self.airtime_s = phy.airtime_s
+        self.tx_energy_j = phy.tx_energy_j
+        self.attempt_energy_j = phy.attempt_energy_j
         self.sleep_watts = energy_model.power_profile.sleep_watts
         capacity = config.battery_capacity_j(placement.spreading_factor)
         self.battery = Battery(
@@ -432,69 +433,14 @@ class MesoscopicSimulator:
             )
 
         with self.obs.profiler.phase("run"):
-            # Global chronological sweep: a heap of period starts plus
-            # deferred window resolutions.
-            PERIOD, RESOLVE = 0, 1
-            heap: List[Tuple[float, int, int, int]] = []
-            # (time, kind, tiebreak, payload) payload: node_id or window idx
-            seq = 0
-            for node in self.nodes.values():
-                heapq.heappush(
-                    heap,
-                    (node.placement.start_offset_s, PERIOD, seq, node.node_id),
-                )
-                seq += 1
-            self._peak_heap = len(heap)
+            # Tracing needs the scalar path's per-call emission points;
+            # the vectorized sweep only runs with the trace bus off.
+            if config.vectorized and self._trace is None:
+                from .mesoscopic_vec import run_sweep
 
-            pending_windows: Dict[int, List[WindowEntry]] = {}
-            monthly: List[MonthlySample] = []
-            next_refresh = config.dissemination_interval_s
-            month_s = SECONDS_PER_YEAR / 12.0
-            next_month = month_s
-            month_index = 0
-
-            while heap and heap[0][0] <= duration:
-                time_s, kind, _, payload = heapq.heappop(heap)
-                self._events_executed += 1
-
-                while next_refresh <= time_s:
-                    self._refresh_degradation(next_refresh)
-                    next_refresh += config.dissemination_interval_s
-                while next_month <= time_s:
-                    month_index += 1
-                    values = [
-                        n.metrics.degradation for n in self.nodes.values()
-                    ]
-                    monthly.append(
-                        MonthlySample(
-                            month=month_index,
-                            max_degradation=max(values),
-                            mean_degradation=sum(values) / len(values),
-                        )
-                    )
-                    next_month += month_s
-
-                if kind == PERIOD:
-                    node = self.nodes[payload]
-                    self._start_period(node, time_s, pending_windows, heap, seq)
-                    seq += 1
-                    next_start = time_s + node.placement.period_s
-                    if next_start <= duration:
-                        heapq.heappush(
-                            heap, (next_start, PERIOD, seq, node.node_id)
-                        )
-                        seq += 1
-                else:  # RESOLVE at the end of absolute window `payload`
-                    entries = pending_windows.pop(payload, [])
-                    if entries:
-                        self._resolve(entries, payload, window_s)
-                if len(heap) > self._peak_heap:
-                    self._peak_heap = len(heap)
-
-            # Flush any windows scheduled past the horizon.
-            for window_index, entries in sorted(pending_windows.items()):
-                self._resolve(entries, window_index, window_s)
-
+                monthly = run_sweep(self)
+            else:
+                monthly = self._run_sweep()
         with self.obs.profiler.phase("finalize"):
             self._finalize(duration)
             linear_rates = {}
@@ -531,6 +477,81 @@ class MesoscopicSimulator:
             manifest=manifest,
             obs=self.obs,
         )
+
+    def _run_sweep(self) -> List[MonthlySample]:
+        """The scalar reference sweep: one heap event at a time.
+
+        The vectorized sweep in :mod:`repro.sim.mesoscopic_vec` batches
+        the same event stream; this path stays as the bit-level
+        reference (and the only path when tracing is on).
+        """
+        config = self.config
+        window_s = config.window_s
+        duration = config.duration_s
+
+        # Global chronological sweep: a heap of period starts plus
+        # deferred window resolutions.
+        PERIOD, RESOLVE = 0, 1
+        heap: List[Tuple[float, int, int, int]] = []
+        # (time, kind, tiebreak, payload) payload: node_id or window idx
+        seq = 0
+        for node in self.nodes.values():
+            heapq.heappush(
+                heap,
+                (node.placement.start_offset_s, PERIOD, seq, node.node_id),
+            )
+            seq += 1
+        self._peak_heap = len(heap)
+
+        pending_windows: Dict[int, List[WindowEntry]] = {}
+        monthly: List[MonthlySample] = []
+        next_refresh = config.dissemination_interval_s
+        month_s = SECONDS_PER_YEAR / 12.0
+        next_month = month_s
+        month_index = 0
+
+        while heap and heap[0][0] <= duration:
+            time_s, kind, _, payload = heapq.heappop(heap)
+            self._events_executed += 1
+
+            while next_refresh <= time_s:
+                self._refresh_degradation(next_refresh)
+                next_refresh += config.dissemination_interval_s
+            while next_month <= time_s:
+                month_index += 1
+                values = [
+                    n.metrics.degradation for n in self.nodes.values()
+                ]
+                monthly.append(
+                    MonthlySample(
+                        month=month_index,
+                        max_degradation=max(values),
+                        mean_degradation=sum(values) / len(values),
+                    )
+                )
+                next_month += month_s
+
+            if kind == PERIOD:
+                node = self.nodes[payload]
+                self._start_period(node, time_s, pending_windows, heap, seq)
+                seq += 1
+                next_start = time_s + node.placement.period_s
+                if next_start <= duration:
+                    heapq.heappush(
+                        heap, (next_start, PERIOD, seq, node.node_id)
+                    )
+                    seq += 1
+            else:  # RESOLVE at the end of absolute window `payload`
+                entries = pending_windows.pop(payload, [])
+                if entries:
+                    self._resolve(entries, payload, window_s)
+            if len(heap) > self._peak_heap:
+                self._peak_heap = len(heap)
+
+        # Flush any windows scheduled past the horizon.
+        for window_index, entries in sorted(pending_windows.items()):
+            self._resolve(entries, window_index, window_s)
+        return monthly
 
     def _build_manifest(self) -> RunManifest:
         config = self.config

@@ -1,0 +1,858 @@
+"""Vectorized fast path for the mesoscopic simulator.
+
+The scalar sweep in :mod:`repro.sim.mesoscopic` pops one heap event at a
+time and, per node, walks Python loops for harvest evaluation, SoC
+settling and Algorithm-1 scoring.  This module executes the *same* event
+stream with three batched kernels:
+
+* **Cohort period starts** — sampling periods are whole minutes and
+  synchronized deployments share exact float period-start timestamps, so
+  all PERIOD events at one instant are popped together and settled,
+  forecast and scored as arrays.  A PERIOD event never enqueues another
+  event at its own timestamp (resolutions and next periods land strictly
+  later), so the batch pop sees exactly the events the scalar loop would.
+* **Batched settling** — chunk plans for a whole batch are evaluated
+  through one shared :meth:`SolarModel.power_watts_batch` call plus
+  per-node shading gathers; the switch/battery arithmetic is applied
+  with the exact scalar operation order (see ``_apply_chunks``).
+* **Batched Algorithm 1** — :func:`repro.core.mac.batch_choose_windows`
+  scores a node × window matrix per period-length cohort.
+
+Equivalence with the scalar path is structural, not approximate: every
+random draw comes from the same generator in the same order, and every
+float operation follows the scalar operand order (the shared-RNG window
+resolver is reused verbatim for contended windows).  The scalar sweep
+remains the reference; ``SimulationConfig.vectorized=False`` or enabling
+tracing selects it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..constants import SECONDS_PER_YEAR
+from ..core.mac import batch_choose_windows
+from ..exceptions import ConfigurationError
+from .mesoscopic import (
+    MesoNode,
+    MonthlySample,
+    WindowEntry,
+    WindowOutcome,
+    resolve_window,
+)
+from .packetlog import PacketRecord
+
+
+class _FastDecision:
+    """Minimal stand-in for :class:`WindowDecision` in window entries.
+
+    Resolution only reads ``decision.utility``; carrying the single
+    float avoids materializing the per-window score lists the batch
+    scorer already holds as matrices.
+    """
+
+    __slots__ = ("utility",)
+
+    def __init__(self, utility: float) -> None:
+        self.utility = utility
+
+
+# --------------------------------------------------------------- settling
+
+
+def _settle_items(
+    items: Sequence[Tuple[MesoNode, float, float]],
+    shared_solar,
+    chunk_s: float,
+) -> List[float]:
+    """Settle ``(node, time, extra_demand)`` items; returns shortfalls.
+
+    Chunk plans for every item are laid out first, the shared solar
+    power is evaluated once for all chunk midpoints, then each node's
+    chunks are applied with the scalar switch/battery arithmetic.
+    Cross-node work is order-independent (each node only touches its own
+    battery/harvester state), so batching preserves scalar results as
+    long as one node appears at most once per call.
+    """
+    plans = []
+    mids_all: List[float] = []
+    for node, now_s, extra in items:
+        now_s = max(now_s, node.settled_until_s)
+        cursor = node.settled_until_s
+        ends: List[float] = []
+        durations: List[float] = []
+        while cursor < now_s - 1e-9:
+            chunk_end = min(now_s, cursor + chunk_s)
+            duration = chunk_end - cursor
+            ends.append(chunk_end)
+            durations.append(duration)
+            mids_all.append(cursor + duration / 2.0)
+            cursor = chunk_end
+        plans.append((node, now_s, extra, ends, durations))
+    if mids_all:
+        mids_arr = np.array(mids_all)
+        solar_all = shared_solar.power_watts_batch(mids_arr)
+        # One shading gather per node into a shared buffer, then a
+        # single (solar × shading) × η expression for the whole batch
+        # — elementwise identical to Harvester.power_watts per chunk.
+        shade_all = np.empty(mids_arr.size)
+        first = items[0][0].harvester
+        if first.shading_sigma == 0.0:
+            shade_all.fill(1.0)
+        else:
+            grid = np.floor_divide(mids_arr, first.shading_step_s).astype(
+                np.int64
+            )
+            pos = 0
+            for node, _, _, ends, _ in plans:
+                count = len(ends)
+                if count:
+                    harvester = node.harvester
+                    idx = grid[pos : pos + count]
+                    harvester._ensure_shading(int(idx[0]), int(idx[-1]))
+                    shade_all[pos : pos + count] = harvester._shade_arr[
+                        idx - harvester._shade_base
+                    ]
+                    pos += count
+        powers_all = ((solar_all * shade_all) * first.efficiency).tolist()
+    pos = 0
+    shortfalls: List[float] = []
+    for node, now_s, extra, ends, durations in plans:
+        count = len(ends)
+        if count:
+            shortfall = _apply_chunks(
+                node, ends, durations, powers_all[pos : pos + count], extra
+            )
+            pos += count
+        else:
+            shortfall = 0.0
+            if extra > 0:
+                # Settling to the same instant: apply the demand directly
+                # (the switch's deficit branch with zero harvest).
+                battery = node.battery
+                used = min(extra, battery.stored_j)
+                shortfall = extra - used
+                battery.stored_j = max(0.0, battery.stored_j - used)
+                _advance(battery, node.settled_until_s)
+        node.settled_until_s = max(node.settled_until_s, now_s)
+        shortfalls.append(shortfall)
+    return shortfalls
+
+
+def _advance(battery, now_s: float) -> None:
+    """Inline of ``Battery._advance`` (monotonicity holds by schedule)."""
+    battery._now_s = now_s
+    soc = battery.stored_j / battery.capacity_j
+    battery.trace.append(now_s, soc)
+    if battery._incremental is not None:
+        battery._incremental.push(min(soc, 1.0))
+
+
+def _apply_chunks(
+    node: MesoNode,
+    ends: List[float],
+    durations: List[float],
+    powers: List[float],
+    extra: float,
+) -> float:
+    """Apply settle chunks with the exact scalar switch/battery ops.
+
+    Reproduces ``SoftwareDefinedSwitch.apply_window`` plus
+    ``Battery.charge``/``discharge``/``settle`` per chunk, bit for bit:
+    same min/max/accumulation order, the extra (transmission) demand
+    added to the final chunk only.  Settles span at most a sampling
+    period (~a dozen chunks), so the recurrence stays a plain float
+    loop; the per-sample trace and rainflow bookkeeping is handed off
+    in one run-merging batch per settle instead of one call per chunk.
+    The charge limit is hoisted — degradation is constant between
+    refreshes, so ``min(current_max, θ·capacity)`` is loop-invariant.
+    """
+    battery = node.battery
+    capacity = battery.capacity_j
+    sleep = node.sleep_watts
+    limit_j = min(battery.current_max_capacity_j, node.switch.soc_cap * capacity)
+    stored = battery.stored_j
+    shortfall = 0.0
+    # Trace/rainflow state, inlined from SocTrace.append and
+    # StreamingRainflow.push so one loop handles the chunk recurrence
+    # and both per-sample bookkeeping machines (the semantics are the
+    # batch-API ones of ``extend_batch``, sample for sample).
+    trace = battery.trace
+    ts, ss = trace.times, trace.socs
+    prev_t, prev_c = trace._last_time, trace._last_soc
+    integral = trace._weighted_integral
+    if prev_t is not None and ends[0] < prev_t:
+        raise ConfigurationError("trace times must be non-decreasing")
+    if trace._start_time is None:
+        trace._start_time = ends[0]
+    incremental = battery._incremental
+    stream = incremental._stream if incremental is not None else None
+    last = len(ends) - 1
+    for i in range(last + 1):
+        duration = durations[i]
+        harvested = powers[i] * duration
+        demand = sleep * duration
+        if i == last:
+            demand += extra
+        # min/max spelled as conditionals (same values, fewer calls).
+        green_used = demand if demand < harvested else harvested
+        surplus = harvested - green_used
+        deficit = demand - green_used
+        if surplus > 0.0:
+            room = limit_j - stored
+            accepted = room if room < surplus else surplus
+            if accepted > 0.0:
+                stored += accepted
+        elif deficit > 0.0:
+            used = stored if stored < deficit else deficit
+            shortfall += deficit - used
+            stored -= used
+            if stored < 0.0:
+                stored = 0.0
+        soc = stored / capacity
+        if not 0.0 <= soc <= 1.0 + 1e-9:
+            raise ConfigurationError(f"SoC {soc} outside [0, 1]")
+        clamped = soc if soc <= 1.0 else 1.0
+        t = ends[i]
+        if prev_t is not None:
+            integral += (t - prev_t) * (clamped + prev_c) / 2.0
+        prev_t, prev_c = t, clamped
+        if len(ss) >= 2:
+            prev, tail_s = ss[-2], ss[-1]
+            if tail_s > prev:
+                cont = clamped >= tail_s
+            elif tail_s < prev:
+                cont = clamped <= tail_s
+            else:
+                cont = clamped == tail_s
+        else:
+            cont = False
+        if cont:
+            ts[-1] = t
+            ss[-1] = clamped
+        else:
+            ts.append(t)
+            ss.append(clamped)
+        if stream is not None:
+            tail = stream._tail
+            if tail is None or not stream._have_prev:
+                stream.push(clamped)
+            elif clamped != tail:
+                if (clamped > tail) == (tail > stream._prev):
+                    stream._tail = clamped
+                else:
+                    stream.push(clamped)
+    trace._weighted_integral = integral
+    trace._last_time = prev_t
+    trace._last_soc = prev_c
+    battery.stored_j = stored
+    battery._now_s = ends[last]
+    return shortfall
+
+
+# ------------------------------------------------------------ period starts
+
+
+def _start_period_batch(
+    sim,
+    batch: List[MesoNode],
+    now_s: float,
+    pending_windows: Dict[int, List[WindowEntry]],
+    heap: List,
+    seq: int,
+    shared_solar,
+    duration: float,
+) -> int:
+    """Process all PERIOD events sharing one timestamp; returns new seq.
+
+    Stages (settle → forecast → decide → bookkeeping) run batch-wide,
+    but per-node effects happen in batch order — the scalar pop order —
+    so window-bucket append order, heap sequence numbers and every
+    per-node RNG stream match the scalar sweep exactly.
+    """
+    config = sim.config
+    window_s = config.window_s
+    _settle_items(
+        [(node, now_s, 0.0) for node in batch], shared_solar, window_s * 5.0
+    )
+    for node in batch:
+        node.metrics.record_generated()
+
+    counts = [node.windows_per_period for node in batch]
+    if config.use_window_selection:
+        max_count = max(counts)
+        mids = (now_s + np.arange(max_count) * window_s) + window_s / 2.0
+        solar_powers = shared_solar.power_watts_batch(mids)
+        if config.forecaster == "oracle":
+            # Oracle forecasts are the harvester's true energies; the
+            # whole cohort shares the solar vector, so only the per-node
+            # shading gather remains before one matrix product with the
+            # exact ``((solar × shading) × η) × window`` operand order of
+            # ``window_energies_batch``.
+            first = batch[0].harvester
+            shade = np.ones((len(batch), max_count))
+            if first.shading_sigma != 0.0:
+                grid = np.floor_divide(mids, first.shading_step_s).astype(
+                    np.int64
+                )
+                for i, node in enumerate(batch):
+                    harvester = node.harvester
+                    count = counts[i]
+                    harvester._ensure_shading(int(grid[0]), int(grid[count - 1]))
+                    shade[i, :count] = harvester._shade_arr[
+                        grid[:count] - harvester._shade_base
+                    ]
+            energies = (
+                (solar_powers[None, :] * shade) * first.efficiency
+            ) * window_s
+            forecasts = [energies[i, : counts[i]] for i in range(len(batch))]
+        else:
+            forecasts = [
+                node.forecaster.forecast_batch(
+                    now_s, window_s, count, solar_powers=solar_powers[:count]
+                )
+                for node, count in zip(batch, counts)
+            ]
+        # Score per period-length cohort: rows of one matrix share |T|.
+        decisions: Dict[int, Tuple[bool, int, float]] = {}
+        groups: Dict[int, List[int]] = {}
+        for i, count in enumerate(counts):
+            groups.setdefault(count, []).append(i)
+        for count, indices in groups.items():
+            result = batch_choose_windows(
+                [batch[i].mac for i in indices],
+                np.array([batch[i].battery.stored_j for i in indices]),
+                np.stack([forecasts[i] for i in indices]),
+                [batch[i].attempt_energy_j for i in indices],
+                now_s,
+            )
+            utilities = result.chosen_utilities()
+            for row, i in enumerate(indices):
+                decisions[i] = (
+                    bool(result.success[row]),
+                    int(result.window_index[row]),
+                    float(utilities[row]),
+                )
+    else:
+        # ALOHA / threshold-only: window 0, always "scheduled"; the
+        # linear utility of window 0 is exactly 1.0 for any |T|, and the
+        # forecast is not consulted (no estimator/RNG side effects).
+        decisions = {i: (True, 0, 1.0) for i in range(len(batch))}
+
+    remaining = len(batch)
+    for i, node in enumerate(batch):
+        success, window_index, utility = decisions[i]
+        if not success:
+            node.metrics.record_failure(0, 0.0, energy_drop=True)
+            if sim.packet_log is not None:
+                sim.packet_log.append(
+                    PacketRecord(
+                        node_id=node.node_id,
+                        generated_at_s=now_s,
+                        window_index=-1,
+                        attempts=0,
+                        delivered=False,
+                        latency_s=node.placement.period_s,
+                        utility=0.0,
+                        energy_drop=True,
+                    )
+                )
+        else:
+            node.metrics.record_window(window_index)
+            tx_time = now_s + window_index * window_s
+            absolute_window = int(tx_time // window_s)
+            entry = WindowEntry(
+                node=node,
+                immediate=not config.use_window_selection,
+                window_index_in_period=window_index,
+                period_start_s=now_s,
+                decision=_FastDecision(utility),
+                offset_in_window_s=tx_time - absolute_window * window_s,
+            )
+            bucket = pending_windows.setdefault(absolute_window, [])
+            bucket.append(entry)
+            if len(bucket) == 1:
+                resolve_time = (absolute_window + 1) * window_s
+                heapq.heappush(heap, (resolve_time, 1, seq, absolute_window))
+        seq += 1
+        next_start = now_s + node.placement.period_s
+        if next_start <= duration:
+            heapq.heappush(heap, (next_start, 0, seq, node.node_id))
+            seq += 1
+        # The scalar loop checks the peak after each event; at that point
+        # the still-unprocessed cohort events would sit in its heap.
+        remaining -= 1
+        virtual_depth = len(heap) + remaining
+        if virtual_depth > sim._peak_heap:
+            sim._peak_heap = virtual_depth
+    return seq
+
+
+# --------------------------------------------------------------- resolution
+
+
+def _resolve_single(entry: WindowEntry, window_s: float, config, rng) -> WindowOutcome:
+    """Resolve an uncontended window without the pairwise machinery.
+
+    Draw-for-draw identical to :func:`resolve_window` with one entry: a
+    lone attempt succeeds iff any gateway hears the node above
+    sensitivity (no interferers, and ω ≥ 1 always admits one signal);
+    an out-of-range node burns its full retry budget, consuming the
+    same backoff/channel draws.
+    """
+    node = entry.node
+    airtime = node.airtime_s
+    if entry.immediate:
+        offset = entry.offset_in_window_s
+    else:
+        offset = rng.uniform(0.0, max(1e-6, window_s - airtime))
+    rng.randrange(config.channel_count)
+    end = offset + airtime
+    if node.rssi_dbm >= node.sensitivity_dbm:
+        return WindowOutcome(attempts=1, success=True, finish_offset_s=end)
+    for _ in range(config.max_retransmissions):
+        backoff = 2.0 + rng.uniform(1.0, 3.0)
+        rng.randrange(config.channel_count)
+        end = (end + backoff) + airtime
+    return WindowOutcome(
+        attempts=config.max_retransmissions + 1,
+        success=False,
+        finish_offset_s=end,
+    )
+
+
+def _node_rssi_lin_mw(node: MesoNode) -> List[float]:
+    """Per-gateway received power in mW, cached on the node.
+
+    ``10 ** (rssi / 10)`` is a pure function of the static per-gateway
+    RSSI, so precomputing it yields bit-identical interference sums.
+    """
+    lin = getattr(node, "_rssi_lin_mw", None)
+    if lin is None:
+        lin = [10.0 ** (r / 10.0) for r in node.rssi_by_gateway]
+        node._rssi_lin_mw = lin
+    return lin
+
+
+def _resolve_window_vec(
+    entries: List[WindowEntry],
+    window_s: float,
+    channel_count: int,
+    omega: int,
+    max_retransmissions: int,
+    rng,
+    capture_threshold_db: float = 6.0,
+) -> Dict[int, WindowOutcome]:
+    """Array twin of :func:`resolve_window` (same draws, same bits).
+
+    The scalar resolver interleaves no randomness with its pairwise
+    scans: all round-0 offsets/channels are drawn first (entry order) and
+    retry backoffs are drawn per round (start-sorted order), so the
+    draws can be replicated verbatim while the O(batch × universe)
+    overlap/concurrency scan runs as a boolean matrix.  Attempts that see
+    co-channel interference drop to the exact scalar accumulation — the
+    interference sum and capture test are order-sensitive float math —
+    but those are the minority even in contended windows thanks to the
+    channel draw spreading colliders across ``channel_count`` channels.
+
+    Callers must ensure entries reference distinct nodes and identical
+    gateway counts; :func:`_resolve_batch` checks both.
+    """
+    k = len(entries)
+    nodes = [entry.node for entry in entries]
+    gateways = len(nodes[0].rssi_by_gateway)
+    airtimes = [node.airtime_s for node in nodes]
+    sfs_arr = np.array([node.tx_params.spreading_factor for node in nodes])
+    in_range = np.array(
+        [node.rssi_dbm >= node.sensitivity_dbm for node in nodes]
+    )
+    lin_mw = [_node_rssi_lin_mw(node) for node in nodes]
+
+    # Round-0 draws, exactly as the scalar entry loop makes them.
+    starts0 = np.empty(k)
+    chans0 = np.empty(k, dtype=np.int64)
+    for i, entry in enumerate(entries):
+        if entry.immediate:
+            starts0[i] = entry.offset_in_window_s
+        else:
+            starts0[i] = rng.uniform(0.0, max(1e-6, window_s - airtimes[i]))
+        chans0[i] = rng.randrange(channel_count)
+
+    pend_starts = starts0
+    pend_ends = starts0 + np.array(airtimes)
+    pend_chans = chans0
+    pend_entry = np.arange(k)
+    pend_att = np.zeros(k, dtype=np.int64)
+
+    # Universe of already-resolved attempts, in scalar emission order.
+    res_starts: List[float] = []
+    res_ends: List[float] = []
+    res_chans: List[int] = []
+    res_entry: List[int] = []
+    per_entry_items: List[List[Tuple[int, float, bool]]] = [[] for _ in range(k)]
+
+    while pend_starts.size:
+        order = np.argsort(pend_starts, kind="stable")
+        b_starts = pend_starts[order]
+        b_ends = pend_ends[order]
+        b_chans = pend_chans[order]
+        b_entry = pend_entry[order]
+        b_att = pend_att[order]
+        kb = b_starts.size
+        nres = len(res_starts)
+        if nres:
+            u_starts = np.concatenate([res_starts, b_starts])
+            u_ends = np.concatenate([res_ends, b_ends])
+            u_chans = np.concatenate([res_chans, b_chans])
+            u_entry_arr = np.concatenate([res_entry, b_entry])
+        else:
+            u_starts, u_ends, u_chans, u_entry_arr = (
+                b_starts,
+                b_ends,
+                b_chans,
+                b_entry,
+            )
+        u_sfs = sfs_arr[u_entry_arr]
+
+        overlap = (b_starts[:, None] < u_ends[None, :]) & (
+            u_starts[None, :] < b_ends[:, None]
+        )
+        overlap[np.arange(kb), nres + np.arange(kb)] = False
+        concurrent = overlap.sum(axis=1)
+        same = (
+            overlap
+            & (u_chans[None, :] == b_chans[:, None])
+            & (u_sfs[None, :] == sfs_arr[b_entry][:, None])
+        )
+        icount = same.sum(axis=1)
+        free = concurrent + 1 <= omega
+        ok = free & in_range[b_entry] & (icount == 0)
+        # Interfered attempts fall back to the scalar per-gateway sums so
+        # the mW accumulation and capture check keep their operand order.
+        for i in np.nonzero(free & (icount > 0))[0]:
+            node = nodes[b_entry[i]]
+            mw = [0.0] * gateways
+            for u in np.nonzero(same[i])[0]:
+                other_lin = lin_mw[u_entry_arr[u]]
+                for g in range(gateways):
+                    mw[g] += other_lin[g]
+            hit = False
+            sens = node.sensitivity_dbm
+            rssi_list = node.rssi_by_gateway
+            for g in range(gateways):
+                rssi = rssi_list[g]
+                if rssi < sens:
+                    continue
+                if mw[g] == 0.0:
+                    hit = True
+                    break
+                if rssi - 10.0 * math.log10(mw[g]) >= capture_threshold_db:
+                    hit = True
+                    break
+            ok[i] = hit
+
+        if not res_starts and ok.all():
+            # Every round-0 attempt got through: emit outcomes straight
+            # from the draw arrays, skipping the retry/aggregation
+            # machinery (finish = each attempt's own end).
+            ends0 = pend_ends.tolist()
+            return {
+                nodes[e].node_id: WindowOutcome(
+                    attempts=1, success=True, finish_offset_s=ends0[e]
+                )
+                for e in range(k)
+            }
+
+        res_starts.extend(b_starts.tolist())
+        res_ends.extend(b_ends.tolist())
+        res_chans.extend(b_chans.tolist())
+        res_entry.extend(b_entry.tolist())
+        b_ends_list = b_ends.tolist()
+        for i in range(kb):
+            per_entry_items[b_entry[i]].append(
+                (int(b_att[i]), b_ends_list[i], bool(ok[i]))
+            )
+
+        # Retry draws follow the scalar order: failures in batch order.
+        new_starts: List[float] = []
+        new_ends: List[float] = []
+        new_chans: List[int] = []
+        new_entry: List[int] = []
+        new_att: List[int] = []
+        for i in np.nonzero(~ok)[0]:
+            att = int(b_att[i])
+            if att >= max_retransmissions:
+                continue
+            backoff = 2.0 + rng.uniform(1.0, 3.0)
+            chan = rng.randrange(channel_count)
+            e = int(b_entry[i])
+            start = b_ends_list[i] + backoff
+            new_starts.append(start)
+            new_ends.append(start + airtimes[e])
+            new_chans.append(chan)
+            new_entry.append(e)
+            new_att.append(att + 1)
+        pend_starts = np.array(new_starts)
+        pend_ends = np.array(new_ends)
+        pend_chans = np.array(new_chans, dtype=np.int64)
+        pend_entry = np.array(new_entry, dtype=np.int64)
+        pend_att = np.array(new_att, dtype=np.int64)
+
+    outcomes: Dict[int, WindowOutcome] = {}
+    for e in range(k):
+        items = per_entry_items[e]  # already attempt_no-ascending
+        attempts_used = 0
+        success = False
+        finish = items[-1][1]
+        for att, end_s, hit in items:
+            attempts_used = att + 1
+            if hit:
+                success = True
+                finish = end_s
+                break
+        outcomes[nodes[e].node_id] = WindowOutcome(
+            attempts=attempts_used, success=success, finish_offset_s=finish
+        )
+    return outcomes
+
+
+def _resolve_batch(
+    sim,
+    entries: List[WindowEntry],
+    window_index: int,
+    window_s: float,
+    shared_solar,
+) -> None:
+    """Vectorized twin of ``MesoscopicSimulator._resolve``.
+
+    Contended windows reuse the scalar :func:`resolve_window` (shared
+    RNG, identical draws); uncontended ones take the single-entry fast
+    path.  Settles are planned through the batched kernel, then
+    per-entry bookkeeping follows the scalar order.
+    """
+    node_ids = [entry.node.node_id for entry in entries]
+    if len(set(node_ids)) != len(node_ids):
+        # A node transmitting twice in one absolute window would make
+        # the precomputed settle plan see stale state; defer to the
+        # scalar path (same RNG consumption either way).
+        sim._resolve(entries, window_index, window_s)
+        return
+    config = sim.config
+    if len(entries) == 1:
+        outcomes = {
+            node_ids[0]: _resolve_single(entries[0], window_s, config, sim.rng)
+        }
+    else:
+        gateway_counts = {len(entry.node.rssi_by_gateway) for entry in entries}
+        resolver = (
+            _resolve_window_vec if len(gateway_counts) == 1 else resolve_window
+        )
+        outcomes = resolver(
+            entries,
+            window_s=window_s,
+            channel_count=config.channel_count,
+            omega=config.omega,
+            max_retransmissions=config.max_retransmissions,
+            rng=sim.rng,
+        )
+    window_start = window_index * window_s
+    observe = config.forecaster == "persistence"
+    items = []
+    for entry in entries:
+        outcome = outcomes[entry.node.node_id]
+        demand = outcome.attempts * entry.node.attempt_energy_j
+        settle_time = max(
+            window_start + outcome.finish_offset_s, entry.node.settled_until_s
+        )
+        items.append((entry.node, settle_time, demand))
+    shortfalls = _settle_items(items, shared_solar, window_s * 5.0)
+    for entry, (node, _, demand), shortfall in zip(entries, items, shortfalls):
+        outcome = outcomes[node.node_id]
+        decision = entry.decision
+        if shortfall > demand * 0.5:
+            # The battery could not fund the attempts: brown-out.
+            node.metrics.record_failure(
+                retransmissions=outcome.attempts - 1,
+                tx_energy_j=0.0,
+                energy_drop=True,
+            )
+            if sim.packet_log is not None:
+                sim.packet_log.append(
+                    PacketRecord(
+                        node_id=node.node_id,
+                        generated_at_s=entry.period_start_s,
+                        window_index=entry.window_index_in_period,
+                        attempts=0,
+                        delivered=False,
+                        latency_s=node.placement.period_s,
+                        utility=0.0,
+                        energy_drop=True,
+                    )
+                )
+            node.mac.observe_result(
+                entry.window_index_in_period,
+                min(outcome.attempts - 1, config.max_retransmissions),
+                demand,
+            )
+            continue
+        tx_metric = outcome.attempts * node.tx_energy_j
+        retx = outcome.attempts - 1
+        if outcome.success:
+            latency = max(
+                node.airtime_s + sim.ACK_DELAY_S,
+                (window_start - entry.period_start_s)
+                + outcome.finish_offset_s
+                + sim.ACK_DELAY_S,
+            )
+            node.metrics.record_delivery(
+                retransmissions=retx,
+                tx_energy_j=tx_metric,
+                utility=decision.utility,
+                latency_s=latency,
+            )
+        else:
+            node.metrics.record_failure(
+                retransmissions=retx, tx_energy_j=tx_metric
+            )
+        node.mac.observe_result(entry.window_index_in_period, retx, demand)
+        if sim.packet_log is not None:
+            sim.packet_log.append(
+                PacketRecord(
+                    node_id=node.node_id,
+                    generated_at_s=entry.period_start_s,
+                    window_index=entry.window_index_in_period,
+                    attempts=outcome.attempts,
+                    delivered=outcome.success,
+                    latency_s=latency
+                    if outcome.success
+                    else node.placement.period_s,
+                    utility=decision.utility if outcome.success else 0.0,
+                    energy_drop=False,
+                )
+            )
+        if observe:
+            # Only the persistence forecaster learns from observe();
+            # oracle and noisy no-op, and ``window_energy_j`` is a pure
+            # function (its caches are value-deterministic), so skipping
+            # the feedback entirely is observationally equivalent.
+            node.forecaster.observe(
+                window_start,
+                window_s,
+                node.harvester.window_energy_j(window_start, window_s),
+            )
+
+
+# ------------------------------------------------------------------- sweep
+
+
+def _refresh_batch(sim, now_s: float, shared_solar) -> None:
+    """Batched twin of ``MesoscopicSimulator._refresh_degradation``."""
+    started = time.perf_counter()
+    compact = sim.config.compact_trace
+    nodes = list(sim.nodes.values())
+    _settle_items(
+        [(node, now_s, 0.0) for node in nodes],
+        shared_solar,
+        sim.config.window_s * 5.0,
+    )
+    for node in nodes:
+        degradation = node.battery.refresh_degradation()
+        if compact:
+            node.battery.trace.compact_tail()
+        node.metrics.degradation = degradation
+        breakdown = node.battery.last_breakdown
+        if breakdown is not None:
+            node.metrics.cycle_aging = breakdown.cycle
+            node.metrics.calendar_aging = breakdown.calendar
+        sim.service.set_degradation(node.node_id, degradation)
+    for node in nodes:
+        node.mac.set_normalized_degradation(
+            sim.service.normalized_degradation(node.node_id)
+        )
+    sim._record_refresh_wall(now_s, time.perf_counter() - started)
+
+
+def run_sweep(sim) -> List[MonthlySample]:
+    """Execute the full event sweep through the vectorized kernels.
+
+    Produces the same metrics, packet log, degradation refreshes and
+    heap accounting as ``MesoscopicSimulator._run_sweep``.
+    """
+    config = sim.config
+    window_s = config.window_s
+    duration = config.duration_s
+    nodes = sim.nodes
+    shared_solar = next(iter(nodes.values())).harvester.solar
+
+    PERIOD = 0
+    heap: List[Tuple[float, int, int, int]] = []
+    seq = 0
+    for node in nodes.values():
+        heapq.heappush(
+            heap, (node.placement.start_offset_s, PERIOD, seq, node.node_id)
+        )
+        seq += 1
+    sim._peak_heap = len(heap)
+
+    pending_windows: Dict[int, List[WindowEntry]] = {}
+    monthly: List[MonthlySample] = []
+    next_refresh = config.dissemination_interval_s
+    month_s = SECONDS_PER_YEAR / 12.0
+    next_month = month_s
+    month_index = 0
+
+    while heap and heap[0][0] <= duration:
+        time_s, kind, _, payload = heapq.heappop(heap)
+        sim._events_executed += 1
+
+        while next_refresh <= time_s:
+            _refresh_batch(sim, next_refresh, shared_solar)
+            next_refresh += config.dissemination_interval_s
+        while next_month <= time_s:
+            month_index += 1
+            values = [n.metrics.degradation for n in nodes.values()]
+            monthly.append(
+                MonthlySample(
+                    month=month_index,
+                    max_degradation=max(values),
+                    mean_degradation=sum(values) / len(values),
+                )
+            )
+            next_month += month_s
+
+        if kind == PERIOD:
+            # Pop the whole same-instant cohort: processing a PERIOD
+            # event never enqueues another event at its own timestamp,
+            # so these are exactly the events the scalar loop would pop
+            # consecutively (time equal, kind equal, seq ascending).
+            batch = [nodes[payload]]
+            while heap and heap[0][0] == time_s and heap[0][1] == PERIOD:
+                _, _, _, other = heapq.heappop(heap)
+                sim._events_executed += 1
+                batch.append(nodes[other])
+            seq = _start_period_batch(
+                sim,
+                batch,
+                time_s,
+                pending_windows,
+                heap,
+                seq,
+                shared_solar,
+                duration,
+            )
+        else:  # RESOLVE at the end of absolute window `payload`
+            entries = pending_windows.pop(payload, [])
+            if entries:
+                _resolve_batch(sim, entries, payload, window_s, shared_solar)
+            if len(heap) > sim._peak_heap:
+                sim._peak_heap = len(heap)
+
+    # Flush any windows scheduled past the horizon.
+    for window_index, entries in sorted(pending_windows.items()):
+        _resolve_batch(sim, entries, window_index, window_s, shared_solar)
+    return monthly

@@ -24,7 +24,7 @@ from ..core import (
 )
 from ..energy import EnergyForecaster, Harvester, SoftwareDefinedSwitch
 from ..exceptions import ConfigurationError, InvariantError
-from ..lora import ChannelHopper, EnergyModel, TxParams, time_on_air, tx_energy
+from ..lora import ChannelHopper, EnergyModel, TxParams, airtime_table
 from .metrics import NodeMetrics
 from .packetlog import PacketLog, PacketRecord
 from .topology import NodePlacement
@@ -88,11 +88,16 @@ class EndDevice:
         #: until one actually arrives on a received ACK.
         self.needs_weight_refresh = False
 
-        self.airtime_s = time_on_air(tx_params)
+        # PHY constants come from the process-wide precomputed table;
+        # entries are built through the same time_on_air/tx_energy
+        # functions, so the values are bit-identical to direct calls.
+        self._airtime_table = airtime_table(self.energy_model)
+        entry = self._airtime_table.entry(tx_params)
+        self.airtime_s = entry.airtime_s
         #: Eq. (6) energy of one attempt (the TX-energy metric's unit).
-        self.tx_energy_j = tx_energy(tx_params, self.energy_model.power_profile)
+        self.tx_energy_j = entry.tx_energy_j
         #: Battery cost of one attempt incl. the class-A receive windows.
-        self.attempt_energy_j = self.energy_model.tx_attempt_energy(tx_params)
+        self.attempt_energy_j = entry.attempt_energy_j
 
         self.switch = SoftwareDefinedSwitch(
             soc_cap=mac.soc_cap, on_brownout=on_brownout
@@ -120,9 +125,10 @@ class EndDevice:
         TX energy with the Eq. (13) EWMA instead of trusting a constant.
         """
         self.tx_params = params
-        self.airtime_s = time_on_air(params)
-        self.tx_energy_j = tx_energy(params, self.energy_model.power_profile)
-        self.attempt_energy_j = self.energy_model.tx_attempt_energy(params)
+        entry = self._airtime_table.entry(params)
+        self.airtime_s = entry.airtime_s
+        self.tx_energy_j = entry.tx_energy_j
+        self.attempt_energy_j = entry.attempt_energy_j
 
     @property
     def node_id(self) -> int:

@@ -1,0 +1,155 @@
+"""Batch ingestion APIs are state-identical to sequential pushes.
+
+``SocTrace.extend_batch``, ``StreamingRainflow.extend_batch`` and
+``IncrementalDegradation.push_batch`` exist so the vectorized sweep can
+hand over whole settle chunks at once; their contract is that the final
+object state — not just derived summaries — matches feeding the same
+samples one at a time.  These property-style tests sweep randomized SoC
+series (plateaus, monotone runs, reversals, clamped 1.0 samples) through
+both routes and compare everything.
+"""
+
+import random
+
+import pytest
+
+from repro.battery.incremental import IncrementalDegradation
+from repro.battery.rainflow import StreamingRainflow, count_cycles
+from repro.battery.soc_trace import SocTrace
+from repro.exceptions import ConfigurationError
+
+
+def random_series(rng, n):
+    """A SoC walk with plateaus, long monotone runs, and sharp reversals."""
+    soc = rng.uniform(0.2, 0.9)
+    series = [soc]
+    while len(series) < n:
+        kind = rng.random()
+        if kind < 0.2:  # plateau
+            series.extend([soc] * rng.randint(1, 4))
+        elif kind < 0.8:  # monotone run
+            step = rng.uniform(0.005, 0.05) * rng.choice((-1.0, 1.0))
+            for _ in range(rng.randint(1, 6)):
+                soc = min(1.0, max(0.0, soc + step))
+                series.append(soc)
+        else:  # sharp reversal
+            soc = min(1.0, max(0.0, soc + rng.uniform(-0.4, 0.4)))
+            series.append(soc)
+    return series[:n]
+
+
+class TestSocTraceExtendBatch:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_state_identical_to_sequential_append(self, seed):
+        rng = random.Random(seed)
+        socs = random_series(rng, 120)
+        times = [i * 600.0 for i in range(len(socs))]
+
+        sequential = SocTrace()
+        for t, s in zip(times, socs):
+            sequential.append(t, s)
+        batched = SocTrace()
+        batched.extend_batch(times, socs)
+
+        assert batched.times == sequential.times
+        assert batched.socs == sequential.socs
+        assert batched._weighted_integral == sequential._weighted_integral
+        assert batched._start_time == sequential._start_time
+        assert batched._last_time == sequential._last_time
+        assert batched._last_soc == sequential._last_soc
+
+    def test_batch_after_appends_continues_state(self):
+        rng = random.Random(7)
+        socs = random_series(rng, 60)
+        times = [i * 300.0 for i in range(len(socs))]
+        split = 25
+
+        sequential = SocTrace()
+        for t, s in zip(times, socs):
+            sequential.append(t, s)
+        mixed = SocTrace()
+        for t, s in zip(times[:split], socs[:split]):
+            mixed.append(t, s)
+        mixed.extend_batch(times[split:], socs[split:])
+
+        assert mixed.times == sequential.times
+        assert mixed.socs == sequential.socs
+        assert mixed._weighted_integral == sequential._weighted_integral
+
+    def test_empty_batch_is_noop(self):
+        trace = SocTrace()
+        trace.append(0.0, 0.5)
+        trace.extend_batch([], [])
+        assert trace.socs == [0.5]
+
+    def test_invalid_soc_rejects_batch(self):
+        trace = SocTrace()
+        with pytest.raises(ConfigurationError):
+            trace.extend_batch([0.0, 1.0], [0.5, 1.5])
+
+    def test_decreasing_times_reject_batch(self):
+        trace = SocTrace()
+        with pytest.raises(ConfigurationError):
+            trace.extend_batch([10.0, 5.0], [0.5, 0.6])
+
+
+class TestStreamingRainflowExtendBatch:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_state_identical_to_sequential_push(self, seed):
+        rng = random.Random(seed)
+        series = random_series(rng, 150)
+
+        sequential = StreamingRainflow()
+        for value in series:
+            sequential.push(value)
+        batched = StreamingRainflow()
+        batched.extend_batch(series)
+
+        assert batched._stack == sequential._stack
+        assert batched._prev == sequential._prev
+        assert batched._tail == sequential._tail
+        assert batched._have_prev == sequential._have_prev
+        assert batched.closed == sequential.closed
+        assert batched.pending_cycles() == sequential.pending_cycles()
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_closed_plus_pending_matches_count_cycles(self, seed):
+        rng = random.Random(seed)
+        series = random_series(rng, 100)
+        stream = StreamingRainflow()
+        stream.extend_batch(series)
+        assert stream.closed + stream.pending_cycles() == count_cycles(series)
+
+    def test_short_prefixes(self):
+        # The warm-up branch (tail unset / first point unconfirmed) must
+        # hand off to the run-collapsing loop at any boundary.
+        series = [0.5, 0.5, 0.7, 0.6, 0.8, 0.4]
+        for cut in range(len(series) + 1):
+            sequential = StreamingRainflow()
+            for value in series[:cut]:
+                sequential.push(value)
+            batched = StreamingRainflow()
+            batched.extend_batch(series[:cut])
+            assert batched._stack == sequential._stack
+            assert batched._tail == sequential._tail
+            assert batched.closed == sequential.closed
+
+
+class TestIncrementalPushBatch:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_breakdown_identical_to_sequential_push(self, seed):
+        rng = random.Random(seed)
+        series = random_series(rng, 200)
+        age_s = 86_400.0
+
+        sequential = IncrementalDegradation(temperature_c=25.0)
+        for value in series:
+            sequential.push(value)
+        batched = IncrementalDegradation(temperature_c=25.0)
+        batched.push_batch(series)
+
+        assert batched.closed_cycle_count == sequential.closed_cycle_count
+        a = sequential.breakdown(age_s)
+        b = batched.breakdown(age_s)
+        for key, value in vars(a).items():
+            assert vars(b)[key] == value, key

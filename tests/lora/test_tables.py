@@ -1,0 +1,91 @@
+"""AirtimeTable / memoized-PHY bit-identity guarantees.
+
+The table and the ``lru_cache`` layers exist purely for speed: every
+entry must be the *exact* float the underlying Eq. (6)/(7) formulas
+produce, because both engines compare energies and airtimes against
+values computed elsewhere from the same formulas.
+"""
+
+from repro.lora import EnergyModel, SpreadingFactor, TxParams, airtime_table
+from repro.lora.phy import time_on_air, tx_energy
+from repro.lora.tables import AirtimeTable
+
+
+def all_params():
+    for sf in SpreadingFactor:
+        for payload in (12, 32, 51):
+            yield TxParams(spreading_factor=sf, payload_bytes=payload)
+
+
+class TestEntryBitIdentity:
+    def test_entries_match_direct_phy_calls(self):
+        model = EnergyModel()
+        table = AirtimeTable(energy_model=model)
+        profile = model.power_profile
+        for params in all_params():
+            entry = table.entry(params)
+            assert entry.airtime_s == time_on_air(params)
+            assert entry.tx_energy_j == tx_energy(params, profile)
+            assert entry.attempt_energy_j == (
+                tx_energy(params, profile) + model.rx_window_overhead()
+            )
+            assert entry.max_tx_energy_j == model.max_tx_energy(params)
+            assert entry.sensitivity_dbm == params.sensitivity_dbm
+
+    def test_datasheet_formula_variant(self):
+        model = EnergyModel()
+        table = AirtimeTable(energy_model=model, use_datasheet_formula=True)
+        params = TxParams(spreading_factor=SpreadingFactor.SF9)
+        entry = table.entry(params)
+        assert entry.airtime_s == time_on_air(params, use_datasheet_formula=True)
+        assert entry.tx_energy_j == tx_energy(
+            params, model.power_profile, use_datasheet_formula=True
+        )
+
+    def test_lru_cache_returns_exact_uncached_floats(self):
+        # A cache hit must hand back the same value a cold computation
+        # produces; clear the memoization and compare.
+        params = TxParams(spreading_factor=SpreadingFactor.SF12, payload_bytes=51)
+        profile = EnergyModel().power_profile
+        cached_toa = time_on_air(params)
+        cached_energy = tx_energy(params, profile)
+        time_on_air.cache_clear()
+        tx_energy.cache_clear()
+        assert time_on_air(params) == cached_toa
+        assert tx_energy(params, profile) == cached_energy
+
+
+class TestTableBehaviour:
+    def test_entry_identity_on_repeat_lookup(self):
+        table = AirtimeTable()
+        params = TxParams()
+        assert table.entry(params) is table.entry(params)
+
+    def test_prebuild_covers_all_spreading_factors(self):
+        table = AirtimeTable()
+        table.prebuild(payload_bytes=32)
+        assert len(table) == len(SpreadingFactor)
+        for sf in SpreadingFactor:
+            params = TxParams().with_payload(32).with_spreading_factor(sf)
+            assert table.entry(params).params.spreading_factor is sf
+        # Already-built entries are not recomputed into new objects.
+        before = table.entry(TxParams().with_payload(32))
+        table.prebuild(payload_bytes=32)
+        assert table.entry(TxParams().with_payload(32)) is before
+
+    def test_shared_table_reused_per_energy_model(self):
+        model = EnergyModel()
+        assert airtime_table(model) is airtime_table(model)
+        assert airtime_table() is airtime_table(EnergyModel())
+
+    def test_engines_see_identical_constants(self):
+        # MesoNode and EndDevice both read airtime/energy constants from
+        # the shared table; a direct lookup must agree with both.
+        from repro.sim import SimulationConfig
+
+        config = SimulationConfig(node_count=1, duration_s=60.0, seed=1)
+        params = config.tx_params(SpreadingFactor.SF9)
+        entry = airtime_table(config.energy_model()).entry(params)
+        assert entry.airtime_s == time_on_air(params)
+        assert entry.attempt_energy_j > entry.tx_energy_j > 0.0
+        assert entry.airtime_s > 0.0
