@@ -223,8 +223,10 @@ def run_veccompare(
 
 
 def _write(report: Dict[str, object], out: pathlib.Path) -> None:
+    from repro.ioutil import atomic_write_json
+
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(str(out), report)
 
 
 def test_bench_engines(benchmark, report_sink) -> None:

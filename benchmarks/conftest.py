@@ -17,6 +17,7 @@ import pathlib
 import pytest
 
 from repro.experiments import large_scale_base, testbed_base
+from repro.ioutil import atomic_write_text
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -40,7 +41,7 @@ def report_sink():
 
     def write(name: str, text: str) -> None:
         path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(text + "\n")
+        atomic_write_text(str(path), text + "\n")
         print(f"\n{text}\n[written to {path}]")
 
     return write

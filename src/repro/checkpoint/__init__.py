@@ -1,0 +1,53 @@
+"""Crash-safe checkpoint/resume for both simulation engines.
+
+* :mod:`repro.checkpoint.core` — the versioned, integrity-hashed,
+  atomically-written snapshot envelope (:func:`save_checkpoint`,
+  :func:`load_checkpoint`, :func:`resume`, :func:`latest_checkpoint`).
+* :mod:`repro.checkpoint.interrupt` — the cooperative SIGINT/SIGTERM
+  stop flag the engines poll for graceful shutdown.
+* :mod:`repro.checkpoint.equivalence` — the comparison helpers that
+  define (and enforce) the bit-identical-resume contract.
+
+See docs/ROBUSTNESS.md for the file format and recovery semantics.
+"""
+
+from .core import (
+    FORMAT,
+    KEEP_LAST,
+    checkpoint_filename,
+    latest_checkpoint,
+    load_checkpoint,
+    read_header,
+    resume,
+    save_checkpoint,
+)
+from .equivalence import (
+    VOLATILE_MANIFEST_KEYS,
+    VOLATILE_METRICS,
+    assert_equivalent,
+    assert_trace_files_identical,
+    normalize_manifest,
+    normalize_metrics,
+)
+from .interrupt import install, last_signal, reset, stop_requested
+
+__all__ = [
+    "FORMAT",
+    "KEEP_LAST",
+    "VOLATILE_MANIFEST_KEYS",
+    "VOLATILE_METRICS",
+    "assert_equivalent",
+    "assert_trace_files_identical",
+    "checkpoint_filename",
+    "install",
+    "last_signal",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "normalize_manifest",
+    "normalize_metrics",
+    "read_header",
+    "reset",
+    "resume",
+    "save_checkpoint",
+    "stop_requested",
+]

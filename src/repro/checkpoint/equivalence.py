@@ -1,0 +1,181 @@
+"""Resume-equivalence comparison helpers.
+
+Defines exactly what "bit-identical resume" means (and honestly scopes
+its exceptions):
+
+* **packet logs** and **metric summaries** must match *exactly* —
+  every per-packet record and every aggregated network statistic;
+* **manifests** and **metrics-registry exports** must match after
+  zeroing the fields that measure *wall-clock facts about the process*
+  rather than the simulation: phase timings, throughput, host Python,
+  git revision, refresh wall seconds, and the resume counter itself.
+
+Both the ``tests/checkpoint`` suite and the CI kill-and-resume smoke
+job compare through these helpers, so the contract is defined once.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from typing import Dict, Optional
+
+#: Manifest fields that legitimately differ between a resumed run and
+#: its uninterrupted reference (process facts, not simulation results).
+VOLATILE_MANIFEST_KEYS = (
+    "wall_s",
+    "sim_s_per_wall_s",
+    "phase_timings_s",
+    "python",
+    "git_rev",
+)
+
+#: Metric names whose values are wall-clock or resume bookkeeping.
+VOLATILE_METRICS = frozenset(
+    {
+        "degradation_refresh_seconds",
+        "checkpoint_resumes_total",
+    }
+)
+
+
+def normalize_manifest(manifest: Optional[Dict[str, object]]) -> Optional[Dict[str, object]]:
+    """Manifest dict with volatile wall-clock fields zeroed."""
+    if manifest is None:
+        return None
+    normalized = dict(manifest)
+    for key in VOLATILE_MANIFEST_KEYS:
+        normalized.pop(key, None)
+    return normalized
+
+
+def _is_volatile_metric(name: str) -> bool:
+    return any(name.endswith(volatile) for volatile in VOLATILE_METRICS)
+
+
+def normalize_metrics(export: Dict[str, object]) -> Dict[str, object]:
+    """Metrics-registry JSON export without its volatile series.
+
+    Accepts the layout of ``MetricsRegistry.to_json()`` (a list of
+    per-instrument entries under ``"metrics"``) and removes every entry
+    belonging to a volatile series — wall-clock accumulators and the
+    resume counter, which is *absent* on an uninterrupted reference run
+    and present after a resume.
+    """
+    normalized = copy.deepcopy(export)
+    entries = normalized.get("metrics")
+    if isinstance(entries, list):
+        normalized["metrics"] = [
+            entry
+            for entry in entries
+            if not (
+                isinstance(entry, dict)
+                and _is_volatile_metric(str(entry.get("name", "")))
+            )
+        ]
+    return normalized
+
+
+def packet_log_rows(result: object) -> list:
+    """The run's packet log as a list of comparable records."""
+    log = getattr(result, "packet_log", None)
+    if log is None:
+        return []
+    return list(log)
+
+
+def assert_equivalent(reference: object, resumed: object) -> None:
+    """Assert a resumed run reproduced its uninterrupted reference.
+
+    ``reference``/``resumed`` are engine results (``SimulationResult``
+    or ``MesoscopicResult``).  Raises ``AssertionError`` naming the
+    first divergent artifact.
+    """
+    ref_summary = reference.metrics.summary()
+    res_summary = resumed.metrics.summary()
+    assert ref_summary == res_summary, (
+        f"metric summaries diverge:\nreference: {ref_summary}\n"
+        f"resumed:   {res_summary}"
+    )
+    ref_log = packet_log_rows(reference)
+    res_log = packet_log_rows(resumed)
+    assert ref_log == res_log, (
+        f"packet logs diverge: {len(ref_log)} vs {len(res_log)} records; "
+        f"first mismatch: "
+        f"{next((pair for pair in zip(ref_log, res_log) if pair[0] != pair[1]), None)}"
+    )
+    ref_manifest = getattr(reference, "manifest", None)
+    res_manifest = getattr(resumed, "manifest", None)
+    if ref_manifest is not None or res_manifest is not None:
+        ref_dict = normalize_manifest(
+            ref_manifest.to_dict() if ref_manifest is not None else None
+        )
+        res_dict = normalize_manifest(
+            res_manifest.to_dict() if res_manifest is not None else None
+        )
+        assert ref_dict == res_dict, (
+            f"manifests diverge (after normalization):\n"
+            f"reference: {ref_dict}\nresumed:   {res_dict}"
+        )
+    ref_obs = getattr(reference, "obs", None)
+    res_obs = getattr(resumed, "obs", None)
+    if ref_obs is not None and res_obs is not None:
+        ref_metrics = normalize_metrics(ref_obs.metrics.to_json())
+        res_metrics = normalize_metrics(res_obs.metrics.to_json())
+        assert ref_metrics == res_metrics, (
+            "metrics exports diverge (after normalization)"
+        )
+
+
+#: Trace-event field names that measure wall time (``perf.refresh``,
+#: ``engine.run_finished``) rather than simulation state.
+VOLATILE_TRACE_FIELDS = ("wall_s", "sim_s_per_wall_s")
+
+
+def _normalize_trace_line(line: str) -> object:
+    """One trace line, with wall-clock measurement fields zeroed.
+
+    Events such as ``perf.refresh`` and ``engine.run_finished`` carry
+    real wall-time measurements — process facts that legitimately
+    differ run to run; every other byte of the trace stream must match
+    exactly.
+    """
+    try:
+        event = json.loads(line)
+    except ValueError:
+        return line
+    if isinstance(event, dict):
+        fields = event.get("fields")
+        if isinstance(fields, dict) and any(
+            key in fields for key in VOLATILE_TRACE_FIELDS
+        ):
+            fields = dict(fields)
+            for key in VOLATILE_TRACE_FIELDS:
+                fields.pop(key, None)
+            event = dict(event)
+            event["fields"] = fields
+    return event
+
+
+def assert_trace_files_identical(reference_path: str, resumed_path: str) -> None:
+    """Assert two JSONL trace files are identical.
+
+    Byte-identical except for :data:`VOLATILE_TRACE_FIELDS` — wall-time
+    measurements (see :data:`VOLATILE_METRICS` for the registry-side
+    equivalents).
+    """
+    with open(reference_path, "r", encoding="utf-8") as handle:
+        ref_lines = handle.readlines()
+    with open(resumed_path, "r", encoding="utf-8") as handle:
+        res_lines = handle.readlines()
+    assert len(ref_lines) == len(res_lines), (
+        f"trace files diverge: {reference_path} ({len(ref_lines)} lines) vs "
+        f"{resumed_path} ({len(res_lines)} lines)"
+    )
+    for number, (ref, res) in enumerate(zip(ref_lines, res_lines), start=1):
+        if ref == res:
+            continue
+        assert _normalize_trace_line(ref) == _normalize_trace_line(res), (
+            f"trace files diverge at line {number}:\n"
+            f"reference: {ref!r}\nresumed:   {res!r}"
+        )

@@ -1,0 +1,51 @@
+"""Cooperative interrupt flag for graceful SIGTERM/SIGINT shutdown.
+
+The CLI installs handlers that only set a module-level flag; the engine
+loops poll :func:`stop_requested` every few dozen events and unwind via
+:class:`~repro.exceptions.SimulationInterrupted` — flushing trace sinks
+and writing a final checkpoint on the way out — instead of dying
+mid-event with torn output files.
+
+Deliberately dependency-free (no repro imports) so any layer can poll
+it without import cycles.
+"""
+
+from __future__ import annotations
+
+import signal
+from typing import Iterable, Optional
+
+_stop = False
+_signum: Optional[int] = None
+
+
+def _handler(signum: int, frame: object) -> None:
+    global _stop, _signum
+    _stop = True
+    _signum = signum
+
+
+def install(
+    signals: Iterable[int] = (signal.SIGINT, signal.SIGTERM),
+) -> None:
+    """Install graceful-shutdown handlers (resets any prior request)."""
+    reset()
+    for signum in signals:
+        signal.signal(signum, _handler)
+
+
+def reset() -> None:
+    """Clear a pending stop request (does not restore default handlers)."""
+    global _stop, _signum
+    _stop = False
+    _signum = None
+
+
+def stop_requested() -> bool:
+    """Whether a handled signal has asked the run to stop."""
+    return _stop
+
+
+def last_signal() -> Optional[int]:
+    """The signal number that requested the stop, if any."""
+    return _signum

@@ -13,8 +13,18 @@ Four commands cover the common workflows:
 * ``sweep`` — fan a (policy × config-axis × seed) grid across
   multiprocessing workers and aggregate per-run records into one
   ``SWEEP.json`` (deterministic merge; see docs/PERFORMANCE.md).
+  Self-healing flags (``--timeout``, ``--max-retries``,
+  ``--checkpoint-dir``, ``--resume``) are documented in
+  docs/ROBUSTNESS.md.
+* ``resume`` — continue an interrupted ``simulate`` run from its newest
+  checkpoint (bit-identical to the uninterrupted run).
 * ``trace`` — pretty-print / filter a JSONL trace written by
   ``simulate --trace-out``.
+
+``simulate``, ``resume`` and ``sweep`` install SIGINT/SIGTERM handlers:
+a signal stops the run at the next event boundary, writes a rescue
+checkpoint (when ``--checkpoint-dir`` is set), flushes the trace sink
+and exits with the conventional ``128 + signum`` code.
 """
 
 from __future__ import annotations
@@ -24,9 +34,11 @@ import json
 import sys
 from typing import List, Optional
 
+from .checkpoint import interrupt as _interrupt
 from .constants import SECONDS_PER_DAY
-from .exceptions import ConfigurationError
+from .exceptions import CheckpointError, ConfigurationError, SimulationInterrupted
 from .faults import FaultPlan
+from .ioutil import atomic_write_text
 from .obs import CATEGORIES, SEVERITIES, filter_events, format_event, iter_jsonl
 from .sim import SimulationConfig, run_mesoscopic, run_simulation
 
@@ -120,6 +132,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the run manifest JSON (defaults next to --trace-out)",
     )
     simulate.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        dest="checkpoint_dir",
+        help="write periodic crash-safe checkpoints into this directory",
+    )
+    simulate.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        dest="checkpoint_every",
+        help="checkpoint cadence in days (default 1 with --checkpoint-dir)",
+    )
+    simulate.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit one machine-readable JSON object instead of text",
+    )
+
+    resume = sub.add_parser(
+        "resume", help="resume an interrupted run from a checkpoint"
+    )
+    resume.add_argument(
+        "path",
+        help="checkpoint file, or a checkpoint directory (newest wins)",
+    )
+    resume.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics registry (.json → JSON, else Prometheus text)",
+    )
+    resume.add_argument(
+        "--manifest-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the run manifest JSON",
+    )
+    resume.add_argument(
         "--json",
         action="store_true",
         dest="as_json",
@@ -205,8 +261,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = serial; results identical either way)",
     )
     sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        dest="timeout_s",
+        help="per-run wall-clock budget; stuck workers are killed and retried",
+    )
+    sweep.add_argument(
+        "--max-retries", type=int, default=0, dest="max_retries",
+        help="retries per run after a worker crash or timeout",
+    )
+    sweep.add_argument(
+        "--checkpoint-dir", type=str, default=None, metavar="DIR",
+        dest="checkpoint_dir",
+        help="per-run checkpoint root; retries resume from the newest snapshot",
+    )
+    sweep.add_argument(
+        "--checkpoint-every", type=float, default=None, metavar="DAYS",
+        dest="checkpoint_every",
+        help="checkpoint cadence in days (default 1 with --checkpoint-dir)",
+    )
+    sweep.add_argument(
+        "--resume", type=str, default=None, metavar="REPORT",
+        dest="resume_report",
+        help="re-run only the unfinished cells of a previous SWEEP.json",
+    )
+    sweep.add_argument(
         "--out", type=str, default=None, metavar="PATH",
-        help="write the aggregated SWEEP.json here",
+        help="write the aggregated SWEEP.json here (default: the --resume report)",
     )
     sweep.add_argument(
         "--json", action="store_true", dest="as_json",
@@ -222,7 +302,15 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         faults = FaultPlan.from_spec(spec)
     ttl_days = getattr(args, "w_u_ttl_days", None)
     categories = getattr(args, "trace_categories", None)
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    every_days = getattr(args, "checkpoint_every", None)
+    if checkpoint_dir is not None and every_days is None:
+        every_days = 1.0
     base = SimulationConfig(
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every_s=(
+            None if every_days is None else every_days * SECONDS_PER_DAY
+        ),
         node_count=args.nodes,
         duration_s=args.days * SECONDS_PER_DAY,
         w_b=getattr(args, "w_b", 1.0),
@@ -251,7 +339,30 @@ def _default_manifest_path(trace_out: str) -> str:
     return trace_out + ".manifest.json"
 
 
+def _write_metrics(path: str, registry) -> None:
+    """Atomically export a metrics registry (JSON or Prometheus text)."""
+    if path.endswith(".json"):
+        atomic_write_text(path, registry.to_json_text())
+    else:
+        atomic_write_text(path, registry.to_prometheus())
+
+
+def _interrupted_exit(exc: SimulationInterrupted) -> int:
+    """Report a graceful signal stop and map it to ``128 + signum``."""
+    print(f"interrupted at t={exc.time_s:.3f}s", file=sys.stderr)
+    if exc.checkpoint_path is not None:
+        print(
+            f"checkpoint written to {exc.checkpoint_path} "
+            "(continue with: repro resume <path>)",
+            file=sys.stderr,
+        )
+    return 128 + (exc.signum if exc.signum is not None else 2)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.checkpoint_every is not None and args.checkpoint_dir is None:
+        print("--checkpoint-every requires --checkpoint-dir", file=sys.stderr)
+        return 2
     config = _config_from_args(args)
     engine = args.engine
     notices: List[str] = []
@@ -259,12 +370,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # The mesoscopic runner has no event boundaries to inject at.
         notices.append("fault plan supplied: switching to the exact engine")
         engine = "exact"
-    if engine == "exact":
-        result = run_simulation(config)
-        lifespan = None
-    else:
-        result = run_mesoscopic(config)
-        lifespan = result.network_lifespan_days()
+    _interrupt.install()
+    try:
+        if engine == "exact":
+            result = run_simulation(config)
+            lifespan = None
+        else:
+            result = run_mesoscopic(config)
+            lifespan = result.network_lifespan_days()
+    except SimulationInterrupted as exc:
+        return _interrupted_exit(exc)
 
     manifest = result.manifest
     manifest_out = args.manifest_out
@@ -273,12 +388,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if manifest_out is not None and manifest is not None:
         manifest.write(manifest_out)
     if args.metrics_out is not None and result.obs is not None:
-        registry = result.obs.metrics
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            if args.metrics_out.endswith(".json"):
-                handle.write(registry.to_json_text())
-            else:
-                handle.write(registry.to_prometheus())
+        _write_metrics(args.metrics_out, result.obs.metrics)
 
     summary = result.metrics.summary()
     if args.as_json:
@@ -326,6 +436,63 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"manifest written to {manifest_out}")
     if args.metrics_out is not None:
         print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from .checkpoint import resume as resume_checkpoint
+
+    _interrupt.install()
+    try:
+        sim, header = resume_checkpoint(args.path)
+    except (CheckpointError, OSError) as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 2
+    engine = str(header.get("engine", "?"))
+    if not args.as_json:
+        print(
+            f"resuming {engine} run from t={float(header['time_s']):g}s "
+            f"(seed {header.get('seed')}, {header.get('node_count')} nodes)"
+        )
+    try:
+        result = sim.run()
+    except SimulationInterrupted as exc:
+        return _interrupted_exit(exc)
+
+    config = sim.config
+    manifest = result.manifest
+    if args.manifest_out is not None and manifest is not None:
+        manifest.write(args.manifest_out)
+    if args.metrics_out is not None and result.obs is not None:
+        _write_metrics(args.metrics_out, result.obs.metrics)
+    lifespan = (
+        result.network_lifespan_days() if engine == "meso" else None
+    )
+    summary = result.metrics.summary()
+    if args.as_json:
+        payload = {
+            "resumed_from_s": float(header["time_s"]),
+            "policy": config.policy_name,
+            "engine": engine,
+            "nodes": config.node_count,
+            "days": config.duration_s / SECONDS_PER_DAY,
+            "seed": config.seed,
+            "metrics": summary,
+        }
+        if lifespan is not None:
+            payload["lifespan_days"] = lifespan
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    print(f"policy: {config.policy_name}  nodes: {config.node_count}  "
+          f"days: {config.duration_s / SECONDS_PER_DAY:g}  engine: {engine}")
+    for key, value in summary.items():
+        print(f"  {key:28s} {value:.6g}")
+    if lifespan is not None:
+        print(f"  {'lifespan_days':28s} {lifespan:.6g}")
+    if args.metrics_out is not None:
+        print(f"metrics written to {args.metrics_out}")
+    if args.manifest_out is not None:
+        print(f"manifest written to {args.manifest_out}")
     return 0
 
 
@@ -406,59 +573,150 @@ def _parse_axis_value(token: str) -> object:
         return text
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .sweep import build_grid, expand_axes, run_sweep, summarize
+def _sweep_spec_from_args(args: argparse.Namespace) -> dict:
+    """The grid-defining CLI arguments, embedded in SWEEP.json."""
+    return {
+        "nodes": args.nodes,
+        "days": args.days,
+        "policies": args.policies,
+        "theta": args.theta,
+        "seeds": args.seeds,
+        "seed_list": args.seed_list,
+        "axis": list(args.axis or ()),
+    }
+
+
+def _grid_from_spec(spec: dict) -> list:
+    """Rebuild the sweep grid from an embedded spec dict.
+
+    Deterministic: the same spec always yields the same points in the
+    same grid-index order, which is what lets ``--resume`` line a
+    previous report's records up with a freshly expanded grid.
+    Raises :class:`ConfigurationError`/:class:`ValueError` on bad specs.
+    """
+    from .sweep import build_grid, expand_axes
 
     base = SimulationConfig(
-        node_count=args.nodes, duration_s=args.days * SECONDS_PER_DAY
+        node_count=int(spec["nodes"]),
+        duration_s=float(spec["days"]) * SECONDS_PER_DAY,
     )
+    theta = float(spec.get("theta", 0.5))
     policy_variants = []
-    for name in (p.strip() for p in args.policies.split(",")):
+    for name in (p.strip() for p in str(spec["policies"]).split(",")):
         if name == "lorawan":
             policy_variants.append(("policy=lorawan", base.as_lorawan()))
         elif name == "h":
-            policy_variants.append((f"policy=h{args.theta:g}", base.as_h(args.theta)))
+            policy_variants.append((f"policy=h{theta:g}", base.as_h(theta)))
         elif name == "hc":
-            policy_variants.append((f"policy=hc{args.theta:g}", base.as_hc(args.theta)))
+            policy_variants.append((f"policy=hc{theta:g}", base.as_hc(theta)))
         elif name:
-            print(f"unknown policy {name!r} (expected lorawan, h, hc)", file=sys.stderr)
-            return 2
+            raise ConfigurationError(
+                f"unknown policy {name!r} (expected lorawan, h, hc)"
+            )
     axes = []
-    for spec in args.axis or ():
-        field_name, _, values = spec.partition("=")
-        if not _ or not values:
-            print(f"bad --axis {spec!r} (expected FIELD=V1,V2,…)", file=sys.stderr)
-            return 2
+    for axis_spec in spec.get("axis") or ():
+        field_name, sep, values = str(axis_spec).partition("=")
+        if not sep or not values:
+            raise ConfigurationError(
+                f"bad --axis {axis_spec!r} (expected FIELD=V1,V2,…)"
+            )
         axes.append(
             (
                 field_name.strip(),
                 [_parse_axis_value(v) for v in values.split(",") if v.strip()],
             )
         )
-    if args.seed_list is not None:
-        seeds = [int(s) for s in args.seed_list.split(",") if s.strip()]
+    if spec.get("seed_list") is not None:
+        seeds = [int(s) for s in str(spec["seed_list"]).split(",") if s.strip()]
     else:
-        seeds = list(range(1, args.seeds + 1))
+        seeds = list(range(1, int(spec["seeds"]) + 1))
+    variants = []
+    for policy_label, policy_config in policy_variants:
+        for axis_label, config in expand_axes(policy_config, axes):
+            label = f"{policy_label},{axis_label}" if axis_label else policy_label
+            variants.append((label, config))
+    return build_grid(variants, seeds)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import (
+        SCHEMA,
+        RunRecord,
+        interrupt_exit_code,
+        run_sweep,
+        summarize,
+    )
+
+    if args.checkpoint_every is not None and args.checkpoint_dir is None:
+        print("--checkpoint-every requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    engine = args.engine
+    existing = None
+    out = args.out
+    if args.resume_report is not None:
+        try:
+            with open(args.resume_report, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read sweep report: {exc}", file=sys.stderr)
+            return 2
+        if doc.get("schema") != SCHEMA:
+            print(
+                f"cannot resume report with schema {doc.get('schema')!r} "
+                f"(expected {SCHEMA!r})",
+                file=sys.stderr,
+            )
+            return 2
+        spec = doc.get("spec")
+        if not spec:
+            print(
+                "sweep report has no embedded grid spec; re-run without --resume",
+                file=sys.stderr,
+            )
+            return 2
+        engine = str(doc.get("engine", engine))
+        existing = {
+            int(run["index"]): RunRecord.from_dict(run)
+            for run in doc.get("runs", ())
+            if run.get("status") in ("completed", "resumed")
+        }
+        if out is None:
+            out = args.resume_report
+    else:
+        spec = _sweep_spec_from_args(args)
 
     try:
-        variants = []
-        for policy_label, policy_config in policy_variants:
-            for axis_label, config in expand_axes(policy_config, axes):
-                label = f"{policy_label},{axis_label}" if axis_label else policy_label
-                variants.append((label, config))
-        points = build_grid(variants, seeds)
-    except ConfigurationError as exc:
+        points = _grid_from_spec(spec)
+    except (ConfigurationError, KeyError, ValueError) as exc:
         print(f"bad sweep grid: {exc}", file=sys.stderr)
         return 2
-    result = run_sweep(points, engine=args.engine, workers=args.workers)
-    if args.out is not None:
-        result.write(args.out)
+    every_days = args.checkpoint_every
+    if args.checkpoint_dir is not None and every_days is None:
+        every_days = 1.0
+    _interrupt.install()
+    result = run_sweep(
+        points,
+        engine=engine,
+        workers=args.workers,
+        timeout_s=args.timeout_s,
+        max_retries=args.max_retries,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every_s=(
+            None if every_days is None else every_days * SECONDS_PER_DAY
+        ),
+        existing=existing,
+        spec=spec,
+    )
+    if out is not None:
+        result.write(out)
     if args.as_json:
         print(json.dumps(result.to_dict(), sort_keys=True))
     else:
         print(summarize(result))
-        if args.out is not None:
-            print(f"sweep manifest written to {args.out}")
+        if out is not None:
+            print(f"sweep manifest written to {out}")
+    if result.interrupted:
+        return interrupt_exit_code()
     return 1 if result.error_count else 0
 
 
@@ -490,6 +748,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "figure":

@@ -39,5 +39,32 @@ class SchedulingError(SimulationError):
     """An event was scheduled in the past or with an invalid payload."""
 
 
+class CheckpointError(SimulationError):
+    """A checkpoint could not be written, read, or verified.
+
+    Raised on format-version mismatches, payload hash corruption,
+    config-hash mismatches during resume, and attempts to snapshot
+    unpicklable run state (e.g. ad-hoc callback events)."""
+
+
+class SimulationInterrupted(SimulationError):
+    """A run was stopped early by SIGINT/SIGTERM before completing.
+
+    Carries where the run stopped and, when checkpointing was enabled,
+    the final checkpoint the run flushed on its way out."""
+
+    def __init__(
+        self,
+        message: str,
+        time_s: float = 0.0,
+        checkpoint_path: "str | None" = None,
+        signum: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.time_s = time_s
+        self.checkpoint_path = checkpoint_path
+        self.signum = signum
+
+
 class ProtocolError(ReproError):
     """A MAC/PHY protocol rule was violated (e.g. too many retransmissions)."""

@@ -74,14 +74,32 @@ class FaultInjector:
         #: Optional :class:`~repro.obs.TraceBus`; None keeps tracing free.
         self._trace = None
         #: Clock callable supplying event timestamps for counter-style
-        #: firings that carry no time of their own.
-        self._now: Callable[[], float] = lambda: 0.0
+        #: firings that carry no time of their own.  None until bound —
+        #: engine hooks are re-bound after a checkpoint resume.
+        self._now: Optional[Callable[[], float]] = None
 
     def bind_trace(self, bus, now: Optional[Callable[[], float]] = None) -> None:
         """Attach a trace bus (and the engine clock) for fault events."""
         self._trace = bus
         if now is not None:
             self._now = now
+
+    def rebind(self, trace, now: Optional[Callable[[], float]]) -> None:
+        """Restore the engine hooks pickling strips (checkpoint resume)."""
+        self._trace = trace
+        self._now = now
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Snapshot without the live engine hooks.
+
+        The trace bus is owned (and separately pickled) by the engine's
+        observability bundle, and the clock is a per-engine callable;
+        :meth:`rebind` reattaches both when a checkpoint is restored.
+        """
+        state = dict(self.__dict__)
+        state["_trace"] = None
+        state["_now"] = None
+        return state
 
     def _emit(
         self,
@@ -91,8 +109,10 @@ class FaultInjector:
         **fields: object,
     ) -> None:
         if self._trace is not None:
+            if time_s is None:
+                time_s = self._now() if self._now is not None else 0.0
             self._trace.emit(
-                self._now() if time_s is None else time_s,
+                time_s,
                 "fault",
                 name,
                 severity=severity,
@@ -187,21 +207,11 @@ class FaultInjector:
         sigma = self.plan.forecast_corruption_sigma
         if sigma <= 0.0:
             return forecaster
-
-        def count(n: int) -> None:
-            self.counters.forecasts_corrupted += n
-            self._emit(
-                "fault.forecast_corrupted",
-                severity="debug",
-                node_id=node_id,
-                values=n,
-            )
-
         return CorruptedForecaster(
             forecaster,
             sigma=sigma,
             seed=self._seed * 69_991 + node_id,
-            on_corruption=count,
+            on_corruption=_CorruptionCounter(self, node_id),
         )
 
     # --------------------------------------------------------------- recovery
@@ -216,7 +226,36 @@ class FaultInjector:
         self.counters.brownouts += 1
         self._emit("fault.brownout")
 
+    #: Picklable brown-out hook handed to :class:`EndDevice` (a bound
+    #: method, unlike the closure it replaced, survives checkpointing).
+    def on_brownout(self, shortfall_j: float) -> None:
+        self.record_brownout()
+
     def record_stale_weight_period(self) -> None:
         """Count a period scheduled with a stale (past-TTL) ``w_u``."""
         self.counters.stale_weight_periods += 1
         self._emit("fault.stale_weight_period", severity="debug")
+
+
+class _CorruptionCounter:
+    """Picklable corruption callback (replaces a per-node closure).
+
+    :class:`~repro.faults.models.CorruptedForecaster` stores its
+    ``on_corruption`` hook, so the hook rides inside checkpoints; a
+    module-level class with plain attributes pickles, a closure does not.
+    """
+
+    __slots__ = ("_injector", "_node_id")
+
+    def __init__(self, injector: FaultInjector, node_id: int) -> None:
+        self._injector = injector
+        self._node_id = node_id
+
+    def __call__(self, n: int) -> None:
+        self._injector.counters.forecasts_corrupted += n
+        self._injector._emit(
+            "fault.forecast_corrupted",
+            severity="debug",
+            node_id=self._node_id,
+            values=n,
+        )

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
 from ..exceptions import ConfigurationError
+from ..ioutil import atomic_write_text
 
 
 class Profiler:
@@ -63,6 +64,19 @@ class Profiler:
         """Sum of all phase durations."""
         return sum(self._timings.values())
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Snapshot with any in-flight phase folded into its timing.
+
+        Checkpoints are written from inside the engines' ``run`` phase;
+        folding the elapsed time in (without mutating the live profiler)
+        lets a resumed run re-enter the phase and keep accumulating.
+        """
+        timings = dict(self._timings)
+        if self._active is not None:
+            elapsed = time.perf_counter() - self._started_at
+            timings[self._active] = timings.get(self._active, 0.0) + elapsed
+        return {"_timings": timings, "_active": None, "_started_at": 0.0}
+
 
 def config_hash(config: object) -> str:
     """Stable short hash identifying a :class:`SimulationConfig`.
@@ -75,6 +89,15 @@ def config_hash(config: object) -> str:
         payload = dataclasses.asdict(config)
     else:
         payload = config  # pragma: no cover - convenience for plain dicts
+    if isinstance(payload, dict):
+        # Checkpoint cadence/location never alters simulation results, so
+        # they stay out of the identity hash — a resumed run in a fresh
+        # checkpoint directory still hashes equal to its reference run.
+        payload = {
+            key: value
+            for key, value in payload.items()
+            if key not in ("checkpoint_every_s", "checkpoint_dir")
+        }
     text = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
@@ -143,7 +166,5 @@ class RunManifest:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def write(self, path: str) -> None:
-        """Write the manifest JSON to ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json())
-            handle.write("\n")
+        """Write the manifest JSON to ``path`` atomically."""
+        atomic_write_text(path, self.to_json() + "\n")

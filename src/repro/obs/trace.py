@@ -121,9 +121,12 @@ class JsonlSink:
     manager) to flush buffered lines.
     """
 
-    def __init__(self, path_or_handle: Union[str, TextIO]) -> None:
+    def __init__(
+        self, path_or_handle: Union[str, TextIO], append: bool = False
+    ) -> None:
         if isinstance(path_or_handle, str):
-            self._handle: TextIO = open(path_or_handle, "w", encoding="utf-8")
+            mode = "a" if append else "w"
+            self._handle: TextIO = open(path_or_handle, mode, encoding="utf-8")
             self._owns_handle = True
             self.path: Optional[str] = path_or_handle
         else:
@@ -131,6 +134,7 @@ class JsonlSink:
             self._owns_handle = False
             self.path = getattr(path_or_handle, "name", None)
         self.written = 0
+        self._closed = False
 
     def __call__(self, event: TraceEvent) -> None:
         self._handle.write(event.to_json())
@@ -138,7 +142,14 @@ class JsonlSink:
         self.written += 1
 
     def close(self) -> None:
-        """Flush and (when the sink opened the file) close the handle."""
+        """Flush and (when the sink opened the file) close the handle.
+
+        Idempotent: engines may close once on the error path and again
+        in their normal teardown without a double-close error.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._handle.flush()
         if self._owns_handle:
             self._handle.close()
@@ -273,6 +284,31 @@ class TraceBus:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # ---------------------------------------------------------- checkpointing
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle everything except the live sink handle.
+
+        A file-backed sink records how many lines it had written; on
+        resume, :func:`repro.checkpoint.resume` truncates the JSONL file
+        back to that count and reattaches an append-mode sink so the
+        resumed run's trace file stays byte-identical to an
+        uninterrupted run's.
+        """
+        state = dict(self.__dict__)
+        sink = state.pop("_sink", None)
+        if isinstance(sink, JsonlSink) and sink.path is not None:
+            state["_sink_written"] = sink.written
+            state["_sink_path"] = sink.path
+        else:
+            state["_sink_written"] = None
+            state["_sink_path"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._sink = None
 
 
 # --------------------------------------------------------------- JSONL tools

@@ -151,6 +151,18 @@ class SimulationConfig:
     #: RNG seed controlling topology, periods, channels and collisions.
     seed: int = 1
 
+    # ------------------------------------------------------------ robustness
+    #: Snapshot cadence in simulated seconds; the engines write a
+    #: versioned, integrity-hashed checkpoint every this-many simulated
+    #: seconds (see docs/ROBUSTNESS.md).  Both fields are excluded from
+    #: the config identity hash — checkpoint settings never change
+    #: simulation results.  None disables cadence checkpointing.
+    checkpoint_every_s: Optional[float] = None
+    #: Directory checkpoints are written to (required when
+    #: ``checkpoint_every_s`` is set; also enables the final rescue
+    #: snapshot on SIGINT/SIGTERM).
+    checkpoint_dir: Optional[str] = None
+
     # --------------------------------------------------------- observability
     #: Publish structured :class:`~repro.obs.TraceEvent` records onto a
     #: per-run :class:`~repro.obs.TraceBus` (see docs/OBSERVABILITY.md).
@@ -208,6 +220,13 @@ class SimulationConfig:
                 "compact_trace requires incremental_degradation: the batch "
                 "refresh path re-reads the full SoC trace"
             )
+        if self.checkpoint_every_s is not None:
+            if self.checkpoint_every_s <= 0:
+                raise ConfigurationError("checkpoint_every_s must be positive")
+            if self.checkpoint_dir is None:
+                raise ConfigurationError(
+                    "checkpoint_every_s requires checkpoint_dir"
+                )
         if self.trace_categories is not None:
             from ..obs import CATEGORIES
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..battery import Battery
+from ..checkpoint.interrupt import last_signal, stop_requested
 from ..core import (
     BatteryLifespanAwareMac,
     ConfirmedUplinkRetrier,
@@ -25,7 +26,8 @@ from ..core import (
     MacPolicy,
     ThresholdOnlyMac,
 )
-from ..exceptions import ProtocolError
+from ..checkpoint.core import save_checkpoint
+from ..exceptions import ProtocolError, SchedulingError, SimulationInterrupted
 from ..faults import FaultCounters, FaultInjector
 from ..energy import (
     CloudProcess,
@@ -123,6 +125,7 @@ class Simulator:
         #: Hot-path trace handle; None makes every emission guard dead.
         self._trace = self.obs.trace
         self.queue = EventQueue()
+        self.queue.dispatch = self._dispatch
         self.rng = random.Random(config.seed ^ 0x5EED)
         #: Fault oracle; None reproduces the fault-free world exactly.
         #: The injector draws from its own seeded RNG streams, so runs
@@ -155,9 +158,7 @@ class Simulator:
         if self._trace is not None:
             self.server.service.bind_trace(self._trace)
             if self.injector is not None:
-                self.injector.bind_trace(
-                    self._trace, now=lambda: self.queue.now_s
-                )
+                self.injector.bind_trace(self._trace, now=self._now_clock)
 
         self.nodes: Dict[int, EndDevice] = {}
         with self.obs.profiler.phase("build"):
@@ -167,6 +168,11 @@ class Simulator:
                     placement, plan, clouds
                 )
         self._events_executed = 0
+        self._started = False
+
+    def _now_clock(self) -> float:
+        """Picklable clock hook (bound method, not a closure)."""
+        return self.queue.now_s
 
     # ------------------------------------------------------------- building
 
@@ -198,13 +204,9 @@ class Simulator:
         mac = build_mac(config, capacity, nominal)
         node_rng = random.Random(config.seed * 7919 + placement.node_id)
         hopper = ChannelHopper(plan, rng=node_rng)
-        on_brownout = None
-        if self.injector is not None:
-            injector = self.injector
-
-            def on_brownout(shortfall_j: float) -> None:
-                injector.record_brownout()
-
+        on_brownout = (
+            self.injector.on_brownout if self.injector is not None else None
+        )
         return EndDevice(
             placement=placement,
             tx_params=params,
@@ -225,11 +227,74 @@ class Simulator:
             trace=self._trace,
         )
 
+    # ---------------------------------------------------------- dispatching
+
+    #: Checkpoint events run strictly after every same-time simulation
+    #: event, so a snapshot always captures a settled instant.
+    CHECKPOINT_PRIORITY = 100
+
+    def _dispatch(self, kind: str, args: tuple) -> None:
+        """Route a named event from the queue to its handler."""
+        if kind == "attempt":
+            self._on_attempt(*args)
+        elif kind == "attempt_end":
+            self._on_attempt_end(*args)
+        elif kind == "period":
+            self._on_period(*args)
+        elif kind == "refresh":
+            self._on_refresh(*args)
+        elif kind == "reboot":
+            self._on_reboot(*args)
+        elif kind == "checkpoint":
+            self._on_checkpoint()
+        else:
+            raise SchedulingError(f"unknown event kind {kind!r}")
+
     # -------------------------------------------------------------- running
 
     def run(self) -> SimulationResult:
-        """Execute the configured duration and aggregate the results."""
-        if self._trace is not None:
+        """Execute the configured duration and aggregate the results.
+
+        Works for fresh simulators and for ones restored from a
+        checkpoint: a resumed simulator skips initial scheduling (its
+        event queue already holds the future) and plays out the rest of
+        the horizon.
+        """
+        try:
+            return self._run_impl()
+        except BaseException:
+            # The trace sink must not lose buffered lines when a run
+            # dies or is interrupted; close() is idempotent, so the
+            # completion path's obs.close() stays a harmless no-op.
+            self.obs.close()
+            raise
+
+    def _schedule_initial(self) -> None:
+        """Queue the events a fresh run starts from."""
+        for node in self.nodes.values():
+            start = node.placement.start_offset_s
+            self._schedule_period(node, start)
+        self._schedule_refresh(self.config.dissemination_interval_s)
+        if self.injector is not None:
+            for node in self.nodes.values():
+                for reboot in self.injector.reboots_for(node.node_id):
+                    if reboot.time_s < self.config.duration_s:
+                        self.queue.schedule_event(
+                            reboot.time_s, "reboot", node, priority=-2
+                        )
+        every = self.config.checkpoint_every_s
+        if (
+            every is not None
+            and self.config.checkpoint_dir is not None
+            and every < self.config.duration_s
+        ):
+            self.queue.schedule_event(
+                every, "checkpoint", priority=self.CHECKPOINT_PRIORITY
+            )
+
+    def _run_impl(self) -> SimulationResult:
+        fresh = not self._started
+        if fresh and self._trace is not None:
             self._trace.emit(
                 0.0,
                 "engine",
@@ -240,20 +305,14 @@ class Simulator:
                 duration_s=self.config.duration_s,
             )
         with self.obs.profiler.phase("run"):
-            for node in self.nodes.values():
-                start = node.placement.start_offset_s
-                self._schedule_period(node, start)
-            self._schedule_refresh(self.config.dissemination_interval_s)
-            if self.injector is not None:
-                for node in self.nodes.values():
-                    for reboot in self.injector.reboots_for(node.node_id):
-                        if reboot.time_s < self.config.duration_s:
-                            self.queue.schedule(
-                                reboot.time_s,
-                                lambda n=node: self._on_reboot(n),
-                                priority=-2,
-                            )
-            self.queue.run_until(self.config.duration_s)
+            if fresh:
+                self._started = True
+                self._schedule_initial()
+            completed = self.queue.run_until(
+                self.config.duration_s, stop_check=stop_requested
+            )
+            if not completed:
+                self._interrupted()
         with self.obs.profiler.phase("finalize"):
             self._finalize()
             counters = (
@@ -340,7 +399,7 @@ class Simulator:
         # transmission can never complete; cut generation strictly before.
         if when_s >= self.config.duration_s:
             return
-        self.queue.schedule(when_s, lambda: self._on_period(node))
+        self.queue.schedule_event(when_s, "period", node)
 
     def _on_period(self, node: EndDevice) -> None:
         self._events_executed += 1
@@ -363,9 +422,7 @@ class Simulator:
                     node.node_id, first_attempt, now
                 )
             packet = node.packet
-            self.queue.schedule(
-                first_attempt, lambda: self._on_attempt(node, packet)
-            )
+            self.queue.schedule_event(first_attempt, "attempt", node, packet)
         self._schedule_period(node, now + node.period_s)
 
     def _on_attempt(self, node: EndDevice, packet) -> None:
@@ -378,7 +435,7 @@ class Simulator:
         ):
             # Regulatory off-period still running: defer the attempt.
             resume = self.duty_cycle.next_allowed_time(node.node_id)
-            self.queue.schedule(resume, lambda: self._on_attempt(node, packet))
+            self.queue.schedule_event(resume, "attempt", node, packet)
             return
         if not node.draw_attempt_energy(now):
             # Brown-out: battery cannot fund the attempt.
@@ -430,9 +487,8 @@ class Simulator:
             tokens.append((gateway, gateway.begin_reception(tx, node.tx_params)))
         if self.duty_cycle is not None:
             self.duty_cycle.record(node.node_id, now, node.airtime_s)
-        self.queue.schedule(
-            now + node.airtime_s,
-            lambda: self._on_attempt_end(node, packet, tokens),
+        self.queue.schedule_event(
+            now + node.airtime_s, "attempt_end", node, packet, tokens
         )
 
     def _on_attempt_end(self, node: EndDevice, packet, tokens) -> None:
@@ -509,7 +565,7 @@ class Simulator:
             backoff = max(
                 backoff, self.duty_cycle.remaining_off_s(node.node_id, now)
             )
-        self.queue.schedule(now + backoff, lambda: self._on_attempt(node, packet))
+        self.queue.schedule_event(now + backoff, "attempt", node, packet)
 
     def _on_reboot(self, node: EndDevice) -> None:
         """Scheduled brown-out reboot event for one node."""
@@ -532,7 +588,7 @@ class Simulator:
     def _schedule_refresh(self, when_s: float) -> None:
         if when_s > self.config.duration_s:
             return
-        self.queue.schedule(when_s, lambda: self._on_refresh(when_s), priority=-1)
+        self.queue.schedule_event(when_s, "refresh", when_s, priority=-1)
 
     def _on_refresh(self, when_s: float) -> None:
         """Daily gateway pass: recompute and normalize degradations."""
@@ -577,6 +633,64 @@ class Simulator:
                 wall_s=elapsed_s,
                 incremental=self.config.incremental_degradation,
             )
+
+    # -------------------------------------------------------- checkpointing
+
+    def _on_checkpoint(self) -> None:
+        """Scheduled snapshot event (cadence-driven, deterministic).
+
+        The successor is scheduled *before* saving so every snapshot
+        already contains its own continuation; the metrics counter and
+        trace marker are bumped before pickling for the same reason —
+        a resumed run continues both series exactly where the reference
+        run's were at that instant.
+        """
+        now = self.queue.now_s
+        nxt = now + self.config.checkpoint_every_s
+        if nxt < self.config.duration_s:
+            self.queue.schedule_event(
+                nxt, "checkpoint", priority=self.CHECKPOINT_PRIORITY
+            )
+        self.obs.metrics.counter(
+            "checkpoints_written_total", "Checkpoints the engine wrote"
+        ).inc()
+        if self._trace is not None:
+            self._trace.emit(
+                now,
+                "engine",
+                "engine.checkpoint",
+                severity="debug",
+                events_executed=self._events_executed,
+            )
+        save_checkpoint(self, self.config.checkpoint_dir, now, engine="exact")
+
+    def _interrupted(self) -> None:
+        """Unwind after a SIGINT/SIGTERM stop request.
+
+        Writes a rescue snapshot (when checkpointing is configured)
+        *without* touching the checkpoint counter or trace — it is
+        out-of-band bookkeeping, and a run resumed from it must still
+        reproduce the reference run's metrics and trace byte-for-byte.
+        """
+        now = self.queue.now_s
+        path = None
+        if self.config.checkpoint_dir is not None:
+            path = save_checkpoint(
+                self, self.config.checkpoint_dir, now, engine="exact"
+            )
+        raise SimulationInterrupted(
+            f"exact run stopped by signal at t={now:.3f}s",
+            time_s=now,
+            checkpoint_path=path,
+            signum=last_signal(),
+        )
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Re-bind the live hooks pickling strips (dispatch, injector)."""
+        self.__dict__.update(state)
+        self.queue.dispatch = self._dispatch
+        if self.injector is not None:
+            self.injector.rebind(trace=self._trace, now=self._now_clock)
 
     def _finalize(self) -> None:
         """Settle all nodes to the end time and record final state."""

@@ -1,22 +1,35 @@
 """Minimal discrete-event simulation kernel.
 
 A deliberately small heapq-based engine in the style of NS-3's scheduler:
-events are ``(time, priority, sequence, callback)`` tuples; ties break by
+events are ``(time, priority, sequence, payload)`` tuples; ties break by
 priority then insertion order, making runs fully deterministic for a
 given seed.  This kernel underpins the exact (testbed-scale) simulator;
 the multi-year mesoscopic runner bypasses it for speed.
+
+Events come in two flavours:
+
+* **callback events** (:meth:`EventQueue.schedule`) carry an arbitrary
+  Python callable — convenient for tests and ad-hoc experiments but not
+  snapshotable (closures don't pickle);
+* **named events** (:meth:`EventQueue.schedule_event`) carry a
+  ``(kind, args)`` pair dispatched through the queue's ``dispatch``
+  hook.  The exact engine schedules exclusively through these, which is
+  what makes a mid-run event queue checkpointable: the heap pickles as
+  plain data and the dispatch hook is re-bound on resume.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..exceptions import SchedulingError
+from ..exceptions import CheckpointError, SchedulingError
 
 EventCallback = Callable[[], None]
+
+#: Dispatch hook signature for named events.
+EventDispatch = Callable[[str, Tuple[object, ...]], None]
 
 
 @dataclass(order=True)
@@ -24,7 +37,9 @@ class _ScheduledEvent:
     time_s: float
     priority: int
     sequence: int
-    callback: EventCallback = field(compare=False)
+    callback: Optional[EventCallback] = field(compare=False, default=None)
+    kind: Optional[str] = field(compare=False, default=None)
+    args: Tuple[object, ...] = field(compare=False, default=())
     cancelled: bool = field(default=False, compare=False)
 
 
@@ -56,10 +71,13 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: List[_ScheduledEvent] = []
-        self._sequence = itertools.count()
+        self._next_sequence = 0
         self._now_s = 0.0
         self._running = False
         self._peak_pending = 0
+        #: Named-event dispatcher; the owning engine assigns this (it is
+        #: excluded from pickling and re-bound on resume).
+        self.dispatch: Optional[EventDispatch] = None
 
     @property
     def now_s(self) -> float:
@@ -76,6 +94,18 @@ class EventQueue:
         """High-water mark of queued events (memory-pressure profiling)."""
         return self._peak_pending
 
+    def _push(self, event: _ScheduledEvent) -> EventHandle:
+        heapq.heappush(self._heap, event)
+        if len(self._heap) > self._peak_pending:
+            self._peak_pending = len(self._heap)
+        return EventHandle(event)
+
+    def _check_time(self, time_s: float) -> None:
+        if time_s < self._now_s:
+            raise SchedulingError(
+                f"cannot schedule at {time_s:.6f}s; clock is at {self._now_s:.6f}s"
+            )
+
     def schedule(
         self, time_s: float, callback: EventCallback, priority: int = 0
     ) -> EventHandle:
@@ -84,20 +114,37 @@ class EventQueue:
         Lower ``priority`` runs first among same-time events.  Scheduling
         in the past is an error — it would silently reorder causality.
         """
-        if time_s < self._now_s:
-            raise SchedulingError(
-                f"cannot schedule at {time_s:.6f}s; clock is at {self._now_s:.6f}s"
-            )
+        self._check_time(time_s)
         event = _ScheduledEvent(
             time_s=time_s,
             priority=priority,
-            sequence=next(self._sequence),
+            sequence=self._take_sequence(),
             callback=callback,
         )
-        heapq.heappush(self._heap, event)
-        if len(self._heap) > self._peak_pending:
-            self._peak_pending = len(self._heap)
-        return EventHandle(event)
+        return self._push(event)
+
+    def schedule_event(
+        self, time_s: float, kind: str, *args: object, priority: int = 0
+    ) -> EventHandle:
+        """Schedule a named event dispatched via :attr:`dispatch`.
+
+        Unlike callback events, named events pickle — the exact engine
+        uses them exclusively so a mid-run queue can be checkpointed.
+        """
+        self._check_time(time_s)
+        event = _ScheduledEvent(
+            time_s=time_s,
+            priority=priority,
+            sequence=self._take_sequence(),
+            kind=kind,
+            args=args,
+        )
+        return self._push(event)
+
+    def _take_sequence(self) -> int:
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        return sequence
 
     def schedule_in(
         self, delay_s: float, callback: EventCallback, priority: int = 0
@@ -114,14 +161,34 @@ class EventQueue:
             if event.cancelled:
                 continue
             self._now_s = event.time_s
-            event.callback()
+            if event.kind is not None:
+                if self.dispatch is None:
+                    raise SchedulingError(
+                        f"named event {event.kind!r} queued but no dispatch "
+                        f"hook is bound"
+                    )
+                self.dispatch(event.kind, event.args)
+            else:
+                event.callback()
             return True
         return False
 
-    def run_until(self, end_time_s: float) -> None:
-        """Run events up to and including ``end_time_s``; clock ends there."""
+    def run_until(
+        self,
+        end_time_s: float,
+        stop_check: Optional[Callable[[], bool]] = None,
+        stop_every: int = 64,
+    ) -> bool:
+        """Run events up to and including ``end_time_s``.
+
+        Returns True when the horizon was reached (the clock then rests
+        at ``end_time_s``), False when ``stop_check`` asked for an early
+        stop — in that case the clock stays at the last executed event
+        so the caller can checkpoint a consistent state.
+        """
         if end_time_s < self._now_s:
             raise SchedulingError("cannot run backwards")
+        executed = 0
         while self._heap:
             head = self._heap[0]
             if head.cancelled:
@@ -130,7 +197,15 @@ class EventQueue:
             if head.time_s > end_time_s:
                 break
             self.step()
+            executed += 1
+            if (
+                stop_check is not None
+                and executed % stop_every == 0
+                and stop_check()
+            ):
+                return False
         self._now_s = max(self._now_s, end_time_s)
+        return True
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Drain the queue (optionally bounded); returns events executed."""
@@ -140,3 +215,30 @@ class EventQueue:
             if max_events is not None and executed >= max_events:
                 break
         return executed
+
+    # ---------------------------------------------------------- checkpointing
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle the heap as plain data (named events only).
+
+        Ad-hoc callback events hold arbitrary callables (typically
+        closures) and cannot be snapshotted; their presence makes the
+        whole queue un-checkpointable, which is surfaced eagerly here.
+        """
+        for event in self._heap:
+            if event.kind is None and not event.cancelled:
+                raise CheckpointError(
+                    "event queue holds callback-based events and cannot be "
+                    "checkpointed; schedule via schedule_event() instead"
+                )
+        state = dict(self.__dict__)
+        state["dispatch"] = None
+        # Cancelled callback events carry dead closures; drop them.
+        state["_heap"] = [
+            event for event in self._heap if not event.cancelled
+        ]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        heapq.heapify(self._heap)

@@ -34,8 +34,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..battery import Battery, DegradationModel
+from ..checkpoint.core import save_checkpoint
+from ..checkpoint.interrupt import last_signal, stop_requested
 from ..constants import SECONDS_PER_DAY, SECONDS_PER_YEAR
 from ..core import DegradationService, MacPolicy, PeriodContext
+from ..exceptions import SimulationInterrupted
 from ..energy import (
     CloudProcess,
     Harvester,
@@ -336,6 +339,58 @@ class MonthlySample:
 
 
 @dataclass
+class _SweepState:
+    """The chronological sweep's complete progress, hoisted for snapshots.
+
+    Both the scalar and vectorized sweeps read their loop state from
+    (and sync it back to) one of these, so a checkpoint taken by either
+    path can be resumed by either path — they are bit-identical by the
+    PR-4 equivalence contract.
+    """
+
+    #: (time, kind, tiebreak, payload) — kind 0 = period, 1 = resolve.
+    heap: List[Tuple[float, int, int, int]]
+    pending_windows: Dict[int, List[WindowEntry]]
+    monthly: List[MonthlySample]
+    seq: int
+    next_refresh: float
+    next_month: float
+    month_index: int
+    #: Simulated time of the next cadence checkpoint (inf = disabled).
+    next_checkpoint: float
+
+    @classmethod
+    def initial(cls, sim: "MesoscopicSimulator") -> "_SweepState":
+        """Seed the sweep: one period event per node, cadence armed."""
+        config = sim.config
+        heap: List[Tuple[float, int, int, int]] = []
+        seq = 0
+        for node in sim.nodes.values():
+            heapq.heappush(
+                heap,
+                (node.placement.start_offset_s, 0, seq, node.node_id),
+            )
+            seq += 1
+        sim._peak_heap = len(heap)
+        every = config.checkpoint_every_s
+        next_checkpoint = (
+            every
+            if every is not None and config.checkpoint_dir is not None
+            else math.inf
+        )
+        return cls(
+            heap=heap,
+            pending_windows={},
+            monthly=[],
+            seq=seq,
+            next_refresh=config.dissemination_interval_s,
+            next_month=SECONDS_PER_YEAR / 12.0,
+            month_index=0,
+            next_checkpoint=next_checkpoint,
+        )
+
+
+@dataclass
 class MesoscopicResult:
     """Results of a mesoscopic run plus lifespan extrapolation hooks."""
 
@@ -414,14 +469,31 @@ class MesoscopicSimulator:
         self.model = DegradationModel()
         self._events_executed = 0
         self._peak_heap = 0
+        #: In-flight sweep progress; None until a run starts.  A
+        #: checkpoint restored mid-sweep carries this, and ``run()``
+        #: continues it instead of re-seeding the heap.
+        self._sweep_state: Optional[_SweepState] = None
 
     def run(self) -> MesoscopicResult:
-        """Execute the configured horizon and aggregate the results."""
+        """Execute the configured horizon and aggregate the results.
+
+        Works for fresh simulators and ones restored from a checkpoint
+        (a resumed simulator continues its in-flight sweep state).
+        """
+        try:
+            return self._run_impl()
+        except BaseException:
+            # The trace sink must not lose buffered lines when a run
+            # dies or is interrupted; close() is idempotent, so the
+            # completion path's obs.close() stays a harmless no-op.
+            self.obs.close()
+            raise
+
+    def _run_impl(self) -> MesoscopicResult:
         config = self.config
-        window_s = config.window_s
         duration = config.duration_s
 
-        if self._trace is not None:
+        if self._sweep_state is None and self._trace is not None:
             self._trace.emit(
                 0.0,
                 "engine",
@@ -490,27 +562,37 @@ class MesoscopicSimulator:
         duration = config.duration_s
 
         # Global chronological sweep: a heap of period starts plus
-        # deferred window resolutions.
-        PERIOD, RESOLVE = 0, 1
-        heap: List[Tuple[float, int, int, int]] = []
-        # (time, kind, tiebreak, payload) payload: node_id or window idx
-        seq = 0
-        for node in self.nodes.values():
-            heapq.heappush(
-                heap,
-                (node.placement.start_offset_s, PERIOD, seq, node.node_id),
-            )
-            seq += 1
-        self._peak_heap = len(heap)
-
-        pending_windows: Dict[int, List[WindowEntry]] = {}
-        monthly: List[MonthlySample] = []
-        next_refresh = config.dissemination_interval_s
+        # deferred window resolutions.  All progress lives in the
+        # (checkpointable) sweep state; the hot loop works on local
+        # aliases and syncs scalars back at snapshot instants only.
+        PERIOD = 0
+        state = self._sweep_state
+        if state is None:
+            state = self._sweep_state = _SweepState.initial(self)
+        heap = state.heap
+        pending_windows = state.pending_windows
+        monthly = state.monthly
+        seq = state.seq
+        next_refresh = state.next_refresh
         month_s = SECONDS_PER_YEAR / 12.0
-        next_month = month_s
-        month_index = 0
+        next_month = state.next_month
+        month_index = state.month_index
+        iterations = 0
 
         while heap and heap[0][0] <= duration:
+            if heap[0][0] >= state.next_checkpoint:
+                state.seq = seq
+                state.next_refresh = next_refresh
+                state.next_month = next_month
+                state.month_index = month_index
+                self._checkpoint_before(heap[0][0], state)
+            iterations += 1
+            if iterations % 256 == 0 and stop_requested():
+                state.seq = seq
+                state.next_refresh = next_refresh
+                state.next_month = next_month
+                state.month_index = month_index
+                self._interrupted(heap[0][0])
             time_s, kind, _, payload = heapq.heappop(heap)
             self._events_executed += 1
 
@@ -548,9 +630,14 @@ class MesoscopicSimulator:
             if len(heap) > self._peak_heap:
                 self._peak_heap = len(heap)
 
+        state.seq = seq
+        state.next_refresh = next_refresh
+        state.next_month = next_month
+        state.month_index = month_index
         # Flush any windows scheduled past the horizon.
         for window_index, entries in sorted(pending_windows.items()):
             self._resolve(entries, window_index, window_s)
+        pending_windows.clear()
         return monthly
 
     def _build_manifest(self) -> RunManifest:
@@ -586,6 +673,63 @@ class MesoscopicSimulator:
             "event_queue_peak_depth",
             "Peak depth of the period/resolve heap",
         ).set(self._peak_heap)
+
+    # -------------------------------------------------------- checkpointing
+
+    def _checkpoint_before(self, next_event_s: float, state: _SweepState) -> None:
+        """Cadence snapshot taken at the loop top, before the next pop.
+
+        The state is exactly "about to process the event at
+        ``next_event_s``" and saving mutates nothing, so resuming the
+        snapshot is trivially bit-identical to continuing.  The cadence
+        pointer is advanced *before* saving so the snapshot carries its
+        own future (catching up across empty stretches where no event
+        landed between two boundaries).
+        """
+        checkpoint_t = state.next_checkpoint
+        while state.next_checkpoint <= next_event_s:
+            checkpoint_t = state.next_checkpoint
+            state.next_checkpoint += self.config.checkpoint_every_s
+        self._write_checkpoint(min(checkpoint_t, self.config.duration_s))
+
+    def _write_checkpoint(self, time_s: float) -> None:
+        """Bump the deterministic bookkeeping, then snapshot.
+
+        Counter and trace marker move *before* pickling so a resumed
+        run continues both series exactly where the reference run's
+        were at this instant.
+        """
+        self.obs.metrics.counter(
+            "checkpoints_written_total", "Checkpoints the engine wrote"
+        ).inc()
+        if self._trace is not None:
+            self._trace.emit(
+                time_s,
+                "engine",
+                "engine.checkpoint",
+                severity="debug",
+                events_executed=self._events_executed,
+            )
+        save_checkpoint(self, self.config.checkpoint_dir, time_s, engine="meso")
+
+    def _interrupted(self, time_s: float) -> None:
+        """Unwind after a SIGINT/SIGTERM stop request (rescue snapshot).
+
+        The rescue snapshot skips the checkpoint counter and trace —
+        out-of-band bookkeeping must not leak into the resumed run's
+        (byte-compared) outputs.
+        """
+        path = None
+        if self.config.checkpoint_dir is not None:
+            path = save_checkpoint(
+                self, self.config.checkpoint_dir, time_s, engine="meso"
+            )
+        raise SimulationInterrupted(
+            f"mesoscopic run stopped by signal at t={time_s:.3f}s",
+            time_s=time_s,
+            checkpoint_path=path,
+            signum=last_signal(),
+        )
 
     # ------------------------------------------------------------- internals
 

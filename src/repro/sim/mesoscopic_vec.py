@@ -35,6 +35,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..checkpoint.interrupt import stop_requested
 from ..constants import SECONDS_PER_YEAR
 from ..core.mac import batch_choose_windows
 from ..exceptions import ConfigurationError
@@ -43,6 +44,7 @@ from .mesoscopic import (
     MonthlySample,
     WindowEntry,
     WindowOutcome,
+    _SweepState,
     resolve_window,
 )
 from .packetlog import PacketRecord
@@ -781,7 +783,9 @@ def run_sweep(sim) -> List[MonthlySample]:
     """Execute the full event sweep through the vectorized kernels.
 
     Produces the same metrics, packet log, degradation refreshes and
-    heap accounting as ``MesoscopicSimulator._run_sweep``.
+    heap accounting as ``MesoscopicSimulator._run_sweep``.  Loop state
+    lives in the same (checkpointable) :class:`_SweepState`, so this
+    path writes and resumes the same snapshots as the scalar sweep.
     """
     config = sim.config
     window_s = config.window_s
@@ -790,23 +794,33 @@ def run_sweep(sim) -> List[MonthlySample]:
     shared_solar = next(iter(nodes.values())).harvester.solar
 
     PERIOD = 0
-    heap: List[Tuple[float, int, int, int]] = []
-    seq = 0
-    for node in nodes.values():
-        heapq.heappush(
-            heap, (node.placement.start_offset_s, PERIOD, seq, node.node_id)
-        )
-        seq += 1
-    sim._peak_heap = len(heap)
-
-    pending_windows: Dict[int, List[WindowEntry]] = {}
-    monthly: List[MonthlySample] = []
-    next_refresh = config.dissemination_interval_s
+    state = sim._sweep_state
+    if state is None:
+        state = sim._sweep_state = _SweepState.initial(sim)
+    heap = state.heap
+    pending_windows = state.pending_windows
+    monthly = state.monthly
+    seq = state.seq
+    next_refresh = state.next_refresh
     month_s = SECONDS_PER_YEAR / 12.0
-    next_month = month_s
-    month_index = 0
+    next_month = state.next_month
+    month_index = state.month_index
+    iterations = 0
 
     while heap and heap[0][0] <= duration:
+        if heap[0][0] >= state.next_checkpoint:
+            state.seq = seq
+            state.next_refresh = next_refresh
+            state.next_month = next_month
+            state.month_index = month_index
+            sim._checkpoint_before(heap[0][0], state)
+        iterations += 1
+        if iterations % 256 == 0 and stop_requested():
+            state.seq = seq
+            state.next_refresh = next_refresh
+            state.next_month = next_month
+            state.month_index = month_index
+            sim._interrupted(heap[0][0])
         time_s, kind, _, payload = heapq.heappop(heap)
         sim._events_executed += 1
 
@@ -852,7 +866,12 @@ def run_sweep(sim) -> List[MonthlySample]:
             if len(heap) > sim._peak_heap:
                 sim._peak_heap = len(heap)
 
+    state.seq = seq
+    state.next_refresh = next_refresh
+    state.next_month = next_month
+    state.month_index = month_index
     # Flush any windows scheduled past the horizon.
     for window_index, entries in sorted(pending_windows.items()):
         _resolve_batch(sim, entries, window_index, window_s, shared_solar)
+    pending_windows.clear()
     return monthly

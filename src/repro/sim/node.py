@@ -116,6 +116,20 @@ class EndDevice:
         self._settled_until_s = 0.0
         self._pending_report: Optional[TransitionReport] = None
 
+    # -------------------------------------------------------- checkpointing
+
+    def __getstate__(self):
+        """Snapshot without the process-wide PHY lookup table."""
+        state = dict(self.__dict__)
+        state.pop("_airtime_table", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        # Shared-table lookup is keyed by the (frozen, hashable) energy
+        # model, so the resumed node rejoins the process-wide cache.
+        self._airtime_table = airtime_table(self.energy_model)
+
     # ------------------------------------------------------------ properties
 
     def update_tx_params(self, params: TxParams) -> None:

@@ -3,17 +3,22 @@
 Expands a (config-variant × seed) grid (:mod:`repro.sweep.grid`), fans
 it across multiprocessing workers, and merges per-run records into one
 ``SWEEP.json`` deterministically — ordered by grid index, bit-identical
-for any worker count (:mod:`repro.sweep.executor`).  Driven by the
-``repro sweep`` CLI subcommand; determinism contract in
-docs/PERFORMANCE.md.
+for any worker count (:mod:`repro.sweep.executor`).  Execution is
+self-healing: crashed or stuck workers are retried from their newest
+checkpoint and ``repro sweep --resume`` re-runs only unfinished cells.
+Driven by the ``repro sweep`` CLI subcommand; determinism contract in
+docs/PERFORMANCE.md, recovery semantics in docs/ROBUSTNESS.md.
 """
 
 from .executor import (
     SCHEMA,
+    STATUSES,
+    CrashSpec,
     RunRecord,
     SweepResult,
     SweepWorkerError,
     execute_point,
+    interrupt_exit_code,
     run_sweep,
     summarize,
 )
@@ -21,6 +26,8 @@ from .grid import SweepPoint, build_grid, expand_axes
 
 __all__ = [
     "SCHEMA",
+    "STATUSES",
+    "CrashSpec",
     "RunRecord",
     "SweepPoint",
     "SweepResult",
@@ -28,6 +35,7 @@ __all__ = [
     "build_grid",
     "execute_point",
     "expand_axes",
+    "interrupt_exit_code",
     "run_sweep",
     "summarize",
 ]

@@ -1,42 +1,90 @@
-"""Parallel sweep execution with a deterministic merge.
+"""Self-healing parallel sweep execution with a deterministic merge.
 
-``run_sweep`` fans the grid across ``multiprocessing`` workers (via
-:class:`concurrent.futures.ProcessPoolExecutor`) or runs it serially
-for ``workers <= 1``.  Determinism contract (see docs/PERFORMANCE.md):
+``run_sweep`` fans the grid across ``multiprocessing`` workers (one
+process per in-flight run) or runs it serially.  Determinism contract
+(see docs/PERFORMANCE.md):
 
 * every :class:`~repro.sweep.grid.SweepPoint` carries a complete,
   self-seeded config — workers share no RNG or mutable state;
 * results are merged **by grid index**, never by completion order;
 * an exception raised *by a run* is captured in that run's record
-  (``status="error"`` plus the traceback) without aborting the sweep,
-  while a worker *process* dying (segfault, OOM kill) surfaces as
-  :class:`SweepWorkerError` naming the affected grid points.
+  (``status="failed"`` plus the traceback) without aborting the sweep.
+
+Robustness contract (see docs/ROBUSTNESS.md):
+
+* a worker *process* dying (segfault, OOM kill, SIGKILL) is detected
+  through its result pipe closing without a record; the run is retried
+  — resuming from its newest checkpoint when per-run checkpointing is
+  on — up to ``max_retries`` times before it is recorded as
+  ``status="failed"``;
+* a per-run wall-clock ``timeout_s`` kills stuck workers the same way
+  (final status ``"timeout"`` once retries are exhausted);
+* a run that completes after one or more retries is recorded as
+  ``status="resumed"`` with its total ``attempts`` count;
+* SIGINT/SIGTERM on the parent stops scheduling, terminates workers
+  gracefully (they write rescue checkpoints) and salvages every record
+  already merged; the report carries ``interrupted: true`` and omits
+  unfinished cells, so ``repro sweep --resume`` re-runs exactly those.
 
 Consequently ``run_sweep(spec, workers=N)`` produces records
 bit-identical to ``workers=1`` for every N — only the timing fields
-(``wall_s``, manifest phase timings) differ.
+(``wall_s``, manifest phase timings) and retry bookkeeping differ.
 """
 
 from __future__ import annotations
 
-import json
+import multiprocessing
+import os
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from multiprocessing.connection import wait as _connection_wait
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..exceptions import ConfigurationError, SimulationError
+from ..checkpoint.core import latest_checkpoint
+from ..checkpoint.interrupt import last_signal, stop_requested
+from ..exceptions import ConfigurationError, SimulationError, SimulationInterrupted
+from ..ioutil import atomic_write_json
 from ..obs import MetricsRegistry, config_hash
 from .grid import SweepPoint
 
 #: SWEEP.json schema identifier; bump on breaking layout changes.
-SCHEMA = "repro.sweep/1"
+#: v2: per-run ``attempts``, four-way status
+#: (completed|resumed|failed|timeout), sweep-level ``interrupted`` flag
+#: and embedded grid ``spec`` for ``repro sweep --resume``.
+SCHEMA = "repro.sweep/2"
+
+#: Final statuses a run record can carry.
+STATUSES = ("completed", "resumed", "failed", "timeout")
+
+#: How long (seconds) a terminated worker gets to write its rescue
+#: checkpoint and report back before it is killed outright.
+_GRACE_S = 10.0
 
 
 class SweepWorkerError(SimulationError):
-    """A worker process died without returning its runs' results."""
+    """A worker process died without returning its runs' results.
+
+    Kept for API compatibility: since schema v2 worker crashes are
+    retried and recorded per-run instead of aborting the sweep, so this
+    is no longer raised by :func:`run_sweep`.
+    """
+
+
+@dataclass
+class CrashSpec:
+    """Deterministic worker-crash injection (tests / CI smoke only).
+
+    The worker running grid cell ``index`` SIGKILLs itself right after
+    writing its ``after_checkpoints``-th checkpoint, on each of its
+    first ``attempts`` attempts — exercising crash detection and
+    resume-from-checkpoint retry without OS-level fault injection.
+    """
+
+    index: int
+    after_checkpoints: int = 1
+    attempts: int = 1
 
 
 @dataclass
@@ -48,13 +96,20 @@ class RunRecord:
     seed: int
     policy: str
     engine: str
-    status: str  # "ok" | "error"
+    status: str  # "completed" | "resumed" | "failed" | "timeout"
     config_hash: str
     summary: Dict[str, float] = field(default_factory=dict)
     lifespan_days: Optional[float] = None
     manifest: Optional[Dict[str, object]] = None
     error: Optional[str] = None
     wall_s: float = 0.0
+    #: Times the run was started (1 = clean first try).
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run ultimately produced results."""
+        return self.status in ("completed", "resumed")
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -70,7 +125,27 @@ class RunRecord:
             "manifest": self.manifest,
             "error": self.error,
             "wall_s": self.wall_s,
+            "attempts": self.attempts,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunRecord":
+        """Rebuild a record from SWEEP.json (``repro sweep --resume``)."""
+        return cls(
+            index=int(data["index"]),
+            label=str(data["label"]),
+            seed=int(data["seed"]),
+            policy=str(data["policy"]),
+            engine=str(data["engine"]),
+            status=str(data["status"]),
+            config_hash=str(data["config_hash"]),
+            summary=dict(data.get("summary") or {}),
+            lifespan_days=data.get("lifespan_days"),
+            manifest=data.get("manifest"),
+            error=data.get("error"),
+            wall_s=float(data.get("wall_s", 0.0)),
+            attempts=int(data.get("attempts", 1)),
+        )
 
 
 @dataclass
@@ -83,16 +158,25 @@ class SweepResult:
     wall_s: float = 0.0
     #: Sweep-level counters (``sweep_runs_total{status=…}``).
     metrics: Optional[MetricsRegistry] = None
+    #: Per-run wall-clock budget, when the watchdog was armed.
+    timeout_s: Optional[float] = None
+    #: Retry budget each crashed/stuck run had.
+    max_retries: int = 0
+    #: CLI grid spec, embedded so ``--resume`` can rebuild the grid.
+    spec: Optional[Dict[str, object]] = None
+    #: Whether the sweep was stopped by SIGINT/SIGTERM before every
+    #: cell finished (records then cover only the finished cells).
+    interrupted: bool = False
 
     @property
     def ok_count(self) -> int:
-        """Number of runs that completed."""
-        return sum(1 for r in self.records if r.status == "ok")
+        """Number of runs that produced results (incl. after retries)."""
+        return sum(1 for r in self.records if r.ok)
 
     @property
     def error_count(self) -> int:
-        """Number of runs that raised."""
-        return sum(1 for r in self.records if r.status == "error")
+        """Number of runs that ultimately failed or timed out."""
+        return sum(1 for r in self.records if not r.ok)
 
     def to_dict(self) -> Dict[str, object]:
         """SWEEP.json layout (one aggregated manifest for the grid)."""
@@ -104,53 +188,411 @@ class SweepResult:
             "ok_count": self.ok_count,
             "error_count": self.error_count,
             "wall_s": self.wall_s,
+            "timeout_s": self.timeout_s,
+            "max_retries": self.max_retries,
+            "interrupted": self.interrupted,
+            "spec": self.spec,
             "runs": [record.to_dict() for record in self.records],
         }
 
     def write(self, path: str) -> None:
-        """Write the aggregated SWEEP.json."""
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        """Write the aggregated SWEEP.json (atomically)."""
+        atomic_write_json(path, self.to_dict())
 
 
-def execute_point(point: SweepPoint, engine: str) -> RunRecord:
+def execute_point(
+    point: SweepPoint,
+    engine: str,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every_s: Optional[float] = None,
+    resume_from: Optional[str] = None,
+) -> RunRecord:
     """Run one grid point to a :class:`RunRecord` (the worker function).
 
     Top-level (picklable) and self-contained: builds its own
     observability bundle, catches run exceptions into the record, and
-    returns plain data only.
+    returns plain data only.  ``checkpoint_dir``/``checkpoint_every_s``
+    arm per-run checkpointing (the identity hash ignores them);
+    ``resume_from`` restores that checkpoint instead of starting fresh
+    — its config hash must match the point's.  A SIGINT/SIGTERM stop
+    (:class:`SimulationInterrupted`) propagates to the caller; it is a
+    scheduling event, not a run outcome.
     """
     # Imported here so a forked worker touches the engines lazily.
-    from ..sim import run_mesoscopic, run_simulation
+    from .. import sim as _sim
 
+    if engine not in ("meso", "exact"):
+        raise ConfigurationError(f"unknown sweep engine {engine!r}")
     config = point.config
+    if checkpoint_dir is not None and checkpoint_every_s is not None:
+        config = config.replace(
+            checkpoint_every_s=checkpoint_every_s, checkpoint_dir=checkpoint_dir
+        )
     record = RunRecord(
         index=point.index,
         label=point.label,
         seed=point.seed,
         policy=config.policy_name,
         engine=engine,
-        status="ok",
+        status="completed",
         config_hash=config_hash(config),
     )
     started = time.perf_counter()
     try:
-        if engine == "exact":
-            result = run_simulation(config)
-        elif engine == "meso":
-            result = run_mesoscopic(config)
-            record.lifespan_days = result.network_lifespan_days()
+        if resume_from is not None:
+            from ..checkpoint.core import resume as _resume
+
+            sim, _header = _resume(
+                resume_from, expected_config_hash=record.config_hash
+            )
+            result = sim.run()
+        elif engine == "exact":
+            result = _sim.run_simulation(config)
         else:
-            raise ConfigurationError(f"unknown sweep engine {engine!r}")
+            result = _sim.run_mesoscopic(config)
+        if engine == "meso":
+            record.lifespan_days = result.network_lifespan_days()
         record.summary = result.metrics.summary()
         if result.manifest is not None:
             record.manifest = result.manifest.to_dict()
+    except SimulationInterrupted:
+        raise
     except Exception:
-        record.status = "error"
+        record.status = "failed"
         record.error = traceback.format_exc()
     record.wall_s = time.perf_counter() - started
     return record
+
+
+# ------------------------------------------------------------ worker side
+
+
+def _worker_main(
+    conn,
+    point: SweepPoint,
+    engine: str,
+    run_dir: Optional[str],
+    checkpoint_every_s: Optional[float],
+    resume_from: Optional[str],
+    crash_after_saves: Optional[int],
+) -> None:
+    """Entry point of one sweep worker process.
+
+    Installs the graceful-stop signal handlers (so a parent SIGTERM
+    yields a rescue checkpoint plus an ``("interrupted", path)``
+    message instead of a lost run), optionally arms the deterministic
+    crash hook, executes the point and ships the record back over the
+    pipe.  The pipe closing without a record *is* the crash signal the
+    parent watches for.
+    """
+    from ..checkpoint import core as _ckpt_core
+    from ..checkpoint import interrupt as _interrupt
+
+    _interrupt.install()
+    if crash_after_saves is not None:
+        saves = {"n": 0}
+
+        def _crash_hook(path: str, time_s: float) -> None:
+            saves["n"] += 1
+            if saves["n"] >= crash_after_saves:
+                os.kill(os.getpid(), 9)  # SIGKILL: a real crash, no cleanup
+
+        _ckpt_core._post_save_hook = _crash_hook
+    try:
+        record = execute_point(
+            point,
+            engine,
+            checkpoint_dir=run_dir,
+            checkpoint_every_s=checkpoint_every_s,
+            resume_from=resume_from,
+        )
+        conn.send(("record", record))
+    except SimulationInterrupted as exc:
+        conn.send(("interrupted", exc.checkpoint_path))
+    finally:
+        conn.close()
+
+
+# ------------------------------------------------------------ parent side
+
+
+@dataclass
+class _Job:
+    """One attempt of one grid cell, waiting for a worker slot."""
+
+    point: SweepPoint
+    attempt: int = 1
+    resume_from: Optional[str] = None
+
+
+@dataclass
+class _Active:
+    """A worker process currently executing one attempt."""
+
+    job: _Job
+    process: object
+    conn: object
+    run_dir: Optional[str]
+    deadline: Optional[float]
+
+
+def _failure_record(
+    point: SweepPoint, engine: str, status: str, attempts: int, error: str
+) -> RunRecord:
+    """Record for a cell whose every attempt crashed or timed out."""
+    return RunRecord(
+        index=point.index,
+        label=point.label,
+        seed=point.seed,
+        policy=point.config.policy_name,
+        engine=engine,
+        status=status,
+        config_hash=config_hash(point.config),
+        error=error,
+        attempts=attempts,
+    )
+
+
+class _Scheduler:
+    """Crash/timeout-aware worker pool for one sweep.
+
+    Keeps at most ``workers`` processes alive, watches their result
+    pipes and per-run deadlines, retries crashed or stuck runs (from
+    their newest checkpoint when available) and merges records by grid
+    index.  All state is parent-process local.
+    """
+
+    def __init__(
+        self,
+        engine: str,
+        workers: int,
+        registry: MetricsRegistry,
+        timeout_s: Optional[float],
+        max_retries: int,
+        checkpoint_dir: Optional[str],
+        checkpoint_every_s: Optional[float],
+        crash_spec: Optional[CrashSpec],
+    ) -> None:
+        self.engine = engine
+        self.workers = workers
+        self.registry = registry
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every_s = checkpoint_every_s
+        self.crash_spec = crash_spec
+        self.context = multiprocessing.get_context()
+        self.jobs: deque = deque()
+        self.active: Dict[object, _Active] = {}
+        self.records: Dict[int, RunRecord] = {}
+        self.interrupted = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def run(self, points: Sequence[SweepPoint]) -> Tuple[Dict[int, RunRecord], bool]:
+        self.jobs.extend(_Job(point) for point in points)
+        try:
+            while self.jobs or self.active:
+                if stop_requested():
+                    self.interrupted = True
+                    self._shutdown()
+                    break
+                self._fill_slots()
+                self._pump()
+        finally:
+            if self.active:  # unexpected exit: never leak children
+                self._shutdown()
+        return self.records, self.interrupted
+
+    def _fill_slots(self) -> None:
+        while self.jobs and len(self.active) < self.workers:
+            job = self.jobs.popleft()
+            run_dir = None
+            if self.checkpoint_dir is not None:
+                run_dir = os.path.join(
+                    self.checkpoint_dir, f"run_{job.point.index:04d}"
+                )
+                os.makedirs(run_dir, exist_ok=True)
+            crash_after = None
+            if (
+                self.crash_spec is not None
+                and job.point.index == self.crash_spec.index
+                and job.attempt <= self.crash_spec.attempts
+            ):
+                crash_after = self.crash_spec.after_checkpoints
+            parent_conn, child_conn = self.context.Pipe(duplex=False)
+            process = self.context.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    job.point,
+                    self.engine,
+                    run_dir,
+                    self.checkpoint_every_s,
+                    job.resume_from,
+                    crash_after,
+                ),
+            )
+            process.start()
+            child_conn.close()
+            deadline = (
+                time.monotonic() + self.timeout_s
+                if self.timeout_s is not None
+                else None
+            )
+            self.active[parent_conn] = _Active(
+                job=job,
+                process=process,
+                conn=parent_conn,
+                run_dir=run_dir,
+                deadline=deadline,
+            )
+
+    def _pump(self) -> None:
+        """One wait-and-dispatch round over the active pipes."""
+        if not self.active:
+            return
+        now = time.monotonic()
+        deadlines = [
+            entry.deadline
+            for entry in self.active.values()
+            if entry.deadline is not None
+        ]
+        # Cap the wait so parent-side stop requests stay responsive.
+        wait_s = 0.25
+        if deadlines:
+            wait_s = min(wait_s, max(0.0, min(deadlines) - now))
+        ready = _connection_wait(list(self.active), timeout=wait_s)
+        for conn in ready:
+            entry = self.active.pop(conn)
+            self._finish(entry, self._receive(conn))
+        now = time.monotonic()
+        for conn, entry in list(self.active.items()):
+            if entry.deadline is not None and now >= entry.deadline:
+                del self.active[conn]
+                self._reap_timeout(entry)
+
+    @staticmethod
+    def _receive(conn) -> Optional[Tuple[str, object]]:
+        """Read one worker message; None means the process crashed."""
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            message = None
+        conn.close()
+        return message
+
+    def _finish(self, entry: _Active, message: Optional[Tuple[str, object]]) -> None:
+        """Handle a worker that reported (or died) on its own."""
+        entry.process.join()
+        if message is not None and message[0] == "record":
+            record = message[1]
+            record.attempts = entry.job.attempt
+            if record.status == "completed" and entry.job.attempt > 1:
+                record.status = "resumed"
+            self.records[entry.job.point.index] = record
+            return
+        if message is not None and message[0] == "interrupted":
+            # A graceful stop we did not ask for: the worker saw its own
+            # SIGTERM (e.g. an external supervisor).  Treat as a crash so
+            # the retry budget decides, resuming from its rescue snapshot.
+            self._retry_or_fail(
+                entry,
+                status="failed",
+                error="worker was terminated mid-run",
+                preferred_checkpoint=message[1],
+            )
+            return
+        exit_code = entry.process.exitcode
+        self._retry_or_fail(
+            entry,
+            status="failed",
+            error=(
+                "worker process died without returning a record "
+                f"(exit code {exit_code})"
+            ),
+        )
+
+    def _reap_timeout(self, entry: _Active) -> None:
+        """Kill a worker past its deadline, then retry or record it."""
+        entry.process.terminate()  # SIGTERM: graceful rescue checkpoint
+        grace_end = time.monotonic() + _GRACE_S
+        message: Optional[Tuple[str, object]] = None
+        while time.monotonic() < grace_end:
+            if entry.conn.poll(0.1):
+                message = self._receive(entry.conn)
+                break
+            if not entry.process.is_alive():
+                message = self._receive(entry.conn)
+                break
+        else:
+            entry.process.kill()
+            message = self._receive(entry.conn)
+        entry.process.join()
+        preferred = None
+        if message is not None and message[0] == "interrupted":
+            preferred = message[1]
+        elif message is not None and message[0] == "record":
+            # Finished in the closing window: a timeout race the run won.
+            self._finish_record_after_race(entry, message[1])
+            return
+        self._retry_or_fail(
+            entry,
+            status="timeout",
+            error=f"run exceeded its {self.timeout_s:g}s timeout",
+            preferred_checkpoint=preferred,
+        )
+
+    def _finish_record_after_race(self, entry: _Active, record: RunRecord) -> None:
+        record.attempts = entry.job.attempt
+        if record.status == "completed" and entry.job.attempt > 1:
+            record.status = "resumed"
+        self.records[entry.job.point.index] = record
+
+    def _retry_or_fail(
+        self,
+        entry: _Active,
+        status: str,
+        error: str,
+        preferred_checkpoint: Optional[str] = None,
+    ) -> None:
+        job = entry.job
+        if job.attempt <= self.max_retries:
+            resume_from = preferred_checkpoint
+            if resume_from is None and entry.run_dir is not None:
+                resume_from = latest_checkpoint(entry.run_dir)
+            self.registry.counter(
+                "sweep_retries_total",
+                "Sweep run attempts retried after a crash or timeout",
+            ).inc()
+            self.jobs.append(
+                _Job(
+                    point=job.point,
+                    attempt=job.attempt + 1,
+                    resume_from=resume_from,
+                )
+            )
+            return
+        self.records[job.point.index] = _failure_record(
+            job.point, self.engine, status, job.attempt, error
+        )
+
+    def _shutdown(self) -> None:
+        """Terminate every worker, salvaging records already in flight."""
+        for entry in self.active.values():
+            entry.process.terminate()
+        grace_end = time.monotonic() + _GRACE_S
+        for conn, entry in list(self.active.items()):
+            remaining = max(0.0, grace_end - time.monotonic())
+            if entry.conn.poll(remaining):
+                message = self._receive(entry.conn)
+                if message is not None and message[0] == "record":
+                    self._finish_record_after_race(entry, message[1])
+            else:
+                entry.process.kill()
+                entry.conn.close()
+            entry.process.join()
+        self.active.clear()
 
 
 def run_sweep(
@@ -158,42 +600,82 @@ def run_sweep(
     engine: str = "meso",
     workers: int = 1,
     metrics: Optional[MetricsRegistry] = None,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every_s: Optional[float] = None,
+    crash_spec: Optional[CrashSpec] = None,
+    existing: Optional[Dict[int, RunRecord]] = None,
+    spec: Optional[Dict[str, object]] = None,
 ) -> SweepResult:
-    """Execute every grid point and merge records in grid-index order."""
+    """Execute every grid point and merge records in grid-index order.
+
+    ``existing`` maps grid indices to records from a previous report
+    (``repro sweep --resume``); those cells are not re-run.  When both
+    ``checkpoint_dir`` and ``checkpoint_every_s`` are set, each run
+    checkpoints into ``<checkpoint_dir>/run_<index>`` and retries
+    continue from the newest snapshot instead of starting over.
+    """
     if engine not in ("meso", "exact"):
         raise ConfigurationError(f"unknown sweep engine {engine!r}")
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
+    if max_retries < 0:
+        raise ConfigurationError("max_retries must be >= 0")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ConfigurationError("timeout_s must be positive")
     indices = [point.index for point in points]
     if len(set(indices)) != len(indices):
         raise ConfigurationError("sweep grid indices must be unique")
     registry = metrics if metrics is not None else MetricsRegistry()
     started = time.perf_counter()
-    by_index: Dict[int, RunRecord] = {}
-    if workers == 1 or len(points) <= 1:
-        for point in points:
-            by_index[point.index] = execute_point(point, engine)
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(execute_point, point, engine): point
-                for point in points
-            }
-            pending = set(futures)
+    by_index: Dict[int, RunRecord] = dict(existing or {})
+    todo = [point for point in points if point.index not in by_index]
+    interrupted = False
+
+    supervised = (
+        timeout_s is not None
+        or crash_spec is not None
+        or (workers > 1 and len(todo) > 1)
+    )
+    if not supervised:
+        # In-process serial path: cheapest, and the one library callers
+        # (and monkeypatching tests) observe directly.
+        for point in todo:
+            if stop_requested():
+                interrupted = True
+                break
+            run_dir = None
+            if checkpoint_dir is not None:
+                run_dir = os.path.join(checkpoint_dir, f"run_{point.index:04d}")
+                os.makedirs(run_dir, exist_ok=True)
             try:
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        by_index[futures[future].index] = future.result()
-            except BrokenProcessPool as exc:
-                missing = sorted(
-                    futures[f].index for f in futures if futures[f].index not in by_index
+                by_index[point.index] = execute_point(
+                    point,
+                    engine,
+                    checkpoint_dir=run_dir,
+                    checkpoint_every_s=checkpoint_every_s,
                 )
-                raise SweepWorkerError(
-                    "a sweep worker process died before returning results; "
-                    f"unfinished grid indices: {missing}"
-                ) from exc
-    records = [by_index[point.index] for point in sorted(points, key=lambda p: p.index)]
+            except SimulationInterrupted:
+                interrupted = True
+                break
+    else:
+        scheduler = _Scheduler(
+            engine=engine,
+            workers=workers,
+            registry=registry,
+            timeout_s=timeout_s,
+            max_retries=max_retries,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_s=checkpoint_every_s,
+            crash_spec=crash_spec,
+        )
+        worker_records, interrupted = scheduler.run(todo)
+        by_index.update(worker_records)
+
+    records = [
+        by_index[index] for index in sorted(by_index) if index in by_index
+    ]
     for record in records:
         registry.counter(
             "sweep_runs_total",
@@ -206,6 +688,10 @@ def run_sweep(
         records=records,
         wall_s=time.perf_counter() - started,
         metrics=registry,
+        timeout_s=timeout_s,
+        max_retries=max_retries,
+        spec=spec,
+        interrupted=interrupted,
     )
 
 
@@ -215,13 +701,15 @@ def summarize(result: SweepResult) -> str:
         f"sweep: {len(result.records)} runs  engine: {result.engine}  "
         f"workers: {result.workers}  ok: {result.ok_count}  "
         f"errors: {result.error_count}  wall: {result.wall_s:.1f}s"
+        + ("  [interrupted]" if result.interrupted else "")
     ]
     for record in result.records:
-        if record.status != "ok":
+        retry = f"  ({record.attempts} attempts)" if record.attempts > 1 else ""
+        if not record.ok:
             first = (record.error or "").strip().splitlines()
             lines.append(
-                f"  [{record.index:3d}] {record.label}: ERROR "
-                f"({first[-1] if first else 'unknown'})"
+                f"  [{record.index:3d}] {record.label}: {record.status.upper()} "
+                f"({first[-1] if first else 'unknown'}){retry}"
             )
             continue
         prr = record.summary.get("avg_prr")
@@ -233,6 +721,12 @@ def summarize(result: SweepResult) -> str:
         )
         lines.append(
             f"  [{record.index:3d}] {record.label}: prr {prr:.4f}  "
-            f"max_deg {degradation:.3e}{extra}"
+            f"max_deg {degradation:.3e}{extra}{retry}"
         )
     return "\n".join(lines)
+
+
+def interrupt_exit_code() -> int:
+    """Conventional 128+signum exit code after a graceful stop."""
+    signum = last_signal()
+    return 128 + signum if signum is not None else 130

@@ -1,0 +1,1 @@
+"""Tests for crash-safe checkpoint/resume (format + equivalence)."""

@@ -48,10 +48,10 @@ def _normalized(record):
 
 
 class TestExecutePoint:
-    def test_meso_run_produces_ok_record(self):
+    def test_meso_run_produces_completed_record(self):
         point = SweepPoint(index=0, label="seed=1", seed=1, config=_base())
         record = execute_point(point, "meso")
-        assert record.status == "ok"
+        assert record.status == "completed"
         assert record.error is None
         assert record.policy == "H-50"
         assert record.lifespan_days is not None
@@ -66,7 +66,7 @@ class TestExecutePoint:
         record = execute_point(
             SweepPoint(index=0, label="seed=2", seed=2, config=config), "exact"
         )
-        assert record.status == "ok"
+        assert record.status == "completed"
         assert record.lifespan_days is None
         assert "avg_prr" in record.summary
 
@@ -79,7 +79,7 @@ class TestExecutePoint:
         monkeypatch.setattr(repro.sim, "run_mesoscopic", boom)
         point = SweepPoint(index=3, label="seed=1", seed=1, config=_base())
         record = execute_point(point, "meso")
-        assert record.status == "error"
+        assert record.status == "failed"
         assert "engine exploded" in record.error
         assert record.summary == {}
 
@@ -115,13 +115,13 @@ class TestRunSweep:
         points = build_grid([("", _base(days=0.5))], [1, 2, 3])
         registry = MetricsRegistry()
         result = run_sweep(points, engine="meso", workers=1, metrics=registry)
-        assert [r.status for r in result.records] == ["ok", "error", "ok"]
+        assert [r.status for r in result.records] == ["completed", "failed", "completed"]
         assert result.error_count == 1
         assert registry.counter(
-            "sweep_runs_total", "", labels={"status": "ok"}
+            "sweep_runs_total", "", labels={"status": "completed"}
         ).value == 2.0
         assert registry.counter(
-            "sweep_runs_total", "", labels={"status": "error"}
+            "sweep_runs_total", "", labels={"status": "failed"}
         ).value == 1.0
 
     def test_unknown_engine_rejected(self):
@@ -156,7 +156,7 @@ class TestSweepResultSerialization:
         assert doc["wall_s"] > 0.0
         assert [run["index"] for run in doc["runs"]] == [0, 1]
         for run in doc["runs"]:
-            assert run["status"] == "ok"
+            assert run["status"] == "completed"
             assert run["config_hash"]
             assert run["summary"]["avg_prr"] >= 0.0
             assert run["manifest"]["engine"] == "mesoscopic"

@@ -171,7 +171,7 @@ class TestSweepCommand:
         assert "4 runs" in text
         assert "ok: 4" in text
         doc = json.loads(out.read_text())
-        assert doc["schema"] == "repro.sweep/1"
+        assert doc["schema"] == "repro.sweep/2"
         assert doc["run_count"] == 4
         assert doc["ok_count"] == 4
         assert doc["error_count"] == 0
@@ -189,8 +189,8 @@ class TestSweepCommand:
         )
         assert code == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema"] == "repro.sweep/1"
-        assert doc["runs"][0]["status"] == "ok"
+        assert doc["schema"] == "repro.sweep/2"
+        assert doc["runs"][0]["status"] == "completed"
         assert doc["runs"][0]["summary"]["avg_prr"] >= 0.0
 
     def test_sweep_axis_override(self, capsys):
@@ -230,3 +230,91 @@ class TestSweepCommand:
     def test_sweep_rejects_bad_axis(self, capsys):
         assert main(["sweep", "--axis", "nonsense"]) == 2
         assert main(["sweep", "--axis", "no_such_field=1"]) == 2
+
+
+class TestCheckpointFlags:
+    def test_checkpoint_every_requires_dir(self, capsys):
+        assert main(["simulate", "--checkpoint-every", "0.5"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_simulate_writes_checkpoints(self, tmp_path, capsys):
+        ckdir = tmp_path / "ck"
+        code = main(
+            [
+                "simulate", "--nodes", "4", "--days", "1",
+                "--engine", "exact",
+                "--checkpoint-dir", str(ckdir),
+                "--checkpoint-every", "0.4",
+            ]
+        )
+        assert code == 0
+        names = sorted(p.name for p in ckdir.iterdir())
+        assert names and all(n.endswith(".ckpt") for n in names)
+
+
+class TestResumeCommand:
+    def test_resume_reproduces_uninterrupted_summary(self, tmp_path, capsys):
+        ckdir = tmp_path / "ck"
+        argv = [
+            "simulate", "--nodes", "4", "--days", "1",
+            "--engine", "exact", "--seed", "9", "--json",
+        ]
+        assert main(argv) == 0
+        reference = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--checkpoint-dir", str(ckdir),
+                            "--checkpoint-every", "0.4"]) == 0
+        capsys.readouterr()
+        newest = sorted(ckdir.iterdir())[-1]
+        assert main(["resume", str(newest), "--json"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["metrics"] == reference["metrics"]
+        assert resumed["resumed_from_s"] > 0.0
+
+    def test_resume_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "nope.ckpt")]) == 2
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_resume_corrupted_checkpoint_fails_cleanly(self, tmp_path, capsys):
+        ckdir = tmp_path / "ck"
+        main(["simulate", "--nodes", "4", "--days", "0.5", "--engine", "exact",
+              "--checkpoint-dir", str(ckdir), "--checkpoint-every", "0.25"])
+        capsys.readouterr()
+        victim = sorted(ckdir.iterdir())[-1]
+        data = bytearray(victim.read_bytes())
+        data[-5] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        assert main(["resume", str(victim)]) == 2
+        assert "cannot resume" in capsys.readouterr().err
+
+
+class TestSweepResume:
+    def test_resume_skips_finished_cells(self, tmp_path, capsys):
+        out = tmp_path / "SWEEP.json"
+        argv = ["sweep", "--nodes", "4", "--days", "0.5", "--seeds", "2",
+                "--out", str(out)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        # drop one finished cell, as an interrupted sweep would
+        finished = doc["runs"][0]
+        doc["runs"] = [finished]
+        out.write_text(json.dumps(doc))
+        assert main(["sweep", "--resume", str(out)]) == 0
+        capsys.readouterr()
+        redone = json.loads(out.read_text())
+        assert redone["run_count"] == 2
+        assert [run["index"] for run in redone["runs"]] == [0, 1]
+        # the kept cell is byte-for-byte the original record
+        assert redone["runs"][0] == finished
+
+    def test_resume_rejects_report_without_spec(self, tmp_path, capsys):
+        report = tmp_path / "SWEEP.json"
+        report.write_text(json.dumps({"schema": "repro.sweep/2", "runs": []}))
+        assert main(["sweep", "--resume", str(report)]) == 2
+        assert "no embedded grid spec" in capsys.readouterr().err
+
+    def test_resume_rejects_old_schema(self, tmp_path, capsys):
+        report = tmp_path / "SWEEP.json"
+        report.write_text(json.dumps({"schema": "repro.sweep/1", "runs": []}))
+        assert main(["sweep", "--resume", str(report)]) == 2
+        assert "schema" in capsys.readouterr().err
