@@ -161,43 +161,99 @@ def run_longhorizon(
     return report
 
 
-def run_veccompare(
-    nodes: int = 500, days: float = 365.0, smoke: bool = False
-) -> Dict[str, object]:
-    """Scalar-vs-vectorized mesoscopic comparison → BENCH_vec.json.
+def run_vec_child(variant: str, nodes: int, days: float) -> Dict[str, object]:
+    """One vec-compare leg, run to be printed as JSON by ``--vec-child``.
 
-    Runs the same seeded H-50 configuration through the scalar reference
-    sweep and the vectorized fast path, records both wall times plus the
-    speedup, and cross-checks every per-node metric field for exact
-    equality (the vectorized path claims bit-identity, not tolerance).
+    Executed in a *fresh subprocess* per leg so ``peak_rss_kb`` is the
+    leg's own high-water mark — ``ru_maxrss`` is a process-lifetime
+    cumulative maximum, so two legs measured in one process would
+    always report the first leg's (higher-so-far) peak for both.
     """
-    if smoke:
-        nodes, days = 30, 5.0
     config = SimulationConfig(
         node_count=nodes, duration_s=days * SECONDS_PER_DAY, seed=42
     ).as_h(0.5)
-    captures: Dict[str, Dict[str, object]] = {}
-    results = {}
-    for variant, vectorized in (("scalar", False), ("vectorized", True)):
-        start = time.perf_counter()
-        result = run_mesoscopic(config.replace(vectorized=vectorized))
-        wall = time.perf_counter() - start
-        manifest = result.manifest
-        captures[variant] = {
+    start = time.perf_counter()
+    result = run_mesoscopic(config.replace(vectorized=(variant == "vectorized")))
+    wall = time.perf_counter() - start
+    manifest = result.manifest
+    return {
+        "capture": {
             "wall_s": round(wall, 3),
             "sim_s_per_wall_s": round(manifest.sim_s_per_wall_s or 0.0, 1),
             "events_executed": manifest.events_executed,
             "peak_queue_depth": manifest.peak_queue_depth,
             "peak_rss_kb": _peak_rss_kb(),
             "avg_prr": result.metrics.avg_prr,
-        }
-        results[variant] = result
+        },
+        "node_metrics": {
+            str(node_id): vars(node) for node_id, node in result.metrics.nodes.items()
+        },
+    }
+
+
+def _spawn_vec_child(
+    variant: str, nodes: int, days: float
+) -> Dict[str, object]:
+    """Run one leg in a fresh interpreter and parse its JSON output."""
+    import os
+    import subprocess
+
+    import repro
+
+    env = dict(os.environ)
+    package_root = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = (
+        package_root
+        if not env.get("PYTHONPATH")
+        else package_root + os.pathsep + env["PYTHONPATH"]
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(pathlib.Path(__file__).resolve()),
+            "--vec-child",
+            variant,
+            "--nodes",
+            str(nodes),
+            "--days",
+            str(days),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def run_veccompare(
+    nodes: int = 500, days: float = 365.0, smoke: bool = False
+) -> Dict[str, object]:
+    """Scalar-vs-vectorized mesoscopic comparison → BENCH_vec.json.
+
+    Runs the same seeded H-50 configuration through the scalar reference
+    sweep and the vectorized fast path — each leg in its own fresh
+    subprocess, so the two ``peak_rss_kb`` figures are independent —
+    records both wall times plus the speedup, and cross-checks every
+    per-node metric field for exact equality (the vectorized path claims
+    bit-identity, not tolerance; JSON float round-trips are exact, so
+    comparing across the process boundary loses nothing).
+    """
+    if smoke:
+        nodes, days = 30, 5.0
+    legs = {
+        variant: _spawn_vec_child(variant, nodes, days)
+        for variant in ("scalar", "vectorized")
+    }
+    captures: Dict[str, Dict[str, object]] = {
+        variant: leg["capture"] for variant, leg in legs.items()
+    }
     mismatches = []
-    scalar_nodes = results["scalar"].metrics.nodes
-    vec_nodes = results["vectorized"].metrics.nodes
+    scalar_nodes = legs["scalar"]["node_metrics"]
+    vec_nodes = legs["vectorized"]["node_metrics"]
     for node_id, scalar_metrics in scalar_nodes.items():
-        vec_vars = vars(vec_nodes[node_id])
-        for key, value in vars(scalar_metrics).items():
+        vec_vars = vec_nodes[node_id]
+        for key, value in scalar_metrics.items():
             if value != vec_vars[key]:
                 mismatches.append(f"node {node_id} metrics.{key}")
     for key in ("events_executed", "peak_queue_depth"):
@@ -252,6 +308,12 @@ def main(argv: Optional[list] = None) -> int:
         help="scalar-vs-vectorized mesoscopic comparison → BENCH_vec.json",
     )
     parser.add_argument(
+        "--vec-child",
+        choices=("scalar", "vectorized"),
+        default=None,
+        help=argparse.SUPPRESS,  # internal: one --vec-compare leg as JSON
+    )
+    parser.add_argument(
         "--nodes",
         type=int,
         default=None,
@@ -277,6 +339,18 @@ def main(argv: Optional[list] = None) -> int:
         help=f"output JSON path (default {DEFAULT_OUT} / {PERF_OUT})",
     )
     args = parser.parse_args(argv)
+    if args.vec_child is not None:
+        print(
+            json.dumps(
+                run_vec_child(
+                    args.vec_child,
+                    nodes=args.nodes or 500,
+                    days=args.days or 365.0,
+                ),
+                sort_keys=True,
+            )
+        )
+        return 0
     if args.vec_compare:
         out = args.out or VEC_OUT
         report = run_veccompare(

@@ -7,6 +7,8 @@
   stop flag the engines poll for graceful shutdown.
 * :mod:`repro.checkpoint.equivalence` — the comparison helpers that
   define (and enforce) the bit-identical-resume contract.
+* :mod:`repro.checkpoint.progress` — header-only progress introspection
+  (checkpointed fraction of a run or sweep, for live metrics scrapes).
 
 See docs/ROBUSTNESS.md for the file format and recovery semantics.
 """
@@ -30,6 +32,12 @@ from .equivalence import (
     normalize_metrics,
 )
 from .interrupt import install, last_signal, reset, stop_requested
+from .progress import (
+    latest_progress,
+    progress_fraction,
+    sweep_cell_fractions,
+    sweep_progress_fraction,
+)
 
 __all__ = [
     "FORMAT",
@@ -42,7 +50,11 @@ __all__ = [
     "install",
     "last_signal",
     "latest_checkpoint",
+    "latest_progress",
     "load_checkpoint",
+    "progress_fraction",
+    "sweep_cell_fractions",
+    "sweep_progress_fraction",
     "normalize_manifest",
     "normalize_metrics",
     "read_header",

@@ -1,0 +1,114 @@
+"""Progress introspection over checkpoint directories.
+
+A run that checkpoints every ``checkpoint_every_s`` simulated seconds
+leaves a trail of headers whose ``time_s`` field is the newest simulated
+instant known to be durably on disk.  Reading only the header line (no
+unpickling, no payload hash) makes this cheap enough for a metrics
+scrape: the ``repro serve`` ``/metrics`` endpoint derives its per-run
+``run_progress_fraction`` gauges from these headers while the runs are
+still in flight.
+
+The granularity is the checkpoint cadence — a run 40 % through its
+horizon that last checkpointed at 35 % reports 0.35.  That coarseness
+is the honest number: everything past the newest checkpoint would be
+lost to a crash.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, Optional
+
+from ..exceptions import CheckpointError
+from .core import latest_checkpoint, read_header
+
+#: Per-cell checkpoint directories created by the sweep executor.
+_RUN_DIR_RE = re.compile(r"^run_(\d+)$")
+
+
+def latest_progress(directory: str) -> Optional[Dict[str, object]]:
+    """Header facts of the newest checkpoint in ``directory``, or None.
+
+    Returns ``{"time_s", "engine", "seed", "node_count", "path"}``
+    without touching the pickle payload.  Unreadable or foreign files
+    yield None rather than raising — a scrape must never take a run
+    down.
+    """
+    path = latest_checkpoint(directory)
+    if path is None:
+        return None
+    try:
+        header = read_header(path)
+    except CheckpointError:
+        return None
+    return {
+        "time_s": float(header.get("time_s", 0.0)),
+        "engine": header.get("engine"),
+        "seed": header.get("seed"),
+        "node_count": header.get("node_count"),
+        "path": path,
+    }
+
+
+def progress_fraction(directory: str, duration_s: float) -> Optional[float]:
+    """Fraction of the horizon durably checkpointed, clamped to [0, 1]."""
+    if duration_s <= 0:
+        return None
+    progress = latest_progress(directory)
+    if progress is None:
+        return None
+    return max(0.0, min(1.0, float(progress["time_s"]) / duration_s))
+
+
+def sweep_cell_fractions(
+    checkpoint_root: str, duration_s: float
+) -> Dict[int, float]:
+    """Per-cell checkpointed fractions under a sweep's checkpoint root.
+
+    The sweep executor checkpoints each grid cell into
+    ``<root>/run_<index>``; this maps every cell directory that has at
+    least one readable checkpoint to its fraction.
+    """
+    fractions: Dict[int, float] = {}
+    try:
+        names = os.listdir(checkpoint_root)
+    except OSError:
+        return fractions
+    for name in names:
+        match = _RUN_DIR_RE.match(name)
+        if match is None:
+            continue
+        fraction = progress_fraction(
+            os.path.join(checkpoint_root, name), duration_s
+        )
+        if fraction is not None:
+            fractions[int(match.group(1))] = fraction
+    return fractions
+
+
+def sweep_progress_fraction(
+    checkpoint_root: str,
+    duration_s: float,
+    total_cells: int,
+    completed_cells: int = 0,
+    completed_indices: Optional[Dict[int, bool]] = None,
+) -> Optional[float]:
+    """Whole-sweep progress: completed cells count 1, in-flight cells
+    contribute their checkpointed fraction.
+
+    ``completed_indices`` (cell index → True) lets the caller mark which
+    cells already finished so their (stale) checkpoint directories do
+    not double-count; ``completed_cells`` is the count of those cells.
+    """
+    if total_cells <= 0:
+        return None
+    done = completed_indices or {}
+    partial = 0.0
+    for index, fraction in sweep_cell_fractions(
+        checkpoint_root, duration_s
+    ).items():
+        if index not in done:
+            partial += fraction
+    value = (completed_cells + partial) / total_cells
+    return max(0.0, min(1.0, value))

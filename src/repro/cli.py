@@ -19,7 +19,12 @@ Four commands cover the common workflows:
 * ``resume`` — continue an interrupted ``simulate`` run from its newest
   checkpoint (bit-identical to the uninterrupted run).
 * ``trace`` — pretty-print / filter a JSONL trace written by
-  ``simulate --trace-out``.
+  ``simulate --trace-out``; ``--follow`` streams new events live
+  (``tail -f`` semantics).
+* ``serve`` — the long-running simulation service: an asyncio HTTP API
+  that accepts simulate/sweep specs, runs them through this same CLI in
+  supervised subprocesses, and exposes live progress, NDJSON event
+  streams, and a Prometheus ``/metrics`` scrape (docs/SERVICE.md).
 
 ``simulate``, ``resume`` and ``sweep`` install SIGINT/SIGTERM handlers:
 a signal stops the run at the next event boundary, writes a rescue
@@ -31,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -214,6 +220,23 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="as_json",
         help="re-emit the matching events as JSONL instead of text",
     )
+    trace.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help=(
+            "keep the file open and stream events as they are appended "
+            "(tail -f); waits for the file if it does not exist yet"
+        ),
+    )
+    trace.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        dest="poll_interval",
+        help="how often --follow polls the file for new lines",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
     figure.add_argument(
@@ -291,6 +314,45 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--json", action="store_true", dest="as_json",
         help="print the SWEEP.json document instead of the text summary",
+    )
+    sweep.add_argument(
+        "--progress-out", type=str, default=None, metavar="PATH",
+        dest="progress_out",
+        help=(
+            "append one NDJSON record per finished cell, flushed live "
+            "(what repro serve tails for sweep-wide metrics)"
+        ),
+    )
+    sweep.add_argument(
+        "--trace-dir", type=str, default=None, metavar="DIR",
+        dest="trace_dir",
+        help=(
+            "per-cell JSONL event traces into DIR/run_<index>.jsonl "
+            "(results stay bit-identical; repro serve streams these)"
+        ),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio simulation service (HTTP API + /metrics)",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="TCP port (0 picks an ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--data-dir", type=str, default="repro-service", dest="data_dir",
+        help="root directory for per-run artifacts (specs, reports, traces)",
+    )
+    serve.add_argument(
+        "--max-parallel", type=int, default=1, dest="max_parallel",
+        help="how many submitted runs may execute concurrently",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=float, default=1.0, metavar="DAYS",
+        dest="checkpoint_every",
+        help="checkpoint cadence armed on every submitted run (days)",
     )
     return parser
 
@@ -497,8 +559,14 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.follow:
+        from .obs import follow_events
+
+        source = follow_events(args.path, poll_interval_s=args.poll_interval)
+    else:
+        source = iter_jsonl(args.path)
     events = filter_events(
-        iter_jsonl(args.path),
+        source,
         categories=args.category,
         node_id=args.node,
         name_substring=args.name,
@@ -507,11 +575,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         until_s=args.until,
     )
     shown = 0
-    for event in events:
-        if args.limit is not None and shown >= args.limit:
-            break
-        print(event.to_json() if args.as_json else format_event(event))
-        shown += 1
+    try:
+        for event in events:
+            print(
+                event.to_json() if args.as_json else format_event(event),
+                flush=args.follow,
+            )
+            shown += 1
+            # break immediately at the limit — pulling one more event
+            # first would block forever under --follow
+            if args.limit is not None and shown >= args.limit:
+                break
+    except KeyboardInterrupt:
+        # The conventional way out of tail -f; what was shown stands.
+        pass
     if not args.as_json:
         print(f"{shown} event(s)")
     return 0
@@ -557,22 +634,6 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_axis_value(token: str) -> object:
-    """Coerce one axis value token: bool, int, float, else string."""
-    text = token.strip()
-    lowered = text.lower()
-    if lowered in ("true", "false"):
-        return lowered == "true"
-    try:
-        return int(text)
-    except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        return text
-
-
 def _sweep_spec_from_args(args: argparse.Namespace) -> dict:
     """The grid-defining CLI arguments, embedded in SWEEP.json."""
     return {
@@ -586,62 +647,11 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> dict:
     }
 
 
-def _grid_from_spec(spec: dict) -> list:
-    """Rebuild the sweep grid from an embedded spec dict.
-
-    Deterministic: the same spec always yields the same points in the
-    same grid-index order, which is what lets ``--resume`` line a
-    previous report's records up with a freshly expanded grid.
-    Raises :class:`ConfigurationError`/:class:`ValueError` on bad specs.
-    """
-    from .sweep import build_grid, expand_axes
-
-    base = SimulationConfig(
-        node_count=int(spec["nodes"]),
-        duration_s=float(spec["days"]) * SECONDS_PER_DAY,
-    )
-    theta = float(spec.get("theta", 0.5))
-    policy_variants = []
-    for name in (p.strip() for p in str(spec["policies"]).split(",")):
-        if name == "lorawan":
-            policy_variants.append(("policy=lorawan", base.as_lorawan()))
-        elif name == "h":
-            policy_variants.append((f"policy=h{theta:g}", base.as_h(theta)))
-        elif name == "hc":
-            policy_variants.append((f"policy=hc{theta:g}", base.as_hc(theta)))
-        elif name:
-            raise ConfigurationError(
-                f"unknown policy {name!r} (expected lorawan, h, hc)"
-            )
-    axes = []
-    for axis_spec in spec.get("axis") or ():
-        field_name, sep, values = str(axis_spec).partition("=")
-        if not sep or not values:
-            raise ConfigurationError(
-                f"bad --axis {axis_spec!r} (expected FIELD=V1,V2,…)"
-            )
-        axes.append(
-            (
-                field_name.strip(),
-                [_parse_axis_value(v) for v in values.split(",") if v.strip()],
-            )
-        )
-    if spec.get("seed_list") is not None:
-        seeds = [int(s) for s in str(spec["seed_list"]).split(",") if s.strip()]
-    else:
-        seeds = list(range(1, int(spec["seeds"]) + 1))
-    variants = []
-    for policy_label, policy_config in policy_variants:
-        for axis_label, config in expand_axes(policy_config, axes):
-            label = f"{policy_label},{axis_label}" if axis_label else policy_label
-            variants.append((label, config))
-    return build_grid(variants, seeds)
-
-
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .sweep import (
         SCHEMA,
         RunRecord,
+        grid_from_spec,
         interrupt_exit_code,
         run_sweep,
         summarize,
@@ -686,27 +696,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         spec = _sweep_spec_from_args(args)
 
     try:
-        points = _grid_from_spec(spec)
+        points = grid_from_spec(spec)
     except (ConfigurationError, KeyError, ValueError) as exc:
         print(f"bad sweep grid: {exc}", file=sys.stderr)
         return 2
     every_days = args.checkpoint_every
     if args.checkpoint_dir is not None and every_days is None:
         every_days = 1.0
+    on_record = None
+    progress_handle = None
+    if args.progress_out is not None:
+        directory = os.path.dirname(os.path.abspath(args.progress_out))
+        os.makedirs(directory, exist_ok=True)
+        progress_handle = open(args.progress_out, "a", encoding="utf-8")
+
+        def on_record(record) -> None:
+            # One NDJSON line per finished cell, flushed immediately so
+            # a live tail (repro serve, tail -f) sees it right away.
+            progress_handle.write(
+                json.dumps(record.to_dict(), sort_keys=True) + "\n"
+            )
+            progress_handle.flush()
+
+    if args.trace_dir is not None:
+        os.makedirs(args.trace_dir, exist_ok=True)
     _interrupt.install()
-    result = run_sweep(
-        points,
-        engine=engine,
-        workers=args.workers,
-        timeout_s=args.timeout_s,
-        max_retries=args.max_retries,
-        checkpoint_dir=args.checkpoint_dir,
-        checkpoint_every_s=(
-            None if every_days is None else every_days * SECONDS_PER_DAY
-        ),
-        existing=existing,
-        spec=spec,
-    )
+    try:
+        result = run_sweep(
+            points,
+            engine=engine,
+            workers=args.workers,
+            timeout_s=args.timeout_s,
+            max_retries=args.max_retries,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every_s=(
+                None if every_days is None else every_days * SECONDS_PER_DAY
+            ),
+            existing=existing,
+            spec=spec,
+            on_record=on_record,
+            trace_dir=args.trace_dir,
+        )
+    finally:
+        if progress_handle is not None:
+            progress_handle.close()
     if out is not None:
         result.write(out)
     if args.as_json:
@@ -718,6 +751,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if result.interrupted:
         return interrupt_exit_code()
     return 1 if result.error_count else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import run_service
+
+    return run_service(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        max_parallel=args.max_parallel,
+        checkpoint_every_days=args.checkpoint_every,
+    )
 
 
 def _cmd_replicates(args: argparse.Namespace) -> int:
@@ -756,6 +801,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_replicates(args)
 
 

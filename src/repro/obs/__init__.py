@@ -25,6 +25,7 @@ from typing import Iterable, Optional
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profiling import Profiler, RunManifest, config_hash, git_revision
+from .tail import JsonlTailer, follow_events, follow_lines, parse_event_line
 from .trace import (
     CATEGORIES,
     SEVERITIES,
@@ -80,6 +81,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "JsonlTailer",
     "MetricsRegistry",
     "Observability",
     "Profiler",
@@ -89,8 +91,11 @@ __all__ = [
     "TraceEvent",
     "config_hash",
     "filter_events",
+    "follow_events",
+    "follow_lines",
     "format_event",
     "git_revision",
     "iter_jsonl",
+    "parse_event_line",
     "severity_level",
 ]

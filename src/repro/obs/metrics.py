@@ -33,10 +33,24 @@ def _label_key(labels: Optional[Mapping[str, str]]) -> Tuple[Tuple[str, str], ..
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format label-value escaping (v0.0.4)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Prometheus text-format ``# HELP`` escaping (v0.0.4)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels
+    )
     return "{" + inner + "}"
 
 
@@ -266,7 +280,7 @@ class MetricsRegistry:
         for name, metrics in by_name.items():
             help_text = self._helps.get(name)
             if help_text:
-                lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
             lines.append(f"# TYPE {name} {self._kinds[name]}")
             for metric in metrics:
                 for suffix, labels, value in metric.samples():  # type: ignore[attr-defined]

@@ -90,13 +90,22 @@ def config_hash(config: object) -> str:
     else:
         payload = config  # pragma: no cover - convenience for plain dicts
     if isinstance(payload, dict):
-        # Checkpoint cadence/location never alters simulation results, so
-        # they stay out of the identity hash — a resumed run in a fresh
-        # checkpoint directory still hashes equal to its reference run.
+        # Observability settings never alter simulation results —
+        # checkpoint cadence/location (a resumed run in a fresh
+        # checkpoint directory hashes equal to its reference run) and
+        # tracing (bit-identical metrics with or without a trace sink,
+        # so a traced service run hashes equal to the plain CLI run).
         payload = {
             key: value
             for key, value in payload.items()
-            if key not in ("checkpoint_every_s", "checkpoint_dir")
+            if key
+            not in (
+                "checkpoint_every_s",
+                "checkpoint_dir",
+                "trace",
+                "trace_path",
+                "trace_categories",
+            )
         }
     text = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,137 @@
+"""Incremental JSONL tailing (``tail -f`` for trace and progress files).
+
+Both consumers of a growing JSONL file — the ``repro serve`` events
+endpoint and ``repro trace --follow`` — read through one stateful
+:class:`JsonlTailer`: it remembers its byte offset, returns only the
+*complete* lines appended since the last poll, and recovers from the
+file being truncated or replaced (checkpoint resume rewinds a trace
+file with :func:`repro.ioutil.atomic_write_bytes`, which swaps the
+inode out from under a reader).
+
+A line is complete once its ``\\n`` has been written, so a reader never
+sees the torn tail of an in-flight ``write()``.  The helpers tolerate
+the file not existing yet: a tailer can be pointed at the path a run
+*will* write before the run has opened it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Iterator, List, Optional
+
+from .trace import TraceEvent
+
+
+class JsonlTailer:
+    """Stateful incremental reader of one growing JSONL file.
+
+    ``poll()`` returns the complete lines appended since the previous
+    call (without trailing newlines).  Truncation or replacement is
+    detected through shrinking size / changed inode, after which reading
+    restarts from the beginning of the new content.
+    """
+
+    def __init__(self, path: str, from_start: bool = True) -> None:
+        self.path = path
+        self.offset = 0
+        self._inode: Optional[int] = None
+        if not from_start:
+            try:
+                stat = os.stat(path)
+                self.offset = stat.st_size
+                self._inode = stat.st_ino
+            except OSError:
+                pass
+        self._pending = b""
+
+    def poll(self) -> List[str]:
+        """Complete lines appended since the last poll (may be empty)."""
+        try:
+            stat = os.stat(self.path)
+        except OSError:
+            return []
+        if self._inode is not None and stat.st_ino != self._inode:
+            # Replaced (atomic rewrite): start over on the new file.
+            self.offset = 0
+            self._pending = b""
+        elif stat.st_size < self.offset:
+            # Truncated in place.
+            self.offset = 0
+            self._pending = b""
+        self._inode = stat.st_ino
+        if stat.st_size == self.offset:
+            return []
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self.offset)
+                chunk = handle.read()
+        except OSError:
+            return []
+        self.offset += len(chunk)
+        data = self._pending + chunk
+        *complete, rest = data.split(b"\n")
+        self._pending = rest
+        # Keep the offset accounting simple: the offset tracks bytes
+        # consumed from the file; the partial line lives in _pending.
+        return [
+            line.decode("utf-8", errors="replace").rstrip("\r")
+            for line in complete
+            if line.strip()
+        ]
+
+
+def parse_event_line(line: str) -> Optional[TraceEvent]:
+    """One JSONL line as a :class:`TraceEvent`, or None if malformed."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict) or "time_s" not in record:
+        return None
+    try:
+        return TraceEvent.from_dict(record)
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def follow_lines(
+    path: str,
+    poll_interval_s: float = 0.2,
+    stop: Optional[Callable[[], bool]] = None,
+    from_start: bool = True,
+) -> Iterator[str]:
+    """Yield JSONL lines as they are appended (``tail -f`` semantics).
+
+    Polls ``path`` every ``poll_interval_s``; between polls the optional
+    ``stop`` predicate is consulted, and once it returns True the
+    iterator drains whatever is already on disk and ends.  Without a
+    ``stop`` the iterator only ends when the consumer stops pulling.
+    """
+    tailer = JsonlTailer(path, from_start=from_start)
+    while True:
+        lines = tailer.poll()
+        for line in lines:
+            yield line
+        if stop is not None and stop():
+            for line in tailer.poll():  # final drain after the stop
+                yield line
+            return
+        if not lines:
+            time.sleep(poll_interval_s)
+
+
+def follow_events(
+    path: str,
+    poll_interval_s: float = 0.2,
+    stop: Optional[Callable[[], bool]] = None,
+    from_start: bool = True,
+) -> Iterator[TraceEvent]:
+    """:func:`follow_lines`, parsed into events (malformed lines skipped)."""
+    for line in follow_lines(
+        path, poll_interval_s=poll_interval_s, stop=stop, from_start=from_start
+    ):
+        event = parse_event_line(line)
+        if event is not None:
+            yield event

@@ -1,0 +1,41 @@
+"""The live telemetry plane: ``repro serve``.
+
+A dependency-free asyncio HTTP service that accepts simulate/sweep
+specs, executes them as ordinary CLI subprocesses (results byte-
+identical to ``repro sweep`` by construction), and makes every run
+observable while it executes:
+
+* ``/metrics`` — Prometheus text exposition merging service gauges,
+  per-run RSS and checkpoint-derived progress fractions, sweep-wide
+  per-cell families (:class:`~repro.service.aggregate.SweepAggregator`),
+  and finished runs' own metric registries;
+* ``/runs/{id}/events`` — live NDJSON stream of TraceBus events;
+* ``/runs`` control plane — submit, inspect, cancel (SIGTERM onto the
+  rescue-checkpoint path, so ``--resume`` semantics are preserved).
+
+Protocol details in docs/SERVICE.md.
+"""
+
+from .aggregate import SweepAggregator, ingest_metrics_export
+from .app import ServiceApp, run_service
+from .http import HttpError, HttpServer, Request, Response, Router
+from .jobs import Job, JobManager, validate_spec
+from .resources import ResourceSampler, process_tree_rss_kb, rss_kb
+
+__all__ = [
+    "HttpError",
+    "HttpServer",
+    "Job",
+    "JobManager",
+    "Request",
+    "Response",
+    "ResourceSampler",
+    "Router",
+    "ServiceApp",
+    "SweepAggregator",
+    "ingest_metrics_export",
+    "process_tree_rss_kb",
+    "rss_kb",
+    "run_service",
+    "validate_spec",
+]

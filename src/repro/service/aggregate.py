@@ -1,0 +1,204 @@
+"""Sweep-wide metric aggregation for the service's ``/metrics`` scrape.
+
+One scrape has to summarize an entire grid: the
+:class:`SweepAggregator` keeps every per-cell :class:`RunRecord` dict it
+has seen (fed live from each sweep's ``--progress-out`` NDJSON tail)
+and folds them into labelled families on demand —
+
+* ``repro_run_prr{run=…,cell=…,policy=…,seed=…}`` (and the other
+  headline summary aggregates as ``repro_run_<name>``),
+* ``repro_run_wall_s``, ``repro_run_peak_rss_kb``,
+  ``repro_run_lifespan_days``, ``repro_run_attempts``,
+* ``repro_sweep_cells{run=…,status=…}`` cell counts per final status.
+
+Folding is idempotent (records are keyed by ``(run, cell)`` and gauges
+are ``set()``), so re-reading a progress file from the start after a
+truncation never double-counts.
+
+:func:`ingest_metrics_export` merges a finished run's
+``MetricsRegistry`` JSON export into the scrape registry under a
+``run`` label — how a simulate run's full instrument set (histograms
+included) appears on the service endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..obs.metrics import Histogram, MetricsRegistry
+
+#: Summary keys surfaced as per-cell gauge families (name → metric
+#: suffix).  PRR leads because it is the paper's headline metric.
+_SUMMARY_FAMILIES: Tuple[Tuple[str, str, str], ...] = (
+    ("avg_prr", "run_prr", "Per-cell packet reception ratio"),
+    ("min_prr", "run_min_prr", "Per-cell minimum node PRR"),
+    ("max_degradation", "run_max_degradation", "Per-cell max battery degradation"),
+    ("mean_degradation", "run_mean_degradation", "Per-cell mean battery degradation"),
+    ("total_tx_energy_j", "run_tx_energy_j", "Per-cell total TX energy (J)"),
+)
+
+
+class SweepAggregator:
+    """Folds per-cell sweep records into sweep-wide labelled families."""
+
+    def __init__(self) -> None:
+        self._records: Dict[Tuple[str, int], Dict[str, object]] = {}
+
+    def ingest(self, run_id: str, record: Mapping[str, object]) -> None:
+        """Absorb one RunRecord dict (idempotent per ``(run, cell)``)."""
+        try:
+            index = int(record["index"])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            return
+        self._records[(run_id, index)] = dict(record)
+
+    def cell_count(self, run_id: str) -> int:
+        """Cells ingested so far for one run."""
+        return sum(1 for key in self._records if key[0] == run_id)
+
+    def status_counts(self, run_id: str) -> Dict[str, int]:
+        """Final-status histogram of one run's ingested cells."""
+        counts: Dict[str, int] = {}
+        for (rid, _), record in self._records.items():
+            if rid != run_id:
+                continue
+            status = str(record.get("status", "unknown"))
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    def completed_indices(self, run_id: str) -> Dict[int, bool]:
+        """Cells of a run that already carry a final record."""
+        return {
+            index: True
+            for (rid, index) in self._records
+            if rid == run_id
+        }
+
+    def fold_into(self, registry: MetricsRegistry) -> None:
+        """Render every ingested record into labelled gauge families."""
+        status_counts: Dict[Tuple[str, str], int] = {}
+        for (run_id, index), record in sorted(self._records.items()):
+            status = str(record.get("status", "unknown"))
+            status_counts[(run_id, status)] = (
+                status_counts.get((run_id, status), 0) + 1
+            )
+            labels = {
+                "run": run_id,
+                "cell": str(index),
+                "policy": str(record.get("policy", "")),
+                "seed": str(record.get("seed", "")),
+            }
+            summary = record.get("summary")
+            if isinstance(summary, Mapping):
+                for key, family, help_text in _SUMMARY_FAMILIES:
+                    value = summary.get(key)
+                    if isinstance(value, (int, float)):
+                        registry.gauge(family, help_text, labels=labels).set(
+                            float(value)
+                        )
+            wall_s = record.get("wall_s")
+            if isinstance(wall_s, (int, float)):
+                registry.gauge(
+                    "run_wall_s", "Per-cell wall-clock seconds", labels=labels
+                ).set(float(wall_s))
+            peak = record.get("peak_rss_kb")
+            if isinstance(peak, (int, float)):
+                registry.gauge(
+                    "run_peak_rss_kb",
+                    "Per-cell peak worker RSS (KiB)",
+                    labels=labels,
+                ).set(float(peak))
+            lifespan = record.get("lifespan_days")
+            if isinstance(lifespan, (int, float)):
+                registry.gauge(
+                    "run_lifespan_days",
+                    "Per-cell extrapolated network lifespan (days)",
+                    labels=labels,
+                ).set(float(lifespan))
+            attempts = record.get("attempts")
+            if isinstance(attempts, (int, float)):
+                registry.gauge(
+                    "run_attempts",
+                    "Attempts the cell needed (1 = clean first try)",
+                    labels=labels,
+                ).set(float(attempts))
+        for (run_id, status), count in sorted(status_counts.items()):
+            registry.gauge(
+                "sweep_cells",
+                "Sweep cells by final status",
+                labels={"run": run_id, "status": status},
+            ).set(float(count))
+
+
+def ingest_metrics_export(
+    registry: MetricsRegistry,
+    export: Mapping[str, object],
+    extra_labels: Optional[Mapping[str, str]] = None,
+) -> int:
+    """Merge a ``MetricsRegistry.to_json()`` document into ``registry``.
+
+    Every instrument is re-created under its original name plus
+    ``extra_labels`` (the service adds ``{run="<id>"}``), so several
+    runs' exports coexist as one labelled family per metric.  Counter
+    and gauge values are *set*; histograms are rebuilt bucket-for-bucket
+    from the export's cumulative weights.  Returns the number of
+    instruments merged; entries whose type collides with an existing
+    registration are skipped rather than poisoning the scrape.
+    """
+    merged = 0
+    entries = export.get("metrics")
+    if not isinstance(entries, list):
+        return merged
+    for entry in entries:
+        if not isinstance(entry, Mapping):
+            continue
+        name = str(entry.get("name", ""))
+        kind = str(entry.get("kind", ""))
+        if not name:
+            continue
+        labels = dict(entry.get("labels") or {})
+        labels.update(extra_labels or {})
+        try:
+            if kind == "counter":
+                value = float(entry.get("value", 0.0))  # type: ignore[arg-type]
+                counter = registry.counter(name, labels=labels)
+                if value > counter.value:
+                    counter.inc(value - counter.value)
+            elif kind == "gauge":
+                registry.gauge(name, labels=labels).set(
+                    float(entry.get("value", 0.0))  # type: ignore[arg-type]
+                )
+            elif kind == "histogram":
+                buckets = entry.get("buckets")
+                if not isinstance(buckets, Mapping):
+                    continue
+                bounds = [float(bound) for bound in buckets.keys()]
+                histogram = registry.histogram(
+                    name, buckets=sorted(bounds), labels=labels
+                )
+                _load_histogram(histogram, buckets, entry)
+            else:
+                continue
+        except Exception:
+            # A colliding registration (same name, different kind) or a
+            # malformed entry must not take the whole scrape down.
+            continue
+        merged += 1
+    return merged
+
+
+def _load_histogram(
+    histogram: Histogram,
+    buckets: Mapping[str, object],
+    entry: Mapping[str, object],
+) -> None:
+    """Restore a histogram's internals from cumulative export weights."""
+    cumulative = [float(buckets[f"{bound:g}"]) for bound in histogram.bounds]  # type: ignore[index]
+    weights = []
+    previous = 0.0
+    for value in cumulative:
+        weights.append(max(0.0, value - previous))
+        previous = value
+    histogram._bucket_weights = weights
+    histogram.sum = float(entry.get("sum", 0.0))  # type: ignore[arg-type]
+    histogram.count = float(entry.get("count", 0.0))  # type: ignore[arg-type]

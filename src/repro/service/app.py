@@ -1,0 +1,441 @@
+"""The ``repro serve`` application: routes, scrape assembly, lifecycle.
+
+Endpoint map (all JSON unless noted)::
+
+    GET  /                     service index (endpoints, counts)
+    GET  /healthz              liveness probe
+    GET  /metrics              Prometheus text exposition (scrape)
+    GET  /runs                 every submitted run, in submission order
+    POST /runs                 submit a spec → 201 + the new run
+    GET  /runs/{id}            status, progress, report/manifest digest
+    POST /runs/{id}/cancel     SIGTERM the run (rescue-checkpoint path)
+    GET  /runs/{id}/events     NDJSON stream of TraceBus events
+                               (?category=…&min_severity=…&since=…
+                                &follow=1&limit=N — chunked, live)
+
+One scrape (`/metrics`) is assembled fresh each time: service gauges,
+per-run RSS from :class:`ResourceSampler`, per-run progress fractions
+from checkpoint headers, the :class:`SweepAggregator`'s per-cell
+families, and — for finished ``simulate`` runs — the run's own exported
+``MetricsRegistry`` merged under a ``run`` label.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import glob
+import json
+import os
+import signal
+from typing import AsyncIterator, Dict, List, Optional, Set
+
+from ..checkpoint.progress import progress_fraction, sweep_progress_fraction
+from ..ioutil import atomic_write_json
+from ..obs.metrics import MetricsRegistry
+from ..obs.tail import JsonlTailer, parse_event_line
+from ..obs.trace import SEVERITIES
+from .aggregate import SweepAggregator, ingest_metrics_export
+from .http import HttpError, HttpServer, Request, Response, Router
+from .jobs import Job, JobManager
+from .resources import ResourceSampler, rss_kb, self_peak_rss_kb
+
+_TERMINAL = ("completed", "completed-with-errors", "cancelled", "interrupted", "failed")
+
+
+def _truthy(value: Optional[str]) -> bool:
+    return (value or "").lower() in ("1", "true", "yes", "on")
+
+
+class ServiceApp:
+    """Wires the job manager, aggregator, and sampler into a router."""
+
+    def __init__(
+        self,
+        data_dir: str,
+        max_parallel: int = 1,
+        checkpoint_every_days: float = 1.0,
+    ) -> None:
+        self.data_dir = data_dir
+        self.manager = JobManager(
+            data_dir,
+            max_parallel=max_parallel,
+            checkpoint_every_days=checkpoint_every_days,
+        )
+        self.aggregator = SweepAggregator()
+        self.sampler = ResourceSampler()
+        self._progress_tailers: Dict[str, JsonlTailer] = {}
+        self._report_ingested: Set[str] = set()
+        self._metrics_exports: Dict[str, Dict[str, object]] = {}
+        self.router = Router()
+        self.router.route("GET", "/", self.handle_index)
+        self.router.route("GET", "/healthz", self.handle_healthz)
+        self.router.route("GET", "/metrics", self.handle_metrics)
+        self.router.route("GET", "/runs", self.handle_list_runs)
+        self.router.route("POST", "/runs", self.handle_submit)
+        self.router.route("GET", "/runs/{id}", self.handle_get_run)
+        self.router.route("POST", "/runs/{id}/cancel", self.handle_cancel)
+        self.router.route("GET", "/runs/{id}/events", self.handle_events)
+
+    # ------------------------------------------------------------ ingestion
+
+    def _pump_progress(self) -> None:
+        """Tail every sweep's progress NDJSON into the aggregator.
+
+        Idempotent by construction (the aggregator keys on ``(run,
+        cell)``), and for runs that predate this service process — or
+        whose progress file is gone — the final ``SWEEP.json`` records
+        are folded in once instead.
+        """
+        for job in self.manager.list():
+            if job.kind != "sweep":
+                continue
+            tailer = self._progress_tailers.get(job.run_id)
+            if tailer is None:
+                tailer = JsonlTailer(job.path("progress.ndjson"), from_start=True)
+                self._progress_tailers[job.run_id] = tailer
+            for line in tailer.poll():
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    self.aggregator.ingest(job.run_id, record)
+            if job.state in _TERMINAL and job.run_id not in self._report_ingested:
+                report = self._read_json(job.path("SWEEP.json"))
+                if report is not None:
+                    for record in report.get("runs", ()):
+                        if isinstance(record, dict):
+                            self.aggregator.ingest(job.run_id, record)
+                    self._report_ingested.add(job.run_id)
+
+    def _metrics_export_for(self, job: Job) -> Optional[Dict[str, object]]:
+        """A finished simulate run's metrics export, loaded once."""
+        if job.kind != "simulate" or job.state not in _TERMINAL:
+            return None
+        cached = self._metrics_exports.get(job.run_id)
+        if cached is not None:
+            return cached
+        doc = self._read_json(job.path("metrics.json"))
+        if doc is not None:
+            self._metrics_exports[job.run_id] = doc
+        return doc
+
+    @staticmethod
+    def _read_json(path: str) -> Optional[Dict[str, object]]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return loaded if isinstance(loaded, dict) else None
+
+    def _job_progress(self, job: Job) -> Optional[float]:
+        """Fraction of the run durably finished, in [0, 1]."""
+        if job.state in ("completed", "completed-with-errors"):
+            return 1.0
+        if job.kind == "simulate":
+            if job.state == "queued":
+                return 0.0
+            return progress_fraction(job.path("checkpoints"), job.duration_s)
+        done = self.aggregator.completed_indices(job.run_id)
+        return sweep_progress_fraction(
+            job.path("checkpoints"),
+            job.duration_s,
+            job.total_cells,
+            completed_cells=len(done),
+            completed_indices=done,
+        )
+
+    # --------------------------------------------------------------- scrape
+
+    def render_metrics(self) -> str:
+        """Assemble one Prometheus exposition for the whole service."""
+        self._pump_progress()
+        registry = MetricsRegistry()
+        registry.gauge(
+            "service_active_runs", "Runs currently executing"
+        ).set(float(len(self.manager.running())))
+        registry.gauge(
+            "service_queue_depth", "Runs queued behind the parallel limit"
+        ).set(float(self.manager.queue_depth()))
+        states: Dict[str, int] = {}
+        for job in self.manager.list():
+            states[job.state] = states.get(job.state, 0) + 1
+        for state, count in sorted(states.items()):
+            registry.gauge(
+                "service_runs", "Submitted runs by state", labels={"state": state}
+            ).set(float(count))
+        own_rss = rss_kb(os.getpid())
+        if own_rss is not None:
+            registry.gauge(
+                "process_resident_memory_kb", "Service process RSS (KiB)"
+            ).set(float(own_rss))
+        own_peak = self_peak_rss_kb()
+        if own_peak is not None:
+            registry.gauge(
+                "process_peak_resident_memory_kb", "Service process peak RSS (KiB)"
+            ).set(float(own_peak))
+        for job in self.manager.list():
+            labels = {"run": job.run_id}
+            if job.state == "running":
+                self.sampler.sample(job.run_id, job.pid)
+            last = self.sampler.last(job.run_id)
+            if last is not None:
+                registry.gauge(
+                    "run_rss_kb", "Run subprocess-tree RSS (KiB)", labels=labels
+                ).set(float(last))
+            peak = self.sampler.peak(job.run_id)
+            if peak is not None:
+                registry.gauge(
+                    "run_peak_rss_kb_sampled",
+                    "Peak-of-samples run subprocess-tree RSS (KiB)",
+                    labels=labels,
+                ).set(float(peak))
+            fraction = self._job_progress(job)
+            if fraction is not None:
+                registry.gauge(
+                    "run_progress_fraction",
+                    "Fraction of the run durably finished (checkpoint-derived)",
+                    labels=labels,
+                ).set(fraction)
+            export = self._metrics_export_for(job)
+            if export is not None:
+                ingest_metrics_export(registry, export, extra_labels=labels)
+        self.aggregator.fold_into(registry)
+        return registry.to_prometheus()
+
+    # ------------------------------------------------------------- handlers
+
+    async def handle_index(self, request: Request) -> Response:
+        return Response.json(
+            {
+                "service": "repro",
+                "endpoints": [
+                    "GET /healthz",
+                    "GET /metrics",
+                    "GET /runs",
+                    "POST /runs",
+                    "GET /runs/{id}",
+                    "POST /runs/{id}/cancel",
+                    "GET /runs/{id}/events",
+                ],
+                "runs": len(self.manager.jobs),
+                "active": len(self.manager.running()),
+            }
+        )
+
+    async def handle_healthz(self, request: Request) -> Response:
+        return Response.json({"ok": True})
+
+    async def handle_metrics(self, request: Request) -> Response:
+        return Response.text(
+            self.render_metrics(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    async def handle_list_runs(self, request: Request) -> Response:
+        self._pump_progress()
+        runs = []
+        for job in self.manager.list():
+            entry = job.to_dict()
+            entry["cells_done"] = (
+                self.aggregator.cell_count(job.run_id)
+                if job.kind == "sweep"
+                else (1 if job.state in ("completed",) else 0)
+            )
+            entry["progress_fraction"] = self._job_progress(job)
+            runs.append(entry)
+        return Response.json({"runs": runs})
+
+    async def handle_submit(self, request: Request) -> Response:
+        job = self.manager.submit(request.json())
+        return Response.json(job.to_dict(), status=201)
+
+    async def handle_get_run(self, request: Request) -> Response:
+        self._pump_progress()
+        job = self.manager.get(request.params["id"])
+        payload = job.to_dict()
+        payload["progress_fraction"] = self._job_progress(job)
+        if job.kind == "sweep":
+            payload["cells_done"] = self.aggregator.cell_count(job.run_id)
+            payload["cell_status_counts"] = self.aggregator.status_counts(
+                job.run_id
+            )
+            report = self._read_json(job.path("SWEEP.json"))
+            if report is not None:
+                payload["report"] = {
+                    "schema": report.get("schema"),
+                    "engine": report.get("engine"),
+                    "interrupted": report.get("interrupted"),
+                    "error_count": report.get("error_count"),
+                    "attempts": [
+                        {
+                            key: record.get(key)
+                            for key in (
+                                "index",
+                                "policy",
+                                "seed",
+                                "status",
+                                "attempts",
+                                "wall_s",
+                                "peak_rss_kb",
+                                "error",
+                            )
+                        }
+                        for record in report.get("runs", ())
+                        if isinstance(record, dict)
+                    ],
+                }
+        else:
+            manifest = self._read_json(job.path("manifest.json"))
+            if manifest is not None:
+                payload["manifest"] = manifest
+        return Response.json(payload)
+
+    async def handle_cancel(self, request: Request) -> Response:
+        job = self.manager.cancel(request.params["id"])
+        return Response.json(job.to_dict(), status=202)
+
+    async def handle_events(self, request: Request) -> Response:
+        job = self.manager.get(request.params["id"])
+        categories = set(request.query_list("category"))
+        min_severity = request.query_get("min_severity")
+        if min_severity is not None and min_severity not in SEVERITIES:
+            raise HttpError(
+                400,
+                f"unknown min_severity {min_severity!r} "
+                f"(one of {sorted(SEVERITIES)})",
+            )
+        min_level = SEVERITIES.get(min_severity or "", 0)
+        since_text = request.query_get("since")
+        try:
+            since = float(since_text) if since_text is not None else None
+        except ValueError as exc:
+            raise HttpError(400, f"bad since {since_text!r}") from exc
+        limit_text = request.query_get("limit")
+        try:
+            limit = int(limit_text) if limit_text is not None else None
+        except ValueError as exc:
+            raise HttpError(400, f"bad limit {limit_text!r}") from exc
+        follow = _truthy(request.query_get("follow"))
+        try:
+            poll_s = float(request.query_get("poll", "0.2") or 0.2)
+        except ValueError:
+            poll_s = 0.2
+        stream = self._event_stream(
+            job,
+            categories=categories,
+            min_level=min_level,
+            since=since,
+            limit=limit,
+            follow=follow,
+            poll_s=max(0.05, poll_s),
+        )
+        return Response(content_type="application/x-ndjson", stream=stream)
+
+    def _event_paths(self, job: Job) -> List[str]:
+        if job.kind == "simulate":
+            return [job.path("trace.jsonl")]
+        return sorted(glob.glob(os.path.join(job.path("traces"), "run_*.jsonl")))
+
+    async def _event_stream(
+        self,
+        job: Job,
+        categories: Set[str],
+        min_level: int,
+        since: Optional[float],
+        limit: Optional[int],
+        follow: bool,
+        poll_s: float,
+    ) -> AsyncIterator[bytes]:
+        """NDJSON event lines across the run's trace sinks.
+
+        Each poll round re-globs the trace directory (a sweep opens new
+        per-cell sinks as cells start) and drains every tailer.  In
+        follow mode the stream ends when the run reaches a terminal
+        state (after one final drain) or ``limit`` lines went out; a
+        plain request ends after draining what is on disk now.
+        """
+        tailers: Dict[str, JsonlTailer] = {}
+        emitted = 0
+        while True:
+            terminal = job.state in _TERMINAL
+            drained_any = False
+            for path in self._event_paths(job):
+                tailer = tailers.get(path)
+                if tailer is None:
+                    tailer = JsonlTailer(path, from_start=True)
+                    tailers[path] = tailer
+                for line in tailer.poll():
+                    drained_any = True
+                    event = parse_event_line(line)
+                    if event is None:
+                        continue
+                    if categories and event.category not in categories:
+                        continue
+                    if SEVERITIES.get(event.severity, 0) < min_level:
+                        continue
+                    if since is not None and event.time_s < since:
+                        continue
+                    yield (line + "\n").encode("utf-8")
+                    emitted += 1
+                    if limit is not None and emitted >= limit:
+                        return
+            if not follow:
+                return
+            if terminal and not drained_any:
+                return
+            await asyncio.sleep(poll_s)
+
+
+def run_service(
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    data_dir: str = "repro-service",
+    max_parallel: int = 1,
+    checkpoint_every_days: float = 1.0,
+) -> int:
+    """Blocking entry point for ``repro serve``.
+
+    Prints one parseable startup line (``repro service listening on
+    http://HOST:PORT``) and records ``{host, port, pid}`` in
+    ``<data_dir>/service.json`` so tooling can discover an ephemeral
+    port (``--port 0``).  SIGTERM/SIGINT stop the listener, forward
+    SIGTERM to running children (their rescue-checkpoint path), and
+    exit 0.
+    """
+
+    async def _main() -> int:
+        os.makedirs(data_dir, exist_ok=True)
+        app = ServiceApp(
+            data_dir,
+            max_parallel=max_parallel,
+            checkpoint_every_days=checkpoint_every_days,
+        )
+        server = HttpServer(app.router)
+        bound = await server.start(host, port)
+        atomic_write_json(
+            os.path.join(data_dir, "service.json"),
+            {"host": host, "port": bound, "pid": os.getpid()},
+        )
+        print(f"repro service listening on http://{host}:{bound}", flush=True)
+        # Adopted runs (left queued/interrupted by a previous service
+        # process) restart now that the loop is up.
+        app.manager.pump()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                signal.signal(signum, lambda *_: stop.set())
+        await stop.wait()
+        print("repro service shutting down", flush=True)
+        await server.stop()
+        await app.manager.shutdown()
+        return 0
+
+    try:
+        return asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        return 0

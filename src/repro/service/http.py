@@ -1,0 +1,338 @@
+"""A dependency-free asyncio HTTP/1.1 server core.
+
+``repro serve`` deliberately runs on the stdlib only — the container
+the reproduction ships in has no web framework, and the service needs
+exactly four things a framework would give it: request parsing, path
+routing with ``{param}`` captures, JSON responses, and **streaming**
+responses (chunked transfer encoding) for the NDJSON event tail.  This
+module provides those four and nothing else.
+
+Connections are short-lived (``Connection: close``) — scrape and
+control-plane traffic is low-rate, and the one long-lived endpoint
+(``/runs/{id}/events``) holds its connection open by streaming, not by
+keep-alive.  Limits are enforced while *parsing* (header block and body
+size) so a misbehaving client cannot balloon memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import traceback
+from dataclasses import dataclass, field
+from typing import (
+    AsyncIterator,
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+from urllib.parse import parse_qs, unquote, urlsplit
+
+#: Parser guards: a request line + headers block / body larger than
+#: this is rejected before it is buffered any further.
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """Turn into an error response instead of a connection drop."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, List[str]]
+    headers: Dict[str, str]
+    body: bytes
+    #: ``{param}`` captures filled in by the router.
+    params: Dict[str, str] = field(default_factory=dict)
+
+    def json(self) -> object:
+        """The body parsed as JSON (400 on malformed/empty bodies)."""
+        if not self.body:
+            raise HttpError(400, "expected a JSON body")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}") from exc
+
+    def query_get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """First value of a query parameter, or ``default``."""
+        values = self.query.get(name)
+        return values[0] if values else default
+
+    def query_list(self, name: str) -> List[str]:
+        """Every value of a (repeatable or comma-separated) parameter."""
+        out: List[str] = []
+        for value in self.query.get(name, []):
+            out.extend(v for v in value.split(",") if v)
+        return out
+
+
+@dataclass
+class Response:
+    """One response: a complete body or a streaming chunk iterator."""
+
+    status: int = 200
+    body: Union[bytes, str] = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+    #: When set, the body is ignored and chunks are streamed with
+    #: chunked transfer encoding until the iterator ends.
+    stream: Optional[AsyncIterator[bytes]] = None
+
+    @classmethod
+    def json(cls, payload: object, status: int = 200) -> "Response":
+        """A JSON document response."""
+        return cls(
+            status=status,
+            body=json.dumps(payload, sort_keys=True, indent=2) + "\n",
+        )
+
+    @classmethod
+    def text(cls, body: str, status: int = 200, content_type: str = "text/plain; charset=utf-8") -> "Response":
+        """A plain-text response (``/metrics`` exposition)."""
+        return cls(status=status, body=body, content_type=content_type)
+
+    @classmethod
+    def error(cls, status: int, message: str) -> "Response":
+        """The uniform error document."""
+        return cls.json({"error": message, "status": status}, status=status)
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+class Router:
+    """Method + path-pattern dispatch with ``{param}`` captures."""
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, Tuple[str, ...], Handler]] = []
+
+    def route(self, method: str, pattern: str, handler: Handler) -> None:
+        """Register ``handler`` for ``method`` on ``pattern``.
+
+        Patterns are slash-separated literals and ``{name}`` captures,
+        e.g. ``/runs/{id}/events``.
+        """
+        segments = tuple(seg for seg in pattern.split("/") if seg)
+        self._routes.append((method.upper(), segments, handler))
+
+    def resolve(
+        self, method: str, path: str
+    ) -> Tuple[Optional[Handler], Dict[str, str], Optional[int]]:
+        """Match a request; returns (handler, params, error_status)."""
+        segments = [unquote(seg) for seg in path.split("/") if seg]
+        path_matched = False
+        for route_method, pattern, handler in self._routes:
+            params = _match(pattern, segments)
+            if params is None:
+                continue
+            path_matched = True
+            if route_method == method.upper():
+                return handler, params, None
+        if path_matched:
+            return None, {}, 405
+        return None, {}, 404
+
+
+def _match(
+    pattern: Tuple[str, ...], segments: List[str]
+) -> Optional[Dict[str, str]]:
+    if len(pattern) != len(segments):
+        return None
+    params: Dict[str, str] = {}
+    for expected, actual in zip(pattern, segments):
+        if expected.startswith("{") and expected.endswith("}"):
+            params[expected[1:-1]] = actual
+        elif expected != actual:
+            return None
+    return params
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the wire; None on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # client closed without sending a request
+        raise HttpError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    request_line = lines[0].split(" ")
+    if len(request_line) != 3:
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, _version = request_line
+    parts = urlsplit(target)
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise HttpError(400, "bad Content-Length") from exc
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, "request body too large")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise HttpError(400, "truncated request body") from exc
+    return Request(
+        method=method.upper(),
+        path=parts.path,
+        query=parse_qs(parts.query),
+        headers=headers,
+        body=body,
+    )
+
+
+def _head_bytes(response: Response, chunked: bool) -> bytes:
+    reason = _REASONS.get(response.status, "Unknown")
+    headers = dict(response.headers)
+    headers.setdefault("Content-Type", response.content_type)
+    headers["Connection"] = "close"
+    if chunked:
+        headers["Transfer-Encoding"] = "chunked"
+    else:
+        body = response.body
+        length = len(body.encode("utf-8") if isinstance(body, str) else body)
+        headers["Content-Length"] = str(length)
+    lines = [f"HTTP/1.1 {response.status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter, response: Response
+) -> None:
+    if response.stream is None:
+        writer.write(_head_bytes(response, chunked=False))
+        body = response.body
+        writer.write(body.encode("utf-8") if isinstance(body, str) else body)
+        await writer.drain()
+        return
+    writer.write(_head_bytes(response, chunked=True))
+    await writer.drain()
+    try:
+        async for chunk in response.stream:
+            if not chunk:
+                continue
+            writer.write(f"{len(chunk):x}\r\n".encode("ascii"))
+            writer.write(chunk)
+            writer.write(b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+    finally:
+        closer = getattr(response.stream, "aclose", None)
+        if closer is not None:
+            try:
+                await closer()
+            except Exception:  # pragma: no cover - generator teardown
+                pass
+
+
+class HttpServer:
+    """Binds a :class:`Router` to an ``asyncio.start_server`` socket."""
+
+    def __init__(self, router: Router) -> None:
+        self.router = router
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.port: Optional[int] = None
+
+    async def start(self, host: str, port: int) -> int:
+        """Bind and start serving; returns the actual bound port."""
+        self._server = await asyncio.start_server(
+            self._handle, host=host, port=port, limit=MAX_HEADER_BYTES
+        )
+        sockets = self._server.sockets or []
+        self.port = sockets[0].getsockname()[1] if sockets else port
+        return self.port
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await _read_request(reader)
+            except HttpError as exc:
+                await _write_response(
+                    writer, Response.error(exc.status, exc.message)
+                )
+                return
+            if request is None:
+                return
+            response = await self._dispatch(request)
+            try:
+                await _write_response(writer, response)
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # client went away mid-stream; nothing to salvage
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _dispatch(self, request: Request) -> Response:
+        handler, params, error = self.router.resolve(
+            request.method, request.path
+        )
+        if handler is None:
+            if error == 405:
+                return Response.error(405, f"method {request.method} not allowed")
+            return Response.error(404, f"no route for {request.path}")
+        request.params = params
+        try:
+            return await handler(request)
+        except HttpError as exc:
+            return Response.error(exc.status, exc.message)
+        except Exception:
+            return Response.error(
+                500, "internal error:\n" + traceback.format_exc()
+            )

@@ -1,0 +1,141 @@
+"""Process resource sampling for the service's ``/metrics`` endpoint.
+
+The service reports its own resident-set size and, per submitted run,
+the RSS of the subprocess *tree* executing that run (the ``repro
+sweep`` parent plus its per-cell workers).  Linux exposes both through
+``/proc``: ``VmRSS``/``VmHWM`` in ``/proc/<pid>/status`` and child
+pids in ``/proc/<pid>/task/<tid>/children``.  On hosts without
+``/proc`` the sampler degrades gracefully — ``getrusage`` still covers
+the service's own peak, and per-child numbers come back as None.
+
+:class:`ResourceSampler` additionally tracks the peak-of-samples per
+key, so ``run_peak_rss_kb`` stays meaningful even where ``VmHWM`` is
+unavailable (and keeps its high-water mark after the subprocess exits).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+
+def _read_status_kb(pid: int, field: str) -> Optional[int]:
+    """One ``kB`` field of ``/proc/<pid>/status``, or None."""
+    try:
+        with open(f"/proc/{pid}/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith(field + ":"):
+                    parts = line.split()
+                    if len(parts) >= 2 and parts[1].isdigit():
+                        return int(parts[1])
+    except OSError:
+        pass
+    return None
+
+
+def rss_kb(pid: int) -> Optional[int]:
+    """Current resident set size of ``pid`` in KiB (Linux /proc)."""
+    return _read_status_kb(pid, "VmRSS")
+
+
+def peak_rss_kb(pid: int) -> Optional[int]:
+    """Kernel-tracked peak RSS of ``pid`` in KiB (Linux ``VmHWM``)."""
+    return _read_status_kb(pid, "VmHWM")
+
+
+def self_peak_rss_kb() -> Optional[int]:
+    """This process's peak RSS in KiB, via /proc or ``getrusage``."""
+    value = peak_rss_kb(os.getpid())
+    if value is not None:
+        return value
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX hosts
+        return None
+
+
+def child_pids(pid: int) -> List[int]:
+    """Direct children of ``pid`` (Linux ``/proc/<pid>/task/*/children``)."""
+    children: List[int] = []
+    task_dir = f"/proc/{pid}/task"
+    try:
+        tids = os.listdir(task_dir)
+    except OSError:
+        return children
+    for tid in tids:
+        try:
+            with open(
+                f"{task_dir}/{tid}/children", "r", encoding="ascii"
+            ) as handle:
+                children.extend(
+                    int(tok) for tok in handle.read().split() if tok.isdigit()
+                )
+        except OSError:
+            continue
+    return children
+
+
+def process_tree_rss_kb(pid: int, max_depth: int = 4) -> Optional[int]:
+    """Summed RSS (KiB) of ``pid`` and its descendants, or None.
+
+    Depth-limited breadth-first walk; a pid that exits mid-walk simply
+    stops contributing (sampling must never raise).
+    """
+    total: Optional[int] = None
+    frontier = [pid]
+    seen = set()
+    for _ in range(max_depth + 1):
+        next_frontier: List[int] = []
+        for current in frontier:
+            if current in seen:
+                continue
+            seen.add(current)
+            value = rss_kb(current)
+            if value is not None:
+                total = (total or 0) + value
+            next_frontier.extend(child_pids(current))
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return total
+
+
+class ResourceSampler:
+    """Keyed RSS sampling with peak-of-samples tracking.
+
+    ``sample(key, pid)`` records the current subprocess-tree RSS under
+    ``key`` and returns it; ``peak(key)`` is the highest value ever
+    sampled for that key (surviving the process's exit).  Keys are run
+    ids in the service.
+    """
+
+    def __init__(self) -> None:
+        self._last: Dict[str, int] = {}
+        self._peak: Dict[str, int] = {}
+
+    def sample(self, key: str, pid: Optional[int]) -> Optional[int]:
+        """Sample the tree rooted at ``pid``; updates the key's peak."""
+        if pid is None:
+            return self._last.get(key)
+        value = process_tree_rss_kb(pid)
+        if value is None:
+            return self._last.get(key)
+        self._last[key] = value
+        if value > self._peak.get(key, 0):
+            self._peak[key] = value
+        return value
+
+    def last(self, key: str) -> Optional[int]:
+        """The most recent sample for ``key``."""
+        return self._last.get(key)
+
+    def peak(self, key: str) -> Optional[int]:
+        """Highest RSS ever sampled for ``key``."""
+        return self._peak.get(key)
+
+    def forget(self, key: str) -> None:
+        """Drop a key's samples (a deleted run)."""
+        self._last.pop(key, None)
+        self._peak.pop(key, None)

@@ -23,9 +23,18 @@ from .executor import (
     summarize,
 )
 from .grid import SweepPoint, build_grid, expand_axes
+from .spec import (
+    SPEC_KEYS,
+    grid_from_spec,
+    grid_size,
+    normalize_sweep_report,
+    parse_axis_value,
+    spec_duration_s,
+)
 
 __all__ = [
     "SCHEMA",
+    "SPEC_KEYS",
     "STATUSES",
     "CrashSpec",
     "RunRecord",
@@ -35,7 +44,11 @@ __all__ = [
     "build_grid",
     "execute_point",
     "expand_axes",
+    "grid_from_spec",
+    "grid_size",
     "interrupt_exit_code",
+    "normalize_sweep_report",
+    "parse_axis_value",
     "run_sweep",
     "summarize",
 ]

@@ -40,7 +40,7 @@ import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _connection_wait
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..checkpoint.core import latest_checkpoint
 from ..checkpoint.interrupt import last_signal, stop_requested
@@ -105,6 +105,11 @@ class RunRecord:
     wall_s: float = 0.0
     #: Times the run was started (1 = clean first try).
     attempts: int = 1
+    #: Peak RSS (KiB) of the process that executed the run.  Accurate in
+    #: the supervised process-per-run path; in the in-process serial path
+    #: it is the parent's cumulative high-water mark (``ru_maxrss`` never
+    #: goes down), so treat it as an upper bound there.
+    peak_rss_kb: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -126,6 +131,7 @@ class RunRecord:
             "error": self.error,
             "wall_s": self.wall_s,
             "attempts": self.attempts,
+            "peak_rss_kb": self.peak_rss_kb,
         }
 
     @classmethod
@@ -145,6 +151,11 @@ class RunRecord:
             error=data.get("error"),
             wall_s=float(data.get("wall_s", 0.0)),
             attempts=int(data.get("attempts", 1)),
+            peak_rss_kb=(
+                None
+                if data.get("peak_rss_kb") is None
+                else int(data["peak_rss_kb"])
+            ),
         )
 
 
@@ -206,6 +217,7 @@ def execute_point(
     checkpoint_dir: Optional[str] = None,
     checkpoint_every_s: Optional[float] = None,
     resume_from: Optional[str] = None,
+    trace_dir: Optional[str] = None,
 ) -> RunRecord:
     """Run one grid point to a :class:`RunRecord` (the worker function).
 
@@ -227,6 +239,18 @@ def execute_point(
     if checkpoint_dir is not None and checkpoint_every_s is not None:
         config = config.replace(
             checkpoint_every_s=checkpoint_every_s, checkpoint_dir=checkpoint_dir
+        )
+    if trace_dir is not None:
+        # Per-cell JSONL sinks (``repro serve`` streams these live).
+        # Tracing never perturbs simulation results — metrics stay
+        # bit-identical for a given seed — but it does fill the
+        # manifest's trace_* bookkeeping fields.
+        os.makedirs(trace_dir, exist_ok=True)
+        config = config.replace(
+            trace=True,
+            trace_path=os.path.join(
+                trace_dir, f"run_{point.index:04d}.jsonl"
+            ),
         )
     record = RunRecord(
         index=point.index,
@@ -261,6 +285,14 @@ def execute_point(
         record.status = "failed"
         record.error = traceback.format_exc()
     record.wall_s = time.perf_counter() - started
+    try:
+        import resource
+
+        record.peak_rss_kb = int(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        )
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX hosts
+        record.peak_rss_kb = None
     return record
 
 
@@ -275,6 +307,7 @@ def _worker_main(
     checkpoint_every_s: Optional[float],
     resume_from: Optional[str],
     crash_after_saves: Optional[int],
+    trace_dir: Optional[str] = None,
 ) -> None:
     """Entry point of one sweep worker process.
 
@@ -305,6 +338,7 @@ def _worker_main(
             checkpoint_dir=run_dir,
             checkpoint_every_s=checkpoint_every_s,
             resume_from=resume_from,
+            trace_dir=trace_dir,
         )
         conn.send(("record", record))
     except SimulationInterrupted as exc:
@@ -372,6 +406,8 @@ class _Scheduler:
         checkpoint_dir: Optional[str],
         checkpoint_every_s: Optional[float],
         crash_spec: Optional[CrashSpec],
+        on_record: Optional[Callable[[RunRecord], None]] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
         self.engine = engine
         self.workers = workers
@@ -381,6 +417,8 @@ class _Scheduler:
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every_s = checkpoint_every_s
         self.crash_spec = crash_spec
+        self.on_record = on_record
+        self.trace_dir = trace_dir
         self.context = multiprocessing.get_context()
         self.jobs: deque = deque()
         self.active: Dict[object, _Active] = {}
@@ -388,6 +426,12 @@ class _Scheduler:
         self.interrupted = False
 
     # -- lifecycle ------------------------------------------------------
+
+    def _merge(self, index: int, record: RunRecord) -> None:
+        """Record one cell's outcome and notify the progress callback."""
+        self.records[index] = record
+        if self.on_record is not None:
+            self.on_record(record)
 
     def run(self, points: Sequence[SweepPoint]) -> Tuple[Dict[int, RunRecord], bool]:
         self.jobs.extend(_Job(point) for point in points)
@@ -431,6 +475,7 @@ class _Scheduler:
                     self.checkpoint_every_s,
                     job.resume_from,
                     crash_after,
+                    self.trace_dir,
                 ),
             )
             process.start()
@@ -490,7 +535,7 @@ class _Scheduler:
             record.attempts = entry.job.attempt
             if record.status == "completed" and entry.job.attempt > 1:
                 record.status = "resumed"
-            self.records[entry.job.point.index] = record
+            self._merge(entry.job.point.index, record)
             return
         if message is not None and message[0] == "interrupted":
             # A graceful stop we did not ask for: the worker saw its own
@@ -547,7 +592,7 @@ class _Scheduler:
         record.attempts = entry.job.attempt
         if record.status == "completed" and entry.job.attempt > 1:
             record.status = "resumed"
-        self.records[entry.job.point.index] = record
+        self._merge(entry.job.point.index, record)
 
     def _retry_or_fail(
         self,
@@ -573,8 +618,9 @@ class _Scheduler:
                 )
             )
             return
-        self.records[job.point.index] = _failure_record(
-            job.point, self.engine, status, job.attempt, error
+        self._merge(
+            job.point.index,
+            _failure_record(job.point, self.engine, status, job.attempt, error),
         )
 
     def _shutdown(self) -> None:
@@ -607,6 +653,8 @@ def run_sweep(
     crash_spec: Optional[CrashSpec] = None,
     existing: Optional[Dict[int, RunRecord]] = None,
     spec: Optional[Dict[str, object]] = None,
+    on_record: Optional[Callable[[RunRecord], None]] = None,
+    trace_dir: Optional[str] = None,
 ) -> SweepResult:
     """Execute every grid point and merge records in grid-index order.
 
@@ -615,6 +663,13 @@ def run_sweep(
     ``checkpoint_dir`` and ``checkpoint_every_s`` are set, each run
     checkpoints into ``<checkpoint_dir>/run_<index>`` and retries
     continue from the newest snapshot instead of starting over.
+
+    ``on_record`` is invoked in the parent process each time a cell's
+    final record merges (completion order, not grid order) — the live
+    progress hook behind ``repro sweep --progress-out`` and the
+    ``repro serve`` aggregator.  ``trace_dir`` turns on per-cell event
+    tracing into ``<trace_dir>/run_<index>.jsonl`` (results stay
+    bit-identical; only manifest trace bookkeeping is affected).
     """
     if engine not in ("meso", "exact"):
         raise ConfigurationError(f"unknown sweep engine {engine!r}")
@@ -650,15 +705,19 @@ def run_sweep(
                 run_dir = os.path.join(checkpoint_dir, f"run_{point.index:04d}")
                 os.makedirs(run_dir, exist_ok=True)
             try:
-                by_index[point.index] = execute_point(
+                record = execute_point(
                     point,
                     engine,
                     checkpoint_dir=run_dir,
                     checkpoint_every_s=checkpoint_every_s,
+                    trace_dir=trace_dir,
                 )
             except SimulationInterrupted:
                 interrupted = True
                 break
+            by_index[point.index] = record
+            if on_record is not None:
+                on_record(record)
     else:
         scheduler = _Scheduler(
             engine=engine,
@@ -669,6 +728,8 @@ def run_sweep(
             checkpoint_dir=checkpoint_dir,
             checkpoint_every_s=checkpoint_every_s,
             crash_spec=crash_spec,
+            on_record=on_record,
+            trace_dir=trace_dir,
         )
         worker_records, interrupted = scheduler.run(todo)
         by_index.update(worker_records)

@@ -1,0 +1,173 @@
+"""Sweep specs: the grid-defining JSON contract and its comparators.
+
+A *spec* is the small JSON document embedded in every ``SWEEP.json``
+report (``{"nodes", "days", "policies", "theta", "seeds", "seed_list",
+"axis"}``): everything needed to re-expand the exact grid.  It is the
+submission contract shared by three front doors:
+
+* ``repro sweep`` CLI flags are folded into a spec and embedded in the
+  report (so ``--resume`` can rebuild the grid);
+* ``repro sweep --resume REPORT`` re-expands the embedded spec;
+* ``POST /runs`` on ``repro serve`` accepts the same spec over HTTP.
+
+:func:`grid_from_spec` is deterministic — the same spec always yields
+the same points in the same grid-index order — which is what lets
+records from any of those doors line up cell-for-cell.
+
+:func:`normalize_sweep_report` defines the operational meaning of "the
+service produced the *same results* as the CLI": two reports are
+equivalent iff their normalized forms are byte-identical, where
+normalization strips only process facts (wall-clock timings, host
+Python/git, RSS) and trace bookkeeping — never a simulation result.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional
+
+from ..constants import SECONDS_PER_DAY
+from ..exceptions import ConfigurationError
+from ..sim.config import SimulationConfig
+from .grid import SweepPoint, build_grid, expand_axes
+
+#: Spec keys that define the grid; anything else in a submitted document
+#: is an execution knob (workers, engine, …), not part of the grid.
+SPEC_KEYS = ("nodes", "days", "policies", "theta", "seeds", "seed_list", "axis")
+
+#: Report keys that measure the *process*, not the simulation.
+VOLATILE_REPORT_KEYS = ("wall_s", "timeout_s", "max_retries", "workers")
+
+#: Per-run record keys that measure the process, not the simulation.
+VOLATILE_RECORD_KEYS = ("wall_s", "attempts", "peak_rss_kb")
+
+#: Manifest keys that differ run-to-run on the same config (superset of
+#: the checkpoint equivalence set: tracing on/off only moves these).
+VOLATILE_MANIFEST_KEYS = (
+    "wall_s",
+    "sim_s_per_wall_s",
+    "phase_timings_s",
+    "python",
+    "git_rev",
+    "trace_events",
+    "trace_dropped",
+    "trace_path",
+)
+
+
+def parse_axis_value(token: str) -> object:
+    """Coerce one axis value token: bool, int, float, else string."""
+    text = token.strip()
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def grid_from_spec(spec: Dict[str, object]) -> List[SweepPoint]:
+    """Expand a sweep spec into its deterministic grid of points.
+
+    The same spec always yields the same points in the same grid-index
+    order — the anchor that lets ``--resume`` (and the HTTP service)
+    line previous records up with a freshly expanded grid.  Raises
+    :class:`ConfigurationError`/:class:`ValueError` on bad specs.
+    """
+    base = SimulationConfig(
+        node_count=int(spec["nodes"]),
+        duration_s=float(spec["days"]) * SECONDS_PER_DAY,
+    )
+    theta = float(spec.get("theta", 0.5))
+    policies = spec["policies"]
+    if not isinstance(policies, (list, tuple)):
+        policies = [p for p in str(policies).split(",")]
+    policy_variants = []
+    for name in (str(p).strip() for p in policies):
+        if name == "lorawan":
+            policy_variants.append(("policy=lorawan", base.as_lorawan()))
+        elif name == "h":
+            policy_variants.append((f"policy=h{theta:g}", base.as_h(theta)))
+        elif name == "hc":
+            policy_variants.append((f"policy=hc{theta:g}", base.as_hc(theta)))
+        elif name:
+            raise ConfigurationError(
+                f"unknown policy {name!r} (expected lorawan, h, hc)"
+            )
+    axes = []
+    for axis_spec in spec.get("axis") or ():
+        field_name, sep, values = str(axis_spec).partition("=")
+        if not sep or not values:
+            raise ConfigurationError(
+                f"bad --axis {axis_spec!r} (expected FIELD=V1,V2,…)"
+            )
+        axes.append(
+            (
+                field_name.strip(),
+                [parse_axis_value(v) for v in values.split(",") if v.strip()],
+            )
+        )
+    if spec.get("seed_list") is not None:
+        seed_list = spec["seed_list"]
+        if not isinstance(seed_list, (list, tuple)):
+            seed_list = [s for s in str(seed_list).split(",") if s.strip()]
+        seeds = [int(s) for s in seed_list]
+    else:
+        seeds = list(range(1, int(spec["seeds"]) + 1))
+    variants = []
+    for policy_label, policy_config in policy_variants:
+        for axis_label, config in expand_axes(policy_config, axes):
+            label = f"{policy_label},{axis_label}" if axis_label else policy_label
+            variants.append((label, config))
+    return build_grid(variants, seeds)
+
+
+def spec_duration_s(spec: Dict[str, object]) -> Optional[float]:
+    """Simulated horizon (seconds) of every cell in the spec's grid."""
+    try:
+        return float(spec["days"]) * SECONDS_PER_DAY
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def grid_size(spec: Dict[str, object]) -> Optional[int]:
+    """Cell count of the spec's grid, or None when the spec is invalid."""
+    try:
+        return len(grid_from_spec(spec))
+    except (ConfigurationError, KeyError, TypeError, ValueError):
+        return None
+
+
+def normalize_sweep_report(doc: Dict[str, object]) -> Dict[str, object]:
+    """A SWEEP.json document with every process-fact field removed.
+
+    Two sweeps of the same spec on the same code are *equivalent* iff
+    their normalized reports compare equal (serialize both with
+    ``json.dumps(..., sort_keys=True)`` for a byte-level check).  Only
+    wall-clock/host measurements, retry bookkeeping, and manifest trace
+    accounting are stripped; summaries, per-node statistics hashes,
+    labels, seeds, statuses, and config hashes must all match exactly.
+    """
+    normalized = copy.deepcopy(doc)
+    for key in VOLATILE_REPORT_KEYS:
+        normalized.pop(key, None)
+    runs = normalized.get("runs")
+    if isinstance(runs, list):
+        for run in runs:
+            if not isinstance(run, dict):
+                continue
+            for key in VOLATILE_RECORD_KEYS:
+                run.pop(key, None)
+            # "resumed" just means "completed after a retry".
+            if run.get("status") == "resumed":
+                run["status"] = "completed"
+            manifest = run.get("manifest")
+            if isinstance(manifest, dict):
+                for key in VOLATILE_MANIFEST_KEYS:
+                    manifest.pop(key, None)
+    return normalized

@@ -1,0 +1,103 @@
+"""Checkpoint-header progress introspection (repro.checkpoint.progress).
+
+These functions feed live ``/metrics`` scrapes, so the contract is
+"cheap and never raises": header-only reads, absent/corrupt directories
+degrade to None, sweep roots mix per-cell fractions with completed-cell
+bookkeeping."""
+
+import os
+
+from repro.checkpoint import (
+    latest_progress,
+    progress_fraction,
+    save_checkpoint,
+    sweep_cell_fractions,
+    sweep_progress_fraction,
+)
+
+
+class _FakeSim:
+    """Just enough object graph for save_checkpoint to pickle."""
+
+    def __init__(self):
+        self.config = None
+        self.state = list(range(10))
+
+
+def _checkpoint(directory, time_s):
+    os.makedirs(directory, exist_ok=True)
+    return save_checkpoint(_FakeSim(), directory, time_s=time_s, engine="meso")
+
+
+class TestLatestProgress:
+    def test_missing_directory_is_none(self, tmp_path):
+        assert latest_progress(str(tmp_path / "nope")) is None
+
+    def test_empty_directory_is_none(self, tmp_path):
+        assert latest_progress(str(tmp_path)) is None
+
+    def test_reads_newest_header(self, tmp_path):
+        directory = str(tmp_path)
+        _checkpoint(directory, 100.0)
+        _checkpoint(directory, 250.0)
+        progress = latest_progress(directory)
+        assert progress is not None
+        assert progress["time_s"] == 250.0
+        assert progress["engine"] == "meso"
+
+    def test_corrupt_checkpoint_degrades_to_none(self, tmp_path):
+        directory = str(tmp_path)
+        path = _checkpoint(directory, 50.0)
+        with open(path, "wb") as handle:
+            handle.write(b"not a header line")
+        assert latest_progress(directory) is None
+
+
+class TestProgressFraction:
+    def test_fraction_of_horizon(self, tmp_path):
+        directory = str(tmp_path)
+        _checkpoint(directory, 250.0)
+        assert progress_fraction(directory, duration_s=1000.0) == 0.25
+
+    def test_clamped_to_one(self, tmp_path):
+        directory = str(tmp_path)
+        _checkpoint(directory, 2000.0)
+        assert progress_fraction(directory, duration_s=1000.0) == 1.0
+
+    def test_zero_duration_is_none(self, tmp_path):
+        assert progress_fraction(str(tmp_path), duration_s=0.0) is None
+
+
+class TestSweepProgress:
+    def test_cell_fractions_map_run_directories(self, tmp_path):
+        root = str(tmp_path)
+        _checkpoint(os.path.join(root, "run_0000"), 500.0)
+        _checkpoint(os.path.join(root, "run_0002"), 250.0)
+        os.makedirs(os.path.join(root, "not_a_cell"))
+        fractions = sweep_cell_fractions(root, duration_s=1000.0)
+        assert fractions == {0: 0.5, 2: 0.25}
+
+    def test_whole_sweep_combines_done_and_partial(self, tmp_path):
+        root = str(tmp_path)
+        # cell 0 completed (stale checkpoints must not double-count),
+        # cell 1 half done, cells 2-3 not started
+        _checkpoint(os.path.join(root, "run_0000"), 900.0)
+        _checkpoint(os.path.join(root, "run_0001"), 500.0)
+        fraction = sweep_progress_fraction(
+            root,
+            duration_s=1000.0,
+            total_cells=4,
+            completed_cells=1,
+            completed_indices={0: True},
+        )
+        assert fraction == (1 + 0.5) / 4
+
+    def test_no_cells_is_none(self, tmp_path):
+        assert sweep_progress_fraction(str(tmp_path), 1000.0, 0) is None
+
+    def test_missing_root_counts_completed_only(self, tmp_path):
+        fraction = sweep_progress_fraction(
+            str(tmp_path / "nope"), 1000.0, 4, completed_cells=2,
+            completed_indices={0: True, 1: True},
+        )
+        assert fraction == 0.5

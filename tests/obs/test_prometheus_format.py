@@ -1,0 +1,265 @@
+"""Prometheus text-exposition correctness.
+
+The service's ``/metrics`` endpoint is consumed by a real scraper, so
+the exposition has to be *parseable*, not just eyeballable: label
+values escaped per the text-format spec, exactly one ``# HELP``/``#
+TYPE`` pair per family (HELP before TYPE, both before any sample),
+histogram bucket counts non-decreasing with ``+Inf == _count``.  The
+checks run through a minimal text-format parser written against the
+v0.0.4 spec rather than string-matching the renderer's own output.
+"""
+
+import math
+import re
+
+from repro.obs import MetricsRegistry
+from repro.service.aggregate import SweepAggregator, ingest_metrics_export
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value):
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            else:
+                raise ValueError(f"bad escape \\{nxt} in {value!r}")
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def parse_exposition(text):
+    """Minimal v0.0.4 text-format parser.
+
+    Returns ``(samples, helps, types, order_errors)`` where samples is
+    a list of ``(name, labels_dict, float_value)``.  Raises on lines
+    that do not lex as comments or samples.
+    """
+    samples = []
+    helps = {}
+    types = {}
+    order_errors = []
+    seen_samples = set()
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            if name in helps:
+                order_errors.append(f"duplicate HELP for {name}")
+            if name in types or name in seen_samples:
+                order_errors.append(f"HELP for {name} after TYPE/samples")
+            helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if name in types:
+                order_errors.append(f"duplicate TYPE for {name}")
+            if name in seen_samples:
+                order_errors.append(f"TYPE for {name} after its samples")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable sample line {line!r}")
+        labels = {}
+        label_text = match.group("labels")
+        if label_text:
+            consumed = 0
+            for label_match in _LABEL_RE.finditer(label_text):
+                labels[label_match.group(1)] = _unescape(label_match.group(2))
+                consumed = label_match.end()
+            remainder = label_text[consumed:].strip(", ")
+            if remainder:
+                raise ValueError(
+                    f"unparseable label text {remainder!r} in {line!r}"
+                )
+        value_text = match.group("value")
+        value = float(value_text)  # +Inf/NaN parse per spec
+        name = match.group("name")
+        seen_samples.add(name)
+        samples.append((name, labels, value))
+    return samples, helps, types, order_errors
+
+
+def _family(sample_name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+class TestExpositionFormat:
+    def test_label_values_are_escaped_and_round_trip(self):
+        registry = MetricsRegistry()
+        nasty = 'quote " backslash \\ newline \n end'
+        registry.counter("events_total", "evil labels", labels={"path": nasty}).inc()
+        samples, _, _, errors = parse_exposition(registry.to_prometheus())
+        assert not errors
+        (name, labels, value) = samples[0]
+        assert name == "repro_events_total"
+        assert labels == {"path": nasty}
+        assert value == 1.0
+
+    def test_help_text_newlines_escaped(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "line one\nline two \\ slash").set(1.0)
+        text = registry.to_prometheus()
+        help_lines = [l for l in text.splitlines() if l.startswith("# HELP")]
+        assert len(help_lines) == 1
+        assert "\n" not in help_lines[0]
+        _, helps, _, _ = parse_exposition(text)
+        assert helps["repro_g"] == "line one\\nline two \\\\ slash"
+
+    def test_help_and_type_precede_samples_once_per_family(self):
+        registry = MetricsRegistry()
+        for run in ("a", "b", "c"):
+            registry.gauge("run_prr", "per-run PRR", labels={"run": run}).set(0.9)
+        registry.counter("events_total", "events").inc(3)
+        registry.histogram("latency_seconds", "latency").observe(0.3)
+        samples, helps, types, errors = parse_exposition(registry.to_prometheus())
+        assert not errors
+        assert types["repro_run_prr"] == "gauge"
+        assert types["repro_events_total"] == "counter"
+        assert types["repro_latency_seconds"] == "histogram"
+        for name in types:
+            assert name in helps
+        # three labelled samples share one family header
+        prr = [s for s in samples if s[0] == "repro_run_prr"]
+        assert len(prr) == 3
+
+    def test_histogram_buckets_monotone_and_inf_equals_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("wait_seconds", "wait")
+        for value in (0.004, 0.02, 0.02, 0.7, 9.0, 50.0):
+            histogram.observe(value)
+        samples, _, types, errors = parse_exposition(registry.to_prometheus())
+        assert not errors
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in samples
+            if name == "repro_wait_seconds_bucket"
+        ]
+        counts = [value for _, value in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert buckets[-1][0] == "+Inf"
+        count = [
+            value
+            for name, _, value in samples
+            if name == "repro_wait_seconds_count"
+        ]
+        assert count == [buckets[-1][1]]
+        le_bounds = [b for b, _ in buckets[:-1]]
+        assert [float(b) for b in le_bounds] == sorted(float(b) for b in le_bounds)
+
+    def test_merged_multi_run_output_parses(self):
+        """The service scrape shape: aggregator families + two merged
+        per-run registry exports, all in one exposition."""
+        registry = MetricsRegistry()
+        aggregator = SweepAggregator()
+        for run_id in ("run-0001", "run-0002"):
+            for index in range(2):
+                aggregator.ingest(
+                    run_id,
+                    {
+                        "index": index,
+                        "status": "completed",
+                        "policy": "H-50",
+                        "seed": index + 1,
+                        "wall_s": 1.5,
+                        "peak_rss_kb": 30000 + index,
+                        "lifespan_days": 900.0,
+                        "summary": {"avg_prr": 0.97, "min_prr": 0.9},
+                    },
+                )
+        aggregator.fold_into(registry)
+        # merge two finished runs' own registries under a run label
+        for run_id in ("run-0001", "run-0002"):
+            source = MetricsRegistry()
+            source.counter("packets_total", "packets").inc(10)
+            source.histogram("latency_seconds", "latency").observe(0.2)
+            merged = ingest_metrics_export(
+                registry, source.to_json(), extra_labels={"run": run_id}
+            )
+            assert merged == 2
+        samples, helps, types, errors = parse_exposition(registry.to_prometheus())
+        assert not errors
+        families = {_family(name) for name, _, _ in samples}
+        for name in families:
+            assert name in types, f"family {name} missing # TYPE"
+        prr = [s for s in samples if s[0] == "repro_run_prr"]
+        assert {labels["run"] for _, labels, _ in prr} == {"run-0001", "run-0002"}
+        packets = [s for s in samples if s[0] == "repro_packets_total"]
+        assert len(packets) == 2 and all(v == 10.0 for _, _, v in packets)
+        by_run_buckets = {}
+        for name, labels, value in samples:
+            if name == "repro_latency_seconds_bucket":
+                by_run_buckets.setdefault(labels["run"], []).append(value)
+        for run_id, counts in by_run_buckets.items():
+            assert counts == sorted(counts)
+        assert math.isfinite(prr[0][2])
+
+
+class TestIngestMetricsExport:
+    def test_counter_merge_is_idempotent(self):
+        registry = MetricsRegistry()
+        source = MetricsRegistry()
+        source.counter("c", "c").inc(5)
+        export = source.to_json()
+        ingest_metrics_export(registry, export, {"run": "r1"})
+        ingest_metrics_export(registry, export, {"run": "r1"})
+        samples, _, _, _ = parse_exposition(registry.to_prometheus())
+        assert samples == [("repro_c", {"run": "r1"}, 5.0)]
+
+    def test_kind_collision_is_skipped_not_fatal(self):
+        registry = MetricsRegistry()
+        registry.counter("x", "pre-existing as counter").inc()
+        merged = ingest_metrics_export(
+            registry,
+            {"metrics": [{"name": "repro_x", "kind": "gauge", "labels": {}, "value": 3.0}]},
+        )
+        assert merged == 0
+        # the original counter survives
+        samples, _, types, _ = parse_exposition(registry.to_prometheus())
+        assert types["repro_x"] == "counter"
+
+    def test_histogram_round_trips_through_export(self):
+        source = MetricsRegistry()
+        histogram = source.histogram("h", "h", buckets=[0.1, 1.0, 10.0])
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        registry = MetricsRegistry()
+        ingest_metrics_export(registry, source.to_json(), {"run": "r"})
+        original = source.to_prometheus()
+        merged = registry.to_prometheus()
+        # same cumulative bucket values, same sum/count — only the run
+        # label differs
+        def strip(text):
+            return [
+                re.sub(r"\{[^}]*\}", "", line)
+                for line in text.splitlines()
+                if not line.startswith("#")
+            ]
+
+        assert strip(original) == strip(merged)

@@ -1,0 +1,137 @@
+"""JsonlTailer / follow_* behaviour: incremental reads, torn lines,
+truncation and atomic-replacement recovery."""
+
+import json
+import os
+
+from repro.ioutil import atomic_write_text
+from repro.obs import JsonlTailer, follow_events, follow_lines, parse_event_line
+from repro.obs.trace import TraceEvent
+
+
+def _append(path, text):
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+
+
+class TestJsonlTailer:
+    def test_missing_file_polls_empty(self, tmp_path):
+        tailer = JsonlTailer(str(tmp_path / "nope.jsonl"))
+        assert tailer.poll() == []
+
+    def test_incremental_reads_return_only_new_lines(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tailer = JsonlTailer(path)
+        _append(path, '{"a": 1}\n')
+        assert tailer.poll() == ['{"a": 1}']
+        assert tailer.poll() == []
+        _append(path, '{"a": 2}\n{"a": 3}\n')
+        assert tailer.poll() == ['{"a": 2}', '{"a": 3}']
+
+    def test_torn_line_held_until_newline_arrives(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tailer = JsonlTailer(path)
+        _append(path, '{"a": 1}\n{"par')
+        assert tailer.poll() == ['{"a": 1}']
+        _append(path, 'tial": true}\n')
+        assert tailer.poll() == ['{"partial": true}']
+
+    def test_truncation_restarts_from_new_content(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tailer = JsonlTailer(path)
+        _append(path, '{"a": 1}\n{"a": 2}\n')
+        assert len(tailer.poll()) == 2
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"b": 1}\n')
+        assert tailer.poll() == ['{"b": 1}']
+
+    def test_atomic_replacement_detected_via_inode(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tailer = JsonlTailer(path)
+        _append(path, '{"a": 1}\n')
+        assert tailer.poll() == ['{"a": 1}']
+        # atomic_write_text swaps in a new inode with *longer* content,
+        # so a pure size check would silently misread from the offset.
+        atomic_write_text(path, '{"replaced": 1}\n{"replaced": 2}\n')
+        assert tailer.poll() == ['{"replaced": 1}', '{"replaced": 2}']
+
+    def test_from_start_false_skips_existing_content(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _append(path, '{"old": 1}\n')
+        tailer = JsonlTailer(path, from_start=False)
+        assert tailer.poll() == []
+        _append(path, '{"new": 1}\n')
+        assert tailer.poll() == ['{"new": 1}']
+
+
+class TestParseEventLine:
+    def test_round_trip(self):
+        event = TraceEvent(
+            time_s=3.5, category="packet", name="packet.finished",
+            severity="info", node_id=4, fields={"prr": 0.9},
+        )
+        line = json.dumps(event.to_dict())
+        parsed = parse_event_line(line)
+        assert parsed is not None
+        assert parsed.time_s == 3.5
+        assert parsed.category == "packet"
+        assert parsed.node_id == 4
+
+    def test_malformed_lines_return_none(self):
+        assert parse_event_line("not json") is None
+        assert parse_event_line('{"no_time": true}') is None
+        assert parse_event_line("[1, 2]") is None
+
+
+class TestFollow:
+    def test_follow_lines_stops_after_drain(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _append(path, '{"a": 1}\n{"a": 2}\n')
+        calls = {"n": 0}
+
+        def stop():
+            calls["n"] += 1
+            return calls["n"] >= 1
+
+        lines = list(follow_lines(path, poll_interval_s=0.01, stop=stop))
+        assert lines == ['{"a": 1}', '{"a": 2}']
+
+    def test_follow_events_skips_malformed(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        event = TraceEvent(time_s=1.0, category="engine", name="engine.run_started")
+        _append(path, "garbage\n" + json.dumps(event.to_dict()) + "\n")
+        events = list(
+            follow_events(path, poll_interval_s=0.01, stop=lambda: True)
+        )
+        assert len(events) == 1
+        assert events[0].name == "engine.run_started"
+
+    def test_follow_sees_lines_appended_mid_iteration(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _append(path, '{"a": 1}\n')
+        seen = []
+
+        def stop():
+            # Append more data the first time the follower goes idle.
+            if len(seen) == 1:
+                _append(path, '{"a": 2}\n')
+                return False
+            return len(seen) >= 2
+
+        for line in follow_lines(path, poll_interval_s=0.01, stop=stop):
+            seen.append(line)
+            if len(seen) >= 2:
+                break
+        assert seen == ['{"a": 1}', '{"a": 2}']
+
+
+class TestOffsetAccounting:
+    def test_offset_tracks_consumed_bytes(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tailer = JsonlTailer(path)
+        payload = '{"a": 1}\n'
+        _append(path, payload)
+        tailer.poll()
+        assert tailer.offset == os.path.getsize(path)
+        assert tailer.offset == len(payload.encode())

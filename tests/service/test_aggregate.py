@@ -1,0 +1,92 @@
+"""SweepAggregator semantics: idempotence, labelling, status counts."""
+
+from repro.obs import MetricsRegistry
+from repro.service.aggregate import SweepAggregator
+
+
+def _record(index, status="completed", **extra):
+    base = {
+        "index": index,
+        "status": status,
+        "policy": "H-50",
+        "seed": index + 1,
+        "wall_s": 2.0,
+        "peak_rss_kb": 40000,
+        "lifespan_days": 1200.0,
+        "attempts": 1,
+        "summary": {"avg_prr": 0.95, "min_prr": 0.91},
+    }
+    base.update(extra)
+    return base
+
+
+def _samples(registry):
+    return {
+        line.split(" ")[0]: float(line.split(" ")[1])
+        for line in registry.to_prometheus().splitlines()
+        if line and not line.startswith("#")
+    }
+
+
+class TestSweepAggregator:
+    def test_reingest_is_idempotent(self):
+        aggregator = SweepAggregator()
+        aggregator.ingest("run-1", _record(0))
+        aggregator.ingest("run-1", _record(0))
+        assert aggregator.cell_count("run-1") == 1
+        registry = MetricsRegistry()
+        aggregator.fold_into(registry)
+        samples = _samples(registry)
+        key = 'repro_sweep_cells{run="run-1",status="completed"}'
+        assert samples[key] == 1.0
+
+    def test_later_record_for_same_cell_wins(self):
+        aggregator = SweepAggregator()
+        aggregator.ingest("run-1", _record(0, status="failed", summary=None))
+        aggregator.ingest("run-1", _record(0, status="completed"))
+        assert aggregator.status_counts("run-1") == {"completed": 1}
+
+    def test_runs_are_isolated_by_label(self):
+        aggregator = SweepAggregator()
+        aggregator.ingest("run-1", _record(0))
+        aggregator.ingest("run-2", _record(0, summary={"avg_prr": 0.5}))
+        registry = MetricsRegistry()
+        aggregator.fold_into(registry)
+        samples = _samples(registry)
+        one = 'repro_run_prr{cell="0",policy="H-50",run="run-1",seed="1"}'
+        two = 'repro_run_prr{cell="0",policy="H-50",run="run-2",seed="1"}'
+        assert samples[one] == 0.95
+        assert samples[two] == 0.5
+        assert aggregator.cell_count("run-1") == 1
+        assert aggregator.completed_indices("run-2") == {0: True}
+
+    def test_missing_optional_fields_are_skipped(self):
+        aggregator = SweepAggregator()
+        aggregator.ingest(
+            "run-1",
+            {"index": 3, "status": "failed", "summary": None,
+             "wall_s": None, "peak_rss_kb": None, "lifespan_days": None},
+        )
+        registry = MetricsRegistry()
+        aggregator.fold_into(registry)
+        samples = _samples(registry)
+        assert not any("run_prr" in key for key in samples)
+        assert samples['repro_sweep_cells{run="run-1",status="failed"}'] == 1.0
+
+    def test_records_without_index_are_dropped(self):
+        aggregator = SweepAggregator()
+        aggregator.ingest("run-1", {"status": "completed"})
+        aggregator.ingest("run-1", {"index": "seven?"})
+        assert aggregator.cell_count("run-1") == 0
+
+    def test_status_histogram_counts_all_states(self):
+        aggregator = SweepAggregator()
+        aggregator.ingest("run-1", _record(0))
+        aggregator.ingest("run-1", _record(1, status="failed"))
+        aggregator.ingest("run-1", _record(2, status="timeout"))
+        aggregator.ingest("run-1", _record(3))
+        assert aggregator.status_counts("run-1") == {
+            "completed": 2,
+            "failed": 1,
+            "timeout": 1,
+        }

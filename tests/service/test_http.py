@@ -1,0 +1,208 @@
+"""The stdlib HTTP core: routing, parsing, streaming, error mapping.
+
+Router/match logic is unit-tested directly; the wire behaviour
+(request parsing, chunked streaming, error responses) runs against a
+real ``HttpServer`` on an ephemeral port, exercised with
+``http.client`` — a plain consumer with no knowledge of the server's
+internals.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.service.http import (
+    HttpError,
+    HttpServer,
+    Request,
+    Response,
+    Router,
+)
+
+
+class TestRouter:
+    def _handler(self):
+        async def handler(request):
+            return Response.json({"ok": True})
+
+        return handler
+
+    def test_param_capture(self):
+        router = Router()
+        router.route("GET", "/runs/{id}/events", self._handler())
+        handler, params, error = router.resolve("GET", "/runs/run-0007/events")
+        assert handler is not None
+        assert params == {"id": "run-0007"}
+        assert error is None
+
+    def test_unknown_path_is_404(self):
+        router = Router()
+        router.route("GET", "/runs", self._handler())
+        handler, _, error = router.resolve("GET", "/nope")
+        assert handler is None
+        assert error == 404
+
+    def test_wrong_method_is_405_not_404(self):
+        router = Router()
+        router.route("GET", "/runs/{id}", self._handler())
+        handler, _, error = router.resolve("DELETE", "/runs/run-0001")
+        assert handler is None
+        assert error == 405
+
+    def test_percent_encoded_segments_are_decoded(self):
+        router = Router()
+        router.route("GET", "/runs/{id}", self._handler())
+        _, params, _ = router.resolve("GET", "/runs/run%2D0001")
+        assert params == {"id": "run-0001"}
+
+
+class TestRequestHelpers:
+    def _request(self, **kwargs):
+        defaults = dict(
+            method="GET", path="/", query={}, headers={}, body=b""
+        )
+        defaults.update(kwargs)
+        return Request(**defaults)
+
+    def test_json_rejects_empty_body(self):
+        with pytest.raises(HttpError) as excinfo:
+            self._request().json()
+        assert excinfo.value.status == 400
+
+    def test_json_rejects_malformed_body(self):
+        with pytest.raises(HttpError):
+            self._request(body=b"{nope").json()
+
+    def test_query_list_splits_commas_and_repeats(self):
+        request = self._request(query={"category": ["a,b", "c"]})
+        assert request.query_list("category") == ["a", "b", "c"]
+
+
+class _ServerFixture:
+    """A live HttpServer on an ephemeral port, in a background loop."""
+
+    def __init__(self, router):
+        self.router = router
+        self.port = None
+        self._loop = None
+        self._thread = None
+        self._server = None
+
+    def __enter__(self):
+        started = threading.Event()
+
+        def run():
+            self._loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self._loop)
+            self._server = HttpServer(self.router)
+            self.port = self._loop.run_until_complete(
+                self._server.start("127.0.0.1", 0)
+            )
+            started.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+        assert started.wait(5.0)
+        return self
+
+    def __exit__(self, *exc):
+        asyncio.run_coroutine_threadsafe(
+            self._server.stop(), self._loop
+        ).result(5.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(5.0)
+
+    def request(self, method, path, body=None):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=10)
+        try:
+            conn.request(method, path, body=body)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+
+def _router():
+    router = Router()
+
+    async def echo(request):
+        return Response.json(
+            {
+                "method": request.method,
+                "params": request.params,
+                "q": request.query,
+                "body": request.body.decode() if request.body else None,
+            }
+        )
+
+    async def boom(request):
+        raise RuntimeError("kaboom")
+
+    async def teapot(request):
+        raise HttpError(409, "not while running")
+
+    async def stream(request):
+        async def chunks():
+            for index in range(3):
+                yield f'{{"n": {index}}}\n'.encode()
+
+        return Response(content_type="application/x-ndjson", stream=chunks())
+
+    router.route("GET", "/echo/{name}", echo)
+    router.route("POST", "/echo/{name}", echo)
+    router.route("GET", "/boom", boom)
+    router.route("GET", "/conflict", teapot)
+    router.route("GET", "/stream", stream)
+    return router
+
+
+class TestLiveServer:
+    def test_get_with_params_and_query(self):
+        with _ServerFixture(_router()) as server:
+            status, body = server.request("GET", "/echo/alpha?x=1&x=2")
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["params"] == {"name": "alpha"}
+            assert doc["q"] == {"x": ["1", "2"]}
+
+    def test_post_body_round_trips(self):
+        with _ServerFixture(_router()) as server:
+            status, body = server.request("POST", "/echo/a", body=b'{"k": 1}')
+            assert status == 200
+            assert json.loads(body)["body"] == '{"k": 1}'
+
+    def test_http_error_becomes_status_and_document(self):
+        with _ServerFixture(_router()) as server:
+            status, body = server.request("GET", "/conflict")
+            assert status == 409
+            assert json.loads(body)["error"] == "not while running"
+
+    def test_handler_crash_becomes_500_with_traceback(self):
+        with _ServerFixture(_router()) as server:
+            status, body = server.request("GET", "/boom")
+            assert status == 500
+            assert "kaboom" in json.loads(body)["error"]
+
+    def test_unknown_route_404_wrong_method_405(self):
+        with _ServerFixture(_router()) as server:
+            assert server.request("GET", "/missing")[0] == 404
+            assert server.request("DELETE", "/echo/a")[0] == 405
+
+    def test_chunked_stream_delivers_all_lines(self):
+        with _ServerFixture(_router()) as server:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=10
+            )
+            try:
+                conn.request("GET", "/stream")
+                response = conn.getresponse()
+                assert response.status == 200
+                assert response.getheader("Transfer-Encoding") == "chunked"
+                lines = response.read().decode().splitlines()
+                assert [json.loads(line)["n"] for line in lines] == [0, 1, 2]
+            finally:
+                conn.close()

@@ -1,0 +1,188 @@
+"""JobManager unit behaviour that needs no live subprocess: spec
+validation, argv construction, adoption across service restarts."""
+
+import json
+import os
+
+import pytest
+
+from repro.ioutil import atomic_write_json
+from repro.service.http import HttpError
+from repro.service.jobs import Job, JobManager, validate_spec
+
+
+class TestValidateSpec:
+    def test_defaults_fill_in(self):
+        spec = validate_spec({"kind": "sweep"})
+        assert spec["nodes"] == 30
+        assert spec["policies"] == ["h"]
+        assert spec["seeds"] == 3
+        assert spec["engine"] == "meso"
+
+    def test_policies_accepts_string_and_list(self):
+        from_string = validate_spec({"policies": "h,lorawan"})
+        from_list = validate_spec({"policies": ["h", "lorawan"]})
+        assert from_string["policies"] == from_list["policies"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            validate_spec({"kind": "train"})
+        assert excinfo.value.status == 400
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            validate_spec({"kind": "sweep", "polices": "h"})
+        assert "polices" in excinfo.value.message
+
+    def test_simulate_keys_rejected_on_sweep(self):
+        with pytest.raises(HttpError):
+            validate_spec({"kind": "sweep", "policy": "h"})
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(HttpError):
+            validate_spec({"axis": ["no-equals-sign"]})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(HttpError):
+            validate_spec(["not", "a", "dict"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(HttpError):
+            validate_spec({"policies": ["h", "alohaha"]})
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(HttpError):
+            validate_spec({"seed_list": []})
+
+    def test_simulate_spec_normalizes(self):
+        spec = validate_spec(
+            {"kind": "simulate", "nodes": 5, "days": 1, "policy": "hc", "seed": 9}
+        )
+        assert spec == {
+            "kind": "simulate",
+            "nodes": 5,
+            "days": 1.0,
+            "theta": 0.5,
+            "engine": "meso",
+            "trace": False,
+            "policy": "hc",
+            "seed": 9,
+        }
+
+
+class TestArgv:
+    def _job(self, tmp_path, spec):
+        manager = JobManager(str(tmp_path), checkpoint_every_days=0.5)
+        directory = os.path.join(manager.runs_dir, "run-0001")
+        os.makedirs(directory, exist_ok=True)
+        return manager, Job(
+            run_id="run-0001", spec=validate_spec(spec), directory=directory
+        )
+
+    def test_sweep_argv_first_attempt_uses_out(self, tmp_path):
+        manager, job = self._job(
+            tmp_path,
+            {"kind": "sweep", "policies": ["h", "lorawan"], "seed_list": [1, 2],
+             "workers": 2, "trace": True, "timeout_s": 30, "max_retries": 1,
+             "axis": ["w_b=0.5,1.0"]},
+        )
+        argv = manager._argv(job)
+        text = " ".join(argv)
+        assert "-m repro sweep" in text
+        assert "--policies h,lorawan" in text
+        assert "--seed-list 1,2" in text
+        assert "--axis w_b=0.5,1.0" in text
+        assert "--workers 2" in text
+        assert "--timeout 30" in text and "--max-retries 1" in text
+        assert "--out" in argv and "--resume" not in argv
+        assert "--progress-out" in argv and "--trace-dir" in argv
+        assert "--checkpoint-every 0.5" in text
+
+    def test_sweep_argv_resumes_salvaged_report(self, tmp_path):
+        manager, job = self._job(tmp_path, {"kind": "sweep"})
+        atomic_write_json(job.path("SWEEP.json"), {"schema": "repro.sweep/2"})
+        argv = manager._argv(job)
+        assert "--resume" in argv and "--out" not in argv
+
+    def test_simulate_argv(self, tmp_path):
+        manager, job = self._job(
+            tmp_path, {"kind": "simulate", "policy": "h", "seed": 4, "trace": True}
+        )
+        argv = manager._argv(job)
+        text = " ".join(argv)
+        assert "-m repro simulate" in text
+        assert "--policy h" in text and "--seed 4" in text
+        assert "--metrics-out" in argv and "--trace-out" in argv
+        assert "--manifest-out" in argv and "--json" in argv
+
+
+class TestAdoption:
+    def _seed_run(self, root, run_id, state):
+        directory = os.path.join(root, "runs", run_id)
+        os.makedirs(directory, exist_ok=True)
+        atomic_write_json(
+            os.path.join(directory, "spec.json"), validate_spec({"kind": "sweep"})
+        )
+        atomic_write_json(
+            os.path.join(directory, "state.json"),
+            {"state": state, "created_s": 1.0, "spawn_count": 1},
+        )
+
+    def test_interrupted_and_running_runs_requeue(self, tmp_path):
+        root = str(tmp_path)
+        self._seed_run(root, "run-0001", "interrupted")
+        self._seed_run(root, "run-0002", "running")
+        self._seed_run(root, "run-0003", "completed")
+        self._seed_run(root, "run-0004", "cancelled")
+        manager = JobManager(root)
+        states = {job.run_id: job.state for job in manager.list()}
+        assert states == {
+            "run-0001": "queued",
+            "run-0002": "queued",
+            "run-0003": "completed",
+            "run-0004": "cancelled",
+        }
+        assert manager.queue_depth() == 2
+
+    def test_next_index_continues_after_adopted_runs(self, tmp_path):
+        root = str(tmp_path)
+        self._seed_run(root, "run-0007", "completed")
+        manager = JobManager(root)
+        assert manager._next_index == 8
+
+    def test_unreadable_run_dirs_are_skipped(self, tmp_path):
+        root = str(tmp_path)
+        os.makedirs(os.path.join(root, "runs", "run-0001"))
+        os.makedirs(os.path.join(root, "runs", "not-a-run"))
+        manager = JobManager(root)
+        assert manager.list() == []
+
+    def test_get_unknown_run_is_404(self, tmp_path):
+        manager = JobManager(str(tmp_path))
+        with pytest.raises(HttpError) as excinfo:
+            manager.get("run-9999")
+        assert excinfo.value.status == 404
+
+
+class TestFinalState:
+    @pytest.mark.parametrize(
+        "kind,exit_code,cancelled,expected",
+        [
+            ("sweep", 0, False, "completed"),
+            ("sweep", 1, False, "completed-with-errors"),
+            ("simulate", 1, False, "failed"),
+            ("sweep", 143, True, "cancelled"),
+            ("sweep", 143, False, "interrupted"),
+            ("sweep", 2, False, "failed"),
+        ],
+    )
+    def test_exit_code_mapping(self, tmp_path, kind, exit_code, cancelled, expected):
+        manager = JobManager(str(tmp_path))
+        spec = {"kind": kind} if kind == "sweep" else {"kind": kind, "policy": "h"}
+        job = Job(
+            run_id="run-0001",
+            spec=validate_spec(spec),
+            directory=str(tmp_path),
+            cancel_requested=cancelled,
+        )
+        assert manager._final_state(job, exit_code) == expected

@@ -1,0 +1,267 @@
+"""End-to-end: a real ``repro serve`` process driven over HTTP.
+
+The acceptance contract of the service: a sweep submitted over HTTP
+produces a report byte-identical (modulo process facts — see
+:func:`repro.sweep.normalize_sweep_report`) to the same grid run
+through the CLI, while ``/metrics`` is scrapeable and
+``/runs/{id}/events`` streams trace events live.  Cancellation rides
+the SIGTERM rescue path and must not lose completed cells.
+
+The grid is deliberately tiny (6 nodes × 0.2 simulated days × 2 cells,
+≲1 s of work) so this stays within tier-1 budget.
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.sweep import normalize_sweep_report
+
+SPEC = {
+    "kind": "sweep",
+    "nodes": 6,
+    "days": 0.2,
+    "policies": ["h", "lorawan"],
+    "seed_list": [1],
+    "trace": True,
+    "workers": 1,
+}
+
+
+def _request(port, method, path, payload=None, timeout=20):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+class _Service:
+    """A ``repro serve`` child on an ephemeral port."""
+
+    def __init__(self, data_dir):
+        self.data_dir = str(data_dir)
+        self.port = None
+        self.process = None
+
+    def __enter__(self):
+        env = dict(os.environ)
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = package_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--data-dir", self.data_dir,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        service_json = os.path.join(self.data_dir, "service.json")
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                raise RuntimeError(
+                    "service exited early:\n" + (self.process.stdout.read() or "")
+                )
+            try:
+                with open(service_json, "r", encoding="utf-8") as handle:
+                    doc = json.load(handle)
+                if doc.get("pid") == self.process.pid:
+                    self.port = doc["port"]
+                    # confirm it accepts connections
+                    status, _ = _request(self.port, "GET", "/healthz", timeout=5)
+                    if status == 200:
+                        return self
+            except (OSError, ValueError, ConnectionError):
+                pass
+            time.sleep(0.1)
+        raise RuntimeError("service did not come up within 30s")
+
+    def __exit__(self, *exc):
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+            try:
+                self.process.wait(timeout=20)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+
+    def wait_terminal(self, run_id, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, body = _request(self.port, "GET", f"/runs/{run_id}")
+            assert status == 200, body
+            doc = json.loads(body)
+            if doc["state"] not in ("queued", "running"):
+                return doc
+            time.sleep(0.2)
+        raise AssertionError(f"{run_id} still not terminal after {timeout}s")
+
+
+@pytest.fixture(scope="module")
+def service_run(tmp_path_factory):
+    """One service process, one completed sweep — shared by the module's
+    read-only assertions (submitting per-test would triple the wall
+    time for no extra coverage)."""
+    data_dir = tmp_path_factory.mktemp("svc")
+    with _Service(data_dir) as service:
+        status, body = _request(service.port, "POST", "/runs", SPEC)
+        assert status == 201, body
+        run_id = json.loads(body)["run_id"]
+        final = service.wait_terminal(run_id)
+        yield service, run_id, final
+
+
+class TestSubmittedSweep:
+    def test_run_completes_with_report(self, service_run):
+        service, run_id, final = service_run
+        assert final["state"] == "completed"
+        assert final["exit_code"] == 0
+        assert final["progress_fraction"] == 1.0
+        assert final["cells_done"] == 2
+        statuses = [r["status"] for r in final["report"]["attempts"]]
+        assert statuses == ["completed", "completed"]
+
+    def test_report_byte_identical_to_cli_run(self, service_run, tmp_path, capsys):
+        service, run_id, _ = service_run
+        cli_out = str(tmp_path / "CLI_SWEEP.json")
+        code = main(
+            [
+                "sweep", "--nodes", "6", "--days", "0.2",
+                "--policies", "h,lorawan", "--seed-list", "1",
+                "--out", cli_out,
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        with open(cli_out, "r", encoding="utf-8") as handle:
+            cli_doc = json.load(handle)
+        service_report = os.path.join(
+            service.data_dir, "runs", run_id, "SWEEP.json"
+        )
+        with open(service_report, "r", encoding="utf-8") as handle:
+            http_doc = json.load(handle)
+        cli_bytes = json.dumps(normalize_sweep_report(cli_doc), sort_keys=True)
+        http_bytes = json.dumps(normalize_sweep_report(http_doc), sort_keys=True)
+        assert cli_bytes == http_bytes
+
+    def test_metrics_scrape_has_per_cell_families(self, service_run):
+        service, run_id, _ = service_run
+        status, body = _request(service.port, "GET", "/metrics")
+        assert status == 200
+        text = body.decode()
+        assert f'repro_run_prr{{cell="0",policy="H-50",run="{run_id}",seed="1"}}' in text
+        assert f'repro_sweep_cells{{run="{run_id}",status="completed"}} 2' in text
+        assert "repro_service_active_runs" in text
+        assert "repro_process_resident_memory_kb" in text
+        assert f'repro_run_progress_fraction{{run="{run_id}"}} 1' in text
+
+    def test_events_stream_honours_filters_and_limit(self, service_run):
+        service, run_id, _ = service_run
+        status, body = _request(
+            service.port,
+            "GET",
+            f"/runs/{run_id}/events?category=engine&limit=2",
+        )
+        assert status == 200
+        lines = body.decode().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert json.loads(line)["category"] == "engine"
+
+    def test_events_min_severity_excludes_debug(self, service_run):
+        service, run_id, _ = service_run
+        status, body = _request(
+            service.port, "GET", f"/runs/{run_id}/events?min_severity=info&limit=50"
+        )
+        assert status == 200
+        for line in body.decode().splitlines():
+            assert json.loads(line)["severity"] != "debug"
+
+    def test_unknown_severity_rejected(self, service_run):
+        service, run_id, _ = service_run
+        status, _ = _request(
+            service.port, "GET", f"/runs/{run_id}/events?min_severity=loud"
+        )
+        assert status == 400
+
+    def test_runs_listing_contains_the_run(self, service_run):
+        service, run_id, _ = service_run
+        status, body = _request(service.port, "GET", "/runs")
+        assert status == 200
+        listed = {run["run_id"] for run in json.loads(body)["runs"]}
+        assert run_id in listed
+
+    def test_invalid_spec_is_400(self, service_run):
+        service, _, _ = service_run
+        status, body = _request(
+            service.port, "POST", "/runs", {"kind": "sweep", "polices": "h"}
+        )
+        assert status == 400
+        assert "polices" in json.loads(body)["error"]
+
+    def test_cancel_completed_run_conflicts(self, service_run):
+        service, run_id, _ = service_run
+        status, _ = _request(service.port, "POST", f"/runs/{run_id}/cancel")
+        assert status == 409
+
+
+class TestCancellation:
+    def test_cancel_maps_to_sigterm_rescue(self, tmp_path):
+        with _Service(tmp_path / "svc") as service:
+            # enough cells that the run is still going when we cancel
+            spec = dict(SPEC, nodes=40, days=20.0, seed_list=[1, 2, 3])
+            status, body = _request(service.port, "POST", "/runs", spec)
+            assert status == 201
+            run_id = json.loads(body)["run_id"]
+            progress = os.path.join(
+                service.data_dir, "runs", run_id, "progress.ndjson"
+            )
+            # cancel only once at least one cell finished, so the
+            # SIGTERM lands mid-sweep and the rescue path must salvage
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                try:
+                    with open(progress, "r", encoding="utf-8") as handle:
+                        done = len(handle.read().splitlines())
+                except OSError:
+                    done = 0
+                if done >= 1:
+                    break
+                time.sleep(0.1)
+            assert done >= 1, "no cell completed within 60s"
+            status, body = _request(
+                service.port, "POST", f"/runs/{run_id}/cancel"
+            )
+            assert status == 202
+            final = service.wait_terminal(run_id)
+            assert final["state"] == "cancelled"
+            # graceful 128+signum, or -signum if the signal won a race
+            # with the child's handler installation
+            assert final["exit_code"] >= 128 or final["exit_code"] < 0
+            # no completed cell was lost: the salvaged report keeps them
+            report_path = os.path.join(
+                service.data_dir, "runs", run_id, "SWEEP.json"
+            )
+            with open(report_path, "r", encoding="utf-8") as handle:
+                report = json.load(handle)
+            completed = [
+                r for r in report["runs"] if r["status"] in ("completed", "resumed")
+            ]
+            assert len(completed) >= done
+            assert report["interrupted"] is True

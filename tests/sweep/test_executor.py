@@ -39,6 +39,9 @@ def _normalized(record):
     """Record dict with run-to-run timing noise removed."""
     data = record.to_dict()
     data["wall_s"] = 0.0
+    # Serial runs measure the parent's cumulative ru_maxrss, worker
+    # runs their own — a process fact, not a result.
+    data["peak_rss_kb"] = None
     if data["manifest"]:
         manifest = dict(data["manifest"])
         for key in TIMING_KEYS:

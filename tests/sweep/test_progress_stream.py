@@ -1,0 +1,149 @@
+"""Live sweep observability hooks: on_record, --progress-out,
+--trace-dir, and the per-record peak_rss_kb capture.
+
+These are the producer side of the ``repro serve`` telemetry plane:
+each finished cell must surface immediately (completion order, flushed)
+without perturbing the deterministic, index-ordered report."""
+
+import json
+import threading
+
+from repro.cli import main
+from repro.constants import SECONDS_PER_DAY
+from repro.sim.config import SimulationConfig
+from repro.sweep import build_grid, normalize_sweep_report, run_sweep
+
+
+def _grid(seeds=(1, 2)):
+    config = SimulationConfig(
+        node_count=6, duration_s=0.2 * SECONDS_PER_DAY, seed=1
+    ).as_h(0.5)
+    return build_grid([("policy=h0.5", config)], list(seeds))
+
+
+class TestOnRecord:
+    def test_fires_once_per_cell_with_final_records(self):
+        seen = []
+        result = run_sweep(_grid(), engine="meso", on_record=seen.append)
+        assert len(seen) == len(result.records)
+        assert {record.index for record in seen} == {0, 1}
+        for record in seen:
+            assert record.status == "completed"
+            assert record.summary is not None
+
+    def test_callback_runs_in_parent_for_parallel_sweeps(self):
+        thread_ids = []
+        records = []
+
+        def on_record(record):
+            thread_ids.append(threading.get_ident())
+            records.append(record)
+
+        run_sweep(_grid(seeds=(1, 2, 3)), engine="meso", workers=2, on_record=on_record)
+        assert len(records) == 3
+        # merged in the parent process's scheduler loop, not in workers
+        assert set(thread_ids) == {threading.get_ident()}
+
+    def test_serial_and_parallel_reports_identical_with_hooks(self, tmp_path):
+        serial = run_sweep(_grid(seeds=(1, 2, 3)), engine="meso")
+        hooked = run_sweep(
+            _grid(seeds=(1, 2, 3)),
+            engine="meso",
+            workers=2,
+            on_record=lambda record: None,
+            trace_dir=str(tmp_path / "traces"),
+        )
+        a = json.dumps(normalize_sweep_report(serial.to_dict()), sort_keys=True)
+        b = json.dumps(normalize_sweep_report(hooked.to_dict()), sort_keys=True)
+        assert a == b
+
+
+class TestPeakRss:
+    def test_records_carry_peak_rss(self):
+        result = run_sweep(_grid(), engine="meso")
+        for record in result.records:
+            assert record.peak_rss_kb is not None
+            assert record.peak_rss_kb > 0
+
+    def test_peak_rss_survives_dict_round_trip(self):
+        from repro.sweep import RunRecord
+
+        result = run_sweep(_grid(seeds=(1,)), engine="meso")
+        record = result.records[0]
+        round_tripped = RunRecord.from_dict(record.to_dict())
+        assert round_tripped.peak_rss_kb == record.peak_rss_kb
+
+
+class TestCliProgressOut:
+    def test_progress_out_streams_ndjson_per_cell(self, tmp_path, capsys):
+        progress = tmp_path / "progress.ndjson"
+        out = tmp_path / "SWEEP.json"
+        code = main(
+            [
+                "sweep", "--nodes", "6", "--days", "0.2",
+                "--policies", "h,lorawan", "--seed-list", "1",
+                "--progress-out", str(progress), "--out", str(out),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        lines = progress.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert {record["index"] for record in records} == {0, 1}
+        assert all(record["status"] == "completed" for record in records)
+        # the NDJSON records match the report's records
+        report = json.loads(out.read_text())
+        by_index = {record["index"]: record for record in report["runs"]}
+        for record in records:
+            assert record == by_index[record["index"]]
+
+    def test_progress_out_appends_across_invocations(self, tmp_path, capsys):
+        progress = tmp_path / "progress.ndjson"
+        for _ in range(2):
+            main(
+                [
+                    "sweep", "--nodes", "6", "--days", "0.2",
+                    "--policies", "h", "--seed-list", "1",
+                    "--progress-out", str(progress),
+                    "--out", str(tmp_path / "SWEEP.json"),
+                ]
+            )
+            capsys.readouterr()
+        assert len(progress.read_text().splitlines()) == 2
+
+
+class TestCliTraceDir:
+    def test_trace_dir_writes_one_sink_per_cell(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        code = main(
+            [
+                "sweep", "--nodes", "6", "--days", "0.2",
+                "--policies", "h,lorawan", "--seed-list", "1",
+                "--trace-dir", str(trace_dir),
+                "--out", str(tmp_path / "SWEEP.json"),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        sinks = sorted(path.name for path in trace_dir.glob("run_*.jsonl"))
+        assert sinks == ["run_0000.jsonl", "run_0001.jsonl"]
+        for path in trace_dir.glob("run_*.jsonl"):
+            lines = path.read_text().splitlines()
+            assert lines
+            first = json.loads(lines[0])
+            assert first["name"] == "engine.run_started"
+
+    def test_traced_sweep_matches_untraced_report(self, tmp_path, capsys):
+        plain_out = tmp_path / "PLAIN.json"
+        traced_out = tmp_path / "TRACED.json"
+        args = [
+            "sweep", "--nodes", "6", "--days", "0.2",
+            "--policies", "h", "--seed-list", "1,2",
+        ]
+        main(args + ["--out", str(plain_out)])
+        main(args + ["--trace-dir", str(tmp_path / "t"), "--out", str(traced_out)])
+        capsys.readouterr()
+        plain = normalize_sweep_report(json.loads(plain_out.read_text()))
+        traced = normalize_sweep_report(json.loads(traced_out.read_text()))
+        assert json.dumps(plain, sort_keys=True) == json.dumps(traced, sort_keys=True)

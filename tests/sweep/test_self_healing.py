@@ -42,6 +42,7 @@ def _comparable(record):
     data = record.to_dict()
     data["wall_s"] = 0.0
     data["attempts"] = 1
+    data["peak_rss_kb"] = None
     data["status"] = "completed" if record.ok else record.status
     if data["manifest"]:
         manifest = dict(data["manifest"])

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import time
 
 import pytest
 
@@ -129,6 +130,34 @@ class TestTraceCommand:
         lines = capsys.readouterr().out.strip().splitlines()
         assert lines
         assert all(json.loads(line)["severity"] != "debug" for line in lines)
+
+    def test_follow_streams_events_appended_after_start(self, tmp_path, capsys):
+        import threading
+
+        path = tmp_path / "live.jsonl"
+        first = {"time_s": 0.0, "category": "engine", "severity": "info",
+                 "name": "engine.run_started", "fields": {}}
+        path.write_text(json.dumps(first) + "\n")
+        codes = []
+        thread = threading.Thread(
+            target=lambda: codes.append(
+                main(["trace", str(path), "--follow", "--json",
+                      "--limit", "2", "--poll-interval", "0.05"])
+            )
+        )
+        thread.start()
+        # the second event only exists after the follower is already
+        # tailing, so seeing it proves tail -f semantics
+        time.sleep(0.3)
+        second = dict(first, time_s=1.0, name="engine.run_finished")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(second) + "\n")
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert codes == [0]
+        out_lines = capsys.readouterr().out.strip().splitlines()
+        names = [json.loads(line)["name"] for line in out_lines]
+        assert names == ["engine.run_started", "engine.run_finished"]
 
 
 class TestFigureCommand:
