@@ -56,6 +56,10 @@ class Battery:
     initial_age_s: float = 0.0
     constants: DegradationConstants = DEFAULT_CONSTANTS
     incremental: bool = True
+    #: Optional cap on the incremental accumulator's stress-memo dicts
+    #: (None keeps the class default).  Pure-function caches, so any cap
+    #: is bit-identical; ``memory_profile="diet"`` shrinks it.
+    memo_limit: Optional[int] = None
 
     stored_j: float = field(init=False)
     trace: SocTrace = field(init=False)
@@ -80,7 +84,9 @@ class Battery:
         # clamped SoC values SocTrace stores, so its rainflow state always
         # mirrors the trace's turning points.
         self._incremental: Optional[IncrementalDegradation] = (
-            IncrementalDegradation(self.temperature_c, self.constants)
+            IncrementalDegradation(
+                self.temperature_c, self.constants, memo_limit=self.memo_limit
+            )
             if self.incremental
             else None
         )

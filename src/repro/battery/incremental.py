@@ -86,6 +86,7 @@ class IncrementalDegradation:
         "_aging_sum",
         "_depth_stress_memo",
         "_soc_stress_memo",
+        "_memo_limit",
     )
 
     #: Stress memo dictionaries are cleared past this size so decade-long
@@ -96,7 +97,12 @@ class IncrementalDegradation:
         self,
         temperature_c: float,
         constants: DegradationConstants = DEFAULT_CONSTANTS,
+        memo_limit: Optional[int] = None,
     ) -> None:
+        # Per-instance cap so large topologies (memory_profile="diet")
+        # can shrink the caches: memoization is a pure-function cache,
+        # so any cap — including 0 — leaves results bit-identical.
+        self._memo_limit = self.MEMO_LIMIT if memo_limit is None else memo_limit
         self._constants = constants
         self._temperature_c = temperature_c
         self._stress_t = cached_temperature_stress(temperature_c, constants)
@@ -136,7 +142,7 @@ class IncrementalDegradation:
         cached = self._depth_stress_memo.get(depth)
         if cached is None:
             cached = depth_of_discharge_stress(depth, self._constants)
-            if len(self._depth_stress_memo) >= self.MEMO_LIMIT:
+            if len(self._depth_stress_memo) >= self._memo_limit:
                 self._depth_stress_memo.clear()
             self._depth_stress_memo[depth] = cached
         return cached
@@ -145,7 +151,7 @@ class IncrementalDegradation:
         cached = self._soc_stress_memo.get(mean_soc)
         if cached is None:
             cached = soc_stress(mean_soc, self._constants)
-            if len(self._soc_stress_memo) >= self.MEMO_LIMIT:
+            if len(self._soc_stress_memo) >= self._memo_limit:
                 self._soc_stress_memo.clear()
             self._soc_stress_memo[mean_soc] = cached
         return cached

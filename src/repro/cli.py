@@ -60,6 +60,10 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--nodes", type=int, default=50)
     simulate.add_argument("--days", type=float, default=7.0)
     simulate.add_argument(
+        "--gateways", type=int, default=1,
+        help="gateway count (each gateway anchors one contention cell)",
+    )
+    simulate.add_argument(
         "--policy",
         choices=("lorawan", "h", "hc"),
         default="h",
@@ -100,6 +104,40 @@ def _build_parser() -> argparse.ArgumentParser:
             "run the mesoscopic engine's scalar reference sweep instead "
             "of the (bit-identical) vectorized fast path"
         ),
+    )
+    simulate.add_argument(
+        "--memory-profile",
+        choices=("exact", "diet"),
+        default="exact",
+        dest="memory_profile",
+        help=(
+            "diet = compact SoC traces, capped caches, counter-only "
+            "packet logs outside --sample-nodes (multi-year memory diet)"
+        ),
+    )
+    simulate.add_argument(
+        "--sample-nodes",
+        type=str,
+        default=None,
+        metavar="ID1,ID2,…",
+        dest="sample_nodes",
+        help="node ids that keep full per-packet rows under --memory-profile diet",
+    )
+    simulate.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "partition the topology by gateway cell and run each shard "
+            "in its own process (meso engine; <= gateway count)"
+        ),
+    )
+    simulate.add_argument(
+        "--shard-workers",
+        type=int,
+        default=1,
+        dest="shard_workers",
+        help="concurrent shard worker processes (with --shards)",
     )
     simulate.add_argument(
         "--trace",
@@ -259,6 +297,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--nodes", type=int, default=30)
     sweep.add_argument("--days", type=float, default=5.0)
     sweep.add_argument(
+        "--gateways", type=int, default=1,
+        help="gateway count for every run in the grid",
+    )
+    sweep.add_argument(
         "--engine", choices=("meso", "exact"), default="meso",
         help="engine used for every run in the grid",
     )
@@ -278,6 +320,20 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--axis", action="append", default=None, metavar="FIELD=V1,V2,…",
         help="config-field override axis (repeatable; cartesian product)",
+    )
+    sweep.add_argument(
+        "--memory-profile", choices=("exact", "diet"), default="exact",
+        dest="memory_profile",
+        help="memory profile applied to every run in the grid",
+    )
+    sweep.add_argument(
+        "--sample-nodes", type=str, default=None, metavar="ID1,ID2,…",
+        dest="sample_nodes",
+        help="node ids keeping full per-packet rows under diet runs",
+    )
+    sweep.add_argument(
+        "--shards", type=int, default=None,
+        help="gateway-cell shards per run (meso engine; <= gateway count)",
     )
     sweep.add_argument(
         "--workers", type=int, default=1,
@@ -368,12 +424,22 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
     every_days = getattr(args, "checkpoint_every", None)
     if checkpoint_dir is not None and every_days is None:
         every_days = 1.0
+    sample_spec = getattr(args, "sample_nodes", None)
+    sample_nodes = (
+        None
+        if sample_spec is None
+        else tuple(int(t) for t in str(sample_spec).split(",") if t.strip())
+    )
     base = SimulationConfig(
+        memory_profile=getattr(args, "memory_profile", "exact"),
+        sample_nodes=sample_nodes,
+        shards=getattr(args, "shards", None),
         checkpoint_dir=checkpoint_dir,
         checkpoint_every_s=(
             None if every_days is None else every_days * SECONDS_PER_DAY
         ),
         node_count=args.nodes,
+        gateway_count=getattr(args, "gateways", 1),
         duration_s=args.days * SECONDS_PER_DAY,
         w_b=getattr(args, "w_b", 1.0),
         seed=args.seed,
@@ -432,13 +498,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # The mesoscopic runner has no event boundaries to inject at.
         notices.append("fault plan supplied: switching to the exact engine")
         engine = "exact"
+    if engine == "exact" and config.shards is not None:
+        # The exact engine is a single event loop; sharding is a
+        # mesoscopic decomposition.  Results are unaffected either way.
+        notices.append("--shards ignored by the exact engine")
+        config = config.replace(shards=None)
     _interrupt.install()
     try:
         if engine == "exact":
             result = run_simulation(config)
             lifespan = None
         else:
-            result = run_mesoscopic(config)
+            result = run_mesoscopic(
+                config, shard_workers=getattr(args, "shard_workers", 1)
+            )
             lifespan = result.network_lifespan_days()
     except SimulationInterrupted as exc:
         return _interrupted_exit(exc)
@@ -639,11 +712,15 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> dict:
     return {
         "nodes": args.nodes,
         "days": args.days,
+        "gateways": getattr(args, "gateways", 1),
         "policies": args.policies,
         "theta": args.theta,
         "seeds": args.seeds,
         "seed_list": args.seed_list,
         "axis": list(args.axis or ()),
+        "memory_profile": getattr(args, "memory_profile", "exact"),
+        "sample_nodes": getattr(args, "sample_nodes", None),
+        "shards": getattr(args, "shards", None),
     }
 
 

@@ -66,6 +66,11 @@ class DegradationService:
         self._model = model or DegradationModel()
         self._interval_s = dissemination_interval_s
         self._nodes: Dict[int, NodeDegradationState] = {}
+        # D_max cache: every per-node w_u query needs the network
+        # maximum, and rescanning all nodes per query made refresh
+        # passes O(N²).  Invalidated whenever any degradation changes.
+        self._max_cache = 0.0
+        self._max_dirty = True
         #: Optional :class:`~repro.obs.TraceBus`; None keeps tracing free.
         self._trace = None
 
@@ -121,6 +126,7 @@ class DegradationService:
         if not 0.0 <= degradation <= 1.0:
             raise ConfigurationError("degradation must be in [0, 1]")
         self._state(node_id).degradation = degradation
+        self._max_dirty = True
 
     # ----------------------------------------------------------- computation
 
@@ -132,6 +138,7 @@ class DegradationService:
         state.degradation = self._model.degradation_from_trace(
             state.trace, age_s=age_s, temperature_c=temperature_c
         )
+        self._max_dirty = True
         return state.degradation
 
     def recompute_all(self, age_s: float, temperature_c: float = 25.0) -> None:
@@ -145,9 +152,16 @@ class DegradationService:
 
     def max_degradation(self) -> float:
         """``D_max`` across the network (0 for an empty network)."""
-        if not self._nodes:
-            return 0.0
-        return max(state.degradation for state in self._nodes.values())
+        # getattr: checkpoints written before the cache existed unpickle
+        # without these attributes; treat them as dirty.
+        if getattr(self, "_max_dirty", True):
+            self._max_cache = (
+                max(state.degradation for state in self._nodes.values())
+                if self._nodes
+                else 0.0
+            )
+            self._max_dirty = False
+        return self._max_cache
 
     def normalized_degradation(self, node_id: int) -> float:
         """``w_u = D_u / D_max`` — 0 when the whole network is pristine."""

@@ -46,6 +46,10 @@ class Harvester:
     shading_sigma: float = 0.2
     shading_step_s: float = 1800.0
     efficiency: float = 0.85
+    #: Memory-diet mode: shading factors are rounded through float32
+    #: (both cache paths, so the scalar and vectorized engines still
+    #: agree bitwise) and the sliding window / scalar cache shrink.
+    diet: bool = False
 
     _cache: dict = field(default_factory=dict, init=False, repr=False)
     #: Sliding contiguous shading-factor window for the vectorized
@@ -58,6 +62,19 @@ class Harvester:
     #: Maximum length of the contiguous shading window (≈170 days at the
     #: default 30-min step); the left tail is dropped beyond it.
     SHADE_WINDOW_LIMIT = 8192
+    #: Diet-mode window (≈21 days) — settles march strictly forward, so
+    #: a shorter tail only forces earlier recomputation, never changes
+    #: the (pure-function) values.
+    DIET_SHADE_WINDOW_LIMIT = 1024
+    #: Scalar-path cache cap (diet keeps a much smaller dict).
+    CACHE_LIMIT = 4096
+    DIET_CACHE_LIMIT = 512
+    #: Diet-mode shading grid: local variation is resampled every 2 h
+    #: instead of every 30 min.  Each factor costs a seeded RNG draw, so
+    #: the coarser grid cuts the dominant per-node-day cost of very
+    #: large topologies 4x; shades then move across a node on the
+    #: 2-hour scale (a documented diet approximation).
+    DIET_SHADING_STEP_S = 7200.0
 
     def __post_init__(self) -> None:
         if self.shading_sigma < 0:
@@ -66,6 +83,13 @@ class Harvester:
             raise ConfigurationError("efficiency must be in (0, 1]")
         if self.shading_step_s <= 0:
             raise ConfigurationError("shading_step_s must be positive")
+        if self.diet:
+            self.shading_step_s = max(self.shading_step_s, self.DIET_SHADING_STEP_S)
+        self._shade_limit = (
+            self.DIET_SHADE_WINDOW_LIMIT if self.diet else self.SHADE_WINDOW_LIMIT
+        )
+        self._cache_limit = self.DIET_CACHE_LIMIT if self.diet else self.CACHE_LIMIT
+        self._shade_dtype = np.float32 if self.diet else np.float64
 
     def _shading_factor(self, time_s: float) -> float:
         """Node-local multiplicative variation, mean ≈ 1, clipped to [0, 1.5]."""
@@ -75,18 +99,26 @@ class Harvester:
         cached = self._cache.get(index)
         if cached is None:
             cached = self._shading_at(index)
-            if len(self._cache) > 4096:
+            if len(self._cache) > self._cache_limit:
                 self._cache.clear()
             self._cache[index] = cached
         return cached
 
     def _shading_at(self, index: int) -> float:
-        """The scalar shading expression (shared by both cache paths)."""
+        """The scalar shading expression (shared by both cache paths).
+
+        In diet mode the value is rounded through float32 before use, so
+        the scalar cache and the float32 sliding window hold the exact
+        same number and both engines keep agreeing bitwise.
+        """
         rng = random.Random((self.node_seed << 24) ^ index)
-        return min(
+        value = min(
             1.5,
             math.exp(rng.gauss(-self.shading_sigma**2 / 2.0, self.shading_sigma)),
         )
+        if self.diet:
+            return float(np.float32(value))
+        return value
 
     def shading_factors_batch(self, times_s: np.ndarray) -> np.ndarray:
         """Shading factors for an array of times in one gather.
@@ -113,10 +145,11 @@ class Harvester:
         # Pad to the right: accesses march forward (settles/forecasts),
         # so over-computing ahead amortizes rebuilds.
         pad = 128
+        dtype = self._shade_dtype
         if arr is None:
             self._shade_base = lo
             self._shade_arr = np.array(
-                [self._shading_at(i) for i in range(lo, hi + pad)]
+                [self._shading_at(i) for i in range(lo, hi + pad)], dtype=dtype
             )
             return
         base = self._shade_base
@@ -125,16 +158,22 @@ class Harvester:
             return
         parts = []
         if lo < base:
-            parts.append(np.array([self._shading_at(i) for i in range(lo, base)]))
+            parts.append(
+                np.array(
+                    [self._shading_at(i) for i in range(lo, base)], dtype=dtype
+                )
+            )
             self._shade_base = lo
         parts.append(arr)
         if hi >= top:
             parts.append(
-                np.array([self._shading_at(i) for i in range(top, hi + pad)])
+                np.array(
+                    [self._shading_at(i) for i in range(top, hi + pad)], dtype=dtype
+                )
             )
         arr = parts[0] if len(parts) == 1 else np.concatenate(parts)
-        if len(arr) > self.SHADE_WINDOW_LIMIT:
-            keep = self.SHADE_WINDOW_LIMIT // 2
+        if len(arr) > self._shade_limit:
+            keep = self._shade_limit // 2
             self._shade_base += len(arr) - keep
             arr = arr[-keep:]
         self._shade_arr = arr

@@ -105,8 +105,17 @@ def config_hash(config: object) -> str:
                 "trace",
                 "trace_path",
                 "trace_categories",
+                # Retention-only: which nodes keep full history never
+                # changes simulation results.
+                "sample_nodes",
             )
         }
+        if "shards" in payload:
+            # The shard count only packs gateway cells into worker
+            # processes; any count yields identical results.  Sharded
+            # vs. unsharded *is* a semantic switch (per-cell contention
+            # domains), so only that bit enters the hash.
+            payload["shards"] = payload["shards"] is not None
     text = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 

@@ -52,7 +52,20 @@ STATES = (
 )
 
 _SIMULATE_KEYS = frozenset(
-    {"kind", "nodes", "days", "policy", "theta", "seed", "engine", "trace"}
+    {
+        "kind",
+        "nodes",
+        "days",
+        "gateways",
+        "policy",
+        "theta",
+        "seed",
+        "engine",
+        "trace",
+        "memory_profile",
+        "sample_nodes",
+        "shards",
+    }
 )
 _SWEEP_KEYS = frozenset(
     {"kind", "engine", "trace", "workers", "timeout_s", "max_retries"}
@@ -77,6 +90,7 @@ def validate_spec(spec: object) -> Dict[str, object]:
     for key, caster, default in (
         ("nodes", int, 30),
         ("days", float, 5.0),
+        ("gateways", int, 1),
         ("theta", float, 0.5),
     ):
         try:
@@ -88,6 +102,32 @@ def validate_spec(spec: object) -> Dict[str, object]:
         raise HttpError(400, f"unknown engine {engine!r}")
     out["engine"] = engine
     out["trace"] = bool(spec.get("trace", False))
+    profile = spec.get("memory_profile", "exact")
+    if profile not in ("exact", "diet"):
+        raise HttpError(
+            400, f"unknown memory_profile {profile!r} (exact or diet)"
+        )
+    out["memory_profile"] = profile
+    shards = spec.get("shards")
+    if shards is not None:
+        try:
+            out["shards"] = int(shards)
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"bad 'shards': {shards!r}") from exc
+        if out["shards"] < 1:  # type: ignore[operator]
+            raise HttpError(400, "shards must be >= 1")
+    sample_nodes = spec.get("sample_nodes")
+    if sample_nodes is not None:
+        if isinstance(sample_nodes, str):
+            sample_nodes = [s for s in sample_nodes.split(",") if s.strip()]
+        if not isinstance(sample_nodes, list):
+            raise HttpError(400, "sample_nodes must be a list of node ids")
+        try:
+            out["sample_nodes"] = [int(s) for s in sample_nodes]
+        except (TypeError, ValueError) as exc:
+            raise HttpError(
+                400, f"bad 'sample_nodes': {spec.get('sample_nodes')!r}"
+            ) from exc
     if kind == "simulate":
         policy = spec.get("policy", "h")
         if policy not in _POLICIES:
@@ -334,6 +374,17 @@ class JobManager:
         argv = [sys.executable, "-m", "repro", job.kind]
         argv += ["--nodes", str(spec["nodes"]), "--days", str(spec["days"])]
         argv += ["--theta", str(spec["theta"]), "--engine", str(spec["engine"])]
+        if spec.get("gateways") is not None:
+            argv += ["--gateways", str(spec["gateways"])]
+        if spec.get("memory_profile", "exact") != "exact":
+            argv += ["--memory-profile", str(spec["memory_profile"])]
+        if spec.get("shards") is not None:
+            argv += ["--shards", str(spec["shards"])]
+        if spec.get("sample_nodes"):
+            argv += [
+                "--sample-nodes",
+                ",".join(str(n) for n in spec["sample_nodes"]),  # type: ignore[union-attr]
+            ]
         if job.kind == "simulate":
             argv += ["--policy", str(spec["policy"]), "--seed", str(spec["seed"])]
             argv += ["--json", "--metrics-out", job.path("metrics.json")]

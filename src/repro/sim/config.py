@@ -142,6 +142,31 @@ class SimulationConfig:
     #: uses the scalar path regardless of this flag.
     vectorized: bool = True
 
+    # ----------------------------------------------------------------- scale
+    #: Per-node state budget.  ``"exact"`` keeps every float64 buffer the
+    #: equivalence suite pins down; ``"diet"`` shrinks per-node state for
+    #: very large topologies — float32 shading windows, aggressively
+    #: compacted SoC traces, small pure-function memo caches, and packet
+    #: / trace retention restricted to ``sample_nodes``.  Diet runs are
+    #: deterministic (scalar ≡ vectorized) but not bit-identical to
+    #: ``"exact"`` because shading factors round through float32.
+    memory_profile: str = "exact"
+    #: Node ids whose full per-node history (packet records, SoC traces)
+    #: is retained even under the diet profile.  None means "retain
+    #: everything" under ``"exact"`` and "retain counters only" under
+    #: ``"diet"``.  Retention-only: never changes simulation results.
+    sample_nodes: Optional[Tuple[int, ...]] = None
+    #: Spatial sharding of the mesoscopic engine: partition the topology
+    #: into gateway cells (nearest-gateway Voronoi) and simulate each
+    #: cell independently with a per-cell contention domain plus a
+    #: border-exchange pass for cross-cell interference (see
+    #: docs/PERFORMANCE.md).  None keeps the classic single-domain
+    #: engine.  The cell decomposition depends only on the topology, so
+    #: any shard count from 1 to ``gateway_count`` produces identical
+    #: results; the count only controls how many worker processes the
+    #: cells are packed into.
+    shards: Optional[int] = None
+
     # ------------------------------------------------------------ accounting
     #: How often the gateway recomputes and disseminates degradation.
     dissemination_interval_s: float = SECONDS_PER_DAY
@@ -220,6 +245,32 @@ class SimulationConfig:
                 "compact_trace requires incremental_degradation: the batch "
                 "refresh path re-reads the full SoC trace"
             )
+        if self.memory_profile not in ("exact", "diet"):
+            raise ConfigurationError(
+                "memory_profile must be 'exact' or 'diet'"
+            )
+        if self.memory_profile == "diet" and not self.incremental_degradation:
+            raise ConfigurationError(
+                "memory_profile='diet' requires incremental_degradation: "
+                "the batch refresh path re-reads the full SoC trace"
+            )
+        if self.sample_nodes is not None:
+            normalized = tuple(sorted({int(n) for n in self.sample_nodes}))
+            for node_id in normalized:
+                if not 0 <= node_id < self.node_count:
+                    raise ConfigurationError(
+                        f"sample_nodes names node {node_id} but only "
+                        f"{self.node_count} nodes exist"
+                    )
+            object.__setattr__(self, "sample_nodes", normalized)
+        if self.shards is not None:
+            if self.shards < 1:
+                raise ConfigurationError("shards must be >= 1")
+            if self.shards > self.gateway_count:
+                raise ConfigurationError(
+                    f"shards ({self.shards}) cannot exceed gateway_count "
+                    f"({self.gateway_count}): shards are packed gateway cells"
+                )
         if self.checkpoint_every_s is not None:
             if self.checkpoint_every_s <= 0:
                 raise ConfigurationError("checkpoint_every_s must be positive")
@@ -319,6 +370,59 @@ class SimulationConfig:
     def replace(self, **changes) -> "SimulationConfig":
         """Return a modified copy (sweep helper)."""
         return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------ scale
+
+    @property
+    def diet(self) -> bool:
+        """Whether the shrunken-state memory profile is active."""
+        return self.memory_profile == "diet"
+
+    def effective_sample_nodes(self) -> Optional[frozenset]:
+        """Node ids whose full history is retained; None = everything.
+
+        ``sample_nodes`` always wins when given.  Otherwise the exact
+        profile retains everything and the diet profile retains nothing
+        beyond aggregate counters.
+        """
+        if self.sample_nodes is not None:
+            return frozenset(self.sample_nodes)
+        if self.memory_profile == "diet":
+            return frozenset()
+        return None
+
+    def settle_chunk_s(self) -> float:
+        """Energy-settling chunk length for the mesoscopic engine.
+
+        The exact profile integrates harvest/sleep in 5-window chunks
+        (the granularity the equivalence suite pins down).  The diet
+        profile coarsens to 2-hour chunks (never finer than 5 windows):
+        harvest midpoint sampling and SoC turning points track the
+        diurnal cycle rather than every 5 minutes, trading a small,
+        documented accuracy loss for an order of magnitude less settle
+        work on 10k+-node topologies.  Scalar and vectorized sweeps
+        share this value, so scalar ≡ vectorized holds in both profiles.
+        """
+        base = self.window_s * 5.0
+        if self.memory_profile == "diet":
+            return max(base, 7200.0)
+        return base
+
+    def effective_compact_trace(self) -> bool:
+        """Whether SoC traces are compacted after degradation refreshes.
+
+        Compaction is bit-identical to results (the incremental pipeline
+        folds turning points as they close and the time-weighted mean is
+        maintained online), so beyond the explicit ``compact_trace``
+        flag it turns itself on for the diet profile and for any
+        multi-month horizon, where retaining every turning point costs
+        megabytes per node-year.
+        """
+        if not self.incremental_degradation:
+            return False
+        if self.compact_trace or self.memory_profile == "diet":
+            return True
+        return self.duration_s >= 180 * SECONDS_PER_DAY
 
     # --------------------------------------------------------- observability
 

@@ -145,7 +145,11 @@ class Simulator:
         self.gateways = [Gateway(omega=config.omega) for _ in range(config.gateway_count)]
         self.gateway = self.gateways[0]
         self.server = NetworkServer()
-        self.packet_log = PacketLog() if config.record_packets else None
+        self.packet_log = (
+            PacketLog(sample_nodes=config.effective_sample_nodes())
+            if config.record_packets
+            else None
+        )
         self.adr = AdrController() if config.adr_enabled else None
         self.duty_cycle = (
             DutyCycleLimiter(duty_cycle=config.duty_cycle)

@@ -31,7 +31,7 @@ import math
 import random
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..battery import Battery, DegradationModel
 from ..checkpoint.core import save_checkpoint
@@ -76,6 +76,35 @@ class WindowOutcome:
     attempts: int
     success: bool
     finish_offset_s: float
+
+
+class StaticAttempt:
+    """A frozen foreign transmission injected into a window resolution.
+
+    The sharded engine's border exchange replays the announced schedule
+    of strong out-of-cell nodes as *static* interference: a static
+    occupies a demodulator slot and contributes co-channel/same-SF
+    power, but never retries and receives no outcome.  Its received
+    power is pre-linearized (``10 ** (rssi / 10)``, a pure function of
+    the static RSSI, so the sums stay bit-identical to inline
+    exponentiation).
+    """
+
+    __slots__ = ("start_s", "end_s", "channel", "spreading_factor", "lin_mw")
+
+    def __init__(
+        self,
+        start_s: float,
+        end_s: float,
+        channel: int,
+        spreading_factor,
+        lin_mw: Sequence[float],
+    ) -> None:
+        self.start_s = start_s
+        self.end_s = end_s
+        self.channel = channel
+        self.spreading_factor = spreading_factor
+        self.lin_mw = lin_mw
 
 
 class Attempt:
@@ -125,12 +154,15 @@ class MesoNode:
             initial_soc=config.initial_soc,
             temperature_c=config.temperature_c,
             incremental=config.incremental_degradation,
+            # Diet: small pure-function stress caches (bit-identical).
+            memo_limit=4096 if config.diet else None,
         )
         solar = SolarModel(peak_watts=config.solar_peak_watts(), clouds=clouds)
         self.harvester = Harvester(
             solar=solar,
             node_seed=config.seed * 10_007 + placement.node_id,
             shading_sigma=config.shading_sigma,
+            diet=config.diet,
         )
         self.forecaster = build_forecaster(config, self.harvester, placement.node_id)
         self.mac: MacPolicy = build_mac(config, capacity, self.attempt_energy_j)
@@ -173,13 +205,14 @@ class MesoNode:
 
         Harvest and sleep demand are applied in coarse chunks through the
         switch; ``extra_demand_j`` (transmission energy) lands in the
-        final chunk.  Chunking at ~5 windows keeps the trace small while
-        preserving charge/discharge turning points.
+        final chunk.  The chunk length comes from the memory profile
+        (5 windows exact, 120 windows diet) and keeps the trace small
+        while preserving charge/discharge turning points.
         """
         # A window resolution can settle a node slightly past a refresh
         # or end-of-run boundary; later settles clamp to the frontier.
         now_s = max(now_s, self.settled_until_s)
-        chunk_s = self.config.window_s * 5.0
+        chunk_s = self.config.settle_chunk_s()
         cursor = self.settled_until_s
         shortfall = 0.0
         while cursor < now_s - 1e-9:
@@ -212,6 +245,7 @@ def resolve_window(
     max_retransmissions: int,
     rng: random.Random,
     capture_threshold_db: float = 6.0,
+    static_attempts: Sequence[StaticAttempt] = (),
 ) -> Dict[int, WindowOutcome]:
     """Exactly resolve contention among transmissions sharing a window.
 
@@ -220,6 +254,12 @@ def resolve_window(
     class-A receive windows plus a 1-3 s jitter, up to the LoRa limit.
     Attempt overlap is resolved pairwise on channel (+SF) with capture;
     more than ω concurrent transmissions saturate the demodulators.
+
+    ``static_attempts`` (border exchange) add one-shot foreign
+    interference: they count toward ω concurrency and co-channel
+    same-SF power but never retry and get no outcomes.  They consume no
+    RNG draws, and they are accumulated *before* the live universe so
+    the vectorized resolver can reproduce the float sums exactly.
     """
     if not entries:
         return {}
@@ -256,6 +296,19 @@ def resolve_window(
             gateways = len(node.rssi_by_gateway)
             interferers_mw = [0.0] * gateways
             concurrent = 0
+            for static in static_attempts:
+                if not overlaps(
+                    attempt.start_s, end_s, static.start_s, static.end_s
+                ):
+                    continue
+                concurrent += 1
+                if (
+                    static.channel == attempt.channel
+                    and static.spreading_factor
+                    == node.tx_params.spreading_factor
+                ):
+                    for g in range(gateways):
+                        interferers_mw[g] += static.lin_mw[g]
             for other, other_end in universe:
                 if other is attempt:
                     continue
@@ -440,13 +493,42 @@ class MesoscopicResult:
         return [self.max_degradation_at((m + 1) * month_s) for m in range(months)]
 
 
+def cell_contention_seed(seed: int, cell_index: Optional[int]) -> int:
+    """Seed of a (cell-local) contention RNG stream.
+
+    ``None`` keeps the classic whole-network stream.  Per-cell streams
+    are a pure function of (seed, cell index) — never of how cells were
+    packed into shard processes — which is what makes sharded results
+    invariant to the shard count.
+    """
+    base = seed ^ 0xC0FFEE
+    if cell_index is None:
+        return base
+    return base ^ ((0x9E3779B1 * (cell_index + 1)) & 0xFFFFFFFF)
+
+
 class MesoscopicSimulator:
-    """Day-structured simulator with exact per-window contention."""
+    """Day-structured simulator with exact per-window contention.
+
+    ``placements``/``cell_index``/``export_nodes``/``foreign`` put the
+    simulator in *cell mode* (used by :mod:`repro.sim.sharded`): it
+    simulates only the given placements as one contention domain seeded
+    by the cell index, records the announced schedule of
+    ``export_nodes`` into :attr:`border_intents`, and replays
+    ``foreign`` transmissions as static interference.
+    """
 
     ACK_DELAY_S = 1.0
 
     def __init__(
-        self, config: SimulationConfig, obs: Optional[Observability] = None
+        self,
+        config: SimulationConfig,
+        obs: Optional[Observability] = None,
+        *,
+        placements: Optional[List[NodePlacement]] = None,
+        cell_index: Optional[int] = None,
+        export_nodes: Optional[frozenset] = None,
+        foreign=None,
     ) -> None:
         self.config = config
         self.obs = obs if obs is not None else config.build_observability()
@@ -456,16 +538,28 @@ class MesoscopicSimulator:
                 path_loss_exponent=config.path_loss_exponent
             )
             clouds = CloudProcess(seed=config.seed)
+            if placements is None:
+                placements = build_topology(config, self.link)
             self.nodes: Dict[int, MesoNode] = {}
-            for placement in build_topology(config, self.link):
+            for placement in placements:
                 self.nodes[placement.node_id] = MesoNode(
                     placement, config, clouds, self.link, trace=self._trace
                 )
         self.service = DegradationService()
         if self._trace is not None:
             self.service.bind_trace(self._trace)
-        self.packet_log = PacketLog() if config.record_packets else None
-        self.rng = random.Random(config.seed ^ 0xC0FFEE)
+        self.packet_log = (
+            PacketLog(sample_nodes=config.effective_sample_nodes())
+            if config.record_packets
+            else None
+        )
+        self.cell_index = cell_index
+        self._export_nodes = export_nodes
+        self._foreign = foreign
+        #: (absolute_window, node_id, offset | nan) schedule announcements
+        #: of exported border nodes, in emission order.
+        self.border_intents: List[Tuple[int, int, float]] = []
+        self.rng = random.Random(cell_contention_seed(config.seed, cell_index))
         self.model = DegradationModel()
         self._events_executed = 0
         self._peak_heap = 0
@@ -801,9 +895,35 @@ class MesoscopicSimulator:
         )
         bucket = pending_windows.setdefault(absolute_window, [])
         bucket.append(entry)
+        self._export_intent(entry, absolute_window)
         if len(bucket) == 1:
             resolve_time = (absolute_window + 1) * self.config.window_s
             heapq.heappush(heap, (resolve_time, 1, seq, absolute_window))
+
+    def _export_intent(self, entry: WindowEntry, absolute_window: int) -> None:
+        """Announce a border node's scheduled window to other cells.
+
+        Only the grid window is announced — window-selected offsets are
+        drawn later from the *cell* RNG and must not couple cells, so
+        receivers re-derive a deterministic offset; immediate (ALOHA)
+        offsets are known now and exported as-is.
+        """
+        node_id = entry.node.node_id
+        if self._export_nodes is None or node_id not in self._export_nodes:
+            return
+        self.border_intents.append(
+            (
+                absolute_window,
+                node_id,
+                entry.offset_in_window_s if entry.immediate else math.nan,
+            )
+        )
+
+    def _statics_for(self, window_index: int) -> Sequence[StaticAttempt]:
+        """Foreign static interferers scheduled in one absolute window."""
+        if self._foreign is None:
+            return ()
+        return self._foreign.statics_for(window_index)
 
     def _resolve(
         self, entries: List[WindowEntry], window_index: int, window_s: float
@@ -815,6 +935,7 @@ class MesoscopicSimulator:
             omega=self.config.omega,
             max_retransmissions=self.config.max_retransmissions,
             rng=self.rng,
+            static_attempts=self._statics_for(window_index),
         )
         window_start = window_index * window_s
         for entry in entries:
@@ -918,11 +1039,12 @@ class MesoscopicSimulator:
 
     def _refresh_degradation(self, now_s: float) -> None:
         started = time.perf_counter()
-        compact = self.config.compact_trace
+        compact = self.config.effective_compact_trace()
+        exempt = self.config.effective_sample_nodes() if compact else None
         for node in self.nodes.values():
             node.settle_to(now_s)
             degradation = node.battery.refresh_degradation()
-            if compact:
+            if compact and (exempt is None or node.node_id not in exempt):
                 node.battery.trace.compact_tail()
             node.metrics.degradation = degradation
             breakdown = node.battery.last_breakdown
@@ -976,7 +1098,18 @@ class MesoscopicSimulator:
 
 
 def run_mesoscopic(
-    config: SimulationConfig, obs: Optional[Observability] = None
+    config: SimulationConfig,
+    obs: Optional[Observability] = None,
+    shard_workers: int = 1,
 ) -> MesoscopicResult:
-    """Convenience wrapper: build and run a mesoscopic simulation."""
+    """Convenience wrapper: build and run a mesoscopic simulation.
+
+    When ``config.shards`` is set the run is dispatched to the
+    gateway-cell sharded coordinator (worker processes bound memory;
+    results are invariant to the shard count).
+    """
+    if config.shards is not None:
+        from .sharded import run_sharded
+
+        return run_sharded(config, obs=obs, workers=shard_workers)
     return MesoscopicSimulator(config, obs=obs).run()

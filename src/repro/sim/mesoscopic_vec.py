@@ -280,7 +280,9 @@ def _start_period_batch(
     config = sim.config
     window_s = config.window_s
     _settle_items(
-        [(node, now_s, 0.0) for node in batch], shared_solar, window_s * 5.0
+        [(node, now_s, 0.0) for node in batch],
+        shared_solar,
+        config.settle_chunk_s(),
     )
     for node in batch:
         node.metrics.record_generated()
@@ -378,6 +380,7 @@ def _start_period_batch(
             )
             bucket = pending_windows.setdefault(absolute_window, [])
             bucket.append(entry)
+            sim._export_intent(entry, absolute_window)
             if len(bucket) == 1:
                 resolve_time = (absolute_window + 1) * window_s
                 heapq.heappush(heap, (resolve_time, 1, seq, absolute_window))
@@ -449,6 +452,7 @@ def _resolve_window_vec(
     max_retransmissions: int,
     rng,
     capture_threshold_db: float = 6.0,
+    static_attempts: Sequence = (),
 ) -> Dict[int, WindowOutcome]:
     """Array twin of :func:`resolve_window` (same draws, same bits).
 
@@ -474,6 +478,17 @@ def _resolve_window_vec(
         [node.rssi_dbm >= node.sensitivity_dbm for node in nodes]
     )
     lin_mw = [_node_rssi_lin_mw(node) for node in nodes]
+
+    # Static (border) interferers: fixed rows that join the overlap /
+    # concurrency / co-channel tests of every round but never retry.
+    ns = len(static_attempts)
+    if ns:
+        s_starts = np.array([s.start_s for s in static_attempts])
+        s_ends = np.array([s.end_s for s in static_attempts])
+        s_chans = np.array(
+            [s.channel for s in static_attempts], dtype=np.int64
+        )
+        s_sfs = np.array([s.spreading_factor for s in static_attempts])
 
     # Round-0 draws, exactly as the scalar entry loop makes them.
     starts0 = np.empty(k)
@@ -532,13 +547,30 @@ def _resolve_window_vec(
             & (u_sfs[None, :] == sfs_arr[b_entry][:, None])
         )
         icount = same.sum(axis=1)
+        if ns:
+            s_overlap = (b_starts[:, None] < s_ends[None, :]) & (
+                s_starts[None, :] < b_ends[:, None]
+            )
+            concurrent = concurrent + s_overlap.sum(axis=1)
+            s_same = (
+                s_overlap
+                & (s_chans[None, :] == b_chans[:, None])
+                & (s_sfs[None, :] == sfs_arr[b_entry][:, None])
+            )
+            icount = icount + s_same.sum(axis=1)
         free = concurrent + 1 <= omega
         ok = free & in_range[b_entry] & (icount == 0)
         # Interfered attempts fall back to the scalar per-gateway sums so
-        # the mW accumulation and capture check keep their operand order.
+        # the mW accumulation and capture check keep their operand order
+        # (statics first, like the scalar resolver's accumulation).
         for i in np.nonzero(free & (icount > 0))[0]:
             node = nodes[b_entry[i]]
             mw = [0.0] * gateways
+            if ns:
+                for si in np.nonzero(s_same[i])[0]:
+                    s_lin = static_attempts[si].lin_mw
+                    for g in range(gateways):
+                        mw[g] += s_lin[g]
             for u in np.nonzero(same[i])[0]:
                 other_lin = lin_mw[u_entry_arr[u]]
                 for g in range(gateways):
@@ -645,7 +677,8 @@ def _resolve_batch(
         sim._resolve(entries, window_index, window_s)
         return
     config = sim.config
-    if len(entries) == 1:
+    statics = sim._statics_for(window_index)
+    if len(entries) == 1 and not statics:
         outcomes = {
             node_ids[0]: _resolve_single(entries[0], window_s, config, sim.rng)
         }
@@ -661,6 +694,7 @@ def _resolve_batch(
             omega=config.omega,
             max_retransmissions=config.max_retransmissions,
             rng=sim.rng,
+            static_attempts=statics,
         )
     window_start = window_index * window_s
     observe = config.forecaster == "persistence"
@@ -672,7 +706,7 @@ def _resolve_batch(
             window_start + outcome.finish_offset_s, entry.node.settled_until_s
         )
         items.append((entry.node, settle_time, demand))
-    shortfalls = _settle_items(items, shared_solar, window_s * 5.0)
+    shortfalls = _settle_items(items, shared_solar, sim.config.settle_chunk_s())
     for entry, (node, _, demand), shortfall in zip(entries, items, shortfalls):
         outcome = outcomes[node.node_id]
         decision = entry.decision
@@ -755,16 +789,17 @@ def _resolve_batch(
 def _refresh_batch(sim, now_s: float, shared_solar) -> None:
     """Batched twin of ``MesoscopicSimulator._refresh_degradation``."""
     started = time.perf_counter()
-    compact = sim.config.compact_trace
+    compact = sim.config.effective_compact_trace()
+    exempt = sim.config.effective_sample_nodes() if compact else None
     nodes = list(sim.nodes.values())
     _settle_items(
         [(node, now_s, 0.0) for node in nodes],
         shared_solar,
-        sim.config.window_s * 5.0,
+        sim.config.settle_chunk_s(),
     )
     for node in nodes:
         degradation = node.battery.refresh_degradation()
-        if compact:
+        if compact and (exempt is None or node.node_id not in exempt):
             node.battery.trace.compact_tail()
         node.metrics.degradation = degradation
         breakdown = node.battery.last_breakdown

@@ -5,6 +5,15 @@ Aggregate metrics answer "how did the network do"; a packet log answers
 one :class:`PacketRecord` per generated packet when
 ``SimulationConfig.record_packets`` is set; the log supports filtering
 and CSV export for offline analysis.
+
+At very large node counts retaining every record is the dominant memory
+cost, so a log can be built with a ``sample_nodes`` set: records from
+unsampled nodes still update the aggregate counters
+(:attr:`PacketLog.generated` / :attr:`PacketLog.delivered` /
+:attr:`PacketLog.attempts` / :attr:`PacketLog.energy_drops`) but are not
+stored — :attr:`PacketLog.unsampled` counts them, while
+:attr:`PacketLog.dropped` keeps its original meaning of
+capacity evictions only.
 """
 
 from __future__ import annotations
@@ -13,7 +22,7 @@ import csv
 import io
 from collections import deque
 from dataclasses import dataclass, fields
-from typing import Callable, Deque, Iterator, List
+from typing import Callable, Deque, Iterator, List, Optional
 
 from ..exceptions import ConfigurationError
 
@@ -49,24 +58,79 @@ class PacketLog:
     """A bounded, append-only collection of :class:`PacketRecord`.
 
     ``capacity`` bounds memory for long runs: once full, the earliest
-    records are dropped (the tail of a run is usually what is being
-    debugged), and :attr:`dropped` counts the evictions.
+    *stored* records are dropped (the tail of a run is usually what is
+    being debugged), and :attr:`dropped` counts the evictions.
+
+    ``sample_nodes`` restricts storage to a node-id set (None stores
+    everything).  Counters are updated for every appended record,
+    sampled or not, so network-wide delivery accounting survives the
+    retention policy.
     """
 
-    def __init__(self, capacity: int = 1_000_000) -> None:
+    def __init__(
+        self,
+        capacity: int = 1_000_000,
+        sample_nodes: Optional[frozenset] = None,
+    ) -> None:
         if capacity < 1:
             raise ConfigurationError("capacity must be >= 1")
         self._capacity = capacity
+        self._sample_nodes = (
+            None if sample_nodes is None else frozenset(sample_nodes)
+        )
         # deque(maxlen=...) evicts in O(1); list.pop(0) was O(n) per
         # eviction, quadratic over a long capped run.
         self._records: Deque[PacketRecord] = deque(maxlen=capacity)
+        #: Stored records evicted past capacity.
         self.dropped = 0
+        #: Records not stored because their node is outside sample_nodes.
+        self.unsampled = 0
+        #: Aggregate counters, updated for every appended record.
+        self.generated = 0
+        self.delivered = 0
+        self.attempts = 0
+        self.energy_drops = 0
+
+    @property
+    def sample_nodes(self) -> Optional[frozenset]:
+        """The retained node-id set, or None when everything is stored."""
+        return self._sample_nodes
 
     def append(self, record: PacketRecord) -> None:
-        """Add a record, evicting the oldest past capacity."""
+        """Add a record, evicting the oldest stored one past capacity."""
+        self.generated += 1
+        self.attempts += record.attempts
+        if record.delivered:
+            self.delivered += 1
+        if record.energy_drop:
+            self.energy_drops += 1
+        if (
+            self._sample_nodes is not None
+            and record.node_id not in self._sample_nodes
+        ):
+            self.unsampled += 1
+            return
         if len(self._records) == self._capacity:
             self.dropped += 1
         self._records.append(record)
+
+    def merge(self, other: "PacketLog") -> None:
+        """Fold another log's counters and stored records into this one.
+
+        Used by the shard coordinator: per-cell logs arrive already
+        filtered/capped, so stored records append in call order (the
+        caller sorts cells deterministically) and counters sum.
+        """
+        self.generated += other.generated
+        self.delivered += other.delivered
+        self.attempts += other.attempts
+        self.energy_drops += other.energy_drops
+        self.unsampled += other.unsampled
+        self.dropped += other.dropped
+        for record in other._records:
+            if len(self._records) == self._capacity:
+                self.dropped += 1
+            self._records.append(record)
 
     def __len__(self) -> int:
         return len(self._records)

@@ -1,0 +1,686 @@
+"""Gateway-cell sharded execution of the mesoscopic engine.
+
+One 50k-node, multi-gateway topology does not fit one process: per-node
+state (battery trace, rainflow stack, shading window, MAC estimators)
+dominates memory, and a year-long sweep keeps all of it live.  This
+module partitions the deployment spatially into *gateway cells* (each
+node belongs to its nearest gateway) and simulates every cell as an
+independent contention domain in a worker process, so peak RSS is
+bounded by the coordinator plus the largest in-flight cell instead of
+the whole network.
+
+Semantics
+---------
+* A cell is one contention domain: its window resolutions draw from a
+  per-cell RNG seeded by ``(config.seed, cell index)`` — a pure function
+  of the topology, never of how cells were packed into processes.
+  Delivery keeps full multi-gateway reception diversity (every node
+  retains its RSSI at every gateway).
+* Cross-cell interference at cell edges is restored by a two-round
+  **border exchange**: round 1 simulates each cell in isolation and
+  records the announced transmission schedule of *border nodes* (the
+  strongest ``BORDER_TOP_K`` out-of-cell nodes audible at each cell's
+  gateway); round 2 re-simulates the cells that received foreign
+  announcements with those transmissions replayed as **static
+  interferers** (they occupy demodulator slots and contribute
+  co-channel/same-SF power but never retry).  This is a single
+  fixed-point iteration — first-order border coupling, not an exact
+  joint resolution — which matches the paper's own locality assumption
+  that contention is dominated by the local window cohort.
+* Because cell results depend only on (config, cell, foreign
+  announcements) and announcements are produced per cell, the merged
+  output is **invariant to the shard count**: ``shards=1`` and
+  ``shards=gateway_count`` produce identical metrics, monthly series,
+  linear rates and packet logs.
+
+Execution reuses the :mod:`repro.sweep.executor` scheduler for its
+process pool, crash/timeout retries and checkpoint plumbing: each shard
+job runs in its own process, checkpoints every cell into
+``<checkpoint_dir>/round<r>/run_<shard>/cell_<c>`` and self-resumes
+from the newest cell snapshot after a crash.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..checkpoint.core import latest_checkpoint, resume as _resume_checkpoint
+from ..exceptions import (
+    ConfigurationError,
+    SimulationError,
+    SimulationInterrupted,
+)
+from ..lora import LogDistanceLink, airtime_table
+from ..obs import Observability, RunManifest, config_hash
+from .config import SimulationConfig
+from .mesoscopic import (
+    MesoscopicResult,
+    MesoscopicSimulator,
+    MonthlySample,
+    StaticAttempt,
+)
+from .metrics import NetworkMetrics, NodeMetrics
+from .packetlog import PacketLog
+from .topology import NodePlacement, build_topology, partition_cells, pack_cells
+
+#: Per receiving cell, only this many strongest foreign nodes (by RSSI
+#: at the cell's gateway) are exchanged as border interferers.  Keeps
+#: the announcement volume linear in the border length instead of the
+#: network size; weaker foreign signals are below the capture margin
+#: anyway.
+BORDER_TOP_K = 64
+
+#: A foreign node is audible at a gateway when its RSSI there is within
+#: this margin below its own sensitivity — quieter signals cannot win a
+#: demodulator slot or break capture at the receiving cell.
+AUDIBILITY_MARGIN_DB = 6.0
+
+
+# ----------------------------------------------------------- foreign input
+
+
+class ForeignStatics:
+    """Announced out-of-cell transmissions, replayed as static interference.
+
+    Stored as parallel arrays sorted by ``(window, node_id)`` so a
+    window's statics are one ``searchsorted`` slice.  Offsets are the
+    announced in-window start for immediate (ALOHA) entries and NaN for
+    window-selected entries, whose offset/channel are re-derived from a
+    private RNG keyed on ``(seed, node_id, window)`` — deterministic,
+    and decoupled from every cell's contention stream.
+    """
+
+    def __init__(
+        self,
+        windows: np.ndarray,
+        node_ids: np.ndarray,
+        offsets: np.ndarray,
+        profiles: Dict[int, Tuple[float, object, Tuple[float, ...]]],
+        seed: int,
+        window_s: float,
+        channel_count: int,
+    ) -> None:
+        order = np.lexsort((node_ids, windows))
+        self.windows = np.ascontiguousarray(windows[order])
+        self.node_ids = np.ascontiguousarray(node_ids[order])
+        self.offsets = np.ascontiguousarray(offsets[order])
+        #: node_id -> (airtime_s, spreading_factor, per-gateway mW tuple)
+        self.profiles = profiles
+        self.seed = seed
+        self.window_s = window_s
+        self.channel_count = channel_count
+
+    def __len__(self) -> int:
+        return int(self.windows.size)
+
+    def statics_for(self, window_index: int) -> Sequence[StaticAttempt]:
+        """The window's foreign transmissions as resolver statics."""
+        lo = int(np.searchsorted(self.windows, window_index, side="left"))
+        hi = int(np.searchsorted(self.windows, window_index, side="right"))
+        if lo == hi:
+            return ()
+        statics: List[StaticAttempt] = []
+        for i in range(lo, hi):
+            node_id = int(self.node_ids[i])
+            airtime, sf, lin_mw = self.profiles[node_id]
+            draw = random.Random(
+                (
+                    self.seed * 0x9E3779B97F4A7C15
+                    ^ node_id * 0xC2B2AE3D27D4EB4F
+                    ^ window_index
+                )
+                & 0xFFFFFFFFFFFFFFFF
+            )
+            offset = float(self.offsets[i])
+            if math.isnan(offset):
+                offset = draw.uniform(0.0, max(1e-6, self.window_s - airtime))
+            channel = draw.randrange(self.channel_count)
+            statics.append(
+                StaticAttempt(offset, offset + airtime, channel, sf, lin_mw)
+            )
+        return statics
+
+
+# -------------------------------------------------------------- shard jobs
+
+
+@dataclass
+class ShardJob:
+    """One worker process's slice of the topology for one round."""
+
+    index: int
+    round_no: int
+    cells: List[int]
+    placements_by_cell: Dict[int, List[NodePlacement]]
+    export_by_cell: Dict[int, Optional[frozenset]]
+    foreign_by_cell: Dict[int, Optional[ForeignStatics]]
+    config: SimulationConfig
+
+
+@dataclass
+class CellResult:
+    """Everything the coordinator keeps from one simulated cell."""
+
+    cell_index: int
+    metrics: Dict[int, NodeMetrics]
+    monthly: List[MonthlySample]
+    linear_rates: Dict[int, float]
+    packet_log: Optional[PacketLog]
+    events_executed: int
+    peak_heap: int
+    #: (absolute_window, node_id, offset | nan) announcements as arrays.
+    intent_windows: Optional[np.ndarray] = None
+    intent_nodes: Optional[np.ndarray] = None
+    intent_offsets: Optional[np.ndarray] = None
+
+
+@dataclass
+class ShardRecord:
+    """Scheduler-facing outcome of one shard attempt."""
+
+    index: int
+    status: str  # "completed" | "resumed" | "failed" | "timeout"
+    cells: List[CellResult] = field(default_factory=list)
+    error: Optional[str] = None
+    attempts: int = 1
+    wall_s: float = 0.0
+    peak_rss_kb: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("completed", "resumed")
+
+
+def _shard_failure(
+    job: ShardJob, engine: str, status: str, attempts: int, error: str
+) -> ShardRecord:
+    """Record for a shard whose every attempt crashed or timed out."""
+    return ShardRecord(
+        index=job.index, status=status, attempts=attempts, error=error
+    )
+
+
+def _cell_config(
+    config: SimulationConfig, cell_dir: Optional[str]
+) -> SimulationConfig:
+    """The per-cell simulator config (plain mesoscopic, own snapshots)."""
+    cell_config = config.replace(shards=None)
+    if cell_dir is not None:
+        cell_config = cell_config.replace(checkpoint_dir=cell_dir)
+    return cell_config
+
+
+def _execute_shard(
+    job: ShardJob, run_dir: Optional[str], checkpoint_every_s: Optional[float]
+) -> ShardRecord:
+    """Simulate every cell of one shard job (the worker function).
+
+    Cells run sequentially so worker memory is bounded by one cell.
+    Each cell checkpoints into its own subdirectory and self-resumes
+    from the newest snapshot — a retried shard replays only the cell it
+    died in, not the cells it already finished (those re-run from their
+    own latest snapshots, which is still deterministic).
+    """
+    record = ShardRecord(index=job.index, status="completed")
+    started = time.perf_counter()
+    for cell in job.cells:
+        cell_dir = None
+        if run_dir is not None:
+            cell_dir = os.path.join(run_dir, f"cell_{cell:04d}")
+            os.makedirs(cell_dir, exist_ok=True)
+        config = _cell_config(job.config, cell_dir)
+        snapshot = latest_checkpoint(cell_dir) if cell_dir is not None else None
+        if snapshot is not None:
+            sim, _header = _resume_checkpoint(
+                snapshot, expected_config_hash=config_hash(config)
+            )
+        else:
+            sim = MesoscopicSimulator(
+                config,
+                placements=job.placements_by_cell[cell],
+                cell_index=cell,
+                export_nodes=job.export_by_cell.get(cell),
+                foreign=job.foreign_by_cell.get(cell),
+            )
+        result = sim.run()
+        intents = sim.border_intents
+        cell_result = CellResult(
+            cell_index=cell,
+            metrics=result.metrics.nodes,
+            monthly=result.monthly,
+            linear_rates=result.linear_rates,
+            packet_log=result.packet_log,
+            events_executed=sim._events_executed,
+            peak_heap=sim._peak_heap,
+        )
+        if intents:
+            cell_result.intent_windows = np.array(
+                [i[0] for i in intents], dtype=np.int64
+            )
+            cell_result.intent_nodes = np.array(
+                [i[1] for i in intents], dtype=np.int64
+            )
+            cell_result.intent_offsets = np.array(
+                [i[2] for i in intents], dtype=np.float64
+            )
+        record.cells.append(cell_result)
+    record.wall_s = time.perf_counter() - started
+    try:
+        import resource
+
+        record.peak_rss_kb = int(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        )
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX hosts
+        record.peak_rss_kb = None
+    return record
+
+
+def _shard_worker_main(
+    conn,
+    job: ShardJob,
+    engine: str,
+    run_dir: Optional[str],
+    checkpoint_every_s: Optional[float],
+    resume_from: Optional[str],
+    crash_after_saves: Optional[int],
+    trace_dir: Optional[str] = None,
+) -> None:
+    """Entry point of one shard worker process.
+
+    Same contract as ``repro.sweep.executor._worker_main``: install the
+    graceful-stop handlers, optionally arm the deterministic crash
+    hook, ship the record (or the interrupt) back over the pipe.
+    ``resume_from`` is ignored — shards self-resume per cell from the
+    newest snapshot in their run directory.
+    """
+    from ..checkpoint import core as _ckpt_core
+    from ..checkpoint import interrupt as _interrupt
+
+    _interrupt.install()
+    if crash_after_saves is not None:
+        saves = {"n": 0}
+
+        def _crash_hook(path: str, time_s: float) -> None:
+            saves["n"] += 1
+            if saves["n"] >= crash_after_saves:
+                os.kill(os.getpid(), 9)  # SIGKILL: a real crash, no cleanup
+
+        _ckpt_core._post_save_hook = _crash_hook
+    try:
+        record = _execute_shard(job, run_dir, checkpoint_every_s)
+        conn.send(("record", record))
+    except SimulationInterrupted as exc:
+        conn.send(("interrupted", exc.checkpoint_path))
+    finally:
+        conn.close()
+
+
+# ------------------------------------------------------------- border sets
+
+
+def _node_rssi_matrix(
+    config: SimulationConfig,
+    placements: List[NodePlacement],
+    link: LogDistanceLink,
+) -> Dict[int, List[float]]:
+    """Per-node RSSI at every gateway, with MesoNode's exact formula."""
+    rssi: Dict[int, List[float]] = {}
+    for placement in placements:
+        params = config.tx_params(placement.spreading_factor)
+        rssi[placement.node_id] = [
+            link.rssi_dbm(
+                params.tx_power_dbm,
+                distance,
+                antenna_gain_db=config.gateway_antenna_gain_db,
+            )
+            for distance in placement.gateway_distances_m
+        ]
+    return rssi
+
+
+def _border_maps(
+    config: SimulationConfig,
+    placements: List[NodePlacement],
+    cells: Dict[int, List[NodePlacement]],
+    link: LogDistanceLink,
+) -> Tuple[
+    Dict[int, frozenset],
+    Dict[int, frozenset],
+    Dict[int, Tuple[float, object, Tuple[float, ...]]],
+]:
+    """Who interferes across cell borders.
+
+    Returns ``(selected_by_cell, export_by_cell, profiles)``:
+    ``selected_by_cell[c]`` is the set of foreign node ids whose
+    transmissions cell ``c`` must hear; ``export_by_cell[s]`` is the set
+    of cell ``s``'s nodes any other cell selected (what ``s``
+    announces); ``profiles`` carries the static PHY facts of every
+    selected node.  All three are pure functions of the topology.
+    """
+    rssi = _node_rssi_matrix(config, placements, link)
+    by_node = {p.node_id: p for p in placements}
+    cell_of_node = {
+        p.node_id: cell for cell, members in cells.items() for p in members
+    }
+    selected_by_cell: Dict[int, frozenset] = {}
+    export_sets: Dict[int, set] = {cell: set() for cell in cells}
+    needed: set = set()
+    for cell in cells:
+        candidates: List[Tuple[float, int]] = []
+        for placement in placements:
+            node_id = placement.node_id
+            if cell_of_node[node_id] == cell:
+                continue
+            level = rssi[node_id][cell]
+            params = config.tx_params(placement.spreading_factor)
+            if level >= params.sensitivity_dbm - AUDIBILITY_MARGIN_DB:
+                candidates.append((-level, node_id))
+        candidates.sort()
+        chosen = frozenset(
+            node_id for _, node_id in candidates[:BORDER_TOP_K]
+        )
+        selected_by_cell[cell] = chosen
+        needed.update(chosen)
+        for node_id in chosen:
+            export_sets[cell_of_node[node_id]].add(node_id)
+    profiles: Dict[int, Tuple[float, object, Tuple[float, ...]]] = {}
+    energy_model = config.energy_model()
+    table = airtime_table(energy_model)
+    for node_id in needed:
+        placement = by_node[node_id]
+        params = config.tx_params(placement.spreading_factor)
+        profiles[node_id] = (
+            table.entry(params).airtime_s,
+            placement.spreading_factor,
+            tuple(10.0 ** (level / 10.0) for level in rssi[node_id]),
+        )
+    export_by_cell = {
+        cell: frozenset(nodes) for cell, nodes in export_sets.items()
+    }
+    return selected_by_cell, export_by_cell, profiles
+
+
+# -------------------------------------------------------------- coordinator
+
+
+def _run_round(
+    jobs: List[ShardJob],
+    config: SimulationConfig,
+    workers: int,
+    round_dir: Optional[str],
+    max_retries: int,
+    registry,
+    crash_spec=None,
+) -> Dict[int, ShardRecord]:
+    """Run one round of shard jobs through the executor's scheduler."""
+    from ..checkpoint.interrupt import last_signal
+    from ..sweep.executor import _Scheduler
+
+    scheduler = _Scheduler(
+        engine="meso",
+        workers=workers,
+        registry=registry,
+        timeout_s=None,
+        max_retries=max_retries,
+        checkpoint_dir=round_dir,
+        checkpoint_every_s=config.checkpoint_every_s,
+        crash_spec=crash_spec,
+        worker_main=_shard_worker_main,
+        failure_factory=_shard_failure,
+    )
+    records, interrupted = scheduler.run(jobs)
+    if interrupted:
+        raise SimulationInterrupted(
+            "sharded mesoscopic run stopped by signal",
+            signum=last_signal(),
+        )
+    for record in records.values():
+        if not record.ok:
+            raise SimulationError(
+                f"shard {record.index} {record.status} after "
+                f"{record.attempts} attempt(s): {record.error}"
+            )
+    return records
+
+
+def _collect_cells(records: Dict[int, ShardRecord]) -> Dict[int, CellResult]:
+    results: Dict[int, CellResult] = {}
+    for record in records.values():
+        for cell_result in record.cells:
+            results[cell_result.cell_index] = cell_result
+    return results
+
+
+def _foreign_for_cell(
+    cell: int,
+    selected: frozenset,
+    cell_results: Dict[int, CellResult],
+    profiles,
+    config: SimulationConfig,
+) -> Optional[ForeignStatics]:
+    """Assemble one cell's foreign input from the round-1 announcements."""
+    if not selected:
+        return None
+    windows: List[np.ndarray] = []
+    nodes: List[np.ndarray] = []
+    offsets: List[np.ndarray] = []
+    wanted = np.array(sorted(selected), dtype=np.int64)
+    for source_cell in sorted(cell_results):
+        if source_cell == cell:
+            continue
+        source = cell_results[source_cell]
+        if source.intent_windows is None:
+            continue
+        mask = np.isin(source.intent_nodes, wanted)
+        if not mask.any():
+            continue
+        windows.append(source.intent_windows[mask])
+        nodes.append(source.intent_nodes[mask])
+        offsets.append(source.intent_offsets[mask])
+    if not windows:
+        return None
+    return ForeignStatics(
+        windows=np.concatenate(windows),
+        node_ids=np.concatenate(nodes),
+        offsets=np.concatenate(offsets),
+        profiles=profiles,
+        seed=config.seed,
+        window_s=config.window_s,
+        channel_count=config.channel_count,
+    )
+
+
+def _merge_monthly(
+    cell_results: Dict[int, CellResult]
+) -> List[MonthlySample]:
+    """Network monthly series from per-cell series (exact max / mean)."""
+    acc: Dict[int, List[float]] = {}
+    for cell in sorted(cell_results):
+        result = cell_results[cell]
+        weight = len(result.metrics)
+        for sample in result.monthly:
+            entry = acc.setdefault(sample.month, [-math.inf, 0.0, 0])
+            entry[0] = max(entry[0], sample.max_degradation)
+            entry[1] += sample.mean_degradation * weight
+            entry[2] += weight
+    return [
+        MonthlySample(
+            month=month,
+            max_degradation=acc[month][0],
+            mean_degradation=acc[month][1] / acc[month][2],
+        )
+        for month in sorted(acc)
+    ]
+
+
+def run_sharded(
+    config: SimulationConfig,
+    obs: Optional[Observability] = None,
+    workers: int = 1,
+    max_retries: int = 1,
+    crash_spec=None,
+) -> MesoscopicResult:
+    """Run ``config`` sharded by gateway cell; merge into one result.
+
+    ``workers`` bounds concurrent shard processes (1 = strict memory
+    isolation: coordinator + one cell at a time).  Shard crashes and
+    timeouts retry up to ``max_retries`` times, resuming from per-cell
+    checkpoints when checkpointing is configured.
+    """
+    if config.shards is None:
+        raise ConfigurationError("config.shards must be set for run_sharded")
+    if config.tracing_enabled:
+        raise ConfigurationError(
+            "sharded execution does not support event tracing; run with "
+            "shards=None (or trace off) instead"
+        )
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    obs = obs if obs is not None else config.build_observability()
+    duration = config.duration_s
+
+    with obs.profiler.phase("build"):
+        link = LogDistanceLink(path_loss_exponent=config.path_loss_exponent)
+        placements = build_topology(config, link)
+        cells = partition_cells(placements)
+        selected_by_cell, export_by_cell, profiles = _border_maps(
+            config, placements, cells, link
+        )
+        shard_count = min(config.shards, len(cells))
+        groups = pack_cells(list(cells), shard_count)
+
+    def make_jobs(
+        round_no: int,
+        cell_subset: List[int],
+        foreign_by_cell: Dict[int, Optional[ForeignStatics]],
+        with_exports: bool,
+    ) -> List[ShardJob]:
+        jobs = []
+        packed = pack_cells(cell_subset, min(shard_count, len(cell_subset)))
+        for index, group in enumerate(packed):
+            jobs.append(
+                ShardJob(
+                    index=index,
+                    round_no=round_no,
+                    cells=group,
+                    placements_by_cell={c: cells[c] for c in group},
+                    export_by_cell={
+                        c: (export_by_cell[c] or None) if with_exports else None
+                        for c in group
+                    },
+                    foreign_by_cell={
+                        c: foreign_by_cell.get(c) for c in group
+                    },
+                    config=config,
+                )
+            )
+        return jobs
+
+    with obs.profiler.phase("run"):
+        base_dir = config.checkpoint_dir
+        round1_dir = (
+            os.path.join(base_dir, "round1") if base_dir is not None else None
+        )
+        round1_jobs = make_jobs(1, list(cells), {}, with_exports=True)
+        records = _run_round(
+            round1_jobs,
+            config,
+            workers,
+            round1_dir,
+            max_retries,
+            obs.metrics,
+            crash_spec=crash_spec,
+        )
+        cell_results = _collect_cells(records)
+
+        # Round 2: re-simulate cells that actually received foreign
+        # announcements, with those transmissions as static interferers.
+        foreign_by_cell: Dict[int, Optional[ForeignStatics]] = {}
+        for cell in cells:
+            foreign_by_cell[cell] = _foreign_for_cell(
+                cell, selected_by_cell[cell], cell_results, profiles, config
+            )
+        redo = [cell for cell in cells if foreign_by_cell[cell] is not None]
+        if redo:
+            round2_dir = (
+                os.path.join(base_dir, "round2")
+                if base_dir is not None
+                else None
+            )
+            round2_jobs = make_jobs(
+                2, redo, foreign_by_cell, with_exports=False
+            )
+            records2 = _run_round(
+                round2_jobs,
+                config,
+                workers,
+                round2_dir,
+                max_retries,
+                obs.metrics,
+                crash_spec=crash_spec,
+            )
+            for cell_result in _collect_cells(records2).values():
+                cell_results[cell_result.cell_index] = cell_result
+
+    with obs.profiler.phase("finalize"):
+        merged_metrics: Dict[int, NodeMetrics] = {}
+        linear_rates: Dict[int, float] = {}
+        events = 0
+        peak = 0
+        packet_log = (
+            PacketLog(sample_nodes=config.effective_sample_nodes())
+            if config.record_packets
+            else None
+        )
+        for cell in sorted(cell_results):
+            result = cell_results[cell]
+            merged_metrics.update(result.metrics)
+            linear_rates.update(result.linear_rates)
+            events += result.events_executed
+            peak = max(peak, result.peak_heap)
+            if packet_log is not None and result.packet_log is not None:
+                packet_log.merge(result.packet_log)
+        metrics = NetworkMetrics(
+            nodes={nid: merged_metrics[nid] for nid in sorted(merged_metrics)}
+        )
+        metrics.publish(obs.metrics)
+        obs.metrics.counter(
+            "events_executed_total",
+            "Heap events executed by the mesoscopic sweep",
+        ).inc(events)
+        obs.metrics.gauge(
+            "event_queue_peak_depth",
+            "Peak depth of the period/resolve heap",
+        ).set(peak)
+        monthly = _merge_monthly(cell_results)
+
+    manifest = RunManifest(
+        engine="mesoscopic-sharded",
+        seed=config.seed,
+        config_hash=config_hash(config),
+        node_count=len(merged_metrics),
+        duration_s=duration,
+        policy=config.policy_name,
+        events_executed=events,
+        peak_queue_depth=peak,
+    )
+    manifest.finalize(obs.profiler, simulated_s=duration)
+    obs.close()
+    return MesoscopicResult(
+        config=config,
+        metrics=metrics,
+        monthly=monthly,
+        linear_rates=linear_rates,
+        simulated_s=duration,
+        packet_log=packet_log,
+        manifest=manifest,
+        obs=obs,
+    )

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..exceptions import ConfigurationError
 from ..lora import LogDistanceLink, SpreadingFactor, TxParams
@@ -92,6 +92,45 @@ def sample_period_s(rng: random.Random, low_s: float, high_s: float) -> float:
     if high_min < low_min:
         raise ConfigurationError("period range narrower than one minute")
     return rng.randint(low_min, high_min) * 60.0
+
+
+def cell_of(placement: NodePlacement) -> int:
+    """Gateway cell a node belongs to: index of its nearest gateway.
+
+    Ties break toward the lower gateway index (``min`` scans in order),
+    matching how ``distance_m`` itself was computed.
+    """
+    distances = placement.gateway_distances_m
+    return min(range(len(distances)), key=distances.__getitem__)
+
+
+def partition_cells(
+    placements: Sequence[NodePlacement],
+) -> Dict[int, List[NodePlacement]]:
+    """Group placements by gateway cell (cells in ascending index order).
+
+    Empty cells are omitted; the sharded engine simulates each returned
+    cell as an independent contention domain.
+    """
+    cells: Dict[int, List[NodePlacement]] = {}
+    for placement in placements:
+        cells.setdefault(cell_of(placement), []).append(placement)
+    return {index: cells[index] for index in sorted(cells)}
+
+
+def pack_cells(cell_indices: Sequence[int], shards: int) -> List[List[int]]:
+    """Pack cell indices into ``shards`` round-robin groups.
+
+    Packing only decides which worker process simulates which cells —
+    cell results are independent of it — so any shard count from 1 to
+    the cell count produces identical simulation output.
+    """
+    if shards < 1:
+        raise ConfigurationError("shards must be >= 1")
+    groups: List[List[int]] = [[] for _ in range(min(shards, len(cell_indices)))]
+    for position, cell_index in enumerate(sorted(cell_indices)):
+        groups[position % len(groups)].append(cell_index)
+    return groups
 
 
 def build_topology(

@@ -408,7 +408,19 @@ class _Scheduler:
         crash_spec: Optional[CrashSpec],
         on_record: Optional[Callable[[RunRecord], None]] = None,
         trace_dir: Optional[str] = None,
+        worker_main: Optional[Callable] = None,
+        failure_factory: Optional[Callable] = None,
     ) -> None:
+        # The scheduler is generic over the work it runs: ``worker_main``
+        # is the child-process entry point (same argument layout as
+        # ``_worker_main``) and ``failure_factory`` builds the record
+        # for a job whose every attempt crashed or timed out.  The
+        # sharded mesoscopic coordinator reuses the pool with shard
+        # jobs; plain sweeps use the defaults.
+        self.worker_main = worker_main if worker_main is not None else _worker_main
+        self.failure_factory = (
+            failure_factory if failure_factory is not None else _failure_record
+        )
         self.engine = engine
         self.workers = workers
         self.registry = registry
@@ -466,7 +478,7 @@ class _Scheduler:
                 crash_after = self.crash_spec.after_checkpoints
             parent_conn, child_conn = self.context.Pipe(duplex=False)
             process = self.context.Process(
-                target=_worker_main,
+                target=self.worker_main,
                 args=(
                     child_conn,
                     job.point,
@@ -620,7 +632,9 @@ class _Scheduler:
             return
         self._merge(
             job.point.index,
-            _failure_record(job.point, self.engine, status, job.attempt, error),
+            self.failure_factory(
+                job.point, self.engine, status, job.attempt, error
+            ),
         )
 
     def _shutdown(self) -> None:

@@ -1,8 +1,11 @@
 """Sweep specs: the grid-defining JSON contract and its comparators.
 
 A *spec* is the small JSON document embedded in every ``SWEEP.json``
-report (``{"nodes", "days", "policies", "theta", "seeds", "seed_list",
-"axis"}``): everything needed to re-expand the exact grid.  It is the
+report (``{"nodes", "days", "gateways", "policies", "theta", "seeds",
+"seed_list", "axis", "memory_profile", "sample_nodes", "shards"}``):
+everything needed to re-expand the exact grid.  Keys absent from older
+reports take their defaults, so pre-existing reports keep expanding to
+the same grid.  It is the
 submission contract shared by three front doors:
 
 * ``repro sweep`` CLI flags are folded into a spec and embedded in the
@@ -33,7 +36,19 @@ from .grid import SweepPoint, build_grid, expand_axes
 
 #: Spec keys that define the grid; anything else in a submitted document
 #: is an execution knob (workers, engine, …), not part of the grid.
-SPEC_KEYS = ("nodes", "days", "policies", "theta", "seeds", "seed_list", "axis")
+SPEC_KEYS = (
+    "nodes",
+    "days",
+    "gateways",
+    "policies",
+    "theta",
+    "seeds",
+    "seed_list",
+    "axis",
+    "memory_profile",
+    "sample_nodes",
+    "shards",
+)
 
 #: Report keys that measure the *process*, not the simulation.
 VOLATILE_REPORT_KEYS = ("wall_s", "timeout_s", "max_retries", "workers")
@@ -79,9 +94,18 @@ def grid_from_spec(spec: Dict[str, object]) -> List[SweepPoint]:
     line previous records up with a freshly expanded grid.  Raises
     :class:`ConfigurationError`/:class:`ValueError` on bad specs.
     """
+    sample_nodes = spec.get("sample_nodes")
+    if isinstance(sample_nodes, str):
+        sample_nodes = [t for t in sample_nodes.split(",") if t.strip()]
+    if sample_nodes is not None:
+        sample_nodes = tuple(int(s) for s in sample_nodes)
+    shards = spec.get("shards")
     base = SimulationConfig(
         node_count=int(spec["nodes"]),
+        gateway_count=int(spec.get("gateways") or 1),
         duration_s=float(spec["days"]) * SECONDS_PER_DAY,
+        memory_profile=str(spec.get("memory_profile") or "exact"),
+        sample_nodes=sample_nodes,
     )
     theta = float(spec.get("theta", 0.5))
     policies = spec["policies"]
@@ -122,6 +146,10 @@ def grid_from_spec(spec: Dict[str, object]) -> List[SweepPoint]:
     variants = []
     for policy_label, policy_config in policy_variants:
         for axis_label, config in expand_axes(policy_config, axes):
+            if shards is not None:
+                # Applied after the axes so a gateway_count axis has
+                # already taken effect (shards <= gateway_count).
+                config = config.replace(shards=int(shards))
             label = f"{policy_label},{axis_label}" if axis_label else policy_label
             variants.append((label, config))
     return build_grid(variants, seeds)

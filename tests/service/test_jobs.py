@@ -62,9 +62,11 @@ class TestValidateSpec:
             "kind": "simulate",
             "nodes": 5,
             "days": 1.0,
+            "gateways": 1,
             "theta": 0.5,
             "engine": "meso",
             "trace": False,
+            "memory_profile": "exact",
             "policy": "hc",
             "seed": 9,
         }

@@ -1,0 +1,129 @@
+"""Service spec contract for the scaling knobs.
+
+``repro serve`` accepts ``memory_profile``, ``shards``, ``sample_nodes``
+and ``gateways`` on submitted specs (satellite of the sharding PR) while
+keeping the unknown-key 400 behaviour intact, and maps them onto the CLI
+flags of the spawned subprocess.
+"""
+
+import pytest
+
+from repro.service.http import HttpError
+from repro.service.jobs import Job, JobManager, validate_spec
+
+
+class TestScalingSpecValidation:
+    def test_scaling_keys_accepted_on_sweep(self):
+        spec = validate_spec(
+            {
+                "kind": "sweep",
+                "nodes": 40,
+                "gateways": 4,
+                "shards": 4,
+                "memory_profile": "diet",
+                "sample_nodes": [0, 3],
+                "seeds": 1,
+            }
+        )
+        assert spec["gateways"] == 4
+        assert spec["shards"] == 4
+        assert spec["memory_profile"] == "diet"
+        assert spec["sample_nodes"] == [0, 3]
+
+    def test_scaling_keys_accepted_on_simulate(self):
+        spec = validate_spec(
+            {
+                "kind": "simulate",
+                "nodes": 40,
+                "gateways": 2,
+                "shards": 2,
+                "memory_profile": "diet",
+            }
+        )
+        assert spec["shards"] == 2
+
+    def test_sample_nodes_string_form_normalized(self):
+        spec = validate_spec({"kind": "sweep", "sample_nodes": "1, 2,5"})
+        assert spec["sample_nodes"] == [1, 2, 5]
+
+    def test_memory_profile_defaults_to_exact(self):
+        assert validate_spec({"kind": "sweep"})["memory_profile"] == "exact"
+
+    def test_unknown_memory_profile_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            validate_spec({"memory_profile": "slim"})
+        assert excinfo.value.status == 400
+
+    def test_non_positive_shards_rejected(self):
+        with pytest.raises(HttpError):
+            validate_spec({"shards": 0})
+
+    def test_shards_beyond_gateways_rejected_via_grid(self):
+        # grid_from_spec enforces shards <= gateway_count, surfacing as
+        # the generic invalid-grid 400.
+        with pytest.raises(HttpError):
+            validate_spec({"kind": "sweep", "gateways": 2, "shards": 4})
+
+    def test_bad_sample_nodes_rejected(self):
+        with pytest.raises(HttpError):
+            validate_spec({"sample_nodes": "x,y"})
+        with pytest.raises(HttpError):
+            validate_spec({"sample_nodes": {"node": 1}})
+
+    def test_unknown_keys_still_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            validate_spec({"kind": "sweep", "memory_profil": "diet"})
+        assert "memory_profil" in excinfo.value.message
+
+
+class TestScalingArgv:
+    def make_manager(self, tmp_path):
+        return JobManager(str(tmp_path / "data"))
+
+    def submit_argv(self, tmp_path, spec):
+        manager = self.make_manager(tmp_path)
+        normalized = validate_spec(spec)
+        job = Job(
+            run_id="run-0001",
+            spec=normalized,
+            directory=str(tmp_path / "data" / "runs" / "run-0001"),
+        )
+        return manager._argv(job)
+
+    def test_sweep_argv_carries_scaling_flags(self, tmp_path):
+        argv = self.submit_argv(
+            tmp_path,
+            {
+                "kind": "sweep",
+                "nodes": 40,
+                "gateways": 4,
+                "shards": 4,
+                "memory_profile": "diet",
+                "sample_nodes": [0, 3],
+                "seeds": 1,
+            },
+        )
+        assert argv[argv.index("--gateways") + 1] == "4"
+        assert argv[argv.index("--shards") + 1] == "4"
+        assert argv[argv.index("--memory-profile") + 1] == "diet"
+        assert argv[argv.index("--sample-nodes") + 1] == "0,3"
+
+    def test_exact_profile_omitted_from_argv(self, tmp_path):
+        argv = self.submit_argv(tmp_path, {"kind": "sweep", "seeds": 1})
+        assert "--memory-profile" not in argv
+        assert "--shards" not in argv
+        assert "--sample-nodes" not in argv
+
+    def test_simulate_argv_carries_scaling_flags(self, tmp_path):
+        argv = self.submit_argv(
+            tmp_path,
+            {
+                "kind": "simulate",
+                "nodes": 40,
+                "gateways": 2,
+                "shards": 2,
+                "memory_profile": "diet",
+            },
+        )
+        assert argv[argv.index("--shards") + 1] == "2"
+        assert argv[argv.index("--memory-profile") + 1] == "diet"

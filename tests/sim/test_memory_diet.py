@@ -1,0 +1,132 @@
+"""Tests for the ``memory_profile="diet"`` multi-year memory diet.
+
+Diet mode trades bounded, documented approximations (coarser settle
+chunks and shading grid, float32 shading) for flat memory: compact SoC
+traces, capped memo/caches, and counter-only packet logs outside
+``sample_nodes``.  Within one profile the scalar and vectorized engines
+must still agree bitwise.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.constants import SECONDS_PER_DAY
+from repro.energy import SolarModel
+from repro.energy.harvester import Harvester
+from repro.exceptions import ConfigurationError
+from repro.sim import SimulationConfig, run_mesoscopic
+
+
+def diet_config(**overrides):
+    defaults = dict(
+        node_count=12,
+        duration_s=1 * SECONDS_PER_DAY,
+        period_range_s=(960.0, 1200.0),
+        memory_profile="diet",
+        seed=7,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestConfigKnobs:
+    def test_default_profile_is_exact(self):
+        config = SimulationConfig(node_count=4)
+        assert config.memory_profile == "exact"
+        assert not config.diet
+        assert config.settle_chunk_s() == config.window_s * 5.0
+
+    def test_diet_settle_chunk_floor(self):
+        config = diet_config()
+        assert config.diet
+        assert config.settle_chunk_s() == max(config.window_s * 5.0, 7200.0)
+
+    def test_diet_with_long_windows_keeps_exact_chunking(self):
+        config = diet_config(
+            window_s=3600.0, period_range_s=(8 * 3600.0, 12 * 3600.0)
+        )
+        assert config.settle_chunk_s() == 3600.0 * 5.0
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(node_count=4, memory_profile="slim")
+
+    def test_diet_requires_incremental_degradation(self):
+        with pytest.raises(ConfigurationError):
+            diet_config(incremental_degradation=False)
+
+    def test_sample_nodes_validated_against_node_count(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(node_count=4, sample_nodes=(0, 9))
+
+    def test_effective_sample_nodes(self):
+        assert SimulationConfig(node_count=4).effective_sample_nodes() is None
+        assert diet_config().effective_sample_nodes() == frozenset()
+        assert diet_config(sample_nodes=(1, 3)).effective_sample_nodes() == {1, 3}
+
+    def test_diet_implies_compact_trace(self):
+        assert diet_config().effective_compact_trace()
+
+
+class TestHarvesterDiet:
+    def test_diet_coarsens_shading_grid(self):
+        solar = SolarModel()
+        exact = Harvester(solar=solar, node_seed=3)
+        diet = Harvester(solar=solar, node_seed=3, diet=True)
+        assert exact.shading_step_s == 1800.0
+        assert diet.shading_step_s == 7200.0
+        assert diet._shade_limit < exact._shade_limit
+        assert diet._shade_dtype is np.float32
+
+    def test_scalar_and_batch_paths_agree_bitwise(self):
+        harvester = Harvester(solar=SolarModel(), node_seed=5, diet=True)
+        times = np.arange(0.0, 5 * SECONDS_PER_DAY, 3600.0)
+        batch = harvester.shading_factors_batch(times)
+        scalar = np.array([harvester._shading_factor(t) for t in times])
+        assert np.array_equal(batch, scalar)
+
+
+class TestDietRuns:
+    def test_packet_log_keeps_counters_only(self):
+        result = run_mesoscopic(diet_config(record_packets=True))
+        log = result.packet_log
+        assert log is not None
+        assert len(log) == 0
+        assert log.generated > 0
+        assert log.unsampled == log.generated
+        assert 0 < log.delivered <= log.generated
+
+    def test_sample_nodes_keep_full_rows(self):
+        result = run_mesoscopic(
+            diet_config(record_packets=True, sample_nodes=(0,))
+        )
+        log = result.packet_log
+        assert len(log) > 0
+        assert all(r.node_id == 0 for r in log)
+        assert log.generated > len(log)
+
+    def test_diet_scalar_matches_diet_vectorized(self):
+        def fingerprint(result):
+            return {
+                nid: dataclasses.astuple(m)
+                for nid, m in sorted(result.metrics.nodes.items())
+            }
+
+        vec = run_mesoscopic(diet_config(vectorized=True))
+        scalar = run_mesoscopic(diet_config(vectorized=False))
+        assert fingerprint(vec) == fingerprint(scalar)
+
+    def test_diet_stays_physically_sane(self):
+        exact = run_mesoscopic(diet_config(memory_profile="exact"))
+        diet = run_mesoscopic(diet_config())
+        # Coarser settle/shading grids are a documented approximation:
+        # results need not be bit-identical to exact, but the network
+        # behaviour must stay in family.
+        assert diet.metrics.avg_prr == pytest.approx(
+            exact.metrics.avg_prr, abs=0.05
+        )
+        assert diet.metrics.max_degradation == pytest.approx(
+            exact.metrics.max_degradation, rel=0.2
+        )

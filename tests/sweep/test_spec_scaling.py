@@ -1,0 +1,79 @@
+"""Spec expansion for the scaling keys (gateways/memory_profile/
+sample_nodes/shards) and backwards compatibility with older reports."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sweep.spec import SPEC_KEYS, grid_from_spec
+
+
+def base_spec(**overrides):
+    spec = {
+        "nodes": 10,
+        "days": 1.0,
+        "policies": "h",
+        "theta": 0.5,
+        "seeds": 2,
+        "seed_list": None,
+        "axis": [],
+    }
+    spec.update(overrides)
+    return spec
+
+
+class TestScalingSpecKeys:
+    def test_spec_keys_cover_scaling_knobs(self):
+        for key in ("gateways", "memory_profile", "sample_nodes", "shards"):
+            assert key in SPEC_KEYS
+
+    def test_old_spec_without_scaling_keys_still_expands(self):
+        points = grid_from_spec(base_spec())
+        assert len(points) == 2
+        config = points[0].config
+        assert config.memory_profile == "exact"
+        assert config.shards is None
+        assert config.sample_nodes is None
+        assert config.gateway_count == 1
+
+    def test_default_scaling_keys_leave_grid_unchanged(self):
+        old = grid_from_spec(base_spec())
+        new = grid_from_spec(
+            base_spec(
+                gateways=1,
+                memory_profile="exact",
+                sample_nodes=None,
+                shards=None,
+            )
+        )
+        assert [p.config for p in old] == [p.config for p in new]
+        assert [p.label for p in old] == [p.label for p in new]
+
+    def test_scaling_keys_reach_every_config(self):
+        points = grid_from_spec(
+            base_spec(
+                gateways=4,
+                shards=4,
+                memory_profile="diet",
+                sample_nodes="0,3",
+            )
+        )
+        for point in points:
+            assert point.config.gateway_count == 4
+            assert point.config.shards == 4
+            assert point.config.memory_profile == "diet"
+            assert point.config.sample_nodes == (0, 3)
+
+    def test_shards_applied_after_gateway_axis(self):
+        # shards=2 is only valid because the axis raises gateway_count;
+        # applying shards before the axis would fail validation.
+        points = grid_from_spec(base_spec(shards=2, axis=["gateway_count=2,4"]))
+        seen = sorted({(p.config.gateway_count, p.config.shards) for p in points})
+        assert seen == [(2, 2), (4, 2)]
+
+    def test_sample_nodes_list_form(self):
+        points = grid_from_spec(base_spec(sample_nodes=[1, 4]))
+        assert points[0].config.sample_nodes == (1, 4)
+
+    def test_invalid_shards_surface_as_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            grid_from_spec(base_spec(gateways=2, shards=4))
