@@ -140,6 +140,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="concurrent shard worker processes (with --shards)",
     )
     simulate.add_argument(
+        "--dist-listen",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        dest="dist_listen",
+        help=(
+            "listen for repro worker agents and lease shard cells to "
+            "them instead of local processes (requires --shards; "
+            "port 0 picks an ephemeral port, printed on stderr)"
+        ),
+    )
+    simulate.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        dest="min_workers",
+        help="wait for this many connected workers before dispatching",
+    )
+    simulate.add_argument(
         "--trace",
         action="store_true",
         help="record structured trace events (in-memory ring buffer)",
@@ -387,6 +406,18 @@ def _build_parser() -> argparse.ArgumentParser:
             "(results stay bit-identical; repro serve streams these)"
         ),
     )
+    sweep.add_argument(
+        "--dist-listen", type=str, default=None, metavar="HOST:PORT",
+        dest="dist_listen",
+        help=(
+            "lease every run's shard cells to connected repro worker "
+            "agents (requires --shards; incompatible with --workers > 1)"
+        ),
+    )
+    sweep.add_argument(
+        "--min-workers", type=int, default=1, dest="min_workers",
+        help="wait for this many connected workers before dispatching",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -409,6 +440,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checkpoint-every", type=float, default=1.0, metavar="DAYS",
         dest="checkpoint_every",
         help="checkpoint cadence armed on every submitted run (days)",
+    )
+    serve.add_argument(
+        "--max-queued", type=int, default=None, dest="max_queued",
+        help=(
+            "bound on queued (not yet running) runs; further POST /runs "
+            "submissions get 429 until the queue drains"
+        ),
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a coordinator as a dist shard worker (docs/DISTRIBUTED.md)",
+    )
+    worker.add_argument(
+        "--connect", type=str, required=True, metavar="HOST:PORT",
+        help="coordinator address (repro simulate/sweep --dist-listen)",
+    )
+    worker.add_argument(
+        "--name", type=str, default=None,
+        help="worker name for logs and metrics (default: host-pid)",
+    )
+    worker.add_argument(
+        "--slots", type=int, default=1,
+        help="concurrent cell leases this worker accepts",
+    )
+    worker.add_argument(
+        "--heartbeat", type=float, default=2.0, metavar="SECONDS",
+        dest="heartbeat_s", help="heartbeat cadence",
+    )
+    worker.add_argument(
+        "--reconnect-for", type=float, default=30.0, metavar="SECONDS",
+        dest="reconnect_for_s",
+        help="keep retrying a lost coordinator this long before exiting",
+    )
+    worker.add_argument(
+        "--expect-config-hash", type=str, default=None,
+        dest="expect_config_hash",
+        help="refuse to serve a coordinator running a different config",
     )
     return parser
 
@@ -487,6 +556,29 @@ def _interrupted_exit(exc: SimulationInterrupted) -> int:
     return 128 + (exc.signum if exc.signum is not None else 2)
 
 
+def _start_dist_server(listen: str, min_workers: int):
+    """Bind the coordinator socket and announce it on stderr.
+
+    The listening line goes to stderr, flushed, so ``--json`` stdout
+    stays machine-readable and scripts can scrape the ephemeral port.
+    """
+    from .dist import DistServer, DistTransport
+
+    host, _, port_text = listen.rpartition(":")
+    if not host or not port_text.lstrip("-").isdigit():
+        raise ConfigurationError(
+            f"--dist-listen expects HOST:PORT, got {listen!r}"
+        )
+    server = DistServer(host, int(port_text))
+    print(
+        f"dist: listening on {server.bound_host}:{server.bound_port} "
+        f"(waiting for {min_workers} worker(s))",
+        file=sys.stderr,
+        flush=True,
+    )
+    return server, DistTransport(server, min_workers=min_workers)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.checkpoint_every is not None and args.checkpoint_dir is None:
         print("--checkpoint-every requires --checkpoint-dir", file=sys.stderr)
@@ -503,6 +595,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # mesoscopic decomposition.  Results are unaffected either way.
         notices.append("--shards ignored by the exact engine")
         config = config.replace(shards=None)
+    if args.dist_listen is not None and (
+        engine != "meso" or config.shards is None
+    ):
+        print(
+            "--dist-listen requires the meso engine with --shards "
+            "(cells are the unit of distribution)",
+            file=sys.stderr,
+        )
+        return 2
+    server = transport = None
+    if args.dist_listen is not None:
+        try:
+            server, transport = _start_dist_server(
+                args.dist_listen, args.min_workers
+            )
+        except (ConfigurationError, OSError) as exc:
+            print(f"cannot listen for workers: {exc}", file=sys.stderr)
+            return 2
     _interrupt.install()
     try:
         if engine == "exact":
@@ -510,11 +620,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             lifespan = None
         else:
             result = run_mesoscopic(
-                config, shard_workers=getattr(args, "shard_workers", 1)
+                config,
+                shard_workers=getattr(args, "shard_workers", 1),
+                transport=transport,
             )
             lifespan = result.network_lifespan_days()
     except SimulationInterrupted as exc:
         return _interrupted_exit(exc)
+    finally:
+        if server is not None:
+            server.shutdown()
 
     manifest = result.manifest
     manifest_out = args.manifest_out
@@ -737,6 +852,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.checkpoint_every is not None and args.checkpoint_dir is None:
         print("--checkpoint-every requires --checkpoint-dir", file=sys.stderr)
         return 2
+    if args.dist_listen is not None:
+        if args.shards is None and args.resume_report is None:
+            print(
+                "--dist-listen requires --shards (cells are the unit of "
+                "distribution)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.workers > 1 or args.timeout_s is not None:
+            print(
+                "--dist-listen runs grid points serially in-process; drop "
+                "--workers/--timeout (per-cell timeouts and retries are "
+                "the dist scheduler's job)",
+                file=sys.stderr,
+            )
+            return 2
     engine = args.engine
     existing = None
     out = args.out
@@ -797,6 +928,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     if args.trace_dir is not None:
         os.makedirs(args.trace_dir, exist_ok=True)
+    server = transport = None
+    if args.dist_listen is not None:
+        try:
+            server, transport = _start_dist_server(
+                args.dist_listen, args.min_workers
+            )
+        except (ConfigurationError, OSError) as exc:
+            print(f"cannot listen for workers: {exc}", file=sys.stderr)
+            return 2
     _interrupt.install()
     try:
         result = run_sweep(
@@ -813,8 +953,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             spec=spec,
             on_record=on_record,
             trace_dir=args.trace_dir,
+            transport=transport,
         )
     finally:
+        if server is not None:
+            server.shutdown()
         if progress_handle is not None:
             progress_handle.close()
     if out is not None:
@@ -839,7 +982,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         data_dir=args.data_dir,
         max_parallel=args.max_parallel,
         checkpoint_every_days=args.checkpoint_every,
+        max_queued=args.max_queued,
     )
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .dist import run_worker
+
+    try:
+        return run_worker(
+            args.connect,
+            name=args.name,
+            slots=args.slots,
+            heartbeat_s=args.heartbeat_s,
+            reconnect_for_s=args.reconnect_for_s,
+            expect_config_hash=args.expect_config_hash,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
 
 def _cmd_replicates(args: argparse.Namespace) -> int:
@@ -880,6 +1041,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     return _cmd_replicates(args)
 
 

@@ -1,0 +1,294 @@
+"""Per-cell result artifacts: the JSONL files both transports share.
+
+After simulating one gateway cell, a worker serializes everything the
+coordinator needs from it — per-node metrics, the monthly degradation
+series, linear rates, the (already sampled/capped) packet log, border
+intents — into one JSONL artifact.  Local pipe workers write the file
+directly into the coordinator's spill directory; remote workers write it
+locally and stream its lines over the socket, where the coordinator
+spills them verbatim to the same path.  Either way the bytes on disk are
+identical, which is what makes merged results provably independent of
+where a cell ran.
+
+The coordinator's finalize step loads artifacts back one cell at a time
+(:func:`load_cell_artifact`) and merges lazily, so peak coordinator
+memory is one cell plus the merged (sampled, capacity-capped) log —
+never the sum of all cells' packet rows.
+
+Layout (one JSON object per line, ``kind`` first so skimming readers can
+dispatch on a string prefix)::
+
+    {"kind": "meta", "cell": 3, "round": 1, "events": N, "peak_heap": N}
+    {"kind": "node", "row": [...NodeMetrics fields in order...]}
+    {"kind": "monthly", "row": [month, max_degradation, mean_degradation]}
+    {"kind": "rate", "row": [node_id, rate]}
+    {"kind": "log", "generated": …, …, "count": stored-row-count}
+    {"kind": "pkt", "rows": [[...PacketRecord fields...], …]}
+    {"kind": "intent", "w": [...], "n": [...], "o": [...]}
+    {"kind": "end", "lines": N}
+
+Floats round-trip exactly (``json`` emits shortest-``repr`` doubles and
+accepts ``NaN``); ``Counter`` fields become sorted ``[key, count]``
+pairs.  The ``end`` marker carries the line count, so a torn or
+truncated artifact is always detectable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from ..exceptions import DistProtocolError
+from ..ioutil import atomic_write_text
+from ..sim.metrics import NodeMetrics
+from ..sim.mesoscopic import MonthlySample
+from ..sim.packetlog import PacketLog, PacketRecord
+
+#: Packet rows batched per ``pkt`` line / intents per ``intent`` line.
+_ROWS_PER_LINE = 512
+_INTENTS_PER_LINE = 8192
+
+_NODE_FIELDS = tuple(f.name for f in dataclasses.fields(NodeMetrics))
+_PACKET_FIELDS = tuple(f.name for f in dataclasses.fields(PacketRecord))
+_LOG_COUNTERS = (
+    "generated",
+    "delivered",
+    "attempts",
+    "energy_drops",
+    "unsampled",
+    "dropped",
+)
+
+
+@dataclass
+class CellArtifact:
+    """One simulated cell, in coordinator-merge form."""
+
+    cell_index: int
+    round_no: int
+    events_executed: int
+    peak_heap: int
+    metrics: Dict[int, NodeMetrics]
+    monthly: List[MonthlySample]
+    linear_rates: Dict[int, float]
+    packet_log: Optional[PacketLog]
+    #: (absolute_window, node_id, offset | NaN) announcements as arrays;
+    #: None when the cell exported nothing.
+    intent_windows: Optional[np.ndarray] = None
+    intent_nodes: Optional[np.ndarray] = None
+    intent_offsets: Optional[np.ndarray] = None
+
+
+def _dump(obj: Dict[str, object]) -> str:
+    return json.dumps(obj, separators=(",", ":"))
+
+
+def _node_row(metrics: NodeMetrics) -> List[object]:
+    row: List[object] = []
+    for name in _NODE_FIELDS:
+        value = getattr(metrics, name)
+        if isinstance(value, Counter):
+            value = [[int(k), int(v)] for k, v in sorted(value.items())]
+        row.append(value)
+    return row
+
+
+def _node_from_row(row: List[object]) -> NodeMetrics:
+    kwargs = dict(zip(_NODE_FIELDS, row))
+    kwargs["window_selections"] = Counter(
+        {int(k): int(v) for k, v in kwargs["window_selections"]}
+    )
+    return NodeMetrics(**kwargs)
+
+
+def artifact_lines(artifact: CellArtifact) -> Iterator[str]:
+    """The artifact's JSONL lines, in canonical order (no newlines)."""
+    yield _dump(
+        {
+            "kind": "meta",
+            "cell": artifact.cell_index,
+            "round": artifact.round_no,
+            "events": artifact.events_executed,
+            "peak_heap": artifact.peak_heap,
+        }
+    )
+    for node_id in sorted(artifact.metrics):
+        yield _dump({"kind": "node", "row": _node_row(artifact.metrics[node_id])})
+    for sample in artifact.monthly:
+        yield _dump(
+            {
+                "kind": "monthly",
+                "row": [
+                    sample.month,
+                    sample.max_degradation,
+                    sample.mean_degradation,
+                ],
+            }
+        )
+    for node_id in sorted(artifact.linear_rates):
+        yield _dump(
+            {"kind": "rate", "row": [node_id, artifact.linear_rates[node_id]]}
+        )
+    log = artifact.packet_log
+    if log is not None:
+        header: Dict[str, object] = {"kind": "log"}
+        for name in _LOG_COUNTERS:
+            header[name] = getattr(log, name)
+        header["count"] = len(log)
+        yield _dump(header)
+        batch: List[List[object]] = []
+        for record in log:
+            batch.append([getattr(record, name) for name in _PACKET_FIELDS])
+            if len(batch) >= _ROWS_PER_LINE:
+                yield _dump({"kind": "pkt", "rows": batch})
+                batch = []
+        if batch:
+            yield _dump({"kind": "pkt", "rows": batch})
+    if artifact.intent_windows is not None:
+        total = int(artifact.intent_windows.size)
+        for start in range(0, total, _INTENTS_PER_LINE):
+            stop = min(start + _INTENTS_PER_LINE, total)
+            yield _dump(
+                {
+                    "kind": "intent",
+                    "w": [int(v) for v in artifact.intent_windows[start:stop]],
+                    "n": [int(v) for v in artifact.intent_nodes[start:stop]],
+                    "o": [float(v) for v in artifact.intent_offsets[start:stop]],
+                }
+            )
+
+
+def write_cell_artifact(path: str, artifact: CellArtifact) -> None:
+    """Write the artifact atomically (``end`` marker written last)."""
+    lines = list(artifact_lines(artifact))
+    lines.append(_dump({"kind": "end", "lines": len(lines)}))
+    atomic_write_text(path, "\n".join(lines) + "\n")
+
+
+def artifact_complete(path: str) -> bool:
+    """Whether ``path`` holds a complete artifact (valid ``end`` marker)."""
+    try:
+        lines = _read_lines(path)
+    except (OSError, DistProtocolError):
+        return False
+    if not lines or not lines[-1].startswith('{"kind":"end"'):
+        return False
+    try:
+        marker = json.loads(lines[-1])
+    except json.JSONDecodeError:
+        return False
+    return marker.get("lines") == len(lines) - 1
+
+
+def _read_lines(path: str) -> List[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read().splitlines()
+
+
+def load_cell_artifact(path: str, skim: bool = False) -> CellArtifact:
+    """Parse one artifact back; raises on truncated/torn files.
+
+    With ``skim=True`` the bulky ``node``/``monthly``/``rate``/``pkt``
+    lines are skipped (prefix dispatch, no JSON parse) — what a worker
+    needs to re-report an already-finished cell without reloading its
+    packet rows.
+    """
+    lines = _read_lines(path)
+    if not lines or not lines[-1].startswith('{"kind":"end"'):
+        raise DistProtocolError(f"artifact {path!r} has no end marker")
+    marker = json.loads(lines[-1])
+    if marker.get("lines") != len(lines) - 1:
+        raise DistProtocolError(
+            f"artifact {path!r} is truncated: end marker says "
+            f"{marker.get('lines')} lines, found {len(lines) - 1}"
+        )
+    meta: Optional[Dict[str, object]] = None
+    metrics: Dict[int, NodeMetrics] = {}
+    monthly: List[MonthlySample] = []
+    rates: Dict[int, float] = {}
+    log: Optional[PacketLog] = None
+    intents_w: List[List[int]] = []
+    intents_n: List[List[int]] = []
+    intents_o: List[List[float]] = []
+    skippable = ('{"kind":"node"', '{"kind":"monthly"', '{"kind":"rate"',
+                 '{"kind":"pkt"')
+    for line in lines[:-1]:
+        if skim and line.startswith(skippable):
+            continue
+        doc = json.loads(line)
+        kind = doc.get("kind")
+        if kind == "meta":
+            meta = doc
+        elif kind == "node":
+            node = _node_from_row(doc["row"])
+            metrics[node.node_id] = node
+        elif kind == "monthly":
+            month, max_deg, mean_deg = doc["row"]
+            monthly.append(
+                MonthlySample(
+                    month=int(month),
+                    max_degradation=max_deg,
+                    mean_degradation=mean_deg,
+                )
+            )
+        elif kind == "rate":
+            node_id, rate = doc["row"]
+            rates[int(node_id)] = rate
+        elif kind == "log":
+            # Capacity only matters for the *target* of a merge; give
+            # the reconstructed source room for every stored row.
+            log = PacketLog(capacity=max(1, int(doc["count"])))
+            for name in _LOG_COUNTERS:
+                setattr(log, name, doc[name])
+        elif kind == "pkt":
+            if log is None:
+                raise DistProtocolError(
+                    f"artifact {path!r} has pkt rows before the log header"
+                )
+            log._records.extend(
+                PacketRecord(**dict(zip(_PACKET_FIELDS, row)))
+                for row in doc["rows"]
+            )
+        elif kind == "intent":
+            intents_w.append(doc["w"])
+            intents_n.append(doc["n"])
+            intents_o.append(doc["o"])
+        else:
+            raise DistProtocolError(
+                f"artifact {path!r} has an unknown line kind {kind!r}"
+            )
+    if meta is None:
+        raise DistProtocolError(f"artifact {path!r} has no meta line")
+    artifact = CellArtifact(
+        cell_index=int(meta["cell"]),
+        round_no=int(meta["round"]),
+        events_executed=int(meta["events"]),
+        peak_heap=int(meta["peak_heap"]),
+        metrics=metrics,
+        monthly=monthly,
+        linear_rates=rates,
+        packet_log=log,
+    )
+    if intents_w:
+        artifact.intent_windows = np.array(
+            [v for chunk in intents_w for v in chunk], dtype=np.int64
+        )
+        artifact.intent_nodes = np.array(
+            [v for chunk in intents_n for v in chunk], dtype=np.int64
+        )
+        artifact.intent_offsets = np.array(
+            [v for chunk in intents_o for v in chunk], dtype=np.float64
+        )
+    return artifact
+
+
+def iter_artifact_lines(path: str) -> Iterator[str]:
+    """Yield the artifact's raw lines (for streaming over the wire)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            yield line.rstrip("\n")

@@ -1,0 +1,625 @@
+"""Coordinator side of the dist plane: the socket server and scheduler.
+
+:class:`DistServer` owns the listening socket and the connected worker
+registry; it is a synchronous, ``selectors``-driven loop so the (also
+synchronous) :func:`repro.sim.sharded.run_sharded` coordinator can drive
+it inline.  :class:`DistScheduler` generalizes the sweep executor's
+process-pool scheduler to *leases*: one cell per lease, shipped to a
+remote worker as a pickled task blob, tracked with heartbeats and an
+optional per-cell deadline, and re-dispatched from its topology-keyed
+checkpoints when the worker dies, disconnects, or goes silent.
+
+Failure semantics (the short version; docs/DISTRIBUTED.md has the
+matrix):
+
+* **Worker EOF / socket error** → worker is *lost*; its in-flight
+  leases re-queue immediately (attempt + 1).
+* **Heartbeat overdue** → worker is *stale*; its leases re-queue, but
+  the socket stays open.  If the worker was merely stalled and finishes
+  anyway, its late ``cell_done`` names a lease the coordinator no
+  longer tracks and is **discarded** — per-lease spill files mean the
+  late attempt never touches the re-dispatched cell's artifact, and
+  since both attempts produce byte-identical artifacts the race is
+  harmless either way.
+* **Per-cell deadline exceeded** → same as a stale worker.
+* **Attempts exhausted** (``max_retries`` + 1) → the run fails with
+  :class:`~repro.exceptions.SimulationError`, like a local shard crash.
+
+Artifact frames (``cell_chunk``) are spilled straight to
+``<spill_path>.part-<lease_id>`` on disk — the coordinator never holds
+a cell's rows in memory — and the part file is atomically renamed over
+the real spill path once its ``cell_done`` arrives and the artifact
+verifies complete.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import socket
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..exceptions import DistError, DistProtocolError, SimulationError
+from ..obs import config_hash
+from ..sim.sharded import CellOutcome, RoundRequest, outcome_from_artifact
+from .artifact import artifact_complete, load_cell_artifact
+from .protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_frame,
+    pack_blob,
+)
+
+#: A worker is stale once its last frame is older than this (seconds).
+DEFAULT_HEARTBEAT_TIMEOUT_S = 10.0
+
+#: With cells unfinished and zero connected workers, the scheduler
+#: fails loudly after this long rather than waiting forever for a
+#: reconnect that may never come.
+NO_WORKERS_TIMEOUT_S = 120.0
+
+
+@dataclass
+class _RemoteWorker:
+    """One connected ``repro worker`` agent."""
+
+    sock: socket.socket
+    address: str
+    decoder: FrameDecoder = field(default_factory=FrameDecoder)
+    name: str = ""
+    slots: int = 1
+    pid: Optional[int] = None
+    state: str = "handshaking"  # handshaking | idle | stale | lost
+    last_seen: float = 0.0
+    #: lease_id -> lease, for leases this worker currently holds.
+    leases: Dict[str, "_Lease"] = field(default_factory=dict)
+
+    @property
+    def welcomed(self) -> bool:
+        return self.state in ("idle", "stale")
+
+
+@dataclass
+class _Lease:
+    """One cell leased to one worker."""
+
+    lease_id: str
+    cell: int
+    attempt: int
+    worker: _RemoteWorker
+    part_path: str
+    spill_path: str
+    deadline: Optional[float] = None
+
+
+class DistServer:
+    """Listens for workers and shuttles frames, synchronously.
+
+    The server outlives individual rounds and runs: workers stay
+    connected between the border-exchange rounds of one simulation and
+    between the points of a sweep.  Callers drive it by invoking
+    :meth:`poll` from their scheduling loop and get back a list of
+    ``("joined" | "frame" | "lost", worker[, frame])`` events.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._listener = socket.create_server(
+            (host, port), reuse_port=False
+        )
+        self._listener.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        self._workers: List[_RemoteWorker] = []
+        self._config_hash: Optional[str] = None
+        self._closed = False
+
+    @property
+    def bound_host(self) -> str:
+        return self._listener.getsockname()[0]
+
+    @property
+    def bound_port(self) -> int:
+        return self._listener.getsockname()[1]
+
+    @property
+    def workers(self) -> List[_RemoteWorker]:
+        """Workers that completed the handshake and are still reachable."""
+        return [w for w in self._workers if w.welcomed]
+
+    def set_config_hash(self, value: Optional[str]) -> None:
+        """The active run's config hash (handshake refusal + leases)."""
+        self._config_hash = value
+
+    # ------------------------------------------------------------- polling
+
+    def poll(self, timeout: float) -> List[Tuple]:
+        """Process socket readiness for up to ``timeout`` seconds.
+
+        Returns ``("joined", worker)``, ``("frame", worker, frame)`` and
+        ``("lost", worker)`` events in arrival order.
+        """
+        events: List[Tuple] = []
+        for key, _mask in self._selector.select(timeout):
+            if key.data is None:
+                self._accept()
+                continue
+            worker: _RemoteWorker = key.data
+            try:
+                data = worker.sock.recv(1 << 16)
+            except (OSError, ValueError):
+                data = b""
+            if not data:
+                self._drop(worker)
+                events.append(("lost", worker))
+                continue
+            worker.last_seen = time.monotonic()
+            try:
+                frames = worker.decoder.feed(data)
+            except DistProtocolError:
+                self._drop(worker)
+                events.append(("lost", worker))
+                continue
+            for frame in frames:
+                if worker.state == "handshaking":
+                    if self._handshake(worker, frame):
+                        events.append(("joined", worker))
+                    else:
+                        events.append(("lost", worker))
+                elif worker.state != "lost":
+                    events.append(("frame", worker, frame))
+        return events
+
+    def _accept(self) -> None:
+        try:
+            sock, addr = self._listener.accept()
+        except OSError:
+            return
+        sock.setblocking(True)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        worker = _RemoteWorker(
+            sock=sock,
+            address=f"{addr[0]}:{addr[1]}",
+            last_seen=time.monotonic(),
+        )
+        worker.name = worker.address
+        self._workers.append(worker)
+        self._selector.register(sock, selectors.EVENT_READ, worker)
+
+    def _handshake(self, worker: _RemoteWorker, frame: Dict) -> bool:
+        if frame.get("type") != "hello":
+            self.send(worker, {"type": "reject", "reason": "expected hello"})
+            self._drop(worker)
+            return False
+        version = frame.get("version")
+        if version != PROTOCOL_VERSION:
+            self.send(
+                worker,
+                {
+                    "type": "reject",
+                    "reason": (
+                        f"protocol version mismatch: coordinator speaks "
+                        f"{PROTOCOL_VERSION}, worker speaks {version}"
+                    ),
+                },
+            )
+            self._drop(worker)
+            return False
+        expected = frame.get("config_hash")
+        if (
+            expected is not None
+            and self._config_hash is not None
+            and expected != self._config_hash
+        ):
+            self.send(
+                worker,
+                {
+                    "type": "reject",
+                    "reason": (
+                        f"config hash mismatch: run is {self._config_hash}, "
+                        f"worker expects {expected}"
+                    ),
+                },
+            )
+            self._drop(worker)
+            return False
+        worker.name = str(frame.get("name") or worker.address)
+        worker.slots = max(1, int(frame.get("slots", 1)))
+        worker.pid = frame.get("pid")
+        worker.state = "idle"
+        return self.send(
+            worker,
+            {
+                "type": "welcome",
+                "version": PROTOCOL_VERSION,
+                "config_hash": self._config_hash,
+            },
+        )
+
+    # ------------------------------------------------------------- sending
+
+    def send(self, worker: _RemoteWorker, payload: Dict) -> bool:
+        """Send one frame; marks the worker lost on a dead socket."""
+        if worker.state == "lost":
+            return False
+        try:
+            worker.sock.sendall(encode_frame(payload))
+            return True
+        except OSError:
+            self._drop(worker)
+            return False
+
+    def _drop(self, worker: _RemoteWorker) -> None:
+        if worker.state == "lost":
+            return
+        worker.state = "lost"
+        try:
+            self._selector.unregister(worker.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            worker.sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------ lifecycle
+
+    def wait_for_workers(
+        self, min_workers: int, timeout_s: Optional[float] = None
+    ) -> None:
+        """Block until ``min_workers`` agents have completed handshakes."""
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        while len(self.workers) < min_workers:
+            if deadline is not None and time.monotonic() > deadline:
+                raise DistError(
+                    f"only {len(self.workers)} of {min_workers} workers "
+                    f"connected within {timeout_s:.0f}s"
+                )
+            self.poll(0.2)
+
+    def shutdown(self) -> None:
+        """Tell every worker the run is over, then close everything."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in list(self._workers):
+            if worker.welcomed:
+                self.send(worker, {"type": "shutdown"})
+            self._drop(worker)
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._listener.close()
+        self._selector.close()
+
+    def __enter__(self) -> "DistServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+@dataclass
+class _Task:
+    cell: int
+    attempt: int = 1
+
+
+class DistScheduler:
+    """Leases one round's cells to remote workers and collects artifacts."""
+
+    def __init__(
+        self,
+        server: DistServer,
+        request: RoundRequest,
+        *,
+        min_workers: int = 1,
+        timeout_s: Optional[float] = None,
+        max_retries: int = 1,
+        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+        crash_spec=None,
+        crash_counter: Optional[List[int]] = None,
+    ) -> None:
+        self.server = server
+        self.request = request
+        self.min_workers = min_workers
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.crash_spec = crash_spec
+        #: Crashes injected so far, shared across rounds by the
+        #: transport: an injected worker death is permanent (the whole
+        #: agent exits), so ``crash_spec.attempts`` bounds injections
+        #: per *run*, not per round — otherwise round 2 would kill the
+        #: survivor too and strand the run with no workers.
+        self.crash_counter = crash_counter if crash_counter is not None else [0]
+        self.pending: Deque[_Task] = deque()
+        self.active: Dict[str, _Lease] = {}
+        self.outcomes: Dict[int, CellOutcome] = {}
+        self._lease_seq = 0
+
+    # --------------------------------------------------------------- metrics
+
+    def _count(self, status: str, worker_name: str) -> None:
+        self.request.registry.counter(
+            "dist_cells_total",
+            "Cell leases by terminal status and worker",
+            labels={"status": status, "worker": worker_name},
+        ).inc()
+
+    def _update_gauges(self) -> None:
+        registry = self.request.registry
+        states = {"connected": 0, "stale": 0}
+        now = time.monotonic()
+        for worker in self.server.workers:
+            states["stale" if worker.state == "stale" else "connected"] += 1
+            registry.gauge(
+                "dist_worker_heartbeat_age_s",
+                "Seconds since the worker's last frame",
+                labels={"worker": worker.name},
+            ).set(now - worker.last_seen)
+        for state, count in states.items():
+            registry.gauge(
+                "dist_workers",
+                "Connected dist workers by state",
+                labels={"state": state},
+            ).set(count)
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> Dict[int, CellOutcome]:
+        request = self.request
+        self.server.set_config_hash(config_hash(request.config))
+        self.server.wait_for_workers(self.min_workers, timeout_s=120.0)
+        for cell in request.cell_ids:
+            spill = request.spill_by_cell[cell]
+            if artifact_complete(spill):
+                # A previous attempt (or a resumed run reusing the spill
+                # directory) already finished this cell.
+                self.outcomes[cell] = outcome_from_artifact(
+                    load_cell_artifact(spill, skim=True)
+                )
+                self._count("cached", "coordinator")
+            else:
+                self.pending.append(_Task(cell))
+        starved_since: Optional[float] = None
+        while len(self.outcomes) < len(request.cell_ids):
+            if any(w.state != "lost" for w in self.server.workers):
+                starved_since = None
+            elif starved_since is None:
+                starved_since = time.monotonic()
+            elif time.monotonic() - starved_since > NO_WORKERS_TIMEOUT_S:
+                raise DistError(
+                    f"no workers connected for {NO_WORKERS_TIMEOUT_S:.0f}s with "
+                    f"{len(request.cell_ids) - len(self.outcomes)} cell(s) unfinished"
+                )
+            self._dispatch()
+            for event in self.server.poll(0.2):
+                kind = event[0]
+                if kind == "frame":
+                    self._handle_frame(event[1], event[2])
+                elif kind == "lost":
+                    self._reclaim(event[1], "lost")
+            self._check_liveness()
+            self._update_gauges()
+        self._update_gauges()
+        return dict(self.outcomes)
+
+    # ------------------------------------------------------------- dispatch
+
+    def _dispatch(self) -> None:
+        if not self.pending:
+            return
+        for worker in self.server.workers:
+            if worker.state != "idle":
+                continue
+            while self.pending and len(worker.leases) < worker.slots:
+                task = self.pending.popleft()
+                if not self._lease(worker, task):
+                    self.pending.appendleft(task)
+                    break
+            if not self.pending:
+                return
+
+    def _lease(self, worker: _RemoteWorker, task: _Task) -> bool:
+        request = self.request
+        self._lease_seq += 1
+        lease_id = (
+            f"r{request.round_no}c{task.cell}a{task.attempt}"
+            f"-{self._lease_seq}"
+        )
+        spill = request.spill_by_cell[task.cell]
+        lease = _Lease(
+            lease_id=lease_id,
+            cell=task.cell,
+            attempt=task.attempt,
+            worker=worker,
+            part_path=f"{spill}.part-{lease_id}",
+            spill_path=spill,
+            deadline=(
+                time.monotonic() + self.timeout_s
+                if self.timeout_s is not None
+                else None
+            ),
+        )
+        crash_after = None
+        if (
+            self.crash_spec is not None
+            and task.cell == self.crash_spec.index
+            and self.crash_counter[0] < self.crash_spec.attempts
+        ):
+            crash_after = self.crash_spec.after_checkpoints
+            self.crash_counter[0] += 1
+        blob = pack_blob(
+            {
+                "cell": task.cell,
+                "round": request.round_no,
+                "config": request.config,
+                "placements": request.placements_by_cell[task.cell],
+                "export": request.export_by_cell.get(task.cell),
+                "foreign": request.foreign_by_cell.get(task.cell),
+                "ckpt_dir": request.ckpt_by_cell.get(task.cell),
+                "crash_after_saves": crash_after,
+            }
+        )
+        sent = self.server.send(
+            worker,
+            {
+                "type": "lease",
+                "lease_id": lease_id,
+                "cell": task.cell,
+                "round": request.round_no,
+                "attempt": task.attempt,
+                "config_hash": config_hash(request.config),
+                "blob": blob,
+            },
+        )
+        if not sent:
+            self._reclaim(worker, "lost")
+            return False
+        self.active[lease_id] = lease
+        worker.leases[lease_id] = lease
+        return True
+
+    # -------------------------------------------------------------- frames
+
+    def _handle_frame(self, worker: _RemoteWorker, frame: Dict) -> None:
+        kind = frame.get("type")
+        if worker.state == "stale":
+            # It was only stalled; welcome it back for fresh leases.
+            # Its previous leases were already re-queued and stay
+            # revoked (any late frames for them are discarded below).
+            worker.state = "idle"
+        if kind == "heartbeat":
+            return
+        if kind == "cell_chunk":
+            lease = self.active.get(frame.get("lease_id"))
+            if lease is None or lease.worker is not worker:
+                self._count("discarded", worker.name)
+                return
+            lines = frame.get("lines")
+            if not isinstance(lines, list):
+                raise DistProtocolError("cell_chunk frame without lines")
+            os.makedirs(os.path.dirname(lease.part_path), exist_ok=True)
+            with open(lease.part_path, "a", encoding="utf-8") as handle:
+                for line in lines:
+                    handle.write(line)
+                    handle.write("\n")
+            return
+        if kind == "cell_done":
+            self._handle_done(worker, frame)
+            return
+        raise DistProtocolError(f"unexpected frame type {kind!r} from worker")
+
+    def _handle_done(self, worker: _RemoteWorker, frame: Dict) -> None:
+        lease = self.active.get(frame.get("lease_id"))
+        if lease is None or lease.worker is not worker:
+            # Duplicate or revoked completion (e.g. the worker went
+            # stale, the cell was re-leased, and the original attempt
+            # finished anyway).  Idempotent by design: discard.
+            self._count("discarded", worker.name)
+            return
+        del self.active[lease.lease_id]
+        worker.leases.pop(lease.lease_id, None)
+        status = frame.get("status")
+        if status == "ok" and artifact_complete(lease.part_path):
+            os.replace(lease.part_path, lease.spill_path)
+            self.outcomes[lease.cell] = outcome_from_artifact(
+                load_cell_artifact(lease.spill_path, skim=True)
+            )
+            self._count(
+                "resumed" if lease.attempt > 1 else "completed", worker.name
+            )
+            return
+        self._remove_part(lease)
+        error = frame.get("error") or "incomplete artifact stream"
+        self._count("failed", worker.name)
+        self._requeue(lease, str(error))
+
+    # ------------------------------------------------------------- liveness
+
+    def _check_liveness(self) -> None:
+        now = time.monotonic()
+        for worker in self.server.workers:
+            if (
+                worker.leases
+                and now - worker.last_seen > self.heartbeat_timeout_s
+            ):
+                self._reclaim(worker, "stale")
+        for lease in list(self.active.values()):
+            if lease.deadline is not None and now > lease.deadline:
+                self._reclaim(lease.worker, "stale")
+
+    def _reclaim(self, worker: _RemoteWorker, state: str) -> None:
+        """Re-queue every lease of a lost or silent worker."""
+        if state == "stale" and worker.state != "lost":
+            worker.state = "stale"
+        leases = list(worker.leases.values())
+        worker.leases.clear()
+        for lease in leases:
+            self.active.pop(lease.lease_id, None)
+            self._remove_part(lease)
+            self._count("redispatched", worker.name)
+            self._requeue(
+                lease, f"worker {worker.name} {state} mid-cell"
+            )
+
+    def _remove_part(self, lease: _Lease) -> None:
+        try:
+            os.remove(lease.part_path)
+        except OSError:
+            pass
+
+    def _requeue(self, lease: _Lease, error: str) -> None:
+        if lease.attempt > self.max_retries:
+            raise SimulationError(
+                f"cell {lease.cell} failed after {lease.attempt} "
+                f"attempt(s): {error}"
+            )
+        self.pending.append(_Task(cell=lease.cell, attempt=lease.attempt + 1))
+
+
+class DistTransport:
+    """The dist-side implementation of the sharded transport seam.
+
+    Drop-in alternative to :class:`repro.sim.sharded.LocalTransport`:
+    ``run_round`` leases the request's cells to whatever workers are
+    connected to ``server`` and returns the same outcomes — the merged
+    result is bitwise identical to a local-pipe run.
+    """
+
+    def __init__(
+        self,
+        server: DistServer,
+        *,
+        min_workers: int = 1,
+        timeout_s: Optional[float] = None,
+        max_retries: int = 1,
+        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+        crash_spec=None,
+    ) -> None:
+        self.server = server
+        self.min_workers = min_workers
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.crash_spec = crash_spec
+        self._crash_counter: List[int] = [0]
+
+    def run_round(self, request: RoundRequest) -> Dict[int, CellOutcome]:
+        scheduler = DistScheduler(
+            self.server,
+            request,
+            min_workers=self.min_workers,
+            timeout_s=self.timeout_s,
+            max_retries=self.max_retries,
+            heartbeat_timeout_s=self.heartbeat_timeout_s,
+            crash_spec=self.crash_spec,
+            crash_counter=self._crash_counter,
+        )
+        return scheduler.run()

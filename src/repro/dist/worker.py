@@ -1,0 +1,355 @@
+"""The ``repro worker`` agent: connects out, simulates leased cells.
+
+A worker is started on any host that can reach the coordinator::
+
+    repro worker --connect coordinator-host:7070 --slots 4
+
+It dials the coordinator, performs the version/config-hash handshake,
+then sits in an asyncio loop: heartbeats every couple of seconds, and
+for every ``lease`` frame spawns a subprocess that simulates the leased
+cell through the exact same code path as a local pipe worker
+(:func:`repro.sim.sharded._shard_worker_main` on a single-cell shard
+job).  The finished cell's artifact is written to a worker-local temp
+file, then streamed back line-by-line as ``cell_chunk`` frames and
+sealed with ``cell_done`` — the coordinator spills the stream to disk
+verbatim, so the artifact bytes are identical to a local run's.
+
+Failure behaviour mirrors a real crash: if the lease subprocess dies
+from SIGKILL (including the deterministic ``crash_after_saves`` crash
+hook used by the fault tests), the whole agent exits immediately with
+a non-zero status, taking its socket down — the coordinator sees EOF
+and re-dispatches the cell.  Other subprocess failures are reported as
+``cell_done`` with ``status="failed"`` and the agent keeps serving.
+
+Checkpoints are written to the lease's checkpoint directory when one is
+configured.  On a shared filesystem (or a single host) a re-dispatched
+cell therefore resumes from the newest snapshot the dead worker left
+behind; without shared storage it re-runs from scratch — same results,
+more wall clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import shutil
+import signal
+import sys
+import tempfile
+import time
+from typing import Dict, Optional
+
+from ..exceptions import DistProtocolError
+from .artifact import iter_artifact_lines
+from .protocol import (
+    CHUNK_BYTES,
+    PROTOCOL_VERSION,
+    read_frame,
+    unpack_blob,
+    write_frame,
+)
+
+#: Default heartbeat cadence; the coordinator's staleness timeout is
+#: several multiples of this.
+DEFAULT_HEARTBEAT_S = 2.0
+
+#: How long a disconnected worker keeps retrying the coordinator before
+#: giving up (fresh connections reset the window).
+DEFAULT_RECONNECT_FOR_S = 30.0
+
+
+def _lease_job(payload: Dict, spill_path: str):
+    """Build the single-cell shard job a lease describes."""
+    from ..sim.sharded import ShardJob
+
+    cell = payload["cell"]
+    return ShardJob(
+        index=cell,
+        round_no=payload["round"],
+        cells=[cell],
+        placements_by_cell={cell: payload["placements"]},
+        export_by_cell={cell: payload["export"]},
+        foreign_by_cell={cell: payload["foreign"]},
+        config=payload["config"],
+        spill_by_cell={cell: spill_path},
+        ckpt_by_cell={cell: payload["ckpt_dir"]},
+    )
+
+
+class _Agent:
+    """One connection's worth of worker state."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        name: str,
+        slots: int,
+        heartbeat_s: float,
+        expect_config_hash: Optional[str],
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.name = name
+        self.slots = slots
+        self.heartbeat_s = heartbeat_s
+        self.expect_config_hash = expect_config_hash
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.write_lock = asyncio.Lock()
+        self.tmp_root = tempfile.mkdtemp(prefix="repro-worker-")
+        self.lease_tasks: set = set()
+        #: Monotonic time of the last successful handshake; lets the
+        #: reconnect window reset after every healthy connection.
+        self.last_welcome = 0.0
+
+    async def send(self, payload: Dict) -> None:
+        async with self.write_lock:
+            await write_frame(self.writer, payload)
+
+    async def serve(self) -> int:
+        """One connection: handshake, then heartbeats + leases.
+
+        Returns the process exit code; raises ``OSError`` (or
+        :class:`DistProtocolError`) when the connection drops and a
+        reconnect should be attempted.
+        """
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self.writer = writer
+        try:
+            await self.send(
+                {
+                    "type": "hello",
+                    "version": PROTOCOL_VERSION,
+                    "name": self.name,
+                    "slots": self.slots,
+                    "pid": os.getpid(),
+                    "config_hash": self.expect_config_hash,
+                }
+            )
+            frame = await read_frame(reader)
+            if frame is None:
+                raise DistProtocolError("coordinator closed during handshake")
+            if frame.get("type") == "reject":
+                print(
+                    f"repro worker: rejected by coordinator: "
+                    f"{frame.get('reason')}",
+                    file=sys.stderr,
+                )
+                return 1
+            if frame.get("type") != "welcome":
+                raise DistProtocolError(
+                    f"expected welcome, got {frame.get('type')!r}"
+                )
+            run_hash = frame.get("config_hash")
+            if (
+                self.expect_config_hash is not None
+                and run_hash is not None
+                and run_hash != self.expect_config_hash
+            ):
+                print(
+                    f"repro worker: coordinator runs config {run_hash}, "
+                    f"expected {self.expect_config_hash}",
+                    file=sys.stderr,
+                )
+                return 1
+            self.last_welcome = time.monotonic()
+            heartbeat = asyncio.ensure_future(self._heartbeat_loop())
+            try:
+                while True:
+                    frame = await read_frame(reader)
+                    if frame is None:
+                        raise DistProtocolError(
+                            "coordinator closed the connection"
+                        )
+                    kind = frame.get("type")
+                    if kind == "shutdown":
+                        return 0
+                    if kind == "lease":
+                        task = asyncio.ensure_future(self._run_lease(frame))
+                        self.lease_tasks.add(task)
+                        task.add_done_callback(self.lease_tasks.discard)
+                    # Unknown frame types are ignored for forward
+                    # compatibility within one protocol version.
+            finally:
+                heartbeat.cancel()
+                for task in list(self.lease_tasks):
+                    task.cancel()
+        finally:
+            writer.close()
+
+    async def _heartbeat_loop(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self.heartbeat_s)
+                await self.send({"type": "heartbeat", "name": self.name})
+        except OSError:
+            return  # connection gone; the read loop reports it
+
+    async def _run_lease(self, frame: Dict) -> None:
+        try:
+            await self._run_lease_inner(frame)
+        except OSError:
+            pass  # connection gone mid-stream; coordinator re-leases
+
+    async def _run_lease_inner(self, frame: Dict) -> None:
+        lease_id = frame.get("lease_id")
+        try:
+            payload = unpack_blob(frame["blob"])
+        except (KeyError, DistProtocolError) as exc:
+            await self.send(
+                {
+                    "type": "cell_done",
+                    "lease_id": lease_id,
+                    "status": "failed",
+                    "error": f"undecodable lease: {exc}",
+                }
+            )
+            return
+        spill_path = os.path.join(
+            self.tmp_root, f"{lease_id}.jsonl"
+        )
+        error = await self._simulate(payload, spill_path)
+        if error is not None:
+            await self.send(
+                {
+                    "type": "cell_done",
+                    "lease_id": lease_id,
+                    "status": "failed",
+                    "error": error,
+                }
+            )
+            return
+        try:
+            await self._stream_artifact(lease_id, spill_path)
+        finally:
+            try:
+                os.remove(spill_path)
+            except OSError:
+                pass
+
+    async def _simulate(
+        self, payload: Dict, spill_path: str
+    ) -> Optional[str]:
+        """Run the leased cell in a subprocess; None on success."""
+        from ..sim.sharded import _shard_worker_main
+
+        loop = asyncio.get_running_loop()
+        context = multiprocessing.get_context()
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_shard_worker_main,
+            args=(
+                child_conn,
+                _lease_job(payload, spill_path),
+                "meso",
+                None,  # run_dir: per-cell dirs travel inside the job
+                payload["config"].checkpoint_every_s,
+                None,  # resume_from: cells self-resume
+                payload.get("crash_after_saves"),
+                None,  # trace_dir
+            ),
+        )
+        process.start()
+        child_conn.close()
+        try:
+            message = await loop.run_in_executor(None, parent_conn.recv)
+        except EOFError:
+            message = None
+        finally:
+            parent_conn.close()
+        await loop.run_in_executor(None, process.join)
+        if message is None:
+            # The subprocess died without reporting.  SIGKILL means a
+            # crash (possibly the deterministic crash hook): take the
+            # whole agent down like a real worker loss, so the
+            # coordinator re-dispatches from checkpoints.
+            if process.exitcode == -signal.SIGKILL:
+                print(
+                    "repro worker: lease subprocess killed; exiting",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                os._exit(9)
+            return f"lease subprocess died with exit code {process.exitcode}"
+        kind, value = message
+        if kind == "record":
+            record = value
+            if record.ok:
+                return None
+            return record.error or f"cell finished with status {record.status}"
+        if kind == "interrupted":
+            return "lease subprocess interrupted by signal"
+        return f"unexpected worker message {kind!r}"
+
+    async def _stream_artifact(self, lease_id: str, path: str) -> None:
+        """Ship the artifact as chunked frames, then seal the cell."""
+        batch = []
+        batch_bytes = 0
+        for line in iter_artifact_lines(path):
+            batch.append(line)
+            batch_bytes += len(line) + 1
+            if batch_bytes >= CHUNK_BYTES:
+                await self.send(
+                    {
+                        "type": "cell_chunk",
+                        "lease_id": lease_id,
+                        "lines": batch,
+                    }
+                )
+                batch = []
+                batch_bytes = 0
+        if batch:
+            await self.send(
+                {"type": "cell_chunk", "lease_id": lease_id, "lines": batch}
+            )
+        await self.send(
+            {"type": "cell_done", "lease_id": lease_id, "status": "ok"}
+        )
+
+
+def run_worker(
+    connect: str,
+    name: Optional[str] = None,
+    slots: int = 1,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    reconnect_for_s: float = DEFAULT_RECONNECT_FOR_S,
+    expect_config_hash: Optional[str] = None,
+) -> int:
+    """Run a worker agent until the coordinator shuts it down.
+
+    ``connect`` is ``host:port``.  Returns the process exit code:
+    0 after an orderly shutdown frame, 1 on handshake rejection or when
+    the coordinator stays unreachable for ``reconnect_for_s`` seconds.
+    """
+    host, _, port_text = connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ValueError(f"--connect expects host:port, got {connect!r}")
+    port = int(port_text)
+    agent = _Agent(
+        host=host,
+        port=port,
+        name=name or f"{os.uname().nodename}-{os.getpid()}",
+        slots=max(1, slots),
+        heartbeat_s=heartbeat_s,
+        expect_config_hash=expect_config_hash,
+    )
+    loop = asyncio.new_event_loop()
+    try:
+        window_start = time.monotonic()
+        while True:
+            try:
+                return loop.run_until_complete(agent.serve())
+            except (OSError, DistProtocolError) as exc:
+                if agent.last_welcome > window_start:
+                    window_start = agent.last_welcome
+                if time.monotonic() - window_start > reconnect_for_s:
+                    print(
+                        f"repro worker: giving up on {connect}: {exc}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                time.sleep(1.0)
+    finally:
+        loop.close()
+        shutil.rmtree(agent.tmp_root, ignore_errors=True)

@@ -68,3 +68,12 @@ class SimulationInterrupted(SimulationError):
 
 class ProtocolError(ReproError):
     """A MAC/PHY protocol rule was violated (e.g. too many retransmissions)."""
+
+
+class DistError(SimulationError):
+    """Base class for distributed-execution (``repro.dist``) errors."""
+
+
+class DistProtocolError(DistError):
+    """A dist wire-protocol violation: torn or oversized frame, bad JSON,
+    an unknown frame type, or a handshake the peer refused."""

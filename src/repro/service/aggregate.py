@@ -56,6 +56,11 @@ class SweepAggregator:
         """Cells ingested so far for one run."""
         return sum(1 for key in self._records if key[0] == run_id)
 
+    def forget(self, run_id: str) -> None:
+        """Drop every record of one run (the run was deleted)."""
+        for key in [k for k in self._records if k[0] == run_id]:
+            del self._records[key]
+
     def status_counts(self, run_id: str) -> Dict[str, int]:
         """Final-status histogram of one run's ingested cells."""
         counts: Dict[str, int] = {}

@@ -9,6 +9,8 @@ Endpoint map (all JSON unless noted)::
     POST /runs                 submit a spec → 201 + the new run
     GET  /runs/{id}            status, progress, report/manifest digest
     POST /runs/{id}/cancel     SIGTERM the run (rescue-checkpoint path)
+    DELETE /runs/{id}          forget the run, remove its directory
+                               (running runs refused unless ?cancel=1)
     GET  /runs/{id}/events     NDJSON stream of TraceBus events
                                (?category=…&min_severity=…&since=…
                                 &follow=1&limit=N — chunked, live)
@@ -54,12 +56,14 @@ class ServiceApp:
         data_dir: str,
         max_parallel: int = 1,
         checkpoint_every_days: float = 1.0,
+        max_queued: Optional[int] = None,
     ) -> None:
         self.data_dir = data_dir
         self.manager = JobManager(
             data_dir,
             max_parallel=max_parallel,
             checkpoint_every_days=checkpoint_every_days,
+            max_queued=max_queued,
         )
         self.aggregator = SweepAggregator()
         self.sampler = ResourceSampler()
@@ -74,6 +78,7 @@ class ServiceApp:
         self.router.route("POST", "/runs", self.handle_submit)
         self.router.route("GET", "/runs/{id}", self.handle_get_run)
         self.router.route("POST", "/runs/{id}/cancel", self.handle_cancel)
+        self.router.route("DELETE", "/runs/{id}", self.handle_delete)
         self.router.route("GET", "/runs/{id}/events", self.handle_events)
 
     # ------------------------------------------------------------ ingestion
@@ -217,6 +222,7 @@ class ServiceApp:
                     "POST /runs",
                     "GET /runs/{id}",
                     "POST /runs/{id}/cancel",
+                    "DELETE /runs/{id}",
                     "GET /runs/{id}/events",
                 ],
                 "runs": len(self.manager.jobs),
@@ -295,6 +301,20 @@ class ServiceApp:
     async def handle_cancel(self, request: Request) -> Response:
         job = self.manager.cancel(request.params["id"])
         return Response.json(job.to_dict(), status=202)
+
+    async def handle_delete(self, request: Request) -> Response:
+        run_id = request.params["id"]
+        summary = await self.manager.delete(
+            run_id, cancel=_truthy(request.query_get("cancel"))
+        )
+        # Drop service-side caches so a future run reusing the id (after
+        # a restart renumbers) cannot inherit stale progress or metrics.
+        self._progress_tailers.pop(run_id, None)
+        self._report_ingested.discard(run_id)
+        self._metrics_exports.pop(run_id, None)
+        self.aggregator.forget(run_id)
+        self.sampler.forget(run_id)
+        return Response.json({"deleted": run_id, "was": summary})
 
     async def handle_events(self, request: Request) -> Response:
         job = self.manager.get(request.params["id"])
@@ -394,6 +414,7 @@ def run_service(
     data_dir: str = "repro-service",
     max_parallel: int = 1,
     checkpoint_every_days: float = 1.0,
+    max_queued: Optional[int] = None,
 ) -> int:
     """Blocking entry point for ``repro serve``.
 
@@ -411,6 +432,7 @@ def run_service(
             data_dir,
             max_parallel=max_parallel,
             checkpoint_every_days=checkpoint_every_days,
+            max_queued=max_queued,
         )
         server = HttpServer(app.router)
         bound = await server.start(host, port)

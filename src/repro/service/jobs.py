@@ -30,6 +30,7 @@ from __future__ import annotations
 import asyncio
 import os
 import re
+import shutil
 import signal
 import sys
 import time
@@ -65,14 +66,50 @@ _SIMULATE_KEYS = frozenset(
         "memory_profile",
         "sample_nodes",
         "shards",
+        "dist",
     }
 )
 _SWEEP_KEYS = frozenset(
-    {"kind", "engine", "trace", "workers", "timeout_s", "max_retries"}
+    {"kind", "engine", "trace", "workers", "timeout_s", "max_retries", "dist"}
     | set(SPEC_KEYS)
 )
 _POLICIES = ("lorawan", "h", "hc")
 _ENGINES = ("meso", "exact")
+
+
+def _validate_dist(spec: Dict[str, object], out: Dict[str, object]) -> None:
+    """Validate a spec's optional ``dist`` block into ``out``.
+
+    The block mirrors the CLI's distributed flags: ``listen`` becomes
+    ``--dist-listen`` and ``min_workers`` becomes ``--min-workers`` on
+    the run subprocess, which then waits for that many ``repro worker``
+    agents to dial in before simulating.
+    """
+    dist = spec.get("dist")
+    if dist is None:
+        return
+    if not isinstance(dist, dict):
+        raise HttpError(400, "dist must be an object")
+    unknown = sorted(set(dist) - {"listen", "min_workers"})
+    if unknown:
+        raise HttpError(400, f"unknown dist keys: {unknown}")
+    listen = dist.get("listen", "127.0.0.1:0")
+    host, _, port_text = str(listen).rpartition(":")
+    if not isinstance(listen, str) or not host or not port_text.isdigit():
+        raise HttpError(400, f"dist.listen must be 'host:port', got {listen!r}")
+    try:
+        min_workers = int(dist.get("min_workers", 1))  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise HttpError(
+            400, f"bad dist.min_workers: {dist.get('min_workers')!r}"
+        ) from exc
+    if min_workers < 1:
+        raise HttpError(400, "dist.min_workers must be >= 1")
+    if out.get("shards") is None:
+        raise HttpError(400, "dist requires shards")
+    if out.get("engine") != "meso":
+        raise HttpError(400, "dist requires the meso engine")
+    out["dist"] = {"listen": listen, "min_workers": min_workers}
 
 
 def validate_spec(spec: object) -> Dict[str, object]:
@@ -137,6 +174,7 @@ def validate_spec(spec: object) -> Dict[str, object]:
             out["seed"] = int(spec.get("seed", 1))  # type: ignore[arg-type]
         except (TypeError, ValueError) as exc:
             raise HttpError(400, f"bad 'seed': {spec.get('seed')!r}") from exc
+        _validate_dist(spec, out)
         return out
     policies = spec.get("policies", ["h"])
     if isinstance(policies, str):
@@ -183,6 +221,11 @@ def validate_spec(spec: object) -> Dict[str, object]:
                 out[key] = caster(spec[key])  # type: ignore[arg-type]
             except (TypeError, ValueError) as exc:
                 raise HttpError(400, f"bad {key!r}: {spec[key]!r}") from exc
+    _validate_dist(spec, out)
+    if "dist" in out and (
+        int(out.get("workers", 1) or 1) > 1 or out.get("timeout_s") is not None
+    ):
+        raise HttpError(400, "dist is incompatible with workers > 1 or timeout_s")
     cells = grid_size(out)
     if not cells:
         raise HttpError(400, "spec expands to an empty or invalid grid")
@@ -253,10 +296,12 @@ class JobManager:
         data_dir: str,
         max_parallel: int = 1,
         checkpoint_every_days: float = 1.0,
+        max_queued: Optional[int] = None,
     ) -> None:
         self.data_dir = data_dir
         self.runs_dir = os.path.join(data_dir, "runs")
         self.max_parallel = max(1, int(max_parallel))
+        self.max_queued = None if max_queued is None else max(0, int(max_queued))
         self.checkpoint_every_days = float(checkpoint_every_days)
         self.jobs: Dict[str, Job] = {}
         self._order: List[str] = []
@@ -335,6 +380,19 @@ class JobManager:
         if self._closing:
             raise HttpError(409, "service is shutting down")
         normalized = validate_spec(spec)
+        if (
+            self.max_queued is not None
+            and self.queue_depth() >= self.max_queued
+            and len(self.running()) >= self.max_parallel
+        ):
+            # The submission would have to wait behind a full queue:
+            # backpressure, not acceptance.  A submit that would start
+            # immediately (spare run capacity) is never refused.
+            raise HttpError(
+                429,
+                f"submission queue is full ({self.queue_depth()} queued, "
+                f"limit {self.max_queued}); retry after a run finishes",
+            )
         run_id = f"run-{self._next_index:04d}"
         self._next_index += 1
         directory = os.path.join(self.runs_dir, run_id)
@@ -380,6 +438,10 @@ class JobManager:
             argv += ["--memory-profile", str(spec["memory_profile"])]
         if spec.get("shards") is not None:
             argv += ["--shards", str(spec["shards"])]
+        dist = spec.get("dist")
+        if isinstance(dist, dict):
+            argv += ["--dist-listen", str(dist["listen"])]
+            argv += ["--min-workers", str(dist["min_workers"])]
         if spec.get("sample_nodes"):
             argv += [
                 "--sample-nodes",
@@ -501,6 +563,65 @@ class JobManager:
             except (ProcessLookupError, PermissionError):
                 pass
         return job
+
+    async def delete(
+        self, run_id: str, cancel: bool = False, grace_s: float = 10.0
+    ) -> Dict[str, object]:
+        """Forget a run and remove its directory; returns its last facts.
+
+        Running runs are refused (409) unless ``cancel`` is set, in
+        which case they get the ordinary SIGTERM cancel path first and
+        a SIGKILL if they outlive ``grace_s``.  Removal is atomic from
+        the service's point of view: the directory is renamed to a
+        dot-prefixed name (invisible to run adoption) before the
+        recursive delete, so a crash mid-delete cannot resurrect a
+        half-removed run.
+        """
+        job = self.get(run_id)
+        if job.state == "running":
+            if not cancel:
+                raise HttpError(
+                    409,
+                    f"run {run_id} is running; pass ?cancel=1 to stop "
+                    f"and delete it",
+                )
+            self.cancel(run_id)
+            deadline = time.monotonic() + grace_s
+            while job.state == "running" and time.monotonic() < deadline:
+                await asyncio.sleep(0.1)
+            if job.state == "running":
+                if job.process is not None:
+                    try:
+                        job.process.kill()
+                    except ProcessLookupError:
+                        pass
+                deadline = time.monotonic() + grace_s
+                while job.state == "running" and time.monotonic() < deadline:
+                    await asyncio.sleep(0.1)
+        elif job.state == "queued":
+            # Never spawned; flip it terminal so a concurrent pump()
+            # cannot start it between forget and remove.
+            job.state = "cancelled"
+            job.finished_s = time.time()
+        summary = job.to_dict()
+        self.jobs.pop(run_id, None)
+        try:
+            self._order.remove(run_id)
+        except ValueError:
+            pass
+        doomed = os.path.join(
+            self.runs_dir, f".deleting-{job.run_id}-{os.getpid()}"
+        )
+        try:
+            os.replace(job.directory, doomed)
+        except FileNotFoundError:
+            doomed = None
+        except OSError:
+            doomed = job.directory
+        if doomed is not None:
+            shutil.rmtree(doomed, ignore_errors=True)
+        self.pump()
+        return summary
 
     async def shutdown(self, grace_s: float = 20.0) -> None:
         """SIGTERM every running child and wait for waiters to settle."""

@@ -38,7 +38,7 @@ from ..checkpoint.core import save_checkpoint
 from ..checkpoint.interrupt import last_signal, stop_requested
 from ..constants import SECONDS_PER_DAY, SECONDS_PER_YEAR
 from ..core import DegradationService, MacPolicy, PeriodContext
-from ..exceptions import SimulationInterrupted
+from ..exceptions import ConfigurationError, SimulationInterrupted
 from ..energy import (
     CloudProcess,
     Harvester,
@@ -1101,15 +1101,25 @@ def run_mesoscopic(
     config: SimulationConfig,
     obs: Optional[Observability] = None,
     shard_workers: int = 1,
+    transport=None,
 ) -> MesoscopicResult:
     """Convenience wrapper: build and run a mesoscopic simulation.
 
     When ``config.shards`` is set the run is dispatched to the
     gateway-cell sharded coordinator (worker processes bound memory;
-    results are invariant to the shard count).
+    results are invariant to the shard count).  ``transport`` selects
+    how shard cells execute (local pipes when None; a
+    :class:`repro.dist.DistTransport` leases them to remote workers)
+    and requires ``config.shards``.
     """
     if config.shards is not None:
         from .sharded import run_sharded
 
-        return run_sharded(config, obs=obs, workers=shard_workers)
+        return run_sharded(
+            config, obs=obs, workers=shard_workers, transport=transport
+        )
+    if transport is not None:
+        raise ConfigurationError(
+            "a dist transport requires sharded execution; set config.shards"
+        )
     return MesoscopicSimulator(config, obs=obs).run()

@@ -33,11 +33,20 @@ Semantics
   ``shards=gateway_count`` produce identical metrics, monthly series,
   linear rates and packet logs.
 
-Execution reuses the :mod:`repro.sweep.executor` scheduler for its
-process pool, crash/timeout retries and checkpoint plumbing: each shard
-job runs in its own process, checkpoints every cell into
-``<checkpoint_dir>/round<r>/run_<shard>/cell_<c>`` and self-resumes
-from the newest cell snapshot after a crash.
+Execution flows through a **transport seam**: :class:`LocalTransport`
+packs cells into local worker processes via the
+:mod:`repro.sweep.executor` scheduler (crash/timeout retries included),
+while :class:`repro.dist.DistTransport` leases the same cells to remote
+``repro worker`` agents over TCP.  Either way, every simulated cell is
+serialized to a per-cell JSONL artifact (:mod:`repro.dist.artifact`) in
+a spill directory, and the coordinator merges those artifacts **lazily**
+at finalize — one cell in memory at a time — so coordinator RSS never
+scales with the total packet-log volume, and merged results are
+placement-invariant by construction.
+
+Cells checkpoint into ``<checkpoint_dir>/round<r>/cell_<c>`` (a pure
+function of the topology, not of worker packing) and self-resume from
+the newest snapshot after a crash.
 """
 
 from __future__ import annotations
@@ -45,6 +54,8 @@ from __future__ import annotations
 import math
 import os
 import random
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -52,13 +63,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..checkpoint.core import latest_checkpoint, resume as _resume_checkpoint
+from ..dist.artifact import (
+    CellArtifact,
+    artifact_complete,
+    load_cell_artifact,
+    write_cell_artifact,
+)
 from ..exceptions import (
     ConfigurationError,
     SimulationError,
     SimulationInterrupted,
 )
 from ..lora import LogDistanceLink, airtime_table
-from ..obs import Observability, RunManifest, config_hash
+from ..obs import MetricsRegistry, Observability, RunManifest, config_hash
 from .config import SimulationConfig
 from .mesoscopic import (
     MesoscopicResult,
@@ -162,17 +179,24 @@ class ShardJob:
     export_by_cell: Dict[int, Optional[frozenset]]
     foreign_by_cell: Dict[int, Optional[ForeignStatics]]
     config: SimulationConfig
+    #: Where each cell's result artifact must land (JSONL; see
+    #: :mod:`repro.dist.artifact`).
+    spill_by_cell: Dict[int, str] = field(default_factory=dict)
+    #: Per-cell checkpoint directory (``<ckpt>/round<r>/cell_<c>``); a
+    #: pure function of the topology so resume never depends on packing.
+    ckpt_by_cell: Dict[int, Optional[str]] = field(default_factory=dict)
 
 
 @dataclass
-class CellResult:
-    """Everything the coordinator keeps from one simulated cell."""
+class CellOutcome:
+    """The slim per-cell summary the coordinator keeps in memory.
+
+    The heavy payload (metrics, monthly, packet rows) lives in the
+    cell's spilled artifact; the outcome carries only what the next
+    round and the manifest need.
+    """
 
     cell_index: int
-    metrics: Dict[int, NodeMetrics]
-    monthly: List[MonthlySample]
-    linear_rates: Dict[int, float]
-    packet_log: Optional[PacketLog]
     events_executed: int
     peak_heap: int
     #: (absolute_window, node_id, offset | nan) announcements as arrays.
@@ -181,13 +205,25 @@ class CellResult:
     intent_offsets: Optional[np.ndarray] = None
 
 
+def outcome_from_artifact(artifact: CellArtifact) -> CellOutcome:
+    """A :class:`CellOutcome` re-derived from a spilled artifact."""
+    return CellOutcome(
+        cell_index=artifact.cell_index,
+        events_executed=artifact.events_executed,
+        peak_heap=artifact.peak_heap,
+        intent_windows=artifact.intent_windows,
+        intent_nodes=artifact.intent_nodes,
+        intent_offsets=artifact.intent_offsets,
+    )
+
+
 @dataclass
 class ShardRecord:
     """Scheduler-facing outcome of one shard attempt."""
 
     index: int
     status: str  # "completed" | "resumed" | "failed" | "timeout"
-    cells: List[CellResult] = field(default_factory=list)
+    cells: List[CellOutcome] = field(default_factory=list)
     error: Optional[str] = None
     attempts: int = 1
     wall_s: float = 0.0
@@ -217,60 +253,89 @@ def _cell_config(
     return cell_config
 
 
+def simulate_cell(
+    config: SimulationConfig,
+    cell: int,
+    placements: List[NodePlacement],
+    export_nodes: Optional[frozenset],
+    foreign: Optional[ForeignStatics],
+    ckpt_dir: Optional[str],
+    round_no: int,
+) -> Tuple[CellArtifact, CellOutcome]:
+    """Simulate one cell (resuming from its newest snapshot if any)."""
+    if ckpt_dir is not None:
+        os.makedirs(ckpt_dir, exist_ok=True)
+    cell_config = _cell_config(config, ckpt_dir)
+    snapshot = latest_checkpoint(ckpt_dir) if ckpt_dir is not None else None
+    if snapshot is not None:
+        sim, _header = _resume_checkpoint(
+            snapshot, expected_config_hash=config_hash(cell_config)
+        )
+    else:
+        sim = MesoscopicSimulator(
+            cell_config,
+            placements=placements,
+            cell_index=cell,
+            export_nodes=export_nodes,
+            foreign=foreign,
+        )
+    result = sim.run()
+    intents = sim.border_intents
+    artifact = CellArtifact(
+        cell_index=cell,
+        round_no=round_no,
+        events_executed=sim._events_executed,
+        peak_heap=sim._peak_heap,
+        metrics=result.metrics.nodes,
+        monthly=result.monthly,
+        linear_rates=result.linear_rates,
+        packet_log=result.packet_log,
+    )
+    if intents:
+        artifact.intent_windows = np.array(
+            [i[0] for i in intents], dtype=np.int64
+        )
+        artifact.intent_nodes = np.array(
+            [i[1] for i in intents], dtype=np.int64
+        )
+        artifact.intent_offsets = np.array(
+            [i[2] for i in intents], dtype=np.float64
+        )
+    return artifact, outcome_from_artifact(artifact)
+
+
 def _execute_shard(
     job: ShardJob, run_dir: Optional[str], checkpoint_every_s: Optional[float]
 ) -> ShardRecord:
     """Simulate every cell of one shard job (the worker function).
 
     Cells run sequentially so worker memory is bounded by one cell.
-    Each cell checkpoints into its own subdirectory and self-resumes
-    from the newest snapshot — a retried shard replays only the cell it
-    died in, not the cells it already finished (those re-run from their
-    own latest snapshots, which is still deterministic).
+    Each cell checkpoints into its own topology-keyed directory and
+    self-resumes from the newest snapshot; a cell whose spilled artifact
+    is already complete (an earlier attempt finished it before the
+    worker died) is skipped entirely — its outcome is re-read from the
+    artifact — so a retried shard replays only the cell it died in.
     """
     record = ShardRecord(index=job.index, status="completed")
     started = time.perf_counter()
     for cell in job.cells:
-        cell_dir = None
-        if run_dir is not None:
-            cell_dir = os.path.join(run_dir, f"cell_{cell:04d}")
-            os.makedirs(cell_dir, exist_ok=True)
-        config = _cell_config(job.config, cell_dir)
-        snapshot = latest_checkpoint(cell_dir) if cell_dir is not None else None
-        if snapshot is not None:
-            sim, _header = _resume_checkpoint(
-                snapshot, expected_config_hash=config_hash(config)
+        spill_path = job.spill_by_cell[cell]
+        if artifact_complete(spill_path):
+            record.cells.append(
+                outcome_from_artifact(load_cell_artifact(spill_path, skim=True))
             )
-        else:
-            sim = MesoscopicSimulator(
-                config,
-                placements=job.placements_by_cell[cell],
-                cell_index=cell,
-                export_nodes=job.export_by_cell.get(cell),
-                foreign=job.foreign_by_cell.get(cell),
-            )
-        result = sim.run()
-        intents = sim.border_intents
-        cell_result = CellResult(
-            cell_index=cell,
-            metrics=result.metrics.nodes,
-            monthly=result.monthly,
-            linear_rates=result.linear_rates,
-            packet_log=result.packet_log,
-            events_executed=sim._events_executed,
-            peak_heap=sim._peak_heap,
+            continue
+        artifact, outcome = simulate_cell(
+            job.config,
+            cell,
+            job.placements_by_cell[cell],
+            job.export_by_cell.get(cell),
+            job.foreign_by_cell.get(cell),
+            job.ckpt_by_cell.get(cell),
+            job.round_no,
         )
-        if intents:
-            cell_result.intent_windows = np.array(
-                [i[0] for i in intents], dtype=np.int64
-            )
-            cell_result.intent_nodes = np.array(
-                [i[1] for i in intents], dtype=np.int64
-            )
-            cell_result.intent_offsets = np.array(
-                [i[2] for i in intents], dtype=np.float64
-            )
-        record.cells.append(cell_result)
+        write_cell_artifact(spill_path, artifact)
+        record.cells.append(outcome)
     record.wall_s = time.perf_counter() - started
     try:
         import resource
@@ -299,7 +364,7 @@ def _shard_worker_main(
     graceful-stop handlers, optionally arm the deterministic crash
     hook, ship the record (or the interrupt) back over the pipe.
     ``resume_from`` is ignored — shards self-resume per cell from the
-    newest snapshot in their run directory.
+    newest snapshot in their topology-keyed checkpoint directory.
     """
     from ..checkpoint import core as _ckpt_core
     from ..checkpoint import interrupt as _interrupt
@@ -408,61 +473,119 @@ def _border_maps(
     return selected_by_cell, export_by_cell, profiles
 
 
-# -------------------------------------------------------------- coordinator
+# ---------------------------------------------------------- transport seam
 
 
-def _run_round(
-    jobs: List[ShardJob],
-    config: SimulationConfig,
-    workers: int,
-    round_dir: Optional[str],
-    max_retries: int,
-    registry,
-    crash_spec=None,
-) -> Dict[int, ShardRecord]:
-    """Run one round of shard jobs through the executor's scheduler."""
-    from ..checkpoint.interrupt import last_signal
-    from ..sweep.executor import _Scheduler
+@dataclass
+class RoundRequest:
+    """Everything a transport needs to run one round of cells.
 
-    scheduler = _Scheduler(
-        engine="meso",
-        workers=workers,
-        registry=registry,
-        timeout_s=None,
-        max_retries=max_retries,
-        checkpoint_dir=round_dir,
-        checkpoint_every_s=config.checkpoint_every_s,
-        crash_spec=crash_spec,
-        worker_main=_shard_worker_main,
-        failure_factory=_shard_failure,
-    )
-    records, interrupted = scheduler.run(jobs)
-    if interrupted:
-        raise SimulationInterrupted(
-            "sharded mesoscopic run stopped by signal",
-            signum=last_signal(),
+    Both transports consume the same request and fulfil the same
+    contract: simulate every listed cell, leave its complete artifact
+    at ``spill_by_cell[cell]``, and return a ``CellOutcome`` per cell.
+    """
+
+    round_no: int
+    config: SimulationConfig
+    cell_ids: List[int]
+    placements_by_cell: Dict[int, List[NodePlacement]]
+    export_by_cell: Dict[int, Optional[frozenset]]
+    foreign_by_cell: Dict[int, Optional[ForeignStatics]]
+    spill_by_cell: Dict[int, str]
+    ckpt_by_cell: Dict[int, Optional[str]]
+    shard_count: int
+    registry: MetricsRegistry
+
+
+class LocalTransport:
+    """Run rounds in local worker processes over multiprocessing pipes.
+
+    Reuses the :mod:`repro.sweep.executor` scheduler for its process
+    pool, crash/timeout retries and graceful-interrupt plumbing.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        max_retries: int = 1,
+        crash_spec=None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.workers = workers
+        self.max_retries = max_retries
+        self.crash_spec = crash_spec
+
+    def run_round(self, request: RoundRequest) -> Dict[int, CellOutcome]:
+        from ..checkpoint.interrupt import last_signal
+        from ..sweep.executor import _Scheduler
+
+        jobs: List[ShardJob] = []
+        packed = pack_cells(
+            request.cell_ids,
+            min(request.shard_count, len(request.cell_ids)),
         )
-    for record in records.values():
-        if not record.ok:
-            raise SimulationError(
-                f"shard {record.index} {record.status} after "
-                f"{record.attempts} attempt(s): {record.error}"
+        for index, group in enumerate(packed):
+            jobs.append(
+                ShardJob(
+                    index=index,
+                    round_no=request.round_no,
+                    cells=group,
+                    placements_by_cell={
+                        c: request.placements_by_cell[c] for c in group
+                    },
+                    export_by_cell={
+                        c: request.export_by_cell.get(c) for c in group
+                    },
+                    foreign_by_cell={
+                        c: request.foreign_by_cell.get(c) for c in group
+                    },
+                    config=request.config,
+                    spill_by_cell={
+                        c: request.spill_by_cell[c] for c in group
+                    },
+                    ckpt_by_cell={
+                        c: request.ckpt_by_cell.get(c) for c in group
+                    },
+                )
             )
-    return records
+        scheduler = _Scheduler(
+            engine="meso",
+            workers=self.workers,
+            registry=request.registry,
+            timeout_s=None,
+            max_retries=self.max_retries,
+            checkpoint_dir=None,
+            checkpoint_every_s=request.config.checkpoint_every_s,
+            crash_spec=self.crash_spec,
+            worker_main=_shard_worker_main,
+            failure_factory=_shard_failure,
+        )
+        records, interrupted = scheduler.run(jobs)
+        if interrupted:
+            raise SimulationInterrupted(
+                "sharded mesoscopic run stopped by signal",
+                signum=last_signal(),
+            )
+        outcomes: Dict[int, CellOutcome] = {}
+        for record in records.values():
+            if not record.ok:
+                raise SimulationError(
+                    f"shard {record.index} {record.status} after "
+                    f"{record.attempts} attempt(s): {record.error}"
+                )
+            for outcome in record.cells:
+                outcomes[outcome.cell_index] = outcome
+        return outcomes
 
 
-def _collect_cells(records: Dict[int, ShardRecord]) -> Dict[int, CellResult]:
-    results: Dict[int, CellResult] = {}
-    for record in records.values():
-        for cell_result in record.cells:
-            results[cell_result.cell_index] = cell_result
-    return results
+# -------------------------------------------------------------- coordinator
 
 
 def _foreign_for_cell(
     cell: int,
     selected: frozenset,
-    cell_results: Dict[int, CellResult],
+    outcomes: Dict[int, CellOutcome],
     profiles,
     config: SimulationConfig,
 ) -> Optional[ForeignStatics]:
@@ -473,10 +596,10 @@ def _foreign_for_cell(
     nodes: List[np.ndarray] = []
     offsets: List[np.ndarray] = []
     wanted = np.array(sorted(selected), dtype=np.int64)
-    for source_cell in sorted(cell_results):
+    for source_cell in sorted(outcomes):
         if source_cell == cell:
             continue
-        source = cell_results[source_cell]
+        source = outcomes[source_cell]
         if source.intent_windows is None:
             continue
         mask = np.isin(source.intent_nodes, wanted)
@@ -499,14 +622,12 @@ def _foreign_for_cell(
 
 
 def _merge_monthly(
-    cell_results: Dict[int, CellResult]
+    parts: List[Tuple[int, List[MonthlySample]]]
 ) -> List[MonthlySample]:
     """Network monthly series from per-cell series (exact max / mean)."""
     acc: Dict[int, List[float]] = {}
-    for cell in sorted(cell_results):
-        result = cell_results[cell]
-        weight = len(result.metrics)
-        for sample in result.monthly:
+    for weight, samples in parts:
+        for sample in samples:
             entry = acc.setdefault(sample.month, [-math.inf, 0.0, 0])
             entry[0] = max(entry[0], sample.max_degradation)
             entry[1] += sample.mean_degradation * weight
@@ -521,12 +642,28 @@ def _merge_monthly(
     ]
 
 
+def _spill_path(spill_root: str, round_no: int, cell: int) -> str:
+    return os.path.join(
+        spill_root, f"round{round_no}", f"cell_{cell:04d}.jsonl"
+    )
+
+
+def _ckpt_path(
+    base_dir: Optional[str], round_no: int, cell: int
+) -> Optional[str]:
+    if base_dir is None:
+        return None
+    return os.path.join(base_dir, f"round{round_no}", f"cell_{cell:04d}")
+
+
 def run_sharded(
     config: SimulationConfig,
     obs: Optional[Observability] = None,
     workers: int = 1,
     max_retries: int = 1,
     crash_spec=None,
+    transport=None,
+    spill_dir: Optional[str] = None,
 ) -> MesoscopicResult:
     """Run ``config`` sharded by gateway cell; merge into one result.
 
@@ -534,6 +671,13 @@ def run_sharded(
     isolation: coordinator + one cell at a time).  Shard crashes and
     timeouts retry up to ``max_retries`` times, resuming from per-cell
     checkpoints when checkpointing is configured.
+
+    ``transport`` selects how cells execute: None builds a
+    :class:`LocalTransport` from ``workers``/``max_retries``/
+    ``crash_spec``; a :class:`repro.dist.DistTransport` leases cells to
+    remote ``repro worker`` agents instead.  Results are identical
+    either way.  ``spill_dir`` hosts the per-cell artifacts (a private
+    temp directory, deleted afterwards, when None).
     """
     if config.shards is None:
         raise ConfigurationError("config.shards must be set for run_sharded")
@@ -542,8 +686,10 @@ def run_sharded(
             "sharded execution does not support event tracing; run with "
             "shards=None (or trace off) instead"
         )
-    if workers < 1:
-        raise ConfigurationError("workers must be >= 1")
+    if transport is None:
+        transport = LocalTransport(
+            workers=workers, max_retries=max_retries, crash_spec=crash_spec
+        )
     obs = obs if obs is not None else config.build_observability()
     duration = config.duration_s
 
@@ -555,112 +701,119 @@ def run_sharded(
             config, placements, cells, link
         )
         shard_count = min(config.shards, len(cells))
-        groups = pack_cells(list(cells), shard_count)
 
-    def make_jobs(
+    owns_spill = spill_dir is None
+    spill_root = (
+        tempfile.mkdtemp(prefix="repro-spill-") if owns_spill else spill_dir
+    )
+    os.makedirs(spill_root, exist_ok=True)
+    base_dir = config.checkpoint_dir
+
+    def make_request(
         round_no: int,
         cell_subset: List[int],
         foreign_by_cell: Dict[int, Optional[ForeignStatics]],
         with_exports: bool,
-    ) -> List[ShardJob]:
-        jobs = []
-        packed = pack_cells(cell_subset, min(shard_count, len(cell_subset)))
-        for index, group in enumerate(packed):
-            jobs.append(
-                ShardJob(
-                    index=index,
-                    round_no=round_no,
-                    cells=group,
-                    placements_by_cell={c: cells[c] for c in group},
-                    export_by_cell={
-                        c: (export_by_cell[c] or None) if with_exports else None
-                        for c in group
-                    },
-                    foreign_by_cell={
-                        c: foreign_by_cell.get(c) for c in group
-                    },
-                    config=config,
+    ) -> RoundRequest:
+        return RoundRequest(
+            round_no=round_no,
+            config=config,
+            cell_ids=sorted(cell_subset),
+            placements_by_cell={c: cells[c] for c in cell_subset},
+            export_by_cell={
+                c: ((export_by_cell[c] or None) if with_exports else None)
+                for c in cell_subset
+            },
+            foreign_by_cell=foreign_by_cell,
+            spill_by_cell={
+                c: _spill_path(spill_root, round_no, c) for c in cell_subset
+            },
+            ckpt_by_cell={
+                c: _ckpt_path(base_dir, round_no, c) for c in cell_subset
+            },
+            shard_count=shard_count,
+            registry=obs.metrics,
+        )
+
+    try:
+        with obs.profiler.phase("run"):
+            request1 = make_request(1, list(cells), {}, with_exports=True)
+            outcomes = transport.run_round(request1)
+
+            # Round 2: re-simulate cells that actually received foreign
+            # announcements, with those transmissions as static
+            # interferers.
+            foreign_by_cell: Dict[int, Optional[ForeignStatics]] = {}
+            for cell in cells:
+                foreign_by_cell[cell] = _foreign_for_cell(
+                    cell, selected_by_cell[cell], outcomes, profiles, config
                 )
-            )
-        return jobs
+            redo = [
+                cell for cell in cells if foreign_by_cell[cell] is not None
+            ]
+            final_round = {cell: 1 for cell in cells}
+            if redo:
+                request2 = make_request(
+                    2, redo, foreign_by_cell, with_exports=False
+                )
+                outcomes2 = transport.run_round(request2)
+                for cell, outcome in outcomes2.items():
+                    outcomes[cell] = outcome
+                    final_round[cell] = 2
 
-    with obs.profiler.phase("run"):
-        base_dir = config.checkpoint_dir
-        round1_dir = (
-            os.path.join(base_dir, "round1") if base_dir is not None else None
-        )
-        round1_jobs = make_jobs(1, list(cells), {}, with_exports=True)
-        records = _run_round(
-            round1_jobs,
-            config,
-            workers,
-            round1_dir,
-            max_retries,
-            obs.metrics,
-            crash_spec=crash_spec,
-        )
-        cell_results = _collect_cells(records)
-
-        # Round 2: re-simulate cells that actually received foreign
-        # announcements, with those transmissions as static interferers.
-        foreign_by_cell: Dict[int, Optional[ForeignStatics]] = {}
-        for cell in cells:
-            foreign_by_cell[cell] = _foreign_for_cell(
-                cell, selected_by_cell[cell], cell_results, profiles, config
-            )
-        redo = [cell for cell in cells if foreign_by_cell[cell] is not None]
-        if redo:
-            round2_dir = (
-                os.path.join(base_dir, "round2")
-                if base_dir is not None
+        with obs.profiler.phase("finalize"):
+            merged_metrics: Dict[int, NodeMetrics] = {}
+            linear_rates: Dict[int, float] = {}
+            monthly_parts: List[Tuple[int, List[MonthlySample]]] = []
+            events = 0
+            peak = 0
+            merge_peak_rows = 0
+            packet_log = (
+                PacketLog(sample_nodes=config.effective_sample_nodes())
+                if config.record_packets
                 else None
             )
-            round2_jobs = make_jobs(
-                2, redo, foreign_by_cell, with_exports=False
+            # Lazy merge: one cell's artifact in memory at a time, so
+            # coordinator RSS is bounded by the largest cell plus the
+            # (sampled, capacity-capped) merged log — never the sum of
+            # all cells' packet rows.
+            for cell in sorted(cells):
+                artifact = load_cell_artifact(
+                    _spill_path(spill_root, final_round[cell], cell)
+                )
+                merged_metrics.update(artifact.metrics)
+                linear_rates.update(artifact.linear_rates)
+                monthly_parts.append((len(artifact.metrics), artifact.monthly))
+                events += artifact.events_executed
+                peak = max(peak, artifact.peak_heap)
+                if packet_log is not None and artifact.packet_log is not None:
+                    merge_peak_rows = max(
+                        merge_peak_rows, len(artifact.packet_log)
+                    )
+                    packet_log.merge(artifact.packet_log)
+            metrics = NetworkMetrics(
+                nodes={
+                    nid: merged_metrics[nid] for nid in sorted(merged_metrics)
+                }
             )
-            records2 = _run_round(
-                round2_jobs,
-                config,
-                workers,
-                round2_dir,
-                max_retries,
-                obs.metrics,
-                crash_spec=crash_spec,
-            )
-            for cell_result in _collect_cells(records2).values():
-                cell_results[cell_result.cell_index] = cell_result
-
-    with obs.profiler.phase("finalize"):
-        merged_metrics: Dict[int, NodeMetrics] = {}
-        linear_rates: Dict[int, float] = {}
-        events = 0
-        peak = 0
-        packet_log = (
-            PacketLog(sample_nodes=config.effective_sample_nodes())
-            if config.record_packets
-            else None
-        )
-        for cell in sorted(cell_results):
-            result = cell_results[cell]
-            merged_metrics.update(result.metrics)
-            linear_rates.update(result.linear_rates)
-            events += result.events_executed
-            peak = max(peak, result.peak_heap)
-            if packet_log is not None and result.packet_log is not None:
-                packet_log.merge(result.packet_log)
-        metrics = NetworkMetrics(
-            nodes={nid: merged_metrics[nid] for nid in sorted(merged_metrics)}
-        )
-        metrics.publish(obs.metrics)
-        obs.metrics.counter(
-            "events_executed_total",
-            "Heap events executed by the mesoscopic sweep",
-        ).inc(events)
-        obs.metrics.gauge(
-            "event_queue_peak_depth",
-            "Peak depth of the period/resolve heap",
-        ).set(peak)
-        monthly = _merge_monthly(cell_results)
+            metrics.publish(obs.metrics)
+            obs.metrics.counter(
+                "events_executed_total",
+                "Heap events executed by the mesoscopic sweep",
+            ).inc(events)
+            obs.metrics.gauge(
+                "event_queue_peak_depth",
+                "Peak depth of the period/resolve heap",
+            ).set(peak)
+            obs.metrics.gauge(
+                "merge_peak_rows",
+                "Largest single-cell packet-log row count held in memory "
+                "during the lazy artifact merge",
+            ).set(merge_peak_rows)
+            monthly = _merge_monthly(monthly_parts)
+    finally:
+        if owns_spill:
+            shutil.rmtree(spill_root, ignore_errors=True)
 
     manifest = RunManifest(
         engine="mesoscopic-sharded",

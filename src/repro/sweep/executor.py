@@ -218,6 +218,7 @@ def execute_point(
     checkpoint_every_s: Optional[float] = None,
     resume_from: Optional[str] = None,
     trace_dir: Optional[str] = None,
+    transport=None,
 ) -> RunRecord:
     """Run one grid point to a :class:`RunRecord` (the worker function).
 
@@ -272,6 +273,8 @@ def execute_point(
             result = sim.run()
         elif engine == "exact":
             result = _sim.run_simulation(config)
+        elif transport is not None:
+            result = _sim.run_mesoscopic(config, transport=transport)
         else:
             result = _sim.run_mesoscopic(config)
         if engine == "meso":
@@ -669,6 +672,7 @@ def run_sweep(
     spec: Optional[Dict[str, object]] = None,
     on_record: Optional[Callable[[RunRecord], None]] = None,
     trace_dir: Optional[str] = None,
+    transport=None,
 ) -> SweepResult:
     """Execute every grid point and merge records in grid-index order.
 
@@ -684,9 +688,23 @@ def run_sweep(
     ``repro serve`` aggregator.  ``trace_dir`` turns on per-cell event
     tracing into ``<trace_dir>/run_<index>.jsonl`` (results stay
     bit-identical; only manifest trace bookkeeping is affected).
+
+    ``transport`` (a :class:`repro.dist.DistTransport`) leases every
+    point's shard cells to remote workers: points run serially in this
+    process — the parallelism lives across the worker fleet — so it is
+    incompatible with ``workers > 1``, ``timeout_s`` and ``crash_spec``
+    (per-cell retries and timeouts are the dist scheduler's job).
     """
     if engine not in ("meso", "exact"):
         raise ConfigurationError(f"unknown sweep engine {engine!r}")
+    if transport is not None and (
+        workers > 1 or timeout_s is not None or crash_spec is not None
+    ):
+        raise ConfigurationError(
+            "a dist transport runs points serially in-process; drop "
+            "--workers/--timeout (the dist scheduler handles per-cell "
+            "timeouts and retries)"
+        )
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
     if max_retries < 0:
@@ -702,7 +720,7 @@ def run_sweep(
     todo = [point for point in points if point.index not in by_index]
     interrupted = False
 
-    supervised = (
+    supervised = transport is None and (
         timeout_s is not None
         or crash_spec is not None
         or (workers > 1 and len(todo) > 1)
@@ -725,6 +743,7 @@ def run_sweep(
                     checkpoint_dir=run_dir,
                     checkpoint_every_s=checkpoint_every_s,
                     trace_dir=trace_dir,
+                    transport=transport,
                 )
             except SimulationInterrupted:
                 interrupted = True

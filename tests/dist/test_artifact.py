@@ -1,0 +1,162 @@
+"""Per-cell artifact round-trips, skim loads, and truncation detection.
+
+The artifact file is the placement-invariance contract's unit of
+exchange, so the round-trip tests use artifacts produced by a real
+sharded run (not synthetic fixtures) and check byte-level stability.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.constants import SECONDS_PER_DAY
+from repro.dist.artifact import (
+    CellArtifact,
+    artifact_complete,
+    iter_artifact_lines,
+    load_cell_artifact,
+    write_cell_artifact,
+)
+from repro.exceptions import DistProtocolError
+from repro.sim import SimulationConfig
+from repro.sim.sharded import run_sharded
+
+
+@pytest.fixture(scope="module")
+def spilled(tmp_path_factory):
+    """A real run's spill directory, with its artifacts left in place."""
+    spill = tmp_path_factory.mktemp("spill")
+    config = SimulationConfig(
+        node_count=12,
+        gateway_count=2,
+        shards=2,
+        duration_s=1 * SECONDS_PER_DAY,
+        period_range_s=(960.0, 1200.0),
+        radius_m=2000.0,
+        record_packets=True,
+        seed=11,
+    )
+    result = run_sharded(config, spill_dir=str(spill))
+    paths = sorted(
+        os.path.join(root, name)
+        for root, _dirs, names in os.walk(spill)
+        for name in names
+        if name.endswith(".jsonl")
+    )
+    assert paths, "run left no artifacts behind"
+    return result, paths
+
+
+class TestRoundTrip:
+    def test_artifacts_complete_and_loadable(self, spilled):
+        _result, paths = spilled
+        for path in paths:
+            assert artifact_complete(path)
+            artifact = load_cell_artifact(path)
+            assert artifact.metrics and artifact.events_executed > 0
+
+    def test_rewrite_is_byte_identical(self, spilled, tmp_path):
+        """load → write produces the same bytes: serialization is canonical."""
+        _result, paths = spilled
+        for path in paths:
+            artifact = load_cell_artifact(path)
+            copy = str(tmp_path / os.path.basename(path))
+            write_cell_artifact(copy, artifact)
+            with open(path, "rb") as a, open(copy, "rb") as b:
+                assert a.read() == b.read()
+
+    def test_skim_skips_bulk_but_keeps_meta(self, spilled):
+        _result, paths = spilled
+        full = load_cell_artifact(paths[0])
+        skim = load_cell_artifact(paths[0], skim=True)
+        assert skim.cell_index == full.cell_index
+        assert skim.events_executed == full.events_executed
+        assert skim.metrics == {}
+        if full.packet_log is not None:
+            # The log header (counters) survives a skim; the rows don't.
+            assert len(skim.packet_log) == 0
+            assert skim.packet_log.generated == full.packet_log.generated
+        if full.intent_windows is not None:
+            np.testing.assert_array_equal(
+                skim.intent_windows, full.intent_windows
+            )
+
+    def test_intent_nan_offsets_survive(self, tmp_path):
+        artifact = CellArtifact(
+            cell_index=7,
+            round_no=1,
+            events_executed=3,
+            peak_heap=10,
+            metrics={},
+            monthly=[],
+            linear_rates={},
+            packet_log=None,
+            intent_windows=np.array([5, 6, 7], dtype=np.int64),
+            intent_nodes=np.array([1, 2, 3], dtype=np.int64),
+            intent_offsets=np.array([0.25, float("nan"), -1.5]),
+        )
+        path = str(tmp_path / "cell.jsonl")
+        write_cell_artifact(path, artifact)
+        loaded = load_cell_artifact(path)
+        np.testing.assert_array_equal(loaded.intent_windows, artifact.intent_windows)
+        assert np.isnan(loaded.intent_offsets[1])
+        assert loaded.intent_offsets[0] == 0.25
+        assert loaded.intent_offsets[2] == -1.5
+
+
+class TestTruncationDetection:
+    def _copy_without_last_lines(self, src, dst, drop):
+        lines = list(iter_artifact_lines(src))
+        with open(dst, "w", encoding="utf-8") as handle:
+            for line in lines[: len(lines) - drop]:
+                handle.write(line + "\n")
+
+    def test_missing_end_marker_detected(self, spilled, tmp_path):
+        _result, paths = spilled
+        torn = str(tmp_path / "torn.jsonl")
+        self._copy_without_last_lines(paths[0], torn, drop=1)
+        assert not artifact_complete(torn)
+        with pytest.raises(DistProtocolError):
+            load_cell_artifact(torn)
+
+    def test_dropped_middle_line_detected(self, spilled, tmp_path):
+        _result, paths = spilled
+        lines = list(iter_artifact_lines(paths[0]))
+        torn = str(tmp_path / "short.jsonl")
+        with open(torn, "w", encoding="utf-8") as handle:
+            for line in lines[:1] + lines[2:]:  # keep end marker, drop one
+                handle.write(line + "\n")
+        assert not artifact_complete(torn)
+        with pytest.raises(DistProtocolError):
+            load_cell_artifact(torn)
+
+    def test_missing_file_is_incomplete(self, tmp_path):
+        assert not artifact_complete(str(tmp_path / "nope.jsonl"))
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        lines = [
+            json.dumps({"kind": "meta", "cell": 0, "round": 1,
+                        "events": 1, "peak_heap": 1}),
+            json.dumps({"kind": "mystery"}),
+            json.dumps({"kind": "end", "lines": 2}),
+        ]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(DistProtocolError):
+            load_cell_artifact(path)
+
+    def test_pkt_before_log_header_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        lines = [
+            json.dumps({"kind": "meta", "cell": 0, "round": 1,
+                        "events": 1, "peak_heap": 1}),
+            json.dumps({"kind": "pkt", "rows": []}),
+            json.dumps({"kind": "end", "lines": 2}),
+        ]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(DistProtocolError):
+            load_cell_artifact(path)

@@ -1,0 +1,233 @@
+"""Wire-level tests for the dist protocol: framing and handshakes.
+
+These run against real sockets (socketpairs for the codec, a live
+:class:`DistServer` for the handshake paths) because the failure modes
+under test — torn frames, hostile length prefixes, version skew — are
+properties of bytes on a wire, not of Python objects.
+"""
+
+import socket
+
+import pytest
+
+from repro.dist.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_frame,
+    pack_blob,
+    recv_frame,
+    send_frame,
+    unpack_blob,
+    _LEN,
+)
+from repro.dist.coordinator import DistServer
+from repro.exceptions import DistProtocolError
+
+
+class TestFrameCodec:
+    def test_round_trip_preserves_floats_and_nan(self):
+        payload = {
+            "type": "x",
+            "f": 0.1 + 0.2,
+            "nan": float("nan"),
+            "neg": -1.5e-300,
+        }
+        decoder = FrameDecoder()
+        (frame,) = decoder.feed(encode_frame(payload))
+        assert frame["f"] == 0.1 + 0.2
+        assert frame["nan"] != frame["nan"]  # NaN survives
+        assert frame["neg"] == -1.5e-300
+
+    def test_decoder_reassembles_byte_by_byte(self):
+        frames = [{"type": "a", "i": 1}, {"type": "b", "i": 2}]
+        wire = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        seen = []
+        for i in range(len(wire)):
+            seen.extend(decoder.feed(wire[i : i + 1]))
+        assert seen == frames
+        assert decoder.at_boundary
+
+    def test_at_boundary_false_mid_frame(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame({"type": "a"})[:3])
+        assert not decoder.at_boundary
+
+    def test_hostile_length_prefix_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(DistProtocolError):
+            decoder.feed(_LEN.pack(MAX_FRAME_BYTES + 1))
+
+    def test_non_object_body_rejected(self):
+        body = b"[1,2,3]"
+        decoder = FrameDecoder()
+        with pytest.raises(DistProtocolError):
+            decoder.feed(_LEN.pack(len(body)) + body)
+
+    def test_body_without_type_rejected(self):
+        body = b'{"no_type": 1}'
+        decoder = FrameDecoder()
+        with pytest.raises(DistProtocolError):
+            decoder.feed(_LEN.pack(len(body)) + body)
+
+
+class TestBlockingSockets:
+    def _pair(self):
+        left, right = socket.socketpair()
+        left.settimeout(5.0)
+        right.settimeout(5.0)
+        return left, right
+
+    def test_send_recv_round_trip(self):
+        left, right = self._pair()
+        try:
+            send_frame(left, {"type": "ping", "n": 1})
+            send_frame(left, {"type": "ping", "n": 2})
+            assert recv_frame(right) == {"type": "ping", "n": 1}
+            assert recv_frame(right) == {"type": "ping", "n": 2}
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_returns_none(self):
+        left, right = self._pair()
+        left.close()
+        try:
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_torn_header_raises(self):
+        left, right = self._pair()
+        left.sendall(encode_frame({"type": "x"})[:2])
+        left.close()
+        try:
+            with pytest.raises(DistProtocolError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_torn_body_raises(self):
+        left, right = self._pair()
+        wire = encode_frame({"type": "x", "pad": "y" * 64})
+        left.sendall(wire[:-10])
+        left.close()
+        try:
+            with pytest.raises(DistProtocolError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_announcement_raises(self):
+        left, right = self._pair()
+        left.sendall(_LEN.pack(MAX_FRAME_BYTES + 1))
+        try:
+            with pytest.raises(DistProtocolError):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestBlobs:
+    def test_round_trip(self):
+        obj = {"cells": [1, 2], "nested": (3, 4.5)}
+        assert unpack_blob(pack_blob(obj)) == obj
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DistProtocolError):
+            unpack_blob("not!base64!!")
+
+
+def _dial(server):
+    sock = socket.create_connection(
+        ("127.0.0.1", server.bound_port), timeout=5.0
+    )
+    sock.settimeout(5.0)
+    return sock
+
+
+def _pump(server, rounds=10):
+    events = []
+    for _ in range(rounds):
+        events.extend(server.poll(0.05))
+    return events
+
+
+class TestHandshake:
+    def test_version_mismatch_rejected(self):
+        with DistServer() as server:
+            sock = _dial(server)
+            try:
+                send_frame(
+                    sock,
+                    {"type": "hello", "version": 99, "name": "w", "slots": 1},
+                )
+                _pump(server)
+                frame = recv_frame(sock)
+                assert frame["type"] == "reject"
+                assert "version" in frame["reason"]
+                assert recv_frame(sock) is None  # connection closed
+                assert server.workers == []
+            finally:
+                sock.close()
+
+    def test_config_hash_mismatch_rejected(self):
+        with DistServer() as server:
+            server.set_config_hash("aaaa1111")
+            sock = _dial(server)
+            try:
+                send_frame(
+                    sock,
+                    {
+                        "type": "hello",
+                        "version": PROTOCOL_VERSION,
+                        "name": "w",
+                        "slots": 1,
+                        "config_hash": "bbbb2222",
+                    },
+                )
+                _pump(server)
+                frame = recv_frame(sock)
+                assert frame["type"] == "reject"
+                assert "config hash" in frame["reason"]
+                assert server.workers == []
+            finally:
+                sock.close()
+
+    def test_matching_hello_welcomed(self):
+        with DistServer() as server:
+            server.set_config_hash("aaaa1111")
+            sock = _dial(server)
+            try:
+                send_frame(
+                    sock,
+                    {
+                        "type": "hello",
+                        "version": PROTOCOL_VERSION,
+                        "name": "w1",
+                        "slots": 3,
+                        "config_hash": "aaaa1111",
+                    },
+                )
+                _pump(server)
+                frame = recv_frame(sock)
+                assert frame["type"] == "welcome"
+                assert frame["version"] == PROTOCOL_VERSION
+                assert frame["config_hash"] == "aaaa1111"
+                (worker,) = server.workers
+                assert worker.name == "w1" and worker.slots == 3
+            finally:
+                sock.close()
+
+    def test_non_hello_first_frame_rejected(self):
+        with DistServer() as server:
+            sock = _dial(server)
+            try:
+                send_frame(sock, {"type": "heartbeat"})
+                _pump(server)
+                frame = recv_frame(sock)
+                assert frame["type"] == "reject"
+            finally:
+                sock.close()

@@ -1,0 +1,359 @@
+"""DistScheduler fault paths, driven by scripted socket clients.
+
+A "worker" here is a plain blocking socket speaking the wire protocol
+from a test thread; artifacts are fabricated two-line JSONL files (meta
++ end marker), which the coordinator verifies exactly like real ones.
+This makes the failure scripts — go silent, finish late, complete
+twice, always fail — deterministic without simulating anything.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.dist.coordinator import DistScheduler, DistServer
+from repro.dist.protocol import PROTOCOL_VERSION, recv_frame, send_frame
+from repro.exceptions import SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.sharded import RoundRequest
+
+from tests.sim.test_sharded import sharded_config
+
+
+def _dump(obj):
+    return json.dumps(obj, separators=(",", ":"))
+
+
+def make_request(tmp_path, cells=(0, 1)):
+    """A round request whose lease blobs no scripted worker will open."""
+    return RoundRequest(
+        round_no=1,
+        config=sharded_config(shards=len(cells)),
+        cell_ids=list(cells),
+        placements_by_cell={c: None for c in cells},
+        export_by_cell={},
+        foreign_by_cell={},
+        spill_by_cell={c: str(tmp_path / f"cell_{c}.jsonl") for c in cells},
+        ckpt_by_cell={},
+        shard_count=len(cells),
+        registry=MetricsRegistry(),
+    )
+
+
+def artifact_lines_for(lease):
+    meta = _dump(
+        {
+            "kind": "meta",
+            "cell": lease["cell"],
+            "round": lease["round"],
+            "events": 1 + lease["cell"],
+            "peak_heap": 1,
+        }
+    )
+    return [meta, _dump({"kind": "end", "lines": 1})]
+
+
+class ScriptClient:
+    """One scripted worker connection (blocking socket + send lock)."""
+
+    def __init__(self, server, name, slots=1):
+        self.sock = socket.create_connection(
+            ("127.0.0.1", server.bound_port), timeout=30.0
+        )
+        self.sock.settimeout(30.0)
+        self.name = name
+        self._send_lock = threading.Lock()
+        self._stop_heartbeats = threading.Event()
+        self.send(
+            {
+                "type": "hello",
+                "version": PROTOCOL_VERSION,
+                "name": name,
+                "slots": slots,
+            }
+        )
+        assert self.recv()["type"] == "welcome"
+
+    def send(self, payload):
+        with self._send_lock:
+            send_frame(self.sock, payload)
+
+    def recv(self):
+        return recv_frame(self.sock)
+
+    def start_heartbeats(self, every_s=0.3):
+        def beat():
+            while not self._stop_heartbeats.wait(every_s):
+                try:
+                    self.send({"type": "heartbeat", "name": self.name})
+                except OSError:
+                    return
+
+        threading.Thread(target=beat, daemon=True).start()
+
+    def complete(self, lease):
+        for line in artifact_lines_for(lease):
+            self.send(
+                {
+                    "type": "cell_chunk",
+                    "lease_id": lease["lease_id"],
+                    "lines": [line],
+                }
+            )
+        self.send(
+            {
+                "type": "cell_done",
+                "lease_id": lease["lease_id"],
+                "status": "ok",
+            }
+        )
+
+    def close(self):
+        self._stop_heartbeats.set()
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def _thread(fn):
+    thread = threading.Thread(target=fn, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestHeartbeatRedispatch:
+    def test_silent_worker_redispatched_late_frames_discarded(self, tmp_path):
+        """A worker that stops heartbeating loses its lease; the cell is
+        re-dispatched and the silent worker's late (and any duplicate)
+        completions are discarded without corrupting the outcome."""
+        request = make_request(tmp_path, cells=(0, 1))
+        late_sent = threading.Event()
+        errors = []
+
+        with DistServer() as server:
+
+            def silent_script():
+                try:
+                    client = ScriptClient(server, "silent", slots=1)
+                    lease = None
+                    while lease is None:
+                        frame = client.recv()
+                        if frame is None:
+                            return
+                        if frame["type"] == "lease":
+                            lease = frame
+                    # No heartbeats: go silent past the staleness cutoff,
+                    # then finish anyway — the revoked lease's frames
+                    # must be discarded.
+                    time.sleep(2.5)
+                    client.complete(lease)
+                    late_sent.set()
+                    while True:
+                        frame = client.recv()
+                        if frame is None or frame["type"] == "shutdown":
+                            return
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(("silent", exc))
+                finally:
+                    late_sent.set()
+
+            def good_script():
+                try:
+                    time.sleep(0.3)  # connect second: silent gets cell 0
+                    client = ScriptClient(server, "good", slots=2)
+                    client.start_heartbeats()
+                    held = []
+                    while len(held) < 2:
+                        frame = client.recv()
+                        if frame is None:
+                            return
+                        if frame["type"] == "lease":
+                            held.append(frame)
+                    redispatched = [f for f in held if f["attempt"] == 2]
+                    assert redispatched, "expected a re-dispatched lease"
+                    late_sent.wait(30.0)
+                    time.sleep(0.5)  # let the late frames be ingested
+                    first, second = held
+                    client.complete(first)
+                    # Duplicate completion for an already-finished lease:
+                    # must be idempotent (discarded), not double-counted.
+                    client.send(
+                        {
+                            "type": "cell_done",
+                            "lease_id": first["lease_id"],
+                            "status": "ok",
+                        }
+                    )
+                    client.complete(second)
+                    while True:
+                        frame = client.recv()
+                        if frame is None or frame["type"] == "shutdown":
+                            return
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(("good", exc))
+
+            threads = [_thread(silent_script), _thread(good_script)]
+            scheduler = DistScheduler(
+                server,
+                request,
+                min_workers=2,
+                max_retries=3,
+                heartbeat_timeout_s=1.0,
+            )
+            outcomes = scheduler.run()
+            server.shutdown()
+            for thread in threads:
+                thread.join(timeout=30.0)
+
+        assert errors == []
+        assert sorted(outcomes) == [0, 1]
+        assert outcomes[0].events_executed == 1
+        assert outcomes[1].events_executed == 2
+        text = request.registry.to_prometheus()
+        assert 'status="redispatched"' in text
+        assert 'status="discarded"' in text
+        assert 'status="resumed"' in text
+
+    def test_lease_deadline_redispatches(self, tmp_path):
+        """timeout_s bounds one cell attempt even with live heartbeats."""
+        request = make_request(tmp_path, cells=(0,))
+        errors = []
+
+        with DistServer() as server:
+
+            def sitter_script():
+                # Heartbeats forever, never finishes its lease.
+                try:
+                    client = ScriptClient(server, "sitter", slots=1)
+                    client.start_heartbeats()
+                    while True:
+                        frame = client.recv()
+                        if frame is None or frame["type"] == "shutdown":
+                            return
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(("sitter", exc))
+
+            def finisher_script():
+                try:
+                    time.sleep(0.3)
+                    client = ScriptClient(server, "finisher", slots=1)
+                    client.start_heartbeats()
+                    while True:
+                        frame = client.recv()
+                        if frame is None or frame["type"] == "shutdown":
+                            return
+                        if frame["type"] == "lease":
+                            client.complete(frame)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(("finisher", exc))
+
+            threads = [_thread(sitter_script), _thread(finisher_script)]
+            scheduler = DistScheduler(
+                server,
+                request,
+                min_workers=2,
+                timeout_s=1.0,
+                max_retries=3,
+            )
+            outcomes = scheduler.run()
+            server.shutdown()
+            for thread in threads:
+                thread.join(timeout=30.0)
+
+        assert errors == []
+        assert sorted(outcomes) == [0]
+        assert 'status="redispatched"' in request.registry.to_prometheus()
+
+
+class TestTerminalFailure:
+    def test_attempts_exhausted_raises(self, tmp_path):
+        request = make_request(tmp_path, cells=(0,))
+        errors = []
+
+        with DistServer() as server:
+
+            def failing_script():
+                try:
+                    client = ScriptClient(server, "faily", slots=1)
+                    client.start_heartbeats()
+                    while True:
+                        frame = client.recv()
+                        if frame is None or frame["type"] == "shutdown":
+                            return
+                        if frame["type"] == "lease":
+                            client.send(
+                                {
+                                    "type": "cell_done",
+                                    "lease_id": frame["lease_id"],
+                                    "status": "failed",
+                                    "error": "scripted failure",
+                                }
+                            )
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(("faily", exc))
+
+            thread = _thread(failing_script)
+            scheduler = DistScheduler(
+                server, request, min_workers=1, max_retries=1
+            )
+            with pytest.raises(SimulationError, match="scripted failure"):
+                scheduler.run()
+            server.shutdown()
+            thread.join(timeout=30.0)
+
+        assert errors == []
+        assert 'status="failed"' in request.registry.to_prometheus()
+
+
+class TestCachedCells:
+    def test_complete_spill_files_are_not_redispatched(self, tmp_path):
+        request = make_request(tmp_path, cells=(0, 1))
+        # Cell 0's artifact already sits at its spill path (a previous
+        # attempt, or a resumed run): it must be loaded, not leased.
+        lines = [
+            _dump(
+                {
+                    "kind": "meta",
+                    "cell": 0,
+                    "round": 1,
+                    "events": 41,
+                    "peak_heap": 1,
+                }
+            ),
+        ]
+        lines.append(_dump({"kind": "end", "lines": 1}))
+        with open(request.spill_by_cell[0], "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        leased_cells = []
+        errors = []
+
+        with DistServer() as server:
+
+            def script():
+                try:
+                    client = ScriptClient(server, "w", slots=2)
+                    client.start_heartbeats()
+                    while True:
+                        frame = client.recv()
+                        if frame is None or frame["type"] == "shutdown":
+                            return
+                        if frame["type"] == "lease":
+                            leased_cells.append(frame["cell"])
+                            client.complete(frame)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(("w", exc))
+
+            thread = _thread(script)
+            scheduler = DistScheduler(server, request, min_workers=1)
+            outcomes = scheduler.run()
+            server.shutdown()
+            thread.join(timeout=30.0)
+
+        assert errors == []
+        assert leased_cells == [1]
+        assert outcomes[0].events_executed == 41
+        assert 'status="cached"' in request.registry.to_prometheus()

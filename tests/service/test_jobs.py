@@ -188,3 +188,172 @@ class TestFinalState:
             cancel_requested=cancelled,
         )
         assert manager._final_state(job, exit_code) == expected
+
+
+class TestDistSpec:
+    def test_dist_block_normalizes_with_defaults(self):
+        spec = validate_spec(
+            {"kind": "simulate", "shards": 4, "dist": {}}
+        )
+        assert spec["dist"] == {"listen": "127.0.0.1:0", "min_workers": 1}
+
+    def test_dist_block_keeps_explicit_values(self):
+        spec = validate_spec(
+            {
+                "kind": "sweep",
+                "gateways": 2,
+                "shards": 2,
+                "dist": {"listen": "0.0.0.0:7070", "min_workers": 3},
+            }
+        )
+        assert spec["dist"] == {"listen": "0.0.0.0:7070", "min_workers": 3}
+
+    def test_dist_requires_shards(self):
+        with pytest.raises(HttpError) as excinfo:
+            validate_spec({"kind": "simulate", "dist": {}})
+        assert "shards" in excinfo.value.message
+
+    def test_dist_requires_meso_engine(self):
+        with pytest.raises(HttpError) as excinfo:
+            validate_spec(
+                {"kind": "simulate", "engine": "exact", "shards": 2, "dist": {}}
+            )
+        assert "meso" in excinfo.value.message
+
+    def test_dist_rejects_bad_listen(self):
+        with pytest.raises(HttpError):
+            validate_spec(
+                {"kind": "simulate", "shards": 2, "dist": {"listen": "nope"}}
+            )
+
+    def test_dist_rejects_unknown_keys(self):
+        with pytest.raises(HttpError) as excinfo:
+            validate_spec(
+                {"kind": "simulate", "shards": 2, "dist": {"port": 7070}}
+            )
+        assert "port" in excinfo.value.message
+
+    def test_dist_rejects_bad_min_workers(self):
+        with pytest.raises(HttpError):
+            validate_spec(
+                {"kind": "simulate", "shards": 2, "dist": {"min_workers": 0}}
+            )
+
+    def test_sweep_dist_incompatible_with_workers(self):
+        with pytest.raises(HttpError) as excinfo:
+            validate_spec({"kind": "sweep", "shards": 2, "workers": 2, "dist": {}})
+        assert "incompatible" in excinfo.value.message
+
+    def test_dist_maps_to_cli_flags(self, tmp_path):
+        manager = JobManager(str(tmp_path))
+        directory = os.path.join(manager.runs_dir, "run-0001")
+        os.makedirs(directory, exist_ok=True)
+        job = Job(
+            run_id="run-0001",
+            spec=validate_spec(
+                {
+                    "kind": "simulate",
+                    "shards": 2,
+                    "dist": {"listen": "127.0.0.1:7171", "min_workers": 2},
+                }
+            ),
+            directory=directory,
+        )
+        text = " ".join(manager._argv(job))
+        assert "--shards 2" in text
+        assert "--dist-listen 127.0.0.1:7171" in text
+        assert "--min-workers 2" in text
+
+
+class TestQueueLimit:
+    def _queued_job(self, manager, run_id):
+        directory = os.path.join(manager.runs_dir, run_id)
+        os.makedirs(directory, exist_ok=True)
+        job = Job(
+            run_id=run_id,
+            spec=validate_spec({"kind": "sweep"}),
+            directory=directory,
+        )
+        manager.jobs[run_id] = job
+        manager._order.append(run_id)
+        return job
+
+    def test_full_queue_with_busy_slots_is_429(self, tmp_path):
+        manager = JobManager(str(tmp_path), max_parallel=1, max_queued=1)
+        self._queued_job(manager, "run-0001").state = "running"
+        self._queued_job(manager, "run-0002")  # fills the queue
+        with pytest.raises(HttpError) as excinfo:
+            manager.submit({"kind": "sweep"})
+        assert excinfo.value.status == 429
+        assert "queue" in excinfo.value.message
+
+    def test_spare_run_capacity_is_never_refused(self, tmp_path):
+        # Nothing running: the submission starts immediately, so even a
+        # max_queued of 0 must not refuse it.
+        manager = JobManager(str(tmp_path), max_parallel=1, max_queued=0)
+        import asyncio
+
+        async def _submit():
+            job = manager.submit({"kind": "simulate", "nodes": 4, "days": 0.01})
+            return job
+
+        loop = asyncio.new_event_loop()
+        try:
+            job = loop.run_until_complete(_submit())
+            assert job.state == "running"
+        finally:
+            loop.run_until_complete(manager.shutdown())
+            loop.close()
+
+
+class TestDelete:
+    def _job(self, manager, run_id, state):
+        directory = os.path.join(manager.runs_dir, run_id)
+        os.makedirs(directory, exist_ok=True)
+        job = Job(
+            run_id=run_id,
+            spec=validate_spec({"kind": "sweep"}),
+            directory=directory,
+            state=state,
+        )
+        manager.jobs[run_id] = job
+        manager._order.append(run_id)
+        return job
+
+    def test_delete_queued_removes_record_and_directory(self, tmp_path):
+        import asyncio
+
+        manager = JobManager(str(tmp_path))
+        job = self._job(manager, "run-0001", "queued")
+        summary = asyncio.run(manager.delete("run-0001"))
+        assert summary["state"] == "cancelled"
+        assert "run-0001" not in manager.jobs
+        assert manager.list() == []
+        assert not os.path.exists(job.directory)
+
+    def test_delete_running_without_cancel_is_409(self, tmp_path):
+        import asyncio
+
+        manager = JobManager(str(tmp_path))
+        self._job(manager, "run-0001", "running")
+        with pytest.raises(HttpError) as excinfo:
+            asyncio.run(manager.delete("run-0001"))
+        assert excinfo.value.status == 409
+        assert "cancel=1" in excinfo.value.message
+        assert "run-0001" in manager.jobs  # untouched
+
+    def test_delete_completed_removes_directory(self, tmp_path):
+        import asyncio
+
+        manager = JobManager(str(tmp_path))
+        job = self._job(manager, "run-0001", "completed")
+        asyncio.run(manager.delete("run-0001"))
+        assert not os.path.exists(job.directory)
+
+    def test_delete_unknown_run_is_404(self, tmp_path):
+        import asyncio
+
+        manager = JobManager(str(tmp_path))
+        with pytest.raises(HttpError) as excinfo:
+            asyncio.run(manager.delete("run-9999"))
+        assert excinfo.value.status == 404

@@ -50,8 +50,9 @@ def _request(port, method, path, payload=None, timeout=20):
 class _Service:
     """A ``repro serve`` child on an ephemeral port."""
 
-    def __init__(self, data_dir):
+    def __init__(self, data_dir, extra_args=()):
         self.data_dir = str(data_dir)
+        self.extra_args = list(extra_args)
         self.port = None
         self.process = None
 
@@ -65,7 +66,7 @@ class _Service:
             [
                 sys.executable, "-m", "repro", "serve",
                 "--port", "0", "--data-dir", self.data_dir,
-            ],
+            ] + self.extra_args,
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
@@ -265,3 +266,58 @@ class TestCancellation:
             ]
             assert len(completed) >= done
             assert report["interrupted"] is True
+
+
+class TestDeleteAndQueueLimit:
+    def test_delete_and_backpressure(self, tmp_path):
+        """One service exercises the whole lifecycle: a full queue turns
+        submissions into 429s, DELETE refuses a running run without
+        ``?cancel=1``, and deletion removes both the record and the
+        directory."""
+        with _Service(
+            tmp_path / "svc", extra_args=["--max-queued", "1"]
+        ) as service:
+            # Run A occupies the single run slot for a while.
+            long_spec = dict(SPEC, nodes=40, days=20.0, seed_list=[1, 2, 3])
+            status, body = _request(service.port, "POST", "/runs", long_spec)
+            assert status == 201
+            run_a = json.loads(body)["run_id"]
+            # Run B fills the queue (limit 1).
+            status, body = _request(service.port, "POST", "/runs", SPEC)
+            assert status == 201
+            run_b = json.loads(body)["run_id"]
+            # Run C would have to wait behind a full queue: 429 with a
+            # JSON error document.
+            status, body = _request(service.port, "POST", "/runs", SPEC)
+            assert status == 429
+            error = json.loads(body)
+            assert "queue" in error["error"]
+
+            # Deleting queued run B frees the queue slot.
+            status, body = _request(service.port, "DELETE", f"/runs/{run_b}")
+            assert status == 200, body
+            assert json.loads(body)["deleted"] == run_b
+            status, _ = _request(service.port, "GET", f"/runs/{run_b}")
+            assert status == 404
+            assert not os.path.exists(
+                os.path.join(service.data_dir, "runs", run_b)
+            )
+            status, _ = _request(service.port, "POST", "/runs", SPEC)
+            assert status == 201
+
+            # Running run A: refused without ?cancel=1, removed with it.
+            status, body = _request(service.port, "DELETE", f"/runs/{run_a}")
+            assert status == 409
+            assert "cancel=1" in json.loads(body)["error"]
+            status, body = _request(
+                service.port,
+                "DELETE",
+                f"/runs/{run_a}?cancel=1",
+                timeout=60,
+            )
+            assert status == 200, body
+            status, _ = _request(service.port, "GET", f"/runs/{run_a}")
+            assert status == 404
+            assert not os.path.exists(
+                os.path.join(service.data_dir, "runs", run_a)
+            )
