@@ -211,6 +211,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="checkpoint cadence in days (default 1 with --checkpoint-dir)",
     )
     simulate.add_argument(
+        "--profile-hot",
+        action="store_true",
+        dest="profile_hot",
+        help=(
+            "time every hot-loop kernel invocation and print the ranked "
+            "per-kernel table (counters also land in --metrics-out)"
+        ),
+    )
+    simulate.add_argument(
+        "--no-exact-batched",
+        action="store_false",
+        dest="exact_batched",
+        help=(
+            "drain the exact engine's event heap one event at a time "
+            "instead of the (identical) batched same-instant fast path"
+        ),
+    )
+    simulate.add_argument(
         "--json",
         action="store_true",
         dest="as_json",
@@ -517,6 +535,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         trace=getattr(args, "trace", False),
         trace_path=getattr(args, "trace_out", None),
         vectorized=getattr(args, "vectorized", True),
+        exact_batched=getattr(args, "exact_batched", True),
         trace_categories=(
             None
             if categories is None
@@ -613,6 +632,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         except (ConfigurationError, OSError) as exc:
             print(f"cannot listen for workers: {exc}", file=sys.stderr)
             return 2
+    profile_hot = getattr(args, "profile_hot", False)
+    prof = kernel_backend_name = None
+    if profile_hot:
+        from .kernels import backend as _kernel_backend
+        from .obs import hot_profiler
+
+        kernel_backend_name = _kernel_backend()
+        prof = hot_profiler()
+        prof.reset()
+        prof.enable()
     _interrupt.install()
     try:
         if engine == "exact":
@@ -628,6 +657,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except SimulationInterrupted as exc:
         return _interrupted_exit(exc)
     finally:
+        if prof is not None:
+            prof.disable()
         if server is not None:
             server.shutdown()
 
@@ -637,6 +668,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         manifest_out = _default_manifest_path(args.trace_out)
     if manifest_out is not None and manifest is not None:
         manifest.write(manifest_out)
+    if prof is not None and result.obs is not None:
+        # The per-kernel counters ride along in the registry export.
+        prof.publish(result.obs.metrics, kernel_backend_name)
     if args.metrics_out is not None and result.obs is not None:
         _write_metrics(args.metrics_out, result.obs.metrics)
 
@@ -658,6 +692,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             payload["manifest"] = manifest.to_dict()
         if manifest_out is not None:
             payload["manifest_path"] = manifest_out
+        if prof is not None:
+            payload["hot_kernels"] = {
+                "backend": kernel_backend_name,
+                "kernels": prof.stats,
+            }
         print(json.dumps(payload, sort_keys=True))
         return 0
 
@@ -680,6 +719,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"  {'wall_s':28s} {manifest.wall_s:.6g}")
         if manifest.sim_s_per_wall_s:
             print(f"  {'sim_s_per_wall_s':28s} {manifest.sim_s_per_wall_s:.6g}")
+    if prof is not None:
+        print(prof.render_table(kernel_backend_name))
     if args.trace_out is not None:
         print(f"trace written to {args.trace_out}")
     if manifest_out is not None:

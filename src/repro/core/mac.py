@@ -32,9 +32,11 @@ from .estimators import EwmaTxEnergyEstimator, RetransmissionEstimator
 from .utility import LinearUtility, UtilityFunction
 from .window_selection import (
     BatchWindowDecision,
+    MixedBatchWindowDecision,
     WindowDecision,
     WindowSelector,
     score_windows_batch,
+    score_windows_mixed,
 )
 
 #: LoRaWAN caps confirmed-uplink retries; "8 retransmissions (maximum
@@ -464,6 +466,57 @@ def batch_choose_windows(
         weights,
         green,
         est,
+        max_tx_energy_j=selector.max_tx_energy_j,
+        soc_cap_j=caps,
+        w_b=selector.w_b,
+        utility_fn=selector.utility_fn,
+    )
+
+
+def batch_choose_windows_mixed(
+    macs: Sequence[BatteryLifespanAwareMac],
+    battery_energies_j: np.ndarray,
+    green_matrix: np.ndarray,
+    nominal_tx_energies_j: Sequence[float],
+    counts: Sequence[int],
+    now_s: float,
+) -> MixedBatchWindowDecision:
+    """:func:`batch_choose_windows` for rows with different ``|T|``.
+
+    ``green_matrix`` is padded to the widest count; ``counts[i]`` is
+    node ``i``'s real window count.  Row ``i``'s decision is
+    bit-identical to the scalar :meth:`~BatteryLifespanAwareMac.choose_window`
+    with ``counts[i]`` windows — the per-window retransmission
+    multipliers are pure per-index statistics (a wider slice of the
+    same cached array), and :func:`score_windows_mixed` masks the pad
+    columns infeasible.  Estimator side effects happen in batch order,
+    as the scalar pop order would.
+    """
+    if not macs:
+        raise ConfigurationError("at least one MAC is required")
+    green = np.asarray(green_matrix, dtype=np.float64)
+    if green.ndim != 2 or green.shape[0] != len(macs):
+        raise ConfigurationError("green_matrix must be (len(macs), windows)")
+    n, windows = green.shape
+    est = np.empty((n, windows))
+    weights = np.empty(n)
+    caps = np.empty(n)
+    for i, mac in enumerate(macs):
+        estimator = mac._energy_estimator
+        if estimator.estimate_j == 0.0:
+            estimator.reset(nominal_tx_energies_j[i])
+        est[i] = estimator.estimate_j * mac._retx_estimator.window_energy_multipliers(
+            windows
+        )
+        weights[i] = mac.effective_degradation(now_s)
+        caps[i] = mac._selector.soc_cap_j
+    selector = macs[0]._selector
+    return score_windows_mixed(
+        battery_energies_j,
+        weights,
+        green,
+        est,
+        counts,
         max_tx_energy_j=selector.max_tx_energy_j,
         soc_cap_j=caps,
         w_b=selector.w_b,

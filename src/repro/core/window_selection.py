@@ -26,13 +26,42 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
 from .dif import degradation_impact_factor, dif_batch
 from .utility import LinearUtility, UtilityFunction, utilities_vector
+
+#: Cache of per-(utility function, |T|) utility vectors.  Utility
+#: functions are frozen dataclasses (hashable by value) and the vector
+#: is a pure function of (fn, |T|), so entries never go stale.
+_UTILITY_CACHE: Dict[Tuple[UtilityFunction, int], np.ndarray] = {}
+_UTILITY_CACHE_LIMIT = 4096
+
+
+def cached_utilities_vector(
+    utility_fn: UtilityFunction, windows_per_period: int
+) -> np.ndarray:
+    """Memoized :func:`repro.core.utility.utilities_vector`.
+
+    Returns a read-only array shared across calls — callers must not
+    mutate it.
+    """
+    key = (utility_fn, windows_per_period)
+    try:
+        vec = _UTILITY_CACHE.get(key)
+    except TypeError:
+        # Unhashable custom utility function: skip memoization.
+        return utilities_vector(utility_fn, windows_per_period)
+    if vec is None:
+        vec = utilities_vector(utility_fn, windows_per_period)
+        vec.setflags(write=False)
+        if len(_UTILITY_CACHE) >= _UTILITY_CACHE_LIMIT:
+            _UTILITY_CACHE.clear()
+        _UTILITY_CACHE[key] = vec
+    return vec
 
 
 @dataclass(frozen=True)
@@ -241,7 +270,7 @@ def score_windows_batch(
         raise ConfigurationError("normalized degradation must be in [0, 1]")
 
     # Lines 2-6: the Eq. (17) objective, whole matrix at once.
-    utilities = utilities_vector(utility_fn or LinearUtility(), windows)
+    utilities = cached_utilities_vector(utility_fn or LinearUtility(), windows)
     difs = dif_batch(est, green, max_tx_energy_j)
     scores = (1.0 - utilities)[None, :] + (w[:, None] * difs) * w_b
 
@@ -263,6 +292,114 @@ def score_windows_batch(
     chosen = np.where(feasible, scores, np.inf).argmin(axis=1)
     window_index = np.where(success, chosen, -1)
     return BatchWindowDecision(
+        success=success,
+        window_index=window_index,
+        utilities=utilities,
+        scores=scores,
+        difs=difs,
+    )
+
+
+@dataclass(frozen=True)
+class MixedBatchWindowDecision:
+    """Algorithm 1 outcomes for rows with *per-row* window counts.
+
+    Rows are padded to the widest ``|T|``; ``utilities`` is the full
+    ``(N, T_max)`` matrix (row ``i`` holds ``fn(t, counts[i])`` for
+    ``t < counts[i]`` and 0 beyond), and columns at or past a row's
+    count were masked infeasible before selection.
+    """
+
+    success: np.ndarray
+    window_index: np.ndarray
+    utilities: np.ndarray
+    scores: np.ndarray
+    difs: np.ndarray
+
+    def chosen_utilities(self) -> np.ndarray:
+        """Utility of each node's chosen window (0.0 on FAIL)."""
+        idx = np.where(self.success, self.window_index, 0)
+        rows = np.arange(idx.size)
+        return np.where(self.success, self.utilities[rows, idx], 0.0)
+
+
+def score_windows_mixed(
+    battery_energies_j: np.ndarray,
+    normalized_degradations: np.ndarray,
+    green_matrix: np.ndarray,
+    estimated_tx_matrix: np.ndarray,
+    counts: Sequence[int],
+    *,
+    max_tx_energy_j: float,
+    soc_cap_j,
+    w_b: float = 1.0,
+    utility_fn: Optional[UtilityFunction] = None,
+) -> MixedBatchWindowDecision:
+    """Algorithm 1 for a batch whose rows have different ``|T|``.
+
+    Row ``i`` reproduces :meth:`WindowSelector.select` with
+    ``counts[i]`` windows bit for bit.  Rows are padded to
+    ``T_max = green_matrix.shape[1]``; pad columns never influence a
+    row's real columns:
+
+    * utilities/scores/DIFs are elementwise, so pad values never touch
+      real columns;
+    * the cumulative-availability ``cumsum`` is a row *prefix* scan, so
+      column ``t`` only reads ``green[:, :t]`` — all real for
+      ``t < counts[i]``;
+    * feasibility is forced ``False`` at and past each row's count, so
+      the argmin can never select a pad column.
+
+    Pad values of ``green_matrix`` are otherwise arbitrary (they must
+    only pass the DIF non-negativity validation); callers may pass an
+    over-computed matrix without zeroing the tail.
+    """
+    green = np.asarray(green_matrix, dtype=np.float64)
+    est = np.asarray(estimated_tx_matrix, dtype=np.float64)
+    if green.ndim != 2 or est.shape != green.shape:
+        raise ConfigurationError(
+            "green and tx-energy matrices must share an (N, T) shape"
+        )
+    n, windows = green.shape
+    if windows == 0:
+        raise ConfigurationError("at least one forecast window is required")
+    counts_arr = np.asarray(counts, dtype=np.int64)
+    if counts_arr.shape != (n,):
+        raise ConfigurationError("counts must be one per row")
+    if (counts_arr < 1).any() or (counts_arr > windows).any():
+        raise ConfigurationError("counts must be in [1, T_max]")
+    battery = np.asarray(battery_energies_j, dtype=np.float64)
+    if (battery < 0).any():
+        raise ConfigurationError("battery energy cannot be negative")
+    w = np.asarray(normalized_degradations, dtype=np.float64)
+    if ((w < 0.0) | (w > 1.0)).any():
+        raise ConfigurationError("normalized degradation must be in [0, 1]")
+
+    # Per-row utilities: rows sharing a count share one cached vector.
+    fn = utility_fn or LinearUtility()
+    utilities = np.zeros((n, windows))
+    groups: Dict[int, List[int]] = {}
+    for i, count in enumerate(counts_arr.tolist()):
+        groups.setdefault(count, []).append(i)
+    for count, rows in groups.items():
+        utilities[np.asarray(rows), :count] = cached_utilities_vector(fn, count)
+
+    difs = dif_batch(est, green, max_tx_energy_j)
+    scores = (1.0 - utilities) + (w[:, None] * difs) * w_b
+
+    cap = np.broadcast_to(np.asarray(soc_cap_j, dtype=np.float64), (n,))
+    s0 = np.minimum(battery, cap)
+    running = np.cumsum(
+        np.concatenate([s0[:, None], green[:, :-1]], axis=1), axis=1
+    )
+    available = np.minimum(running, cap[:, None]) + green
+
+    feasible = (available - est) > 0.0
+    feasible &= np.arange(windows)[None, :] < counts_arr[:, None]
+    success = feasible.any(axis=1)
+    chosen = np.where(feasible, scores, np.inf).argmin(axis=1)
+    window_index = np.where(success, chosen, -1)
+    return MixedBatchWindowDecision(
         success=success,
         window_index=window_index,
         utilities=utilities,

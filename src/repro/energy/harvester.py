@@ -18,6 +18,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..kernels import shading as _kshading
 from .solar import SolarModel
 
 
@@ -52,6 +53,12 @@ class Harvester:
     diet: bool = False
 
     _cache: dict = field(default_factory=dict, init=False, repr=False)
+    #: Scratch RNG reused (re-seeded) by :meth:`_shading_at`; seeding
+    #: fully resets the generator state (including the spare Gaussian),
+    #: so reuse draws the exact values a fresh ``Random(seed)`` would.
+    _rng_scratch: Optional[random.Random] = field(
+        default=None, init=False, repr=False
+    )
     #: Sliding contiguous shading-factor window for the vectorized
     #: engine, covering grid indices [_shade_base, _shade_base + len).
     _shade_arr: Optional[np.ndarray] = field(
@@ -111,7 +118,10 @@ class Harvester:
         the scalar cache and the float32 sliding window hold the exact
         same number and both engines keep agreeing bitwise.
         """
-        rng = random.Random((self.node_seed << 24) ^ index)
+        rng = self._rng_scratch
+        if rng is None:
+            rng = self._rng_scratch = random.Random()
+        rng.seed((self.node_seed << 24) ^ index)
         value = min(
             1.5,
             math.exp(rng.gauss(-self.shading_sigma**2 / 2.0, self.shading_sigma)),
@@ -123,10 +133,11 @@ class Harvester:
     def shading_factors_batch(self, times_s: np.ndarray) -> np.ndarray:
         """Shading factors for an array of times in one gather.
 
-        The factor is a pure function of its grid index, so the sliding
-        contiguous window can be (re)built for any range without
-        perturbing other values; entries are computed with the exact
-        scalar expression of :meth:`_shading_factor`.
+        The factor is a pure function of its grid index, so any caching
+        policy is free; the gather runs through the lazily-filled
+        sliding window of :mod:`repro.kernels.shading`, with entries
+        computed by the exact scalar expression of
+        :meth:`_shading_factor` on first touch.
         """
         times = np.asarray(times_s, dtype=np.float64)
         if self.shading_sigma == 0.0:
@@ -134,49 +145,7 @@ class Harvester:
         if times.size == 0:
             return np.empty(0, dtype=np.float64)
         indices = np.floor_divide(times, self.shading_step_s).astype(np.int64)
-        lo = int(indices.min())
-        hi = int(indices.max())
-        self._ensure_shading(lo, hi)
-        return self._shade_arr[indices - self._shade_base]
-
-    def _ensure_shading(self, lo: int, hi: int) -> None:
-        """Grow the contiguous shading window to cover [lo, hi]."""
-        arr = self._shade_arr
-        # Pad to the right: accesses march forward (settles/forecasts),
-        # so over-computing ahead amortizes rebuilds.
-        pad = 128
-        dtype = self._shade_dtype
-        if arr is None:
-            self._shade_base = lo
-            self._shade_arr = np.array(
-                [self._shading_at(i) for i in range(lo, hi + pad)], dtype=dtype
-            )
-            return
-        base = self._shade_base
-        top = base + len(arr)  # exclusive
-        if lo >= base and hi < top:
-            return
-        parts = []
-        if lo < base:
-            parts.append(
-                np.array(
-                    [self._shading_at(i) for i in range(lo, base)], dtype=dtype
-                )
-            )
-            self._shade_base = lo
-        parts.append(arr)
-        if hi >= top:
-            parts.append(
-                np.array(
-                    [self._shading_at(i) for i in range(top, hi + pad)], dtype=dtype
-                )
-            )
-        arr = parts[0] if len(parts) == 1 else np.concatenate(parts)
-        if len(arr) > self._shade_limit:
-            keep = self._shade_limit // 2
-            self._shade_base += len(arr) - keep
-            arr = arr[-keep:]
-        self._shade_arr = arr
+        return _kshading.gather(self, indices)
 
     def power_watts(self, time_s: float) -> float:
         """Instantaneous harvested (post-regulator) power for this node."""

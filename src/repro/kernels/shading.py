@@ -1,0 +1,114 @@
+"""Node-shading gather kernel (lazy sliding window, RNG in Python).
+
+A node's shading factor is a *pure function* of its grid index — a
+seeded ``random.Random((node_seed << 24) ^ index)`` draw — so any
+caching policy is free to restructure without touching bit-identity.
+This kernel keeps the per-harvester sliding window **lazily** filled:
+unvisited slots hold NaN and are materialized only when a gather
+actually requests them.  That is what makes night-skipping effective —
+zero panel output multiplies to an exact ``0.0`` whatever the factor,
+so the vectorized engine's callers mask night midpoints out of their
+gathers and roughly half the RNG draws never happen.
+
+Both backends share one implementation: the draws must come from
+Python's ``random.Random`` (the scalar engine's generator), so there is
+nothing for Numba to compile — the RNG boundary documented in
+:mod:`repro.kernels`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..obs.profiling import hot_profiler
+
+_PROF = hot_profiler()
+
+#: Right-side padding: accesses march forward (settles/forecasts), so
+#: reserving slots ahead amortizes window rebuilds.  The slots stay NaN
+#: until requested, so padding costs memory, not RNG draws.
+PAD = 128
+
+
+def _window(harvester, lo: int, hi: int):
+    """Grow the NaN-backed window to cover [lo, hi]; return (arr, base)."""
+    arr = harvester._shade_arr
+    dtype = harvester._shade_dtype
+    if arr is None:
+        harvester._shade_base = lo
+        arr = np.full(hi - lo + PAD, np.nan, dtype=dtype)
+        harvester._shade_arr = arr
+        return arr, lo
+    base = harvester._shade_base
+    top = base + len(arr)
+    if lo >= base and hi < top:
+        return arr, base
+    parts = []
+    if lo < base:
+        parts.append(np.full(base - lo, np.nan, dtype=dtype))
+        base = lo
+    parts.append(arr)
+    if hi >= top:
+        parts.append(np.full(hi + PAD - top, np.nan, dtype=dtype))
+    arr = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    limit = harvester._shade_limit
+    if len(arr) > limit:
+        keep = limit // 2
+        # Never trim past the range this gather needs.
+        span = base + len(arr) - lo
+        if keep < span:
+            keep = span
+        base += len(arr) - keep
+        arr = arr[-keep:]
+    harvester._shade_base = base
+    harvester._shade_arr = arr
+    return arr, base
+
+
+def _gather_impl(harvester, indices: np.ndarray) -> np.ndarray:
+    lo = int(indices.min())
+    hi = int(indices.max())
+    arr, base = _window(harvester, lo, hi)
+    pos = indices - base
+    vals = arr[pos]
+    missing = np.isnan(vals)
+    if missing.any():
+        shading_at = harvester._shading_at
+        for idx in np.unique(indices[missing]).tolist():
+            arr[idx - base] = shading_at(idx)
+        vals = arr[pos]
+    return vals
+
+
+def gather(harvester, indices) -> np.ndarray:
+    """Shading factors for an int array of grid indices.
+
+    Values are computed with the exact scalar expression
+    (:meth:`Harvester._shading_at`) on first touch and cached in the
+    harvester's sliding window; repeat gathers are a NumPy fancy-index.
+    Callers should pre-mask night indices — skipped slots are simply
+    never drawn.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size == 0:
+        return np.empty(0, dtype=np.float64)
+    if harvester.shading_sigma == 0.0:
+        return np.ones(indices.shape)
+    if not _PROF.enabled:
+        return _gather_impl(harvester, indices)
+    started = time.perf_counter()
+    try:
+        return _gather_impl(harvester, indices)
+    finally:
+        _PROF.add("shading.gather", time.perf_counter() - started)
+
+
+def gather_for_times(harvester, times_s: np.ndarray) -> np.ndarray:
+    """Shading factors for an array of times (grid-index wrapper)."""
+    times = np.asarray(times_s, dtype=np.float64)
+    if harvester.shading_sigma == 0.0:
+        return np.ones(times.shape)
+    indices = np.floor_divide(times, harvester.shading_step_s).astype(np.int64)
+    return gather(harvester, indices)

@@ -24,7 +24,14 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .profiling import Profiler, RunManifest, config_hash, git_revision
+from .profiling import (
+    HotLoopProfiler,
+    Profiler,
+    RunManifest,
+    config_hash,
+    git_revision,
+    hot_profiler,
+)
 from .tail import JsonlTailer, follow_events, follow_lines, parse_event_line
 from .trace import (
     CATEGORIES,
@@ -80,6 +87,8 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HotLoopProfiler",
+    "hot_profiler",
     "JsonlSink",
     "JsonlTailer",
     "MetricsRegistry",

@@ -25,6 +25,121 @@ from ..exceptions import ConfigurationError
 from ..ioutil import atomic_write_text
 
 
+class HotLoopProfiler:
+    """Per-kernel wall/call counters for the hot-loop kernel layer.
+
+    The kernel layer (:mod:`repro.kernels`) reports every kernel
+    invocation here when profiling is enabled; when disabled (the
+    default) the accounting short-circuits to a single attribute check,
+    keeping production runs free of timing overhead.  Counters
+    accumulate across engines and sweeps within one process, so the
+    ranked table of ``repro simulate --profile-hot`` reflects the whole
+    run.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        #: kernel name → [calls, wall_seconds].
+        self._stats: Dict[str, list] = {}
+
+    def enable(self) -> None:
+        """Turn on per-kernel timing (idempotent)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn timing back off; accumulated counters are kept."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all accumulated counters."""
+        self._stats.clear()
+
+    def add(self, kernel: str, wall_s: float, calls: int = 1) -> None:
+        """Fold one (or ``calls``) kernel invocations into the counters."""
+        entry = self._stats.get(kernel)
+        if entry is None:
+            entry = self._stats[kernel] = [0, 0.0]
+        entry[0] += calls
+        entry[1] += wall_s
+
+    @contextmanager
+    def span(self, kernel: str) -> Iterator[None]:
+        """Time one block as a kernel invocation (no-op when disabled)."""
+        if not self.enabled:
+            yield
+            return
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(kernel, time.perf_counter() - started)
+
+    @property
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """``{kernel: {"calls": n, "wall_s": s}}`` snapshot."""
+        return {
+            name: {"calls": entry[0], "wall_s": entry[1]}
+            for name, entry in self._stats.items()
+        }
+
+    def ranked(self) -> list:
+        """``(kernel, calls, wall_s)`` rows, slowest first."""
+        rows = [
+            (name, entry[0], entry[1]) for name, entry in self._stats.items()
+        ]
+        rows.sort(key=lambda row: row[2], reverse=True)
+        return rows
+
+    def render_table(self, backend: str) -> str:
+        """The ranked per-kernel table ``--profile-hot`` prints."""
+        rows = self.ranked()
+        lines = [f"hot-loop kernels (backend: {backend})"]
+        if not rows:
+            lines.append("  (no kernel invocations recorded)")
+            return "\n".join(lines)
+        total = sum(row[2] for row in rows) or 1.0
+        header = f"  {'kernel':<28} {'calls':>12} {'wall_s':>10} {'share':>7}"
+        lines.append(header)
+        for name, calls, wall in rows:
+            lines.append(
+                f"  {name:<28} {calls:>12} {wall:>10.3f} {wall / total:>6.1%}"
+            )
+        return "\n".join(lines)
+
+    def publish(self, registry, backend: str) -> None:
+        """Export the counters through a :class:`MetricsRegistry`.
+
+        Families: ``repro_kernel_calls_total{kernel=...}``,
+        ``repro_kernel_wall_seconds_total{kernel=...}`` and the
+        ``repro_kernel_backend_info{backend=...}`` info gauge.
+        """
+        registry.gauge(
+            "kernel_backend_info",
+            "Selected hot-loop kernel backend (value is always 1)",
+            labels={"backend": backend},
+        ).set(1.0)
+        for name, entry in self._stats.items():
+            registry.counter(
+                "kernel_calls_total",
+                "Hot-loop kernel invocations",
+                labels={"kernel": name},
+            ).inc(entry[0])
+            registry.counter(
+                "kernel_wall_seconds_total",
+                "Wall-clock seconds spent inside hot-loop kernels",
+                labels={"kernel": name},
+            ).inc(entry[1])
+
+
+#: Process-wide hot-loop profiler the kernel layer reports into.
+_HOT_PROFILER = HotLoopProfiler()
+
+
+def hot_profiler() -> HotLoopProfiler:
+    """The process-wide :class:`HotLoopProfiler` singleton."""
+    return _HOT_PROFILER
+
+
 class Profiler:
     """Named wall-clock phase timers for one run.
 
@@ -108,6 +223,10 @@ def config_hash(config: object) -> str:
                 # Retention-only: which nodes keep full history never
                 # changes simulation results.
                 "sample_nodes",
+                # The exact engine's batched event drain executes the
+                # same events in the same order with the same RNG
+                # draws; on/off never changes simulation results.
+                "exact_batched",
             )
         }
         if "shards" in payload:

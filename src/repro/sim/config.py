@@ -141,6 +141,17 @@ class SimulationConfig:
     #: False forces the scalar reference path.  Event tracing always
     #: uses the scalar path regardless of this flag.
     vectorized: bool = True
+    #: Exact-engine batched fast path: same-instant period events (the
+    #: cohorts synchronized deployments produce every whole minute) are
+    #: popped from the event heap in one run and their Algorithm-1
+    #: window decisions computed in a single AirtimeTable-backed vector
+    #: pass.  Execution order, RNG draws, scheduling sequence numbers
+    #: and results are identical to the one-event-at-a-time drain (see
+    #: docs/PERFORMANCE.md); the engine falls back to that drain
+    #: automatically when tracing or packet recording is on (their
+    #: emission order is interleaved per node).  Excluded from the
+    #: config identity hash.
+    exact_batched: bool = True
 
     # ----------------------------------------------------------------- scale
     #: Per-node state budget.  ``"exact"`` keeps every float64 buffer the

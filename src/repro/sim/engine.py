@@ -15,7 +15,9 @@ import dataclasses
 import random
 import time
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List
+
+import numpy as np
 
 from ..battery import Battery
 from ..checkpoint.interrupt import last_signal, stop_requested
@@ -24,8 +26,11 @@ from ..core import (
     ConfirmedUplinkRetrier,
     LorawanAlohaMac,
     MacPolicy,
+    PeriodContext,
     ThresholdOnlyMac,
+    WindowDecision,
 )
+from ..core.mac import batch_choose_windows_mixed
 from ..checkpoint.core import save_checkpoint
 from ..exceptions import ProtocolError, SchedulingError, SimulationInterrupted
 from ..faults import FaultCounters, FaultInjector
@@ -38,6 +43,7 @@ from ..energy import (
     PersistenceForecaster,
     SolarModel,
 )
+from ..kernels import emit_startup_notice
 from ..lora import (
     AdrController,
     ChannelHopper,
@@ -46,7 +52,13 @@ from ..lora import (
     LogDistanceLink,
     Transmission,
 )
-from ..obs import Observability, RunManifest, config_hash, git_revision
+from ..obs import (
+    Observability,
+    RunManifest,
+    config_hash,
+    git_revision,
+    hot_profiler,
+)
 from .config import SimulationConfig
 from .events import EventQueue
 from .gateway import Gateway
@@ -150,6 +162,7 @@ class Simulator:
             if config.record_packets
             else None
         )
+        self._bind_batch_dispatch()
         self.adr = AdrController() if config.adr_enabled else None
         self.duty_cycle = (
             DutyCycleLimiter(duty_cycle=config.duty_cycle)
@@ -254,6 +267,35 @@ class Simulator:
         else:
             raise SchedulingError(f"unknown event kind {kind!r}")
 
+    def _bind_batch_dispatch(self) -> None:
+        """Enable the batched event drain when it is provably inert.
+
+        Tracing and packet recording interleave their per-node output
+        inside each scalar handler; the batched handler phases its work
+        (settle/forecast for all, then one vector decision, then
+        scheduling), which would reorder those streams.  Results would
+        still be identical, but byte-identical observability is part of
+        the fast path's contract — so those runs keep the scalar drain.
+        """
+        if (
+            getattr(self.config, "exact_batched", True)
+            and self._trace is None
+            and self.packet_log is None
+        ):
+            self.queue.dispatch_batch = self._dispatch_batch
+            self.queue.batch_kinds = frozenset({"period"})
+        else:
+            self.queue.dispatch_batch = None
+            self.queue.batch_kinds = frozenset()
+
+    def _dispatch_batch(self, kind: str, batch: List[tuple]) -> None:
+        """Route a same-instant run of named events popped in one go."""
+        if kind == "period":
+            self._on_period_batch([args[0] for args in batch])
+        else:  # pragma: no cover - only "period" is registered batchable
+            for args in batch:
+                self._dispatch(kind, args)
+
     # -------------------------------------------------------------- running
 
     def run(self) -> SimulationResult:
@@ -308,6 +350,7 @@ class Simulator:
                 nodes=self.config.node_count,
                 duration_s=self.config.duration_s,
             )
+            emit_startup_notice(self._trace)
         with self.obs.profiler.phase("run"):
             if fresh:
                 self._started = True
@@ -428,6 +471,111 @@ class Simulator:
             packet = node.packet
             self.queue.schedule_event(first_attempt, "attempt", node, packet)
         self._schedule_period(node, now + node.period_s)
+
+    def _on_period_batch(self, nodes: List[EndDevice]) -> None:
+        """Same-instant period cohort, decided in one vector pass.
+
+        Nodes arrive in exact heap pop order.  The handler phases the
+        scalar :meth:`_on_period` body — per-node settle/forecast, one
+        batched Algorithm-1 scoring, per-node packet/scheduling — in a
+        way that preserves every observable ordering: all cross-node
+        state (RNG streams, estimators, batteries) is touched per node
+        in pop order, and the scheduling loop assigns the exact sequence
+        numbers the scalar drain would (no handler schedules between two
+        same-instant periods).  Nominal attempt energies feeding the
+        scorer come from the shared :class:`~repro.lora.AirtimeTable`
+        entries each node resolved at build time.
+        """
+        now = self.queue.now_s
+        self._events_executed += len(nodes)
+        forecasts = []
+        for node in nodes:
+            if node.packet is not None:
+                # Previous packet still in flight at its deadline: fail it.
+                node.finish_packet(now, delivered=False, latency_s=node.period_s)
+            if (
+                self.injector is not None
+                and isinstance(node.mac, BatteryLifespanAwareMac)
+                and node.mac.weight_is_stale(now)
+            ):
+                self.injector.record_stale_weight_period()
+            forecasts.append(node.begin_period(now))
+        prof = hot_profiler()
+        if prof.enabled:
+            started = time.perf_counter()
+            decisions = self._batch_window_decisions(nodes, forecasts, now)
+            prof.add("engine.period_batch", time.perf_counter() - started)
+        else:
+            decisions = self._batch_window_decisions(nodes, forecasts, now)
+        for node, decision in zip(nodes, decisions):
+            first_attempt = node.finish_period_decision(now, decision)
+            if first_attempt is not None:
+                if self.injector is not None:
+                    first_attempt = self.injector.skew_attempt(
+                        node.node_id, first_attempt, now
+                    )
+                self.queue.schedule_event(
+                    first_attempt, "attempt", node, node.packet
+                )
+            self._schedule_period(node, now + node.period_s)
+
+    def _batch_window_decisions(
+        self,
+        nodes: List[EndDevice],
+        forecasts: List[list],
+        now: float,
+    ) -> List[WindowDecision]:
+        """Per-node window decisions, vectorized where the MAC allows.
+
+        Lifespan-aware MACs go through the padded mixed-|T| batch scorer
+        (bit-identical per row to the scalar Algorithm 1, estimator side
+        effects in pop order); immediate-transmit baselines consult
+        their scalar :meth:`~repro.core.MacPolicy.choose_window` — it is
+        a constant-time decision with nothing to vectorize.
+        """
+        decisions: List[object] = [None] * len(nodes)
+        aware = [
+            i
+            for i, node in enumerate(nodes)
+            if isinstance(node.mac, BatteryLifespanAwareMac)
+        ]
+        aware_set = set(aware)
+        for i, node in enumerate(nodes):
+            if i in aware_set:
+                continue
+            decisions[i] = node.mac.choose_window(
+                PeriodContext(
+                    battery_energy_j=node.battery.stored_j,
+                    green_forecast_j=forecasts[i],
+                    nominal_tx_energy_j=node.attempt_energy_j,
+                    period_start_s=now,
+                )
+            )
+        if aware:
+            counts = [len(forecasts[i]) for i in aware]
+            widest = max(counts)
+            green = np.zeros((len(aware), widest))
+            for row, i in enumerate(aware):
+                green[row, : counts[row]] = forecasts[i]
+            batch = batch_choose_windows_mixed(
+                [nodes[i].mac for i in aware],
+                np.array([nodes[i].battery.stored_j for i in aware]),
+                green,
+                [nodes[i].attempt_energy_j for i in aware],
+                counts,
+                now,
+            )
+            for row, i in enumerate(aware):
+                ok = bool(batch.success[row])
+                count = counts[row]
+                decisions[i] = WindowDecision(
+                    success=ok,
+                    window_index=int(batch.window_index[row]) if ok else None,
+                    scores=batch.scores[row, :count].tolist(),
+                    utilities=batch.utilities[row, :count].tolist(),
+                    difs=batch.difs[row, :count].tolist(),
+                )
+        return decisions
 
     def _on_attempt(self, node: EndDevice, packet) -> None:
         self._events_executed += 1
@@ -693,6 +841,7 @@ class Simulator:
         """Re-bind the live hooks pickling strips (dispatch, injector)."""
         self.__dict__.update(state)
         self.queue.dispatch = self._dispatch
+        self._bind_batch_dispatch()
         if self.injector is not None:
             self.injector.rebind(trace=self._trace, now=self._now_clock)
 

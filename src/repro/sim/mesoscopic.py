@@ -45,6 +45,7 @@ from ..energy import (
     SoftwareDefinedSwitch,
     SolarModel,
 )
+from ..kernels import emit_startup_notice
 from ..lora import LogDistanceLink, airtime_table
 from ..obs import Observability, RunManifest, config_hash, git_revision
 from .config import SimulationConfig
@@ -597,6 +598,7 @@ class MesoscopicSimulator:
                 nodes=len(self.nodes),
                 duration_s=duration,
             )
+            emit_startup_notice(self._trace)
 
         with self.obs.profiler.phase("run"):
             # Tracing needs the scalar path's per-call emission points;

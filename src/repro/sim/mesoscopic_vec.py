@@ -29,7 +29,6 @@ tracing selects it.
 from __future__ import annotations
 
 import heapq
-import math
 import time
 from typing import Dict, List, Sequence, Tuple
 
@@ -37,8 +36,12 @@ import numpy as np
 
 from ..checkpoint.interrupt import stop_requested
 from ..constants import SECONDS_PER_YEAR
-from ..core.mac import batch_choose_windows
+from ..core.mac import batch_choose_windows_mixed
 from ..exceptions import ConfigurationError
+from ..kernels import contention as kcontention
+from ..kernels import rainflow as krainflow
+from ..kernels import settle as ksettle
+from ..kernels import shading as kshading
 from .mesoscopic import (
     MesoNode,
     MonthlySample,
@@ -102,25 +105,28 @@ def _settle_items(
         # One shading gather per node into a shared buffer, then a
         # single (solar × shading) × η expression for the whole batch
         # — elementwise identical to Harvester.power_watts per chunk.
-        shade_all = np.empty(mids_arr.size)
+        # Night midpoints (solar == 0) skip the gather entirely: zero
+        # panel output multiplies to an exact 0.0 whatever the factor,
+        # and the factor is a pure function of its grid index, so the
+        # skipped draws cannot perturb later values.
+        shade_all = np.ones(mids_arr.size)
         first = items[0][0].harvester
-        if first.shading_sigma == 0.0:
-            shade_all.fill(1.0)
-        else:
-            grid = np.floor_divide(mids_arr, first.shading_step_s).astype(
-                np.int64
-            )
-            pos = 0
-            for node, _, _, ends, _ in plans:
-                count = len(ends)
-                if count:
-                    harvester = node.harvester
-                    idx = grid[pos : pos + count]
-                    harvester._ensure_shading(int(idx[0]), int(idx[-1]))
-                    shade_all[pos : pos + count] = harvester._shade_arr[
-                        idx - harvester._shade_base
-                    ]
-                    pos += count
+        if first.shading_sigma != 0.0:
+            day = solar_all != 0.0
+            if day.any():
+                grid = np.floor_divide(mids_arr, first.shading_step_s).astype(
+                    np.int64
+                )
+                pos = 0
+                for node, _, _, ends, _ in plans:
+                    count = len(ends)
+                    if count:
+                        mask = day[pos : pos + count]
+                        if mask.any():
+                            shade_all[pos : pos + count][mask] = kshading.gather(
+                                node.harvester, grid[pos : pos + count][mask]
+                            )
+                        pos += count
         powers_all = ((solar_all * shade_all) * first.efficiency).tolist()
     pos = 0
     shortfalls: List[float] = []
@@ -167,63 +173,45 @@ def _apply_chunks(
     Reproduces ``SoftwareDefinedSwitch.apply_window`` plus
     ``Battery.charge``/``discharge``/``settle`` per chunk, bit for bit:
     same min/max/accumulation order, the extra (transmission) demand
-    added to the final chunk only.  Settles span at most a sampling
-    period (~a dozen chunks), so the recurrence stays a plain float
-    loop; the per-sample trace and rainflow bookkeeping is handed off
-    in one run-merging batch per settle instead of one call per chunk.
-    The charge limit is hoisted — degradation is constant between
-    refreshes, so ``min(current_max, θ·capacity)`` is loop-invariant.
+    added to the final chunk only.  The recurrence itself runs through
+    :func:`repro.kernels.settle.recurrence` (the JIT-able hot loop);
+    the resulting SoC samples then feed the trace monotone-run merge
+    and the streaming-rainflow replay kernel — the semantics are the
+    batch-API ones of ``SocTrace.extend_batch`` /
+    ``StreamingRainflow.extend_batch``, sample for sample.  The charge
+    limit is hoisted — degradation is constant between refreshes, so
+    ``min(current_max, θ·capacity)`` is loop-invariant.
     """
     battery = node.battery
-    capacity = battery.capacity_j
-    sleep = node.sleep_watts
-    limit_j = min(battery.current_max_capacity_j, node.switch.soc_cap * capacity)
-    stored = battery.stored_j
-    shortfall = 0.0
-    # Trace/rainflow state, inlined from SocTrace.append and
-    # StreamingRainflow.push so one loop handles the chunk recurrence
-    # and both per-sample bookkeeping machines (the semantics are the
-    # batch-API ones of ``extend_batch``, sample for sample).
     trace = battery.trace
-    ts, ss = trace.times, trace.socs
     prev_t, prev_c = trace._last_time, trace._last_soc
-    integral = trace._weighted_integral
     if prev_t is not None and ends[0] < prev_t:
         raise ConfigurationError("trace times must be non-decreasing")
     if trace._start_time is None:
         trace._start_time = ends[0]
-    incremental = battery._incremental
-    stream = incremental._stream if incremental is not None else None
-    last = len(ends) - 1
-    for i in range(last + 1):
-        duration = durations[i]
-        harvested = powers[i] * duration
-        demand = sleep * duration
-        if i == last:
-            demand += extra
-        # min/max spelled as conditionals (same values, fewer calls).
-        green_used = demand if demand < harvested else harvested
-        surplus = harvested - green_used
-        deficit = demand - green_used
-        if surplus > 0.0:
-            room = limit_j - stored
-            accepted = room if room < surplus else surplus
-            if accepted > 0.0:
-                stored += accepted
-        elif deficit > 0.0:
-            used = stored if stored < deficit else deficit
-            shortfall += deficit - used
-            stored -= used
-            if stored < 0.0:
-                stored = 0.0
-        soc = stored / capacity
-        if not 0.0 <= soc <= 1.0 + 1e-9:
-            raise ConfigurationError(f"SoC {soc} outside [0, 1]")
-        clamped = soc if soc <= 1.0 else 1.0
+    have_prev = prev_t is not None
+    socs, stored, shortfall, integral, prev_t, prev_c = ksettle.recurrence(
+        ends,
+        durations,
+        powers,
+        node.sleep_watts,
+        extra,
+        battery.stored_j,
+        min(
+            battery.current_max_capacity_j,
+            node.switch.soc_cap * battery.capacity_j,
+        ),
+        battery.capacity_j,
+        have_prev,
+        prev_t if have_prev else 0.0,
+        prev_c if have_prev else 0.0,
+        trace._weighted_integral,
+    )
+    # Trace merge, inlined from SocTrace.append's monotone-continuation
+    # rule: a sample extending the tail's run rewrites the tail point.
+    ts, ss = trace.times, trace.socs
+    for i, clamped in enumerate(socs):
         t = ends[i]
-        if prev_t is not None:
-            integral += (t - prev_t) * (clamped + prev_c) / 2.0
-        prev_t, prev_c = t, clamped
         if len(ss) >= 2:
             prev, tail_s = ss[-2], ss[-1]
             if tail_s > prev:
@@ -240,20 +228,14 @@ def _apply_chunks(
         else:
             ts.append(t)
             ss.append(clamped)
-        if stream is not None:
-            tail = stream._tail
-            if tail is None or not stream._have_prev:
-                stream.push(clamped)
-            elif clamped != tail:
-                if (clamped > tail) == (tail > stream._prev):
-                    stream._tail = clamped
-                else:
-                    stream.push(clamped)
+    incremental = battery._incremental
+    if incremental is not None:
+        krainflow.replay(incremental._stream, socs)
     trace._weighted_integral = integral
     trace._last_time = prev_t
     trace._last_soc = prev_c
     battery.stored_j = stored
-    battery._now_s = ends[last]
+    battery._now_s = ends[len(ends) - 1]
     return shortfall
 
 
@@ -297,51 +279,53 @@ def _start_period_batch(
             # whole cohort shares the solar vector, so only the per-node
             # shading gather remains before one matrix product with the
             # exact ``((solar × shading) × η) × window`` operand order of
-            # ``window_energies_batch``.
+            # ``window_energies_batch``.  Night windows (zero solar)
+            # multiply to an exact 0.0 whatever the factor, so their
+            # shading draws are skipped (pure function of the index —
+            # skipping cannot perturb later values).
             first = batch[0].harvester
             shade = np.ones((len(batch), max_count))
             if first.shading_sigma != 0.0:
-                grid = np.floor_divide(mids, first.shading_step_s).astype(
-                    np.int64
-                )
-                for i, node in enumerate(batch):
-                    harvester = node.harvester
-                    count = counts[i]
-                    harvester._ensure_shading(int(grid[0]), int(grid[count - 1]))
-                    shade[i, :count] = harvester._shade_arr[
-                        grid[:count] - harvester._shade_base
-                    ]
-            energies = (
+                day = solar_powers != 0.0
+                if day.any():
+                    grid = np.floor_divide(mids, first.shading_step_s).astype(
+                        np.int64
+                    )
+                    for i, node in enumerate(batch):
+                        mask = day[: counts[i]]
+                        if mask.any():
+                            shade[i, : counts[i]][mask] = kshading.gather(
+                                node.harvester, grid[: counts[i]][mask]
+                            )
+            green = (
                 (solar_powers[None, :] * shade) * first.efficiency
             ) * window_s
-            forecasts = [energies[i, : counts[i]] for i in range(len(batch))]
         else:
-            forecasts = [
-                node.forecaster.forecast_batch(
+            # Rows are padded to the widest |T|; the scorer masks the
+            # padding infeasible, so the pad values are never read.
+            green = np.zeros((len(batch), max_count))
+            for i, (node, count) in enumerate(zip(batch, counts)):
+                green[i, :count] = node.forecaster.forecast_batch(
                     now_s, window_s, count, solar_powers=solar_powers[:count]
                 )
-                for node, count in zip(batch, counts)
-            ]
-        # Score per period-length cohort: rows of one matrix share |T|.
+        # One padded scoring call for the whole batch: rows carry their
+        # own |T| (per-row utilities, feasibility masked past counts).
         decisions: Dict[int, Tuple[bool, int, float]] = {}
-        groups: Dict[int, List[int]] = {}
-        for i, count in enumerate(counts):
-            groups.setdefault(count, []).append(i)
-        for count, indices in groups.items():
-            result = batch_choose_windows(
-                [batch[i].mac for i in indices],
-                np.array([batch[i].battery.stored_j for i in indices]),
-                np.stack([forecasts[i] for i in indices]),
-                [batch[i].attempt_energy_j for i in indices],
-                now_s,
+        result = batch_choose_windows_mixed(
+            [node.mac for node in batch],
+            np.array([node.battery.stored_j for node in batch]),
+            green,
+            [node.attempt_energy_j for node in batch],
+            counts,
+            now_s,
+        )
+        utilities = result.chosen_utilities()
+        for i in range(len(batch)):
+            decisions[i] = (
+                bool(result.success[i]),
+                int(result.window_index[i]),
+                float(utilities[i]),
             )
-            utilities = result.chosen_utilities()
-            for row, i in enumerate(indices):
-                decisions[i] = (
-                    bool(result.success[row]),
-                    int(result.window_index[row]),
-                    float(utilities[row]),
-                )
     else:
         # ALOHA / threshold-only: window 0, always "scheduled"; the
         # linear utility of window 0 is exactly 1.0 for any |T|, and the
@@ -400,6 +384,10 @@ def _start_period_batch(
 
 # --------------------------------------------------------------- resolution
 
+#: Below this many participants (entries + statics) a window resolves
+#: through the scalar reference resolver — same draws, less overhead.
+_SMALL_RESOLVE_LIMIT = 4
+
 
 def _resolve_single(entry: WindowEntry, window_s: float, config, rng) -> WindowOutcome:
     """Resolve an uncontended window without the pairwise machinery.
@@ -431,17 +419,9 @@ def _resolve_single(entry: WindowEntry, window_s: float, config, rng) -> WindowO
     )
 
 
-def _node_rssi_lin_mw(node: MesoNode) -> List[float]:
-    """Per-gateway received power in mW, cached on the node.
-
-    ``10 ** (rssi / 10)`` is a pure function of the static per-gateway
-    RSSI, so precomputing it yields bit-identical interference sums.
-    """
-    lin = getattr(node, "_rssi_lin_mw", None)
-    if lin is None:
-        lin = [10.0 ** (r / 10.0) for r in node.rssi_by_gateway]
-        node._rssi_lin_mw = lin
-    return lin
+# Re-exported for compatibility; the cache now lives with the
+# contention kernel that consumes it.
+_node_rssi_lin_mw = kcontention.node_rssi_lin_mw
 
 
 def _resolve_window_vec(
@@ -460,35 +440,20 @@ def _resolve_window_vec(
     scans: all round-0 offsets/channels are drawn first (entry order) and
     retry backoffs are drawn per round (start-sorted order), so the
     draws can be replicated verbatim while the O(batch × universe)
-    overlap/concurrency scan runs as a boolean matrix.  Attempts that see
-    co-channel interference drop to the exact scalar accumulation — the
-    interference sum and capture test are order-sensitive float math —
-    but those are the minority even in contended windows thanks to the
-    channel draw spreading colliders across ``channel_count`` channels.
+    overlap/concurrency/capture scan runs through the
+    :mod:`repro.kernels.contention` round kernel.  The RNG draws stay
+    here, in Python, in scalar order; the kernel only consumes the
+    drawn placements.
 
     Callers must ensure entries reference distinct nodes and identical
     gateway counts; :func:`_resolve_batch` checks both.
     """
     k = len(entries)
     nodes = [entry.node for entry in entries]
-    gateways = len(nodes[0].rssi_by_gateway)
     airtimes = [node.airtime_s for node in nodes]
-    sfs_arr = np.array([node.tx_params.spreading_factor for node in nodes])
-    in_range = np.array(
-        [node.rssi_dbm >= node.sensitivity_dbm for node in nodes]
+    ctx = kcontention.ResolveContext(
+        nodes, static_attempts, omega, capture_threshold_db
     )
-    lin_mw = [_node_rssi_lin_mw(node) for node in nodes]
-
-    # Static (border) interferers: fixed rows that join the overlap /
-    # concurrency / co-channel tests of every round but never retry.
-    ns = len(static_attempts)
-    if ns:
-        s_starts = np.array([s.start_s for s in static_attempts])
-        s_ends = np.array([s.end_s for s in static_attempts])
-        s_chans = np.array(
-            [s.channel for s in static_attempts], dtype=np.int64
-        )
-        s_sfs = np.array([s.spreading_factor for s in static_attempts])
 
     # Round-0 draws, exactly as the scalar entry loop makes them.
     starts0 = np.empty(k)
@@ -534,61 +499,19 @@ def _resolve_window_vec(
                 b_chans,
                 b_entry,
             )
-        u_sfs = sfs_arr[u_entry_arr]
 
-        overlap = (b_starts[:, None] < u_ends[None, :]) & (
-            u_starts[None, :] < b_ends[:, None]
+        ok = kcontention.round_ok(
+            ctx,
+            b_starts,
+            b_ends,
+            b_chans,
+            b_entry,
+            u_starts,
+            u_ends,
+            u_chans,
+            u_entry_arr,
+            nres,
         )
-        overlap[np.arange(kb), nres + np.arange(kb)] = False
-        concurrent = overlap.sum(axis=1)
-        same = (
-            overlap
-            & (u_chans[None, :] == b_chans[:, None])
-            & (u_sfs[None, :] == sfs_arr[b_entry][:, None])
-        )
-        icount = same.sum(axis=1)
-        if ns:
-            s_overlap = (b_starts[:, None] < s_ends[None, :]) & (
-                s_starts[None, :] < b_ends[:, None]
-            )
-            concurrent = concurrent + s_overlap.sum(axis=1)
-            s_same = (
-                s_overlap
-                & (s_chans[None, :] == b_chans[:, None])
-                & (s_sfs[None, :] == sfs_arr[b_entry][:, None])
-            )
-            icount = icount + s_same.sum(axis=1)
-        free = concurrent + 1 <= omega
-        ok = free & in_range[b_entry] & (icount == 0)
-        # Interfered attempts fall back to the scalar per-gateway sums so
-        # the mW accumulation and capture check keep their operand order
-        # (statics first, like the scalar resolver's accumulation).
-        for i in np.nonzero(free & (icount > 0))[0]:
-            node = nodes[b_entry[i]]
-            mw = [0.0] * gateways
-            if ns:
-                for si in np.nonzero(s_same[i])[0]:
-                    s_lin = static_attempts[si].lin_mw
-                    for g in range(gateways):
-                        mw[g] += s_lin[g]
-            for u in np.nonzero(same[i])[0]:
-                other_lin = lin_mw[u_entry_arr[u]]
-                for g in range(gateways):
-                    mw[g] += other_lin[g]
-            hit = False
-            sens = node.sensitivity_dbm
-            rssi_list = node.rssi_by_gateway
-            for g in range(gateways):
-                rssi = rssi_list[g]
-                if rssi < sens:
-                    continue
-                if mw[g] == 0.0:
-                    hit = True
-                    break
-                if rssi - 10.0 * math.log10(mw[g]) >= capture_threshold_db:
-                    hit = True
-                    break
-            ok[i] = hit
 
         if not res_starts and ok.all():
             # Every round-0 attempt got through: emit outcomes straight
@@ -684,9 +607,15 @@ def _resolve_batch(
         }
     else:
         gateway_counts = {len(entry.node.rssi_by_gateway) for entry in entries}
-        resolver = (
-            _resolve_window_vec if len(gateway_counts) == 1 else resolve_window
-        )
+        if len(entries) + len(statics) <= _SMALL_RESOLVE_LIMIT:
+            # Tiny windows: the scalar reference resolver's pairwise
+            # loops beat the array machinery's fixed overhead (it is
+            # draw-for-draw the same resolver, so bit-identity is free).
+            resolver = resolve_window
+        elif len(gateway_counts) == 1:
+            resolver = _resolve_window_vec
+        else:
+            resolver = resolve_window
         outcomes = resolver(
             entries,
             window_s=window_s,

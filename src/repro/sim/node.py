@@ -216,10 +216,7 @@ class EndDevice:
         Returns the absolute time of the first transmission attempt, or
         None when the MAC returned FAIL (packet dropped for energy).
         """
-        self.settle_to(now_s)
-        self.metrics.record_generated()
-        windows = self.windows_per_period
-        forecast = self.forecaster.forecast(now_s, self.window_s, windows)
+        forecast = self.begin_period(now_s)
         context = PeriodContext(
             battery_energy_j=self.battery.stored_j,
             green_forecast_j=forecast,
@@ -227,6 +224,31 @@ class EndDevice:
             period_start_s=now_s,
         )
         decision = self.mac.choose_window(context)
+        return self.finish_period_decision(now_s, decision)
+
+    def begin_period(self, now_s: float):
+        """Settle, count the generated packet, and forecast this period.
+
+        First half of :meth:`start_period`; the batched exact engine
+        runs it for every same-instant node before computing the window
+        decisions in one vector pass.  Returns the green-energy forecast
+        the MAC decision needs.
+        """
+        self.settle_to(now_s)
+        self.metrics.record_generated()
+        return self.forecaster.forecast(
+            now_s, self.window_s, self.windows_per_period
+        )
+
+    def finish_period_decision(
+        self, now_s: float, decision: WindowDecision
+    ) -> Optional[float]:
+        """Apply a window decision: bookkeeping, packet state, schedule.
+
+        Second half of :meth:`start_period` — everything after the MAC
+        consultation, shared verbatim by the scalar and batched paths.
+        Returns the absolute first-attempt time, or None on FAIL.
+        """
         if not decision.success or decision.window_index is None:
             self.metrics.record_failure(0, 0.0, energy_drop=True)
             if self.trace is not None:

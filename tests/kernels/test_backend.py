@@ -1,0 +1,140 @@
+"""Backend selection, version floor, and the one-time startup notice.
+
+``repro.kernels.BACKEND`` is chosen once at import time from the
+``REPRO_KERNELS`` environment variable and Numba availability, so the
+selection tests run fresh interpreters; the notice-consumption tests
+exercise the module in-process.
+"""
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro.kernels as kernels
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import run_simulation
+
+HAVE_NUMBA = importlib.util.find_spec("numba") is not None
+
+
+def _probe(env_value):
+    """Import repro.kernels in a fresh interpreter, report its choices."""
+    env = dict(os.environ)
+    env.pop("REPRO_KERNELS", None)
+    if env_value is not None:
+        env["REPRO_KERNELS"] = env_value
+    src = os.path.join(os.path.dirname(kernels.__file__), "..", "..")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    script = (
+        "import json\n"
+        "from repro import kernels\n"
+        "first = kernels.consume_startup_notice()\n"
+        "second = kernels.consume_startup_notice()\n"
+        "print(json.dumps({'backend': kernels.backend(),"
+        " 'notice': first, 'again': second}))\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+class TestBackendSelection:
+    def test_numpy_forced(self):
+        report = _probe("numpy")
+        assert report["backend"] == "numpy"
+        assert report["notice"] is None
+
+    def test_auto_matches_numba_availability(self):
+        report = _probe(None)
+        assert report["backend"] == ("numba" if HAVE_NUMBA else "numpy")
+        assert report["notice"] is None
+
+    def test_numba_requested_without_numba_falls_back_with_notice(self):
+        if HAVE_NUMBA:
+            pytest.skip("Numba installed; fallback leg covered CI-side")
+        report = _probe("numba")
+        assert report["backend"] == "numpy"
+        assert "falling back" in report["notice"]
+        assert "repro" in report["notice"]  # names the [jit] extra
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="requires Numba")
+    def test_numba_requested_with_numba_selects_numba(self):
+        report = _probe("numba")
+        assert report["backend"] == "numba"
+        assert report["notice"] is None
+
+    def test_invalid_value_is_auto_with_notice(self):
+        report = _probe("fortran")
+        assert report["backend"] == ("numba" if HAVE_NUMBA else "numpy")
+        assert "fortran" in report["notice"]
+
+    def test_notice_is_consumed_once(self):
+        report = _probe("fortran")
+        assert report["notice"] is not None
+        assert report["again"] is None
+
+
+class _RecordingTrace:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, time_s, category, name, severity="info", **fields):
+        self.events.append((time_s, category, name, severity, fields))
+
+
+class TestStartupNoticeEmission:
+    @pytest.fixture(autouse=True)
+    def _restore_notice(self):
+        pending = kernels.startup_notice()
+        yield
+        kernels._STARTUP_NOTICE = pending
+
+    def test_no_trace_keeps_notice_pending(self):
+        kernels._STARTUP_NOTICE = "probe notice"
+        assert kernels.emit_startup_notice(None) is False
+        assert kernels.startup_notice() == "probe notice"
+
+    def test_trace_consumes_and_emits(self):
+        kernels._STARTUP_NOTICE = "probe notice"
+        trace = _RecordingTrace()
+        assert kernels.emit_startup_notice(trace) is True
+        assert kernels.startup_notice() is None
+        ((time_s, category, name, severity, fields),) = trace.events
+        assert time_s == 0.0
+        assert category == "engine"
+        assert name == "kernels.backend_fallback"
+        assert severity == "warning"
+        assert fields["message"] == "probe notice"
+        assert fields["backend"] == kernels.BACKEND
+
+    def test_nothing_pending_emits_nothing(self):
+        kernels._STARTUP_NOTICE = None
+        trace = _RecordingTrace()
+        assert kernels.emit_startup_notice(trace) is False
+        assert trace.events == []
+
+    def test_traced_engine_run_surfaces_the_notice(self):
+        kernels._STARTUP_NOTICE = "probe notice"
+        result = run_simulation(
+            SimulationConfig(
+                node_count=2, duration_s=1800.0, seed=3, trace=True
+            )
+        )
+        events = result.obs.trace.select(name="kernels.backend_fallback")
+        assert len(events) == 1
+        assert events[0].fields["message"] == "probe notice"
+        assert kernels.startup_notice() is None
+
+    def test_untraced_engine_run_leaves_notice_pending(self):
+        kernels._STARTUP_NOTICE = "probe notice"
+        run_simulation(SimulationConfig(node_count=2, duration_s=1800.0, seed=3))
+        assert kernels.startup_notice() == "probe notice"

@@ -1,0 +1,77 @@
+"""Active kernel backend ≡ forced-NumPy backend, end to end.
+
+The NumPy backend *is* the scalar reference, so running the same
+simulation with ``REPRO_KERNELS=numpy`` in a fresh interpreter and
+comparing every per-node metric against the in-process run pins the
+whole kernel layer (shading, settle, rainflow, contention) at once —
+under both memory profiles.  With Numba absent both legs are NumPy and
+the test guards the wrapper plumbing; the CI kernels job runs it again
+with Numba installed, where it becomes the JIT ≡ scalar gate.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.sim.config import SimulationConfig
+from repro.sim.mesoscopic import run_mesoscopic
+
+SECONDS_PER_DAY = 86400.0
+
+
+def _config(memory_profile):
+    return SimulationConfig(
+        node_count=30,
+        duration_s=2 * SECONDS_PER_DAY,
+        seed=7,
+        memory_profile=memory_profile,
+    ).as_h(0.5)
+
+
+def _capture(result):
+    return {
+        "summary": result.metrics.summary(),
+        "nodes": {
+            str(node_id): vars(node)
+            for node_id, node in result.metrics.nodes.items()
+        },
+    }
+
+
+def _numpy_subprocess_capture(memory_profile):
+    env = dict(os.environ)
+    env["REPRO_KERNELS"] = "numpy"
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+    script = (
+        "import json, sys\n"
+        "sys.path.insert(0, %r)\n"
+        "from repro import kernels\n"
+        "assert kernels.backend() == 'numpy', kernels.backend()\n"
+        "from tests.kernels.test_cross_backend import _capture, _config\n"
+        "from repro.sim.mesoscopic import run_mesoscopic\n"
+        "print(json.dumps(_capture(run_mesoscopic(_config(%r)))))\n"
+    ) % (os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))), memory_profile)
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+@pytest.mark.parametrize("memory_profile", ["exact", "diet"])
+def test_active_backend_matches_numpy_reference(memory_profile):
+    active = _capture(run_mesoscopic(_config(memory_profile)))
+    # JSON float round-trips are exact, so comparing across the process
+    # boundary loses nothing.
+    active = json.loads(json.dumps(active))
+    reference = _numpy_subprocess_capture(memory_profile)
+    assert active["summary"] == reference["summary"]
+    assert active["nodes"] == reference["nodes"]

@@ -1,0 +1,99 @@
+"""Rainflow-replay kernel ≡ pushing the samples one at a time.
+
+The kernel claims *state* identity (stack, provisional tail, bootstrap
+flags) and *emission* identity (same cycles, same order, same weights)
+with ``StreamingRainflow.push`` — which makes it interchangeable with
+the scalar engine's sample-by-sample feed at any batch boundary.
+"""
+
+import random
+
+import pytest
+
+from repro.battery.rainflow import StreamingRainflow, count_cycles
+from repro.kernels import rainflow
+
+
+def _walk(rng, n):
+    values, level = [], rng.random()
+    for _ in range(n):
+        # Plateaus and monotone runs exercise the tail-collapse path.
+        if rng.random() < 0.2 and values:
+            values.append(values[-1])
+        else:
+            level = min(1.0, max(0.0, level + rng.uniform(-0.3, 0.3)))
+            values.append(level)
+    return values
+
+
+def _state(stream):
+    return (
+        list(stream._stack),
+        stream._prev,
+        stream._tail,
+        stream._have_prev,
+    )
+
+
+def _replay_in_chunks(values, rng=None):
+    stream = StreamingRainflow()
+    if rng is None:
+        rainflow.replay(stream, values)
+        return stream
+    i = 0
+    while i < len(values):
+        j = i + rng.randint(1, max(1, len(values) - i))
+        rainflow.replay(stream, values[i:j])
+        i = j
+    return stream
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_scalar_push(self, seed):
+        rng = random.Random(seed)
+        values = _walk(rng, rng.randint(0, 400))
+        reference = StreamingRainflow()
+        for value in values:
+            reference.push(value)
+        replayed = _replay_in_chunks(values)
+        assert _state(replayed) == _state(reference)
+        assert replayed.closed == reference.closed
+
+    @pytest.mark.parametrize("seed", range(10, 16))
+    def test_batch_boundaries_are_invisible(self, seed):
+        rng = random.Random(seed)
+        values = _walk(rng, 300)
+        one_shot = _replay_in_chunks(values)
+        chunked = _replay_in_chunks(values, rng=random.Random(seed + 1))
+        assert _state(chunked) == _state(one_shot)
+        assert chunked.closed == one_shot.closed
+
+    @pytest.mark.parametrize("seed", range(16, 20))
+    def test_closed_plus_pending_equals_batch_count(self, seed):
+        rng = random.Random(seed)
+        values = _walk(rng, 250)
+        stream = _replay_in_chunks(values)
+        assert stream.closed + stream.pending_cycles() == count_cycles(values)
+
+    def test_empty_and_constant_series(self):
+        stream = StreamingRainflow()
+        rainflow.replay(stream, [])
+        assert _state(stream) == ([], 0.0, None, False)
+        rainflow.replay(stream, [0.5, 0.5, 0.5])
+        reference = StreamingRainflow()
+        for value in (0.5, 0.5, 0.5):
+            reference.push(value)
+        assert _state(stream) == _state(reference)
+        assert stream.closed == []
+
+    def test_on_cycle_callback_sees_kernel_emissions(self):
+        rng = random.Random(77)
+        values = _walk(rng, 300)
+        seen = []
+        stream = StreamingRainflow(on_cycle=seen.append)
+        rainflow.replay(stream, values)
+        reference = StreamingRainflow()
+        for value in values:
+            reference.push(value)
+        assert seen == reference.closed

@@ -1,0 +1,134 @@
+"""Settle-recurrence kernel ≡ the reference scalar chunk loop.
+
+``repro.kernels.settle._recurrence_python`` *is* the reference; on the
+Numba backend the compiled loop must return bit-identical outputs for
+every input family (charging, discharging with shortfall, clamp at the
+θ cap, trace-integral bootstrap).  On the NumPy backend the public
+wrapper must be a transparent pass-through of the same reference.
+"""
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.kernels import settle
+
+
+def _random_case(rng, chunks):
+    capacity = rng.uniform(50.0, 500.0)
+    start = rng.uniform(0.0, 7 * 86400.0)
+    ends, durations, powers = [], [], []
+    t = start
+    for _ in range(chunks):
+        dt = rng.uniform(30.0, 7200.0)
+        t += dt
+        ends.append(t)
+        durations.append(dt)
+        # Mix of night (exact zero) and day power levels.
+        powers.append(0.0 if rng.random() < 0.4 else rng.uniform(0.0, 2e-3))
+    return dict(
+        ends=ends,
+        durations=durations,
+        powers=powers,
+        sleep_w=rng.uniform(1e-6, 1e-4),
+        extra_j=rng.uniform(0.0, 5.0) if rng.random() < 0.5 else 0.0,
+        stored=rng.uniform(0.0, capacity),
+        limit_j=rng.uniform(0.3, 1.0) * capacity,
+        capacity_j=capacity,
+        have_prev=rng.random() < 0.5,
+        prev_t=start,
+        prev_c=rng.random(),
+        integral=rng.uniform(0.0, 1e4),
+    )
+
+
+def _run_both(case):
+    kernel = settle.recurrence(**case)
+    reference = settle._recurrence_python(**case)
+    return kernel, reference
+
+
+def _assert_equal(kernel, reference):
+    k_socs, k_stored, k_short, k_integral, k_t, k_c = kernel
+    r_socs, r_stored, r_short, r_integral, r_t, r_c = reference
+    assert list(k_socs) == list(r_socs)
+    assert k_stored == r_stored
+    assert k_short == r_short
+    assert k_integral == r_integral
+    assert k_t == r_t
+    assert k_c == r_c
+
+
+class TestRecurrenceEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_randomized_chunks(self, seed):
+        rng = random.Random(seed)
+        case = _random_case(rng, chunks=rng.randint(1, 60))
+        kernel, reference = _run_both(case)
+        _assert_equal(kernel, reference)
+
+    def test_single_chunk_bootstraps_trace_integral(self):
+        case = _random_case(random.Random(99), chunks=1)
+        case["have_prev"] = False
+        kernel, reference = _run_both(case)
+        _assert_equal(kernel, reference)
+        # First sample only seeds (prev_t, prev_c); integral untouched.
+        assert kernel[3] == case["integral"]
+
+    def test_deep_discharge_accumulates_shortfall(self):
+        case = dict(
+            ends=[100.0, 200.0, 300.0],
+            durations=[100.0, 100.0, 100.0],
+            powers=[0.0, 0.0, 0.0],
+            sleep_w=1.0,  # absurd draw: guarantees stored hits zero
+            extra_j=10.0,
+            stored=50.0,
+            limit_j=200.0,
+            capacity_j=200.0,
+            have_prev=True,
+            prev_t=0.0,
+            prev_c=0.25,
+            integral=0.0,
+        )
+        kernel, reference = _run_both(case)
+        _assert_equal(kernel, reference)
+        assert kernel[1] == 0.0  # battery empty
+        assert kernel[2] > 0.0  # unmet demand recorded
+
+    def test_charge_clamps_at_limit(self):
+        case = dict(
+            ends=[100.0, 200.0],
+            durations=[100.0, 100.0],
+            powers=[1.0, 1.0],  # huge harvest
+            sleep_w=1e-6,
+            extra_j=0.0,
+            stored=10.0,
+            limit_j=60.0,
+            capacity_j=100.0,
+            have_prev=True,
+            prev_t=0.0,
+            prev_c=0.1,
+            integral=0.0,
+        )
+        kernel, reference = _run_both(case)
+        _assert_equal(kernel, reference)
+        assert kernel[1] == 60.0  # θ cap, not capacity
+
+    def test_out_of_range_soc_raises_on_active_backend(self):
+        case = dict(
+            ends=[100.0],
+            durations=[100.0],
+            powers=[0.0],
+            sleep_w=1e-6,
+            extra_j=0.0,
+            stored=150.0,  # stored > capacity → SoC > 1 + 1e-9
+            limit_j=200.0,
+            capacity_j=100.0,
+            have_prev=False,
+            prev_t=0.0,
+            prev_c=0.0,
+            integral=0.0,
+        )
+        with pytest.raises(ConfigurationError):
+            settle.recurrence(**case)

@@ -1,0 +1,95 @@
+"""Shading-gather kernel ≡ the scalar per-index cache path.
+
+Each factor is a pure function of its grid index (seeded
+``random.Random`` draw), so the lazily-filled sliding window must hand
+back the exact float the scalar ``_shading_factor`` path computes —
+under both memory profiles (float64 exact / float32 diet) and across
+window growth, trimming, and repeat gathers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.energy import Harvester, SolarModel
+
+
+def _harvester(**kwargs):
+    return Harvester(solar=SolarModel(), node_seed=42, **kwargs)
+
+
+def _scalar_factors(harvester, indices):
+    return [harvester._shading_at(int(index)) for index in indices]
+
+
+class TestGatherEquivalence:
+    @pytest.mark.parametrize("diet", [False, True])
+    def test_matches_scalar_expression(self, diet):
+        from repro.kernels import shading
+
+        harvester = _harvester(diet=diet)
+        indices = np.array([3, 7, 7, 11, 3, 200, 199], dtype=np.int64)
+        gathered = shading.gather(harvester, indices)
+        assert gathered.tolist() == _scalar_factors(harvester, indices)
+
+    @pytest.mark.parametrize("diet", [False, True])
+    def test_matches_scalar_cache_path(self, diet):
+        # The scalar engine reads through _shading_factor (per-index
+        # dict cache); both cache paths must hold the same number.
+        from repro.kernels import shading
+
+        harvester = _harvester(diet=diet)
+        times = np.arange(20) * harvester.shading_step_s + 7.0
+        gathered = shading.gather_for_times(harvester, times)
+        scalar = [harvester._shading_factor(t) for t in times]
+        assert gathered.tolist() == scalar
+
+    def test_repeat_gathers_are_stable(self):
+        from repro.kernels import shading
+
+        harvester = _harvester()
+        indices = np.arange(50, dtype=np.int64)
+        first = shading.gather(harvester, indices)
+        second = shading.gather(harvester, indices)
+        assert first.tolist() == second.tolist()
+
+    def test_window_trim_preserves_values(self):
+        from repro.kernels import shading
+
+        harvester = _harvester(diet=True)  # small _shade_limit
+        limit = harvester._shade_limit
+        early = np.arange(10, dtype=np.int64)
+        expected_early = _scalar_factors(harvester, early)
+        shading.gather(harvester, early)
+        # March far past the window limit to force trimming.
+        far = np.arange(limit * 3, limit * 3 + 10, dtype=np.int64)
+        shading.gather(harvester, far)
+        assert len(harvester._shade_arr) <= limit
+        # Trimmed-out entries are recomputed, not corrupted.
+        again = shading.gather(harvester, early)
+        assert again.tolist() == expected_early
+
+    def test_zero_sigma_is_all_ones_without_draws(self):
+        from repro.kernels import shading
+
+        harvester = _harvester(shading_sigma=0.0)
+        gathered = shading.gather(harvester, np.arange(8, dtype=np.int64))
+        assert gathered.tolist() == [1.0] * 8
+        assert harvester._shade_arr is None  # window never materialized
+
+    def test_empty_gather(self):
+        from repro.kernels import shading
+
+        harvester = _harvester()
+        assert shading.gather(harvester, np.empty(0, dtype=np.int64)).size == 0
+
+    def test_diet_values_are_float32_rounded(self):
+        from repro.kernels import shading
+
+        exact = _harvester(diet=False)
+        diet = _harvester(diet=True)
+        indices = np.arange(16, dtype=np.int64)
+        exact_vals = shading.gather(exact, indices)
+        diet_vals = shading.gather(diet, indices)
+        assert diet_vals.tolist() == [
+            float(np.float32(value)) for value in exact_vals
+        ]

@@ -6,7 +6,11 @@ produce, because both engines compare energies and airtimes against
 values computed elsewhere from the same formulas.
 """
 
-from repro.lora import EnergyModel, SpreadingFactor, TxParams, airtime_table
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lora import CodingRate, EnergyModel, SpreadingFactor, TxParams, airtime_table
+from repro.lora.params import SUPPORTED_BANDWIDTHS, low_data_rate_optimize
 from repro.lora.phy import time_on_air, tx_energy
 from repro.lora.tables import AirtimeTable
 
@@ -89,3 +93,74 @@ class TestTableBehaviour:
         assert entry.airtime_s == time_on_air(params)
         assert entry.attempt_energy_j > entry.tx_energy_j > 0.0
         assert entry.airtime_s > 0.0
+
+
+# Full TxParams grid: every knob that feeds Eq. (6)/(7).  TX powers are
+# drawn from a discrete set so each float input is representable exactly
+# and equality below is a statement about the formulas, not rounding.
+tx_params_grid = st.builds(
+    TxParams,
+    spreading_factor=st.sampled_from(list(SpreadingFactor)),
+    bandwidth_hz=st.sampled_from(SUPPORTED_BANDWIDTHS),
+    coding_rate=st.sampled_from(list(CodingRate)),
+    tx_power_dbm=st.sampled_from([-4.0, 2.0, 8.0, 14.0, 17.0, 20.0, 30.0]),
+    preamble_symbols=st.integers(min_value=6, max_value=16),
+    payload_bytes=st.integers(min_value=0, max_value=255),
+    explicit_header=st.booleans(),
+    crc=st.booleans(),
+)
+
+
+class TestFullGridBitIdentity:
+    """Table entries ≡ cold formula evaluations over the whole grid.
+
+    The AirtimeTable backs the vectorized engines' kernel layer, so a
+    single drifting entry would silently break the scalar ≡ vec ≡ JIT
+    equivalence suites; every cached float must equal the value a fresh
+    (un-memoized) ``time_on_air``/``tx_energy`` call produces.
+    """
+
+    @settings(max_examples=200, deadline=None)
+    @given(params=tx_params_grid, datasheet=st.booleans())
+    def test_entry_equals_uncached_formulas(self, params, datasheet):
+        model = EnergyModel()
+        table = AirtimeTable(energy_model=model, use_datasheet_formula=datasheet)
+        entry = table.entry(params)
+        # Drop the lru_cache memoization so the reference evaluation is
+        # genuinely cold, then demand exact float equality.
+        time_on_air.cache_clear()
+        tx_energy.cache_clear()
+        cold_toa = time_on_air(params, use_datasheet_formula=datasheet)
+        cold_energy = tx_energy(
+            params, model.power_profile, use_datasheet_formula=datasheet
+        )
+        assert entry.airtime_s == cold_toa
+        assert entry.tx_energy_j == cold_energy
+        assert entry.attempt_energy_j == cold_energy + model.rx_window_overhead()
+        assert entry.max_tx_energy_j == model.max_tx_energy(params)
+        assert entry.sensitivity_dbm == params.sensitivity_dbm
+
+    def test_low_data_rate_optimization_boundaries(self):
+        # DE flips exactly where the symbol time crosses 16 ms: between
+        # SF10 and SF11 at 125 kHz and between SF11 and SF12 at 250 kHz;
+        # 500 kHz never mandates it.  The airtime discontinuity at each
+        # boundary must round-trip through the table bit-for-bit.
+        boundaries = [
+            (125_000, SpreadingFactor.SF10, SpreadingFactor.SF11),
+            (250_000, SpreadingFactor.SF11, SpreadingFactor.SF12),
+        ]
+        table = AirtimeTable()
+        for bandwidth, below, above in boundaries:
+            assert not low_data_rate_optimize(below, bandwidth)
+            assert low_data_rate_optimize(above, bandwidth)
+            for sf in (below, above):
+                params = TxParams(
+                    spreading_factor=sf, bandwidth_hz=bandwidth, payload_bytes=51
+                )
+                assert params.low_data_rate_optimized is low_data_rate_optimize(
+                    sf, bandwidth
+                )
+                time_on_air.cache_clear()
+                assert table.entry(params).airtime_s == time_on_air(params)
+        for sf in SpreadingFactor:
+            assert not low_data_rate_optimize(sf, 500_000)

@@ -107,6 +107,47 @@ class TestObservabilityFlags:
         assert categories <= {"packet", "engine"}
 
 
+class TestKernelFlags:
+    def test_profile_hot_prints_ranked_table(self, capsys):
+        code = main(["simulate", "--nodes", "4", "--days", "1",
+                     "--profile-hot"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hot-loop kernels (backend:" in out
+        assert "shading.gather" in out
+
+    def test_profile_hot_json_payload(self, capsys):
+        code = main(["simulate", "--nodes", "4", "--days", "1",
+                     "--profile-hot", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        hot = payload["hot_kernels"]
+        assert hot["backend"] in ("numpy", "numba")
+        assert hot["kernels"]["shading.gather"]["calls"] > 0
+
+    def test_profile_hot_metrics_export(self, tmp_path):
+        out = tmp_path / "m.json"
+        main(["simulate", "--nodes", "4", "--days", "1",
+              "--profile-hot", "--metrics-out", str(out)])
+        names = {
+            metric["name"]
+            for metric in json.loads(out.read_text())["metrics"]
+        }
+        assert "repro_kernel_backend_info" in names
+        assert "repro_kernel_calls_total" in names
+        assert "repro_kernel_wall_seconds_total" in names
+
+    def test_no_exact_batched_same_results(self, capsys):
+        args = ["simulate", "--nodes", "5", "--days", "0.5",
+                "--engine", "exact", "--json"]
+        main(args)
+        batched = json.loads(capsys.readouterr().out)
+        main(args + ["--no-exact-batched"])
+        scalar = json.loads(capsys.readouterr().out)
+        assert batched["metrics"] == scalar["metrics"]
+        assert batched["manifest"]["config_hash"] == scalar["manifest"]["config_hash"]
+
+
 class TestTraceCommand:
     @pytest.fixture()
     def trace_file(self, tmp_path):
